@@ -1,0 +1,62 @@
+//! DESIGN.md ablations: structured-operator simulation vs strict-circuit
+//! execution, bit-mode vs block-mode streaming updates, and amplification
+//! width (see also e4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_core::emit::a3_strict_circuit;
+use oqsc_core::GroverStreamer;
+use oqsc_lang::random_nonmember;
+use oqsc_machine::StreamingDecider;
+use oqsc_quantum::GroverLayout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structured streaming (bit-mode, O(1)/symbol) vs emitted strict circuit
+/// (the Definition 2.3 formal path).
+fn bench_structured_vs_strict(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let inst = random_nonmember(1, 1, &mut rng);
+    let word = inst.encode();
+    let mut group = c.benchmark_group("ablation_a3_backend");
+    group.bench_function("structured_streamer", |b| {
+        b.iter(|| {
+            let mut a3 = GroverStreamer::with_j_seed(1, 0);
+            a3.feed_all(&word);
+            a3.detection_probability()
+        });
+    });
+    group.bench_function("strict_circuit_emit_and_run", |b| {
+        b.iter(|| {
+            let circuit = a3_strict_circuit(&inst, 1);
+            circuit.run_from_zero().prob_one(0)
+        });
+    });
+    group.finish();
+}
+
+/// Bit-mode (per streamed symbol) vs block-mode (whole string at once)
+/// structured operator application.
+fn bench_bit_vs_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vx_application");
+    for k in [3u32, 5] {
+        let layout = GroverLayout::for_k(k);
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        let x: Vec<bool> = (0..layout.domain()).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("block", k), &x, |b, x| {
+            let mut s = layout.phi();
+            b.iter(|| layout.apply_vx(&mut s, x));
+        });
+        group.bench_with_input(BenchmarkId::new("bit", k), &x, |b, x| {
+            let mut s = layout.phi();
+            b.iter(|| {
+                for (i, &xi) in x.iter().enumerate() {
+                    layout.apply_vx_bit(&mut s, i, xi);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structured_vs_strict, bench_bit_vs_block);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E1/E2: communication protocols — BCW single runs vs trivial classical,
+//! and exact one-way cost computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_comm::lower_bound::{communication_matrix, disj_fn, one_way_deterministic_cost};
+use oqsc_comm::{bcw_single_run, trivial_disj_protocol};
+use oqsc_lang::{random_member, string_len};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bcw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_bcw_single_run");
+    for k in 1..=3u32 {
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        let inst = random_member(k, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(string_len(k)), &inst, |b, inst| {
+            b.iter(|| bcw_single_run(inst.x(), inst.y(), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trivial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_trivial_protocol");
+    for k in 1..=3u32 {
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        let inst = random_member(k, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(string_len(k)), &inst, |b, inst| {
+            b.iter(|| trivial_disj_protocol(inst.x(), inst.y()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_way_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_one_way_cost");
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let m = communication_matrix(n, disj_fn);
+                one_way_deterministic_cost(&m)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcw, bench_trivial, bench_one_way_cost);
+criterion_main!(benches);

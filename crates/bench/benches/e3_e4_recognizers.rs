@@ -1,0 +1,36 @@
+//! E3/E4: the online quantum recognizer — single-copy and amplified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oqsc_core::recognizer::{ComplementRecognizer, LdisjRecognizer};
+use oqsc_lang::{encoded_len, random_member};
+use oqsc_machine::run_decider;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_complement_recognizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_complement_recognizer");
+    for k in 1..=4u32 {
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        let word = random_member(k, &mut rng).encode();
+        group.throughput(Throughput::Elements(encoded_len(k) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &word, |b, word| {
+            b.iter(|| run_decider(ComplementRecognizer::new(&mut rng), word));
+        });
+    }
+    group.finish();
+}
+
+fn bench_amplified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_amplified_recognizer");
+    let mut rng = StdRng::seed_from_u64(9);
+    let word = random_member(2, &mut rng).encode();
+    for reps in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &word, |b, word| {
+            b.iter(|| run_decider(LdisjRecognizer::new(reps, &mut rng), word));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complement_recognizer, bench_amplified);
+criterion_main!(benches);

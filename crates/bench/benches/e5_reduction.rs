@@ -1,0 +1,29 @@
+//! E5: the Theorem 3.6 machine→protocol reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_comm::{simulate_reduction, theorem_3_6_space_bound};
+use oqsc_core::classical::Prop37Decider;
+use oqsc_lang::random_member;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_simulate_reduction");
+    for k in 1..=4u32 {
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        let inst = random_member(k, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
+            b.iter(|| simulate_reduction(Prop37Decider::new(&mut rng), inst));
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_bound_inversion(c: &mut Criterion) {
+    c.bench_function("e5_fact_2_2_inversion_k12", |b| {
+        b.iter(|| theorem_3_6_space_bound(std::hint::black_box(12), 1.0, 64));
+    });
+}
+
+criterion_group!(benches, bench_reduction, bench_space_bound_inversion);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E6/F1: the classical Θ(n^{1/3}) decider and the full separation row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oqsc_core::classical::Prop37Decider;
+use oqsc_core::separation::measure_separation_row;
+use oqsc_lang::{encoded_len, random_member};
+use oqsc_machine::run_decider;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_prop37(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_prop37_decider");
+    for k in 1..=5u32 {
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        let word = random_member(k, &mut rng).encode();
+        group.throughput(Throughput::Elements(encoded_len(k) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &word, |b, word| {
+            b.iter(|| run_decider(Prop37Decider::new(&mut rng), word));
+        });
+    }
+    group.finish();
+}
+
+fn bench_separation_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_separation_row");
+    group.sample_size(10);
+    for k in [2u32, 4, 6] {
+        let mut rng = StdRng::seed_from_u64(u64::from(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| measure_separation_row(k, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop37, bench_separation_row);
+criterion_main!(benches);

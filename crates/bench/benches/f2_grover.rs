@@ -1,0 +1,57 @@
+//! F2: Grover iterations, BBHT detection, and the closed forms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_grover::bbht::{bbht_search, random_j_detection_probability};
+use oqsc_grover::{averaged_success, GroverSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn planted(n: usize, t: usize) -> GroverSim {
+    let mut marked = vec![false; n];
+    for i in 0..t {
+        marked[(i * 37 + 5) % n] = true;
+    }
+    GroverSim::new(marked)
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_grover_iteration");
+    for width in [8usize, 12, 16] {
+        let sim = planted(1 << width, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &sim, |b, sim| {
+            let mut s = oqsc_quantum::StateVector::uniform(sim.width());
+            b.iter(|| sim.iterate(&mut s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_probability(c: &mut Criterion) {
+    let sim = planted(256, 4);
+    c.bench_function("f2_random_j_detection_exact_n256", |b| {
+        b.iter(|| random_j_detection_probability(&sim, 16));
+    });
+}
+
+fn bench_bbht(c: &mut Criterion) {
+    let sim = planted(256, 1);
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("f2_bbht_search_n256_t1", |b| {
+        b.iter(|| bbht_search(&sim, &mut rng));
+    });
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    c.bench_function("f2_averaged_success_closed_form", |b| {
+        b.iter(|| averaged_success(std::hint::black_box(1024), 7, 1 << 20));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_iteration,
+    bench_detection_probability,
+    bench_bbht,
+    bench_closed_form
+);
+criterion_main!(benches);

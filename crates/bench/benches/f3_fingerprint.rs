@@ -1,0 +1,45 @@
+//! F3: fingerprint streaming throughput and the prime-search ablation
+//! (Miller–Rabin scan vs the paper's naive trial-division scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oqsc_fingerprint::prime::{scan_prime, scan_prime_trial_division};
+use oqsc_fingerprint::{fingerprint_prime, StreamingFingerprint};
+
+fn bench_streaming_feed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_fingerprint_feed");
+    for k in [2u32, 4, 8] {
+        let p = fingerprint_prime(k);
+        let bits: Vec<bool> = (0..1usize << (2 * k)).map(|i| i % 3 == 0).collect();
+        group.throughput(Throughput::Elements(bits.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &bits, |b, bits| {
+            b.iter(|| {
+                let mut f = StreamingFingerprint::new(p, 12345 % p);
+                f.feed_all(bits);
+                f.value()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prime_search_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_prime_search");
+    for k in [4u32, 8, 12] {
+        let lo = (1u64 << (4 * k)) + 1;
+        let hi = 1u64 << (4 * k + 1);
+        group.bench_with_input(BenchmarkId::new("miller_rabin", k), &(lo, hi), |b, &(lo, hi)| {
+            b.iter(|| scan_prime(lo, hi));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("trial_division", k),
+            &(lo, hi),
+            |b, &(lo, hi)| {
+                b.iter(|| scan_prime_trial_division(lo, hi));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_feed, bench_prime_search_ablation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! F4: bounded-budget classical sketches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_core::classical::SketchDecider;
+use oqsc_lang::random_nonmember;
+use oqsc_machine::run_decider;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_sketch_decider");
+    let mut rng = StdRng::seed_from_u64(4);
+    let word = random_nonmember(4, 1, &mut rng).encode();
+    for budget in [4usize, 32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &word, |b, word| {
+            b.iter(|| run_decider(SketchDecider::new(budget, &mut rng), word));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch);
+criterion_main!(benches);

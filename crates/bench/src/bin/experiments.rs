@@ -1,0 +1,20 @@
+//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p oqsc-bench --bin experiments
+//! ```
+
+fn main() {
+    println!("== Reproduction experiments: Le Gall, SPAA 2006 ==\n");
+    oqsc_bench::print_e1();
+    oqsc_bench::print_e2();
+    oqsc_bench::print_e3();
+    oqsc_bench::print_e4();
+    oqsc_bench::print_e5();
+    oqsc_bench::print_e6();
+    oqsc_bench::print_f1();
+    oqsc_bench::print_f2();
+    oqsc_bench::print_f3();
+    oqsc_bench::print_f4();
+    oqsc_bench::print_ablations();
+}

@@ -1,0 +1,19 @@
+//! # oqsc-bench — experiment harness
+//!
+//! Regenerates every quantitative claim of the paper (the experiment index
+//! in `DESIGN.md` / `EXPERIMENTS.md`):
+//!
+//! * `cargo run --release -p oqsc-bench --bin experiments` prints all
+//!   tables (E1–E6, F1–F4);
+//! * `cargo bench -p oqsc-bench` times the underlying operations with
+//!   Criterion, one bench target per experiment family.
+//!
+//! The library part holds the table-producing functions so both entry
+//! points (and the integration tests) share one implementation. Sweeps
+//! run in parallel with crossbeam scoped threads.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

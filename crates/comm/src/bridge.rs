@@ -1,0 +1,284 @@
+//! The forward bridge: one-way protocols → online algorithms.
+//!
+//! Section 1 of the paper observes that "any separation of quantum and
+//! classical one-way two-party communication complexity for a total
+//! function gives immediately, *under the assumption that the
+//! computational part of the communication protocol can be done
+//! space-efficiently*, a separation of quantum and classical online space
+//! complexity". This module implements that observation as a generic
+//! adapter: a [`StreamingOneWayProtocol`] is a one-way protocol whose
+//! Alice side is computed by a streaming sketch of her input; the adapter
+//! [`OneWayDecider`] turns it into an online decider for the split
+//! language `{ x#y : f(x, y) = 1 }`, whose space is exactly the message
+//! length plus the sketch state — making the paper's "immediately"
+//! executable and meterable.
+//!
+//! The fingerprint equality protocol instantiates it: `EQ`'s `O(log m)`
+//! one-way protocol becomes an `O(log m)` streaming recognizer of
+//! `{ x#x }`, while the Nerode floor (`oqsc-machine::nerode`) shows
+//! *exact* deciders for the same language need `m` bits — randomness is
+//! doing real work, and the same mechanism with quantum messages is
+//! Theorem 3.4.
+
+use crate::protocol::{Party, Transcript};
+use oqsc_lang::Sym;
+use oqsc_machine::streaming::StreamingDecider;
+
+/// A one-way protocol whose message is produced by streaming over
+/// Alice's input and whose verdict is produced by streaming Bob's input
+/// against the received message.
+pub trait StreamingOneWayProtocol {
+    /// Alice's streaming state (the sketch of `x` so far).
+    type AliceState;
+    /// Bob's streaming state (message + running comparison).
+    type BobState;
+
+    /// Fresh Alice state.
+    fn alice_init(&self) -> Self::AliceState;
+    /// Alice consumes one bit of `x`.
+    fn alice_feed(&self, state: &mut Self::AliceState, bit: bool);
+    /// Alice's message, and its length in bits (what the one-way
+    /// protocol charges).
+    fn message(&self, state: &Self::AliceState) -> (Vec<u8>, usize);
+    /// Bob receives the message.
+    fn bob_init(&self, message: &[u8]) -> Self::BobState;
+    /// Bob consumes one bit of `y`.
+    fn bob_feed(&self, state: &mut Self::BobState, bit: bool);
+    /// Bob's verdict.
+    fn bob_decide(&self, state: &Self::BobState) -> bool;
+    /// Space of the streaming states, in bits (for the online machine's
+    /// meter).
+    fn state_bits(&self) -> usize;
+}
+
+/// The online decider for `{ x#y : protocol accepts (x, y) }` induced by
+/// a streaming one-way protocol — the paper's §1 observation as a type.
+pub struct OneWayDecider<P: StreamingOneWayProtocol> {
+    protocol: P,
+    alice: Option<P::AliceState>,
+    bob: Option<P::BobState>,
+    transcript: Transcript,
+    malformed: bool,
+}
+
+impl<P: StreamingOneWayProtocol> OneWayDecider<P> {
+    /// Wraps a protocol.
+    pub fn new(protocol: P) -> Self {
+        let alice = protocol.alice_init();
+        OneWayDecider {
+            protocol,
+            alice: Some(alice),
+            bob: None,
+            transcript: Transcript::new(),
+            malformed: false,
+        }
+    }
+
+    /// The communication transcript of the induced protocol run (one
+    /// message; its size is the online machine's extra space).
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+}
+
+impl<P: StreamingOneWayProtocol> StreamingDecider for OneWayDecider<P> {
+    fn feed(&mut self, sym: Sym) {
+        if self.malformed {
+            return;
+        }
+        match (sym, self.bob.is_some()) {
+            (Sym::Hash, false) => {
+                // The split: Alice sends; Bob takes over.
+                let alice = self.alice.take().expect("alice active");
+                let (message, bits) = self.protocol.message(&alice);
+                self.transcript.send_classical(Party::Alice, bits);
+                self.bob = Some(self.protocol.bob_init(&message));
+            }
+            (Sym::Hash, true) => self.malformed = true, // second '#'
+            (bit_sym, false) => {
+                let bit = bit_sym == Sym::One;
+                self.protocol
+                    .alice_feed(self.alice.as_mut().expect("alice active"), bit);
+            }
+            (bit_sym, true) => {
+                let bit = bit_sym == Sym::One;
+                self.protocol
+                    .bob_feed(self.bob.as_mut().expect("bob active"), bit);
+            }
+        }
+    }
+
+    fn decide(&mut self) -> bool {
+        if self.malformed {
+            return false;
+        }
+        match &self.bob {
+            Some(bob) => self.protocol.bob_decide(bob),
+            None => false, // no '#' ever arrived
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        self.protocol.state_bits()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // The configuration at any time is the streaming state; for the
+        // reduction accounting the message length is the honest size.
+        match &self.alice {
+            Some(a) => self.protocol.message(a).0,
+            None => vec![1],
+        }
+    }
+}
+
+/// The fingerprint equality protocol as a [`StreamingOneWayProtocol`]:
+/// Alice streams `F_x(t)`, sends `(value, length)`; Bob streams `F_y(t)`
+/// and compares. `O(log p)` bits end to end.
+pub struct FingerprintEqProtocol {
+    /// The prime modulus.
+    pub p: u64,
+    /// The shared evaluation point (public coin).
+    pub t: u64,
+}
+
+/// Bob's state for [`FingerprintEqProtocol`].
+pub struct FpBobState {
+    expect_value: u64,
+    expect_len: u64,
+    fp: oqsc_fingerprint::StreamingFingerprint,
+}
+
+impl StreamingOneWayProtocol for FingerprintEqProtocol {
+    type AliceState = oqsc_fingerprint::StreamingFingerprint;
+    type BobState = FpBobState;
+
+    fn alice_init(&self) -> Self::AliceState {
+        oqsc_fingerprint::StreamingFingerprint::new(self.p, self.t)
+    }
+
+    fn alice_feed(&self, state: &mut Self::AliceState, bit: bool) {
+        state.feed(bit);
+    }
+
+    fn message(&self, state: &Self::AliceState) -> (Vec<u8>, usize) {
+        let mut out = state.value().to_le_bytes().to_vec();
+        out.extend_from_slice(&(state.len() as u64).to_le_bytes());
+        // Charged bits: fingerprint (⌈log p⌉) + length (⌈log len⌉).
+        let bits = oqsc_fingerprint::ceil_log2(self.p) as usize
+            + oqsc_fingerprint::ceil_log2(state.len().max(1) as u64 + 1) as usize;
+        (out, bits)
+    }
+
+    fn bob_init(&self, message: &[u8]) -> Self::BobState {
+        let expect_value = u64::from_le_bytes(message[0..8].try_into().expect("8 bytes"));
+        let expect_len = u64::from_le_bytes(message[8..16].try_into().expect("8 bytes"));
+        FpBobState {
+            expect_value,
+            expect_len,
+            fp: oqsc_fingerprint::StreamingFingerprint::new(self.p, self.t),
+        }
+    }
+
+    fn bob_feed(&self, state: &mut Self::BobState, bit: bool) {
+        state.fp.feed(bit);
+    }
+
+    fn bob_decide(&self, state: &Self::BobState) -> bool {
+        state.fp.len() as u64 == state.expect_len && state.fp.value() == state.expect_value
+    }
+
+    fn state_bits(&self) -> usize {
+        4 * oqsc_fingerprint::ceil_log2(self.p) as usize + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_lang::token::from_str;
+    use oqsc_machine::run_decider;
+    use oqsc_machine::nerode::{nerode_classes_at, streaming_space_floor_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn eq_decider(t: u64) -> OneWayDecider<FingerprintEqProtocol> {
+        OneWayDecider::new(FingerprintEqProtocol { p: 257, t })
+    }
+
+    fn syms(s: &str) -> Vec<Sym> {
+        from_str(s).expect("valid")
+    }
+
+    #[test]
+    fn equality_words_accepted_for_every_point() {
+        for t in 0..257u64 {
+            let (v, _) = run_decider(eq_decider(t), &syms("10110#10110"));
+            assert!(v, "t={t}");
+        }
+    }
+
+    #[test]
+    fn unequal_words_rejected_whp() {
+        let mut rng = StdRng::seed_from_u64(210);
+        let mut false_accepts = 0;
+        for _ in 0..300 {
+            let t = rng.gen_range(0..257);
+            let (v, _) = run_decider(eq_decider(t), &syms("10110#10111"));
+            if v {
+                false_accepts += 1;
+            }
+        }
+        // ≤ (m−1)/p ≈ 1.6% expected.
+        assert!(false_accepts <= 15, "false accepts {false_accepts}");
+    }
+
+    #[test]
+    fn length_mismatch_rejected_always() {
+        for t in 0..50u64 {
+            let (v, _) = run_decider(eq_decider(t), &syms("1011#10110"));
+            assert!(!v);
+        }
+    }
+
+    #[test]
+    fn malformed_split_rejected() {
+        let (v, _) = run_decider(eq_decider(3), &syms("10#1#0"));
+        assert!(!v);
+        let (v, _) = run_decider(eq_decider(3), &syms("10110"));
+        assert!(!v, "no separator");
+    }
+
+    #[test]
+    fn induced_machine_is_logarithmic_but_exact_deciders_are_not() {
+        // The paper's §1 bridge, quantified end to end: the induced online
+        // machine uses O(log) bits while the Nerode floor for EXACT
+        // deciders of { x#x : |x| = n } is n bits.
+        let mut d = eq_decider(42);
+        d.feed_all(&syms("101101#101101"));
+        let space = d.space_bits();
+        assert!(space < 64, "induced machine space {space}");
+        assert_eq!(d.transcript().num_messages(), 1);
+        assert!(d.transcript().is_one_way());
+
+        let n = 4usize;
+        let classes = nerode_classes_at(2 * n + 1, n + 1, |w| {
+            w.len() == 2 * n + 1
+                && w[n] == Sym::Hash
+                && w[..n].iter().all(|s| s.bit().is_some())
+                && w[..n] == w[n + 1..]
+        });
+        let exact_floor = streaming_space_floor_bits(classes);
+        assert!(exact_floor >= n, "exact equality needs ≥ n bits");
+    }
+
+    #[test]
+    fn message_is_logarithmic_in_input() {
+        let mut d = eq_decider(1);
+        let long: String = "10".repeat(60) + "#" + &"10".repeat(60);
+        d.feed_all(&syms(&long));
+        assert!(d.decide());
+        // Message: ⌈log 257⌉ + ⌈log 121⌉ = 9 + 7 bits.
+        assert_eq!(d.transcript().total_bits(), 16);
+    }
+}

@@ -1,0 +1,139 @@
+//! Classical protocols: the trivial `DISJ` protocol and the fingerprint
+//! equality protocol.
+//!
+//! `DISJ_n` needs `Ω(n)` classical communication even with shared
+//! randomness and bounded error (Kalyanasundaram–Schnitger / Razborov,
+//! the paper's Theorem 3.2), so the trivial send-everything protocol is
+//! essentially optimal. String *equality*, by contrast, has an `O(log n)`
+//! one-way protocol — the same fingerprints procedure A2 streams — and
+//! that asymmetry is exactly what the language `L_DISJ` exploits.
+
+use crate::protocol::{Party, ProtocolRun, Transcript};
+use oqsc_fingerprint::{ceil_log2, EqualityTester};
+use oqsc_lang::disj;
+use rand::Rng;
+
+/// The trivial one-way protocol for `DISJ_n`: Alice sends all of `x`
+/// (`n` bits); Bob computes the answer. Matches the `n`-bit lower bound
+/// for one-way deterministic protocols up to the constant 1.
+pub fn trivial_disj_protocol(x: &[bool], y: &[bool]) -> ProtocolRun<bool> {
+    assert_eq!(x.len(), y.len());
+    let mut transcript = Transcript::new();
+    transcript.send_classical(Party::Alice, x.len());
+    ProtocolRun {
+        output: disj(x, y),
+        transcript,
+    }
+}
+
+/// A block-partitioned two-way `DISJ` protocol with tunable message size:
+/// Alice sends her blocks one at a time and Bob interleaves 1-bit
+/// "intersection seen so far" replies. Total communication is still
+/// `n + Θ(n/block)` bits — illustrating that chunking does **not** beat
+/// the linear lower bound — but the per-message size is what a
+/// space-limited streaming simulation can afford (Theorem 3.6's bridge).
+pub fn blocked_disj_protocol(x: &[bool], y: &[bool], block: usize) -> ProtocolRun<bool> {
+    assert_eq!(x.len(), y.len());
+    assert!(block >= 1);
+    let mut transcript = Transcript::new();
+    let mut intersect = false;
+    for (i, chunk) in x.chunks(block).enumerate() {
+        transcript.send_classical(Party::Alice, chunk.len());
+        let start = i * block;
+        if chunk
+            .iter()
+            .zip(&y[start..start + chunk.len()])
+            .any(|(&a, &b)| a && b)
+        {
+            intersect = true;
+        }
+        transcript.send_classical(Party::Bob, 1);
+    }
+    ProtocolRun {
+        output: !intersect,
+        transcript,
+    }
+}
+
+/// The `O(log n)` one-sided-error equality protocol: Alice sends the
+/// random point `t` and her fingerprint `F_u(t)` (`2⌈log₂ p⌉` bits); Bob
+/// compares with `F_v(t)`. Output `true` = "maybe equal"; `false`
+/// certifies inequality.
+pub fn fingerprint_equality_protocol<R: Rng + ?Sized>(
+    u: &[bool],
+    v: &[bool],
+    k: u32,
+    rng: &mut R,
+) -> ProtocolRun<bool> {
+    let tester = EqualityTester::for_k(k, rng);
+    let mut transcript = Transcript::new();
+    let message_bits = 2 * ceil_log2(tester.modulus()) as usize;
+    transcript.send_classical(Party::Alice, message_bits);
+    ProtocolRun {
+        output: u.len() == v.len() && tester.fingerprint(u) == tester.fingerprint(v),
+        transcript,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_protocol_is_correct_and_linear() {
+        let x = vec![true, false, true, false];
+        let y = vec![false, true, false, true];
+        let run = trivial_disj_protocol(&x, &y);
+        assert!(run.output);
+        assert_eq!(run.transcript.total_bits(), 4);
+        assert!(run.transcript.is_one_way());
+
+        let y2 = vec![true, false, false, false];
+        assert!(!trivial_disj_protocol(&x, &y2).output);
+    }
+
+    #[test]
+    fn blocked_protocol_correct_but_still_linear() {
+        let n = 64usize;
+        let x: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let y: Vec<bool> = (0..n).map(|i| i % 3 == 1).collect();
+        for block in [1usize, 4, 16, 64] {
+            let run = blocked_disj_protocol(&x, &y, block);
+            assert!(run.output, "disjoint pair, block {block}");
+            assert!(run.transcript.total_bits() >= n);
+            assert!(run.transcript.alternates());
+        }
+        let mut y_hit = y.clone();
+        y_hit[0] = true; // x[0] = true too
+        assert!(!blocked_disj_protocol(&x, &y_hit, 8).output);
+    }
+
+    #[test]
+    fn equality_protocol_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = 3u32;
+        let len = 1usize << (2 * k); // 64 bits
+        let u: Vec<bool> = (0..len).map(|i| i % 5 == 0).collect();
+        let run = fingerprint_equality_protocol(&u, &u, k, &mut rng);
+        assert!(run.output, "equal strings always accepted");
+        // 2·⌈log p⌉ ≤ 2·(4k+1) bits — exponentially below the string length.
+        assert!(run.transcript.total_bits() <= 2 * (4 * k as usize + 1));
+        assert!(run.transcript.is_one_way());
+    }
+
+    #[test]
+    fn equality_protocol_catches_differences_whp() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let k = 3u32;
+        let len = 1usize << (2 * k);
+        let u: Vec<bool> = (0..len).map(|i| i % 2 == 0).collect();
+        let mut v = u.clone();
+        v[13] = !v[13];
+        let false_accepts = (0..400)
+            .filter(|_| fingerprint_equality_protocol(&u, &v, k, &mut rng).output)
+            .count();
+        assert!(false_accepts <= 20, "false accepts: {false_accepts}");
+    }
+}

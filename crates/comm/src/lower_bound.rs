@@ -1,0 +1,201 @@
+//! Exact communication lower bounds on small instances.
+//!
+//! The classical side of the separation rests on `R(DISJ_n) = Ω(n)`
+//! (Theorem 3.2, Kalyanasundaram–Schnitger / Razborov). The full
+//! randomized bound is a deep theorem we take as given; what *can* be
+//! verified mechanically, and is all that Theorem 3.6's counting argument
+//! consumes, is the combinatorial substrate:
+//!
+//! * the **exact** one-way deterministic complexity, computable for small
+//!   `n` as `⌈log₂(#distinct rows of the communication matrix)⌉`;
+//! * **fooling sets**: `DISJ_n` has the fooling set
+//!   `{(S, S̄)}_{S ⊆ [n]}` of size `2^n`, forcing `n` bits
+//!   deterministically (and `Ω(n)` even two-way);
+//! * exhaustive verification of both on every `n` small enough to
+//!   enumerate.
+
+/// The communication matrix of a Boolean function on `n`-bit inputs:
+/// `M[x][y] = f(x, y)`. Exponential in `n`; keep `n ≤ 12`.
+pub fn communication_matrix(n: usize, f: impl Fn(usize, usize) -> bool) -> Vec<Vec<bool>> {
+    assert!(n <= 12, "matrix would be too large");
+    let size = 1usize << n;
+    (0..size)
+        .map(|x| (0..size).map(|y| f(x, y)).collect())
+        .collect()
+}
+
+/// Exact one-way deterministic communication complexity:
+/// `⌈log₂ (#distinct rows)⌉`. (Alice must identify her row's equivalence
+/// class; distinct rows need distinct messages, and sending the class
+/// index suffices.)
+pub fn one_way_deterministic_cost(matrix: &[Vec<bool>]) -> usize {
+    let mut rows: Vec<&Vec<bool>> = matrix.iter().collect();
+    rows.sort();
+    rows.dedup();
+    let distinct = rows.len();
+    usize::BITS as usize - (distinct.max(1) - 1).leading_zeros() as usize
+}
+
+/// `DISJ_n` as a function on bit-mask encodings: disjoint iff `x & y = 0`.
+pub fn disj_fn(x: usize, y: usize) -> bool {
+    x & y == 0
+}
+
+/// Checks that `pairs` is a fooling set for `f` with value `v`:
+/// `f(x_i, y_i) = v` for all `i`, and for every `i ≠ j`,
+/// `f(x_i, y_j) ≠ v` or `f(x_j, y_i) ≠ v`.
+pub fn verify_fooling_set(
+    pairs: &[(usize, usize)],
+    v: bool,
+    f: impl Fn(usize, usize) -> bool,
+) -> bool {
+    if pairs.iter().any(|&(x, y)| f(x, y) != v) {
+        return false;
+    }
+    for i in 0..pairs.len() {
+        for j in 0..pairs.len() {
+            if i != j {
+                let (xi, _) = pairs[i];
+                let (_, yj) = pairs[j];
+                let (xj, _) = pairs[j];
+                let (_, yi) = pairs[i];
+                if f(xi, yj) == v && f(xj, yi) == v {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The canonical `DISJ_n` fooling set `{(S, S̄) : S ⊆ [n]}` of size `2^n`
+/// (each set paired with its complement is disjoint; mixing two different
+/// pairs always creates an intersection on one side).
+pub fn disj_fooling_set(n: usize) -> Vec<(usize, usize)> {
+    assert!(n <= 20);
+    let full = (1usize << n) - 1;
+    (0..=full).map(|s| (s, full ^ s)).collect()
+}
+
+/// Fooling-set lower bound on *deterministic two-way* communication:
+/// `⌈log₂ |fooling set|⌉`.
+pub fn fooling_set_bound(set_size: usize) -> usize {
+    usize::BITS as usize - (set_size.max(1) - 1).leading_zeros() as usize
+}
+
+/// Binary entropy `H(ε)`.
+pub fn binary_entropy(eps: f64) -> f64 {
+    if eps <= 0.0 || eps >= 1.0 {
+        return 0.0;
+    }
+    -eps * eps.log2() - (1.0 - eps) * (1.0 - eps).log2()
+}
+
+/// Nayak-style lower bound on *bounded-error one-way* communication: a
+/// protocol for `f` with error `ε` must send at least
+/// `(1 − H(ε)) · log₂(#distinct rows)` bits (the message must let Bob
+/// recover Alice's row class up to error `ε`, so it carries that much
+/// information). For `DISJ_n` the row count is `2^n`, giving the
+/// `Ω(n)` *one-way randomized* bound that Theorem 3.6 needs in its
+/// weakest usable form (the paper imports the stronger two-way
+/// Kalyanasundaram–Schnitger bound).
+pub fn one_way_randomized_lower_bound(matrix: &[Vec<bool>], eps: f64) -> f64 {
+    let mut rows: Vec<&Vec<bool>> = matrix.iter().collect();
+    rows.sort();
+    rows.dedup();
+    (1.0 - binary_entropy(eps)) * (rows.len().max(1) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disj_one_way_cost_is_exactly_n() {
+        for n in 1..=8usize {
+            let m = communication_matrix(n, disj_fn);
+            // All 2^n rows of DISJ are distinct (row x determines {y : x∩y=∅},
+            // which determines x), so the cost is exactly n.
+            assert_eq!(one_way_deterministic_cost(&m), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn equality_one_way_cost_is_also_n() {
+        // EQ has 2^n distinct rows too (each row is an indicator).
+        for n in 1..=6usize {
+            let m = communication_matrix(n, |x, y| x == y);
+            assert_eq!(one_way_deterministic_cost(&m), n);
+        }
+    }
+
+    #[test]
+    fn constant_function_is_free() {
+        let m = communication_matrix(4, |_, _| true);
+        assert_eq!(one_way_deterministic_cost(&m), 0);
+    }
+
+    #[test]
+    fn single_bit_function() {
+        // f(x,y) = lsb(x): two distinct rows → 1 bit.
+        let m = communication_matrix(4, |x, _| x & 1 == 1);
+        assert_eq!(one_way_deterministic_cost(&m), 1);
+    }
+
+    #[test]
+    fn disj_fooling_set_verifies() {
+        for n in 1..=8usize {
+            let set = disj_fooling_set(n);
+            assert_eq!(set.len(), 1usize << n);
+            assert!(verify_fooling_set(&set, true, disj_fn), "n={n}");
+            assert_eq!(fooling_set_bound(set.len()), n);
+        }
+    }
+
+    #[test]
+    fn broken_fooling_set_rejected() {
+        // {(01,01)} has f = false ≠ v=true.
+        assert!(!verify_fooling_set(&[(1, 1)], true, disj_fn));
+        // Two pairs that don't fool each other: (00, 00) and (00, 11) —
+        // cross pairs still disjoint.
+        assert!(!verify_fooling_set(&[(0, 0), (0, 3)], true, disj_fn));
+    }
+
+    #[test]
+    fn fooling_bound_edges() {
+        assert_eq!(fooling_set_bound(1), 0);
+        assert_eq!(fooling_set_bound(2), 1);
+        assert_eq!(fooling_set_bound(3), 2);
+        assert_eq!(fooling_set_bound(256), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_matrix_panics() {
+        communication_matrix(13, disj_fn);
+    }
+
+    #[test]
+    fn binary_entropy_shape() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(1.0 / 3.0) - binary_entropy(2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomized_one_way_bound_is_linear_for_disj() {
+        for n in 2..=8usize {
+            let m = communication_matrix(n, disj_fn);
+            let lb = one_way_randomized_lower_bound(&m, 1.0 / 3.0);
+            // (1 − H(1/3))·n ≈ 0.082·n, and exactly linear in n.
+            let coeff = 1.0 - binary_entropy(1.0 / 3.0);
+            assert!((lb - coeff * n as f64).abs() < 1e-9, "n={n}");
+        }
+        // Error 0 recovers the deterministic n-bit bound.
+        let m = communication_matrix(6, disj_fn);
+        assert!((one_way_randomized_lower_bound(&m, 0.0) - 6.0).abs() < 1e-9);
+        // Error 1/2 makes the bound vacuous.
+        assert!(one_way_randomized_lower_bound(&m, 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Two-party protocol framework with communication accounting.
+//!
+//! Communication complexity (Section 3.1 of the paper, following
+//! Kushilevitz–Nisan) charges the number of bits (or qubits) exchanged
+//! between Alice and Bob, maximized over inputs and coin flips. The
+//! [`Transcript`] records every message so the experiment tables report
+//! *measured* communication, and the worst case is obtained by maximizing
+//! over runs.
+
+/// The two parties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Party {
+    /// Holds `x`.
+    Alice,
+    /// Holds `y`.
+    Bob,
+}
+
+impl Party {
+    /// The other party.
+    pub fn other(self) -> Party {
+        match self {
+            Party::Alice => Party::Bob,
+            Party::Bob => Party::Alice,
+        }
+    }
+}
+
+/// One logged message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Sender.
+    pub from: Party,
+    /// Classical bits in the message.
+    pub bits: usize,
+    /// Qubits in the message.
+    pub qubits: usize,
+}
+
+/// An append-only log of the messages exchanged in one protocol run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    messages: Vec<MessageRecord>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Transcript::default()
+    }
+
+    /// Logs a classical message of `bits` bits.
+    pub fn send_classical(&mut self, from: Party, bits: usize) {
+        self.messages.push(MessageRecord {
+            from,
+            bits,
+            qubits: 0,
+        });
+    }
+
+    /// Logs a quantum message of `qubits` qubits.
+    pub fn send_quantum(&mut self, from: Party, qubits: usize) {
+        self.messages.push(MessageRecord {
+            from,
+            bits: 0,
+            qubits,
+        });
+    }
+
+    /// Appends a pre-built record (merging sub-protocol transcripts).
+    pub fn push_record(&mut self, m: MessageRecord) {
+        self.messages.push(m);
+    }
+
+    /// All logged messages in order.
+    pub fn messages(&self) -> &[MessageRecord] {
+        &self.messages
+    }
+
+    /// Number of messages (protocol rounds, counting each direction).
+    pub fn num_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total classical bits.
+    pub fn total_bits(&self) -> usize {
+        self.messages.iter().map(|m| m.bits).sum()
+    }
+
+    /// Total qubits.
+    pub fn total_qubits(&self) -> usize {
+        self.messages.iter().map(|m| m.qubits).sum()
+    }
+
+    /// Total communication (bits + qubits — the unit used when comparing
+    /// classical and quantum protocols).
+    pub fn total_communication(&self) -> usize {
+        self.total_bits() + self.total_qubits()
+    }
+
+    /// True when messages strictly alternate senders (a "round" structure).
+    pub fn alternates(&self) -> bool {
+        self.messages
+            .windows(2)
+            .all(|w| w[0].from != w[1].from)
+    }
+
+    /// True when only one message is ever sent and it goes Alice → Bob
+    /// (the paper's one-way model).
+    pub fn is_one_way(&self) -> bool {
+        self.messages.len() <= 1
+            && self
+                .messages
+                .first()
+                .map_or(true, |m| m.from == Party::Alice)
+    }
+}
+
+/// Outcome of a protocol run: the computed value plus the transcript.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolRun<T> {
+    /// The protocol's output.
+    pub output: T,
+    /// The logged communication.
+    pub transcript: Transcript,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut t = Transcript::new();
+        t.send_classical(Party::Alice, 10);
+        t.send_quantum(Party::Bob, 4);
+        t.send_classical(Party::Alice, 6);
+        assert_eq!(t.num_messages(), 3);
+        assert_eq!(t.total_bits(), 16);
+        assert_eq!(t.total_qubits(), 4);
+        assert_eq!(t.total_communication(), 20);
+        assert!(t.alternates());
+        assert!(!t.is_one_way());
+    }
+
+    #[test]
+    fn one_way_detection() {
+        let mut t = Transcript::new();
+        assert!(t.is_one_way());
+        t.send_classical(Party::Alice, 5);
+        assert!(t.is_one_way());
+        t.send_classical(Party::Bob, 5);
+        assert!(!t.is_one_way());
+        let mut bob_first = Transcript::new();
+        bob_first.send_classical(Party::Bob, 1);
+        assert!(!bob_first.is_one_way());
+    }
+
+    #[test]
+    fn alternation_detection() {
+        let mut t = Transcript::new();
+        t.send_quantum(Party::Alice, 1);
+        t.send_quantum(Party::Alice, 1);
+        assert!(!t.alternates());
+    }
+
+    #[test]
+    fn party_other() {
+        assert_eq!(Party::Alice.other(), Party::Bob);
+        assert_eq!(Party::Bob.other(), Party::Alice);
+    }
+}

@@ -1,0 +1,373 @@
+//! The Theorem 3.6 reduction: online machines → one-way protocols.
+//!
+//! The paper converts any OPTM `M` recognizing `L_DISJ` into a
+//! communication protocol for `DISJ_{2^{2k}}`: the input
+//! `1^k#(x#y#x#)^{2^k}` alternates segments known to Alice (`1^k#x#`,
+//! `x#`) and to Bob (`y#`), so the owner of each segment simulates `M`
+//! across it and sends the reached *configuration* to the other party —
+//! `3·2^k − 1` messages in total. Since `R(DISJ_{2^{2k}}) = Ω(2^{2k})`
+//! (Theorem 3.2) some message must carry `Ω(2^{2k}/(3·2^k − 1)) = Ω(2^k)`
+//! bits, and by Fact 2.2 a configuration of an `s`-space machine encodes
+//! in `O(s + log n)` bits, forcing `s = Ω(2^k) = Ω(n^{1/3})`.
+//!
+//! This module makes each arrow executable:
+//!
+//! * [`simulate_reduction`] runs any [`StreamingDecider`] over an encoded
+//!   instance, snapshotting at the paper's segment boundaries — the
+//!   snapshot sizes *are* the induced message sizes;
+//! * [`optm_reduction`] does the same exactly on a transition-table
+//!   [`Optm`], enumerating the reachable boundary configurations
+//!   (`C^{(i)}` in the proof) and their exact probabilities;
+//! * [`space_lower_bound_bits`] inverts Fact 2.2 to recover the space
+//!   bound implied by a communication requirement.
+
+use oqsc_lang::{encoded_len, LdisjInstance};
+use oqsc_machine::optm::{Configuration, Optm};
+use oqsc_machine::streaming::StreamingDecider;
+use std::collections::HashSet;
+
+/// Where the paper's messages happen: the boundary after the prefix-plus-
+/// first-block segment and after every later block.
+///
+/// Returns the positions (symbol counts) at which a snapshot is taken; the
+/// final position (end of input) is *not* a message — the last owner
+/// outputs instead. Length: `3·2^k − 1`.
+pub fn message_boundaries(k: u32) -> Vec<usize> {
+    let m = oqsc_lang::string_len(k);
+    let prefix = k as usize + 1;
+    let blocks = 3 * (1usize << k);
+    // Boundary after block j (1-based) is prefix + j·(m+1).
+    (1..blocks).map(|j| prefix + j * (m + 1)).collect()
+}
+
+/// Which party owns the segment *ending* at boundary `i` (0-based):
+/// segments run `x, y, x | x, y, x | …`, with Alice owning the `x`
+/// segments and Bob the `y` segments. The first segment (`1^k#x#`) is
+/// Alice's.
+pub fn segment_owner(i: usize) -> crate::protocol::Party {
+    if i % 3 == 1 {
+        crate::protocol::Party::Bob
+    } else {
+        crate::protocol::Party::Alice
+    }
+}
+
+/// Report of the induced one-way-per-segment protocol for a concrete
+/// streaming decider.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReductionReport {
+    /// Language parameter.
+    pub k: u32,
+    /// Messages sent (`3·2^k − 1`).
+    pub num_messages: usize,
+    /// Largest message (bits).
+    pub max_message_bits: usize,
+    /// Total communication (bits).
+    pub total_bits: usize,
+    /// Peak work space of the decider (bits), for the space↔communication
+    /// comparison.
+    pub decider_space_bits: usize,
+    /// The decider's verdict on this instance.
+    pub verdict: bool,
+}
+
+/// Runs `decider` over the encoded instance, snapshotting at each of the
+/// paper's message boundaries.
+pub fn simulate_reduction<D: StreamingDecider>(
+    mut decider: D,
+    inst: &LdisjInstance,
+) -> ReductionReport {
+    let word = inst.encode();
+    debug_assert_eq!(word.len(), encoded_len(inst.k()));
+    let boundaries = message_boundaries(inst.k());
+    let mut next_boundary = 0usize;
+    let mut max_message_bits = 0usize;
+    let mut total_bits = 0usize;
+    for (pos, &sym) in word.iter().enumerate() {
+        decider.feed(sym);
+        if next_boundary < boundaries.len() && pos + 1 == boundaries[next_boundary] {
+            let bits = decider.snapshot().len() * 8;
+            max_message_bits = max_message_bits.max(bits);
+            total_bits += bits;
+            next_boundary += 1;
+        }
+    }
+    assert_eq!(next_boundary, boundaries.len(), "missed a boundary");
+    let verdict = decider.decide();
+    ReductionReport {
+        k: inst.k(),
+        num_messages: boundaries.len(),
+        max_message_bits,
+        total_bits,
+        decider_space_bits: decider.space_bits(),
+        verdict,
+    }
+}
+
+/// Exact per-boundary reachable-configuration counts for a transition-table
+/// machine: the proof's `|C^{(i)}|`, over the given instances (the paper
+/// takes all inputs of the form (2); we take the union over a sample).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptmReductionReport {
+    /// Language parameter.
+    pub k: u32,
+    /// Distinct reachable configurations at each boundary, unioned over
+    /// the instances.
+    pub distinct_per_boundary: Vec<usize>,
+    /// Induced communication: `Σ_i ⌈log₂ |C⁽ⁱ⁾|⌉` bits.
+    pub total_bits: usize,
+    /// Probability mass lost to non-halting/diverging branches (the
+    /// protocol's "output 0" escape hatch), maximized over instances.
+    pub max_lost_mass: f64,
+}
+
+/// Enumerates boundary configurations of `machine` on each instance and
+/// unions them per boundary.
+pub fn optm_reduction(
+    machine: &Optm,
+    instances: &[LdisjInstance],
+    max_steps_per_segment: usize,
+) -> OptmReductionReport {
+    assert!(!instances.is_empty());
+    let k = instances[0].k();
+    assert!(instances.iter().all(|i| i.k() == k), "mixed k");
+    let boundaries = message_boundaries(k);
+    let mut sets: Vec<HashSet<Configuration>> = vec![HashSet::new(); boundaries.len()];
+    let mut max_lost = 0.0f64;
+    for inst in instances {
+        let word = inst.encode();
+        // Current configuration support (probabilities are tracked only to
+        // find positive-probability configurations).
+        let mut support: Vec<Configuration> = vec![Configuration::initial(0)];
+        let mut start = 0usize;
+        let mut lost_total = 0.0;
+        for (b_idx, &boundary) in boundaries.iter().enumerate() {
+            let segment = &word[start..boundary];
+            let mut next: HashSet<Configuration> = HashSet::new();
+            for cfg in &support {
+                let (crossed, lost) =
+                    machine.boundary_configurations(cfg, segment, max_steps_per_segment);
+                lost_total += lost;
+                for c in crossed.keys() {
+                    next.insert(c.clone());
+                }
+            }
+            sets[b_idx].extend(next.iter().cloned());
+            support = next.into_iter().collect();
+            start = boundary;
+        }
+        max_lost = max_lost.max(lost_total);
+    }
+    let distinct: Vec<usize> = sets.iter().map(HashSet::len).collect();
+    let total_bits = distinct
+        .iter()
+        .map(|&d| (usize::BITS - (d.max(1) - 1).leading_zeros()) as usize)
+        .sum();
+    OptmReductionReport {
+        k,
+        distinct_per_boundary: distinct,
+        total_bits,
+        max_lost_mass: max_lost,
+    }
+}
+
+/// Inverts Fact 2.2: the least space `s` such that an `s`-space machine on
+/// length-`n` inputs with `q` control states can even *have*
+/// `2^{required_bits}` distinct configurations, i.e. the least `s` with
+/// `log₂(n · s · 3^s · q) ≥ required_bits`.
+pub fn space_lower_bound_bits(required_bits: f64, n: usize, q: usize) -> usize {
+    let mut s = 1usize;
+    while oqsc_machine::fact_2_2_log2_configs(n, s, 3, q) < required_bits {
+        s += 1;
+        if s > 1 << 30 {
+            break;
+        }
+    }
+    s
+}
+
+/// The end-to-end Theorem 3.6 bound: with `R(DISJ_{2^{2k}}) ≥ c · 2^{2k}`
+/// bits (Theorem 3.2), a `q`-state machine recognizing `L_DISJ` on inputs
+/// of length `n(k)` needs at least this much work space (in tape cells).
+pub fn theorem_3_6_space_bound(k: u32, c: f64, q: usize) -> usize {
+    let required_total = c * (1u64 << (2 * k)) as f64;
+    let messages = (3 * (1usize << k) - 1) as f64;
+    let per_message = required_total / messages;
+    space_lower_bound_bits(per_message, encoded_len(k), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Party;
+    use oqsc_lang::{random_member, random_nonmember};
+    use oqsc_machine::machine_even_ones;
+    use oqsc_machine::streaming::StoreEverything;
+    use oqsc_lang::Sym;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boundary_positions_k1() {
+        // k=1: prefix 2, m=4, blocks of 5: boundaries at 7,12,17,22,27.
+        assert_eq!(message_boundaries(1), vec![7, 12, 17, 22, 27]);
+        assert_eq!(message_boundaries(1).len(), 3 * 2 - 1);
+        assert_eq!(message_boundaries(2).len(), 3 * 4 - 1);
+    }
+
+    #[test]
+    fn boundaries_inside_word() {
+        for k in 1..=4u32 {
+            let n = encoded_len(k);
+            let bs = message_boundaries(k);
+            assert!(bs.iter().all(|&b| b < n));
+            assert!(bs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn owners_alternate_in_triples() {
+        // Segments: (1^k#x#), y#, x# | x#, y#, x# … owner pattern A,B,A,A,B,A…
+        let owners: Vec<Party> = (0..6).map(segment_owner).collect();
+        assert_eq!(
+            owners,
+            vec![
+                Party::Alice,
+                Party::Bob,
+                Party::Alice,
+                Party::Alice,
+                Party::Bob,
+                Party::Alice,
+            ]
+        );
+    }
+
+    #[test]
+    fn store_everything_reduction_is_linear_communication() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let inst = random_member(1, &mut rng);
+        let report = simulate_reduction(
+            StoreEverything::new(oqsc_lang::is_in_ldisj),
+            &inst,
+        );
+        assert_eq!(report.num_messages, 5);
+        assert!(report.verdict, "member accepted");
+        // Snapshots of a store-everything decider grow with the prefix, so
+        // the total blows up — the reduction faithfully exposes the cost.
+        assert!(report.max_message_bits >= encoded_len(1) * 2 - 16);
+        assert!(report.total_bits > report.max_message_bits);
+    }
+
+    #[test]
+    fn reduction_verdict_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for k in 1..=2u32 {
+            let member = random_member(k, &mut rng);
+            let non = random_nonmember(k, 1, &mut rng);
+            for inst in [member, non] {
+                let report = simulate_reduction(
+                    StoreEverything::new(oqsc_lang::is_in_ldisj),
+                    &inst,
+                );
+                assert_eq!(report.verdict, inst.is_member());
+            }
+        }
+    }
+
+    #[test]
+    fn optm_reduction_counts_configurations() {
+        // even-ones is not an L_DISJ recognizer, but the reduction machinery
+        // is generic: it must report tiny configuration sets (2 states, no
+        // work tape) and zero lost mass.
+        let mut rng = StdRng::seed_from_u64(62);
+        let machine = machine_even_ones();
+        let instances: Vec<_> = (0..4).map(|_| random_member(1, &mut rng)).collect();
+        let report = optm_reduction(&machine, &instances, 10_000);
+        assert_eq!(report.k, 1);
+        assert_eq!(report.distinct_per_boundary.len(), 5);
+        assert!(report
+            .distinct_per_boundary
+            .iter()
+            .all(|&d| (1..=2).contains(&d)));
+        assert!(report.max_lost_mass < 1e-12);
+        // ≤ 1 bit per boundary.
+        assert!(report.total_bits <= 5);
+    }
+
+    #[test]
+    fn optm_reduction_matches_direct_acceptance() {
+        // Chaining boundary configs across all 3·2^k segments and then
+        // finishing must reproduce the machine's verdict; spot-check via
+        // exact acceptance on the whole word for a deterministic machine.
+        let machine = machine_even_ones();
+        let mut rng = StdRng::seed_from_u64(63);
+        let inst = random_member(1, &mut rng);
+        let word = inst.encode();
+        let ones = word.iter().filter(|&&s| s == Sym::One).count();
+        let (pa, _, _) = machine.exact_acceptance(&word, 10_000);
+        assert_eq!(pa > 0.5, ones % 2 == 0);
+    }
+
+    #[test]
+    fn optm_reduction_on_explicit_a1_machine() {
+        // The explicit transition-table A1 (zero work cells, counters in
+        // control states) run through the reduction: exactly one reachable
+        // configuration per boundary per instance, so the induced
+        // communication is log(#states)-sized per message — the Fact 2.2
+        // picture in miniature.
+        let mut rng = StdRng::seed_from_u64(64);
+        let machine = oqsc_machine::a1_shape_machine(1);
+        let instances: Vec<_> = (0..3).map(|_| random_member(1, &mut rng)).collect();
+        let report = optm_reduction(&machine, &instances, 50_000);
+        assert_eq!(report.distinct_per_boundary.len(), 5);
+        // The machine is deterministic and the instances share shape, so
+        // every boundary has exactly ONE reachable configuration.
+        assert!(report.distinct_per_boundary.iter().all(|&d| d == 1));
+        assert!(report.max_lost_mass < 1e-12);
+        assert_eq!(report.total_bits, 0, "single configs need zero bits");
+    }
+
+    #[test]
+    fn fact_2_2_inversion_monotone() {
+        let s1 = space_lower_bound_bits(100.0, 1 << 10, 8);
+        let s2 = space_lower_bound_bits(200.0, 1 << 10, 8);
+        assert!(s2 > s1);
+        // Roughly required/log2(3) for large requirements.
+        let s3 = space_lower_bound_bits(1000.0, 1 << 10, 8);
+        let approx = 1000.0 / 3f64.log2();
+        assert!((s3 as f64 - approx).abs() < 30.0, "s3={s3} approx={approx}");
+    }
+
+    #[test]
+    fn theorem_3_6_bound_grows_like_2_to_k() {
+        // With c = 1 the bound scales by ~2 per k increment once the
+        // per-message requirement dominates the log n slack in Fact 2.2
+        // (Ω(2^k) = Ω(√m) = Ω(n^{1/3})). The bound is vacuous (s = 1) for
+        // tiny k, exactly as the asymptotic statement permits.
+        assert_eq!(theorem_3_6_space_bound(2, 1.0, 64), 1);
+        let bounds: Vec<usize> =
+            (10..15u32).map(|k| theorem_3_6_space_bound(k, 1.0, 64)).collect();
+        for w in bounds.windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(
+                (1.8..=2.2).contains(&ratio),
+                "ratio {ratio} outside ~2: {bounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_6_bound_is_n_to_one_third_shaped() {
+        // The per-message requirement is ≈ 2^k/3 bits, so the recovered
+        // space is ≈ 2^k/(3·log₂3) ≈ 0.21·2^k = Θ(n^{1/3}) cells; check the
+        // normalized constant stabilizes.
+        for k in 10..15u32 {
+            let s = theorem_3_6_space_bound(k, 1.0, 64) as f64;
+            let ratio = s / (1u64 << k) as f64;
+            assert!(
+                (0.15..=0.25).contains(&ratio),
+                "k={k}: s={s}, s/2^k = {ratio}"
+            );
+        }
+    }
+}

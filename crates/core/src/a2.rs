@@ -1,0 +1,313 @@
+//! Procedure A2: the one-sided-error online consistency check
+//! (conditions (ii) and (iii)).
+//!
+//! A2 verifies with fingerprints that, assuming the shape is right,
+//! `x⁽¹⁾ = z⁽¹⁾ = x⁽²⁾ = … = x⁽²ᵏ⁾ = z⁽²ᵏ⁾` and
+//! `y⁽¹⁾ = … = y⁽²ᵏ⁾`. It draws one random point `t ∈ Z_p` with
+//! `2^{4k} < p < 2^{4k+1}` and keeps only: the running fingerprint of the
+//! current block, the fingerprint of the previous round's `x`, and of the
+//! previous round's `y` — `O(k)` bits total.
+//!
+//! One-sided: on consistent inputs every test passes with certainty; on an
+//! inconsistent input some test fails except with probability
+//! `< 2^{-2k}` per test (union bound over `< 3·2^k` tests keeps the total
+//! failure probability `≤ 3·2^{-k}`, far below the 3/4 the theorem needs).
+
+use oqsc_fingerprint::{ceil_log2, fingerprint_prime, StreamingFingerprint};
+use oqsc_lang::Sym;
+use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
+use rand::Rng;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    X,
+    Y,
+    Z,
+}
+
+/// Streaming implementation of procedure A2.
+#[derive(Clone, Debug)]
+pub struct ConsistencyChecker {
+    /// Entropy for the evaluation point, fixed at construction (an OPTM
+    /// flips its coins online; one draw of `⌈log p⌉` bits suffices).
+    seed_t: u64,
+    in_prefix: bool,
+    k: u32,
+    fp: Option<StreamingFingerprint>,
+    slot: Slot,
+    prev_x: Option<u64>,
+    prev_y: Option<u64>,
+    ok: bool,
+    meter: SpaceMeter,
+}
+
+impl ConsistencyChecker {
+    /// Creates the checker, drawing its random evaluation point from
+    /// `rng`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ConsistencyChecker {
+            seed_t: rng.gen(),
+            in_prefix: true,
+            k: 0,
+            fp: None,
+            slot: Slot::X,
+            prev_x: None,
+            prev_y: None,
+            ok: true,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    /// Derandomized constructor used by exhaustive tests: the evaluation
+    /// point will be `seed_t mod p`.
+    pub fn with_seed(seed_t: u64) -> Self {
+        ConsistencyChecker {
+            seed_t,
+            in_prefix: true,
+            k: 0,
+            fp: None,
+            slot: Slot::X,
+            prev_x: None,
+            prev_y: None,
+            ok: true,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    fn remeter(&mut self) {
+        // Live state: three fingerprint residues + t + the block counters
+        // inside StreamingFingerprint, all ⌈log p⌉ = 4k+1 bits, plus the
+        // slot tag.
+        let residue = self
+            .fp
+            .as_ref()
+            .map(|f| ceil_log2(f.modulus()) as usize)
+            .unwrap_or(0);
+        let bits = 4 * residue + bits_for_counter(self.k as usize) + 2;
+        self.meter.record(bits);
+    }
+
+    fn close_block(&mut self) {
+        let Some(fp) = self.fp.as_mut() else {
+            return;
+        };
+        let value = fp.value();
+        match self.slot {
+            Slot::X => {
+                // Condition (ii) across rounds: x⁽ⁱ⁾ = x⁽ⁱ⁻¹⁾.
+                if let Some(prev) = self.prev_x {
+                    if prev != value {
+                        self.ok = false;
+                    }
+                }
+                self.prev_x = Some(value);
+                self.slot = Slot::Y;
+            }
+            Slot::Y => {
+                // Condition (iii): y⁽ⁱ⁾ = y⁽ⁱ⁻¹⁾.
+                if let Some(prev) = self.prev_y {
+                    if prev != value {
+                        self.ok = false;
+                    }
+                }
+                self.prev_y = Some(value);
+                self.slot = Slot::Z;
+            }
+            Slot::Z => {
+                // Condition (ii) within the round: z⁽ⁱ⁾ = x⁽ⁱ⁾.
+                if self.prev_x != Some(value) {
+                    self.ok = false;
+                }
+                self.slot = Slot::X;
+            }
+        }
+        fp.reset();
+    }
+}
+
+impl StreamingDecider for ConsistencyChecker {
+    fn feed(&mut self, sym: Sym) {
+        if self.in_prefix {
+            match sym {
+                Sym::One => {
+                    if self.k < 15 {
+                        self.k += 1;
+                    } else {
+                        // Prefix too long for u64 fingerprint arithmetic;
+                        // A1 rejects such inputs anyway. Stay inert.
+                        self.ok = false;
+                    }
+                }
+                Sym::Hash => {
+                    self.in_prefix = false;
+                    if self.k >= 1 && self.k <= 15 {
+                        let p = fingerprint_prime(self.k);
+                        let t = self.seed_t % p;
+                        self.fp = Some(StreamingFingerprint::new(p, t));
+                    }
+                }
+                Sym::Zero => {
+                    // Not a well-formed prefix; A2's verdict is irrelevant
+                    // (A1 rejects). Keep scanning inertly.
+                    self.in_prefix = false;
+                }
+            }
+        } else {
+            match sym {
+                Sym::Zero | Sym::One => {
+                    if let Some(fp) = self.fp.as_mut() {
+                        fp.feed(sym == Sym::One);
+                    }
+                }
+                Sym::Hash => self.close_block(),
+            }
+        }
+        self.remeter();
+    }
+
+    fn decide(&mut self) -> bool {
+        self.ok
+    }
+
+    fn space_bits(&self) -> usize {
+        self.meter.peak_bits()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        out.push(u8::from(self.in_prefix) | (u8::from(self.ok) << 1));
+        out.push(match self.slot {
+            Slot::X => 0,
+            Slot::Y => 1,
+            Slot::Z => 2,
+        });
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.prev_x.unwrap_or(u64::MAX).to_le_bytes());
+        out.extend_from_slice(&self.prev_y.unwrap_or(u64::MAX).to_le_bytes());
+        if let Some(fp) = &self.fp {
+            out.extend_from_slice(&fp.value().to_le_bytes());
+            out.extend_from_slice(&(fp.len() as u64).to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_fingerprint::paper_error_bound;
+    use oqsc_lang::gen::{malform, random_member, random_nonmember, Malformation};
+    use oqsc_lang::encoded_len;
+    use oqsc_machine::run_decider;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn consistent_inputs_always_pass() {
+        // One-sided completeness: for EVERY evaluation point, not just a
+        // random one.
+        let mut rng = StdRng::seed_from_u64(80);
+        let inst = random_member(1, &mut rng);
+        let word = inst.encode();
+        for t in 0..64u64 {
+            let (ok, _) = run_decider(ConsistencyChecker::with_seed(t), &word);
+            assert!(ok, "seed {t}");
+        }
+        // Non-members that are still consistent copies also pass A2.
+        let non = random_nonmember(1, 2, &mut rng);
+        let (ok, _) = run_decider(ConsistencyChecker::new(&mut rng), &non.encode());
+        assert!(ok);
+    }
+
+    #[test]
+    fn inconsistent_inputs_fail_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for kind in [
+            Malformation::ZCopyMismatch,
+            Malformation::XDriftAcrossRounds,
+            Malformation::YDriftAcrossRounds,
+        ] {
+            let mut false_accepts = 0usize;
+            let trials = 300usize;
+            for _ in 0..trials {
+                let inst = random_member(2, &mut rng);
+                let bad = malform(&inst, kind, &mut rng);
+                let (ok, _) = run_decider(ConsistencyChecker::new(&mut rng), &bad);
+                if ok {
+                    false_accepts += 1;
+                }
+            }
+            // Paper bound: union over < 3·2^k tests of 2^{-2k} each;
+            // for k=2 that is 12/16, but the realized rate is ≤ m/p ≈ 1/16
+            // per corrupted test. Allow a loose 10%.
+            assert!(
+                false_accepts <= trials / 10,
+                "{kind:?}: {false_accepts}/{trials} false accepts"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_failure_rate_below_paper_bound() {
+        // Exhaust all evaluation points for one corrupted k=1 instance:
+        // the fraction of t values that fool A2 must be < (m−1)/p < 2^{-2k}
+        // per failed test; with one corrupted block, ≤ 2·(m−1)/p overall
+        // (the corruption participates in two comparisons).
+        let mut rng = StdRng::seed_from_u64(82);
+        let inst = random_member(1, &mut rng);
+        let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
+        let p = fingerprint_prime(1); // 17
+        let fooled = (0..p)
+            .filter(|&t| {
+                let (ok, _) = run_decider(ConsistencyChecker::with_seed(t), &bad);
+                ok
+            })
+            .count();
+        let rate = fooled as f64 / p as f64;
+        assert!(
+            rate <= 2.0 * paper_error_bound(1) + 1e-9,
+            "fooling rate {rate}"
+        );
+    }
+
+    #[test]
+    fn space_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(83);
+        for k in 1..=5u32 {
+            let inst = random_member(k, &mut rng);
+            let (ok, space) = run_decider(ConsistencyChecker::new(&mut rng), &inst.encode());
+            assert!(ok);
+            let n = encoded_len(k);
+            assert!(
+                space <= 12 * ((n as f64).log2().ceil() as usize),
+                "k={k}: space {space}"
+            );
+            // And the dominant term is the 4 residues of 4k+1 bits.
+            assert!(space >= 4 * (4 * k as usize + 1));
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_fingerprint_state() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let inst = random_member(1, &mut rng);
+        let word = inst.encode();
+        let mut a = ConsistencyChecker::with_seed(5);
+        let mut b = ConsistencyChecker::with_seed(5);
+        a.feed_all(&word[..10]);
+        b.feed_all(&word[..11]);
+        assert_ne!(a.snapshot(), b.snapshot());
+        b = ConsistencyChecker::with_seed(5);
+        b.feed_all(&word[..10]);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn inert_on_garbage_prefix() {
+        // A 0-led word: A2 must not panic and simply keeps a verdict;
+        // its output is only consulted when A1 passed.
+        let word = oqsc_lang::token::from_str("01#11#").expect("syms");
+        let (_, space) = run_decider(ConsistencyChecker::with_seed(1), &word);
+        assert!(space < 100);
+    }
+}

@@ -1,0 +1,466 @@
+//! Procedure A3: the online quantum Grover procedure.
+//!
+//! Assuming conditions (i)–(iii) hold, the input carries `2^k` identical
+//! rounds `x#y#x#`, and A3 decides `DISJ_{2^{2k}}(x, y)` by running
+//! Grover's algorithm *against the stream*: each round supplies exactly
+//! the data needed for one Grover iteration
+//! (`V_x`, `W_y`, `V_z`, then the diffusion `U_k S_k U_k`), and the
+//! randomly chosen round `j+1` is used for the final marking
+//! (`R_y V_x`) after which the `l` qubit is measured.
+//!
+//! The register is `|i⟩|h⟩|l⟩`: `2k + 2` qubits, plus `O(k)` classical
+//! bits of counters — the paper's logarithmic space bound. Each streamed
+//! bit triggers an `O(1)` structured update
+//! ([`oqsc_quantum::structured`]'s bit-mode operators), so the whole
+//! simulation is linear in the input length.
+//!
+//! Output convention (paper): measure `b` from the last qubit and output
+//! `1 − b`; so `true` (= 1) means "no intersection witnessed".
+
+use oqsc_lang::Sym;
+use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
+use oqsc_quantum::{GroverLayout, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Largest `k` for which the streamer allocates a dense register
+/// (`2k + 2 ≤ 16` qubits, ≤ 1 MiB of amplitudes). For larger `k` —
+/// including adversarial words whose `1^k` prefix merely *claims* a huge
+/// `k` — the streamer degrades to metering-only: space accounting stays
+/// exact, the A3 verdict becomes a vacuous pass (the exact-probability
+/// experiments all run at `k ≤ 5`).
+pub const MAX_SIMULABLE_K: u32 = 7;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    X,
+    Y,
+    Z,
+}
+
+/// Streaming implementation of procedure A3.
+#[derive(Clone, Debug)]
+pub struct GroverStreamer {
+    /// Seed for the measurement and for drawing `j` (an OPTM flips coins
+    /// online; we pre-commit the entropy for reproducibility).
+    rng: StdRng,
+    j_seed: u64,
+    in_prefix: bool,
+    k: u32,
+    layout: Option<GroverLayout>,
+    state: Option<StateVector>,
+    /// Round counter, 1-based once blocks start.
+    round: usize,
+    /// The drawn iteration count `j ∈ {0, …, 2^k − 1}`.
+    j: usize,
+    slot: Slot,
+    bit_idx: usize,
+    /// Set once the marking round finished; later input is skimmed.
+    marking_done: bool,
+    /// When false, the state vector is never allocated: the procedure only
+    /// meters its space (used for large-`k` space tables where a dense
+    /// simulation would not fit; the space accounting is identical).
+    simulate: bool,
+    meter: SpaceMeter,
+}
+
+impl GroverStreamer {
+    /// Creates the procedure, drawing its coins from `rng`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        GroverStreamer {
+            rng: StdRng::seed_from_u64(rng.gen()),
+            j_seed: rng.gen(),
+            in_prefix: true,
+            k: 0,
+            layout: None,
+            state: None,
+            round: 1,
+            j: 0,
+            slot: Slot::X,
+            bit_idx: 0,
+            marking_done: false,
+            simulate: true,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    /// Derandomized constructor: forces the iteration count to
+    /// `j_seed mod 2^k` and seeds the measurement RNG (for exact analysis
+    /// and exhaustive tests).
+    pub fn with_j_seed(j_seed: u64, measure_seed: u64) -> Self {
+        GroverStreamer {
+            rng: StdRng::seed_from_u64(measure_seed),
+            j_seed,
+            in_prefix: true,
+            k: 0,
+            layout: None,
+            state: None,
+            round: 1,
+            j: 0,
+            slot: Slot::X,
+            bit_idx: 0,
+            marking_done: false,
+            simulate: true,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    /// A metering-only instance: counters and the register-width report
+    /// behave exactly as in a real run, but no amplitudes are allocated.
+    /// Use for space tables at `k` beyond the dense-simulation range; its
+    /// [`StreamingDecider::decide`] vacuously passes.
+    pub fn metering_only() -> Self {
+        let mut s = GroverStreamer::with_j_seed(0, 0);
+        s.simulate = false;
+        s
+    }
+
+    /// The drawn `j` (meaningful once the prefix has been read).
+    pub fn j(&self) -> usize {
+        self.j
+    }
+
+    /// Quantum register width `2k + 2` (0 before the prefix is read).
+    pub fn qubits(&self) -> usize {
+        if self.in_prefix || self.k == 0 {
+            0
+        } else {
+            2 * self.k as usize + 2
+        }
+    }
+
+    /// Exact probability that the final measurement returns `b = 1`
+    /// (intersection witnessed), conditioned on the drawn `j` — available
+    /// without consuming the measurement.
+    pub fn detection_probability(&self) -> f64 {
+        match (&self.state, &self.layout) {
+            (Some(s), Some(l)) => s.prob_one(l.l_qubit()),
+            _ => 0.0,
+        }
+    }
+
+    fn remeter(&mut self) {
+        let bits = bits_for_counter(self.k as usize)
+            + bits_for_counter(1usize << self.k) // round counter and j
+            + bits_for_counter(1usize << self.k)
+            + bits_for_counter(self.bit_idx.max(1))
+            + 3;
+        self.meter.record(bits);
+    }
+
+    fn feed_block_bit(&mut self, bit: bool) {
+        if self.k == 0 {
+            return;
+        }
+        let i = self.bit_idx;
+        self.bit_idx += 1;
+        if let (Some(layout), Some(state)) = (self.layout, self.state.as_mut()) {
+            if i >= layout.domain() {
+                // Malformed over-long block: A1 rejects the word; stay safe.
+                return;
+            }
+            if self.round <= self.j {
+                // A full Grover iteration round.
+                match self.slot {
+                    Slot::X => layout.apply_vx_bit(state, i, bit),
+                    Slot::Y => layout.apply_wx_bit(state, i, bit),
+                    Slot::Z => layout.apply_vx_bit(state, i, bit),
+                }
+            } else if self.round == self.j + 1 && !self.marking_done {
+                // The marking round: R_{y^{(j+1)}} V_{x^{(j+1)}}.
+                match self.slot {
+                    Slot::X => layout.apply_vx_bit(state, i, bit),
+                    Slot::Y => layout.apply_rx_bit(state, i, bit),
+                    Slot::Z => {}
+                }
+            }
+        }
+    }
+
+    fn close_block(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        match self.slot {
+            Slot::X => self.slot = Slot::Y,
+            Slot::Y => {
+                if self.round == self.j + 1 {
+                    // Marking complete; the rest of the input is skimmed.
+                    self.marking_done = true;
+                }
+                self.slot = Slot::Z;
+            }
+            Slot::Z => {
+                if self.round <= self.j {
+                    // End of a full iteration round: diffusion U_k S_k U_k.
+                    if let (Some(layout), Some(state)) = (self.layout, self.state.as_mut()) {
+                        layout.apply_uk(state);
+                        layout.apply_sk(state);
+                        layout.apply_uk(state);
+                    }
+                }
+                self.slot = Slot::X;
+                self.round += 1;
+            }
+        }
+        self.bit_idx = 0;
+    }
+}
+
+impl StreamingDecider for GroverStreamer {
+    fn feed(&mut self, sym: Sym) {
+        if self.in_prefix {
+            match sym {
+                Sym::One => {
+                    // Count k up to the largest value any genuine input
+                    // could have (beyond 24 the word length 2^{3k} is
+                    // unphysical and A1 rejects); never allocate for a
+                    // merely *claimed* huge k.
+                    if self.k < 24 {
+                        self.k += 1;
+                    }
+                }
+                Sym::Hash | Sym::Zero => {
+                    self.in_prefix = false;
+                    if sym == Sym::Hash && self.k >= 1 {
+                        if self.simulate && self.k <= MAX_SIMULABLE_K {
+                            let layout = GroverLayout::for_k(self.k);
+                            self.state = Some(layout.phi());
+                            self.layout = Some(layout);
+                        }
+                        self.j = (self.j_seed % (1u64 << self.k)) as usize;
+                    }
+                }
+            }
+        } else {
+            match sym {
+                Sym::Zero => self.feed_block_bit(false),
+                Sym::One => self.feed_block_bit(true),
+                Sym::Hash => self.close_block(),
+            }
+        }
+        self.remeter();
+    }
+
+    fn decide(&mut self) -> bool {
+        // Measure the last qubit; output 1 − b.
+        match (self.layout, self.state.as_mut()) {
+            (Some(layout), Some(state)) => {
+                let b = state.measure_qubit(layout.l_qubit(), &mut self.rng);
+                b == 0
+            }
+            // No quantum register was ever allocated (garbage prefix):
+            // pass; A1 rejects the word.
+            _ => true,
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        self.meter.peak_bits()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // A3's configuration is *quantum*: it cannot be serialized into a
+        // classical message. This is precisely why Theorem 3.6's reduction
+        // does not apply to the quantum machine (the separation's
+        // mechanism). We return the classical counters only; the
+        // communication reduction must not be used on quantum deciders.
+        let mut out = Vec::with_capacity(16);
+        out.push(u8::from(self.in_prefix) | (u8::from(self.marking_done) << 1));
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&(self.round as u32).to_le_bytes());
+        out.extend_from_slice(&(self.j as u32).to_le_bytes());
+        out.extend_from_slice(&(self.bit_idx as u32).to_le_bytes());
+        out
+    }
+}
+
+/// Exact probability that A3 outputs `0` (detects an intersection) on a
+/// well-formed instance: the average over `j ∈ {0,…,2^k−1}` of the exact
+/// measurement statistics. Equals `averaged_success(2^k, t, 2^{2k})`.
+pub fn a3_exact_detection_probability(inst: &oqsc_lang::LdisjInstance) -> f64 {
+    let word = inst.encode();
+    let rounds = inst.rounds();
+    let mut total = 0.0;
+    for j in 0..rounds {
+        let mut a3 = GroverStreamer::with_j_seed(j as u64, 0);
+        a3.feed_all(&word);
+        total += a3.detection_probability();
+    }
+    total / rounds as f64
+}
+
+/// Ablation: detection probability when the number of intersections `t`
+/// is *known in advance*, so A3 can pin `j` to the optimal iteration
+/// count instead of drawing it uniformly. The paper randomizes `j`
+/// precisely because `t` is unknown; this quantifies what that costs
+/// (near-certain detection vs the ≥ 1/4 average). If the optimal `j`
+/// exceeds the available `2^k − 1` rounds (impossible here since
+/// `j_opt ≤ π/4·√m < 2^k`), the last round is used.
+pub fn a3_known_t_detection_probability(inst: &oqsc_lang::LdisjInstance) -> f64 {
+    let t = inst.intersections();
+    if t == 0 {
+        return 0.0;
+    }
+    let j = oqsc_grover::optimal_iterations(t, inst.m()).min(inst.rounds() - 1);
+    let mut a3 = GroverStreamer::with_j_seed(j as u64, 0);
+    a3.feed_all(&inst.encode());
+    a3.detection_probability()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_grover::averaged_success;
+    use oqsc_lang::{encoded_len, random_member, random_nonmember, string_len};
+    use oqsc_machine::run_decider;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn members_always_pass() {
+        // One-sided: on a disjoint instance, EVERY j and every measurement
+        // outcome yields output 1.
+        let mut rng = StdRng::seed_from_u64(90);
+        for k in 1..=2u32 {
+            let inst = random_member(k, &mut rng);
+            let word = inst.encode();
+            for j in 0..inst.rounds() as u64 {
+                let mut a3 = GroverStreamer::with_j_seed(j, 12345);
+                a3.feed_all(&word);
+                assert!(
+                    a3.detection_probability() < 1e-12,
+                    "k={k} j={j}: member must never be detected"
+                );
+                assert!(a3.decide());
+            }
+        }
+    }
+
+    #[test]
+    fn detection_matches_bbht_closed_form() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for k in 1..=2u32 {
+            let m = string_len(k);
+            for t in [1usize, 2, m / 2, m] {
+                let inst = random_nonmember(k, t, &mut rng);
+                let exact = a3_exact_detection_probability(&inst);
+                let formula = averaged_success(inst.rounds(), t, m);
+                assert!(
+                    (exact - formula).abs() < 1e-9,
+                    "k={k} t={t}: {exact} vs {formula}"
+                );
+                assert!(exact >= 0.25 - 1e-9, "paper bound at k={k} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_runs_track_exact_probability() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let inst = random_nonmember(2, 3, &mut rng);
+        let p_detect = a3_exact_detection_probability(&inst);
+        let trials = 1500;
+        let detections = (0..trials)
+            .filter(|_| {
+                let (passed, _) = run_decider(GroverStreamer::new(&mut rng), &inst.encode());
+                !passed
+            })
+            .count();
+        let freq = detections as f64 / trials as f64;
+        assert!((freq - p_detect).abs() < 0.04, "freq {freq} vs {p_detect}");
+    }
+
+    #[test]
+    fn quantum_register_is_2k_plus_2() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for k in 1..=4u32 {
+            let inst = random_member(k, &mut rng);
+            let mut a3 = GroverStreamer::new(&mut rng);
+            a3.feed_all(&inst.encode());
+            assert_eq!(a3.qubits(), 2 * k as usize + 2);
+        }
+    }
+
+    #[test]
+    fn classical_space_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(94);
+        for k in 1..=4u32 {
+            let inst = random_member(k, &mut rng);
+            let (passed, space) = run_decider(GroverStreamer::new(&mut rng), &inst.encode());
+            assert!(passed);
+            let n = encoded_len(k);
+            assert!(
+                space <= 8 * ((n as f64).log2().ceil() as usize),
+                "k={k}: {space} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn j_draw_is_uniform_over_rounds() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let inst = random_member(2, &mut rng); // 4 rounds
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            let mut a3 = GroverStreamer::new(&mut rng);
+            a3.feed_all(&inst.encode());
+            counts[a3.j()] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 2000.0;
+            assert!((f - 0.25).abs() < 0.05, "j distribution skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_is_inert() {
+        let word = oqsc_lang::token::from_str("0#101#").expect("syms");
+        let (passed, space) = run_decider(GroverStreamer::with_j_seed(0, 0), &word);
+        assert!(passed, "no register allocated → vacuous pass");
+        assert!(space < 64);
+    }
+
+    #[test]
+    fn overlong_block_does_not_panic() {
+        // m = 4 for k=1 but we send 10 bits in a block.
+        let word = oqsc_lang::token::from_str("1#1111111111#0000#1111#").expect("syms");
+        let mut a3 = GroverStreamer::with_j_seed(0, 0);
+        a3.feed_all(&word);
+        let _ = a3.decide();
+    }
+
+    #[test]
+    fn known_t_detection_dominates_random_j() {
+        // Knowing t turns the ≥ 1/4 average into near-certainty at small
+        // t/m, and never does worse than the average (for the t values
+        // where Grover has room to rotate).
+        let mut rng = StdRng::seed_from_u64(97);
+        for k in 2..=2u32 {
+            let m = string_len(k);
+            for t in [1usize, 2] {
+                let inst = random_nonmember(k, t, &mut rng);
+                let known = super::a3_known_t_detection_probability(&inst);
+                let random = a3_exact_detection_probability(&inst);
+                assert!(known >= random - 1e-9, "t={t}: known {known} vs random {random}");
+                assert!(known > 0.6, "t={t}: known-t should be strong, got {known}");
+            }
+        }
+        // t = 0 (member): never detects.
+        let member = oqsc_lang::random_member(2, &mut rng);
+        assert_eq!(super::a3_known_t_detection_probability(&member), 0.0);
+    }
+
+    #[test]
+    fn with_j_seed_pins_j() {
+        let inst_word = {
+            let mut rng = StdRng::seed_from_u64(96);
+            random_member(3, &mut rng).encode()
+        };
+        for j in [0u64, 3, 7] {
+            let mut a3 = GroverStreamer::with_j_seed(j, 0);
+            a3.feed_all(&inst_word);
+            assert_eq!(a3.j() as u64, j);
+        }
+    }
+}

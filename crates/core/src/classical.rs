@@ -1,0 +1,453 @@
+//! Classical online algorithms for `L_DISJ`: the Proposition 3.7 upper
+//! bound, the trivial baseline, and the sub-√m sketches used to
+//! illustrate the lower bound empirically.
+
+use crate::a1::FormatChecker;
+use crate::a2::ConsistencyChecker;
+use oqsc_lang::Sym;
+use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
+use rand::Rng;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    X,
+    Y,
+    Z,
+}
+
+/// The Proposition 3.7 decider: decompose `x` into `2^k` chunks of `2^k`
+/// bits; in round `r`, buffer chunk `r` of `x` and compare it against
+/// chunk `r` of `y` — an exact decision in `Θ(2^k) = Θ(n^{1/3})` space.
+/// Format and copy-consistency are checked with the same classical
+/// procedures as Theorem 3.4 (A1 and A2), as the proposition prescribes.
+#[derive(Clone, Debug)]
+pub struct Prop37Decider {
+    format: FormatChecker,
+    consistency: ConsistencyChecker,
+    k: u32,
+    chunk: usize,
+    /// Buffered chunk of `x` for the current round (up to `2^k` bits).
+    buffer: Vec<bool>,
+    round: usize,
+    slot: Slot,
+    bit_idx: usize,
+    in_prefix: bool,
+    intersection: bool,
+    meter: SpaceMeter,
+}
+
+impl Prop37Decider {
+    /// Creates the decider (randomness feeds A2's fingerprint point).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Prop37Decider {
+            format: FormatChecker::new(),
+            consistency: ConsistencyChecker::new(rng),
+            k: 0,
+            chunk: 0,
+            buffer: Vec::new(),
+            round: 0,
+            slot: Slot::X,
+            bit_idx: 0,
+            in_prefix: true,
+            intersection: false,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    fn remeter(&mut self) {
+        let bits = self.buffer.capacity().max(self.buffer.len())
+            + 2 * bits_for_counter(self.chunk.max(1))
+            + bits_for_counter(self.bit_idx.max(1))
+            + 3;
+        self.meter.record(bits);
+    }
+
+    /// Own work space plus the two sub-procedures'.
+    fn total_space(&self) -> usize {
+        self.meter.peak_bits() + self.format.space_bits() + self.consistency.space_bits()
+    }
+}
+
+impl StreamingDecider for Prop37Decider {
+    fn feed(&mut self, sym: Sym) {
+        self.format.feed(sym);
+        self.consistency.feed(sym);
+        if self.in_prefix {
+            match sym {
+                Sym::One => {
+                    if self.k < 20 {
+                        self.k += 1;
+                    }
+                }
+                Sym::Hash | Sym::Zero => {
+                    self.in_prefix = false;
+                    self.chunk = 1usize << self.k;
+                    self.buffer.reserve_exact(self.chunk);
+                    self.round = 1;
+                }
+            }
+        } else {
+            match sym {
+                Sym::Zero | Sym::One => {
+                    let bit = sym == Sym::One;
+                    let lo = (self.round - 1) * self.chunk;
+                    let hi = self.round * self.chunk;
+                    match self.slot {
+                        Slot::X => {
+                            if (lo..hi).contains(&self.bit_idx) {
+                                self.buffer.push(bit);
+                            }
+                        }
+                        Slot::Y => {
+                            if (lo..hi).contains(&self.bit_idx) {
+                                if let Some(&xb) = self.buffer.get(self.bit_idx - lo) {
+                                    if xb && bit {
+                                        self.intersection = true;
+                                    }
+                                }
+                            }
+                        }
+                        Slot::Z => {}
+                    }
+                    self.bit_idx += 1;
+                }
+                Sym::Hash => {
+                    match self.slot {
+                        Slot::X => self.slot = Slot::Y,
+                        Slot::Y => self.slot = Slot::Z,
+                        Slot::Z => {
+                            self.slot = Slot::X;
+                            self.round += 1;
+                            self.buffer.clear();
+                        }
+                    }
+                    self.bit_idx = 0;
+                }
+            }
+        }
+        self.remeter();
+    }
+
+    fn decide(&mut self) -> bool {
+        self.format.decide() && self.consistency.decide() && !self.intersection
+    }
+
+    fn space_bits(&self) -> usize {
+        self.total_space()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.format.snapshot();
+        out.extend(self.consistency.snapshot());
+        out.extend_from_slice(&(self.round as u32).to_le_bytes());
+        out.extend_from_slice(&(self.bit_idx as u32).to_le_bytes());
+        out.push(match self.slot {
+            Slot::X => 0,
+            Slot::Y => 1,
+            Slot::Z => 2,
+        });
+        out.push(u8::from(self.intersection));
+        let mut packed = 0u8;
+        let mut count = 0;
+        for &b in &self.buffer {
+            packed = (packed << 1) | u8::from(b);
+            count += 1;
+            if count == 8 {
+                out.push(packed);
+                packed = 0;
+                count = 0;
+            }
+        }
+        if count > 0 {
+            out.push(packed);
+        }
+        out
+    }
+}
+
+/// A bounded-budget sampling sketch: stores `x` on a random set of
+/// `budget` coordinates (chosen once `m` is known) and declares an
+/// intersection only if it sees one on a sampled coordinate. With
+/// `budget ≪ √m` it misses planted intersections with probability
+/// `≈ (1 − t/m)^{budget}` — the empirical face of the Theorem 3.6 lower
+/// bound (experiment F4).
+#[derive(Clone, Debug)]
+pub struct SketchDecider {
+    format: FormatChecker,
+    consistency: ConsistencyChecker,
+    budget: usize,
+    k: u32,
+    in_prefix: bool,
+    /// Sorted sampled coordinates and the buffered `x` bits at them.
+    positions: Vec<u32>,
+    x_bits: Vec<bool>,
+    round: usize,
+    slot: Slot,
+    bit_idx: usize,
+    intersection: bool,
+    seed: u64,
+    meter: SpaceMeter,
+}
+
+impl SketchDecider {
+    /// Creates a sketch that may store at most `budget` coordinates of
+    /// `x`.
+    pub fn new<R: Rng + ?Sized>(budget: usize, rng: &mut R) -> Self {
+        SketchDecider {
+            format: FormatChecker::new(),
+            consistency: ConsistencyChecker::new(rng),
+            budget,
+            k: 0,
+            in_prefix: true,
+            positions: Vec::new(),
+            x_bits: Vec::new(),
+            round: 0,
+            slot: Slot::X,
+            bit_idx: 0,
+            intersection: false,
+            seed: rng.gen(),
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    fn sample_positions(&mut self) {
+        let m = 1usize << (2 * self.k);
+        let budget = self.budget.min(m);
+        // Deterministic position sample from the seed (Floyd-ish via a
+        // simple LCG walk + dedup).
+        let mut chosen: Vec<u32> = Vec::with_capacity(budget);
+        let mut state = self.seed | 1;
+        while chosen.len() < budget {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (state >> 16) as usize % m;
+            if !chosen.contains(&(pos as u32)) {
+                chosen.push(pos as u32);
+            }
+        }
+        chosen.sort_unstable();
+        self.positions = chosen;
+        self.x_bits = vec![false; self.positions.len()];
+    }
+
+    fn remeter(&mut self) {
+        // Positions cost ⌈log m⌉ = 2k bits each; x bits one bit each.
+        let bits = self.positions.len() * (2 * self.k as usize)
+            + self.x_bits.len()
+            + 2 * bits_for_counter(self.bit_idx.max(1))
+            + 3;
+        self.meter.record(bits);
+    }
+}
+
+impl StreamingDecider for SketchDecider {
+    fn feed(&mut self, sym: Sym) {
+        self.format.feed(sym);
+        self.consistency.feed(sym);
+        if self.in_prefix {
+            match sym {
+                Sym::One => {
+                    if self.k < 15 {
+                        self.k += 1;
+                    }
+                }
+                Sym::Hash | Sym::Zero => {
+                    self.in_prefix = false;
+                    self.round = 1;
+                    if self.k >= 1 {
+                        self.sample_positions();
+                    }
+                }
+            }
+        } else {
+            match sym {
+                Sym::Zero | Sym::One => {
+                    let bit = sym == Sym::One;
+                    // Only the first round is inspected (the copies are
+                    // identical when A2 passes).
+                    if self.round == 1 {
+                        if let Ok(slot_idx) =
+                            self.positions.binary_search(&(self.bit_idx as u32))
+                        {
+                            match self.slot {
+                                Slot::X => self.x_bits[slot_idx] = bit,
+                                Slot::Y => {
+                                    if self.x_bits[slot_idx] && bit {
+                                        self.intersection = true;
+                                    }
+                                }
+                                Slot::Z => {}
+                            }
+                        }
+                    }
+                    self.bit_idx += 1;
+                }
+                Sym::Hash => {
+                    match self.slot {
+                        Slot::X => self.slot = Slot::Y,
+                        Slot::Y => self.slot = Slot::Z,
+                        Slot::Z => {
+                            self.slot = Slot::X;
+                            self.round += 1;
+                        }
+                    }
+                    self.bit_idx = 0;
+                }
+            }
+        }
+        self.remeter();
+    }
+
+    fn decide(&mut self) -> bool {
+        self.format.decide() && self.consistency.decide() && !self.intersection
+    }
+
+    fn space_bits(&self) -> usize {
+        self.meter.peak_bits() + self.format.space_bits() + self.consistency.space_bits()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.format.snapshot();
+        out.extend(self.consistency.snapshot());
+        out.push(u8::from(self.intersection));
+        for (&p, &b) in self.positions.iter().zip(&self.x_bits) {
+            out.extend_from_slice(&p.to_le_bytes());
+            out.push(u8::from(b));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_lang::gen::{malform, random_member, random_nonmember, ALL_MALFORMATIONS};
+    use oqsc_lang::{encoded_len, is_in_ldisj, string_len};
+    use oqsc_machine::run_decider;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prop37_matches_reference_on_members_and_nonmembers() {
+        let mut rng = StdRng::seed_from_u64(120);
+        for k in 1..=3u32 {
+            let m = string_len(k);
+            let member = random_member(k, &mut rng);
+            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &member.encode());
+            assert!(v, "k={k} member");
+            for t in [1usize, m / 2, m] {
+                let non = random_nonmember(k, t, &mut rng);
+                let (v, _) = run_decider(Prop37Decider::new(&mut rng), &non.encode());
+                assert!(!v, "k={k} t={t} non-member");
+            }
+        }
+    }
+
+    #[test]
+    fn prop37_rejects_malformed_inputs() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let inst = random_member(2, &mut rng);
+        for kind in ALL_MALFORMATIONS {
+            let bad = malform(&inst, kind, &mut rng);
+            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &bad);
+            // A2 is probabilistic but the corruption-catch probability at
+            // k=2 is ≥ 15/16 per test; a single failure here would be rare.
+            // To keep this test deterministic we only require: shape
+            // corruptions are always rejected; consistency ones usually.
+            if matches!(
+                kind,
+                oqsc_lang::Malformation::MissingPrefix
+                    | oqsc_lang::Malformation::ShortBlock
+                    | oqsc_lang::Malformation::TrailingSymbol
+                    | oqsc_lang::Malformation::Truncated
+            ) {
+                assert!(!v, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prop37_space_is_n_to_one_third() {
+        // Space decomposes as (2^k buffer) + Θ(k) counters/fingerprints:
+        // pin both terms, which pins Θ(n^{1/3}) overall.
+        let mut rng = StdRng::seed_from_u64(122);
+        for k in 1..=6u32 {
+            let inst = random_member(k, &mut rng);
+            let (v, space) = run_decider(Prop37Decider::new(&mut rng), &inst.encode());
+            assert!(v);
+            let buffer = 1usize << k;
+            assert!(space >= buffer, "k={k}: buffer must be charged");
+            assert!(
+                space <= buffer + 60 * k as usize + 60,
+                "k={k}: {space} bits exceeds 2^k + O(k)"
+            );
+            let n = encoded_len(k) as f64;
+            assert!(
+                (space as f64) < 40.0 * n.powf(1.0 / 3.0) + 200.0,
+                "k={k}: {space} bits vs n^(1/3) = {}",
+                n.powf(1.0 / 3.0)
+            );
+        }
+    }
+
+    #[test]
+    fn prop37_agrees_with_reference_on_random_words() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..20 {
+            let inst = oqsc_lang::random_pair(2, 0.12, &mut rng);
+            let word = inst.encode();
+            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &word);
+            assert_eq!(v, is_in_ldisj(&word));
+        }
+    }
+
+    #[test]
+    fn sketch_with_full_budget_is_exact() {
+        let mut rng = StdRng::seed_from_u64(124);
+        let k = 2u32;
+        let m = string_len(k);
+        for _ in 0..10 {
+            let inst = oqsc_lang::random_pair(k, 0.2, &mut rng);
+            let word = inst.encode();
+            let (v, _) = run_decider(SketchDecider::new(m, &mut rng), &word);
+            assert_eq!(v, is_in_ldisj(&word));
+        }
+    }
+
+    #[test]
+    fn sketch_under_budget_misses_sparse_intersections() {
+        let mut rng = StdRng::seed_from_u64(125);
+        let k = 3u32;
+        let budget = 4usize; // ≪ √m = 8 (m = string_len(3) = 64)
+        let trials = 300;
+        let mut misses = 0usize;
+        for _ in 0..trials {
+            let non = random_nonmember(k, 1, &mut rng);
+            let (v, _) = run_decider(SketchDecider::new(budget, &mut rng), &non.encode());
+            if v {
+                misses += 1;
+            }
+        }
+        let miss_rate = misses as f64 / trials as f64;
+        // Expected ≈ (1 − 1/64)^4 ≈ 0.94 — a failing algorithm.
+        assert!(miss_rate > 0.7, "miss rate {miss_rate}");
+    }
+
+    #[test]
+    fn sketch_never_false_alarms_on_members() {
+        let mut rng = StdRng::seed_from_u64(126);
+        let inst = random_member(2, &mut rng);
+        for budget in [1usize, 4, 16] {
+            let (v, _) = run_decider(SketchDecider::new(budget, &mut rng), &inst.encode());
+            assert!(v, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn sketch_space_tracks_budget() {
+        let mut rng = StdRng::seed_from_u64(127);
+        let inst = random_member(3, &mut rng);
+        let (_, s_small) = run_decider(SketchDecider::new(2, &mut rng), &inst.encode());
+        let (_, s_big) = run_decider(SketchDecider::new(32, &mut rng), &inst.encode());
+        assert!(s_big > s_small + 100, "space {s_small} -> {s_big}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # oqsc-core — the paper's contribution
+//!
+//! The online quantum machine of Le Gall's *Exponential Separation of
+//! Quantum and Classical Online Space Complexity* (SPAA 2006), assembled
+//! from the substrate crates:
+//!
+//! * [`a1`] — procedure A1, the deterministic `O(log n)`-space format
+//!   check (condition (i));
+//! * [`a2`] — procedure A2, the one-sided fingerprint consistency check
+//!   (conditions (ii)/(iii));
+//! * [`a3`] — procedure A3, online Grover against the stream with `O(1)`
+//!   work per symbol on a `2k + 2`-qubit register;
+//! * [`emit`] — Definition 2.3 compliance: A3 compiled to the strict
+//!   `{H, T, CNOT}` set in the paper's `a#b#c` output format;
+//! * [`model`] — the Definition 2.3 pipeline run literally (emit →
+//!   serialize → parse → validate → execute → measure first qubit);
+//! * [`recognizer`] — Theorem 3.4's one-sided recognizer of `L̄_DISJ`
+//!   and Corollary 3.5's amplified bounded-error recognizer of `L_DISJ`;
+//! * [`classical`] — Proposition 3.7's `Θ(n^{1/3})` classical decider and
+//!   the sub-√m sketches that demonstrably fail;
+//! * [`separation`] — the measured separation table (experiment F1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oqsc_core::recognizer::LdisjRecognizer;
+//! use oqsc_lang::random_member;
+//! use oqsc_machine::{run_decider, StreamingDecider};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let instance = random_member(2, &mut rng);           // k=2: strings of 16 bits
+//! let word = instance.encode();                        // 1^2#(x#y#x#)^4
+//! let (is_member, _space) = run_decider(LdisjRecognizer::new(4, &mut rng), &word);
+//! assert!(is_member);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod class;
+pub mod classical;
+pub mod emit;
+pub mod model;
+pub mod recognizer;
+pub mod separation;
+
+pub use a1::FormatChecker;
+pub use a2::ConsistencyChecker;
+pub use a3::{a3_exact_detection_probability, GroverStreamer, MAX_SIMULABLE_K};
+pub use class::{witness_obpspace_cbrt, witness_oqbpl, witness_oqrl, ClassWitness, WitnessRow};
+pub use classical::{Prop37Decider, SketchDecider};
+pub use emit::{a3_strict_circuit, emitted_detection_probability, EmittedLayout};
+pub use model::{run_definition_2_3, validate_oqr_conditions, Definition23Run, OqrValidation};
+pub use recognizer::{
+    exact_complement_accept_probability, ComplementRecognizer, LdisjRecognizer, SpaceReport,
+};
+pub use separation::{measure_separation_row, separation_table, SeparationRow};

@@ -1,0 +1,161 @@
+//! The separation itself, as a measurable object (experiment F1).
+//!
+//! For each `k`, measure: the quantum recognizer's space (classical bits
+//! plus qubits, both `Θ(k) = Θ(log m)`), the Proposition 3.7 classical
+//! decider's space (`Θ(2^k) = Θ(√m)`), and the Theorem 3.6 lower bound
+//! recovered from the communication argument. The quantum/classical ratio
+//! grows without bound — exponentially in the *space* axis as a function
+//! of `log m` — which is the paper's headline claim.
+
+use crate::classical::Prop37Decider;
+use crate::recognizer::{ComplementRecognizer, SpaceReport};
+use oqsc_comm::theorem_3_6_space_bound;
+use oqsc_lang::{encoded_len, random_member, string_len};
+use oqsc_machine::StreamingDecider;
+use rand::Rng;
+
+/// One row of the separation table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeparationRow {
+    /// Language parameter.
+    pub k: u32,
+    /// String length `m = 2^{2k}`.
+    pub m: usize,
+    /// Input length `n = Θ(2^{3k})`.
+    pub n: usize,
+    /// Quantum recognizer space (measured).
+    pub quantum: SpaceReport,
+    /// Proposition 3.7 classical space in bits (measured).
+    pub classical_upper_bits: usize,
+    /// Theorem 3.6 lower bound in tape cells (derived, with `c = 1`,
+    /// `|Q| = 64`).
+    pub classical_lower_cells: usize,
+}
+
+impl SeparationRow {
+    /// The measured classical-over-quantum space ratio.
+    pub fn ratio(&self) -> f64 {
+        self.classical_upper_bits as f64 / self.quantum.total() as f64
+    }
+}
+
+/// Measures one row of the separation table at parameter `k` (feeds one
+/// random member instance through both machines).
+///
+/// The quantum column is metered with a dense simulation for
+/// `k ≤ 5` and in metering-only mode above (identical space accounting,
+/// no amplitude allocation — see
+/// [`crate::a3::GroverStreamer::metering_only`]).
+pub fn measure_separation_row<R: Rng + ?Sized>(k: u32, rng: &mut R) -> SeparationRow {
+    let inst = random_member(k, rng);
+
+    let mut quantum = if k <= 5 {
+        ComplementRecognizer::new(rng)
+    } else {
+        ComplementRecognizer::metering_only()
+    };
+    // Stream without materializing the word (5·10⁷ symbols at k = 8).
+    for sym in inst.stream() {
+        quantum.feed(sym);
+    }
+    let q_space = quantum.space();
+
+    let mut classical = Prop37Decider::new(rng);
+    for sym in inst.stream() {
+        classical.feed(sym);
+    }
+    let c_space = classical.space_bits();
+
+    SeparationRow {
+        k,
+        m: string_len(k),
+        n: encoded_len(k),
+        quantum: q_space,
+        classical_upper_bits: c_space,
+        classical_lower_cells: theorem_3_6_space_bound(k, 1.0, 64),
+    }
+}
+
+/// Measures the whole table for `k ∈ [k_min, k_max]`.
+pub fn separation_table<R: Rng + ?Sized>(
+    k_min: u32,
+    k_max: u32,
+    rng: &mut R,
+) -> Vec<SeparationRow> {
+    (k_min..=k_max)
+        .map(|k| measure_separation_row(k, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantum_space_grows_linearly_in_k_classical_exponentially() {
+        let mut rng = StdRng::seed_from_u64(130);
+        let table = separation_table(1, 6, &mut rng);
+        assert_eq!(table.len(), 6);
+        for w in table.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            // Quantum: additive growth (Θ(k)); allow a generous additive cap.
+            assert!(
+                b.quantum.total() <= a.quantum.total() + 64,
+                "quantum space jumped: {} -> {}",
+                a.quantum.total(),
+                b.quantum.total()
+            );
+            assert_eq!(b.quantum.qubits, a.quantum.qubits + 2);
+        }
+        // Classical: the Θ(2^k) buffer term. Subtracting the shared Θ(k)
+        // overhead (A1 + A2 run inside both machines) exposes the doubling.
+        for w in table[2..].windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let a_buf = a.classical_upper_bits as f64 - a.quantum.classical_bits as f64;
+            let b_buf = b.classical_upper_bits as f64 - b.quantum.classical_bits as f64;
+            assert!(
+                b_buf > 1.4 * a_buf,
+                "classical-minus-shared should ~double: k={} {a_buf} -> {b_buf}",
+                a.k
+            );
+        }
+        // By k = 6 the exponential term wins outright.
+        let last = &table[5];
+        assert!(
+            last.classical_upper_bits > last.quantum.total(),
+            "k=6: classical {} must exceed quantum {}",
+            last.classical_upper_bits,
+            last.quantum.total()
+        );
+    }
+
+    #[test]
+    fn row_fields_consistent() {
+        let mut rng = StdRng::seed_from_u64(131);
+        let row = measure_separation_row(3, &mut rng);
+        assert_eq!(row.k, 3);
+        assert_eq!(row.m, 64);
+        assert_eq!(row.n, encoded_len(3));
+        assert_eq!(row.quantum.qubits, 8);
+        assert!(row.classical_upper_bits >= 64, "buffer must be charged");
+        assert!(row.ratio() > 0.0);
+    }
+
+    #[test]
+    fn metering_only_matches_simulated_space() {
+        // The metering-only quantum column must agree exactly with the
+        // dense simulation's accounting.
+        let mut rng = StdRng::seed_from_u64(132);
+        for k in 1..=3u32 {
+            let inst = random_member(k, &mut rng);
+            let word = inst.encode();
+            let mut simulated = ComplementRecognizer::with_seeds(0, 0, 0);
+            simulated.feed_all(&word);
+            let mut metered = ComplementRecognizer::metering_only();
+            metered.feed_all(&word);
+            assert_eq!(simulated.space(), metered.space(), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! One-sided-error string equality testing.
+//!
+//! The classical communication-complexity folklore protocol the paper cites
+//! (Kushilevitz & Nisan): to check `u = v` with `O(log m)` bits, pick a
+//! random `t ∈ Z_p` and compare `F_u(t)` with `F_v(t)`. If `u = v` the test
+//! *always* passes; if `u ≠ v` it passes with probability at most
+//! `(m−1)/p` (the difference polynomial has degree `< m`). With the paper's
+//! prime range `p > 2^{4k}` and `m = 2^{2k}`, the failure probability is
+//! below `2^{-2k}`.
+
+use crate::poly::{fingerprint, StreamingFingerprint};
+use crate::prime::fingerprint_prime;
+use rand::Rng;
+
+/// A reusable equality tester: a fixed `(p, t)` pair under which any number
+/// of strings can be fingerprinted and compared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EqualityTester {
+    p: u64,
+    t: u64,
+}
+
+impl EqualityTester {
+    /// Samples a random evaluation point for the paper's prime at
+    /// parameter `k` (`2^{4k} < p < 2^{4k+1}`).
+    pub fn for_k<R: Rng + ?Sized>(k: u32, rng: &mut R) -> Self {
+        let p = fingerprint_prime(k);
+        EqualityTester {
+            p,
+            t: rng.gen_range(0..p),
+        }
+    }
+
+    /// Constructs a tester with explicit parameters (testing/derandomized
+    /// analysis).
+    ///
+    /// # Panics
+    /// If `t ≥ p`.
+    pub fn with_point(p: u64, t: u64) -> Self {
+        assert!(t < p, "point must be reduced");
+        EqualityTester { p, t }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The evaluation point.
+    #[inline]
+    pub fn point(&self) -> u64 {
+        self.t
+    }
+
+    /// Fingerprints a whole string.
+    pub fn fingerprint(&self, bits: &[bool]) -> u64 {
+        fingerprint(bits, self.p, self.t)
+    }
+
+    /// Starts a streaming fingerprint under this tester's point.
+    pub fn streaming(&self) -> StreamingFingerprint {
+        StreamingFingerprint::new(self.p, self.t)
+    }
+
+    /// One-sided equality verdict: `true` means "maybe equal" (always true
+    /// for equal strings); `false` certifies the strings differ.
+    pub fn probably_equal(&self, a: &[bool], b: &[bool]) -> bool {
+        a.len() == b.len() && self.fingerprint(a) == self.fingerprint(b)
+    }
+
+    /// Upper bound on the false-accept probability for length-`m` strings:
+    /// `(m−1)/p`, from the degree of the difference polynomial.
+    pub fn error_bound(&self, m: usize) -> f64 {
+        if m <= 1 {
+            0.0
+        } else {
+            (m as f64 - 1.0) / self.p as f64
+        }
+    }
+}
+
+/// The paper's per-test error bound at parameter `k`: strings of length
+/// `2^{2k}` under a prime `p > 2^{4k}` collide with probability
+/// `< 2^{2k}/2^{4k} = 2^{-2k}`.
+pub fn paper_error_bound(k: u32) -> f64 {
+    let m = (1u64 << (2 * k)) as f64;
+    let p_min = (1u64 << (4 * k)) as f64;
+    (m - 1.0) / p_min
+}
+
+/// Exact false-accept probability of the tester on a *specific* unequal
+/// pair: the fraction of points `t ∈ Z_p` where the fingerprints agree.
+/// Exhaustive over `t`; use only for small `p` (verification).
+pub fn exact_collision_probability(a: &[bool], b: &[bool], p: u64) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let collisions = (0..p)
+        .filter(|&t| fingerprint(a, p, t) == fingerprint(b, p, t))
+        .count();
+    collisions as f64 / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_strings_always_accepted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 1..=4u32 {
+            let tester = EqualityTester::for_k(k, &mut rng);
+            let len = 1usize << (2 * k);
+            let s: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            assert!(tester.probably_equal(&s, &s));
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let tester = EqualityTester::with_point(17, 3);
+        assert!(!tester.probably_equal(&[true], &[true, false]));
+    }
+
+    #[test]
+    fn unequal_strings_rejected_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = 3u32;
+        let len = 1usize << (2 * k);
+        let a: Vec<bool> = (0..len).map(|i| i % 2 == 0).collect();
+        let mut b = a.clone();
+        b[17] = !b[17];
+        let mut false_accepts = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let tester = EqualityTester::for_k(k, &mut rng);
+            if tester.probably_equal(&a, &b) {
+                false_accepts += 1;
+            }
+        }
+        // Bound is 2^{-2k} = 1/64 per trial; 500 trials should see ≲ 8+slack.
+        assert!(
+            false_accepts <= 25,
+            "too many false accepts: {false_accepts}"
+        );
+    }
+
+    #[test]
+    fn exact_collision_probability_below_bound() {
+        // All pairs of 6-bit strings under p = 67 > 2^6.
+        let p = 67u64;
+        for a_val in 0..64u32 {
+            for b_val in (a_val + 1)..64 {
+                let a: Vec<bool> = (0..6).map(|i| (a_val >> i) & 1 == 1).collect();
+                let b: Vec<bool> = (0..6).map(|i| (b_val >> i) & 1 == 1).collect();
+                let prob = exact_collision_probability(&a, &b, p);
+                assert!(
+                    prob <= 5.0 / p as f64,
+                    "pair ({a_val},{b_val}): prob {prob} exceeds (m−1)/p"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_bound_decreases_geometrically() {
+        assert!(paper_error_bound(1) < 0.2);
+        for k in 1..10u32 {
+            assert!(paper_error_bound(k + 1) < paper_error_bound(k) / 2.0);
+        }
+        // The paper's statement: below 1/2^{2k}.
+        for k in 1..=10u32 {
+            assert!(paper_error_bound(k) < 1.0 / (1u64 << (2 * k)) as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_bound_edges() {
+        let tester = EqualityTester::with_point(17, 0);
+        assert_eq!(tester.error_bound(0), 0.0);
+        assert_eq!(tester.error_bound(1), 0.0);
+        assert!((tester.error_bound(18) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let tester = EqualityTester::with_point(257, 42);
+        let bits = vec![true, false, false, true, true];
+        let mut s = tester.streaming();
+        s.feed_all(&bits);
+        assert_eq!(s.value(), tester.fingerprint(&bits));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_one_sided_completeness(
+            bits in proptest::collection::vec(any::<bool>(), 1..200),
+            seed in any::<u64>(),
+        ) {
+            // Whatever the random point, equal strings are NEVER rejected.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tester = EqualityTester::for_k(3, &mut rng);
+            prop_assert!(tester.probably_equal(&bits, &bits));
+        }
+
+        #[test]
+        fn prop_soundness_average(
+            a in proptest::collection::vec(any::<bool>(), 16),
+            flip in 0usize..16,
+        ) {
+            // For any single-bit flip, the exact collision fraction over all
+            // t is at most (m−1)/p.
+            let mut b = a.clone();
+            b[flip] = !b[flip];
+            let p = 257u64;
+            let prob = exact_collision_probability(&a, &b, p);
+            prop_assert!(prob <= 15.0 / 257.0 + 1e-12);
+        }
+    }
+}

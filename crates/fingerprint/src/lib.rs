@@ -1,0 +1,29 @@
+//! # oqsc-fingerprint — polynomial fingerprinting substrate
+//!
+//! Implements the string-equality machinery of procedure A2 in the paper's
+//! Theorem 3.4: streaming evaluation of `F_w(X) = Σ w_i X^i mod p` at a
+//! random point, with the prime `p` drawn from `(2^{4k}, 2^{4k+1})` exactly
+//! as the paper prescribes. The test is one-sided (equal strings always
+//! pass) with per-test error below `2^{-2k}`.
+//!
+//! * [`modarith`] — `u64` modular arithmetic with `u128` intermediates;
+//! * [`prime`] — deterministic Miller–Rabin (exact on `u64`) and the
+//!   paper's naive prime-range scan;
+//! * [`poly`] — the `O(log p)`-state streaming fingerprint;
+//! * [`equality`] — the one-sided equality tester plus exact and paper
+//!   error bounds;
+//! * [`multipoint`] — `r`-point fingerprints with `((m−1)/p)^r` error
+//!   (the space-vs-error ablation of experiment F3).
+
+#![warn(missing_docs)]
+
+pub mod equality;
+pub mod modarith;
+pub mod multipoint;
+pub mod poly;
+pub mod prime;
+
+pub use multipoint::{multipoint_probably_equal, MultiPointFingerprint};
+pub use equality::{exact_collision_probability, paper_error_bound, EqualityTester};
+pub use poly::{ceil_log2, fingerprint, StreamingFingerprint};
+pub use prime::{fingerprint_prime, is_prime};

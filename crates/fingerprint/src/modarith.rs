@@ -1,0 +1,123 @@
+//! Modular arithmetic over word-sized moduli.
+//!
+//! Procedure A2 of the paper evaluates polynomials `F_w(X) = Σ w_i X^i`
+//! modulo a prime `p` with `2^{4k} < p < 2^{4k+1}`. All arithmetic fits in
+//! `u64` residues with `u128` intermediates, so no big-integer machinery is
+//! needed for every `k` the dense quantum simulator can reach (and far
+//! beyond: `k ≤ 15`).
+
+/// `(a + b) mod m`, correct for any `a, b < m < 2^64`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let (s, overflow) = a.overflowing_add(b);
+    if overflow || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod m`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(m)
+    }
+}
+
+/// `(a · b) mod m` via a 128-bit intermediate.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod(result, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    result
+}
+
+/// Modular inverse of `a` mod prime `p` by Fermat's little theorem.
+///
+/// # Panics
+/// If `a ≡ 0 (mod p)`.
+pub fn inv_mod_prime(a: u64, p: u64) -> u64 {
+    assert!(a % p != 0, "zero has no inverse");
+    pow_mod(a, p - 2, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_mod_wraps() {
+        assert_eq!(add_mod(3, 4, 5), 2);
+        assert_eq!(add_mod(0, 0, 7), 0);
+        assert_eq!(add_mod(6, 6, 7), 5);
+        // Near u64::MAX.
+        let m = u64::MAX - 58; // arbitrary large modulus
+        assert_eq!(add_mod(m - 1, m - 1, m), m - 2);
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        assert_eq!(sub_mod(3, 4, 5), 4);
+        assert_eq!(sub_mod(4, 3, 5), 1);
+        assert_eq!(sub_mod(0, 1, 7), 6);
+    }
+
+    #[test]
+    fn mul_mod_large_operands() {
+        let m = (1u64 << 61) - 1;
+        let a = m - 1;
+        // (m−1)² = m² − 2m + 1 ≡ 1 (mod m)
+        assert_eq!(mul_mod(a, a, m), 1);
+        assert_eq!(mul_mod(0, a, m), 0);
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for &m in &[2u64, 3, 17, 1_000_003] {
+            for a in 0..8u64 {
+                let mut naive = 1u64 % m;
+                for e in 0..12u64 {
+                    assert_eq!(pow_mod(a, e, m), naive, "a={a} e={e} m={m}");
+                    naive = mul_mod(naive, a % m, m);
+                }
+            }
+        }
+        assert_eq!(pow_mod(5, 100, 1), 0);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let p = 1_000_000_007u64;
+        for a in [1u64, 2, 999, p - 1] {
+            let inv = inv_mod_prime(a, p);
+            assert_eq!(mul_mod(a, inv, p), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod_prime(0, 7);
+    }
+}

@@ -1,0 +1,238 @@
+//! Streaming polynomial fingerprints.
+//!
+//! For a bit string `w = w_0 … w_{m−1}`, procedure A2 evaluates
+//! `F_w(t) = Σ_i w_i t^i mod p` at a random point `t`. The evaluation must
+//! be *online*: bits arrive one at a time and only `O(log p)` bits of state
+//! may be kept. [`StreamingFingerprint`] maintains exactly the accumulator
+//! and the running power of `t` — two residues — matching the `O(k)` space
+//! bound claimed for A2.
+
+use crate::modarith::{add_mod, mul_mod};
+
+/// Online evaluator of `F_w(t) = Σ w_i t^i mod p`, fed one bit at a time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamingFingerprint {
+    p: u64,
+    t: u64,
+    acc: u64,
+    t_pow: u64,
+    len: usize,
+}
+
+impl StreamingFingerprint {
+    /// Starts a fingerprint at evaluation point `t` modulo `p`.
+    ///
+    /// # Panics
+    /// If `p < 2` or `t ≥ p`.
+    pub fn new(p: u64, t: u64) -> Self {
+        assert!(p >= 2, "modulus must be ≥ 2");
+        assert!(t < p, "evaluation point must be reduced mod p");
+        StreamingFingerprint {
+            p,
+            t,
+            acc: 0,
+            t_pow: 1 % p,
+            len: 0,
+        }
+    }
+
+    /// Feeds the next bit `w_i` (bits arrive in increasing index order).
+    #[inline]
+    pub fn feed(&mut self, bit: bool) {
+        if bit {
+            self.acc = add_mod(self.acc, self.t_pow, self.p);
+        }
+        self.t_pow = mul_mod(self.t_pow, self.t, self.p);
+        self.len += 1;
+    }
+
+    /// Feeds a slice of bits.
+    pub fn feed_all(&mut self, bits: &[bool]) {
+        for &b in bits {
+            self.feed(b);
+        }
+    }
+
+    /// The current value `F_{w_0…w_{len−1}}(t)`.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.acc
+    }
+
+    /// Number of bits consumed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits have been fed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Resets to an empty fingerprint at the same `(p, t)`, reusing the
+    /// allocation-free state (A2 restarts one fingerprint per block).
+    pub fn reset(&mut self) {
+        self.acc = 0;
+        self.t_pow = 1 % self.p;
+        self.len = 0;
+    }
+
+    /// Work-space footprint in bits: the two residues (`acc`, `t_pow`)
+    /// a streaming implementation must retain, each `⌈log₂ p⌉` bits.
+    /// (`t` itself and `p` are also `O(log p)`; include them for the
+    /// honest total the OPTM would store.)
+    pub fn space_bits(&self) -> u32 {
+        4 * ceil_log2(self.p)
+    }
+}
+
+/// One-shot evaluation of `F_w(t) mod p`.
+pub fn fingerprint(bits: &[bool], p: u64, t: u64) -> u64 {
+    let mut f = StreamingFingerprint::new(p, t);
+    f.feed_all(bits);
+    f.value()
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+pub fn ceil_log2(n: u64) -> u32 {
+    assert!(n >= 1);
+    64 - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modarith::pow_mod;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_eval(bits: &[bool], p: u64, t: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                acc = add_mod(acc, pow_mod(t, i as u64, p), p);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_fingerprint_is_zero() {
+        let f = StreamingFingerprint::new(17, 5);
+        assert_eq!(f.value(), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn single_bits() {
+        // w = 1: F = t^0 = 1.
+        assert_eq!(fingerprint(&[true], 17, 5), 1);
+        // w = 01: F = t.
+        assert_eq!(fingerprint(&[false, true], 17, 5), 5);
+        // w = 11: F = 1 + t.
+        assert_eq!(fingerprint(&[true, true], 17, 5), 6);
+    }
+
+    #[test]
+    fn streaming_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let len = rng.gen_range(0..200);
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+            let p = 257u64;
+            let t = rng.gen_range(0..p);
+            assert_eq!(fingerprint(&bits, p, t), naive_eval(&bits, p, t));
+        }
+    }
+
+    #[test]
+    fn equal_strings_equal_fingerprints_always() {
+        let bits = vec![true, false, true, true, false, false, true];
+        for t in 0..17u64 {
+            assert_eq!(fingerprint(&bits, 17, t), fingerprint(&bits, 17, t));
+        }
+    }
+
+    #[test]
+    fn distinct_strings_collide_rarely() {
+        // The difference polynomial has degree < m, so at most m−1 of the p
+        // points collide. Count collisions exhaustively for a small case.
+        let a = vec![true, false, true, false, true, false, true, false];
+        let b = vec![true, true, false, false, true, false, true, false];
+        let p = 257u64;
+        let collisions = (0..p)
+            .filter(|&t| fingerprint(&a, p, t) == fingerprint(&b, p, t))
+            .count() as u64;
+        assert!(collisions < a.len() as u64, "collisions = {collisions}");
+    }
+
+    #[test]
+    fn reset_reuses_state() {
+        let mut f = StreamingFingerprint::new(257, 10);
+        f.feed_all(&[true, true, false, true]);
+        let v1 = f.value();
+        f.reset();
+        assert_eq!(f.value(), 0);
+        assert_eq!(f.len(), 0);
+        f.feed_all(&[true, true, false, true]);
+        assert_eq!(f.value(), v1);
+    }
+
+    #[test]
+    fn space_bits_is_logarithmic() {
+        let f = StreamingFingerprint::new((1 << 20) + 7, 3);
+        assert_eq!(f.space_bits(), 4 * 21);
+        let g = StreamingFingerprint::new(17, 3);
+        assert_eq!(g.space_bits(), 4 * 5);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 40), 40);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_streaming_equals_naive(bits in proptest::collection::vec(any::<bool>(), 0..300),
+                                       t in 0u64..65537) {
+            let p = 65537u64;
+            prop_assert_eq!(fingerprint(&bits, p, t), naive_eval(&bits, p, t));
+        }
+
+        #[test]
+        fn prop_completeness(bits in proptest::collection::vec(any::<bool>(), 0..100),
+                             t in 0u64..257) {
+            // Identical strings always agree — the one-sided-error direction.
+            let p = 257u64;
+            let f1 = fingerprint(&bits, p, t);
+            let f2 = fingerprint(&bits, p, t);
+            prop_assert_eq!(f1, f2);
+        }
+
+        #[test]
+        fn prop_appending_zero_bits_changes_nothing(
+            bits in proptest::collection::vec(any::<bool>(), 0..100),
+            zeros in 0usize..20,
+            t in 0u64..257,
+        ) {
+            let p = 257u64;
+            let mut padded = bits.clone();
+            padded.extend(std::iter::repeat(false).take(zeros));
+            prop_assert_eq!(fingerprint(&bits, p, t), fingerprint(&padded, p, t));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Primality testing and the paper's prime-in-a-range search.
+//!
+//! Procedure A2 needs "an arbitrary prime such that `2^{4k} < p < 2^{4k+1}`",
+//! which Bertrand's postulate guarantees to exist. The paper remarks that
+//! "the naive strategy consisting in trying all the numbers between `2^{4k}`
+//! and `2^{4k+1}` is sufficient"; we implement both that naive scan and a
+//! deterministic Miller–Rabin test (exact for all `u64`), and benchmark
+//! the two as one of the DESIGN.md ablations.
+
+use crate::modarith::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the sprp base set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`,
+/// proven sufficient for all `n < 3.3 × 10^24` — in particular exact for
+/// every `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n − 1 = d · 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Trial-division primality (the "naive" building block the paper alludes
+/// to). Exact but `O(√n)`; retained for the ablation benchmark and as a
+/// cross-check oracle in tests.
+pub fn is_prime_trial_division(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `p` with `2^{4k} < p < 2^{4k+1}` (the paper's naive
+/// scan, accelerated with Miller–Rabin per candidate).
+///
+/// # Panics
+/// If `4k + 1 > 63` (the modulus would overflow `u64`); the paper's
+/// construction then needs wide arithmetic, far beyond simulable sizes.
+pub fn fingerprint_prime(k: u32) -> u64 {
+    assert!(k >= 1, "the language requires k ≥ 1");
+    assert!(4 * k + 1 <= 63, "4k+1-bit prime exceeds u64 (k = {k})");
+    let lo = 1u64 << (4 * k);
+    let hi = 1u64 << (4 * k + 1);
+    scan_prime(lo + 1, hi).expect("Bertrand's postulate guarantees a prime in (2^4k, 2^{4k+1})")
+}
+
+/// First prime in `[lo, hi)`, or `None`.
+pub fn scan_prime(lo: u64, hi: u64) -> Option<u64> {
+    (lo..hi).find(|&n| is_prime(n))
+}
+
+/// First prime in `[lo, hi)` using trial division only (ablation baseline).
+pub fn scan_prime_trial_division(lo: u64, hi: u64) -> Option<u64> {
+    (lo..hi).find(|&n| is_prime_trial_division(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 97, 7919];
+        for &p in &primes {
+            assert!(is_prime(p), "{p} is prime");
+            assert!(is_prime_trial_division(p));
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 49, 91, 561, 6601, 8911];
+        for &c in &composites {
+            assert!(!is_prime(c), "{c} is composite");
+            assert!(!is_prime_trial_division(c));
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Carmichael numbers and known base-2 strong pseudoprimes.
+        for &n in &[2047u64, 3277, 4033, 1373653, 25326001, 3215031751] {
+            assert!(!is_prime(n), "{n} is a pseudoprime, not a prime");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime M61
+        assert!(is_prime(4611686018427387847)); // prime near 2^62
+        assert!(!is_prime((1u64 << 61) - 2));
+    }
+
+    #[test]
+    fn methods_agree_on_a_range() {
+        for n in 0..2000u64 {
+            assert_eq!(is_prime(n), is_prime_trial_division(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_prime_in_paper_range() {
+        for k in 1..=15u32 {
+            let p = fingerprint_prime(k);
+            assert!(p > 1u64 << (4 * k), "k={k}: p={p} too small");
+            assert!(p < 1u64 << (4 * k + 1), "k={k}: p={p} too large");
+            assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn fingerprint_prime_k1_is_17() {
+        // 2^4 = 16 < p < 32; smallest prime is 17.
+        assert_eq!(fingerprint_prime(1), 17);
+        // 2^8 = 256 < p < 512; smallest prime is 257.
+        assert_eq!(fingerprint_prime(2), 257);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u64")]
+    fn oversized_k_panics() {
+        fingerprint_prime(16);
+    }
+
+    #[test]
+    fn scan_variants_agree() {
+        assert_eq!(scan_prime(90, 120), Some(97));
+        assert_eq!(scan_prime_trial_division(90, 120), Some(97));
+        assert_eq!(scan_prime(24, 29), None);
+        assert_eq!(scan_prime(0, 3), Some(2));
+    }
+}

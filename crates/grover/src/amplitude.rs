@@ -1,0 +1,214 @@
+//! Generalized amplitude amplification.
+//!
+//! The paper remarks (after Definition 2.3) that the one-sided success
+//! constant "can be increased by performing amplitude amplification on
+//! both the classical and the quantum parts of the online machine". This
+//! module supplies the quantum half in full generality
+//! (Brassard–Høyer–Mosca–Tapp): given *any* initial state `|ψ⟩ = A|0⟩`
+//! with success amplitude `sin θ_a = √a` on a marked subspace, the
+//! operator `Q = −A S₀ A† S_f` rotates by `2θ_a` per application, so `j`
+//! applications reach success probability `sin²((2j+1)θ_a)`.
+//!
+//! Reflections are applied directly from the stored `|ψ⟩`
+//! (`R_ψ = 2|ψ⟩⟨ψ| − I`), so no circuit for `A` is needed; Grover search
+//! is the special case `|ψ⟩ = H^{⊗n}|0⟩`, which the tests verify.
+
+use crate::analysis::grover_angle;
+use oqsc_quantum::complex::ONE;
+use oqsc_quantum::StateVector;
+
+/// Amplitude amplification over an explicit marked set, from an arbitrary
+/// initial state.
+#[derive(Clone, Debug)]
+pub struct AmplitudeAmplifier {
+    psi: StateVector,
+    marked: Vec<bool>,
+}
+
+impl AmplitudeAmplifier {
+    /// Creates the amplifier.
+    ///
+    /// # Panics
+    /// If `marked.len() != 2^{num_qubits}`.
+    pub fn new(psi: StateVector, marked: Vec<bool>) -> Self {
+        assert_eq!(marked.len(), psi.dim(), "marked set must cover the space");
+        AmplitudeAmplifier { psi, marked }
+    }
+
+    /// Standard Grover: uniform initial state over `width` qubits.
+    pub fn grover(width: usize, marked: Vec<bool>) -> Self {
+        AmplitudeAmplifier::new(StateVector::uniform(width), marked)
+    }
+
+    /// The initial success probability `a = Σ_marked |ψ_b|²`.
+    pub fn initial_success(&self) -> f64 {
+        self.psi
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| self.marked[*b])
+            .map(|(_, z)| z.norm_sqr())
+            .sum()
+    }
+
+    /// The rotation angle `θ_a = asin(√a)`.
+    pub fn angle(&self) -> f64 {
+        self.initial_success().sqrt().min(1.0).asin()
+    }
+
+    /// Predicted success probability after `j` iterations:
+    /// `sin²((2j+1)θ_a)`.
+    pub fn predicted_success(&self, j: usize) -> f64 {
+        ((2 * j + 1) as f64 * self.angle()).sin().powi(2)
+    }
+
+    /// The iteration count maximizing single-shot success.
+    pub fn optimal_iterations(&self) -> usize {
+        let theta = self.angle();
+        if theta <= 0.0 {
+            return 0;
+        }
+        (std::f64::consts::FRAC_PI_4 / theta).floor() as usize
+    }
+
+    /// Applies `Q = −R_ψ · S_f` once to `state` (global phase folded into
+    /// the reflection sign convention, which the success statistics do not
+    /// see).
+    pub fn iterate(&self, state: &mut StateVector) {
+        // Oracle: phase −1 on marked basis states.
+        state.phase_if(|b| self.marked[b], -ONE);
+        // Reflection about ψ: s ← 2⟨ψ|s⟩·ψ − s.
+        state.reflect_about(&self.psi);
+    }
+
+    /// Exact success probability after `j` iterations from `|ψ⟩`.
+    pub fn success_after(&self, j: usize) -> f64 {
+        let mut s = self.psi.clone();
+        for _ in 0..j {
+            self.iterate(&mut s);
+        }
+        s.amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| self.marked[*b])
+            .map(|(_, z)| z.norm_sqr())
+            .sum()
+    }
+}
+
+/// Boosts a one-sided procedure with initial success `a` to at least
+/// `target` by choosing the iteration count from the analytic rotation
+/// (the "quantum part" of the paper's amplification remark). Returns the
+/// iteration count, or `None` when `a = 0`.
+pub fn iterations_to_reach(a: f64, target: f64) -> Option<usize> {
+    if a <= 0.0 {
+        return None;
+    }
+    if a >= target {
+        return Some(0);
+    }
+    let theta = a.sqrt().min(1.0).asin();
+    // smallest j with sin²((2j+1)θ) ≥ target (before overshooting π/2).
+    let mut j = 0usize;
+    loop {
+        let s = ((2 * j + 1) as f64 * theta).sin().powi(2);
+        if s >= target {
+            return Some(j);
+        }
+        if (2 * (j + 1) + 1) as f64 * theta > std::f64::consts::FRAC_PI_2 {
+            // The peak is the best achievable in one shot.
+            return Some(j + 1);
+        }
+        j += 1;
+    }
+}
+
+/// Relates the amplifier to the paper's `t`-of-`N` setting: for the
+/// uniform start, `θ_a` must equal [`grover_angle`]`(t, N)`.
+pub fn uniform_angle_consistency(t: usize, n: usize) -> f64 {
+    let mut marked = vec![false; n];
+    for slot in marked.iter_mut().take(t) {
+        *slot = true;
+    }
+    let amp = AmplitudeAmplifier::grover(n.trailing_zeros() as usize, marked);
+    (amp.angle() - grover_angle(t, n)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_quantum::Gate;
+
+    #[test]
+    fn grover_special_case_matches_closed_form() {
+        let n = 64usize;
+        let mut marked = vec![false; n];
+        marked[17] = true;
+        marked[40] = true;
+        let amp = AmplitudeAmplifier::grover(6, marked);
+        assert!((amp.initial_success() - 2.0 / 64.0).abs() < 1e-12);
+        for j in [0usize, 1, 2, 3, 5] {
+            let exact = amp.success_after(j);
+            let predicted = amp.predicted_success(j);
+            assert!((exact - predicted).abs() < 1e-9, "j={j}: {exact} vs {predicted}");
+        }
+    }
+
+    #[test]
+    fn angle_consistency_with_grover_module() {
+        for (t, n) in [(1usize, 16usize), (3, 16), (8, 64)] {
+            assert!(uniform_angle_consistency(t, n) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplification_from_biased_initial_state() {
+        // Initial state with non-uniform amplitudes: Ry-rotated qubits.
+        let mut psi = StateVector::zero(3);
+        psi.apply(&Gate::Ry(0, 0.7));
+        psi.apply(&Gate::Ry(1, 1.1));
+        psi.apply(&Gate::Ry(2, 0.3));
+        let marked: Vec<bool> = (0..8).map(|b| b == 0b011).collect();
+        let amp = AmplitudeAmplifier::new(psi, marked);
+        let a = amp.initial_success();
+        assert!(a > 0.0 && a < 0.5);
+        // One shot at the optimal count beats the initial probability and
+        // matches the rotation formula.
+        let j = amp.optimal_iterations();
+        let boosted = amp.success_after(j);
+        assert!((boosted - amp.predicted_success(j)).abs() < 1e-9);
+        assert!(boosted > a, "amplification must help: {a} -> {boosted}");
+        assert!(boosted > 0.75);
+    }
+
+    #[test]
+    fn iterate_preserves_norm() {
+        let amp = AmplitudeAmplifier::grover(4, (0..16).map(|b| b % 5 == 0).collect());
+        let mut s = StateVector::uniform(4);
+        for _ in 0..7 {
+            amp.iterate(&mut s);
+            assert!((s.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iterations_to_reach_targets() {
+        // Already above target.
+        assert_eq!(iterations_to_reach(0.5, 0.4), Some(0));
+        // Impossible.
+        assert_eq!(iterations_to_reach(0.0, 0.5), None);
+        // The paper's setting: boost 1/4 to 2/3.
+        let j = iterations_to_reach(0.25, 2.0 / 3.0).expect("reachable");
+        let theta = 0.5f64.asin();
+        assert!(((2 * j + 1) as f64 * theta).sin().powi(2) >= 2.0 / 3.0);
+        assert!(j <= 2);
+    }
+
+    #[test]
+    fn zero_marked_never_amplifies() {
+        let amp = AmplitudeAmplifier::grover(3, vec![false; 8]);
+        assert_eq!(amp.initial_success(), 0.0);
+        assert_eq!(amp.optimal_iterations(), 0);
+        assert!(amp.success_after(3) < 1e-12);
+    }
+}

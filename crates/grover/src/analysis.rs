@@ -1,0 +1,160 @@
+//! Closed-form Grover success probabilities.
+//!
+//! With `t` marked items out of `N` and `θ` defined by `sin²θ = t/N`
+//! (`0 < θ < π/2`), `j` Grover iterations take the uniform state to success
+//! probability `sin²((2j+1)θ)` (Boyer–Brassard–Høyer–Tapp). Procedure A3
+//! picks `j` uniformly from `{0, …, M−1}` with `M = 2^k = √N`; the paper
+//! quotes the resulting averaged detection probability
+//!
+//! ```text
+//! P[measure 1] = 1/2 − sin(4Mθ) / (4M sin 2θ)  ≥  1/4,
+//! ```
+//!
+//! valid for every `0 < t < N`. These closed forms are compared against
+//! exact state-vector simulation in experiment F2.
+
+/// The Grover angle `θ = asin(√(t/N))`.
+///
+/// # Panics
+/// If `t > n` or `n = 0`.
+pub fn grover_angle(t: usize, n: usize) -> f64 {
+    assert!(n > 0 && t <= n, "need 0 ≤ t ≤ n, n > 0");
+    ((t as f64 / n as f64).sqrt()).asin()
+}
+
+/// Success probability after exactly `j` iterations: `sin²((2j+1)θ)`.
+pub fn success_after(j: usize, t: usize, n: usize) -> f64 {
+    let theta = grover_angle(t, n);
+    ((2 * j + 1) as f64 * theta).sin().powi(2)
+}
+
+/// The iteration count maximizing single-shot success:
+/// `⌊π/(4θ)⌋` (0 when `t = 0`).
+pub fn optimal_iterations(t: usize, n: usize) -> usize {
+    if t == 0 {
+        return 0;
+    }
+    let theta = grover_angle(t, n);
+    (std::f64::consts::FRAC_PI_4 / theta).floor() as usize
+}
+
+/// The paper's averaged detection probability for `j` uniform in
+/// `{0, …, m−1}`:
+/// `(1/m) Σ_j sin²((2j+1)θ) = 1/2 − sin(4mθ)/(4m sin 2θ)`.
+///
+/// Returns 0 when `t = 0` and 1 when `t = n` (degenerate angles).
+pub fn averaged_success(m: usize, t: usize, n: usize) -> f64 {
+    assert!(m >= 1);
+    if t == 0 {
+        return 0.0;
+    }
+    if t == n {
+        return 1.0;
+    }
+    let theta = grover_angle(t, n);
+    0.5 - (4.0 * m as f64 * theta).sin() / (4.0 * m as f64 * (2.0 * theta).sin())
+}
+
+/// Direct finite-sum version of [`averaged_success`] (used to validate the
+/// closed form).
+pub fn averaged_success_sum(m: usize, t: usize, n: usize) -> f64 {
+    (0..m).map(|j| success_after(j, t, n)).sum::<f64>() / m as f64
+}
+
+/// The paper's lower bound: for `M = √N` and every `0 < t < N`,
+/// `averaged_success(M, t, N) ≥ 1/4`. Returns the margin
+/// `averaged_success − 1/4` (non-negative when the bound holds).
+pub fn paper_bound_margin(k: u32) -> f64 {
+    let n = 1usize << (2 * k);
+    let m = 1usize << k;
+    (1..n)
+        .map(|t| averaged_success(m, t, n) - 0.25)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn angle_edges() {
+        assert_eq!(grover_angle(0, 16), 0.0);
+        assert!((grover_angle(16, 16) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((grover_angle(4, 16) - 0.5235987755982989).abs() < 1e-12); // asin(1/2)
+    }
+
+    #[test]
+    fn success_zero_iterations_is_t_over_n() {
+        // sin²θ = t/N.
+        for (t, n) in [(1usize, 16usize), (3, 16), (8, 16), (5, 32)] {
+            assert!((success_after(0, t, n) - t as f64 / n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_marked_item_peaks_near_optimal() {
+        let n = 1024;
+        let j_opt = optimal_iterations(1, n);
+        let p_opt = success_after(j_opt, 1, n);
+        assert!(p_opt > 0.99, "optimal success {p_opt}");
+        assert!(success_after(0, 1, n) < 0.01);
+        // Overshooting past the peak reduces success.
+        assert!(success_after(2 * j_opt + 1, 1, n) < p_opt);
+    }
+
+    #[test]
+    fn closed_form_matches_finite_sum() {
+        for n in [16usize, 64, 256] {
+            let m = (n as f64).sqrt() as usize;
+            for t in [1usize, 2, n / 4, n / 2, n - 1] {
+                let closed = averaged_success(m, t, n);
+                let summed = averaged_success_sum(m, t, n);
+                assert!(
+                    (closed - summed).abs() < 1e-10,
+                    "n={n} t={t}: {closed} vs {summed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_bound_holds_for_simulable_k() {
+        for k in 1..=6u32 {
+            let margin = paper_bound_margin(k);
+            assert!(
+                margin >= -1e-12,
+                "k={k}: averaged success dips below 1/4 by {margin}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_t_values() {
+        assert_eq!(averaged_success(4, 0, 16), 0.0);
+        assert_eq!(averaged_success(4, 16, 16), 1.0);
+        assert_eq!(optimal_iterations(0, 16), 0);
+    }
+
+    #[test]
+    fn full_marking_always_succeeds() {
+        for j in 0..5 {
+            assert!((success_after(j, 16, 16) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_averaged_in_unit_interval(t in 1usize..255, m in 1usize..64) {
+            let n = 256usize;
+            let p = averaged_success(m, t, n);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+
+        #[test]
+        fn prop_closed_form_equals_sum(t in 1usize..63, m in 1usize..20) {
+            let n = 64usize;
+            prop_assert!((averaged_success(m, t, n) - averaged_success_sum(m, t, n)).abs() < 1e-9);
+        }
+    }
+}

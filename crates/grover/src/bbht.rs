@@ -1,0 +1,194 @@
+//! Boyer–Brassard–Høyer–Tapp search with an unknown number of solutions.
+//!
+//! The BCW protocol (and hence procedure A3) cannot know the number of
+//! intersecting coordinates `t` in advance. The paper handles this with
+//! the single-shot randomized variant analyzed by [BBHT 98]: draw `j`
+//! uniformly from `{0, …, M−1}` with `M = √N`, run `j` Grover iterations
+//! and measure; the detection probability is at least 1/4 for every
+//! `0 < t < N` (see [`crate::analysis::averaged_success`]).
+//!
+//! For completeness this module also implements the full BBHT *search*
+//! loop (exponentially growing iteration budget), which finds a marked
+//! item in expected `O(√(N/t))` oracle iterations.
+
+use crate::search::GroverSim;
+use rand::Rng;
+
+/// Outcome of the paper's single-shot random-`j` detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectionOutcome {
+    /// The drawn iteration count `j`.
+    pub j: usize,
+    /// The measured index.
+    pub measured: usize,
+    /// Whether the measured index was marked (intersection detected).
+    pub detected: bool,
+}
+
+/// Single-shot detection as in procedure A3: draw `j` uniform in
+/// `{0, …, m_rounds−1}`, iterate, measure, report whether the outcome is
+/// marked.
+pub fn random_j_detection<R: Rng + ?Sized>(
+    sim: &GroverSim,
+    m_rounds: usize,
+    rng: &mut R,
+) -> DetectionOutcome {
+    assert!(m_rounds >= 1);
+    let j = rng.gen_range(0..m_rounds);
+    let measured = sim.sample(j, rng);
+    DetectionOutcome {
+        j,
+        measured,
+        detected: sim.is_marked(measured),
+    }
+}
+
+/// Exact detection probability of the single-shot scheme (averaging the
+/// exact simulated success over `j`), for validating the closed form.
+pub fn random_j_detection_probability(sim: &GroverSim, m_rounds: usize) -> f64 {
+    (0..m_rounds)
+        .map(|j| sim.success_probability(j))
+        .sum::<f64>()
+        / m_rounds as f64
+}
+
+/// Result of the full BBHT search loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BbhtResult {
+    /// A marked index, if one was found.
+    pub found: Option<usize>,
+    /// Total Grover iterations (oracle calls) spent.
+    pub total_iterations: usize,
+    /// Number of measure-and-restart rounds.
+    pub rounds: usize,
+}
+
+/// The BBHT algorithm with growth factor `λ = 6/5`: find a marked item
+/// when `t` is unknown, giving up after the timeout that certifies
+/// `t = 0` with high probability.
+pub fn bbht_search<R: Rng + ?Sized>(sim: &GroverSim, rng: &mut R) -> BbhtResult {
+    let n = sim.domain() as f64;
+    let sqrt_n = n.sqrt();
+    let lambda = 6.0 / 5.0;
+    let mut m = 1.0f64;
+    let mut total_iterations = 0usize;
+    let mut rounds = 0usize;
+    // BBHT: once m has saturated at √N for a few rounds, an absent
+    // solution would have been found; cap the work at 9√N iterations
+    // (comfortably above the 4√N expectation bound in the paper).
+    let budget = (9.0 * sqrt_n).ceil() as usize + 9;
+    while total_iterations <= budget {
+        rounds += 1;
+        let j = rng.gen_range(0..(m.floor() as usize).max(1));
+        total_iterations += j;
+        let measured = sim.sample(j, rng);
+        if sim.is_marked(measured) {
+            return BbhtResult {
+                found: Some(measured),
+                total_iterations,
+                rounds,
+            };
+        }
+        m = (lambda * m).min(sqrt_n);
+    }
+    BbhtResult {
+        found: None,
+        total_iterations,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::averaged_success;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted(n: usize, ts: &[usize]) -> GroverSim {
+        let mut marked = vec![false; n];
+        for &t in ts {
+            marked[t] = true;
+        }
+        GroverSim::new(marked)
+    }
+
+    #[test]
+    fn detection_probability_matches_closed_form() {
+        let n = 64usize;
+        let m = 8usize; // √64
+        for t in [1usize, 3, 10, 32, 63] {
+            let sim = planted(n, &(0..t).map(|i| (5 * i + 1) % n).collect::<Vec<_>>());
+            let actual_t = sim.num_marked();
+            let exact = random_j_detection_probability(&sim, m);
+            let formula = averaged_success(m, actual_t, n);
+            assert!(
+                (exact - formula).abs() < 1e-9,
+                "t={actual_t}: {exact} vs {formula}"
+            );
+            assert!(exact >= 0.25 - 1e-12, "paper bound violated at t={actual_t}");
+        }
+    }
+
+    #[test]
+    fn detection_samples_track_probability() {
+        let n = 64usize;
+        let sim = planted(n, &[7, 21, 40]);
+        let m = 8usize;
+        let p = random_j_detection_probability(&sim, m);
+        let mut rng = StdRng::seed_from_u64(23);
+        let trials = 3000;
+        let hits = (0..trials)
+            .filter(|_| random_j_detection(&sim, m, &mut rng).detected)
+            .count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - p).abs() < 0.03, "freq {freq} vs exact {p}");
+    }
+
+    #[test]
+    fn bbht_finds_single_marked() {
+        let n = 256usize;
+        let sim = planted(n, &[99]);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut total = 0usize;
+        for _ in 0..30 {
+            let r = bbht_search(&sim, &mut rng);
+            assert_eq!(r.found, Some(99));
+            total += r.total_iterations;
+        }
+        // Expected ≲ 4√(N/t) = 64 per search; allow generous slack.
+        assert!(total / 30 < 200, "mean iterations {}", total / 30);
+    }
+
+    #[test]
+    fn bbht_with_many_marked_is_fast() {
+        let n = 256usize;
+        let sim = planted(n, &(0..64).map(|i| i * 4).collect::<Vec<_>>());
+        let mut rng = StdRng::seed_from_u64(37);
+        let r = bbht_search(&sim, &mut rng);
+        assert!(r.found.is_some());
+        assert!(sim.is_marked(r.found.expect("found")));
+        assert!(r.total_iterations < 40);
+    }
+
+    #[test]
+    fn bbht_gives_up_when_empty() {
+        let sim = GroverSim::new(vec![false; 64]);
+        let mut rng = StdRng::seed_from_u64(41);
+        let r = bbht_search(&sim, &mut rng);
+        assert_eq!(r.found, None);
+        assert!(r.total_iterations >= 72, "should exhaust the budget");
+    }
+
+    #[test]
+    fn detection_outcome_fields_consistent() {
+        let sim = planted(16, &[3]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let out = random_j_detection(&sim, 4, &mut rng);
+            assert!(out.j < 4);
+            assert!(out.measured < 16);
+            assert_eq!(out.detected, out.measured == 3);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-point ("π/3") amplitude amplification.
+//!
+//! Standard Grover rotation overshoots: past the optimal iteration count
+//! the success probability *falls* (the paper's random-`j` trick exists
+//! precisely to average this out when `t` is unknown). Grover's π/3
+//! fixed-point iteration replaces the ±1 phases by `e^{iπ/3}` on both
+//! reflections; one application maps failure probability `δ = 1 − a` to
+//! `δ³`, so iterating **monotonically** drives success to 1 regardless of
+//! the (unknown) initial `a` — at the cost of losing the quadratic
+//! speed-up. Implemented here as the second half of the unknown-`t`
+//! ablation: BBHT keeps the speed-up with probabilistic guarantees,
+//! fixed-point trades speed for monotonicity.
+//!
+//! Recursion (Grover 2005): `U_{m+1} = U_m R_s(π/3) U_m† R_f(π/3) U_m`
+//! with `U_0 = A`; applied to states, each level cubes the failure
+//! probability. We implement the state-level recursion directly.
+
+use oqsc_quantum::complex::Complex;
+use oqsc_quantum::StateVector;
+
+/// Fixed-point amplifier over an explicit marked set.
+#[derive(Clone, Debug)]
+pub struct FixedPointAmplifier {
+    psi: StateVector,
+    marked: Vec<bool>,
+}
+
+impl FixedPointAmplifier {
+    /// Creates the amplifier from the initial state and marked set.
+    pub fn new(psi: StateVector, marked: Vec<bool>) -> Self {
+        assert_eq!(marked.len(), psi.dim());
+        FixedPointAmplifier { psi, marked }
+    }
+
+    /// Initial success probability `a`.
+    pub fn initial_success(&self) -> f64 {
+        success_of(&self.psi, &self.marked)
+    }
+
+    /// The state after `levels` of the π/3 recursion (state grows as
+    /// `3^levels` applications of the base preparation; keep
+    /// `levels ≤ 6`).
+    pub fn state_after(&self, levels: u32) -> StateVector {
+        assert!(levels <= 6, "3^levels base applications");
+        self.recurse(levels)
+    }
+
+    /// Success probability after `levels` of recursion; analytically
+    /// `1 − (1 − a)^{3^levels}`.
+    pub fn success_after(&self, levels: u32) -> f64 {
+        success_of(&self.state_after(levels), &self.marked)
+    }
+
+    /// The analytic prediction `1 − δ^{3^levels}`.
+    pub fn predicted_success(&self, levels: u32) -> f64 {
+        let delta = 1.0 - self.initial_success();
+        1.0 - delta.powi(3i32.pow(levels))
+    }
+
+    fn recurse(&self, level: u32) -> StateVector {
+        if level == 0 {
+            return self.psi.clone();
+        }
+        // |u⟩ = U_{m-1}|0⟩ (as a state: the previous level's output).
+        let u = self.recurse(level - 1);
+        // R_f(π/3): phase e^{iπ/3} on marked ("flawed" convention:
+        // Grover's paper phases the *target*; either sign convention gives
+        // the δ³ contraction — tests pin the numbers).
+        let mut s = u.clone();
+        let phase = Complex::from_phase(std::f64::consts::PI / 3.0);
+        s.phase_if(|b| self.marked[b], phase);
+        // U_m = U_{m-1} R_s(π/3) U_{m-1}† R_f(π/3) U_{m-1}:
+        // the middle operator R_s(π/3) acts as
+        // I + (e^{iπ/3} − 1)|u⟩⟨u| in state space.
+        let overlap = u.inner(&s);
+        let coeff = (phase - Complex::real(1.0)) * overlap;
+        // s ← s + coeff·u
+        let updates: Vec<Complex> = s
+            .amplitudes()
+            .iter()
+            .zip(u.amplitudes())
+            .map(|(&sa, &ua)| sa + coeff * ua)
+            .collect();
+        StateVector::from_amplitudes(updates)
+    }
+}
+
+fn success_of(state: &StateVector, marked: &[bool]) -> f64 {
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(b, _)| marked[*b])
+        .map(|(_, z)| z.norm_sqr())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_case(width: usize, marks: &[usize]) -> FixedPointAmplifier {
+        let mut marked = vec![false; 1 << width];
+        for &m in marks {
+            marked[m] = true;
+        }
+        FixedPointAmplifier::new(StateVector::uniform(width), marked)
+    }
+
+    #[test]
+    fn one_level_cubes_the_failure_probability() {
+        for (width, marks) in [(3usize, vec![1usize]), (4, vec![2, 9]), (4, vec![0, 5, 10, 15])] {
+            let amp = uniform_case(width, &marks);
+            let a = amp.initial_success();
+            let got = amp.success_after(1);
+            let want = 1.0 - (1.0 - a).powi(3);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "width={width}: {got} vs {want} (a = {a})"
+            );
+        }
+    }
+
+    #[test]
+    fn success_is_monotone_in_levels() {
+        let amp = uniform_case(4, &[7]);
+        let mut prev = amp.initial_success();
+        for level in 1..=4u32 {
+            let s = amp.success_after(level);
+            assert!(s >= prev - 1e-12, "level {level}: {prev} -> {s}");
+            assert!((s - amp.predicted_success(level)).abs() < 1e-9);
+            prev = s;
+        }
+        assert!(prev > 0.85, "four levels from 1/16 should be strong: {prev}");
+    }
+
+    #[test]
+    fn no_overshoot_unlike_plain_grover() {
+        // Plain Grover from a = 1/4 overshoots after one iteration
+        // (sin²(3θ) with θ = π/6 gives exactly 1 then falls); fixed-point
+        // never falls.
+        let amp = uniform_case(4, &[0, 1, 2, 3]); // a = 1/4
+        let s1 = amp.success_after(1);
+        let s2 = amp.success_after(2);
+        assert!(s2 >= s1);
+        assert!((s1 - (1.0 - 0.75f64.powi(3))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let amp = uniform_case(3, &[5]);
+        for level in 0..=3u32 {
+            assert!((amp.state_after(level).norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_marked_stays_at_zero() {
+        let amp = FixedPointAmplifier::new(StateVector::uniform(3), vec![false; 8]);
+        assert_eq!(amp.initial_success(), 0.0);
+        assert!(amp.success_after(2) < 1e-12);
+    }
+}

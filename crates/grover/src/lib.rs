@@ -1,0 +1,31 @@
+//! # oqsc-grover — Grover search and the BBHT unknown-`t` analysis
+//!
+//! Procedure A3 of the paper is an online implementation of Grover search
+//! over the intersection predicate `x_i ∧ y_i`, using the randomized
+//! iteration count of Boyer–Brassard–Høyer–Tapp because the number of
+//! solutions `t` is unknown. This crate provides:
+//!
+//! * [`analysis`] — the closed forms: `sin²((2j+1)θ)` success, the paper's
+//!   averaged bound `1/2 − sin(4Mθ)/(4M sin 2θ) ≥ 1/4`, optimal iteration
+//!   counts;
+//! * [`search`] — exact state-vector Grover simulation over explicit
+//!   marked sets;
+//! * [`bbht`] — single-shot random-`j` detection (what A3 uses) and the
+//!   full BBHT search loop with growing budgets;
+//! * [`amplitude`] — generalized amplitude amplification from arbitrary
+//!   initial states (the paper's remark on boosting the one-sided
+//!   constant).
+
+#![warn(missing_docs)]
+
+pub mod amplitude;
+pub mod analysis;
+pub mod bbht;
+pub mod fixed_point;
+pub mod search;
+
+pub use amplitude::{iterations_to_reach, AmplitudeAmplifier};
+pub use analysis::{averaged_success, grover_angle, optimal_iterations, success_after};
+pub use fixed_point::FixedPointAmplifier;
+pub use bbht::{bbht_search, random_j_detection, random_j_detection_probability, BbhtResult, DetectionOutcome};
+pub use search::GroverSim;

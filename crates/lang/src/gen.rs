@@ -1,0 +1,248 @@
+//! Instance and adversarial-input generators.
+//!
+//! Every experiment needs three input families:
+//! members of `L_DISJ` (disjoint pairs), well-shaped non-members (planted
+//! intersections, the Grover targets of procedure A3), and malformed words
+//! exercising each failure mode of conditions (i)–(iii) from the proof of
+//! Theorem 3.4 (the inputs procedures A1 and A2 must catch).
+
+use crate::instance::{string_len, LdisjInstance};
+use crate::token::Sym;
+use rand::Rng;
+
+/// Samples a *member*: a uniformly random disjoint pair. Per coordinate the
+/// pattern `(x_i, y_i)` is drawn uniformly from `{(0,0), (0,1), (1,0)}`.
+pub fn random_member<R: Rng + ?Sized>(k: u32, rng: &mut R) -> LdisjInstance {
+    let m = string_len(k);
+    let mut x = vec![false; m];
+    let mut y = vec![false; m];
+    for i in 0..m {
+        match rng.gen_range(0..3) {
+            0 => {}
+            1 => x[i] = true,
+            _ => y[i] = true,
+        }
+    }
+    LdisjInstance::new(k, x, y)
+}
+
+/// Samples a well-shaped *non-member* with exactly `t ≥ 1` intersecting
+/// coordinates (the paper's unknown number of Grover solutions).
+///
+/// # Panics
+/// If `t = 0` or `t > 2^{2k}`.
+pub fn random_nonmember<R: Rng + ?Sized>(k: u32, t: usize, rng: &mut R) -> LdisjInstance {
+    let m = string_len(k);
+    assert!(t >= 1 && t <= m, "need 1 ≤ t ≤ m");
+    let inst = random_member(k, rng);
+    let mut x = inst.x().to_vec();
+    let mut y = inst.y().to_vec();
+    // Choose t coordinates to intersect (partial Fisher–Yates).
+    let mut idx: Vec<usize> = (0..m).collect();
+    for j in 0..t {
+        let pick = rng.gen_range(j..m);
+        idx.swap(j, pick);
+        x[idx[j]] = true;
+        y[idx[j]] = true;
+    }
+    let out = LdisjInstance::new(k, x, y);
+    debug_assert_eq!(out.intersections(), t);
+    out
+}
+
+/// Samples `(x, y)` with i.i.d. Bernoulli(density) bits — membership is
+/// then random (distribution studies).
+pub fn random_pair<R: Rng + ?Sized>(k: u32, density: f64, rng: &mut R) -> LdisjInstance {
+    let m = string_len(k);
+    let x = (0..m).map(|_| rng.gen_bool(density)).collect();
+    let y = (0..m).map(|_| rng.gen_bool(density)).collect();
+    LdisjInstance::new(k, x, y)
+}
+
+/// The structural corruptions the online procedures must detect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Malformation {
+    /// Drop the `1^k#` prefix entirely (condition (i), caught by A1).
+    MissingPrefix,
+    /// Make one block one bit short (condition (i), caught by A1).
+    ShortBlock,
+    /// Append a stray bit after the final `#` (condition (i), caught by A1).
+    TrailingSymbol,
+    /// Truncate the word in the middle of a round (condition (i)).
+    Truncated,
+    /// Flip one bit of one `z` block so `z⁽ʳ⁾ ≠ x⁽ʳ⁾` (condition (ii),
+    /// caught by A2).
+    ZCopyMismatch,
+    /// Flip one bit of a non-first `x` block so the rounds disagree
+    /// (condition (ii), caught by A2).
+    XDriftAcrossRounds,
+    /// Flip one bit of a non-first `y` block (condition (iii), caught by
+    /// A2).
+    YDriftAcrossRounds,
+}
+
+/// All malformation kinds (for exhaustive sweeps).
+pub const ALL_MALFORMATIONS: [Malformation; 7] = [
+    Malformation::MissingPrefix,
+    Malformation::ShortBlock,
+    Malformation::TrailingSymbol,
+    Malformation::Truncated,
+    Malformation::ZCopyMismatch,
+    Malformation::XDriftAcrossRounds,
+    Malformation::YDriftAcrossRounds,
+];
+
+/// Corrupts a well-formed encoding according to `kind`. The result is
+/// guaranteed **not** to be in `L_DISJ` (it violates one of the three
+/// conditions), regardless of the instance's disjointness.
+///
+/// Bit-flip corruptions require `k ≥ 1` rounds ≥ 2, which Definition 3.3
+/// guarantees (`2^k ≥ 2`).
+pub fn malform<R: Rng + ?Sized>(
+    inst: &LdisjInstance,
+    kind: Malformation,
+    rng: &mut R,
+) -> Vec<Sym> {
+    let mut word = inst.encode();
+    let k = inst.k() as usize;
+    let m = inst.m();
+    // Offsets into the encoding: prefix is k+1 symbols; each block is m+1
+    // symbols (m bits then '#'); round r starts at k+1 + 3r(m+1).
+    let block_start = |round: usize, slot: usize| k + 1 + (3 * round + slot) * (m + 1);
+    match kind {
+        Malformation::MissingPrefix => {
+            word.drain(0..k + 1);
+        }
+        Malformation::ShortBlock => {
+            let round = rng.gen_range(0..inst.rounds());
+            let slot = rng.gen_range(0..3);
+            word.remove(block_start(round, slot));
+        }
+        Malformation::TrailingSymbol => {
+            word.push(Sym::from_bit(rng.gen()));
+        }
+        Malformation::Truncated => {
+            let keep = rng.gen_range(k + 2..word.len());
+            word.truncate(keep);
+        }
+        Malformation::ZCopyMismatch => {
+            let round = rng.gen_range(0..inst.rounds());
+            let bit = rng.gen_range(0..m);
+            flip(&mut word, block_start(round, 2) + bit);
+        }
+        Malformation::XDriftAcrossRounds => {
+            let round = rng.gen_range(1..inst.rounds());
+            let bit = rng.gen_range(0..m);
+            flip(&mut word, block_start(round, 0) + bit);
+        }
+        Malformation::YDriftAcrossRounds => {
+            let round = rng.gen_range(1..inst.rounds());
+            let bit = rng.gen_range(0..m);
+            flip(&mut word, block_start(round, 1) + bit);
+        }
+    }
+    word
+}
+
+fn flip(word: &mut [Sym], pos: usize) {
+    word[pos] = match word[pos] {
+        Sym::Zero => Sym::One,
+        Sym::One => Sym::Zero,
+        Sym::Hash => unreachable!("bit positions never hold #"),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{is_in_ldisj, parse_shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn members_are_members() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for k in 1..=3u32 {
+            for _ in 0..20 {
+                let inst = random_member(k, &mut rng);
+                assert!(inst.is_member());
+                assert!(is_in_ldisj(&inst.encode()));
+            }
+        }
+    }
+
+    #[test]
+    fn nonmembers_have_exact_intersections() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in 1..=3u32 {
+            let m = string_len(k);
+            for t in [1usize, 2, m / 2, m] {
+                let inst = random_nonmember(k, t, &mut rng);
+                assert_eq!(inst.intersections(), t);
+                assert!(!inst.is_member());
+                assert!(!is_in_ldisj(&inst.encode()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ t ≤ m")]
+    fn nonmember_t_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_nonmember(1, 0, &mut rng);
+    }
+
+    #[test]
+    fn every_malformation_leaves_the_language() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for k in 1..=3u32 {
+            for _ in 0..5 {
+                let inst = random_member(k, &mut rng);
+                for kind in ALL_MALFORMATIONS {
+                    let word = malform(&inst, kind, &mut rng);
+                    assert!(
+                        !is_in_ldisj(&word),
+                        "k={k} {kind:?} should leave the language"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_malformations_break_shape_and_consistency_ones_do_not() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let inst = random_member(2, &mut rng);
+        for kind in [
+            Malformation::MissingPrefix,
+            Malformation::ShortBlock,
+            Malformation::TrailingSymbol,
+            Malformation::Truncated,
+        ] {
+            let word = malform(&inst, kind, &mut rng);
+            assert!(parse_shape(&word).is_err(), "{kind:?} should break shape");
+        }
+        for kind in [
+            Malformation::ZCopyMismatch,
+            Malformation::XDriftAcrossRounds,
+            Malformation::YDriftAcrossRounds,
+        ] {
+            let word = malform(&inst, kind, &mut rng);
+            let parsed = parse_shape(&word).expect("shape intact");
+            assert!(
+                !parsed.copies_consistent(),
+                "{kind:?} should break copy consistency"
+            );
+        }
+    }
+
+    #[test]
+    fn random_pair_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let all_zero = random_pair(1, 0.0, &mut rng);
+        assert!(all_zero.is_member());
+        let all_one = random_pair(1, 1.0, &mut rng);
+        assert!(!all_one.is_member());
+        assert_eq!(all_one.intersections(), all_one.m());
+    }
+}

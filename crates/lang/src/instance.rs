@@ -1,0 +1,267 @@
+//! Well-formed `L_DISJ` instances.
+//!
+//! Definition 3.3 of the paper:
+//!
+//! ```text
+//! L_DISJ = { 1^k # (x#y#x#)^{2^k} | k ≥ 1, x,y ∈ {0,1}^{2^{2k}},
+//!            DISJ_{2^{2k}}(x, y) = 1 }
+//! ```
+//!
+//! A [`LdisjInstance`] is the underlying data `(k, x, y)`; encoding to the
+//! paper's input word, the disjointness predicate, and the exact size
+//! formulas live here.
+
+use crate::token::{Sym, bits_to_syms};
+
+/// The data `(k, x, y)` underlying a syntactically well-formed input of the
+/// form `1^k # (x#y#x#)^{2^k}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LdisjInstance {
+    k: u32,
+    x: Vec<bool>,
+    y: Vec<bool>,
+}
+
+/// `DISJ_n(x, y) = 1` iff no index has `x_i = y_i = 1` (the paper's
+/// Section 3.1 communication problem).
+pub fn disj(x: &[bool], y: &[bool]) -> bool {
+    assert_eq!(x.len(), y.len(), "DISJ needs equal lengths");
+    x.iter().zip(y).all(|(&a, &b)| !(a && b))
+}
+
+/// Number of intersecting coordinates `|{i : x_i = y_i = 1}|` (the paper's
+/// `t`, which drives the Grover success probability).
+pub fn intersection_count(x: &[bool], y: &[bool]) -> usize {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).filter(|(&a, &b)| a && b).count()
+}
+
+impl LdisjInstance {
+    /// Creates an instance from strings of length exactly `2^{2k}`.
+    ///
+    /// # Panics
+    /// If `k = 0` or either string has the wrong length.
+    pub fn new(k: u32, x: Vec<bool>, y: Vec<bool>) -> Self {
+        assert!(k >= 1, "the language requires k ≥ 1");
+        let m = string_len(k);
+        assert_eq!(x.len(), m, "x must have length 2^(2k) = {m}");
+        assert_eq!(y.len(), m, "y must have length 2^(2k) = {m}");
+        LdisjInstance { k, x, y }
+    }
+
+    /// The parameter `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The string `x`.
+    #[inline]
+    pub fn x(&self) -> &[bool] {
+        &self.x
+    }
+
+    /// The string `y`.
+    #[inline]
+    pub fn y(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// String length `m = 2^{2k}`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        string_len(self.k)
+    }
+
+    /// Number of `x#y#x#` rounds, `2^k`.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// True iff `DISJ(x, y) = 1`, i.e. iff the encoded word is in
+    /// `L_DISJ`.
+    pub fn is_member(&self) -> bool {
+        disj(&self.x, &self.y)
+    }
+
+    /// The paper's `t`: the number of intersecting coordinates.
+    pub fn intersections(&self) -> usize {
+        intersection_count(&self.x, &self.y)
+    }
+
+    /// The symbol at position `pos` of the encoded word, without
+    /// materializing the word (`O(1)` time and space). Positions beyond
+    /// the encoded length return `None`.
+    pub fn symbol_at(&self, pos: usize) -> Option<Sym> {
+        let k = self.k as usize;
+        let m = self.m();
+        if pos < k {
+            return Some(Sym::One);
+        }
+        if pos == k {
+            return Some(Sym::Hash);
+        }
+        let offset = pos - (k + 1);
+        let block = offset / (m + 1);
+        if block >= 3 * self.rounds() {
+            return None;
+        }
+        let within = offset % (m + 1);
+        if within == m {
+            return Some(Sym::Hash);
+        }
+        let bit = match block % 3 {
+            0 | 2 => self.x[within],
+            _ => self.y[within],
+        };
+        Some(Sym::from_bit(bit))
+    }
+
+    /// Streams the encoded word symbol by symbol without allocating it —
+    /// the natural input mode for the online machines, and the only
+    /// practical one for large `k` (the `k = 8` word is 5·10⁷ symbols).
+    pub fn stream(&self) -> impl Iterator<Item = Sym> + '_ {
+        (0..encoded_len(self.k)).map(move |p| self.symbol_at(p).expect("within length"))
+    }
+
+    /// Encodes to the input word `1^k # (x#y#x#)^{2^k}`.
+    pub fn encode(&self) -> Vec<Sym> {
+        let mut out = Vec::with_capacity(encoded_len(self.k));
+        out.extend(std::iter::repeat(Sym::One).take(self.k as usize));
+        out.push(Sym::Hash);
+        let xs = bits_to_syms(&self.x);
+        let ys = bits_to_syms(&self.y);
+        for _ in 0..self.rounds() {
+            out.extend_from_slice(&xs);
+            out.push(Sym::Hash);
+            out.extend_from_slice(&ys);
+            out.push(Sym::Hash);
+            out.extend_from_slice(&xs);
+            out.push(Sym::Hash);
+        }
+        debug_assert_eq!(out.len(), encoded_len(self.k));
+        out
+    }
+}
+
+/// String length `m = 2^{2k}`.
+#[inline]
+pub fn string_len(k: u32) -> usize {
+    1usize << (2 * k)
+}
+
+/// Exact encoded input length:
+/// `n = k + 1 + 2^k · 3 · (2^{2k} + 1) = Θ(2^{3k})`.
+#[inline]
+pub fn encoded_len(k: u32) -> usize {
+    k as usize + 1 + (1usize << k) * 3 * (string_len(k) + 1)
+}
+
+/// The `k` whose encoded length equals `n`, if any (inverse of
+/// [`encoded_len`] — used to express space bounds "in terms of the input
+/// length" as the paper's Theorem 3.6 does).
+pub fn k_for_encoded_len(n: usize) -> Option<u32> {
+    (1..=20u32).find(|&k| encoded_len(k) == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::to_string;
+
+    #[test]
+    fn disj_predicate() {
+        assert!(disj(&[false, false], &[true, true]));
+        assert!(disj(&[true, false], &[false, true]));
+        assert!(!disj(&[true, false], &[true, false]));
+        assert!(disj(&[], &[]));
+    }
+
+    #[test]
+    fn intersection_counting() {
+        assert_eq!(intersection_count(&[true, true, false], &[true, false, true]), 1);
+        assert_eq!(intersection_count(&[true, true], &[true, true]), 2);
+        assert_eq!(intersection_count(&[false; 4], &[true; 4]), 0);
+    }
+
+    #[test]
+    fn sizes_for_k1() {
+        // k = 1: m = 4, rounds = 2, n = 1 + 1 + 2·3·5 = 32.
+        assert_eq!(string_len(1), 4);
+        assert_eq!(encoded_len(1), 32);
+        assert_eq!(k_for_encoded_len(32), Some(1));
+        assert_eq!(k_for_encoded_len(33), None);
+    }
+
+    #[test]
+    fn sizes_grow_as_2_to_3k() {
+        for k in 1..8u32 {
+            let ratio = encoded_len(k + 1) as f64 / encoded_len(k) as f64;
+            assert!(ratio > 6.0 && ratio < 9.5, "k={k}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn golden_encoding_k1() {
+        // x = 1010, y = 0101 (disjoint): word = 1#(1010#0101#1010#)^2
+        let inst = LdisjInstance::new(
+            1,
+            vec![true, false, true, false],
+            vec![false, true, false, true],
+        );
+        assert!(inst.is_member());
+        assert_eq!(
+            to_string(&inst.encode()),
+            "1#1010#0101#1010#1010#0101#1010#"
+        );
+        assert_eq!(inst.encode().len(), encoded_len(1));
+    }
+
+    #[test]
+    fn membership_tracks_disjointness() {
+        let m = string_len(1);
+        let x = vec![true; m];
+        let y = vec![true; m];
+        let inst = LdisjInstance::new(1, x, y);
+        assert!(!inst.is_member());
+        assert_eq!(inst.intersections(), m);
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = LdisjInstance::new(1, vec![false; 4], vec![true; 4]);
+        assert_eq!(inst.k(), 1);
+        assert_eq!(inst.m(), 4);
+        assert_eq!(inst.rounds(), 2);
+        assert_eq!(inst.x(), &[false; 4]);
+        assert_eq!(inst.y(), &[true; 4]);
+    }
+
+    #[test]
+    fn streaming_encoder_matches_materialized() {
+        for k in 1..=3u32 {
+            let m = string_len(k);
+            let x: Vec<bool> = (0..m).map(|i| i % 3 == 1).collect();
+            let y: Vec<bool> = (0..m).map(|i| i % 5 == 2).collect();
+            let inst = LdisjInstance::new(k, x, y);
+            let materialized = inst.encode();
+            let streamed: Vec<Sym> = inst.stream().collect();
+            assert_eq!(streamed, materialized, "k={k}");
+            assert_eq!(inst.symbol_at(materialized.len()), None);
+            assert_eq!(inst.symbol_at(usize::MAX / 2), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn k_zero_rejected() {
+        LdisjInstance::new(0, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length 2^(2k)")]
+    fn wrong_length_rejected() {
+        LdisjInstance::new(1, vec![true; 3], vec![true; 4]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # oqsc-lang — the language `L_DISJ` (Definition 3.3)
+//!
+//! The total language of the paper's separation:
+//!
+//! ```text
+//! L_DISJ = { 1^k # (x#y#x#)^{2^k} | k ≥ 1, x,y ∈ {0,1}^{2^{2k}},
+//!            DISJ_{2^{2k}}(x, y) = 1 }
+//! ```
+//!
+//! * [`token`] — the alphabet `Σ = {0, 1, #}`;
+//! * [`instance`] — the data `(k, x, y)`, the encoder, `DISJ`, exact size
+//!   formulas (`n = k + 1 + 3·2^k·(2^{2k}+1) = Θ(2^{3k})`);
+//! * [`parse`] — offline parser and the unbounded-space reference decider;
+//! * [`gen`] — random members, planted-intersection non-members, and the
+//!   seven structural malformations procedures A1/A2 must detect.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod instance;
+pub mod parse;
+pub mod stats;
+pub mod token;
+
+pub use gen::{malform, random_member, random_nonmember, random_pair, Malformation, ALL_MALFORMATIONS};
+pub use instance::{disj, encoded_len, intersection_count, string_len, LdisjInstance};
+pub use stats::{density_for_membership, expected_intersections, intersection_distribution, membership_probability};
+pub use parse::{is_in_ldisj, parse_shape, ParsedWord, ShapeError};
+pub use token::Sym;

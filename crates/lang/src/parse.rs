@@ -1,0 +1,250 @@
+//! Offline parsing and the reference decider for `L_DISJ`.
+//!
+//! This module is the ground truth every online algorithm in the
+//! reproduction is compared against: it parses a whole input word (random
+//! access, unbounded space) and decides membership by directly checking the three
+//! conditions of the proof of Theorem 3.4 plus disjointness.
+
+use crate::instance::{disj, string_len, LdisjInstance};
+use crate::token::Sym;
+
+/// Why a word fails the *syntactic* shape `1^k#(b^{2^{2k}}#)^{3·2^k}`
+/// (condition (i) of Theorem 3.4's proof).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Empty input or missing `1^k#` prefix (including `k = 0`).
+    BadPrefix,
+    /// A block contains a `#` too early or a non-bit where a bit belongs.
+    WrongBlockLength {
+        /// Index of the offending block (0-based).
+        block: usize,
+    },
+    /// Input ended before `3·2^k` blocks were read.
+    UnexpectedEnd,
+    /// Symbols remain after the final block's `#`.
+    TrailingSymbols,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::BadPrefix => write!(f, "missing 1^k# prefix"),
+            ShapeError::WrongBlockLength { block } => {
+                write!(f, "block {block} has the wrong length")
+            }
+            ShapeError::UnexpectedEnd => write!(f, "input truncated"),
+            ShapeError::TrailingSymbols => write!(f, "trailing symbols after final block"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A syntactically well-shaped word: `k` and its `3·2^k` blocks in input
+/// order (`x⁽¹⁾, y⁽¹⁾, z⁽¹⁾, x⁽²⁾, …`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedWord {
+    /// The prefix parameter `k ≥ 1`.
+    pub k: u32,
+    /// All `3·2^k` blocks, each of length `2^{2k}`.
+    pub blocks: Vec<Vec<bool>>,
+}
+
+impl ParsedWord {
+    /// The block triple of round `r` (0-based): `(x⁽ʳ⁾, y⁽ʳ⁾, z⁽ʳ⁾)`.
+    pub fn round(&self, r: usize) -> (&[bool], &[bool], &[bool]) {
+        (
+            &self.blocks[3 * r],
+            &self.blocks[3 * r + 1],
+            &self.blocks[3 * r + 2],
+        )
+    }
+
+    /// Number of rounds `2^k`.
+    pub fn rounds(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// Checks conditions (ii) and (iii): every `x⁽ⁱ⁾` and `z⁽ⁱ⁾` equals
+    /// `x⁽¹⁾`, and every `y⁽ⁱ⁾` equals `y⁽¹⁾`.
+    pub fn copies_consistent(&self) -> bool {
+        let (x1, y1, _) = self.round(0);
+        (0..self.rounds()).all(|r| {
+            let (x, y, z) = self.round(r);
+            x == x1 && z == x1 && y == y1
+        })
+    }
+
+    /// Extracts the underlying instance when the copies are consistent.
+    pub fn to_instance(&self) -> Option<LdisjInstance> {
+        if !self.copies_consistent() {
+            return None;
+        }
+        let (x, y, _) = self.round(0);
+        Some(LdisjInstance::new(self.k, x.to_vec(), y.to_vec()))
+    }
+}
+
+/// Parses the shape `1^k#(b^{2^{2k}}#)^{3·2^k}` (condition (i)).
+pub fn parse_shape(word: &[Sym]) -> Result<ParsedWord, ShapeError> {
+    // 1^k prefix.
+    let k = word.iter().take_while(|&&s| s == Sym::One).count();
+    if k == 0 || k > 20 || word.get(k) != Some(&Sym::Hash) {
+        return Err(ShapeError::BadPrefix);
+    }
+    let k = k as u32;
+    let m = string_len(k);
+    let expected_blocks = 3 * (1usize << k);
+
+    let mut blocks = Vec::with_capacity(expected_blocks);
+    let mut pos = k as usize + 1;
+    for block_idx in 0..expected_blocks {
+        let mut bits = Vec::with_capacity(m);
+        loop {
+            match word.get(pos) {
+                None => return Err(ShapeError::UnexpectedEnd),
+                Some(Sym::Hash) => {
+                    pos += 1;
+                    break;
+                }
+                Some(s) => {
+                    bits.push(s.bit().expect("only # has no bit"));
+                    if bits.len() > m {
+                        return Err(ShapeError::WrongBlockLength { block: block_idx });
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        if bits.len() != m {
+            return Err(ShapeError::WrongBlockLength { block: block_idx });
+        }
+        blocks.push(bits);
+    }
+    if pos != word.len() {
+        return Err(ShapeError::TrailingSymbols);
+    }
+    Ok(ParsedWord { k, blocks })
+}
+
+/// The reference decider: `true` iff `word ∈ L_DISJ` (Definition 3.3).
+/// Uses unbounded space; this is the oracle the bounded-space online
+/// algorithms are validated against.
+pub fn is_in_ldisj(word: &[Sym]) -> bool {
+    match parse_shape(word) {
+        Err(_) => false,
+        Ok(parsed) => match parsed.to_instance() {
+            None => false,
+            Some(inst) => disj(inst.x(), inst.y()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::from_str;
+
+    fn syms(s: &str) -> Vec<Sym> {
+        from_str(s).expect("valid symbols")
+    }
+
+    #[test]
+    fn parses_valid_k1_word() {
+        let w = syms("1#1010#0101#1010#1010#0101#1010#");
+        let parsed = parse_shape(&w).expect("well shaped");
+        assert_eq!(parsed.k, 1);
+        assert_eq!(parsed.blocks.len(), 6);
+        assert!(parsed.copies_consistent());
+        assert!(is_in_ldisj(&w));
+    }
+
+    #[test]
+    fn rejects_intersecting_strings() {
+        // x = 1010, y = 1101: intersect at index 0 (and 2? x_2=1,y_2=0 no).
+        let w = syms("1#1010#1101#1010#1010#1101#1010#");
+        let parsed = parse_shape(&w).expect("well shaped");
+        assert!(parsed.copies_consistent());
+        assert!(!is_in_ldisj(&w));
+    }
+
+    #[test]
+    fn rejects_inconsistent_copies() {
+        // z-block of round 1 differs from x.
+        let w = syms("1#1010#0101#1011#1010#0101#1010#");
+        let parsed = parse_shape(&w).expect("still well shaped");
+        assert!(!parsed.copies_consistent());
+        assert_eq!(parsed.to_instance(), None);
+        assert!(!is_in_ldisj(&w));
+    }
+
+    #[test]
+    fn rejects_y_drift_between_rounds() {
+        let w = syms("1#1010#0101#1010#1010#0100#1010#");
+        let parsed = parse_shape(&w).expect("well shaped");
+        assert!(!parsed.copies_consistent());
+        assert!(!is_in_ldisj(&w));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(parse_shape(&syms("")), Err(ShapeError::BadPrefix));
+        assert_eq!(parse_shape(&syms("#1010#")), Err(ShapeError::BadPrefix));
+        assert_eq!(parse_shape(&syms("01#")), Err(ShapeError::BadPrefix));
+        // k = 1 but block of length 3.
+        assert_eq!(
+            parse_shape(&syms("1#101#0101#1010#1010#0101#1010#")),
+            Err(ShapeError::WrongBlockLength { block: 0 })
+        );
+        // Block too long.
+        assert_eq!(
+            parse_shape(&syms("1#10100#0101#1010#1010#0101#1010#")),
+            Err(ShapeError::WrongBlockLength { block: 0 })
+        );
+        // Truncated after three blocks.
+        assert_eq!(
+            parse_shape(&syms("1#1010#0101#1010#")),
+            Err(ShapeError::UnexpectedEnd)
+        );
+        // Trailing garbage.
+        assert_eq!(
+            parse_shape(&syms("1#1010#0101#1010#1010#0101#1010#1")),
+            Err(ShapeError::TrailingSymbols)
+        );
+    }
+
+    #[test]
+    fn missing_final_hash_is_unexpected_end() {
+        assert_eq!(
+            parse_shape(&syms("1#1010#0101#1010#1010#0101#1010")),
+            Err(ShapeError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn instance_roundtrip_through_parser() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        for k in 1..=3u32 {
+            let m = string_len(k);
+            let x: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+            let y: Vec<bool> = (0..m).map(|i| !x[i] && rng.gen()).collect();
+            let inst = LdisjInstance::new(k, x, y);
+            let word = inst.encode();
+            let parsed = parse_shape(&word).expect("well shaped");
+            assert_eq!(parsed.to_instance().expect("consistent"), inst);
+            assert_eq!(is_in_ldisj(&word), inst.is_member());
+        }
+    }
+
+    #[test]
+    fn round_accessor() {
+        let w = syms("1#1010#0101#1010#1110#0101#1010#");
+        let parsed = parse_shape(&w).expect("shape ok");
+        let (x, y, z) = parsed.round(1);
+        assert_eq!(x, &[true, true, true, false]);
+        assert_eq!(y, &[false, true, false, true]);
+        assert_eq!(z, &[true, false, true, false]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Instance-ensemble statistics.
+//!
+//! The experiments sample instances from two families: planted-`t`
+//! non-members and i.i.d.-density pairs. This module provides the closed
+//! forms governing those ensembles — membership probability, expected
+//! intersection count, the density at which membership probability is
+//! 1/2 — so generators and experiment configurations can be chosen
+//! deliberately (e.g. F4 plants `t = 1` because random density-`d` pairs
+//! at any fixed `d` have exponentially vanishing membership probability,
+//! which would make the "hard" regime untestable by rejection sampling).
+
+/// Probability that an i.i.d. Bernoulli(`d`)² pair of length-`m` strings
+/// is disjoint: `(1 − d²)^m`.
+pub fn membership_probability(m: usize, density: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&density));
+    (1.0 - density * density).powi(m as i32)
+}
+
+/// Expected number of intersecting coordinates: `m·d²`.
+pub fn expected_intersections(m: usize, density: f64) -> f64 {
+    m as f64 * density * density
+}
+
+/// The density at which the membership probability equals `target`:
+/// `d = √(1 − target^{1/m})`.
+pub fn density_for_membership(m: usize, target: f64) -> f64 {
+    assert!(m >= 1 && (0.0..1.0).contains(&target) && target > 0.0);
+    (1.0 - target.powf(1.0 / m as f64)).sqrt()
+}
+
+/// Exact distribution of the intersection count under i.i.d. density
+/// `d`: `P[t] = C(m, t)·(d²)^t·(1 − d²)^{m−t}` (binomial). Returned for
+/// `t = 0..=m`.
+pub fn intersection_distribution(m: usize, density: f64) -> Vec<f64> {
+    assert!(m <= 1 << 16, "distribution vector too large");
+    let p = density * density;
+    let q = 1.0 - p;
+    // Iterative binomial pmf to avoid factorial overflow.
+    let mut pmf = Vec::with_capacity(m + 1);
+    let mut cur = q.powi(m as i32);
+    pmf.push(cur);
+    for t in 1..=m {
+        // pmf[t] = pmf[t−1] · (m−t+1)/t · p/q.
+        if q == 0.0 {
+            cur = if t == m { 1.0 } else { 0.0 };
+        } else {
+            cur = cur * ((m - t + 1) as f64 / t as f64) * (p / q);
+        }
+        pmf.push(cur);
+    }
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn membership_probability_edges() {
+        assert_eq!(membership_probability(16, 0.0), 1.0);
+        assert_eq!(membership_probability(16, 1.0), 0.0);
+        let p = membership_probability(4, 0.5);
+        assert!((p - 0.75f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(220);
+        let k = 2u32;
+        let m = crate::string_len(k);
+        let d = 0.2;
+        let trials = 4000;
+        let members = (0..trials)
+            .filter(|_| random_pair(k, d, &mut rng).is_member())
+            .count();
+        let freq = members as f64 / trials as f64;
+        let exact = membership_probability(m, d);
+        assert!((freq - exact).abs() < 0.03, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn density_inversion_roundtrip() {
+        for m in [4usize, 16, 64] {
+            for target in [0.25, 0.5, 0.9] {
+                let d = density_for_membership(m, target);
+                let back = membership_probability(m, d);
+                assert!((back - target).abs() < 1e-9, "m={m} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_membership_density_shrinks_with_m() {
+        let d4 = density_for_membership(4, 0.5);
+        let d64 = density_for_membership(64, 0.5);
+        let d1024 = density_for_membership(1024, 0.5);
+        assert!(d4 > d64 && d64 > d1024);
+        // Asymptotically d ≈ √(ln 2 / m).
+        let predicted = (std::f64::consts::LN_2 / 1024.0).sqrt();
+        assert!((d1024 - predicted).abs() / predicted < 0.05);
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_matches_expectation() {
+        for (m, d) in [(8usize, 0.3), (16, 0.5), (32, 0.1)] {
+            let pmf = intersection_distribution(m, d);
+            assert_eq!(pmf.len(), m + 1);
+            let total: f64 = pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "m={m} d={d}: sum {total}");
+            let mean: f64 = pmf.iter().enumerate().map(|(t, p)| t as f64 * p).sum();
+            assert!((mean - expected_intersections(m, d)).abs() < 1e-9);
+            // t = 0 mass is the membership probability.
+            assert!((pmf[0] - membership_probability(m, d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extreme_density_distribution() {
+        let pmf = intersection_distribution(8, 1.0);
+        assert!((pmf[8] - 1.0).abs() < 1e-12);
+        assert!(pmf[..8].iter().all(|&p| p.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,113 @@
+//! The ternary input alphabet `Σ = {0, 1, #}`.
+
+/// One input symbol of the paper's alphabet `Σ = {0, 1, #}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// The bit `0`.
+    Zero,
+    /// The bit `1`.
+    One,
+    /// The separator `#`.
+    Hash,
+}
+
+impl Sym {
+    /// Converts a boolean bit.
+    #[inline]
+    pub fn from_bit(b: bool) -> Sym {
+        if b {
+            Sym::One
+        } else {
+            Sym::Zero
+        }
+    }
+
+    /// The bit value, or `None` for `#`.
+    #[inline]
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            Sym::Zero => Some(false),
+            Sym::One => Some(true),
+            Sym::Hash => None,
+        }
+    }
+
+    /// Parses a character of `{'0','1','#'}`.
+    pub fn from_char(c: char) -> Option<Sym> {
+        match c {
+            '0' => Some(Sym::Zero),
+            '1' => Some(Sym::One),
+            '#' => Some(Sym::Hash),
+            _ => None,
+        }
+    }
+
+    /// The display character.
+    pub fn to_char(self) -> char {
+        match self {
+            Sym::Zero => '0',
+            Sym::One => '1',
+            Sym::Hash => '#',
+        }
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Renders a symbol slice as a string (for diagnostics and golden tests).
+pub fn to_string(syms: &[Sym]) -> String {
+    syms.iter().map(|s| s.to_char()).collect()
+}
+
+/// Parses a string of `{0,1,#}` characters.
+pub fn from_str(s: &str) -> Option<Vec<Sym>> {
+    s.chars().map(Sym::from_char).collect()
+}
+
+/// Converts a bit slice to symbols.
+pub fn bits_to_syms(bits: &[bool]) -> Vec<Sym> {
+    bits.iter().map(|&b| Sym::from_bit(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_roundtrip() {
+        for s in [Sym::Zero, Sym::One, Sym::Hash] {
+            assert_eq!(Sym::from_char(s.to_char()), Some(s));
+        }
+        assert_eq!(Sym::from_char('x'), None);
+        assert_eq!(Sym::from_char('2'), None);
+    }
+
+    #[test]
+    fn bit_mapping() {
+        assert_eq!(Sym::from_bit(true), Sym::One);
+        assert_eq!(Sym::from_bit(false), Sym::Zero);
+        assert_eq!(Sym::One.bit(), Some(true));
+        assert_eq!(Sym::Zero.bit(), Some(false));
+        assert_eq!(Sym::Hash.bit(), None);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let s = "1#01#10#";
+        let syms = from_str(s).expect("valid");
+        assert_eq!(to_string(&syms), s);
+        assert_eq!(from_str("1#2"), None);
+    }
+
+    #[test]
+    fn bits_conversion() {
+        assert_eq!(
+            bits_to_syms(&[true, false, true]),
+            vec![Sym::One, Sym::Zero, Sym::One]
+        );
+    }
+}

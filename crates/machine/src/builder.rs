@@ -1,0 +1,331 @@
+//! A small DSL for constructing OPTMs, and the explicit transition-table
+//! version of procedure A1.
+//!
+//! The streaming implementations in `oqsc-core` are the practical
+//! algorithms; this module closes the loop with the *formal* model of
+//! Section 2.1: [`OptmBuilder`] assembles genuine transition tables from
+//! named states, and [`a1_shape_machine`] compiles the condition-(i)
+//! shape check for a **fixed** `k` into an explicit OPTM whose behaviour
+//! is tested against the streaming `FormatChecker`. Because the counters
+//! fit in the control states for fixed `k`, the machine uses zero work
+//! cells — every configuration is just (state, input position), which
+//! makes it an ideal exhibit for the Theorem 3.6 reduction's
+//! configuration counting.
+
+use crate::optm::{Action, InputMove, Optm, State, TapeSym, WorkMove};
+use std::collections::HashMap;
+
+/// Fluent construction of OPTMs with named states.
+#[derive(Debug, Default)]
+pub struct OptmBuilder {
+    names: HashMap<String, State>,
+    next: State,
+    start: Option<State>,
+    accept: Vec<State>,
+    transitions: Vec<(State, TapeSym, TapeSym, Vec<(f64, Action)>)>,
+}
+
+impl OptmBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        OptmBuilder::default()
+    }
+
+    /// Interns a state name.
+    pub fn state(&mut self, name: &str) -> State {
+        if let Some(&s) = self.names.get(name) {
+            return s;
+        }
+        let s = self.next;
+        self.next += 1;
+        self.names.insert(name.to_string(), s);
+        s
+    }
+
+    /// Declares the start state.
+    pub fn start(&mut self, name: &str) -> &mut Self {
+        let s = self.state(name);
+        self.start = Some(s);
+        self
+    }
+
+    /// Declares an accepting (halt) state.
+    pub fn accept(&mut self, name: &str) -> &mut Self {
+        let s = self.state(name);
+        self.accept.push(s);
+        self
+    }
+
+    /// Adds a deterministic "scan" transition: on reading any of `inputs`
+    /// in `from` (any work symbol), go to `to` and advance the input head.
+    pub fn scan(&mut self, from: &str, inputs: &[TapeSym], to: &str) -> &mut Self {
+        let f = self.state(from);
+        let t = self.state(to);
+        for &i in inputs {
+            for w in [TapeSym::Zero, TapeSym::One, TapeSym::Hash, TapeSym::Blank] {
+                self.transitions.push((
+                    f,
+                    i,
+                    w,
+                    vec![(
+                        1.0,
+                        Action {
+                            next: t,
+                            write: w,
+                            work_move: WorkMove::Stay,
+                            input_move: InputMove::Right,
+                        },
+                    )],
+                ));
+            }
+        }
+        self
+    }
+
+    /// Adds a deterministic transition with full control.
+    pub fn rule(
+        &mut self,
+        from: &str,
+        input: TapeSym,
+        work: TapeSym,
+        to: &str,
+        write: TapeSym,
+        work_move: WorkMove,
+        input_move: InputMove,
+    ) -> &mut Self {
+        let f = self.state(from);
+        let t = self.state(to);
+        self.transitions.push((
+            f,
+            input,
+            work,
+            vec![(
+                1.0,
+                Action {
+                    next: t,
+                    write,
+                    work_move,
+                    input_move,
+                },
+            )],
+        ));
+        self
+    }
+
+    /// Adds a probabilistic branch set.
+    pub fn branch(
+        &mut self,
+        from: &str,
+        input: TapeSym,
+        work: TapeSym,
+        branches: &[(f64, &str)],
+    ) -> &mut Self {
+        let f = self.state(from);
+        let acts: Vec<(f64, Action)> = branches
+            .iter()
+            .map(|&(p, to)| {
+                let t = self.state(to);
+                (
+                    p,
+                    Action {
+                        next: t,
+                        write: work,
+                        work_move: WorkMove::Stay,
+                        input_move: InputMove::Stay,
+                    },
+                )
+            })
+            .collect();
+        self.transitions.push((f, input, work, acts));
+        self
+    }
+
+    /// Number of states interned so far.
+    pub fn num_states(&self) -> u32 {
+        self.next
+    }
+
+    /// Finalizes into an [`Optm`].
+    ///
+    /// # Panics
+    /// If no start state was declared.
+    pub fn build(self) -> Optm {
+        let start = self.start.expect("start state required");
+        let mut m = Optm::new(self.next.max(1), start, self.accept);
+        for (f, i, w, acts) in self.transitions {
+            m.add(f, i, w, acts);
+        }
+        m
+    }
+}
+
+/// The explicit-OPTM shape check of procedure A1 for a **fixed** `k`:
+/// accepts exactly the words `1^k#(b^{2^{2k}}#)^{3·2^k}`. Counters live
+/// in the control states (legitimate for fixed `k`; the streaming
+/// `FormatChecker` in `oqsc-core` handles unknown `k` with tape
+/// counters). Uses zero work cells.
+///
+/// # Panics
+/// If `k = 0` or `k > 3` (the state count `≈ 3·2^{3k}` would explode).
+pub fn a1_shape_machine(k: u32) -> Optm {
+    assert!((1..=3).contains(&k), "fixed-k A1 built for 1 ≤ k ≤ 3");
+    let m = 1usize << (2 * k);
+    let blocks = 3 * (1usize << k);
+    let mut b = OptmBuilder::new();
+    b.start("prefix_0");
+    b.accept("accept");
+
+    let bits = [TapeSym::Zero, TapeSym::One];
+
+    // Prefix: exactly k ones then '#'.
+    for i in 0..k {
+        let from = format!("prefix_{i}");
+        let to = format!("prefix_{}", i + 1);
+        b.scan(&from, &[TapeSym::One], &to);
+        // Anything else dead-ends (no transition = halt in non-accepting
+        // state = reject).
+    }
+    b.scan(&format!("prefix_{k}"), &[TapeSym::Hash], "block_0_bit_0");
+
+    // Blocks: block_j_bit_p for j < blocks, p ≤ m.
+    for j in 0..blocks {
+        for p in 0..m {
+            b.scan(
+                &format!("block_{j}_bit_{p}"),
+                &bits,
+                &format!("block_{j}_bit_{}", p + 1),
+            );
+        }
+        // On '#' at exactly m bits: next block, or the end check.
+        let after = if j + 1 == blocks {
+            "end".to_string()
+        } else {
+            format!("block_{}_bit_0", j + 1)
+        };
+        b.scan(&format!("block_{j}_bit_{m}"), &[TapeSym::Hash], &after);
+    }
+    // "end" must see the blank (end of input) to accept.
+    b.rule(
+        "end",
+        TapeSym::Blank,
+        TapeSym::Blank,
+        "accept",
+        TapeSym::Blank,
+        WorkMove::Stay,
+        InputMove::Stay,
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_lang::token::from_str;
+    use oqsc_lang::Sym;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn accepts(m: &Optm, word: &[Sym]) -> bool {
+        let (pa, _, _) = m.exact_acceptance(word, 10 * word.len() + 50);
+        pa > 0.5
+    }
+
+    #[test]
+    fn builder_interns_states_once() {
+        let mut b = OptmBuilder::new();
+        let a = b.state("a");
+        let a2 = b.state("a");
+        let c = b.state("c");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        assert_eq!(b.num_states(), 2);
+    }
+
+    #[test]
+    fn builder_probabilistic_branch() {
+        let mut b = OptmBuilder::new();
+        b.start("s");
+        b.accept("yes");
+        b.branch("s", TapeSym::Blank, TapeSym::Blank, &[(0.25, "yes"), (0.75, "no")]);
+        let m = b.build();
+        let (pa, pr, _) = m.exact_acceptance(&[], 10);
+        assert!((pa - 0.25).abs() < 1e-12);
+        assert!((pr - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a1_machine_accepts_well_shaped_k1() {
+        let m = a1_shape_machine(1);
+        let word = from_str("1#1010#0101#1010#1010#0101#1010#").expect("syms");
+        assert!(accepts(&m, &word));
+    }
+
+    #[test]
+    fn a1_machine_rejects_shape_violations() {
+        let m = a1_shape_machine(1);
+        for bad in [
+            "",
+            "#",
+            "11#1010#0101#1010#1010#0101#1010#", // wrong k
+            "1#101#0101#1010#1010#0101#1010#",   // short block
+            "1#10100#0101#1010#1010#0101#1010#", // long block
+            "1#1010#0101#1010#",                 // too few blocks
+            "1#1010#0101#1010#1010#0101#1010#1", // trailing
+        ] {
+            let word = from_str(bad).expect("syms");
+            assert!(!accepts(&m, &word), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn a1_machine_matches_parser_on_random_words() {
+        use oqsc_lang::parse_shape;
+        let mut rng = StdRng::seed_from_u64(140);
+        let m = a1_shape_machine(1);
+        for _ in 0..40 {
+            // Random words of L_DISJ-ish lengths over Σ.
+            let len = 20 + (rng.next_u32() % 25) as usize;
+            let word: Vec<Sym> = (0..len)
+                .map(|_| match rng.next_u32() % 4 {
+                    0 | 1 => Sym::Zero,
+                    2 => Sym::One,
+                    _ => Sym::Hash,
+                })
+                .collect();
+            let expect = match parse_shape(&word) {
+                Ok(p) => p.k == 1,
+                Err(_) => false,
+            };
+            assert_eq!(accepts(&m, &word), expect, "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn a1_machine_k2_roundtrip() {
+        let m = a1_shape_machine(2);
+        let mut rng = StdRng::seed_from_u64(141);
+        let inst = oqsc_lang::random_member(2, &mut rng);
+        assert!(accepts(&m, &inst.encode()));
+        let bad = oqsc_lang::malform(&inst, oqsc_lang::Malformation::ShortBlock, &mut rng);
+        assert!(!accepts(&m, &bad));
+        // Consistency corruption keeps the shape: A1 accepts it.
+        let shaped = oqsc_lang::malform(&inst, oqsc_lang::Malformation::ZCopyMismatch, &mut rng);
+        assert!(accepts(&m, &shaped));
+    }
+
+    #[test]
+    fn a1_machine_uses_zero_work_cells() {
+        let m = a1_shape_machine(1);
+        let mut rng = StdRng::seed_from_u64(142);
+        let inst = oqsc_lang::random_member(1, &mut rng);
+        let out = m.run(&inst.encode(), &mut rng, 10_000);
+        assert!(out.accepted);
+        assert!(out.peak_cells <= 1, "counters live in the control states");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ 3")]
+    fn a1_machine_k0_panics() {
+        a1_shape_machine(0);
+    }
+}

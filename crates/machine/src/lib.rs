@@ -1,0 +1,35 @@
+//! # oqsc-machine — classical online Turing machines (Section 2.1)
+//!
+//! The classical substrate of the reproduction: the paper's model of
+//! online (one-way) probabilistic Turing machines, with three layers:
+//!
+//! * [`optm`] — explicit OPTMs as probabilistic transition tables, with
+//!   sampled runs, exact acceptance probabilities (configuration-
+//!   distribution evolution), the boundary-configuration enumeration that
+//!   Theorem 3.6's reduction transmits, and Fact 2.2's configuration
+//!   counting bound;
+//! * [`streaming`] — the [`StreamingDecider`](streaming::StreamingDecider)
+//!   trait every concrete online algorithm implements (procedures A1/A2,
+//!   the Proposition 3.7 algorithm, the sketches), with configuration
+//!   snapshots for the communication reduction;
+//! * [`space`] — bit-level work-space metering shared by all of them.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod counter;
+pub mod nerode;
+pub mod optm;
+pub mod space;
+pub mod streaming;
+
+pub use optm::{
+    fact_2_2_log2_configs, machine_contains_one, machine_even_ones, machine_fair_coin,
+    machine_first_equals_last, Action, Configuration, InputMove, Optm, RunOutcome, State, TapeSym,
+    WorkMove,
+};
+pub use builder::{a1_shape_machine, OptmBuilder};
+pub use counter::power_of_two_length_machine;
+pub use nerode::{mini_disj_space_floor, nerode_classes_at, streaming_space_floor_bits};
+pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
+pub use streaming::{run_decider, StoreEverything, StreamingDecider};

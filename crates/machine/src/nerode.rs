@@ -1,0 +1,180 @@
+//! Exact deterministic streaming lower bounds via Myhill–Nerode counting.
+//!
+//! Theorem 3.6's counting argument, in its simplest deterministic form:
+//! a one-pass deterministic machine that decides a (finite) language must
+//! reach *different* configurations after any two prefixes that some
+//! suffix distinguishes, so its configuration count is at least the
+//! number of Nerode classes at the worst prefix length — and its space is
+//! at least the log of that (Fact 2.2 with the `|Q|`/`n` slack stripped
+//! away).
+//!
+//! This module computes those class counts **exactly** for finite
+//! languages given as membership oracles, and instantiates them for the
+//! communication-style language `{ x#y : |x| = |y| = n, DISJ(x,y) }`,
+//! mechanically re-deriving the `n`-bit streaming floor that underpins
+//! the paper's separation (each of the `2^n` prefixes `x#` is pairwise
+//! distinguishable).
+
+use oqsc_lang::Sym;
+use std::collections::HashMap;
+
+/// All words over `Σ = {0,1,#}` of the given length (enumeration helper;
+/// `3^len` words, keep `len ≤ 12`).
+pub fn all_words(len: usize) -> Vec<Vec<Sym>> {
+    assert!(len <= 12, "3^len suffixes would explode");
+    let mut out = vec![Vec::new()];
+    for _ in 0..len {
+        let mut next = Vec::with_capacity(out.len() * 3);
+        for w in &out {
+            for s in [Sym::Zero, Sym::One, Sym::Hash] {
+                let mut v = w.clone();
+                v.push(s);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// The number of Nerode-distinct prefixes of length `prefix_len` of a
+/// finite language containing only words of length `word_len`, given as
+/// a membership oracle: prefixes are equivalent iff every suffix
+/// completes them identically.
+///
+/// Exponential in both lengths; intended for the small exact instances
+/// that validate the counting argument.
+pub fn nerode_classes_at(
+    word_len: usize,
+    prefix_len: usize,
+    member: impl Fn(&[Sym]) -> bool,
+) -> usize {
+    assert!(prefix_len <= word_len);
+    let suffix_len = word_len - prefix_len;
+    let suffixes = all_words(suffix_len);
+    let mut signatures: HashMap<Vec<bool>, ()> = HashMap::new();
+    for prefix in all_words(prefix_len) {
+        let signature: Vec<bool> = suffixes
+            .iter()
+            .map(|suf| {
+                let mut w = prefix.clone();
+                w.extend_from_slice(suf);
+                member(&w)
+            })
+            .collect();
+        signatures.insert(signature, ());
+    }
+    signatures.len()
+}
+
+/// `⌈log₂ classes⌉`: the bits any deterministic one-pass decider must
+/// hold right after the worst prefix.
+pub fn streaming_space_floor_bits(classes: usize) -> usize {
+    usize::BITS as usize - (classes.max(1) - 1).leading_zeros() as usize
+}
+
+/// Membership oracle for the mini-language `{ x#y : |x| = |y| = n,
+/// DISJ(x, y) }` over `Σ`.
+pub fn mini_disj_member(n: usize, w: &[Sym]) -> bool {
+    if w.len() != 2 * n + 1 || w[n] != Sym::Hash {
+        return false;
+    }
+    let x: Option<Vec<bool>> = w[..n].iter().map(|s| s.bit()).collect();
+    let y: Option<Vec<bool>> = w[n + 1..].iter().map(|s| s.bit()).collect();
+    match (x, y) {
+        (Some(x), Some(y)) => x.iter().zip(&y).all(|(&a, &b)| !(a && b)),
+        _ => false,
+    }
+}
+
+/// The exact deterministic streaming space floor for `mini-DISJ_n`,
+/// measured right after the `x#` prefix. Equals `n` for every `n`
+/// (there are exactly `2^n + 1` classes: one per `x`, plus the junk
+/// class of ill-formed prefixes).
+pub fn mini_disj_space_floor(n: usize) -> usize {
+    let classes = nerode_classes_at(2 * n + 1, n + 1, |w| mini_disj_member(n, w));
+    streaming_space_floor_bits(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_words_counts() {
+        assert_eq!(all_words(0).len(), 1);
+        assert_eq!(all_words(1).len(), 3);
+        assert_eq!(all_words(3).len(), 27);
+    }
+
+    #[test]
+    fn mini_disj_membership() {
+        use oqsc_lang::token::from_str;
+        let w = |s: &str| from_str(s).expect("syms");
+        assert!(mini_disj_member(2, &w("10#01")));
+        assert!(!mini_disj_member(2, &w("10#10")));
+        assert!(mini_disj_member(2, &w("00#11")));
+        assert!(!mini_disj_member(2, &w("10#0"))); // wrong length
+        assert!(!mini_disj_member(2, &w("10101"))); // no separator
+        assert!(!mini_disj_member(2, &w("1##01"))); // hash inside x
+    }
+
+    #[test]
+    fn disj_prefixes_are_all_distinguishable() {
+        // Right after `x#` there are exactly 2^n + 1 Nerode classes
+        // (every x distinct, plus the dead class), so the space floor is
+        // > n bits — the deterministic miniature of Theorem 3.6.
+        for n in 1..=4usize {
+            let classes = nerode_classes_at(2 * n + 1, n + 1, |w| mini_disj_member(n, w));
+            assert_eq!(classes, (1 << n) + 1, "n={n}");
+            let floor = mini_disj_space_floor(n);
+            assert!(floor >= n, "n={n}: floor {floor}");
+        }
+    }
+
+    #[test]
+    fn floor_grows_linearly_in_n() {
+        let floors: Vec<usize> = (1..=4).map(mini_disj_space_floor).collect();
+        for w in floors.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "floors {floors:?}");
+        }
+    }
+
+    #[test]
+    fn equality_language_has_the_same_floor() {
+        // { x#x } — the language A2 sidesteps with fingerprints — has the
+        // same 2^n prefix classes. The quantum machine cannot beat this
+        // for EXACT equality either; A2 only needs one-sided error, which
+        // is the loophole.
+        for n in 1..=3usize {
+            let member = |w: &[Sym]| {
+                w.len() == 2 * n + 1
+                    && w[n] == Sym::Hash
+                    && w[..n].iter().all(|s| s.bit().is_some())
+                    && w[..n] == w[n + 1..]
+            };
+            let classes = nerode_classes_at(2 * n + 1, n + 1, member);
+            // 2^n live classes (the x values with all-bit prefixes) + dead.
+            assert_eq!(classes, (1 << n) + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn trivial_language_has_one_class() {
+        let classes = nerode_classes_at(3, 2, |_| true);
+        assert_eq!(classes, 1);
+        assert_eq!(streaming_space_floor_bits(1), 0);
+    }
+
+    #[test]
+    fn parity_language_has_two_classes() {
+        // { w : even number of 1s } — the textbook O(1)-space language.
+        for prefix_len in 1..=3usize {
+            let classes = nerode_classes_at(4, prefix_len, |w| {
+                w.iter().filter(|&&s| s == Sym::One).count() % 2 == 0
+            });
+            assert_eq!(classes, 2, "prefix_len={prefix_len}");
+        }
+        assert_eq!(streaming_space_floor_bits(2), 1);
+    }
+}

@@ -1,0 +1,718 @@
+//! Online probabilistic Turing machines (OPTMs), Section 2.1 of the paper.
+//!
+//! An OPTM is a probabilistic Turing machine with a one-way (left-to-right)
+//! read-only input tape and a read-write work tape over the ternary
+//! alphabet `Σ = {0, 1, #}` (plus the blank). This module provides the
+//! model as an explicit transition table, three execution semantics —
+//! sampled runs, exact acceptance probability via evolution of the
+//! configuration distribution, and reachable-configuration enumeration
+//! (the object Theorem 3.6's reduction transmits) — and the configuration
+//! counting bound of Fact 2.2.
+
+use oqsc_lang::Sym;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Control state identifier.
+pub type State = u32;
+
+/// Work-tape symbol: the input alphabet plus the blank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TapeSym {
+    /// Bit 0.
+    Zero,
+    /// Bit 1.
+    One,
+    /// Separator `#`.
+    Hash,
+    /// Blank (unwritten cell / end of input marker).
+    Blank,
+}
+
+impl TapeSym {
+    /// Converts an input symbol.
+    pub fn from_sym(s: Sym) -> TapeSym {
+        match s {
+            Sym::Zero => TapeSym::Zero,
+            Sym::One => TapeSym::One,
+            Sym::Hash => TapeSym::Hash,
+        }
+    }
+}
+
+/// Movement of the work-tape head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkMove {
+    /// One cell left (clamped at cell 0).
+    Left,
+    /// Stay put.
+    Stay,
+    /// One cell right.
+    Right,
+}
+
+/// Movement of the one-way input head (never left — that is the "online"
+/// restriction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InputMove {
+    /// Re-read the same input symbol.
+    Stay,
+    /// Advance to the next input symbol.
+    Right,
+}
+
+/// One deterministic branch of a transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Action {
+    /// Next control state.
+    pub next: State,
+    /// Symbol written under the work head.
+    pub write: TapeSym,
+    /// Work-head movement.
+    pub work_move: WorkMove,
+    /// Input-head movement.
+    pub input_move: InputMove,
+}
+
+/// A full machine description.
+#[derive(Clone, Debug)]
+pub struct Optm {
+    num_states: u32,
+    start: State,
+    accept: Vec<State>,
+    transitions: HashMap<(State, TapeSym, TapeSym), Vec<(f64, Action)>>,
+}
+
+/// A machine configuration: everything Fact 2.2 counts (control state,
+/// both head positions, work-tape contents).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    /// Control state.
+    pub state: State,
+    /// Input-head position (number of symbols consumed).
+    pub input_pos: usize,
+    /// Work-head position.
+    pub work_pos: usize,
+    /// Work-tape contents up to the rightmost written cell.
+    pub tape: Vec<TapeSym>,
+}
+
+impl Configuration {
+    /// Initial configuration of a machine.
+    pub fn initial(start: State) -> Self {
+        Configuration {
+            state: start,
+            input_pos: 0,
+            work_pos: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// Work-tape cells in use (the paper's space measure).
+    pub fn space_cells(&self) -> usize {
+        self.tape.len().max(self.work_pos + 1)
+    }
+
+    /// Serializes the configuration (for the Theorem 3.6 reduction's
+    /// messages).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.state.to_le_bytes());
+        out.extend_from_slice(&(self.input_pos as u64).to_le_bytes());
+        out.extend_from_slice(&(self.work_pos as u64).to_le_bytes());
+        for &t in &self.tape {
+            out.push(match t {
+                TapeSym::Zero => 0,
+                TapeSym::One => 1,
+                TapeSym::Hash => 2,
+                TapeSym::Blank => 3,
+            });
+        }
+        out
+    }
+}
+
+/// Result of a sampled run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the machine halted in an accepting state.
+    pub accepted: bool,
+    /// Whether the machine halted at all within the step budget. A
+    /// non-halting run rejects (the paper permits non-halting machines and
+    /// counts never-halting as rejection).
+    pub halted: bool,
+    /// Steps executed.
+    pub steps: usize,
+    /// Peak work-tape cells used.
+    pub peak_cells: usize,
+}
+
+impl Optm {
+    /// Creates a machine skeleton. Transitions are added with
+    /// [`Optm::add`]; states without transitions on a scanned pair halt.
+    pub fn new(num_states: u32, start: State, accept: Vec<State>) -> Self {
+        assert!(start < num_states);
+        assert!(accept.iter().all(|&a| a < num_states));
+        Optm {
+            num_states,
+            start,
+            accept,
+            transitions: HashMap::new(),
+        }
+    }
+
+    /// Number of control states `|Q|`.
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Adds a probabilistic transition for `(state, input_sym, work_sym)`.
+    ///
+    /// # Panics
+    /// If the branch probabilities for a key end up exceeding 1 + ε.
+    pub fn add(
+        &mut self,
+        state: State,
+        input: TapeSym,
+        work: TapeSym,
+        branches: Vec<(f64, Action)>,
+    ) {
+        let total: f64 = branches.iter().map(|(p, _)| p).sum();
+        assert!(total <= 1.0 + 1e-9, "branch probabilities exceed 1");
+        for (_, a) in &branches {
+            assert!(a.next < self.num_states, "action targets unknown state");
+        }
+        self.transitions.insert((state, input, work), branches);
+    }
+
+    /// Adds a deterministic transition.
+    pub fn add_det(&mut self, state: State, input: TapeSym, work: TapeSym, action: Action) {
+        self.add(state, input, work, vec![(1.0, action)]);
+    }
+
+    /// Adds the same deterministic transition for every input symbol in
+    /// `inputs`.
+    pub fn add_det_many(
+        &mut self,
+        state: State,
+        inputs: &[TapeSym],
+        work: TapeSym,
+        action: Action,
+    ) {
+        for &i in inputs {
+            self.add_det(state, i, work, action);
+        }
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: State) -> bool {
+        self.accept.contains(&state)
+    }
+
+    fn scan(&self, cfg: &Configuration, input: &[Sym]) -> (TapeSym, TapeSym) {
+        let in_sym = input
+            .get(cfg.input_pos)
+            .map(|&s| TapeSym::from_sym(s))
+            .unwrap_or(TapeSym::Blank);
+        let work_sym = cfg.tape.get(cfg.work_pos).copied().unwrap_or(TapeSym::Blank);
+        (in_sym, work_sym)
+    }
+
+    fn apply(&self, cfg: &Configuration, action: &Action) -> Configuration {
+        let mut next = cfg.clone();
+        next.state = action.next;
+        if next.tape.len() <= next.work_pos {
+            next.tape.resize(next.work_pos + 1, TapeSym::Blank);
+        }
+        next.tape[next.work_pos] = action.write;
+        next.work_pos = match action.work_move {
+            WorkMove::Left => next.work_pos.saturating_sub(1),
+            WorkMove::Stay => next.work_pos,
+            WorkMove::Right => next.work_pos + 1,
+        };
+        if action.input_move == InputMove::Right {
+            next.input_pos += 1;
+        }
+        // Trim trailing blanks so equal configurations hash equally.
+        while next.tape.last() == Some(&TapeSym::Blank) && next.tape.len() > next.work_pos + 1 {
+            next.tape.pop();
+        }
+        next
+    }
+
+    /// Samples one run.
+    pub fn run<R: Rng + ?Sized>(&self, input: &[Sym], rng: &mut R, max_steps: usize) -> RunOutcome {
+        let mut cfg = Configuration::initial(self.start);
+        let mut peak = 0usize;
+        for step in 0..max_steps {
+            peak = peak.max(cfg.space_cells());
+            let key = self.scan(&cfg, input);
+            let branches = match self.transitions.get(&(cfg.state, key.0, key.1)) {
+                None => {
+                    return RunOutcome {
+                        accepted: self.is_accepting(cfg.state),
+                        halted: true,
+                        steps: step,
+                        peak_cells: peak,
+                    }
+                }
+                Some(b) => b,
+            };
+            let mut u: f64 = rng.gen();
+            let mut chosen = None;
+            for (p, a) in branches {
+                u -= p;
+                if u <= 0.0 {
+                    chosen = Some(a);
+                    break;
+                }
+            }
+            match chosen {
+                Some(a) => cfg = self.apply(&cfg, a),
+                // Probability mass < 1: the residual branch means "halt
+                // and reject" (models machines that stop without accepting).
+                None => {
+                    return RunOutcome {
+                        accepted: false,
+                        halted: true,
+                        steps: step,
+                        peak_cells: peak,
+                    }
+                }
+            }
+        }
+        RunOutcome {
+            accepted: false,
+            halted: false,
+            steps: max_steps,
+            peak_cells: peak,
+        }
+    }
+
+    /// Exact acceptance probability by evolving the full configuration
+    /// distribution for `max_steps` steps. Returns
+    /// `(p_accept, p_reject, p_still_running)`. Exponential in the space
+    /// used — intended for the small machines of the test-suite and for
+    /// validating the reduction.
+    pub fn exact_acceptance(&self, input: &[Sym], max_steps: usize) -> (f64, f64, f64) {
+        let mut dist: HashMap<Configuration, f64> = HashMap::new();
+        dist.insert(Configuration::initial(self.start), 1.0);
+        let mut p_accept = 0.0;
+        let mut p_reject = 0.0;
+        for _ in 0..max_steps {
+            if dist.is_empty() {
+                break;
+            }
+            let mut next: HashMap<Configuration, f64> = HashMap::new();
+            for (cfg, p) in dist {
+                let key = self.scan(&cfg, input);
+                match self.transitions.get(&(cfg.state, key.0, key.1)) {
+                    None => {
+                        if self.is_accepting(cfg.state) {
+                            p_accept += p;
+                        } else {
+                            p_reject += p;
+                        }
+                    }
+                    Some(branches) => {
+                        let mut used = 0.0;
+                        for (bp, a) in branches {
+                            used += bp;
+                            let c = self.apply(&cfg, a);
+                            *next.entry(c).or_insert(0.0) += p * bp;
+                        }
+                        if used < 1.0 - 1e-12 {
+                            p_reject += p * (1.0 - used);
+                        }
+                    }
+                }
+            }
+            dist = next;
+        }
+        let p_running: f64 = dist.values().sum();
+        (p_accept, p_reject, p_running)
+    }
+
+    /// All configurations reachable with positive probability *immediately
+    /// after consuming* `prefix` (the input head having just moved past its
+    /// last symbol), together with their probabilities, starting from
+    /// `from`. This is exactly the message distribution of the Theorem 3.6
+    /// reduction: the configurations `C_j` with `C^{(i−1)} →_w C_j`.
+    ///
+    /// `max_steps` bounds the exploration; probability mass still inside
+    /// the prefix after that many steps is returned as the second value
+    /// (it corresponds to the protocol's "output 0 and stop" branch).
+    pub fn boundary_configurations(
+        &self,
+        from: &Configuration,
+        prefix: &[Sym],
+        max_steps: usize,
+    ) -> (HashMap<Configuration, f64>, f64) {
+        // Work on a shifted copy: input positions relative to `prefix`.
+        let mut start = from.clone();
+        let base_pos = start.input_pos;
+        start.input_pos = 0;
+        let mut inside: HashMap<Configuration, f64> = HashMap::new();
+        inside.insert(start, 1.0);
+        let mut crossed: HashMap<Configuration, f64> = HashMap::new();
+        let mut lost = 0.0;
+        for _ in 0..max_steps {
+            if inside.is_empty() {
+                break;
+            }
+            let mut next: HashMap<Configuration, f64> = HashMap::new();
+            for (cfg, p) in inside {
+                let key = self.scan(&cfg, prefix);
+                match self.transitions.get(&(cfg.state, key.0, key.1)) {
+                    // Halting inside the prefix: the machine will never
+                    // reach the boundary; the protocol treats this like the
+                    // non-halting branch (it can also be resolved locally,
+                    // but we keep the paper's accounting).
+                    None => lost += p,
+                    Some(branches) => {
+                        let mut used = 0.0;
+                        for (bp, a) in branches {
+                            used += bp;
+                            let c = self.apply(&cfg, a);
+                            if c.input_pos >= prefix.len() {
+                                let mut rebased = c;
+                                rebased.input_pos += base_pos;
+                                *crossed.entry(rebased).or_insert(0.0) += p * bp;
+                            } else {
+                                *next.entry(c).or_insert(0.0) += p * bp;
+                            }
+                        }
+                        if used < 1.0 - 1e-12 {
+                            lost += p * (1.0 - used);
+                        }
+                    }
+                }
+            }
+            inside = next;
+        }
+        lost += inside.values().sum::<f64>();
+        (crossed, lost)
+    }
+}
+
+/// Fact 2.2: `log₂` of the bound `n · s · |Σ|^s · |Q|` on the number of
+/// configurations reachable by an `s`-space machine on length-`n` inputs.
+pub fn fact_2_2_log2_configs(n: usize, s: usize, sigma: usize, q: usize) -> f64 {
+    (n.max(1) as f64).log2()
+        + (s.max(1) as f64).log2()
+        + s as f64 * (sigma as f64).log2()
+        + (q.max(1) as f64).log2()
+}
+
+// ----------------------------------------------------------------------
+// Demo machines (used by tests here and by the reduction experiments)
+// ----------------------------------------------------------------------
+
+/// A machine accepting iff the input contains at least one `1`.
+/// States: 0 = scanning (start), 1 = accept-halt, 2 = reject-halt.
+pub fn machine_contains_one() -> Optm {
+    let mut m = Optm::new(3, 0, vec![1]);
+    let scan = |next| Action {
+        next,
+        write: TapeSym::Blank,
+        work_move: WorkMove::Stay,
+        input_move: InputMove::Right,
+    };
+    m.add_det_many(0, &[TapeSym::Zero, TapeSym::Hash], TapeSym::Blank, scan(0));
+    m.add_det(0, TapeSym::One, TapeSym::Blank, scan(1));
+    // On blank (end of input) in state 0: no transition → halt in 0 (reject).
+    m
+}
+
+/// A machine accepting iff the number of `1`s is even (parity in the
+/// control state; no work tape).
+pub fn machine_even_ones() -> Optm {
+    let mut m = Optm::new(2, 0, vec![0]);
+    let step = |next| Action {
+        next,
+        write: TapeSym::Blank,
+        work_move: WorkMove::Stay,
+        input_move: InputMove::Right,
+    };
+    for parity in 0..2u32 {
+        m.add_det_many(
+            parity,
+            &[TapeSym::Zero, TapeSym::Hash],
+            TapeSym::Blank,
+            step(parity),
+        );
+        m.add_det(parity, TapeSym::One, TapeSym::Blank, step(1 - parity));
+    }
+    m
+}
+
+/// A machine that accepts with probability exactly 1/2 on any input
+/// (single fair coin flip, then halt).
+pub fn machine_fair_coin() -> Optm {
+    let mut m = Optm::new(3, 0, vec![1]);
+    let halt = |next| Action {
+        next,
+        write: TapeSym::Blank,
+        work_move: WorkMove::Stay,
+        input_move: InputMove::Stay,
+    };
+    for sym in [TapeSym::Zero, TapeSym::One, TapeSym::Hash, TapeSym::Blank] {
+        m.add(0, sym, TapeSym::Blank, vec![(0.5, halt(1)), (0.5, halt(2))]);
+    }
+    m
+}
+
+/// A machine that copies the first input symbol to the work tape, scans to
+/// the end, and accepts iff the last symbol equals the first. Exercises
+/// work-tape reads and writes (uses exactly one cell).
+pub fn machine_first_equals_last() -> Optm {
+    // States: 0 = read first; 1/2/3 = remember first symbol (0/1/#) in the
+    // control state while recording the most recent symbol in the work
+    // cell; 4 = reject-halt; 5 = accept-halt.
+    let mut m = Optm::new(6, 0, vec![5]);
+    let remember_state = |s: TapeSym| match s {
+        TapeSym::Zero => 1u32,
+        TapeSym::One => 2,
+        TapeSym::Hash => 3,
+        TapeSym::Blank => unreachable!(),
+    };
+    for first in [TapeSym::Zero, TapeSym::One, TapeSym::Hash] {
+        m.add_det(
+            0,
+            first,
+            TapeSym::Blank,
+            Action {
+                next: remember_state(first),
+                // The first symbol is also the most recent one so far, so a
+                // single-symbol input compares it against itself.
+                write: first,
+                work_move: WorkMove::Stay,
+                input_move: InputMove::Right,
+            },
+        );
+    }
+    for first in [TapeSym::Zero, TapeSym::One, TapeSym::Hash] {
+        let st = remember_state(first);
+        for seen in [TapeSym::Zero, TapeSym::One, TapeSym::Hash] {
+            for work in [TapeSym::Zero, TapeSym::One, TapeSym::Hash, TapeSym::Blank] {
+                // Record the most recent symbol in the work cell.
+                m.add_det(
+                    st,
+                    seen,
+                    work,
+                    Action {
+                        next: st,
+                        write: seen,
+                        work_move: WorkMove::Stay,
+                        input_move: InputMove::Right,
+                    },
+                );
+            }
+        }
+        // End of input: accept iff work cell holds `first`.
+        m.add_det(
+            st,
+            TapeSym::Blank,
+            first,
+            Action {
+                next: 5,
+                write: first,
+                work_move: WorkMove::Stay,
+                input_move: InputMove::Stay,
+            },
+        );
+        for work in [TapeSym::Zero, TapeSym::One, TapeSym::Hash, TapeSym::Blank] {
+            if work != first {
+                m.add_det(
+                    st,
+                    TapeSym::Blank,
+                    work,
+                    Action {
+                        next: 4,
+                        write: work,
+                        work_move: WorkMove::Stay,
+                        input_move: InputMove::Stay,
+                    },
+                );
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_lang::token::from_str;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn syms(s: &str) -> Vec<Sym> {
+        from_str(s).expect("valid")
+    }
+
+    #[test]
+    fn contains_one_machine() {
+        let m = machine_contains_one();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pos = m.run(&syms("0001#0"), &mut rng, 1000);
+        assert!(pos.accepted && pos.halted);
+        let neg = m.run(&syms("000#0"), &mut rng, 1000);
+        assert!(!neg.accepted && neg.halted);
+        let empty = m.run(&[], &mut rng, 1000);
+        assert!(!empty.accepted && empty.halted);
+    }
+
+    #[test]
+    fn contains_one_exact_probabilities() {
+        let m = machine_contains_one();
+        let (pa, pr, run) = m.exact_acceptance(&syms("0100"), 100);
+        assert!((pa - 1.0).abs() < 1e-12);
+        assert!(pr.abs() < 1e-12);
+        assert!(run.abs() < 1e-12);
+        let (pa, pr, _) = m.exact_acceptance(&syms("0000"), 100);
+        assert!(pa.abs() < 1e-12);
+        assert!((pr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_ones_machine() {
+        let m = machine_even_ones();
+        for (word, expect) in [("", true), ("1", false), ("11", true), ("101#", true), ("111", false)] {
+            let (pa, _, _) = m.exact_acceptance(&syms(word), 100);
+            assert_eq!(pa > 0.5, expect, "word {word}");
+        }
+    }
+
+    #[test]
+    fn fair_coin_is_exactly_half() {
+        let m = machine_fair_coin();
+        let (pa, pr, run) = m.exact_acceptance(&syms("0"), 10);
+        assert!((pa - 0.5).abs() < 1e-12);
+        assert!((pr - 0.5).abs() < 1e-12);
+        assert!(run.abs() < 1e-12);
+        // Sampled statistics agree.
+        let mut rng = StdRng::seed_from_u64(6);
+        let accepts = (0..4000)
+            .filter(|_| m.run(&syms("0"), &mut rng, 10).accepted)
+            .count();
+        let f = accepts as f64 / 4000.0;
+        assert!((f - 0.5).abs() < 0.05, "freq {f}");
+    }
+
+    #[test]
+    fn first_equals_last_machine() {
+        let m = machine_first_equals_last();
+        for (word, expect) in [
+            ("00", true),
+            ("01", false),
+            ("010", true),
+            ("1#1", true),
+            ("1#0", false),
+            ("##", true),
+            ("0", true), // single symbol: first == last
+        ] {
+            let (pa, _, _) = m.exact_acceptance(&syms(word), 1000);
+            assert_eq!(pa > 0.5, expect, "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn work_tape_space_metered() {
+        let m = machine_first_equals_last();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = m.run(&syms("0110"), &mut rng, 1000);
+        assert!(out.halted);
+        assert_eq!(out.peak_cells, 1);
+    }
+
+    #[test]
+    fn boundary_configurations_split_runs() {
+        // contains_one over "01" then "10": after consuming "01" the machine
+        // is in the accept state 1 having seen a one... state 1 halts
+        // immediately (no transitions), so the boundary config after "01"
+        // has state 1.
+        let m = machine_contains_one();
+        let init = Configuration::initial(0);
+        let (configs, lost) = m.boundary_configurations(&init, &syms("01"), 100);
+        assert!(lost.abs() < 1e-12);
+        assert_eq!(configs.len(), 1);
+        let (cfg, p) = configs.iter().next().expect("one config");
+        assert_eq!(cfg.state, 1);
+        assert_eq!(cfg.input_pos, 2);
+        assert!((p - 1.0).abs() < 1e-12);
+
+        // All-zero prefix: stays in state 0.
+        let (configs, _) = m.boundary_configurations(&init, &syms("00"), 100);
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs.keys().next().expect("cfg").state, 0);
+    }
+
+    #[test]
+    fn boundary_then_continue_equals_direct_run() {
+        // Chain boundary_configurations over "10" + "01" and compare the
+        // final acceptance with exact_acceptance on "1001".
+        let m = machine_even_ones();
+        let init = Configuration::initial(0);
+        let (mid, lost1) = m.boundary_configurations(&init, &syms("10"), 100);
+        assert!(lost1.abs() < 1e-12);
+        let mut p_accept = 0.0;
+        for (cfg, p) in &mid {
+            let (fin, lost2) = m.boundary_configurations(cfg, &syms("01"), 100);
+            assert!(lost2.abs() < 1e-12);
+            for (fcfg, fp) in fin {
+                // Machine halts at end of input; acceptance by state.
+                if m.is_accepting(fcfg.state) {
+                    p_accept += p * fp;
+                }
+            }
+        }
+        let (direct, _, _) = m.exact_acceptance(&syms("1001"), 100);
+        assert!((p_accept - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fact_2_2_bound_values() {
+        // n=8, s=3, |Σ|=3, |Q|=4: log2(8·3·27·4) = log2(2592).
+        let got = fact_2_2_log2_configs(8, 3, 3, 4);
+        assert!((got - (2592f64).log2()).abs() < 1e-9);
+        // Monotone in s.
+        assert!(fact_2_2_log2_configs(8, 4, 3, 4) > got);
+    }
+
+    #[test]
+    fn nonhalting_mass_counts_as_running() {
+        // A looping machine: state 0 always stays, never consumes input.
+        let mut m = Optm::new(1, 0, vec![]);
+        for sym in [TapeSym::Zero, TapeSym::One, TapeSym::Hash, TapeSym::Blank] {
+            m.add_det(
+                0,
+                sym,
+                TapeSym::Blank,
+                Action {
+                    next: 0,
+                    write: TapeSym::Blank,
+                    work_move: WorkMove::Stay,
+                    input_move: InputMove::Stay,
+                },
+            );
+        }
+        let (pa, pr, run) = m.exact_acceptance(&syms("0"), 50);
+        assert_eq!(pa, 0.0);
+        assert_eq!(pr, 0.0);
+        assert!((run - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = m.run(&syms("0"), &mut rng, 50);
+        assert!(!out.halted && !out.accepted);
+    }
+
+    #[test]
+    fn configuration_encoding_distinguishes() {
+        let a = Configuration::initial(0);
+        let mut b = Configuration::initial(0);
+        b.tape.push(TapeSym::One);
+        assert_ne!(a.encode(), b.encode());
+        assert_eq!(a.space_cells(), 1);
+        assert_eq!(b.space_cells(), 1);
+    }
+}

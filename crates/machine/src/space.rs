@@ -1,0 +1,124 @@
+//! Work-space accounting.
+//!
+//! Every online algorithm in this reproduction reports its footprint
+//! through a [`SpaceMeter`], so that the space columns of the experiment
+//! tables (`EXPERIMENTS.md`) come from *measured* state, not from the
+//! asymptotic claim being checked.
+
+/// Tracks the current and peak work-space of a streaming computation, in
+/// bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceMeter {
+    current_bits: usize,
+    peak_bits: usize,
+}
+
+impl SpaceMeter {
+    /// A fresh meter at zero.
+    pub fn new() -> Self {
+        SpaceMeter::default()
+    }
+
+    /// Records the *current* total footprint; the peak is updated
+    /// automatically.
+    pub fn record(&mut self, bits: usize) {
+        self.current_bits = bits;
+        self.peak_bits = self.peak_bits.max(bits);
+    }
+
+    /// Adds to the current footprint.
+    pub fn grow(&mut self, bits: usize) {
+        self.record(self.current_bits + bits);
+    }
+
+    /// Removes from the current footprint (saturating).
+    pub fn shrink(&mut self, bits: usize) {
+        self.current_bits = self.current_bits.saturating_sub(bits);
+    }
+
+    /// Current footprint in bits.
+    #[inline]
+    pub fn current_bits(&self) -> usize {
+        self.current_bits
+    }
+
+    /// Peak footprint in bits — the quantity the paper's space bounds
+    /// constrain ("space used on the worst coin flips").
+    #[inline]
+    pub fn peak_bits(&self) -> usize {
+        self.peak_bits
+    }
+
+    /// Merges another meter's peak (parallel sub-procedures share the
+    /// worst case additively: A1 ∥ A2 ∥ A3 all run at once).
+    pub fn add_parallel(&mut self, other: &SpaceMeter) {
+        self.current_bits += other.current_bits;
+        self.peak_bits += other.peak_bits;
+    }
+}
+
+/// Bits needed to store a value in `{0, …, n−1}`: `⌈log₂ n⌉` (0 for n ≤ 1).
+pub fn bits_for_range(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Bits needed for a counter counting up to and including `max`.
+pub fn bits_for_counter(max: usize) -> usize {
+    bits_for_range(max + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_tracks_peak() {
+        let mut m = SpaceMeter::new();
+        assert_eq!(m.peak_bits(), 0);
+        m.record(10);
+        m.record(4);
+        assert_eq!(m.current_bits(), 4);
+        assert_eq!(m.peak_bits(), 10);
+        m.grow(20);
+        assert_eq!(m.current_bits(), 24);
+        assert_eq!(m.peak_bits(), 24);
+        m.shrink(30);
+        assert_eq!(m.current_bits(), 0);
+        assert_eq!(m.peak_bits(), 24);
+    }
+
+    #[test]
+    fn parallel_composition_adds() {
+        let mut a = SpaceMeter::new();
+        a.record(8);
+        let mut b = SpaceMeter::new();
+        b.record(5);
+        b.record(3);
+        a.add_parallel(&b);
+        assert_eq!(a.peak_bits(), 13);
+        assert_eq!(a.current_bits(), 11);
+    }
+
+    #[test]
+    fn range_bits() {
+        assert_eq!(bits_for_range(0), 0);
+        assert_eq!(bits_for_range(1), 0);
+        assert_eq!(bits_for_range(2), 1);
+        assert_eq!(bits_for_range(3), 2);
+        assert_eq!(bits_for_range(4), 2);
+        assert_eq!(bits_for_range(5), 3);
+        assert_eq!(bits_for_range(1 << 20), 20);
+    }
+
+    #[test]
+    fn counter_bits() {
+        assert_eq!(bits_for_counter(0), 0);
+        assert_eq!(bits_for_counter(1), 1);
+        assert_eq!(bits_for_counter(7), 3);
+        assert_eq!(bits_for_counter(8), 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! The online (one-way) decider abstraction.
+//!
+//! An OPTM in the paper reads its input left to right, once, keeping only
+//! its work tape. [`StreamingDecider`] captures exactly that interface for
+//! all the concrete algorithms of the reproduction (procedures A1/A2, the
+//! Proposition 3.7 block algorithm, the sub-√m sketches, and the classical
+//! front half of the quantum machine): symbols are fed in order, a verdict
+//! is produced at end-of-stream, and the work-space footprint is reported
+//! in bits.
+//!
+//! [`snapshot`](StreamingDecider::snapshot) serializes the decider's
+//! configuration; it is what the Theorem 3.6 reduction transmits between
+//! Alice and Bob, so its length *is* the message length of the induced
+//! one-way communication protocol.
+
+use oqsc_lang::Sym;
+
+/// A bounded-space online decider over the alphabet `Σ = {0, 1, #}`.
+pub trait StreamingDecider {
+    /// Consumes the next input symbol.
+    fn feed(&mut self, sym: Sym);
+
+    /// Verdict at end of stream: `true` = accept.
+    fn decide(&mut self) -> bool;
+
+    /// Peak work-space used so far, in bits (the paper measures space on
+    /// the worst coin flips; deciders must meter their own worst case).
+    fn space_bits(&self) -> usize;
+
+    /// Serializes the current configuration (work-tape contents + control
+    /// state). Used by the communication reduction of Theorem 3.6; the
+    /// byte length bounds the message size.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Convenience: feeds a whole word.
+    fn feed_all(&mut self, word: &[Sym]) {
+        for &s in word {
+            self.feed(s);
+        }
+    }
+}
+
+/// Runs a decider over a word and returns `(verdict, peak_space_bits)`.
+pub fn run_decider<D: StreamingDecider>(mut decider: D, word: &[Sym]) -> (bool, usize) {
+    decider.feed_all(word);
+    let verdict = decider.decide();
+    (verdict, decider.space_bits())
+}
+
+/// A trivial decider that stores the entire input and applies an arbitrary
+/// offline predicate: the "if the classical device can store the two
+/// strings in memory, the problem is trivial" baseline from the paper's
+/// introduction. Space is linear in the input length.
+pub struct StoreEverything<F: Fn(&[Sym]) -> bool> {
+    buffer: Vec<Sym>,
+    predicate: F,
+}
+
+impl<F: Fn(&[Sym]) -> bool> StoreEverything<F> {
+    /// Creates the decider with the offline predicate to apply at the end.
+    pub fn new(predicate: F) -> Self {
+        StoreEverything {
+            buffer: Vec::new(),
+            predicate,
+        }
+    }
+}
+
+impl<F: Fn(&[Sym]) -> bool> StreamingDecider for StoreEverything<F> {
+    fn feed(&mut self, sym: Sym) {
+        self.buffer.push(sym);
+    }
+
+    fn decide(&mut self) -> bool {
+        (self.predicate)(&self.buffer)
+    }
+
+    fn space_bits(&self) -> usize {
+        // Ternary symbols: 2 bits each is the natural packing.
+        2 * self.buffer.len()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buffer.len() / 4 + 1);
+        for chunk in self.buffer.chunks(4) {
+            let mut byte = 0u8;
+            for (i, &s) in chunk.iter().enumerate() {
+                let code = match s {
+                    Sym::Zero => 0u8,
+                    Sym::One => 1,
+                    Sym::Hash => 2,
+                };
+                byte |= code << (2 * i);
+            }
+            out.push(byte);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_lang::token::from_str;
+
+    #[test]
+    fn store_everything_applies_predicate() {
+        let word = from_str("1#01#").expect("ok");
+        let decider = StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One));
+        let (verdict, space) = run_decider(decider, &word);
+        assert!(verdict);
+        assert_eq!(space, 2 * word.len());
+    }
+
+    #[test]
+    fn store_everything_rejects() {
+        let word = from_str("0#0#").expect("ok");
+        let decider = StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One));
+        let (verdict, _) = run_decider(decider, &word);
+        assert!(!verdict);
+    }
+
+    #[test]
+    fn snapshot_packs_two_bits_per_symbol() {
+        let word = from_str("01#0101#").expect("ok");
+        let mut d = StoreEverything::new(|_: &[Sym]| true);
+        d.feed_all(&word);
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), (word.len() + 3) / 4);
+        // First byte: 0,1,#,0 → 0 | 1<<2 | 2<<4 | 0<<6 = 0b100100.
+        assert_eq!(snap[0], 0b0010_0100);
+    }
+
+    #[test]
+    fn empty_stream_decides() {
+        let mut d = StoreEverything::new(|w: &[Sym]| w.is_empty());
+        assert!(d.decide());
+        assert_eq!(d.space_bits(), 0);
+        assert!(d.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,521 @@
+//! Circuit intermediate representation and the paper's output format.
+//!
+//! Definition 2.3 of the paper requires the classical machine to write a
+//! circuit description of the form `a1#b1#c1#…#ar#br#cr` on its output
+//! tape, where `a_i, b_i ∈ {0, …, s−1}` are qubit labels, `c_i ∈ {0,1,2}`
+//! selects a gate from `G = {G0=H, G1=T, G2=CNOT}`, and `a_i = b_i` encodes
+//! the identity. [`Circuit`] is the general in-memory IR;
+//! [`StrictCircuit`] is the subset expressible in the paper's format along
+//! with its exact serialization.
+
+use crate::gate::Gate;
+use crate::matrix::Matrix;
+use crate::state::StateVector;
+use std::collections::BTreeMap;
+
+/// An ordered list of gates over a fixed-width register.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    num_qubits: usize,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            gates: Vec::new(),
+            num_qubits,
+        }
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    /// If the gate addresses a qubit outside the register or repeats an
+    /// operand.
+    pub fn push(&mut self, gate: Gate) {
+        assert!(
+            gate.max_qubit() < self.num_qubits,
+            "gate {gate:?} exceeds register width {}",
+            self.num_qubits
+        );
+        assert!(gate.is_well_formed(), "gate operands must be distinct");
+        self.gates.push(gate);
+    }
+
+    /// Appends every gate of `other` (registers must match).
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert_eq!(self.num_qubits, other.num_qubits, "register width mismatch");
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// The gates in application order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total gate count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Gate counts grouped by gate name (for reporting).
+    pub fn gate_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut h = BTreeMap::new();
+        for g in &self.gates {
+            *h.entry(g.name()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Circuit depth: the length of the longest chain of gates sharing a
+    /// qubit (standard greedy layering).
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let layer = g.qubits().iter().map(|&q| frontier[q]).max().unwrap_or(0) + 1;
+            for q in g.qubits() {
+                frontier[q] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// True iff every gate is in the strict paper set `{H, T, CNOT}`.
+    pub fn is_strict(&self) -> bool {
+        self.gates.iter().all(Gate::is_strict)
+    }
+
+    /// Runs the circuit on `state` in place.
+    ///
+    /// # Panics
+    /// If the state register is narrower than the circuit's.
+    pub fn apply_to(&self, state: &mut StateVector) {
+        assert!(
+            state.num_qubits() >= self.num_qubits,
+            "state too small for circuit"
+        );
+        for g in &self.gates {
+            state.apply(g);
+        }
+    }
+
+    /// Runs the circuit on `|0…0⟩` and returns the final state.
+    pub fn run_from_zero(&self) -> StateVector {
+        let mut s = StateVector::zero(self.num_qubits);
+        self.apply_to(&mut s);
+        s
+    }
+
+    /// Builds the full `2^n × 2^n` unitary of the circuit (testing only;
+    /// exponential in `n`).
+    pub fn to_unitary(&self) -> Matrix {
+        let dim = 1usize << self.num_qubits;
+        let mut u = Matrix::zeros(dim, dim);
+        for col in 0..dim {
+            let mut s = StateVector::basis(self.num_qubits, col);
+            self.apply_to(&mut s);
+            for row in 0..dim {
+                u[(row, col)] = s.amp(row);
+            }
+        }
+        u
+    }
+}
+
+/// A circuit restricted to the paper's gate set, serializable to the
+/// Definition 2.3 output-tape format.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StrictCircuit {
+    ops: Vec<StrictOp>,
+    num_qubits: usize,
+}
+
+/// One `a#b#c` triple of the paper's output format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrictOp {
+    /// First qubit label `a`.
+    pub a: usize,
+    /// Second qubit label `b` (equal to `a` for the identity convention and
+    /// for single-qubit gates, where it is ignored by the semantics other
+    /// than `a = b ⇒ identity`; we use `b = a` never for real single-qubit
+    /// gates — see [`StrictOp::gate`]).
+    pub b: usize,
+    /// Gate selector `c ∈ {0,1,2}`: 0 = H, 1 = T, 2 = CNOT.
+    pub c: u8,
+}
+
+impl StrictOp {
+    /// Decodes the triple into a gate, or `None` for the `a = b` identity
+    /// convention.
+    pub fn gate(&self) -> Option<Gate> {
+        if self.a == self.b {
+            return None; // paper convention: identity
+        }
+        Some(match self.c {
+            0 => Gate::H(self.a),
+            1 => Gate::T(self.a),
+            2 => Gate::Cnot {
+                control: self.a,
+                target: self.b,
+            },
+            _ => unreachable!("validated at construction"),
+        })
+    }
+}
+
+/// Errors from parsing the Definition 2.3 output format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// The token stream did not consist of `#`-separated decimal fields.
+    Malformed(String),
+    /// Number of fields not a multiple of 3 (or zero).
+    BadArity(usize),
+    /// A qubit label was ≥ the declared register size.
+    QubitOutOfRange(usize),
+    /// A gate selector outside `{0,1,2}`.
+    BadGateSelector(u64),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Malformed(tok) => write!(f, "malformed field {tok:?}"),
+            FormatError::BadArity(n) => write!(f, "field count {n} not a positive multiple of 3"),
+            FormatError::QubitOutOfRange(q) => write!(f, "qubit label {q} out of range"),
+            FormatError::BadGateSelector(c) => write!(f, "gate selector {c} not in {{0,1,2}}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl StrictCircuit {
+    /// An empty strict circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        StrictCircuit {
+            ops: Vec::new(),
+            num_qubits,
+        }
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw `a#b#c` triples.
+    #[inline]
+    pub fn ops(&self) -> &[StrictOp] {
+        &self.ops
+    }
+
+    /// Number of triples (including identity padding).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no triples have been emitted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Emits `H` on qubit `q`. Uses `b = (q+1) mod s` as the (ignored)
+    /// second label so it never collides with the identity convention.
+    pub fn h(&mut self, q: usize) {
+        self.push_checked(q, (q + 1) % self.num_qubits.max(2), 0);
+    }
+
+    /// Emits `T` on qubit `q`.
+    pub fn t(&mut self, q: usize) {
+        self.push_checked(q, (q + 1) % self.num_qubits.max(2), 1);
+    }
+
+    /// Emits `T† = T^7` (seven `T` triples).
+    pub fn tdg(&mut self, q: usize) {
+        for _ in 0..7 {
+            self.t(q);
+        }
+    }
+
+    /// Emits `CNOT` with the given control and target.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        assert_ne!(control, target, "CNOT operands must differ");
+        self.push_checked(control, target, 2);
+    }
+
+    /// Emits the paper's explicit identity triple (`a = b`).
+    pub fn identity(&mut self) {
+        let op = StrictOp { a: 0, b: 0, c: 0 };
+        self.ops.push(op);
+    }
+
+    fn push_checked(&mut self, a: usize, b: usize, c: u8) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "label out of range");
+        self.ops.push(StrictOp { a, b, c });
+    }
+
+    /// Appends a general gate, provided it is in the strict set.
+    ///
+    /// # Panics
+    /// If the gate is not `H`, `T`, or `CNOT`.
+    pub fn push_gate(&mut self, g: Gate) {
+        match g {
+            Gate::H(q) => self.h(q),
+            Gate::T(q) => self.t(q),
+            Gate::Cnot { control, target } => self.cnot(control, target),
+            other => panic!("gate {other:?} not in the strict set"),
+        }
+    }
+
+    /// Decodes into the general [`Circuit`] IR, dropping identity triples.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits);
+        for op in &self.ops {
+            if let Some(g) = op.gate() {
+                c.push(g);
+            }
+        }
+        c
+    }
+
+    /// Runs the circuit on `|0…0⟩`.
+    pub fn run_from_zero(&self) -> StateVector {
+        self.to_circuit().run_from_zero()
+    }
+
+    /// Serializes to the paper's output-tape string
+    /// `a1#b1#c1#…#ar#br#cr`.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push('#');
+            }
+            out.push_str(&format!("{}#{}#{}", op.a, op.b, op.c));
+        }
+        out
+    }
+
+    /// Parses the paper's output-tape format back into a circuit over
+    /// `num_qubits` qubits.
+    pub fn parse(s: &str, num_qubits: usize) -> Result<Self, FormatError> {
+        let fields: Vec<&str> = s.split('#').collect();
+        if s.is_empty() || fields.len() % 3 != 0 {
+            return Err(FormatError::BadArity(if s.is_empty() {
+                0
+            } else {
+                fields.len()
+            }));
+        }
+        let mut ops = Vec::with_capacity(fields.len() / 3);
+        for chunk in fields.chunks_exact(3) {
+            let parse_field = |f: &str| -> Result<u64, FormatError> {
+                if f.is_empty() || !f.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(FormatError::Malformed(f.to_string()));
+                }
+                f.parse::<u64>()
+                    .map_err(|_| FormatError::Malformed(f.to_string()))
+            };
+            let a = parse_field(chunk[0])? as usize;
+            let b = parse_field(chunk[1])? as usize;
+            let c = parse_field(chunk[2])?;
+            if a >= num_qubits {
+                return Err(FormatError::QubitOutOfRange(a));
+            }
+            if b >= num_qubits {
+                return Err(FormatError::QubitOutOfRange(b));
+            }
+            if c > 2 {
+                return Err(FormatError::BadGateSelector(c));
+            }
+            ops.push(StrictOp { a, b, c: c as u8 });
+        }
+        Ok(StrictCircuit { ops, num_qubits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn build_and_run_bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.depth(), 2);
+        assert!(c.is_strict());
+        let s = c.run_from_zero();
+        assert!((s.amp(0).norm_sqr() - 0.5).abs() < EPS);
+        assert!((s.amp(3).norm_sqr() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn depth_counts_parallel_layers() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H(0));
+        c.push(Gate::H(1));
+        c.push(Gate::H(2));
+        c.push(Gate::H(3));
+        assert_eq!(c.depth(), 1);
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(c.depth(), 2);
+        c.push(Gate::Cnot { control: 2, target: 3 });
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds register width")]
+    fn push_out_of_range_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(2));
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(1));
+        c.push(Gate::T(0));
+        let h = c.gate_histogram();
+        assert_eq!(h["H"], 2);
+        assert_eq!(h["T"], 1);
+    }
+
+    #[test]
+    fn to_unitary_matches_gate_matrices() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::T(0));
+        let u = c.to_unitary();
+        let expected = Gate::T(0).local_matrix().mul(&Gate::H(0).local_matrix());
+        assert!(u.approx_eq(&expected, EPS));
+        assert!(u.is_unitary(EPS));
+    }
+
+    #[test]
+    fn strict_serialize_roundtrip() {
+        let mut sc = StrictCircuit::new(4);
+        sc.h(0);
+        sc.t(2);
+        sc.cnot(1, 3);
+        sc.identity();
+        let text = sc.serialize();
+        let parsed = StrictCircuit::parse(&text, 4).expect("parse");
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn strict_format_matches_paper_shape() {
+        let mut sc = StrictCircuit::new(3);
+        sc.cnot(0, 2);
+        sc.h(1);
+        let text = sc.serialize();
+        // a#b#c # a#b#c
+        assert_eq!(text, "0#2#2#1#2#0");
+    }
+
+    #[test]
+    fn identity_convention_drops_gate() {
+        let mut sc = StrictCircuit::new(2);
+        sc.identity();
+        sc.h(0);
+        let c = sc.to_circuit();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.gates()[0], Gate::H(0));
+    }
+
+    #[test]
+    fn parse_rejects_bad_inputs() {
+        assert!(matches!(
+            StrictCircuit::parse("", 2),
+            Err(FormatError::BadArity(0))
+        ));
+        assert!(matches!(
+            StrictCircuit::parse("0#1", 2),
+            Err(FormatError::BadArity(2))
+        ));
+        assert!(matches!(
+            StrictCircuit::parse("0#1#5", 2),
+            Err(FormatError::BadGateSelector(5))
+        ));
+        assert!(matches!(
+            StrictCircuit::parse("0#9#2", 2),
+            Err(FormatError::QubitOutOfRange(9))
+        ));
+        assert!(matches!(
+            StrictCircuit::parse("0#x#2", 2),
+            Err(FormatError::Malformed(_))
+        ));
+        assert!(matches!(
+            StrictCircuit::parse("0##2", 2),
+            Err(FormatError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn tdg_emits_seven_ts_and_inverts_t() {
+        let mut sc = StrictCircuit::new(1);
+        // Use 2-qubit register so the ignored b label differs; width 1 is
+        // only meaningful with max(2) fallback.
+        let mut sc2 = StrictCircuit::new(2);
+        sc2.t(0);
+        sc2.tdg(0);
+        assert_eq!(sc2.len(), 8);
+        let mut s = StateVector::uniform(2);
+        let orig = s.clone();
+        sc2.to_circuit().apply_to(&mut s);
+        assert!(s.approx_eq(&orig, EPS));
+        sc.identity();
+        assert_eq!(sc.len(), 1);
+    }
+
+    #[test]
+    fn strict_circuit_equivalent_to_general() {
+        let mut sc = StrictCircuit::new(2);
+        sc.h(0);
+        sc.cnot(0, 1);
+        let via_strict = sc.run_from_zero();
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let direct = c.run_from_zero();
+        assert!(via_strict.approx_eq(&direct, EPS));
+        assert!(via_strict.amp(0).approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), EPS));
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H(0));
+        let mut b = Circuit::new(2);
+        b.push(Gate::X(1));
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

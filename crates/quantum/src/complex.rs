@@ -1,0 +1,313 @@
+//! Minimal complex arithmetic for state-vector simulation.
+//!
+//! The offline crate set for this reproduction does not include
+//! `num-complex`, so we provide the (small) subset of complex arithmetic the
+//! simulator needs: field operations, conjugation, modulus, polar helpers
+//! and approximate comparison. The type is `Copy` and `#[repr(C)]` so dense
+//! amplitude buffers are tightly packed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity.
+pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The multiplicative identity.
+pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+/// The imaginary unit `i`.
+pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Creates `re + i·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`, the measurement probability weight of an
+    /// amplitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaNs when `self` is zero, matching
+    /// IEEE float division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// True when both parts are within `eps` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// True when `|z| ≤ eps`.
+    #[inline]
+    pub fn is_approx_zero(self, eps: f64) -> bool {
+        self.norm_sqr() <= eps * eps
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<It: Iterator<Item = Complex>>(iter: It) -> Complex {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+.6}{:+.6}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// `1/√2`, the Hadamard amplitude.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex::new(1.0, 2.0).re, 1.0);
+        assert_eq!(Complex::new(1.0, 2.0).im, 2.0);
+        assert_eq!(ONE * I, I);
+        assert_eq!(I * I, -ONE);
+        assert_eq!(Complex::real(3.0), Complex::new(3.0, 0.0));
+        assert_eq!(Complex::from(2.5), Complex::real(2.5));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(1.5, -2.25);
+        let w = Complex::new(-0.5, 3.0);
+        assert!((z + w - w).approx_eq(z, EPS));
+        assert!((z * w / w).approx_eq(z, EPS));
+        assert!((z - z).approx_eq(ZERO, EPS));
+        assert!((z * z.inv()).approx_eq(ONE, EPS));
+        assert!((-z + z).approx_eq(ZERO, EPS));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        // z·z̄ = |z|²
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), EPS));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        for &theta in &[0.0, 0.1, 1.0, std::f64::consts::PI / 3.0, -2.0] {
+            let z = Complex::from_phase(theta);
+            assert!((z.norm() - 1.0).abs() < EPS);
+            assert!((z.arg() - theta).abs() < 1e-10 || (z.arg() - theta).abs() > 6.0);
+        }
+    }
+
+    #[test]
+    fn phase_multiplication_adds_angles() {
+        let a = Complex::from_phase(0.3);
+        let b = Complex::from_phase(0.4);
+        assert!((a * b).approx_eq(Complex::from_phase(0.7), EPS));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += ONE;
+        assert_eq!(z, Complex::new(2.0, 1.0));
+        z -= I;
+        assert_eq!(z, Complex::new(2.0, 0.0));
+        z *= I;
+        assert_eq!(z, Complex::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn real_scaling() {
+        let z = Complex::new(2.0, -4.0);
+        assert_eq!(z * 0.5, Complex::new(1.0, -2.0));
+        assert_eq!(0.5 * z, Complex::new(1.0, -2.0));
+        assert_eq!(z.scale(0.0), ZERO);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let zs = [ONE, I, Complex::new(1.0, 1.0)];
+        let s: Complex = zs.iter().copied().sum();
+        assert_eq!(s, Complex::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn approx_zero_and_nan() {
+        assert!(Complex::new(1e-15, -1e-15).is_approx_zero(1e-12));
+        assert!(!Complex::new(1e-3, 0.0).is_approx_zero(1e-12));
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(!ONE.is_nan());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1-2i");
+    }
+}

@@ -1,0 +1,486 @@
+//! Exact lowering of derived gates to the paper's strict set `{H, T, CNOT}`.
+//!
+//! Definition 2.3 only lets the machine output gates from
+//! `G = {G0=H, G1=T, G2=CNOT}`. Every operator used by procedure A3 is a
+//! classical reversible map or a ±1-diagonal, so the whole circuit can be
+//! lowered **exactly** (no Solovay–Kitaev approximation needed):
+//!
+//! * `T† = T^7`, `S = T²`, `S† = T^6`, `Z = T^4` (all exact since `T^8 = I`);
+//! * `X = H·Z·H`, `CZ = (I⊗H)·CNOT·(I⊗H)`;
+//! * Toffoli via the standard 15-gate Clifford+T network;
+//! * `n`-controlled X via a Toffoli V-chain with `n − 2` clean ancillas;
+//! * "phase flip on a chosen basis value" (the paper's `S_k` up to global
+//!   phase) via X-conjugation and a multi-controlled Z.
+//!
+//! Everything here returns gate *sequences*; [`expand_to_strict`] performs
+//! the final rewrite into pure `{H, T, CNOT}`.
+
+use crate::gate::Gate;
+
+/// Errors raised when a gate cannot be lowered exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LowerError {
+    /// The gate has a continuous parameter not representable exactly in
+    /// Clifford+T (use the approximate synthesizer in [`crate::synth`]).
+    NotExact(&'static str),
+    /// Not enough ancilla qubits were supplied for a multi-controlled gate.
+    NotEnoughAncillas {
+        /// Ancillas required.
+        needed: usize,
+        /// Ancillas provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::NotExact(name) => {
+                write!(f, "gate {name} has no exact Clifford+T realization")
+            }
+            LowerError::NotEnoughAncillas { needed, got } => {
+                write!(f, "need {needed} ancillas, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// The standard exact Toffoli decomposition into `{H, T, T†, CNOT}`
+/// (15 gates; Nielsen & Chuang Fig. 4.9).
+pub fn toffoli_clifford_t(c1: usize, c2: usize, t: usize) -> Vec<Gate> {
+    vec![
+        Gate::H(t),
+        Gate::Cnot { control: c2, target: t },
+        Gate::Tdg(t),
+        Gate::Cnot { control: c1, target: t },
+        Gate::T(t),
+        Gate::Cnot { control: c2, target: t },
+        Gate::Tdg(t),
+        Gate::Cnot { control: c1, target: t },
+        Gate::T(c2),
+        Gate::T(t),
+        Gate::H(t),
+        Gate::Cnot { control: c1, target: c2 },
+        Gate::T(c1),
+        Gate::Tdg(c2),
+        Gate::Cnot { control: c1, target: c2 },
+    ]
+}
+
+/// Multi-controlled X over arbitrarily many controls using a Toffoli
+/// V-chain. Requires `max(controls.len().saturating_sub(2), 0)` **clean**
+/// (|0⟩) ancillas, which are returned clean.
+///
+/// Emits `X`/`CNOT`/`Toffoli` gates; feed the result through
+/// [`expand_to_strict`] for the paper's gate set.
+pub fn mcx(controls: &[usize], target: usize, ancillas: &[usize]) -> Result<Vec<Gate>, LowerError> {
+    match controls.len() {
+        0 => Ok(vec![Gate::X(target)]),
+        1 => Ok(vec![Gate::Cnot {
+            control: controls[0],
+            target,
+        }]),
+        2 => Ok(vec![Gate::Toffoli {
+            c1: controls[0],
+            c2: controls[1],
+            target,
+        }]),
+        c => {
+            let needed = c - 2;
+            if ancillas.len() < needed {
+                return Err(LowerError::NotEnoughAncillas {
+                    needed,
+                    got: ancillas.len(),
+                });
+            }
+            let mut gates = Vec::new();
+            // Compute chain: a[0] = c0∧c1, a[j] = a[j-1]∧c[j+1].
+            gates.push(Gate::Toffoli {
+                c1: controls[0],
+                c2: controls[1],
+                target: ancillas[0],
+            });
+            for j in 1..needed {
+                gates.push(Gate::Toffoli {
+                    c1: ancillas[j - 1],
+                    c2: controls[j + 1],
+                    target: ancillas[j],
+                });
+            }
+            // Final AND with the last control hits the target.
+            gates.push(Gate::Toffoli {
+                c1: ancillas[needed - 1],
+                c2: controls[c - 1],
+                target,
+            });
+            // Uncompute.
+            for j in (1..needed).rev() {
+                gates.push(Gate::Toffoli {
+                    c1: ancillas[j - 1],
+                    c2: controls[j + 1],
+                    target: ancillas[j],
+                });
+            }
+            gates.push(Gate::Toffoli {
+                c1: controls[0],
+                c2: controls[1],
+                target: ancillas[0],
+            });
+            Ok(gates)
+        }
+    }
+}
+
+/// Multi-controlled Z over `qubits` (applies −1 exactly on the all-ones
+/// assignment of `qubits`). Uses the identity `MCZ = H_t · MCX · H_t` with
+/// the last qubit as target.
+pub fn mcz(qubits: &[usize], ancillas: &[usize]) -> Result<Vec<Gate>, LowerError> {
+    assert!(!qubits.is_empty(), "MCZ needs at least one qubit");
+    if qubits.len() == 1 {
+        return Ok(vec![Gate::Z(qubits[0])]);
+    }
+    let (target, controls) = qubits.split_last().expect("nonempty");
+    let mut gates = vec![Gate::H(*target)];
+    gates.extend(mcx(controls, *target, ancillas)?);
+    gates.push(Gate::H(*target));
+    Ok(gates)
+}
+
+/// Applies phase −1 exactly on the basis states where the bits of `qubits`
+/// equal `value` (bit `j` of `value` ↔ `qubits[j]`). This realizes the
+/// paper's `S_k` up to an unobservable global −1: `S_k` negates every
+/// `i ≠ 0`, which equals `−1 ×` (negate only `i = 0`), i.e.
+/// `phase_flip_on_value(index_qubits, 0, …)`.
+pub fn phase_flip_on_value(
+    qubits: &[usize],
+    value: usize,
+    ancillas: &[usize],
+) -> Result<Vec<Gate>, LowerError> {
+    assert!(!qubits.is_empty());
+    assert!(value < (1usize << qubits.len()), "value out of range");
+    let mut gates = Vec::new();
+    // X-conjugate the zero bits so that `value` becomes all-ones.
+    let flips: Vec<Gate> = qubits
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| (value >> j) & 1 == 0)
+        .map(|(_, &q)| Gate::X(q))
+        .collect();
+    gates.extend(flips.iter().copied());
+    gates.extend(mcz(qubits, ancillas)?);
+    gates.extend(flips);
+    Ok(gates)
+}
+
+/// Multi-controlled X that fires when the bits of `controls` equal
+/// `value` (not necessarily all-ones).
+pub fn mcx_on_value(
+    controls: &[usize],
+    value: usize,
+    target: usize,
+    ancillas: &[usize],
+) -> Result<Vec<Gate>, LowerError> {
+    assert!(value < (1usize << controls.len().min(63)) || controls.is_empty());
+    let flips: Vec<Gate> = controls
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| (value >> j) & 1 == 0)
+        .map(|(_, &q)| Gate::X(q))
+        .collect();
+    let mut gates = Vec::new();
+    gates.extend(flips.iter().copied());
+    gates.extend(mcx(controls, target, ancillas)?);
+    gates.extend(flips);
+    Ok(gates)
+}
+
+/// Rewrites a gate sequence into the strict paper set `{H, T, CNOT}`,
+/// exactly (up to global phase for `X`, `Y`, `Z`-family gates).
+///
+/// # Errors
+/// [`LowerError::NotExact`] for `Phase(θ)`/`Ry(θ)` with generic θ.
+pub fn expand_to_strict(gates: &[Gate]) -> Result<Vec<Gate>, LowerError> {
+    let mut out = Vec::with_capacity(gates.len() * 4);
+    for g in gates {
+        expand_one(g, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn push_t_power(q: usize, pow: usize, out: &mut Vec<Gate>) {
+    for _ in 0..pow {
+        out.push(Gate::T(q));
+    }
+}
+
+fn expand_one(g: &Gate, out: &mut Vec<Gate>) -> Result<(), LowerError> {
+    match *g {
+        Gate::H(_) | Gate::T(_) | Gate::Cnot { .. } => out.push(*g),
+        Gate::Tdg(q) => push_t_power(q, 7, out),
+        Gate::S(q) => push_t_power(q, 2, out),
+        Gate::Sdg(q) => push_t_power(q, 6, out),
+        Gate::Z(q) => push_t_power(q, 4, out),
+        Gate::X(q) => {
+            out.push(Gate::H(q));
+            push_t_power(q, 4, out);
+            out.push(Gate::H(q));
+        }
+        Gate::Y(q) => {
+            // Y = S·X·S† up to global phase (i): verified in tests.
+            push_t_power(q, 6, out); // S†
+            out.push(Gate::H(q));
+            push_t_power(q, 4, out); // Z
+            out.push(Gate::H(q));
+            push_t_power(q, 2, out); // S
+        }
+        Gate::Cz(a, b) => {
+            out.push(Gate::H(b));
+            out.push(Gate::Cnot { control: a, target: b });
+            out.push(Gate::H(b));
+        }
+        Gate::Swap(a, b) => {
+            out.push(Gate::Cnot { control: a, target: b });
+            out.push(Gate::Cnot { control: b, target: a });
+            out.push(Gate::Cnot { control: a, target: b });
+        }
+        Gate::Toffoli { c1, c2, target } => {
+            for inner in toffoli_clifford_t(c1, c2, target) {
+                expand_one(&inner, out)?;
+            }
+        }
+        Gate::Phase(q, theta) => {
+            // Exact only at multiples of π/4.
+            let steps = theta / std::f64::consts::FRAC_PI_4;
+            let rounded = steps.round();
+            if (steps - rounded).abs() < 1e-12 {
+                let pow = rounded.rem_euclid(8.0) as usize;
+                push_t_power(q, pow, out);
+            } else {
+                return Err(LowerError::NotExact("Phase"));
+            }
+        }
+        Gate::Ry(_, _) => return Err(LowerError::NotExact("Ry")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::state::StateVector;
+
+    const EPS: f64 = 1e-9;
+
+    fn unitary_of(gates: &[Gate], n: usize) -> crate::matrix::Matrix {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(*g);
+        }
+        c.to_unitary()
+    }
+
+    #[test]
+    fn toffoli_decomposition_exact() {
+        let dec = unitary_of(&toffoli_clifford_t(0, 1, 2), 3);
+        let reference = unitary_of(&[Gate::Toffoli { c1: 0, c2: 1, target: 2 }], 3);
+        assert!(dec.approx_eq(&reference, EPS), "Toffoli lowering incorrect");
+    }
+
+    #[test]
+    fn toffoli_strict_expansion_exact() {
+        let strict =
+            expand_to_strict(&[Gate::Toffoli { c1: 0, c2: 1, target: 2 }]).expect("expand");
+        assert!(strict.iter().all(Gate::is_strict));
+        let dec = unitary_of(&strict, 3);
+        let reference = unitary_of(&[Gate::Toffoli { c1: 0, c2: 1, target: 2 }], 3);
+        assert!(dec.approx_eq(&reference, EPS));
+    }
+
+    #[test]
+    fn single_qubit_expansions_match_up_to_phase() {
+        for g in [
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Tdg(0),
+        ] {
+            let strict = expand_to_strict(&[g]).expect("expand");
+            assert!(strict.iter().all(Gate::is_strict), "{g:?}");
+            let dec = unitary_of(&strict, 1);
+            let reference = unitary_of(&[g], 1);
+            assert!(
+                dec.approx_eq_up_to_phase(&reference, EPS),
+                "{g:?} lowering incorrect"
+            );
+        }
+    }
+
+    #[test]
+    fn cz_and_swap_expansions_exact() {
+        for g in [Gate::Cz(0, 1), Gate::Swap(0, 1)] {
+            let strict = expand_to_strict(&[g]).expect("expand");
+            let dec = unitary_of(&strict, 2);
+            let reference = unitary_of(&[g], 2);
+            assert!(dec.approx_eq(&reference, EPS), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn phase_multiples_of_pi_over_4_are_exact() {
+        for mult in 0..8 {
+            let theta = mult as f64 * std::f64::consts::FRAC_PI_4;
+            let strict = expand_to_strict(&[Gate::Phase(0, theta)]).expect("expand");
+            let dec = unitary_of(&strict, 1);
+            let reference = unitary_of(&[Gate::Phase(0, theta)], 1);
+            assert!(dec.approx_eq(&reference, EPS), "θ = {mult}π/4");
+        }
+        assert!(matches!(
+            expand_to_strict(&[Gate::Phase(0, 0.1)]),
+            Err(LowerError::NotExact("Phase"))
+        ));
+        assert!(matches!(
+            expand_to_strict(&[Gate::Ry(0, 0.1)]),
+            Err(LowerError::NotExact("Ry"))
+        ));
+    }
+
+    #[test]
+    fn mcx_small_cases() {
+        // 0 controls = X, 1 = CNOT, 2 = Toffoli.
+        assert_eq!(mcx(&[], 0, &[]).unwrap(), vec![Gate::X(0)]);
+        assert_eq!(
+            mcx(&[3], 0, &[]).unwrap(),
+            vec![Gate::Cnot { control: 3, target: 0 }]
+        );
+        assert_eq!(
+            mcx(&[1, 2], 0, &[]).unwrap(),
+            vec![Gate::Toffoli { c1: 1, c2: 2, target: 0 }]
+        );
+    }
+
+    #[test]
+    fn mcx_three_controls_truth_table() {
+        // Controls 0,1,2, target 3, ancilla 4 — check all 16 control/target
+        // patterns (ancilla starts and must end at |0⟩).
+        let gates = mcx(&[0, 1, 2], 3, &[4]).expect("mcx");
+        for input in 0..16usize {
+            let mut s = StateVector::basis(5, input);
+            for g in &gates {
+                s.apply(g);
+            }
+            let expected = if input & 0b111 == 0b111 {
+                input ^ 0b1000
+            } else {
+                input
+            };
+            assert!(
+                s.approx_eq(&StateVector::basis(5, expected), EPS),
+                "input {input:#07b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mcx_four_controls_with_two_ancillas() {
+        let gates = mcx(&[0, 1, 2, 3], 4, &[5, 6]).expect("mcx");
+        for input in 0..32usize {
+            let mut s = StateVector::basis(7, input);
+            for g in &gates {
+                s.apply(g);
+            }
+            let expected = if input & 0b1111 == 0b1111 {
+                input ^ 0b10000
+            } else {
+                input
+            };
+            assert!(
+                s.approx_eq(&StateVector::basis(7, expected), EPS),
+                "input {input:#07b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mcx_rejects_missing_ancillas() {
+        assert!(matches!(
+            mcx(&[0, 1, 2, 3], 4, &[5]),
+            Err(LowerError::NotEnoughAncillas { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn mcz_phases_only_all_ones() {
+        let gates = mcz(&[0, 1, 2], &[4]).expect("mcz");
+        // Use 5 qubits (ancilla at 4, qubit 3 spectator).
+        for input in 0..8usize {
+            let mut s = StateVector::basis(5, input);
+            for g in &gates {
+                s.apply(g);
+            }
+            let expected_sign = if input & 0b111 == 0b111 { -1.0 } else { 1.0 };
+            let a = s.amp(input);
+            assert!(
+                (a.re - expected_sign).abs() < EPS && a.im.abs() < EPS,
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_flip_on_zero_realizes_sk_up_to_global_phase() {
+        use crate::structured::GroverLayout;
+        // S_k on a 2-bit index (layout k=1): compare structured apply_sk
+        // against −1 × phase_flip_on_value(index, 0).
+        let layout = GroverLayout { idx_width: 2 };
+        let n = layout.num_qubits(); // 4 qubits; no ancilla needed (2 ctrl MCZ)
+        let gates = phase_flip_on_value(&[0, 1], 0, &[]).expect("flip");
+
+        let mut via_gates = layout.phi();
+        layout.apply_vx(&mut via_gates, &[true, false, true, false]); // scramble
+        let mut via_structured = via_gates.clone();
+        for g in &gates {
+            via_gates.apply(g);
+        }
+        layout.apply_sk(&mut via_structured);
+        assert_eq!(via_gates.num_qubits(), n);
+        assert!(
+            via_gates.approx_eq_up_to_phase(&via_structured, EPS),
+            "phase-flip-on-zero must equal S_k up to global phase"
+        );
+    }
+
+    #[test]
+    fn mcx_on_value_fires_on_selected_pattern() {
+        let gates = mcx_on_value(&[0, 1, 2], 0b101, 3, &[4]).expect("mcx_on_value");
+        for input in 0..16usize {
+            let mut s = StateVector::basis(5, input);
+            for g in &gates {
+                s.apply(g);
+            }
+            let expected = if input & 0b111 == 0b101 {
+                input ^ 0b1000
+            } else {
+                input
+            };
+            assert!(
+                s.approx_eq(&StateVector::basis(5, expected), EPS),
+                "input {input:#07b}"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_expansion_of_mcx_matches() {
+        let gates = mcx_on_value(&[0, 1], 0b10, 2, &[]).expect("build");
+        let strict = expand_to_strict(&gates).expect("expand");
+        assert!(strict.iter().all(Gate::is_strict));
+        let a = unitary_of(&gates, 3);
+        let b = unitary_of(&strict, 3);
+        assert!(a.approx_eq_up_to_phase(&b, EPS));
+    }
+}

@@ -1,0 +1,161 @@
+//! Statistical diagnostics for measurement sampling.
+//!
+//! The experiments repeatedly compare sampled measurement frequencies
+//! against exact probabilities with ad-hoc tolerances; this module makes
+//! those comparisons principled: histogram collection over repeated
+//! basis measurements, Pearson's χ² statistic against the exact
+//! distribution, and a conservative acceptance threshold from the
+//! χ²-quantile bound `df + 2√(2·df·ln(1/α)) + 2·ln(1/α)` (a standard
+//! sub-exponential tail bound, valid for every df).
+
+use crate::state::StateVector;
+use rand::Rng;
+
+/// A sampled histogram over computational-basis outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl SampleHistogram {
+    /// Samples `trials` non-collapsing basis measurements of `state`.
+    pub fn collect<R: Rng + ?Sized>(state: &StateVector, trials: u64, rng: &mut R) -> Self {
+        let mut counts = vec![0u64; state.dim()];
+        for _ in 0..trials {
+            counts[state.sample_basis(rng)] += 1;
+        }
+        SampleHistogram {
+            counts,
+            total: trials,
+        }
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical frequency of outcome `b`.
+    pub fn frequency(&self, b: usize) -> f64 {
+        self.counts[b] as f64 / self.total as f64
+    }
+
+    /// Pearson's χ² statistic against the expected distribution, pooling
+    /// bins with expected count below `min_expected` (the classic validity
+    /// rule) into one. Returns `(statistic, degrees_of_freedom)`.
+    pub fn chi_squared(&self, expected: &[f64], min_expected: f64) -> (f64, usize) {
+        assert_eq!(expected.len(), self.counts.len());
+        let n = self.total as f64;
+        let mut stat = 0.0;
+        let mut bins = 0usize;
+        let mut pooled_obs = 0.0;
+        let mut pooled_exp = 0.0;
+        for (&c, &p) in self.counts.iter().zip(expected) {
+            let e = p * n;
+            if e < min_expected {
+                pooled_obs += c as f64;
+                pooled_exp += e;
+            } else {
+                stat += (c as f64 - e).powi(2) / e;
+                bins += 1;
+            }
+        }
+        if pooled_exp >= f64::EPSILON {
+            stat += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+            bins += 1;
+        }
+        (stat, bins.saturating_sub(1))
+    }
+
+    /// True when the histogram is consistent with `expected` at
+    /// significance `alpha` (χ² below the sub-exponential quantile
+    /// bound).
+    pub fn consistent_with(&self, expected: &[f64], alpha: f64) -> bool {
+        let (stat, df) = self.chi_squared(expected, 5.0);
+        if df == 0 {
+            return true;
+        }
+        stat <= chi_squared_quantile_bound(df, alpha)
+    }
+}
+
+/// Conservative upper bound on the `(1 − α)`-quantile of χ²(df):
+/// `df + 2√(df·ln(1/α)) + 2·ln(1/α)` (Laurent–Massart).
+pub fn chi_squared_quantile_bound(df: usize, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let df = df as f64;
+    let l = (1.0 / alpha).ln();
+    df + 2.0 * (df * l).sqrt() + 2.0 * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_state_passes_chi_squared() {
+        let s = StateVector::uniform(4);
+        let mut rng = StdRng::seed_from_u64(230);
+        let hist = SampleHistogram::collect(&s, 16_000, &mut rng);
+        assert!(hist.consistent_with(&s.probabilities(), 1e-4));
+        assert_eq!(hist.total(), 16_000);
+        assert_eq!(hist.counts().iter().sum::<u64>(), 16_000);
+    }
+
+    #[test]
+    fn bell_state_histogram() {
+        let mut s = StateVector::zero(2);
+        s.apply(&Gate::H(0));
+        s.apply(&Gate::Cnot { control: 0, target: 1 });
+        let mut rng = StdRng::seed_from_u64(231);
+        let hist = SampleHistogram::collect(&s, 10_000, &mut rng);
+        assert!(hist.consistent_with(&s.probabilities(), 1e-4));
+        // The anti-correlated outcomes never appear.
+        assert_eq!(hist.counts()[1], 0);
+        assert_eq!(hist.counts()[2], 0);
+        assert!((hist.frequency(0) - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn wrong_distribution_fails_chi_squared() {
+        // Sample from uniform, test against a skewed expectation.
+        let s = StateVector::uniform(3);
+        let mut rng = StdRng::seed_from_u64(232);
+        let hist = SampleHistogram::collect(&s, 20_000, &mut rng);
+        let mut skewed = vec![0.05; 8];
+        skewed[0] = 0.65;
+        assert!(!hist.consistent_with(&skewed, 1e-4));
+    }
+
+    #[test]
+    fn quantile_bound_is_sane() {
+        // df=1, α=0.05: true quantile 3.84; bound must dominate.
+        assert!(chi_squared_quantile_bound(1, 0.05) >= 3.84);
+        // df=10, α=0.01: true 23.2.
+        assert!(chi_squared_quantile_bound(10, 0.01) >= 23.2);
+        // Bound grows with df and with 1/α.
+        assert!(chi_squared_quantile_bound(20, 0.01) > chi_squared_quantile_bound(10, 0.01));
+        assert!(chi_squared_quantile_bound(10, 0.001) > chi_squared_quantile_bound(10, 0.01));
+    }
+
+    #[test]
+    fn pooling_small_bins() {
+        // A sharp state: most bins have tiny expectation and get pooled.
+        let s = StateVector::basis(3, 2);
+        let mut rng = StdRng::seed_from_u64(233);
+        let hist = SampleHistogram::collect(&s, 1_000, &mut rng);
+        let (stat, df) = hist.chi_squared(&s.probabilities(), 5.0);
+        assert!(stat.abs() < 1e-9, "deterministic outcome: χ² = {stat}");
+        assert!(df <= 1);
+        assert!(hist.consistent_with(&s.probabilities(), 1e-4));
+    }
+}

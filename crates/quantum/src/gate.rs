@@ -1,0 +1,307 @@
+//! Quantum gates.
+//!
+//! The paper's machine model (Definition 2.3) emits circuits over the strict
+//! universal set `G = {G0, G1, G2} = {H, T, CNOT}`. For building and testing
+//! circuits we also provide the usual derived gates (Pauli, S, Toffoli, …),
+//! all of which [`crate::decompose`] can lower to the strict set exactly.
+
+use crate::complex::{Complex, FRAC_1_SQRT_2, ONE, ZERO};
+use crate::matrix::Matrix;
+
+/// A gate applied to concrete qubit indices.
+///
+/// Qubit indices are little-endian positions into the state vector: qubit
+/// `q` of basis state `b` is bit `(b >> q) & 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard (the paper's `G0`).
+    H(usize),
+    /// π/8 gate `T = diag(1, e^{iπ/4})` (the paper's `G1`).
+    T(usize),
+    /// `T† = diag(1, e^{-iπ/4})`; equals `T^7` up to global phase, so it is
+    /// expressible in the strict set.
+    Tdg(usize),
+    /// Phase gate `S = T²`.
+    S(usize),
+    /// `S† = T^6` up to global phase.
+    Sdg(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// `diag(1, e^{iθ})`.
+    Phase(usize, f64),
+    /// Rotation about Y: `exp(-iθY/2)`.
+    Ry(usize, f64),
+    /// Controlled NOT (the paper's `G2`): flips `target` when `control` is 1.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled Z (symmetric in its operands).
+    Cz(usize, usize),
+    /// Swap two qubits.
+    Swap(usize, usize),
+    /// Doubly-controlled NOT.
+    Toffoli {
+        /// First control qubit.
+        c1: usize,
+        /// Second control qubit.
+        c2: usize,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+impl Gate {
+    /// The qubits the gate touches, in a fixed order (controls first).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::Phase(q, _)
+            | Gate::Ry(q, _) => vec![q],
+            Gate::Cnot { control, target } => vec![control, target],
+            Gate::Cz(a, b) => vec![a, b],
+            Gate::Swap(a, b) => vec![a, b],
+            Gate::Toffoli { c1, c2, target } => vec![c1, c2, target],
+        }
+    }
+
+    /// Largest qubit index touched.
+    pub fn max_qubit(&self) -> usize {
+        self.qubits().into_iter().max().expect("gate touches qubits")
+    }
+
+    /// True iff the gate is one of the strict paper set `{H, T, CNOT}`.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, Gate::H(_) | Gate::T(_) | Gate::Cnot { .. })
+    }
+
+    /// True when the gate's operands are pairwise distinct (a well-formed
+    /// multi-qubit gate). Single-qubit gates are always well formed. The
+    /// paper's output convention maps `a = b` to the identity; that case is
+    /// handled at the circuit-format layer, not here.
+    pub fn is_well_formed(&self) -> bool {
+        let qs = self.qubits();
+        for i in 0..qs.len() {
+            for j in (i + 1)..qs.len() {
+                if qs[i] == qs[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The unitary matrix of the gate on its own operands, with the first
+    /// operand as the **least significant** bit of the row/column index.
+    pub fn local_matrix(&self) -> Matrix {
+        match *self {
+            Gate::H(_) => Matrix::from_reals(
+                2,
+                &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2],
+            ),
+            Gate::T(_) => diag2(ONE, Complex::from_phase(std::f64::consts::FRAC_PI_4)),
+            Gate::Tdg(_) => diag2(ONE, Complex::from_phase(-std::f64::consts::FRAC_PI_4)),
+            Gate::S(_) => diag2(ONE, Complex::new(0.0, 1.0)),
+            Gate::Sdg(_) => diag2(ONE, Complex::new(0.0, -1.0)),
+            Gate::X(_) => Matrix::from_reals(2, &[0.0, 1.0, 1.0, 0.0]),
+            Gate::Y(_) => Matrix::from_rows(
+                2,
+                2,
+                &[ZERO, Complex::new(0.0, -1.0), Complex::new(0.0, 1.0), ZERO],
+            ),
+            Gate::Z(_) => diag2(ONE, -ONE),
+            Gate::Phase(_, theta) => diag2(ONE, Complex::from_phase(theta)),
+            Gate::Ry(_, theta) => {
+                let c = (theta / 2.0).cos();
+                let s = (theta / 2.0).sin();
+                Matrix::from_reals(2, &[c, -s, s, c])
+            }
+            // Two-qubit matrices: operand order (control, target) with the
+            // control as the low bit. Index = control + 2*target.
+            Gate::Cnot { .. } => Matrix::from_reals(
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0, //
+                    0.0, 0.0, 1.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0,
+                ],
+            ),
+            Gate::Cz(_, _) => {
+                let mut m = Matrix::identity(4);
+                m[(3, 3)] = -ONE;
+                m
+            }
+            Gate::Swap(_, _) => Matrix::from_reals(
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 0.0, 1.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0,
+                ],
+            ),
+            Gate::Toffoli { .. } => {
+                // Index = c1 + 2*c2 + 4*target; flips target when c1=c2=1.
+                let mut m = Matrix::identity(8);
+                m[(3, 3)] = ZERO;
+                m[(7, 7)] = ZERO;
+                m[(3, 7)] = ONE;
+                m[(7, 3)] = ONE;
+                m
+            }
+        }
+    }
+
+    /// Human-readable gate name (without operand indices).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "H",
+            Gate::T(_) => "T",
+            Gate::Tdg(_) => "T†",
+            Gate::S(_) => "S",
+            Gate::Sdg(_) => "S†",
+            Gate::X(_) => "X",
+            Gate::Y(_) => "Y",
+            Gate::Z(_) => "Z",
+            Gate::Phase(_, _) => "P",
+            Gate::Ry(_, _) => "Ry",
+            Gate::Cnot { .. } => "CNOT",
+            Gate::Cz(_, _) => "CZ",
+            Gate::Swap(_, _) => "SWAP",
+            Gate::Toffoli { .. } => "CCX",
+        }
+    }
+}
+
+fn diag2(a: Complex, b: Complex) -> Matrix {
+    Matrix::from_rows(2, 2, &[a, ZERO, ZERO, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn all_sample_gates() -> Vec<Gate> {
+        vec![
+            Gate::H(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::Phase(0, 0.37),
+            Gate::Ry(0, 1.1),
+            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Toffoli { c1: 0, c2: 1, target: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for g in all_sample_gates() {
+            assert!(g.local_matrix().is_unitary(EPS), "{:?} not unitary", g);
+        }
+    }
+
+    #[test]
+    fn strict_set_membership() {
+        assert!(Gate::H(3).is_strict());
+        assert!(Gate::T(0).is_strict());
+        assert!(Gate::Cnot { control: 1, target: 0 }.is_strict());
+        assert!(!Gate::S(0).is_strict());
+        assert!(!Gate::Toffoli { c1: 0, c2: 1, target: 2 }.is_strict());
+    }
+
+    #[test]
+    fn t_to_the_eighth_is_identity() {
+        let t = Gate::T(0).local_matrix();
+        let mut acc = Matrix::identity(2);
+        for _ in 0..8 {
+            acc = acc.mul(&t);
+        }
+        assert!(acc.approx_eq(&Matrix::identity(2), EPS));
+    }
+
+    #[test]
+    fn tdg_is_t_seventh_up_to_phase() {
+        let t = Gate::T(0).local_matrix();
+        let mut t7 = Matrix::identity(2);
+        for _ in 0..7 {
+            t7 = t7.mul(&t);
+        }
+        assert!(t7.approx_eq_up_to_phase(&Gate::Tdg(0).local_matrix(), EPS));
+        // And exactly: T^7 = T† because T^8 = I exactly.
+        assert!(t7.approx_eq(&Gate::Tdg(0).local_matrix(), EPS));
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let t = Gate::T(0).local_matrix();
+        assert!(t.mul(&t).approx_eq(&Gate::S(0).local_matrix(), EPS));
+    }
+
+    #[test]
+    fn z_is_s_squared_and_t_fourth() {
+        let s = Gate::S(0).local_matrix();
+        assert!(s.mul(&s).approx_eq(&Gate::Z(0).local_matrix(), EPS));
+    }
+
+    #[test]
+    fn x_is_hzh() {
+        let h = Gate::H(0).local_matrix();
+        let z = Gate::Z(0).local_matrix();
+        assert!(h.mul(&z).mul(&h).approx_eq(&Gate::X(0).local_matrix(), EPS));
+    }
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::H(5).qubits(), vec![5]);
+        assert_eq!(Gate::Cnot { control: 2, target: 7 }.qubits(), vec![2, 7]);
+        assert_eq!(
+            Gate::Toffoli { c1: 1, c2: 2, target: 0 }.qubits(),
+            vec![1, 2, 0]
+        );
+        assert_eq!(Gate::Toffoli { c1: 1, c2: 2, target: 0 }.max_qubit(), 2);
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(Gate::Cnot { control: 0, target: 1 }.is_well_formed());
+        assert!(!Gate::Cnot { control: 1, target: 1 }.is_well_formed());
+        assert!(!Gate::Toffoli { c1: 0, c2: 0, target: 1 }.is_well_formed());
+        assert!(Gate::H(0).is_well_formed());
+    }
+
+    #[test]
+    fn phase_gate_generalizes_t_and_s() {
+        assert!(Gate::Phase(0, std::f64::consts::FRAC_PI_4)
+            .local_matrix()
+            .approx_eq(&Gate::T(0).local_matrix(), EPS));
+        assert!(Gate::Phase(0, std::f64::consts::FRAC_PI_2)
+            .local_matrix()
+            .approx_eq(&Gate::S(0).local_matrix(), EPS));
+        assert!(Gate::Phase(0, std::f64::consts::PI)
+            .local_matrix()
+            .approx_eq(&Gate::Z(0).local_matrix(), EPS));
+    }
+}

@@ -1,0 +1,52 @@
+//! # oqsc-quantum — state-vector quantum simulation substrate
+//!
+//! The quantum substrate for the reproduction of Le Gall,
+//! *Exponential Separation of Quantum and Classical Online Space
+//! Complexity* (SPAA 2006). The paper's machine model (Definition 2.3) is a
+//! classical one-way Turing machine that writes a quantum circuit over the
+//! universal set `G = {H, T, CNOT}`; the circuit is then applied to
+//! `|0…0⟩` and its first qubit measured. Since no quantum hardware is
+//! required (or exists at the paper's envisioned scale), this crate supplies
+//! an exact dense state-vector simulator as the substitute substrate:
+//!
+//! * [`complex`] — complex arithmetic (`num-complex` is outside the offline
+//!   crate set, so the needed subset lives here);
+//! * [`matrix`] — small dense matrices for gate definitions and for
+//!   verifying circuit identities with Kronecker products;
+//! * [`gate`] — the strict paper set plus standard derived gates;
+//! * [`state`] — the `O(2^n)`-amplitude simulator with `O(2^n)`-time gate
+//!   application and `O(1)`-time streaming structured updates;
+//! * [`circuit`] — circuit IR, plus the paper's exact `a#b#c` output-tape
+//!   format (serializer and validating parser);
+//! * [`structured`] — the operators `U_k`, `S_k`, `V_x`, `W_x`, `R_x` of
+//!   procedure A3, in both whole-block and per-streamed-bit forms;
+//! * [`decompose`] — **exact** lowering of every operator the paper uses to
+//!   the strict `{H, T, CNOT}` set (Toffoli networks, multi-controlled
+//!   X/Z via ancilla chains);
+//! * [`synth`] — approximate single-qubit synthesis over `⟨H, T⟩`,
+//!   demonstrating the universality claim quantitatively;
+//! * [`optimize`] — exact peephole optimization of strict circuits
+//!   (pair cancellation, `T`-run folding mod 8), quantifying how much of
+//!   the mechanical lowering overhead is recoverable.
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod complex;
+pub mod decompose;
+pub mod diagnostics;
+pub mod gate;
+pub mod matrix;
+pub mod optimize;
+pub mod state;
+pub mod structured;
+pub mod synth;
+
+pub use circuit::{Circuit, FormatError, StrictCircuit, StrictOp};
+pub use complex::Complex;
+pub use diagnostics::{chi_squared_quantile_bound, SampleHistogram};
+pub use gate::Gate;
+pub use matrix::Matrix;
+pub use optimize::{optimize_circuit, optimize_gates, optimize_strict, OptimizeStats};
+pub use state::StateVector;
+pub use structured::GroverLayout;

@@ -1,0 +1,311 @@
+//! Small dense complex matrices.
+//!
+//! These are used for gate definitions (2×2, 4×4, 8×8) and for *verifying*
+//! circuit identities in tests by building full `2^n × 2^n` unitaries with
+//! Kronecker products. The state-vector simulator itself never materializes
+//! large matrices; it applies gates in-place (see [`crate::state`]).
+
+use crate::complex::{Complex, ONE, ZERO};
+
+/// A dense row-major complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of entries.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[Complex]) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds a square matrix from real row-major entries.
+    pub fn from_reals(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "matrix shape mismatch");
+        Matrix {
+            rows: n,
+            cols: n,
+            data: data.iter().map(|&r| Complex::real(r)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// If the inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_approx_zero(0.0) {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = a * rhs[(k, j)];
+                    out[(i, j)] += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(self.cols, v.len(), "vector length mismatch");
+        let mut out = vec![ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True when `‖self − other‖_max ≤ eps` entry-wise.
+    pub fn approx_eq(&self, other: &Matrix, eps: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, eps))
+    }
+
+    /// True when `A·A† = I` within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.mul(&self.dagger())
+            .approx_eq(&Matrix::identity(self.rows), eps)
+    }
+
+    /// True when the matrices are equal up to a global phase factor:
+    /// `self = e^{iφ}·other` for some φ, within `eps`.
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix, eps: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Find the largest entry of `other` to anchor the phase.
+        let mut best = 0usize;
+        let mut best_norm = 0.0;
+        for (idx, z) in other.data.iter().enumerate() {
+            let n = z.norm_sqr();
+            if n > best_norm {
+                best_norm = n;
+                best = idx;
+            }
+        }
+        if best_norm <= eps * eps {
+            return self.approx_eq(other, eps);
+        }
+        let phase = self.data[best] / other.data[best];
+        if (phase.norm() - 1.0).abs() > eps {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| a.approx_eq(phase * *b, eps))
+    }
+
+    /// Scales every entry by `z`.
+    pub fn scale(&self, z: Complex) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * z).collect(),
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{FRAC_1_SQRT_2, I};
+
+    const EPS: f64 = 1e-12;
+
+    fn hadamard() -> Matrix {
+        Matrix::from_reals(2, &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2])
+    }
+
+    #[test]
+    fn identity_is_unitary_and_neutral() {
+        let id = Matrix::identity(4);
+        assert!(id.is_unitary(EPS));
+        let h = hadamard();
+        assert!(h.mul(&Matrix::identity(2)).approx_eq(&h, EPS));
+        assert!(Matrix::identity(2).mul(&h).approx_eq(&h, EPS));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = hadamard();
+        assert!(h.is_unitary(EPS));
+        assert!(h.mul(&h).approx_eq(&Matrix::identity(2), EPS));
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let m = Matrix::from_rows(
+            2,
+            2,
+            &[Complex::new(1.0, 2.0), I, ONE_C, Complex::new(0.0, -3.0)],
+        );
+        assert!(m.dagger().dagger().approx_eq(&m, EPS));
+    }
+
+    const ONE_C: Complex = crate::complex::ONE;
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = Matrix::from_reals(2, &[1.0, 0.0, 0.0, 2.0]);
+        let b = Matrix::from_reals(2, &[0.0, 1.0, 1.0, 0.0]);
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        assert_eq!(k[(0, 1)], Complex::real(1.0));
+        assert_eq!(k[(2, 3)], Complex::real(2.0));
+        assert_eq!(k[(0, 0)], ZERO);
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary() {
+        let h = hadamard();
+        assert!(h.kron(&h).is_unitary(EPS));
+        assert!(h.kron(&Matrix::identity(2)).is_unitary(EPS));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let h = hadamard();
+        let v = vec![ONE_C, ZERO];
+        let out = h.mul_vec(&v);
+        assert!(out[0].approx_eq(Complex::real(FRAC_1_SQRT_2), EPS));
+        assert!(out[1].approx_eq(Complex::real(FRAC_1_SQRT_2), EPS));
+    }
+
+    #[test]
+    fn phase_equivalence() {
+        let h = hadamard();
+        let g = h.scale(Complex::from_phase(0.7));
+        assert!(g.approx_eq_up_to_phase(&h, EPS));
+        assert!(!g.approx_eq(&h, EPS));
+        // A genuinely different matrix is not phase-equivalent.
+        let x = Matrix::from_reals(2, &[0.0, 1.0, 1.0, 0.0]);
+        assert!(!x.approx_eq_up_to_phase(&h, 1e-9));
+    }
+
+    #[test]
+    fn non_square_not_unitary() {
+        assert!(!Matrix::zeros(2, 3).is_unitary(EPS));
+    }
+}

@@ -1,0 +1,199 @@
+//! Approximate single-qubit synthesis over `⟨H, T⟩`.
+//!
+//! `{H, T}` generates a dense subgroup of `SU(2)` (up to phase), which is
+//! why the paper's gate set is universal for *approximate* quantum
+//! computation. The exact lowering in [`crate::decompose`] covers
+//! everything procedure A3 needs; this module provides the complementary
+//! capability — approximating an arbitrary single-qubit unitary by a
+//! breadth-first search over short `H`/`T` words — so the library is a
+//! complete compiler for the paper's machine model, and so tests can
+//! demonstrate universality quantitatively (error shrinking with word
+//! length).
+//!
+//! The search deduplicates group elements by a rounded-entry key and keeps
+//! the closest word found within the budget. This is not the
+//! Ross–Selinger grid synthesis (which achieves optimal T-counts), but for
+//! the ε ranges exercised here (ε ≥ 10⁻³) it is small and dependable.
+
+use crate::complex::Complex;
+use crate::gate::Gate;
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Result of an approximation query.
+#[derive(Clone, Debug)]
+pub struct Approximation {
+    /// The `H`/`T` word, in application order.
+    pub gates: Vec<Gate>,
+    /// Phase-invariant distance to the target (see [`phase_distance`]).
+    pub distance: f64,
+}
+
+/// Phase-invariant distance between 2×2 unitaries:
+/// `sqrt(1 − |tr(A†B)|/2)`, which is 0 iff `A = e^{iφ}B`.
+pub fn phase_distance(a: &Matrix, b: &Matrix) -> f64 {
+    debug_assert_eq!((a.rows(), a.cols()), (2, 2));
+    debug_assert_eq!((b.rows(), b.cols()), (2, 2));
+    let adag_b = a.dagger().mul(b);
+    let tr = adag_b[(0, 0)] + adag_b[(1, 1)];
+    (1.0 - (tr.norm() / 2.0)).max(0.0).sqrt()
+}
+
+fn matrix_key(m: &Matrix) -> [i64; 8] {
+    // Quotient out the global phase by rotating the first sizeable entry to
+    // the positive real axis before rounding.
+    let anchor = if m[(0, 0)].norm() > 0.5 {
+        m[(0, 0)]
+    } else {
+        m[(0, 1)]
+    };
+    let phase = anchor.conj().scale(1.0 / anchor.norm());
+    let mut key = [0i64; 8];
+    for (idx, &(i, j)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+        let z: Complex = phase * m[(i, j)];
+        key[2 * idx] = (z.re * 1e6).round() as i64;
+        key[2 * idx + 1] = (z.im * 1e6).round() as i64;
+    }
+    key
+}
+
+/// Breadth-first search for an `H`/`T` word approximating `target` (2×2
+/// unitary) up to global phase.
+///
+/// Explores words up to `max_len` gates (deduplicated: the group ball is
+/// far smaller than `2^max_len`) and returns the closest element found.
+/// `max_len = 25` explores a few hundred thousand group elements.
+pub fn approximate_single_qubit(target: &Matrix, max_len: usize) -> Approximation {
+    assert_eq!((target.rows(), target.cols()), (2, 2), "need 2x2 target");
+    let h = Gate::H(0).local_matrix();
+    let t = Gate::T(0).local_matrix();
+
+    let mut best = Approximation {
+        gates: Vec::new(),
+        distance: phase_distance(&Matrix::identity(2), target),
+    };
+    let mut seen: HashMap<[i64; 8], ()> = HashMap::new();
+    let mut queue: VecDeque<(Matrix, Vec<Gate>)> = VecDeque::new();
+    let id = Matrix::identity(2);
+    seen.insert(matrix_key(&id), ());
+    queue.push_back((id, Vec::new()));
+
+    while let Some((m, word)) = queue.pop_front() {
+        if word.len() >= max_len {
+            continue;
+        }
+        for (gate, gm) in [(Gate::H(0), &h), (Gate::T(0), &t)] {
+            // Appending a gate means multiplying on the left (applied after).
+            let next = gm.mul(&m);
+            let key = matrix_key(&next);
+            if seen.contains_key(&key) {
+                continue;
+            }
+            seen.insert(key, ());
+            let mut next_word = word.clone();
+            next_word.push(gate);
+            let d = phase_distance(&next, target);
+            if d < best.distance {
+                best = Approximation {
+                    gates: next_word.clone(),
+                    distance: d,
+                };
+            }
+            queue.push_back((next, next_word));
+        }
+    }
+    best
+}
+
+/// Convenience: approximate `Phase(θ)` (`diag(1, e^{iθ})`).
+pub fn approximate_phase(theta: f64, max_len: usize) -> Approximation {
+    approximate_single_qubit(&Gate::Phase(0, theta).local_matrix(), max_len)
+}
+
+/// Applies an approximation's word to a target qubit by re-indexing the
+/// placeholder qubit 0.
+pub fn retarget(word: &[Gate], qubit: usize) -> Vec<Gate> {
+    word.iter()
+        .map(|g| match *g {
+            Gate::H(_) => Gate::H(qubit),
+            Gate::T(_) => Gate::T(qubit),
+            other => panic!("synth words contain only H/T, got {other:?}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn distance_zero_for_phase_equivalent() {
+        let h = Gate::H(0).local_matrix();
+        let g = h.scale(Complex::from_phase(0.9));
+        assert!(phase_distance(&h, &g) < 1e-9);
+        let x = Gate::X(0).local_matrix();
+        assert!(phase_distance(&h, &x) > 0.1);
+    }
+
+    #[test]
+    fn exact_targets_found_exactly() {
+        // H and T themselves, and S = T².
+        for (target, max_expected_len) in [
+            (Gate::H(0).local_matrix(), 1),
+            (Gate::T(0).local_matrix(), 1),
+            (Gate::S(0).local_matrix(), 2),
+            (Gate::Z(0).local_matrix(), 4),
+            (Gate::X(0).local_matrix(), 6),
+        ] {
+            let approx = approximate_single_qubit(&target, 8);
+            assert!(
+                approx.distance < 1e-9,
+                "target should be hit exactly within 8 gates"
+            );
+            assert!(approx.gates.len() <= max_expected_len);
+        }
+    }
+
+    #[test]
+    fn generic_phase_error_decreases_with_budget() {
+        let theta = 1.0; // not a multiple of π/4
+        let coarse = approximate_phase(theta, 10);
+        let fine = approximate_phase(theta, 20);
+        assert!(fine.distance <= coarse.distance);
+        assert!(
+            fine.distance < 0.12,
+            "20-gate budget should reach ~1e-1 accuracy, got {}",
+            fine.distance
+        );
+        assert!(coarse.distance > 1e-12, "θ=1 has no exact realization");
+    }
+
+    #[test]
+    fn synthesized_word_acts_like_target() {
+        let theta = 2.0;
+        let approx = approximate_phase(theta, 18);
+        let mut c = Circuit::new(1);
+        for g in &approx.gates {
+            c.push(*g);
+        }
+        let u = c.to_unitary();
+        let d = phase_distance(&u, &Gate::Phase(0, theta).local_matrix());
+        assert!((d - approx.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retarget_moves_qubit_index() {
+        let word = vec![Gate::H(0), Gate::T(0)];
+        let moved = retarget(&word, 3);
+        assert_eq!(moved, vec![Gate::H(3), Gate::T(3)]);
+    }
+
+    #[test]
+    fn identity_is_trivially_approximated() {
+        let approx = approximate_single_qubit(&Matrix::identity(2), 6);
+        assert!(approx.distance < 1e-9);
+        assert!(approx.gates.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Communication protocols for DISJ: the BCW quantum protocol vs the
+//! classical baselines (experiments E1/E2).
+//!
+//! ```text
+//! cargo run --release --example communication_protocols
+//! ```
+
+use onlineq::comm::{
+    bcw_bounded_error, bcw_detection_probability, communication_matrix, disj_fooling_set,
+    one_way_deterministic_cost, trivial_disj_protocol, verify_fooling_set, BcwParams,
+};
+use onlineq::comm::lower_bound::disj_fn;
+use onlineq::lang::{random_member, random_nonmember, string_len};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1998); // BCW's year
+
+    println!("exact one-way deterministic communication of DISJ_n (row counting):");
+    for n in 1..=8usize {
+        let m = communication_matrix(n, disj_fn);
+        let fooling = disj_fooling_set(n);
+        assert!(verify_fooling_set(&fooling, true, disj_fn));
+        println!(
+            "  n = {n}: one-way cost = {} bits, fooling set size 2^{n} = {}",
+            one_way_deterministic_cost(&m),
+            fooling.len()
+        );
+    }
+
+    println!();
+    println!("measured protocols on random instances (4-rep bounded-error BCW):");
+    println!(
+        "{:>3} {:>6} | {:>14} | {:>12} {:>14} | {:>10}",
+        "k", "n", "trivial (bits)", "bcw (qubits)", "bcw worst-case", "√n·log n"
+    );
+    for k in 1..=3u32 {
+        let n = string_len(k);
+        let member = random_member(k, &mut rng);
+        let trivial = trivial_disj_protocol(member.x(), member.y());
+        assert!(trivial.output);
+        let bcw = bcw_bounded_error(member.x(), member.y(), 4, &mut rng);
+        assert!(bcw.output);
+        let params = BcwParams::for_n(n);
+        println!(
+            "{:>3} {:>6} | {:>14} | {:>12} {:>14} | {:>10.0}",
+            k,
+            n,
+            trivial.transcript.total_bits(),
+            bcw.transcript.total_qubits(),
+            4 * params.worst_case_single_run_qubits(),
+            4.0 * params.sqrt_n_log_n(),
+        );
+    }
+
+    println!();
+    println!("asymptotics (analytic worst case, single run): crossover vs the n-bit trivial protocol");
+    for log_n in [4u32, 6, 8, 10, 12, 14, 16, 20] {
+        let params = BcwParams::for_n(1usize << log_n);
+        let worst = params.worst_case_single_run_qubits();
+        println!(
+            "  n = 2^{log_n:>2}: {:>9} qubits vs {:>9} bits  ({})",
+            worst,
+            params.n,
+            if worst < params.n { "quantum wins" } else { "trivial wins" }
+        );
+    }
+
+    println!();
+    println!("one-sided detection probability (≥ 1/4 whenever the sets intersect):");
+    for t in [1usize, 4, 16] {
+        let inst = random_nonmember(2, t, &mut rng);
+        println!(
+            "  k = 2, t = {t:>2}: P[detect] = {:.4}",
+            bcw_detection_probability(inst.x(), inst.y())
+        );
+    }
+}

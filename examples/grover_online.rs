@@ -1,0 +1,70 @@
+//! Grover search with an unknown number of solutions (the engine of
+//! procedure A3): analytic curves vs exact simulation (experiment F2).
+//!
+//! ```text
+//! cargo run --release --example grover_online
+//! ```
+
+use onlineq::grover::bbht::{bbht_search, random_j_detection_probability};
+use onlineq::grover::{averaged_success, optimal_iterations, success_after, GroverSim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1996); // Grover's year
+    let n = 256usize;
+    let m = 16usize; // √n rounds, as procedure A3 uses
+
+    println!("single-shot random-j detection over N = {n} items (paper bound: ≥ 1/4 for 0 < t < N)");
+    println!("{:>5} {:>12} {:>12} {:>10}", "t", "analytic", "simulated", "≥ 1/4?");
+    for t in [1usize, 2, 4, 8, 16, 64, 128, 255] {
+        let mut marked = vec![false; n];
+        let mut placed = 0;
+        while placed < t {
+            let p = rng.gen_range(0..n);
+            if !marked[p] {
+                marked[p] = true;
+                placed += 1;
+            }
+        }
+        let sim = GroverSim::new(marked);
+        let analytic = averaged_success(m, t, n);
+        let simulated = random_j_detection_probability(&sim, m);
+        println!(
+            "{:>5} {:>12.6} {:>12.6} {:>10}",
+            t,
+            analytic,
+            simulated,
+            if simulated >= 0.25 { "yes" } else { "NO" }
+        );
+    }
+
+    println!();
+    println!("fixed-iteration sweep for a single marked item (sin²((2j+1)θ)):");
+    let mut marked = vec![false; n];
+    marked[137] = true;
+    let sim = GroverSim::new(marked);
+    let j_opt = optimal_iterations(1, n);
+    for j in [0usize, 1, 2, 4, 8, j_opt, 2 * j_opt] {
+        println!(
+            "  j = {:>2}: analytic {:.6}, simulated {:.6}",
+            j,
+            success_after(j, 1, n),
+            sim.success_probability(j)
+        );
+    }
+
+    println!();
+    println!("full BBHT search loop (unknown t), 20 runs on t = 1:");
+    let mut total_iters = 0usize;
+    for _ in 0..20 {
+        let r = bbht_search(&sim, &mut rng);
+        assert_eq!(r.found, Some(137));
+        total_iters += r.total_iterations;
+    }
+    println!(
+        "  always found item 137; mean oracle iterations {:.1} (O(√N) = {})",
+        total_iters as f64 / 20.0,
+        (n as f64).sqrt()
+    );
+}

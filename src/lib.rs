@@ -1,0 +1,35 @@
+//! # onlineq — reproduction of Le Gall, *Exponential Separation of Quantum
+//! and Classical Online Space Complexity* (SPAA 2006)
+//!
+//! This facade crate re-exports the whole workspace. Start at
+//! [`core`] for the paper's machines, or run the examples:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example separation_sweep
+//! cargo run --release --example stream_intersection
+//! cargo run --release --example grover_online
+//! cargo run --release --example communication_protocols
+//! ```
+//!
+//! Crate map (details in `DESIGN.md`):
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`quantum`] | state-vector simulator, gates, circuits, `a#b#c` format |
+//! | [`machine`] | online probabilistic Turing machines, space metering |
+//! | [`fingerprint`] | streaming polynomial fingerprints mod `p` |
+//! | [`lang`] | the language `L_DISJ`, generators, reference decider |
+//! | [`grover`] | Grover/BBHT closed forms and exact simulation |
+//! | [`comm`] | communication protocols (BCW), lower bounds, the Thm 3.6 reduction |
+//! | [`core`] | procedures A1/A2/A3, recognizers, classical baselines |
+
+#![warn(missing_docs)]
+
+pub use oqsc_comm as comm;
+pub use oqsc_core as core;
+pub use oqsc_fingerprint as fingerprint;
+pub use oqsc_grover as grover;
+pub use oqsc_lang as lang;
+pub use oqsc_machine as machine;
+pub use oqsc_quantum as quantum;

@@ -1,0 +1,208 @@
+//! One integration test per theorem of the paper, spanning all crates.
+
+use onlineq::comm::lower_bound::disj_fn;
+use onlineq::comm::{
+    bcw_bounded_error, bcw_detection_probability, communication_matrix, disj_fooling_set,
+    one_way_deterministic_cost, simulate_reduction, theorem_3_6_space_bound,
+    verify_fooling_set, BcwParams,
+};
+use onlineq::core::classical::Prop37Decider;
+use onlineq::core::recognizer::{
+    exact_complement_accept_probability, ComplementRecognizer, LdisjRecognizer,
+};
+use onlineq::core::{a3_exact_detection_probability, emitted_detection_probability};
+use onlineq::grover::averaged_success;
+use onlineq::lang::{
+    encoded_len, is_in_ldisj, malform, random_member, random_nonmember, string_len,
+    ALL_MALFORMATIONS,
+};
+use onlineq::machine::{run_decider, StreamingDecider};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 3.1 (BCW): the quantum protocol for DISJ_n is correct with
+/// communication O(√n log n).
+#[test]
+fn theorem_3_1_bcw_protocol() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for k in 1..=2u32 {
+        let n = string_len(k);
+        let params = BcwParams::for_n(n);
+        // Correctness, both sides.
+        let member = random_member(k, &mut rng);
+        let run = bcw_bounded_error(member.x(), member.y(), 4, &mut rng);
+        assert!(run.output, "disjoint pair must be certified");
+        assert!(run.transcript.total_qubits() <= 4 * params.worst_case_single_run_qubits());
+        // Detection bound on intersecting inputs.
+        let non = random_nonmember(k, 1, &mut rng);
+        assert!(bcw_detection_probability(non.x(), non.y()) >= 0.25 - 1e-9);
+    }
+    // Asymptotic shape: worst case within a constant of √n·log n, and below
+    // n from n = 1024 on.
+    for log_n in 4..=20u32 {
+        let params = BcwParams::for_n(1usize << log_n);
+        assert!(params.worst_case_single_run_qubits() as f64 <= 3.0 * params.sqrt_n_log_n());
+        if log_n >= 10 {
+            assert!(params.worst_case_single_run_qubits() < params.n);
+        }
+    }
+}
+
+/// Theorem 3.2 substrate: DISJ_n needs n bits one-way deterministically
+/// (exact on enumerable sizes) and has a fooling set of size 2^n.
+#[test]
+fn theorem_3_2_substrate() {
+    for n in 1..=9usize {
+        let matrix = communication_matrix(n, disj_fn);
+        assert_eq!(one_way_deterministic_cost(&matrix), n);
+        let fooling = disj_fooling_set(n);
+        assert_eq!(fooling.len(), 1 << n);
+        assert!(verify_fooling_set(&fooling, true, disj_fn));
+    }
+}
+
+/// Theorem 3.4: the online quantum machine recognizes the complement of
+/// L_DISJ with one-sided error in logarithmic space.
+#[test]
+fn theorem_3_4_one_sided_recognizer() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for k in 1..=2u32 {
+        // Members: rejected with probability exactly 1.
+        let member = random_member(k, &mut rng);
+        assert!(exact_complement_accept_probability(&member.encode()) < 1e-12);
+        // Non-members of every flavor: accepted with probability ≥ 1/4.
+        let m = string_len(k);
+        for t in [1usize, m] {
+            let non = random_nonmember(k, t, &mut rng);
+            assert!(exact_complement_accept_probability(&non.encode()) >= 0.25 - 1e-9);
+        }
+        for kind in ALL_MALFORMATIONS {
+            let bad = malform(&member, kind, &mut rng);
+            assert!(
+                exact_complement_accept_probability(&bad) >= 0.25 - 1e-9,
+                "k={k} {kind:?}"
+            );
+        }
+        // Space: logarithmic.
+        let mut rec = ComplementRecognizer::new(&mut rng);
+        rec.feed_all(&member.encode());
+        let space = rec.space();
+        let log_n = (encoded_len(k) as f64).log2().ceil() as usize;
+        assert!(space.classical_bits <= 30 * log_n);
+        assert!(space.qubits <= 2 * log_n);
+    }
+}
+
+/// Definition 2.3 compliance: the machine's output-tape circuit (strict
+/// {H, T, CNOT}, a#b#c format) reproduces the streamed statistics.
+#[test]
+fn definition_2_3_circuit_emission() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let inst = random_nonmember(1, 2, &mut rng);
+    for j in 0..inst.rounds() {
+        let mut a3 = onlineq::core::GroverStreamer::with_j_seed(j as u64, 0);
+        a3.feed_all(&inst.encode());
+        assert!(
+            (emitted_detection_probability(&inst, j) - a3.detection_probability()).abs() < 1e-9,
+            "j={j}"
+        );
+    }
+}
+
+/// Corollary 3.5: L_DISJ ∈ OQBPL — two-sided error ≤ 1/3 in logarithmic
+/// space.
+#[test]
+fn corollary_3_5_bounded_error() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let member = random_member(2, &mut rng);
+    for _ in 0..15 {
+        let (v, _) = run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode());
+        assert!(v, "members never misclassified");
+    }
+    let non = random_nonmember(2, 1, &mut rng);
+    // Exact per-copy accept probability ≥ 1/4 ⇒ 4 copies err ≤ (3/4)^4.
+    let p_single = exact_complement_accept_probability(&non.encode());
+    assert!(p_single >= 0.25 - 1e-9);
+    let err_bound = (1.0 - p_single).powi(4);
+    assert!(err_bound < 1.0 / 3.0, "amplified error bound {err_bound}");
+}
+
+/// Theorem 3.6 machinery: the executable reduction induces one message per
+/// segment, and inverting Fact 2.2 under the Ω(2^{2k}) communication
+/// requirement forces Ω(2^k) = Ω(n^{1/3}) space.
+#[test]
+fn theorem_3_6_reduction_and_bound() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for k in 1..=2u32 {
+        let inst = random_member(k, &mut rng);
+        let report = simulate_reduction(Prop37Decider::new(&mut rng), &inst);
+        assert_eq!(report.num_messages, 3 * (1 << k) - 1);
+        assert!(report.verdict);
+        // Message sizes track the decider's space (configurations encode in
+        // O(space) bits).
+        assert!(report.max_message_bits <= 16 * report.decider_space_bits + 256);
+    }
+    // The recovered lower bound doubles per k (Ω(2^k)) in the asymptotic
+    // regime.
+    let s12 = theorem_3_6_space_bound(12, 1.0, 64);
+    let s13 = theorem_3_6_space_bound(13, 1.0, 64);
+    let ratio = s13 as f64 / s12 as f64;
+    assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+}
+
+/// Proposition 3.7: the Θ(n^{1/3}) classical algorithm is exactly correct.
+#[test]
+fn proposition_3_7_classical_upper_bound() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for k in 1..=3u32 {
+        // Members, non-members, malformed: all decided like the reference.
+        let member = random_member(k, &mut rng);
+        let (v, space) = run_decider(Prop37Decider::new(&mut rng), &member.encode());
+        assert!(v);
+        assert!(space >= 1 << k);
+        assert!(space <= (1 << k) + 60 * k as usize + 60);
+        let non = random_nonmember(k, 1, &mut rng);
+        let (v, _) = run_decider(Prop37Decider::new(&mut rng), &non.encode());
+        assert!(!v);
+    }
+}
+
+/// The Grover/BBHT analysis behind procedure A3: streamed detection equals
+/// the closed form and never dips below 1/4.
+#[test]
+fn a3_matches_bbht_closed_form_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for k in 1..=2u32 {
+        let m = string_len(k);
+        for t in [1usize, m / 4, m / 2] {
+            if t == 0 {
+                continue;
+            }
+            let inst = random_nonmember(k, t, &mut rng);
+            let streamed = a3_exact_detection_probability(&inst);
+            let formula = averaged_success(inst.rounds(), t, m);
+            let via_comm = bcw_detection_probability(inst.x(), inst.y());
+            assert!((streamed - formula).abs() < 1e-9);
+            assert!((streamed - via_comm).abs() < 1e-9);
+            assert!(streamed >= 0.25 - 1e-9);
+        }
+    }
+}
+
+/// Everything agrees with the unbounded-space reference decider.
+#[test]
+fn all_deciders_agree_with_reference() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..10 {
+        let inst = onlineq::lang::random_pair(2, 0.15, &mut rng);
+        let word = inst.encode();
+        let reference = is_in_ldisj(&word);
+        let (prop37, _) = run_decider(Prop37Decider::new(&mut rng), &word);
+        assert_eq!(prop37, reference);
+        // Quantum, by majority vote of amplified runs.
+        let votes = (0..30)
+            .filter(|_| run_decider(LdisjRecognizer::new(6, &mut rng), &word).0)
+            .count();
+        assert_eq!(votes > 15, reference);
+    }
+}
