@@ -58,5 +58,37 @@ fn bench_bit_vs_block(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_structured_vs_strict, bench_bit_vs_block);
+/// Dense vs sparse backend running the identical A3 streaming pipeline
+/// (the `QuantumBackend` seam): the sparse backend pays map overhead per
+/// touched amplitude but stores only the support.
+fn bench_dense_vs_sparse_backend(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("ablation_a3_quantum_backend");
+    for k in [2u32, 4] {
+        let inst = random_nonmember(k, 2, &mut rng);
+        let word = inst.encode();
+        group.bench_with_input(BenchmarkId::new("dense", k), &word, |b, word| {
+            b.iter(|| {
+                let mut a3 = GroverStreamer::<oqsc_quantum::StateVector>::with_j_seed_in(1, 0);
+                a3.feed_all(word);
+                a3.detection_probability()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", k), &word, |b, word| {
+            b.iter(|| {
+                let mut a3 = GroverStreamer::<oqsc_quantum::SparseState>::with_j_seed_in(1, 0);
+                a3.feed_all(word);
+                a3.detection_probability()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_structured_vs_strict,
+    bench_bit_vs_block,
+    bench_dense_vs_sparse_backend
+);
 criterion_main!(benches);

@@ -13,9 +13,13 @@ fn bench_bcw(c: &mut Criterion) {
     for k in 1..=3u32 {
         let mut rng = StdRng::seed_from_u64(u64::from(k));
         let inst = random_member(k, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(string_len(k)), &inst, |b, inst| {
-            b.iter(|| bcw_single_run(inst.x(), inst.y(), &mut rng));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(string_len(k)),
+            &inst,
+            |b, inst| {
+                b.iter(|| bcw_single_run(inst.x(), inst.y(), &mut rng));
+            },
+        );
     }
     group.finish();
 }
@@ -25,9 +29,13 @@ fn bench_trivial(c: &mut Criterion) {
     for k in 1..=3u32 {
         let mut rng = StdRng::seed_from_u64(u64::from(k));
         let inst = random_member(k, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(string_len(k)), &inst, |b, inst| {
-            b.iter(|| trivial_disj_protocol(inst.x(), inst.y()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(string_len(k)),
+            &inst,
+            |b, inst| {
+                b.iter(|| trivial_disj_protocol(inst.x(), inst.y()));
+            },
+        );
     }
     group.finish();
 }

@@ -27,9 +27,13 @@ fn bench_prime_search_ablation(c: &mut Criterion) {
     for k in [4u32, 8, 12] {
         let lo = (1u64 << (4 * k)) + 1;
         let hi = 1u64 << (4 * k + 1);
-        group.bench_with_input(BenchmarkId::new("miller_rabin", k), &(lo, hi), |b, &(lo, hi)| {
-            b.iter(|| scan_prime(lo, hi));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("miller_rabin", k),
+            &(lo, hi),
+            |b, &(lo, hi)| {
+                b.iter(|| scan_prime(lo, hi));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("trial_division", k),
             &(lo, hi),

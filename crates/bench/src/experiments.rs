@@ -2,22 +2,20 @@
 //!
 //! Each `eN_*`/`fN_*` function returns structured rows (so tests can
 //! assert on them) and has a `print_*` companion used by the
-//! `experiments` binary. Monte-Carlo sweeps fan out over crossbeam scoped
+//! `experiments` binary. Monte-Carlo sweeps fan out over std scoped
 //! threads, one per parameter point.
 
-use oqsc_comm::{simulate_reduction, theorem_3_6_space_bound, BcwParams};
 use oqsc_comm::lower_bound::{
     communication_matrix, disj_fn, disj_fooling_set, one_way_deterministic_cost,
 };
+use oqsc_comm::{simulate_reduction, theorem_3_6_space_bound, BcwParams};
 use oqsc_core::classical::{Prop37Decider, SketchDecider};
 use oqsc_core::recognizer::exact_complement_accept_probability;
 use oqsc_core::separation::{separation_table, SeparationRow};
-use oqsc_grover::{averaged_success, GroverSim};
-use oqsc_grover::bbht::random_j_detection_probability;
 use oqsc_fingerprint::paper_error_bound;
-use oqsc_lang::{
-    encoded_len, malform, random_member, random_nonmember, string_len, Malformation,
-};
+use oqsc_grover::bbht::random_j_detection_probability;
+use oqsc_grover::{averaged_success, GroverSim};
+use oqsc_lang::{encoded_len, malform, random_member, random_nonmember, string_len, Malformation};
 use oqsc_machine::{run_decider, StreamingDecider};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,7 +75,11 @@ pub fn print_e1() {
             r.qubits_per_message,
             r.worst_case_qubits,
             r.sqrt_n_log_n,
-            if r.worst_case_qubits < r.n { "yes" } else { "no" }
+            if r.worst_case_qubits < r.n {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();
@@ -149,9 +151,9 @@ pub struct E3Row {
 pub fn e3_recognizer_rows() -> Vec<E3Row> {
     let ks: Vec<u32> = vec![1, 2, 3];
     let mut rows: Vec<Option<E3Row>> = vec![None; ks.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &k) in rows.iter_mut().zip(&ks) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1000 + u64::from(k));
                 let member = random_member(k, &mut rng);
                 let non1 = random_nonmember(k, 1, &mut rng);
@@ -165,17 +167,14 @@ pub fn e3_recognizer_rows() -> Vec<E3Row> {
                     n: encoded_len(k),
                     member_accept: exact_complement_accept_probability(&member.encode()),
                     nonmember_accept_t1: exact_complement_accept_probability(&non1.encode()),
-                    nonmember_accept_full: exact_complement_accept_probability(
-                        &nonfull.encode(),
-                    ),
+                    nonmember_accept_full: exact_complement_accept_probability(&nonfull.encode()),
                     corrupted_accept: exact_complement_accept_probability(&corrupted),
                     classical_bits: space.classical_bits,
                     qubits: space.qubits,
                 });
             });
         }
-    })
-    .expect("scope");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -237,14 +236,21 @@ pub fn e4_amplification_rows() -> Vec<E4Row> {
 /// Prints the E4 table.
 pub fn print_e4() {
     println!("E4 (Corollary 3.5) — amplification to bounded error (k=2, t=1; members err 0)");
-    println!("{:>5} {:>16} {:>12} {:>8}", "reps", "nonmember err", "(3/4)^r", "≤ 1/3?");
+    println!(
+        "{:>5} {:>16} {:>12} {:>8}",
+        "reps", "nonmember err", "(3/4)^r", "≤ 1/3?"
+    );
     for r in e4_amplification_rows() {
         println!(
             "{:>5} {:>16.6} {:>12.6} {:>8}",
             r.reps,
             r.nonmember_error,
             r.three_quarters_pow,
-            if r.nonmember_error <= 1.0 / 3.0 { "yes" } else { "no" }
+            if r.nonmember_error <= 1.0 / 3.0 {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();
@@ -300,7 +306,11 @@ pub fn print_e5() {
     for r in e5_reduction_rows(6) {
         println!(
             "{:>3} {:>9} {:>14} {:>12} {:>14} {:>16}",
-            r.k, r.messages, r.max_message_bits, r.total_bits, r.required_bits,
+            r.k,
+            r.messages,
+            r.max_message_bits,
+            r.total_bits,
+            r.required_bits,
             r.recovered_space_bound
         );
     }
@@ -331,9 +341,9 @@ pub struct E6Row {
 pub fn e6_classical_rows(k_max: u32) -> Vec<E6Row> {
     let ks: Vec<u32> = (1..=k_max).collect();
     let mut rows: Vec<Option<E6Row>> = vec![None; ks.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &k) in rows.iter_mut().zip(&ks) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
                 let member = random_member(k, &mut rng);
                 let non = random_nonmember(k, 1, &mut rng);
@@ -348,8 +358,7 @@ pub fn e6_classical_rows(k_max: u32) -> Vec<E6Row> {
                 });
             });
         }
-    })
-    .expect("scope");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -389,8 +398,13 @@ pub fn print_f1() {
     for r in f1_separation_rows(8) {
         println!(
             "{:>3} {:>8} {:>11} | {:>14} {:>7} | {:>15} {:>12}",
-            r.k, r.m, r.n, r.quantum.classical_bits, r.quantum.qubits,
-            r.classical_upper_bits, r.classical_lower_cells
+            r.k,
+            r.m,
+            r.n,
+            r.quantum.classical_bits,
+            r.quantum.qubits,
+            r.classical_upper_bits,
+            r.classical_lower_cells
         );
     }
     println!("   quantum = Θ(log n); classical = Θ(n^(1/3)) both measured and forced (LB)");
@@ -416,7 +430,9 @@ pub struct F2Row {
 pub fn f2_bbht_rows(k: u32) -> Vec<F2Row> {
     let n = 1usize << (2 * k);
     let m = 1usize << k;
-    let ts: Vec<usize> = (1..n).filter(|t| t.is_power_of_two() || *t == n - 1).collect();
+    let ts: Vec<usize> = (1..n)
+        .filter(|t| t.is_power_of_two() || *t == n - 1)
+        .collect();
     ts.iter()
         .map(|&t| {
             let mut marked = vec![false; n];
@@ -442,15 +458,25 @@ pub fn f2_bbht_rows(k: u32) -> Vec<F2Row> {
 /// Prints the F2 series.
 pub fn print_f2() {
     let k = 4;
-    println!("F2 — BBHT averaged detection, N = {} (paper bound ≥ 1/4)", 1 << (2 * k));
-    println!("{:>6} {:>12} {:>12} {:>8}", "t", "analytic", "simulated", "≥ 1/4?");
+    println!(
+        "F2 — BBHT averaged detection, N = {} (paper bound ≥ 1/4)",
+        1 << (2 * k)
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "t", "analytic", "simulated", "≥ 1/4?"
+    );
     for r in f2_bbht_rows(k) {
         println!(
             "{:>6} {:>12.6} {:>12.6} {:>8}",
             r.t,
             r.analytic,
             r.simulated,
-            if r.simulated >= 0.25 - 1e-9 { "yes" } else { "NO" }
+            if r.simulated >= 0.25 - 1e-9 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!();
@@ -475,9 +501,9 @@ pub struct F3Row {
 pub fn f3_fingerprint_rows(trials: usize) -> Vec<F3Row> {
     let ks = [1u32, 2, 3];
     let mut rows: Vec<Option<F3Row>> = vec![None; ks.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &k) in rows.iter_mut().zip(&ks) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(7000 + u64::from(k));
                 let mut false_accepts = 0usize;
                 for _ in 0..trials {
@@ -496,8 +522,7 @@ pub fn f3_fingerprint_rows(trials: usize) -> Vec<F3Row> {
                 });
             });
         }
-    })
-    .expect("scope");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -538,9 +563,9 @@ pub fn f4_sketch_rows(k: u32, trials: usize) -> Vec<F4Row> {
         .filter(|&b| b <= m)
         .collect();
     let mut rows: Vec<Option<F4Row>> = vec![None; budgets.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &budget) in rows.iter_mut().zip(&budgets) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(8000 + budget as u64);
                 let mut misses = 0usize;
                 let mut space = 0usize;
@@ -561,8 +586,7 @@ pub fn f4_sketch_rows(k: u32, trials: usize) -> Vec<F4Row> {
                 });
             });
         }
-    })
-    .expect("scope");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -583,7 +607,9 @@ pub fn print_f4() {
             r.budget, r.space_bits, r.miss_rate, r.expected_miss
         );
     }
-    println!("   (reliability requires budget ~ m = Θ(√m)² — far above the quantum machine's O(log m))");
+    println!(
+        "   (reliability requires budget ~ m = Θ(√m)² — far above the quantum machine's O(log m))"
+    );
     println!();
 }
 
@@ -696,7 +722,10 @@ pub fn print_ablations() {
     println!("AB2 — multi-point fingerprints (k=1): space vs error");
     println!("{:>7} {:>11} {:>14}", "points", "space bits", "error bound");
     for r in ab2_multipoint_rows() {
-        println!("{:>7} {:>11} {:>14.2e}", r.points, r.space_bits, r.error_bound);
+        println!(
+            "{:>7} {:>11} {:>14.2e}",
+            r.points, r.space_bits, r.error_bound
+        );
     }
     println!();
     println!("AB3 — random-j (unknown t, the paper) vs optimal-j (known t) detection, k=2");
@@ -766,7 +795,9 @@ mod tests {
     #[test]
     fn e4_error_decays_geometrically() {
         let rows = e4_amplification_rows();
-        assert!(rows.iter().all(|r| r.nonmember_error <= r.three_quarters_pow + 1e-12));
+        assert!(rows
+            .iter()
+            .all(|r| r.nonmember_error <= r.three_quarters_pow + 1e-12));
         assert!(rows.last().expect("rows").nonmember_error < 0.05);
     }
 
@@ -797,7 +828,13 @@ mod tests {
     #[test]
     fn f3_empirical_below_bound() {
         for r in f3_fingerprint_rows(500) {
-            assert!(r.empirical <= r.bound + 0.05, "k={}: {} > {}", r.k, r.empirical, r.bound);
+            assert!(
+                r.empirical <= r.bound + 0.05,
+                "k={}: {} > {}",
+                r.k,
+                r.empirical,
+                r.bound
+            );
         }
     }
 
@@ -805,7 +842,11 @@ mod tests {
     fn f4_miss_rate_tracks_analytic() {
         let rows = f4_sketch_rows(3, 200);
         for r in &rows {
-            assert!((r.miss_rate - r.expected_miss).abs() < 0.15, "budget {}", r.budget);
+            assert!(
+                (r.miss_rate - r.expected_miss).abs() < 0.15,
+                "budget {}",
+                r.budget
+            );
         }
         // Full budget is exact.
         assert!(rows.last().expect("rows").miss_rate < 0.01);

@@ -51,7 +51,10 @@ impl BcwParams {
     /// # Panics
     /// If `n` is not a power of two ≥ 2.
     pub fn for_n(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two ≥ 2"
+        );
         let width = n.trailing_zeros() as usize;
         BcwParams {
             n,

@@ -197,8 +197,8 @@ impl StreamingOneWayProtocol for FingerprintEqProtocol {
 mod tests {
     use super::*;
     use oqsc_lang::token::from_str;
-    use oqsc_machine::run_decider;
     use oqsc_machine::nerode::{nerode_classes_at, streaming_space_floor_bits};
+    use oqsc_machine::run_decider;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

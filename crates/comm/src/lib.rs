@@ -30,14 +30,17 @@ pub mod nondet;
 pub mod protocol;
 pub mod reduction;
 
-pub use bridge::{FingerprintEqProtocol, OneWayDecider, StreamingOneWayProtocol};
 pub use bcw::{bcw_bounded_error, bcw_detection_probability, bcw_single_run, BcwParams, BcwRun};
+pub use bridge::{FingerprintEqProtocol, OneWayDecider, StreamingOneWayProtocol};
 pub use classical::{blocked_disj_protocol, fingerprint_equality_protocol, trivial_disj_protocol};
 pub use lower_bound::{
     binary_entropy, communication_matrix, disj_fooling_set, fooling_set_bound,
     one_way_deterministic_cost, one_way_randomized_lower_bound, verify_fooling_set,
 };
-pub use nondet::{exact_min_one_cover, greedy_one_cover, ne_guess_protocol_bits, nondet_cost_from_cover, Rectangle};
+pub use nondet::{
+    exact_min_one_cover, greedy_one_cover, ne_guess_protocol_bits, nondet_cost_from_cover,
+    Rectangle,
+};
 pub use protocol::{MessageRecord, Party, ProtocolRun, Transcript};
 pub use reduction::{
     message_boundaries, optm_reduction, simulate_reduction, space_lower_bound_bits,

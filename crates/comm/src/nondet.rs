@@ -89,7 +89,10 @@ pub fn verify_one_cover(matrix: &[Vec<bool>], cover: &[Rectangle]) -> bool {
     }
     for (r, row) in matrix.iter().enumerate() {
         for (c, &v) in row.iter().enumerate() {
-            if v && !cover.iter().any(|rect| rect.rows.contains(&r) && rect.cols.contains(&c)) {
+            if v && !cover
+                .iter()
+                .any(|rect| rect.rows.contains(&r) && rect.cols.contains(&c))
+            {
                 return false;
             }
         }
@@ -225,7 +228,7 @@ pub fn exact_min_one_cover(matrix: &[Vec<bool>]) -> usize {
 /// [`verify_one_cover`]; it certifies nondeterministic cost
 /// `≤ ⌈log₂ 2n⌉`, matching the guess protocol.
 pub fn ne_explicit_cover(n: usize) -> Vec<Rectangle> {
-    assert!(n >= 1 && n <= 12);
+    assert!((1..=12).contains(&n));
     let size = 1usize << n;
     let mut cover = Vec::with_capacity(2 * n);
     for i in 0..n {
@@ -337,10 +340,16 @@ mod tests {
     #[test]
     fn rectangle_checks() {
         let m = eq_matrix(2);
-        let good = Rectangle { rows: vec![1], cols: vec![1] };
+        let good = Rectangle {
+            rows: vec![1],
+            cols: vec![1],
+        };
         assert!(good.is_one_monochromatic(&m));
         assert_eq!(good.size(), 1);
-        let bad = Rectangle { rows: vec![0, 1], cols: vec![0, 1] };
+        let bad = Rectangle {
+            rows: vec![0, 1],
+            cols: vec![0, 1],
+        };
         assert!(!bad.is_one_monochromatic(&m));
     }
 }

@@ -100,19 +100,13 @@ impl Transcript {
 
     /// True when messages strictly alternate senders (a "round" structure).
     pub fn alternates(&self) -> bool {
-        self.messages
-            .windows(2)
-            .all(|w| w[0].from != w[1].from)
+        self.messages.windows(2).all(|w| w[0].from != w[1].from)
     }
 
     /// True when only one message is ever sent and it goes Alice → Bob
     /// (the paper's one-way model).
     pub fn is_one_way(&self) -> bool {
-        self.messages.len() <= 1
-            && self
-                .messages
-                .first()
-                .map_or(true, |m| m.from == Party::Alice)
+        self.messages.len() <= 1 && self.messages.first().is_none_or(|m| m.from == Party::Alice)
     }
 }
 

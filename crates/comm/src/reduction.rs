@@ -200,10 +200,10 @@ pub fn theorem_3_6_space_bound(k: u32, c: f64, q: usize) -> usize {
 mod tests {
     use super::*;
     use crate::protocol::Party;
+    use oqsc_lang::Sym;
     use oqsc_lang::{random_member, random_nonmember};
     use oqsc_machine::machine_even_ones;
     use oqsc_machine::streaming::StoreEverything;
-    use oqsc_lang::Sym;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -246,10 +246,7 @@ mod tests {
     fn store_everything_reduction_is_linear_communication() {
         let mut rng = StdRng::seed_from_u64(60);
         let inst = random_member(1, &mut rng);
-        let report = simulate_reduction(
-            StoreEverything::new(oqsc_lang::is_in_ldisj),
-            &inst,
-        );
+        let report = simulate_reduction(StoreEverything::new(oqsc_lang::is_in_ldisj), &inst);
         assert_eq!(report.num_messages, 5);
         assert!(report.verdict, "member accepted");
         // Snapshots of a store-everything decider grow with the prefix, so
@@ -265,10 +262,8 @@ mod tests {
             let member = random_member(k, &mut rng);
             let non = random_nonmember(k, 1, &mut rng);
             for inst in [member, non] {
-                let report = simulate_reduction(
-                    StoreEverything::new(oqsc_lang::is_in_ldisj),
-                    &inst,
-                );
+                let report =
+                    simulate_reduction(StoreEverything::new(oqsc_lang::is_in_ldisj), &inst);
                 assert_eq!(report.verdict, inst.is_member());
             }
         }
@@ -345,8 +340,9 @@ mod tests {
         // (Ω(2^k) = Ω(√m) = Ω(n^{1/3})). The bound is vacuous (s = 1) for
         // tiny k, exactly as the asymptotic statement permits.
         assert_eq!(theorem_3_6_space_bound(2, 1.0, 64), 1);
-        let bounds: Vec<usize> =
-            (10..15u32).map(|k| theorem_3_6_space_bound(k, 1.0, 64)).collect();
+        let bounds: Vec<usize> = (10..15u32)
+            .map(|k| theorem_3_6_space_bound(k, 1.0, 64))
+            .collect();
         for w in bounds.windows(2) {
             let ratio = w[1] as f64 / w[0] as f64;
             assert!(

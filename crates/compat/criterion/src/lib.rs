@@ -1,0 +1,327 @@
+//! Offline drop-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no registry access, so the bench harness the
+//! 8 bench targets rely on — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — is vendored here
+//! with the same call shapes. Measurement is a deliberately simple
+//! calibrated-batch wall-clock loop (median of `sample_size` samples with
+//! a min/max spread), not criterion's bootstrap statistics; it is accurate
+//! enough for before/after comparisons of the simulator's hot loops.
+//! Swap the path dependency in `[workspace.dependencies]` for the real
+//! crate when a registry is available; no bench-source change is needed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work. Re-exported name-compatibly with `criterion::black_box`.
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Throughput annotation for a benchmark group (recorded and echoed in the
+/// report line; no rate math beyond elements/sec is done).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benched routine processes this many logical elements per
+    /// iteration.
+    Elements(u64),
+    /// The benched routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the prefix).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, target_sample_time: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+            target_sample_time,
+        }
+    }
+
+    /// Times `routine`, auto-calibrating the per-sample iteration count so
+    /// each sample runs for roughly the configured sample time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: grow the batch until one batch takes ≥ 1/8 of the
+        // sample budget, so short routines are timed over many iterations.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample_time / 8 || iters >= 1 << 30 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 8
+            } else {
+                let scale =
+                    (self.target_sample_time.as_nanos() / 8).max(1) / elapsed.as_nanos().max(1);
+                (iters * (scale as u64).clamp(2, 8)).max(iters + 1)
+            };
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// (median, min, max) nanoseconds per iteration over the samples.
+    fn stats_ns(&self) -> Option<(f64, f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        Some((median, per_iter[0], per_iter[per_iter.len() - 1]))
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark driver (the `criterion::Criterion` subset).
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 15,
+            target_sample_time: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, self.sample_count, self.target_sample_time, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        let (sample_count, target_sample_time) = (self.sample_count, self.target_sample_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_count,
+            target_sample_time,
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    target_sample_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher::new(sample_count, target_sample_time);
+    f(&mut bencher);
+    match bencher.stats_ns() {
+        Some((median, lo, hi)) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.3} Melem/s", n as f64 * 1_000.0 / median)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 * 1_000.0 / median / 1.048_576
+                    )
+                }
+                None => String::new(),
+            };
+            println!(
+                "{id:<50} time: [{} {} {}]{rate}",
+                format_ns(lo),
+                format_ns(median),
+                format_ns(hi),
+            );
+        }
+        None => println!("{id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+    target_sample_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_count,
+            self.target_sample_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report-flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner, name-compatibly with
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, name-compatibly with
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(5, Duration::from_millis(2));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        let (median, lo, hi) = b.stats_ns().expect("samples recorded");
+        assert!(lo <= median && median <= hi);
+        assert!(median > 0.0);
+    }
+
+    #[test]
+    fn group_and_ids_compose() {
+        let mut c = Criterion {
+            sample_count: 3,
+            target_sample_time: Duration::from_millis(1),
+        };
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function(BenchmarkId::new("sub", 7), |b| b.iter(|| black_box(7)));
+        group.finish();
+    }
+}

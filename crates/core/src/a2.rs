@@ -196,8 +196,8 @@ impl StreamingDecider for ConsistencyChecker {
 mod tests {
     use super::*;
     use oqsc_fingerprint::paper_error_bound;
-    use oqsc_lang::gen::{malform, random_member, random_nonmember, Malformation};
     use oqsc_lang::encoded_len;
+    use oqsc_lang::gen::{malform, random_member, random_nonmember, Malformation};
     use oqsc_machine::run_decider;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

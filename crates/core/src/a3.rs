@@ -18,8 +18,8 @@
 //! `1 − b`; so `true` (= 1) means "no intersection witnessed".
 
 use oqsc_lang::Sym;
-use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
-use oqsc_quantum::{GroverLayout, StateVector};
+use oqsc_machine::{bits_for_counter, MeteredRegister, SpaceMeter, StreamingDecider};
+use oqsc_quantum::{GroverLayout, QuantumBackend, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,9 +38,11 @@ enum Slot {
     Z,
 }
 
-/// Streaming implementation of procedure A3.
+/// Streaming implementation of procedure A3, generic over the simulation
+/// backend (dense [`StateVector`] by default; `SparseState` runs the same
+/// procedure in support-proportional memory).
 #[derive(Clone, Debug)]
-pub struct GroverStreamer {
+pub struct GroverStreamer<B: QuantumBackend = StateVector> {
     /// Seed for the measurement and for drawing `j` (an OPTM flips coins
     /// online; we pre-commit the entropy for reproducibility).
     rng: StdRng,
@@ -48,7 +50,7 @@ pub struct GroverStreamer {
     in_prefix: bool,
     k: u32,
     layout: Option<GroverLayout>,
-    state: Option<StateVector>,
+    reg: MeteredRegister<B>,
     /// Round counter, 1-based once blocks start.
     round: usize,
     /// The drawn iteration count `j ∈ {0, …, 2^k − 1}`.
@@ -64,45 +66,18 @@ pub struct GroverStreamer {
     meter: SpaceMeter,
 }
 
-impl GroverStreamer {
-    /// Creates the procedure, drawing its coins from `rng`.
+impl GroverStreamer<StateVector> {
+    /// Creates the procedure on the dense default backend, drawing its
+    /// coins from `rng`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        GroverStreamer {
-            rng: StdRng::seed_from_u64(rng.gen()),
-            j_seed: rng.gen(),
-            in_prefix: true,
-            k: 0,
-            layout: None,
-            state: None,
-            round: 1,
-            j: 0,
-            slot: Slot::X,
-            bit_idx: 0,
-            marking_done: false,
-            simulate: true,
-            meter: SpaceMeter::new(),
-        }
+        GroverStreamer::new_in(rng)
     }
 
-    /// Derandomized constructor: forces the iteration count to
-    /// `j_seed mod 2^k` and seeds the measurement RNG (for exact analysis
-    /// and exhaustive tests).
+    /// Derandomized dense-backend constructor: forces the iteration count
+    /// to `j_seed mod 2^k` and seeds the measurement RNG (for exact
+    /// analysis and exhaustive tests).
     pub fn with_j_seed(j_seed: u64, measure_seed: u64) -> Self {
-        GroverStreamer {
-            rng: StdRng::seed_from_u64(measure_seed),
-            j_seed,
-            in_prefix: true,
-            k: 0,
-            layout: None,
-            state: None,
-            round: 1,
-            j: 0,
-            slot: Slot::X,
-            bit_idx: 0,
-            marking_done: false,
-            simulate: true,
-            meter: SpaceMeter::new(),
-        }
+        GroverStreamer::with_j_seed_in(j_seed, measure_seed)
     }
 
     /// A metering-only instance: counters and the register-width report
@@ -110,7 +85,52 @@ impl GroverStreamer {
     /// Use for space tables at `k` beyond the dense-simulation range; its
     /// [`StreamingDecider::decide`] vacuously passes.
     pub fn metering_only() -> Self {
-        let mut s = GroverStreamer::with_j_seed(0, 0);
+        GroverStreamer::metering_only_in()
+    }
+}
+
+impl<B: QuantumBackend> GroverStreamer<B> {
+    /// [`GroverStreamer::new`] over any backend.
+    pub fn new_in<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        GroverStreamer {
+            rng: StdRng::seed_from_u64(rng.gen()),
+            j_seed: rng.gen(),
+            in_prefix: true,
+            k: 0,
+            layout: None,
+            reg: MeteredRegister::unallocated(),
+            round: 1,
+            j: 0,
+            slot: Slot::X,
+            bit_idx: 0,
+            marking_done: false,
+            simulate: true,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    /// [`GroverStreamer::with_j_seed`] over any backend.
+    pub fn with_j_seed_in(j_seed: u64, measure_seed: u64) -> Self {
+        GroverStreamer {
+            rng: StdRng::seed_from_u64(measure_seed),
+            j_seed,
+            in_prefix: true,
+            k: 0,
+            layout: None,
+            reg: MeteredRegister::unallocated(),
+            round: 1,
+            j: 0,
+            slot: Slot::X,
+            bit_idx: 0,
+            marking_done: false,
+            simulate: true,
+            meter: SpaceMeter::new(),
+        }
+    }
+
+    /// [`GroverStreamer::metering_only`] over any backend.
+    pub fn metering_only_in() -> Self {
+        let mut s = GroverStreamer::with_j_seed_in(0, 0);
         s.simulate = false;
         s
     }
@@ -133,10 +153,16 @@ impl GroverStreamer {
     /// (intersection witnessed), conditioned on the drawn `j` — available
     /// without consuming the measurement.
     pub fn detection_probability(&self) -> f64 {
-        match (&self.state, &self.layout) {
+        match (self.reg.state(), &self.layout) {
             (Some(s), Some(l)) => s.prob_one(l.l_qubit()),
             _ => 0.0,
         }
+    }
+
+    /// Peak number of stored amplitudes over the run (`2^{2k+2}` dense,
+    /// support high-water sparse).
+    pub fn peak_amplitudes(&self) -> usize {
+        self.reg.peak_support()
     }
 
     fn remeter(&mut self) {
@@ -154,7 +180,7 @@ impl GroverStreamer {
         }
         let i = self.bit_idx;
         self.bit_idx += 1;
-        if let (Some(layout), Some(state)) = (self.layout, self.state.as_mut()) {
+        if let (Some(layout), Some(state)) = (self.layout, self.reg.state_mut()) {
             if i >= layout.domain() {
                 // Malformed over-long block: A1 rejects the word; stay safe.
                 return;
@@ -174,6 +200,7 @@ impl GroverStreamer {
                     Slot::Z => {}
                 }
             }
+            self.reg.record();
         }
     }
 
@@ -193,11 +220,12 @@ impl GroverStreamer {
             Slot::Z => {
                 if self.round <= self.j {
                     // End of a full iteration round: diffusion U_k S_k U_k.
-                    if let (Some(layout), Some(state)) = (self.layout, self.state.as_mut()) {
+                    if let (Some(layout), Some(state)) = (self.layout, self.reg.state_mut()) {
                         layout.apply_uk(state);
                         layout.apply_sk(state);
                         layout.apply_uk(state);
                     }
+                    self.reg.record();
                 }
                 self.slot = Slot::X;
                 self.round += 1;
@@ -207,7 +235,7 @@ impl GroverStreamer {
     }
 }
 
-impl StreamingDecider for GroverStreamer {
+impl<B: QuantumBackend> StreamingDecider for GroverStreamer<B> {
     fn feed(&mut self, sym: Sym) {
         if self.in_prefix {
             match sym {
@@ -225,7 +253,7 @@ impl StreamingDecider for GroverStreamer {
                     if sym == Sym::Hash && self.k >= 1 {
                         if self.simulate && self.k <= MAX_SIMULABLE_K {
                             let layout = GroverLayout::for_k(self.k);
-                            self.state = Some(layout.phi());
+                            self.reg.allocate_with(|| layout.phi_in());
                             self.layout = Some(layout);
                         }
                         self.j = (self.j_seed % (1u64 << self.k)) as usize;
@@ -244,7 +272,7 @@ impl StreamingDecider for GroverStreamer {
 
     fn decide(&mut self) -> bool {
         // Measure the last qubit; output 1 − b.
-        match (self.layout, self.state.as_mut()) {
+        match (self.layout, self.reg.state_mut()) {
             (Some(layout), Some(state)) => {
                 let b = state.measure_qubit(layout.l_qubit(), &mut self.rng);
                 b == 0
@@ -279,11 +307,19 @@ impl StreamingDecider for GroverStreamer {
 /// well-formed instance: the average over `j ∈ {0,…,2^k−1}` of the exact
 /// measurement statistics. Equals `averaged_success(2^k, t, 2^{2k})`.
 pub fn a3_exact_detection_probability(inst: &oqsc_lang::LdisjInstance) -> f64 {
+    a3_exact_detection_probability_in::<StateVector>(inst)
+}
+
+/// [`a3_exact_detection_probability`] over any backend (the cross-backend
+/// equivalence suite runs it sparse and dense and compares digits).
+pub fn a3_exact_detection_probability_in<B: QuantumBackend>(
+    inst: &oqsc_lang::LdisjInstance,
+) -> f64 {
     let word = inst.encode();
     let rounds = inst.rounds();
     let mut total = 0.0;
     for j in 0..rounds {
-        let mut a3 = GroverStreamer::with_j_seed(j as u64, 0);
+        let mut a3 = GroverStreamer::<B>::with_j_seed_in(j as u64, 0);
         a3.feed_all(&word);
         total += a3.detection_probability();
     }
@@ -437,12 +473,14 @@ mod tests {
         // where Grover has room to rotate).
         let mut rng = StdRng::seed_from_u64(97);
         for k in 2..=2u32 {
-            let m = string_len(k);
             for t in [1usize, 2] {
                 let inst = random_nonmember(k, t, &mut rng);
                 let known = super::a3_known_t_detection_probability(&inst);
                 let random = a3_exact_detection_probability(&inst);
-                assert!(known >= random - 1e-9, "t={t}: known {known} vs random {random}");
+                assert!(
+                    known >= random - 1e-9,
+                    "t={t}: known {known} vs random {random}"
+                );
                 assert!(known > 0.6, "t={t}: known-t should be strong, got {known}");
             }
         }

@@ -218,7 +218,9 @@ impl SketchDecider {
         let mut chosen: Vec<u32> = Vec::with_capacity(budget);
         let mut state = self.seed | 1;
         while chosen.len() < budget {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let pos = (state >> 16) as usize % m;
             if !chosen.contains(&(pos as u32)) {
                 chosen.push(pos as u32);
@@ -265,9 +267,7 @@ impl StreamingDecider for SketchDecider {
                     // Only the first round is inspected (the copies are
                     // identical when A2 passes).
                     if self.round == 1 {
-                        if let Ok(slot_idx) =
-                            self.positions.binary_search(&(self.bit_idx as u32))
-                        {
+                        if let Ok(slot_idx) = self.positions.binary_search(&(self.bit_idx as u32)) {
                             match self.slot {
                                 Slot::X => self.x_bits[slot_idx] = bit,
                                 Slot::Y => {

@@ -118,8 +118,7 @@ pub fn a3_strict_circuit(inst: &LdisjInstance, j: usize) -> StrictCircuit {
             if bit {
                 let value = i | (1usize << idx.len());
                 gates.extend(
-                    mcx_on_value(&ctrls, value, EmittedLayout::L, &anc)
-                        .expect("enough ancillas"),
+                    mcx_on_value(&ctrls, value, EmittedLayout::L, &anc).expect("enough ancillas"),
                 );
             }
         }

@@ -49,7 +49,10 @@ pub mod separation;
 
 pub use a1::FormatChecker;
 pub use a2::ConsistencyChecker;
-pub use a3::{a3_exact_detection_probability, GroverStreamer, MAX_SIMULABLE_K};
+pub use a3::{
+    a3_exact_detection_probability, a3_exact_detection_probability_in, GroverStreamer,
+    MAX_SIMULABLE_K,
+};
 pub use class::{witness_obpspace_cbrt, witness_oqbpl, witness_oqrl, ClassWitness, WitnessRow};
 pub use classical::{Prop37Decider, SketchDecider};
 pub use emit::{a3_strict_circuit, emitted_detection_probability, EmittedLayout};

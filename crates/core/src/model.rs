@@ -6,7 +6,7 @@
 //!    space;
 //! 2. its output tape holds `a1#b1#c1#…#ar#br#cr` with
 //!    `a_i, b_i ∈ {0,…,s−1}`, `c_i ∈ {0,1,2}`;
-//! 3./4. measuring the **first qubit** of
+//! 3. measuring the **first qubit** of
 //!    `G_cr^{[ar,br]} … G_c1^{[a1,b1]} |0^s⟩` yields the acceptance
 //!    statistics (≥ 1/4 on members of the language for `OQRSPACE`, 0 on
 //!    non-members).
@@ -111,10 +111,7 @@ pub fn validate_oqr_conditions(
             .sum::<f64>()
             / inst.rounds() as f64
     };
-    let worst_member_detection = members
-        .iter()
-        .map(avg_detection)
-        .fold(0.0f64, f64::max);
+    let worst_member_detection = members.iter().map(avg_detection).fold(0.0f64, f64::max);
     let worst_nonmember_detection = nonmembers
         .iter()
         .map(avg_detection)
@@ -142,7 +139,7 @@ mod tests {
         assert!(run.gate_triples > 0);
         assert!(run.within_budget);
         assert!(!run.output_tape.is_empty());
-        assert!(run.output_tape.split('#').count() % 3 == 0);
+        assert!(run.output_tape.split('#').count().is_multiple_of(3));
     }
 
     #[test]
@@ -174,9 +171,7 @@ mod tests {
     fn oqr_conditions_hold_on_samples() {
         let mut rng = StdRng::seed_from_u64(153);
         let members: Vec<_> = (0..3).map(|_| random_member(1, &mut rng)).collect();
-        let nonmembers: Vec<_> = (1..=4)
-            .map(|t| random_nonmember(1, t, &mut rng))
-            .collect();
+        let nonmembers: Vec<_> = (1..=4).map(|t| random_nonmember(1, t, &mut rng)).collect();
         let v = validate_oqr_conditions(&members, &nonmembers);
         assert!(v.holds(), "{v:?}");
         assert!(v.worst_member_detection < 1e-12);

@@ -24,6 +24,7 @@ use crate::a3::GroverStreamer;
 use oqsc_fingerprint::fingerprint_prime;
 use oqsc_lang::Sym;
 use oqsc_machine::StreamingDecider;
+use oqsc_quantum::{QuantumBackend, StateVector};
 use rand::Rng;
 
 /// Joint classical/quantum space usage (Definition 2.3 allows `s(|w|)` of
@@ -44,32 +45,24 @@ impl SpaceReport {
 }
 
 /// The one-sided-error online quantum recognizer of `L̄_DISJ`
-/// (Theorem 3.4: `L̄_DISJ ∈ OQRL`).
+/// (Theorem 3.4: `L̄_DISJ ∈ OQRL`), generic over the simulation backend.
 #[derive(Clone, Debug)]
-pub struct ComplementRecognizer {
+pub struct ComplementRecognizer<B: QuantumBackend = StateVector> {
     a1: FormatChecker,
     a2: ConsistencyChecker,
-    a3: GroverStreamer,
+    a3: GroverStreamer<B>,
 }
 
-impl ComplementRecognizer {
-    /// Creates the recognizer, drawing A2's evaluation point and A3's
-    /// iteration count / measurement randomness from `rng`.
+impl ComplementRecognizer<StateVector> {
+    /// Creates the dense-backend recognizer, drawing A2's evaluation point
+    /// and A3's iteration count / measurement randomness from `rng`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        ComplementRecognizer {
-            a1: FormatChecker::new(),
-            a2: ConsistencyChecker::new(rng),
-            a3: GroverStreamer::new(rng),
-        }
+        ComplementRecognizer::new_in(rng)
     }
 
-    /// Derandomized constructor for exact analysis.
+    /// Derandomized dense-backend constructor for exact analysis.
     pub fn with_seeds(t_seed: u64, j_seed: u64, measure_seed: u64) -> Self {
-        ComplementRecognizer {
-            a1: FormatChecker::new(),
-            a2: ConsistencyChecker::with_seed(t_seed),
-            a3: GroverStreamer::with_j_seed(j_seed, measure_seed),
-        }
+        ComplementRecognizer::with_seeds_in(t_seed, j_seed, measure_seed)
     }
 
     /// Metering-only instance (no amplitude allocation; see
@@ -80,6 +73,26 @@ impl ComplementRecognizer {
             a1: FormatChecker::new(),
             a2: ConsistencyChecker::with_seed(0),
             a3: GroverStreamer::metering_only(),
+        }
+    }
+}
+
+impl<B: QuantumBackend> ComplementRecognizer<B> {
+    /// [`ComplementRecognizer::new`] over any backend.
+    pub fn new_in<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ComplementRecognizer {
+            a1: FormatChecker::new(),
+            a2: ConsistencyChecker::new(rng),
+            a3: GroverStreamer::new_in(rng),
+        }
+    }
+
+    /// [`ComplementRecognizer::with_seeds`] over any backend.
+    pub fn with_seeds_in(t_seed: u64, j_seed: u64, measure_seed: u64) -> Self {
+        ComplementRecognizer {
+            a1: FormatChecker::new(),
+            a2: ConsistencyChecker::with_seed(t_seed),
+            a3: GroverStreamer::with_j_seed_in(j_seed, measure_seed),
         }
     }
 
@@ -97,7 +110,7 @@ impl ComplementRecognizer {
     }
 }
 
-impl StreamingDecider for ComplementRecognizer {
+impl<B: QuantumBackend> StreamingDecider for ComplementRecognizer<B> {
     fn feed(&mut self, sym: Sym) {
         self.a1.feed(sym);
         self.a2.feed(sym);
@@ -163,18 +176,29 @@ pub fn exact_complement_accept_probability(word: &[Sym]) -> f64 {
 /// The bounded-error recognizer of `L_DISJ` itself (Corollary 3.5:
 /// `L_DISJ ∈ OQBPL`): `reps` parallel copies of the complement
 /// recognizer; the word is declared a member iff none of them accepts.
+/// Generic over the simulation backend.
 #[derive(Clone, Debug)]
-pub struct LdisjRecognizer {
-    copies: Vec<ComplementRecognizer>,
+pub struct LdisjRecognizer<B: QuantumBackend = StateVector> {
+    copies: Vec<ComplementRecognizer<B>>,
 }
 
-impl LdisjRecognizer {
-    /// Creates the amplified recognizer with `reps` independent copies
-    /// (`reps = 4` gives two-sided error ≤ (3/4)⁴ < 1/3).
+impl LdisjRecognizer<StateVector> {
+    /// Creates the dense-backend amplified recognizer with `reps`
+    /// independent copies (`reps = 4` gives two-sided error ≤ (3/4)⁴
+    /// < 1/3).
     pub fn new<R: Rng + ?Sized>(reps: usize, rng: &mut R) -> Self {
+        LdisjRecognizer::new_in(reps, rng)
+    }
+}
+
+impl<B: QuantumBackend> LdisjRecognizer<B> {
+    /// [`LdisjRecognizer::new`] over any backend.
+    pub fn new_in<R: Rng + ?Sized>(reps: usize, rng: &mut R) -> Self {
         assert!(reps >= 1);
         LdisjRecognizer {
-            copies: (0..reps).map(|_| ComplementRecognizer::new(rng)).collect(),
+            copies: (0..reps)
+                .map(|_| ComplementRecognizer::new_in(rng))
+                .collect(),
         }
     }
 
@@ -191,7 +215,7 @@ impl LdisjRecognizer {
     }
 }
 
-impl StreamingDecider for LdisjRecognizer {
+impl<B: QuantumBackend> StreamingDecider for LdisjRecognizer<B> {
     fn feed(&mut self, sym: Sym) {
         for c in &mut self.copies {
             c.feed(sym);
@@ -290,8 +314,7 @@ mod tests {
         // Members: always declared members.
         let member = random_member(2, &mut rng);
         for _ in 0..20 {
-            let (is_member, _) =
-                run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode());
+            let (is_member, _) = run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode());
             assert!(is_member);
         }
         // Non-members: error rate ≤ (3/4)^4 ≈ 0.316 < 1/3.
@@ -317,7 +340,7 @@ mod tests {
             let inst = if rng.gen() {
                 random_member(1, &mut rng)
             } else {
-                random_nonmember(1, 1 + rng.gen_range(0..4), &mut rng)
+                random_nonmember(1, 1 + rng.gen_range(0..4usize), &mut rng)
             };
             let word = inst.encode();
             let member_votes = (0..60)

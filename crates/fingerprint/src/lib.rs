@@ -23,7 +23,7 @@ pub mod multipoint;
 pub mod poly;
 pub mod prime;
 
-pub use multipoint::{multipoint_probably_equal, MultiPointFingerprint};
 pub use equality::{exact_collision_probability, paper_error_bound, EqualityTester};
+pub use multipoint::{multipoint_probably_equal, MultiPointFingerprint};
 pub use poly::{ceil_log2, fingerprint, StreamingFingerprint};
 pub use prime::{fingerprint_prime, is_prime};

@@ -58,7 +58,7 @@ pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
 /// # Panics
 /// If `a ≡ 0 (mod p)`.
 pub fn inv_mod_prime(a: u64, p: u64) -> u64 {
-    assert!(a % p != 0, "zero has no inverse");
+    assert!(!a.is_multiple_of(p), "zero has no inverse");
     pow_mod(a, p - 2, p)
 }
 

@@ -80,7 +80,10 @@ impl MultiPointFingerprint {
 
     /// Work-space footprint: `r` lanes of residues.
     pub fn space_bits(&self) -> u32 {
-        self.lanes.iter().map(StreamingFingerprint::space_bits).sum()
+        self.lanes
+            .iter()
+            .map(StreamingFingerprint::space_bits)
+            .sum()
     }
 
     /// Upper bound on the false-accept probability for length-`m`

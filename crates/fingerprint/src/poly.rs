@@ -231,7 +231,7 @@ mod tests {
         ) {
             let p = 257u64;
             let mut padded = bits.clone();
-            padded.extend(std::iter::repeat(false).take(zeros));
+            padded.extend(std::iter::repeat_n(false, zeros));
             prop_assert_eq!(fingerprint(&bits, p, t), fingerprint(&padded, p, t));
         }
     }

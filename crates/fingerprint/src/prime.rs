@@ -22,7 +22,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -56,12 +56,12 @@ pub fn is_prime_trial_division(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -77,7 +77,7 @@ pub fn is_prime_trial_division(n: u64) -> bool {
 /// construction then needs wide arithmetic, far beyond simulable sizes.
 pub fn fingerprint_prime(k: u32) -> u64 {
     assert!(k >= 1, "the language requires k ≥ 1");
-    assert!(4 * k + 1 <= 63, "4k+1-bit prime exceeds u64 (k = {k})");
+    assert!(4 * k < 63, "4k+1-bit prime exceeds u64 (k = {k})");
     let lo = 1u64 << (4 * k);
     let hi = 1u64 << (4 * k + 1);
     scan_prime(lo + 1, hi).expect("Bertrand's postulate guarantees a prime in (2^4k, 2^{4k+1})")

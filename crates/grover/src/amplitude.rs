@@ -15,40 +15,42 @@
 
 use crate::analysis::grover_angle;
 use oqsc_quantum::complex::ONE;
-use oqsc_quantum::StateVector;
+use oqsc_quantum::{QuantumBackend, StateVector};
 
 /// Amplitude amplification over an explicit marked set, from an arbitrary
-/// initial state.
+/// initial state, in any backend (dense by default).
 #[derive(Clone, Debug)]
-pub struct AmplitudeAmplifier {
-    psi: StateVector,
+pub struct AmplitudeAmplifier<B: QuantumBackend = StateVector> {
+    psi: B,
     marked: Vec<bool>,
 }
 
-impl AmplitudeAmplifier {
-    /// Creates the amplifier.
-    ///
-    /// # Panics
-    /// If `marked.len() != 2^{num_qubits}`.
-    pub fn new(psi: StateVector, marked: Vec<bool>) -> Self {
-        assert_eq!(marked.len(), psi.dim(), "marked set must cover the space");
-        AmplitudeAmplifier { psi, marked }
-    }
-
+impl AmplitudeAmplifier<StateVector> {
     /// Standard Grover: uniform initial state over `width` qubits.
     pub fn grover(width: usize, marked: Vec<bool>) -> Self {
         AmplitudeAmplifier::new(StateVector::uniform(width), marked)
     }
+}
+
+impl<B: QuantumBackend> AmplitudeAmplifier<B> {
+    /// Creates the amplifier (the backend follows the initial state).
+    ///
+    /// # Panics
+    /// If `marked.len() != 2^{num_qubits}`.
+    pub fn new(psi: B, marked: Vec<bool>) -> Self {
+        assert_eq!(marked.len(), psi.dim(), "marked set must cover the space");
+        AmplitudeAmplifier { psi, marked }
+    }
+
+    /// Standard Grover in any backend: uniform initial state over `width`
+    /// qubits.
+    pub fn grover_in(width: usize, marked: Vec<bool>) -> Self {
+        AmplitudeAmplifier::new(B::uniform(width), marked)
+    }
 
     /// The initial success probability `a = Σ_marked |ψ_b|²`.
     pub fn initial_success(&self) -> f64 {
-        self.psi
-            .amplitudes()
-            .iter()
-            .enumerate()
-            .filter(|(b, _)| self.marked[*b])
-            .map(|(_, z)| z.norm_sqr())
-            .sum()
+        self.psi.probability_where(|b| self.marked[b])
     }
 
     /// The rotation angle `θ_a = asin(√a)`.
@@ -74,7 +76,7 @@ impl AmplitudeAmplifier {
     /// Applies `Q = −R_ψ · S_f` once to `state` (global phase folded into
     /// the reflection sign convention, which the success statistics do not
     /// see).
-    pub fn iterate(&self, state: &mut StateVector) {
+    pub fn iterate(&self, state: &mut B) {
         // Oracle: phase −1 on marked basis states.
         state.phase_if(|b| self.marked[b], -ONE);
         // Reflection about ψ: s ← 2⟨ψ|s⟩·ψ − s.
@@ -87,12 +89,7 @@ impl AmplitudeAmplifier {
         for _ in 0..j {
             self.iterate(&mut s);
         }
-        s.amplitudes()
-            .iter()
-            .enumerate()
-            .filter(|(b, _)| self.marked[*b])
-            .map(|(_, z)| z.norm_sqr())
-            .sum()
+        s.probability_where(|b| self.marked[b])
     }
 }
 
@@ -150,7 +147,10 @@ mod tests {
         for j in [0usize, 1, 2, 3, 5] {
             let exact = amp.success_after(j);
             let predicted = amp.predicted_success(j);
-            assert!((exact - predicted).abs() < 1e-9, "j={j}: {exact} vs {predicted}");
+            assert!(
+                (exact - predicted).abs() < 1e-9,
+                "j={j}: {exact} vs {predicted}"
+            );
         }
     }
 

@@ -81,7 +81,8 @@ mod tests {
     fn angle_edges() {
         assert_eq!(grover_angle(0, 16), 0.0);
         assert!((grover_angle(16, 16) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
-        assert!((grover_angle(4, 16) - 0.5235987755982989).abs() < 1e-12); // asin(1/2)
+        assert!((grover_angle(4, 16) - std::f64::consts::FRAC_PI_6).abs() < 1e-12);
+        // asin(1/2)
     }
 
     #[test]

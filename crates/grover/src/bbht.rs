@@ -126,7 +126,10 @@ mod tests {
                 (exact - formula).abs() < 1e-9,
                 "t={actual_t}: {exact} vs {formula}"
             );
-            assert!(exact >= 0.25 - 1e-12, "paper bound violated at t={actual_t}");
+            assert!(
+                exact >= 0.25 - 1e-12,
+                "paper bound violated at t={actual_t}"
+            );
         }
     }
 

@@ -16,18 +16,20 @@
 //! probability. We implement the state-level recursion directly.
 
 use oqsc_quantum::complex::Complex;
-use oqsc_quantum::StateVector;
+use oqsc_quantum::{QuantumBackend, StateVector};
 
-/// Fixed-point amplifier over an explicit marked set.
+/// Fixed-point amplifier over an explicit marked set, in any backend
+/// (dense by default).
 #[derive(Clone, Debug)]
-pub struct FixedPointAmplifier {
-    psi: StateVector,
+pub struct FixedPointAmplifier<B: QuantumBackend = StateVector> {
+    psi: B,
     marked: Vec<bool>,
 }
 
-impl FixedPointAmplifier {
-    /// Creates the amplifier from the initial state and marked set.
-    pub fn new(psi: StateVector, marked: Vec<bool>) -> Self {
+impl<B: QuantumBackend> FixedPointAmplifier<B> {
+    /// Creates the amplifier from the initial state and marked set (the
+    /// backend follows the initial state).
+    pub fn new(psi: B, marked: Vec<bool>) -> Self {
         assert_eq!(marked.len(), psi.dim());
         FixedPointAmplifier { psi, marked }
     }
@@ -40,7 +42,7 @@ impl FixedPointAmplifier {
     /// The state after `levels` of the π/3 recursion (state grows as
     /// `3^levels` applications of the base preparation; keep
     /// `levels ≤ 6`).
-    pub fn state_after(&self, levels: u32) -> StateVector {
+    pub fn state_after(&self, levels: u32) -> B {
         assert!(levels <= 6, "3^levels base applications");
         self.recurse(levels)
     }
@@ -57,7 +59,7 @@ impl FixedPointAmplifier {
         1.0 - delta.powi(3i32.pow(levels))
     }
 
-    fn recurse(&self, level: u32) -> StateVector {
+    fn recurse(&self, level: u32) -> B {
         if level == 0 {
             return self.psi.clone();
         }
@@ -74,25 +76,16 @@ impl FixedPointAmplifier {
         // I + (e^{iπ/3} − 1)|u⟩⟨u| in state space.
         let overlap = u.inner(&s);
         let coeff = (phase - Complex::real(1.0)) * overlap;
-        // s ← s + coeff·u
-        let updates: Vec<Complex> = s
-            .amplitudes()
-            .iter()
-            .zip(u.amplitudes())
-            .map(|(&sa, &ua)| sa + coeff * ua)
-            .collect();
-        StateVector::from_amplitudes(updates)
+        // s ← s + coeff·u (unitary up to rounding; renormalize to match
+        // the from_amplitudes semantics of the dense-only implementation).
+        s.add_scaled(&u, coeff);
+        s.normalize();
+        s
     }
 }
 
-fn success_of(state: &StateVector, marked: &[bool]) -> f64 {
-    state
-        .amplitudes()
-        .iter()
-        .enumerate()
-        .filter(|(b, _)| marked[*b])
-        .map(|(_, z)| z.norm_sqr())
-        .sum()
+fn success_of<B: QuantumBackend>(state: &B, marked: &[bool]) -> f64 {
+    state.probability_where(|b| marked[b])
 }
 
 #[cfg(test)]
@@ -109,7 +102,11 @@ mod tests {
 
     #[test]
     fn one_level_cubes_the_failure_probability() {
-        for (width, marks) in [(3usize, vec![1usize]), (4, vec![2, 9]), (4, vec![0, 5, 10, 15])] {
+        for (width, marks) in [
+            (3usize, vec![1usize]),
+            (4, vec![2, 9]),
+            (4, vec![0, 5, 10, 15]),
+        ] {
             let amp = uniform_case(width, &marks);
             let a = amp.initial_success();
             let got = amp.success_after(1);
@@ -131,7 +128,10 @@ mod tests {
             assert!((s - amp.predicted_success(level)).abs() < 1e-9);
             prev = s;
         }
-        assert!(prev > 0.85, "four levels from 1/16 should be strong: {prev}");
+        assert!(
+            prev > 0.85,
+            "four levels from 1/16 should be strong: {prev}"
+        );
     }
 
     #[test]

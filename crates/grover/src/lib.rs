@@ -26,6 +26,8 @@ pub mod search;
 
 pub use amplitude::{iterations_to_reach, AmplitudeAmplifier};
 pub use analysis::{averaged_success, grover_angle, optimal_iterations, success_after};
+pub use bbht::{
+    bbht_search, random_j_detection, random_j_detection_probability, BbhtResult, DetectionOutcome,
+};
 pub use fixed_point::FixedPointAmplifier;
-pub use bbht::{bbht_search, random_j_detection, random_j_detection_probability, BbhtResult, DetectionOutcome};
 pub use search::GroverSim;

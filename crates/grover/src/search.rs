@@ -6,7 +6,7 @@
 //! digit-for-digit with the closed forms in [`crate::analysis`].
 
 use oqsc_quantum::complex::ONE;
-use oqsc_quantum::StateVector;
+use oqsc_quantum::{QuantumBackend, StateVector};
 use rand::Rng;
 
 /// A Grover search instance over `N = marked.len()` items (power of two).
@@ -45,9 +45,16 @@ impl GroverSim {
         self.width
     }
 
-    /// The state after `iterations` Grover iterations from uniform.
+    /// The state after `iterations` Grover iterations from uniform, in the
+    /// dense reference backend.
     pub fn state_after(&self, iterations: usize) -> StateVector {
-        let mut s = StateVector::uniform(self.width);
+        self.state_after_in(iterations)
+    }
+
+    /// The state after `iterations` Grover iterations from uniform, in any
+    /// backend.
+    pub fn state_after_in<B: QuantumBackend>(&self, iterations: usize) -> B {
+        let mut s = B::uniform(self.width);
         for _ in 0..iterations {
             self.iterate(&mut s);
         }
@@ -55,7 +62,7 @@ impl GroverSim {
     }
 
     /// One Grover iteration: phase oracle, then inversion about the mean.
-    pub fn iterate(&self, s: &mut StateVector) {
+    pub fn iterate<B: QuantumBackend>(&self, s: &mut B) {
         // Oracle: negate marked amplitudes.
         s.phase_if(|b| self.marked[b], -ONE);
         // Diffusion: H^{⊗w} · (phase flip on ≠0) · H^{⊗w}.
@@ -68,13 +75,8 @@ impl GroverSim {
     /// Exact probability that measuring after `iterations` yields a marked
     /// item.
     pub fn success_probability(&self, iterations: usize) -> f64 {
-        let s = self.state_after(iterations);
-        s.amplitudes()
-            .iter()
-            .enumerate()
-            .filter(|(b, _)| self.marked[*b])
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.state_after(iterations)
+            .probability_where(|b| self.marked[b])
     }
 
     /// Samples a measured index after `iterations`.

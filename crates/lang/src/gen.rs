@@ -98,11 +98,7 @@ pub const ALL_MALFORMATIONS: [Malformation; 7] = [
 ///
 /// Bit-flip corruptions require `k ≥ 1` rounds ≥ 2, which Definition 3.3
 /// guarantees (`2^k ≥ 2`).
-pub fn malform<R: Rng + ?Sized>(
-    inst: &LdisjInstance,
-    kind: Malformation,
-    rng: &mut R,
-) -> Vec<Sym> {
+pub fn malform<R: Rng + ?Sized>(inst: &LdisjInstance, kind: Malformation, rng: &mut R) -> Vec<Sym> {
     let mut word = inst.encode();
     let k = inst.k() as usize;
     let m = inst.m();

@@ -11,7 +11,7 @@
 //! paper's input word, the disjointness predicate, and the exact size
 //! formulas live here.
 
-use crate::token::{Sym, bits_to_syms};
+use crate::token::{bits_to_syms, Sym};
 
 /// The data `(k, x, y)` underlying a syntactically well-formed input of the
 /// form `1^k # (x#y#x#)^{2^k}`.
@@ -128,7 +128,7 @@ impl LdisjInstance {
     /// Encodes to the input word `1^k # (x#y#x#)^{2^k}`.
     pub fn encode(&self) -> Vec<Sym> {
         let mut out = Vec::with_capacity(encoded_len(self.k));
-        out.extend(std::iter::repeat(Sym::One).take(self.k as usize));
+        out.extend(std::iter::repeat_n(Sym::One, self.k as usize));
         out.push(Sym::Hash);
         let xs = bits_to_syms(&self.x);
         let ys = bits_to_syms(&self.y);
@@ -180,7 +180,10 @@ mod tests {
 
     #[test]
     fn intersection_counting() {
-        assert_eq!(intersection_count(&[true, true, false], &[true, false, true]), 1);
+        assert_eq!(
+            intersection_count(&[true, true, false], &[true, false, true]),
+            1
+        );
         assert_eq!(intersection_count(&[true, true], &[true, true]), 2);
         assert_eq!(intersection_count(&[false; 4], &[true; 4]), 0);
     }

@@ -22,8 +22,13 @@ pub mod parse;
 pub mod stats;
 pub mod token;
 
-pub use gen::{malform, random_member, random_nonmember, random_pair, Malformation, ALL_MALFORMATIONS};
+pub use gen::{
+    malform, random_member, random_nonmember, random_pair, Malformation, ALL_MALFORMATIONS,
+};
 pub use instance::{disj, encoded_len, intersection_count, string_len, LdisjInstance};
-pub use stats::{density_for_membership, expected_intersections, intersection_distribution, membership_probability};
 pub use parse::{is_in_ldisj, parse_shape, ParsedWord, ShapeError};
+pub use stats::{
+    density_for_membership, expected_intersections, intersection_distribution,
+    membership_probability,
+};
 pub use token::Sym;

@@ -22,6 +22,7 @@ pub struct OptmBuilder {
     next: State,
     start: Option<State>,
     accept: Vec<State>,
+    #[allow(clippy::type_complexity)] // (state, input, work) -> weighted actions, used once
     transitions: Vec<(State, TapeSym, TapeSym, Vec<(f64, Action)>)>,
 }
 
@@ -83,6 +84,7 @@ impl OptmBuilder {
     }
 
     /// Adds a deterministic transition with full control.
+    #[allow(clippy::too_many_arguments)] // mirrors the 8-tuple of Definition 2.1 transitions
     pub fn rule(
         &mut self,
         from: &str,
@@ -246,7 +248,12 @@ mod tests {
         let mut b = OptmBuilder::new();
         b.start("s");
         b.accept("yes");
-        b.branch("s", TapeSym::Blank, TapeSym::Blank, &[(0.25, "yes"), (0.75, "no")]);
+        b.branch(
+            "s",
+            TapeSym::Blank,
+            TapeSym::Blank,
+            &[(0.25, "yes"), (0.75, "no")],
+        );
         let m = b.build();
         let (pa, pr, _) = m.exact_acceptance(&[], 10);
         assert!((pa - 0.25).abs() < 1e-12);

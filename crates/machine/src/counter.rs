@@ -145,8 +145,18 @@ pub fn power_of_two_length_machine() -> Optm {
         work_move: WorkMove::Right,
         input_move: InputMove::Stay,
     };
-    m.add_det(CHECK0, TapeSym::Blank, TapeSym::Zero, scan(CHECK0, TapeSym::Zero));
-    m.add_det(CHECK0, TapeSym::Blank, TapeSym::One, scan(CHECK1, TapeSym::One));
+    m.add_det(
+        CHECK0,
+        TapeSym::Blank,
+        TapeSym::Zero,
+        scan(CHECK0, TapeSym::Zero),
+    );
+    m.add_det(
+        CHECK0,
+        TapeSym::Blank,
+        TapeSym::One,
+        scan(CHECK1, TapeSym::One),
+    );
     // Counter empty (length 0): reject.
     m.add_det(
         CHECK0,
@@ -159,7 +169,12 @@ pub fn power_of_two_length_machine() -> Optm {
             input_move: InputMove::Stay,
         },
     );
-    m.add_det(CHECK1, TapeSym::Blank, TapeSym::Zero, scan(CHECK1, TapeSym::Zero));
+    m.add_det(
+        CHECK1,
+        TapeSym::Blank,
+        TapeSym::Zero,
+        scan(CHECK1, TapeSym::Zero),
+    );
     // Second 1 bit: not a power of two.
     m.add_det(
         CHECK1,

@@ -12,6 +12,9 @@
 //!   trait every concrete online algorithm implements (procedures A1/A2,
 //!   the Proposition 3.7 algorithm, the sketches), with configuration
 //!   snapshots for the communication reduction;
+//! * [`register`] — the [`MeteredRegister`](register::MeteredRegister)
+//!   quantum-register handle making quantum streaming drivers generic over
+//!   any [`oqsc_quantum::QuantumBackend`];
 //! * [`space`] — bit-level work-space metering shared by all of them.
 
 #![warn(missing_docs)]
@@ -20,16 +23,18 @@ pub mod builder;
 pub mod counter;
 pub mod nerode;
 pub mod optm;
+pub mod register;
 pub mod space;
 pub mod streaming;
 
+pub use builder::{a1_shape_machine, OptmBuilder};
+pub use counter::power_of_two_length_machine;
+pub use nerode::{mini_disj_space_floor, nerode_classes_at, streaming_space_floor_bits};
 pub use optm::{
     fact_2_2_log2_configs, machine_contains_one, machine_even_ones, machine_fair_coin,
     machine_first_equals_last, Action, Configuration, InputMove, Optm, RunOutcome, State, TapeSym,
     WorkMove,
 };
-pub use builder::{a1_shape_machine, OptmBuilder};
-pub use counter::power_of_two_length_machine;
-pub use nerode::{mini_disj_space_floor, nerode_classes_at, streaming_space_floor_bits};
+pub use register::MeteredRegister;
 pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
 pub use streaming::{run_decider, StoreEverything, StreamingDecider};

@@ -214,7 +214,11 @@ impl Optm {
             .get(cfg.input_pos)
             .map(|&s| TapeSym::from_sym(s))
             .unwrap_or(TapeSym::Blank);
-        let work_sym = cfg.tape.get(cfg.work_pos).copied().unwrap_or(TapeSym::Blank);
+        let work_sym = cfg
+            .tape
+            .get(cfg.work_pos)
+            .copied()
+            .unwrap_or(TapeSym::Blank);
         (in_sym, work_sym)
     }
 
@@ -578,7 +582,13 @@ mod tests {
     #[test]
     fn even_ones_machine() {
         let m = machine_even_ones();
-        for (word, expect) in [("", true), ("1", false), ("11", true), ("101#", true), ("111", false)] {
+        for (word, expect) in [
+            ("", true),
+            ("1", false),
+            ("11", true),
+            ("101#", true),
+            ("111", false),
+        ] {
             let (pa, _, _) = m.exact_acceptance(&syms(word), 100);
             assert_eq!(pa > 0.5, expect, "word {word}");
         }

@@ -1,0 +1,145 @@
+//! Metered quantum registers for streaming drivers.
+//!
+//! Definition 2.3's machine is a classical streaming driver *plus* a
+//! quantum register of width `s(|w|)`; the paper meters both resources
+//! separately. [`MeteredRegister`] is the driver-side handle for the
+//! quantum half: it owns an optional backend state (registers are only
+//! allocated once the input's `1^k#` prefix reveals `k`), meters the
+//! peak width in qubits, and — for sparse backends — the peak *support*,
+//! the memory actually committed. Every quantum streaming driver
+//! (`oqsc_core`'s procedure A3 and anything built like it) is generic
+//! over the backend through this type, so swapping dense for sparse
+//! simulation is a type parameter, not a rewrite.
+
+use oqsc_quantum::QuantumBackend;
+
+/// A lazily allocated, space-metered quantum register over backend `B`.
+#[derive(Clone, Debug)]
+pub struct MeteredRegister<B: QuantumBackend> {
+    state: Option<B>,
+    peak_qubits: usize,
+    peak_support: usize,
+}
+
+impl<B: QuantumBackend> Default for MeteredRegister<B> {
+    fn default() -> Self {
+        MeteredRegister::unallocated()
+    }
+}
+
+impl<B: QuantumBackend> MeteredRegister<B> {
+    /// An unallocated register (the state before the prefix is parsed, and
+    /// forever in metering-only runs).
+    pub fn unallocated() -> Self {
+        MeteredRegister {
+            state: None,
+            peak_qubits: 0,
+            peak_support: 0,
+        }
+    }
+
+    /// Allocates the register by running `init`.
+    ///
+    /// # Panics
+    /// If the register is already allocated (a streaming driver allocates
+    /// at most once per run).
+    pub fn allocate_with<F: FnOnce() -> B>(&mut self, init: F) -> &mut B {
+        assert!(self.state.is_none(), "register already allocated");
+        let state = init();
+        self.peak_qubits = self.peak_qubits.max(state.num_qubits());
+        self.peak_support = self.peak_support.max(state.support());
+        self.state.insert(state)
+    }
+
+    /// Whether the register has been allocated.
+    pub fn is_allocated(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Read access to the state, if allocated.
+    pub fn state(&self) -> Option<&B> {
+        self.state.as_ref()
+    }
+
+    /// Write access to the state, if allocated. Callers should
+    /// [`record`](Self::record) after mutating so support metering stays
+    /// accurate.
+    pub fn state_mut(&mut self) -> Option<&mut B> {
+        self.state.as_mut()
+    }
+
+    /// Refreshes the support high-water mark (call after applying gates).
+    pub fn record(&mut self) {
+        if let Some(s) = &self.state {
+            self.peak_support = self.peak_support.max(s.support());
+        }
+    }
+
+    /// Current register width in qubits (0 when unallocated).
+    pub fn qubits(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.num_qubits())
+    }
+
+    /// Peak register width in qubits over the run.
+    pub fn peak_qubits(&self) -> usize {
+        self.peak_qubits
+    }
+
+    /// Peak number of stored amplitudes over the run: `2^qubits` for dense
+    /// backends, the support high-water for sparse ones. This is the
+    /// number the "memory proportional to support size" claim is measured
+    /// by.
+    pub fn peak_support(&self) -> usize {
+        self.peak_support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oqsc_quantum::{Gate, QuantumBackend, SparseState, StateVector};
+
+    #[test]
+    fn starts_unallocated() {
+        let reg: MeteredRegister<StateVector> = MeteredRegister::unallocated();
+        assert!(!reg.is_allocated());
+        assert_eq!(reg.qubits(), 0);
+        assert_eq!(reg.peak_qubits(), 0);
+        assert_eq!(reg.peak_support(), 0);
+        assert!(reg.state().is_none());
+    }
+
+    #[test]
+    fn dense_register_meters_full_dimension() {
+        let mut reg: MeteredRegister<StateVector> = MeteredRegister::unallocated();
+        reg.allocate_with(|| StateVector::zero(5));
+        assert_eq!(reg.qubits(), 5);
+        assert_eq!(reg.peak_qubits(), 5);
+        assert_eq!(reg.peak_support(), 32);
+    }
+
+    #[test]
+    fn sparse_register_meters_support_high_water() {
+        let mut reg: MeteredRegister<SparseState> = MeteredRegister::unallocated();
+        reg.allocate_with(|| SparseState::zero(8));
+        assert_eq!(reg.peak_support(), 1);
+        let s = reg.state_mut().expect("allocated");
+        s.apply_gate(&Gate::H(0));
+        s.apply_gate(&Gate::H(1));
+        reg.record();
+        assert_eq!(reg.peak_support(), 4);
+        // Collapsing shrinks the live support but not the high-water mark.
+        reg.state_mut().expect("allocated").collapse_qubit(0, 0);
+        reg.record();
+        assert_eq!(reg.peak_support(), 4);
+        assert_eq!(reg.state().expect("allocated").support(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocation_panics() {
+        let mut reg: MeteredRegister<StateVector> = MeteredRegister::unallocated();
+        reg.allocate_with(|| StateVector::zero(2));
+        reg.allocate_with(|| StateVector::zero(2));
+    }
+}

@@ -126,7 +126,7 @@ mod tests {
         let mut d = StoreEverything::new(|_: &[Sym]| true);
         d.feed_all(&word);
         let snap = d.snapshot();
-        assert_eq!(snap.len(), (word.len() + 3) / 4);
+        assert_eq!(snap.len(), word.len().div_ceil(4));
         // First byte: 0,1,#,0 → 0 | 1<<2 | 2<<4 | 0<<6 = 0b100100.
         assert_eq!(snap[0], 0b0010_0100);
     }

@@ -1,0 +1,273 @@
+//! The [`QuantumBackend`] abstraction: one trait, many simulators.
+//!
+//! Every consumer of the simulation substrate — `oqsc_core`'s A1/A2/A3
+//! procedures, `oqsc_grover`'s exact Grover simulation, `oqsc_machine`'s
+//! metered quantum register — is generic over this trait rather than tied
+//! to the dense [`StateVector`]. Two implementations ship today:
+//!
+//! * [`StateVector`] — dense `O(2^n)` amplitudes, `O(2^n)` per gate; the
+//!   default everywhere, and the reference semantics;
+//! * [`crate::SparseState`] — a map from basis index to amplitude storing
+//!   only (numerically) nonzero entries, so the structured Grover states
+//!   of procedure A3 — support `2^{2k}` inside a `2^{2k+2}`-dimensional
+//!   space, halved again after the marking round — cost memory and time
+//!   proportional to the *support*, not the dimension.
+//!
+//! The trait surface is the exact op set those consumers need: state
+//! initialization, gate application (named gates, raw 2×2 unitaries,
+//! Hadamard sweeps), the structured diagonal/permutation fast paths
+//! (`phase_if`, `permute_in_place`, `store_amplitudes`) that make the
+//! paper's `O(1)`-per-symbol streaming updates possible, reflections for
+//! amplitude amplification, and measurement (probabilities, sampling,
+//! collapse). Closure-typed methods keep the trait object-unsafe on
+//! purpose: backends are chosen statically (monomorphized), which is what
+//! lets the gate kernels inline and vectorize.
+//!
+//! Future backends (rayon-parallel dense kernels, batched instance
+//! sweeps, GPU execution) plug in here without touching any consumer.
+
+use crate::complex::Complex;
+use crate::gate::Gate;
+use crate::matrix::Matrix;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// A pure-state quantum simulator over `n` qubits in little-endian basis
+/// order (qubit `q` of basis index `b` is bit `(b >> q) & 1`).
+///
+/// Implementations must agree with [`StateVector`]'s semantics on every
+/// operation (the cross-backend equivalence suite in
+/// `crates/quantum/tests/backend_equivalence.rs` enforces fidelity
+/// `≥ 1 − 1e−9` against the dense reference on random circuits).
+pub trait QuantumBackend: Clone + std::fmt::Debug {
+    // ------------------------------------------------------------------
+    // Initialization
+    // ------------------------------------------------------------------
+
+    /// The all-zeros state `|0…0⟩` on `n` qubits.
+    fn zero(n: usize) -> Self;
+
+    /// The computational basis state `|b⟩`.
+    fn basis(n: usize, b: usize) -> Self;
+
+    /// The uniform superposition `H^{⊗n}|0…0⟩`.
+    fn uniform(n: usize) -> Self;
+
+    /// Builds a state from explicit dense amplitudes, normalizing them.
+    fn from_amplitudes(amps: Vec<Complex>) -> Self;
+
+    // ------------------------------------------------------------------
+    // Geometry and read access
+    // ------------------------------------------------------------------
+
+    /// Number of qubits.
+    fn num_qubits(&self) -> usize;
+
+    /// Hilbert-space dimension `2^n`.
+    fn dim(&self) -> usize {
+        1usize << self.num_qubits()
+    }
+
+    /// Number of explicitly stored amplitudes. Dense backends report the
+    /// full dimension; sparse backends report the support size (the
+    /// memory-scaling observable the space experiments record).
+    fn support(&self) -> usize;
+
+    /// The amplitude of basis state `b`.
+    fn amp(&self, b: usize) -> Complex;
+
+    /// Euclidean norm (1 for a valid state).
+    fn norm(&self) -> f64;
+
+    /// Renormalizes in place (used after measurement collapse).
+    fn normalize(&mut self);
+
+    /// Inner product `⟨self|other⟩`.
+    fn inner(&self, other: &Self) -> Complex;
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    fn fidelity(&self, other: &Self) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Densifies into the reference representation (equivalence testing
+    /// and cross-backend fidelity).
+    fn to_dense(&self) -> StateVector;
+
+    // ------------------------------------------------------------------
+    // Gate application
+    // ------------------------------------------------------------------
+
+    /// Applies a named gate.
+    fn apply_gate(&mut self, gate: &Gate);
+
+    /// Applies an arbitrary 2×2 unitary to qubit `q`.
+    fn apply_single(&mut self, q: usize, m: &Matrix);
+
+    /// Applies a Hadamard to every qubit in `qs` (the paper's `U_k`).
+    fn apply_hadamard_all(&mut self, qs: &[usize]) {
+        let h = Gate::H(0).local_matrix();
+        for &q in qs {
+            self.apply_single(q, &h);
+        }
+    }
+
+    /// Multiplies the amplitude of every basis state satisfying `pred` by
+    /// `phase` (structured diagonal operators: `S_k`, `W_x`, oracles).
+    fn phase_if<F: Fn(usize) -> bool>(&mut self, pred: F, phase: Complex);
+
+    /// Applies a basis-state permutation given as an involution
+    /// (`V_x`, `R_x`, X/CNOT-style classical reversible maps).
+    fn permute_in_place<F: Fn(usize) -> usize>(&mut self, f: F);
+
+    /// Overwrites specific amplitudes in place — the low-level hook behind
+    /// the `O(1)`-per-streamed-bit structured updates. Callers are
+    /// responsible for keeping the state normalized.
+    fn store_amplitudes(&mut self, writes: &[(usize, Complex)]);
+
+    /// Householder reflection about `psi`: `|s⟩ ← (2|ψ⟩⟨ψ| − I)|s⟩`.
+    fn reflect_about(&mut self, psi: &Self);
+
+    /// Adds `coeff · |other⟩` into this state (non-unitary accumulation
+    /// step of the fixed-point recursion; callers renormalize).
+    fn add_scaled(&mut self, other: &Self, coeff: Complex);
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    /// Probability that measuring qubit `q` yields 1.
+    fn prob_one(&self, q: usize) -> f64;
+
+    /// Total probability of the basis states satisfying `pred` (marked-set
+    /// success statistics).
+    fn probability_where<F: Fn(usize) -> bool>(&self, pred: F) -> f64;
+
+    /// The full distribution over basis states.
+    fn probabilities(&self) -> Vec<f64>;
+
+    /// Measures qubit `q`, collapsing the state; returns the observed bit.
+    fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {
+        let p1 = self.prob_one(q);
+        let outcome = u8::from(rng.gen::<f64>() < p1);
+        self.collapse_qubit(q, outcome);
+        outcome
+    }
+
+    /// Projects qubit `q` onto `outcome` and renormalizes.
+    fn collapse_qubit(&mut self, q: usize, outcome: u8);
+
+    /// Samples a full computational-basis measurement without collapsing.
+    fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize;
+}
+
+impl QuantumBackend for StateVector {
+    fn zero(n: usize) -> Self {
+        StateVector::zero(n)
+    }
+
+    fn basis(n: usize, b: usize) -> Self {
+        StateVector::basis(n, b)
+    }
+
+    fn uniform(n: usize) -> Self {
+        StateVector::uniform(n)
+    }
+
+    fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        StateVector::from_amplitudes(amps)
+    }
+
+    fn num_qubits(&self) -> usize {
+        StateVector::num_qubits(self)
+    }
+
+    fn dim(&self) -> usize {
+        StateVector::dim(self)
+    }
+
+    fn support(&self) -> usize {
+        StateVector::dim(self)
+    }
+
+    fn amp(&self, b: usize) -> Complex {
+        StateVector::amp(self, b)
+    }
+
+    fn norm(&self) -> f64 {
+        StateVector::norm(self)
+    }
+
+    fn normalize(&mut self) {
+        StateVector::normalize(self)
+    }
+
+    fn inner(&self, other: &Self) -> Complex {
+        StateVector::inner(self, other)
+    }
+
+    fn to_dense(&self) -> StateVector {
+        self.clone()
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) {
+        StateVector::apply(self, gate)
+    }
+
+    fn apply_single(&mut self, q: usize, m: &Matrix) {
+        StateVector::apply_single(self, q, m)
+    }
+
+    fn apply_hadamard_all(&mut self, qs: &[usize]) {
+        StateVector::apply_hadamard_all(self, qs)
+    }
+
+    fn phase_if<F: Fn(usize) -> bool>(&mut self, pred: F, phase: Complex) {
+        StateVector::phase_if(self, pred, phase)
+    }
+
+    fn permute_in_place<F: Fn(usize) -> usize>(&mut self, f: F) {
+        StateVector::permute_in_place(self, f)
+    }
+
+    fn store_amplitudes(&mut self, writes: &[(usize, Complex)]) {
+        StateVector::write_amplitudes(self, writes)
+    }
+
+    fn reflect_about(&mut self, psi: &Self) {
+        StateVector::reflect_about(self, psi)
+    }
+
+    fn add_scaled(&mut self, other: &Self, coeff: Complex) {
+        StateVector::add_scaled(self, other, coeff)
+    }
+
+    fn prob_one(&self, q: usize) -> f64 {
+        StateVector::prob_one(self, q)
+    }
+
+    fn probability_where<F: Fn(usize) -> bool>(&self, pred: F) -> f64 {
+        self.amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| pred(*b))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        StateVector::probabilities(self)
+    }
+
+    fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {
+        StateVector::measure_qubit(self, q, rng)
+    }
+
+    fn collapse_qubit(&mut self, q: usize, outcome: u8) {
+        StateVector::collapse_qubit(self, q, outcome)
+    }
+
+    fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        StateVector::sample_basis(self, rng)
+    }
+}

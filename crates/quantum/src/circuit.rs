@@ -103,23 +103,29 @@ impl Circuit {
         self.gates.iter().all(Gate::is_strict)
     }
 
-    /// Runs the circuit on `state` in place.
+    /// Runs the circuit on `state` in place, in any backend.
     ///
     /// # Panics
     /// If the state register is narrower than the circuit's.
-    pub fn apply_to(&self, state: &mut StateVector) {
+    pub fn apply_to<B: crate::backend::QuantumBackend>(&self, state: &mut B) {
         assert!(
             state.num_qubits() >= self.num_qubits,
             "state too small for circuit"
         );
         for g in &self.gates {
-            state.apply(g);
+            state.apply_gate(g);
         }
     }
 
-    /// Runs the circuit on `|0…0⟩` and returns the final state.
+    /// Runs the circuit on `|0…0⟩` and returns the final state in the
+    /// dense reference backend.
     pub fn run_from_zero(&self) -> StateVector {
-        let mut s = StateVector::zero(self.num_qubits);
+        self.run_from_zero_in()
+    }
+
+    /// Runs the circuit on `|0…0⟩` in any backend.
+    pub fn run_from_zero_in<B: crate::backend::QuantumBackend>(&self) -> B {
+        let mut s = B::zero(self.num_qubits);
         self.apply_to(&mut s);
         s
     }
@@ -271,7 +277,10 @@ impl StrictCircuit {
     }
 
     fn push_checked(&mut self, a: usize, b: usize, c: u8) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "label out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "label out of range"
+        );
         self.ops.push(StrictOp { a, b, c });
     }
 
@@ -299,9 +308,14 @@ impl StrictCircuit {
         c
     }
 
-    /// Runs the circuit on `|0…0⟩`.
+    /// Runs the circuit on `|0…0⟩` in the dense reference backend.
     pub fn run_from_zero(&self) -> StateVector {
         self.to_circuit().run_from_zero()
+    }
+
+    /// Runs the circuit on `|0…0⟩` in any backend.
+    pub fn run_from_zero_in<B: crate::backend::QuantumBackend>(&self) -> B {
+        self.to_circuit().run_from_zero_in()
     }
 
     /// Serializes to the paper's output-tape string
@@ -321,7 +335,7 @@ impl StrictCircuit {
     /// `num_qubits` qubits.
     pub fn parse(s: &str, num_qubits: usize) -> Result<Self, FormatError> {
         let fields: Vec<&str> = s.split('#').collect();
-        if s.is_empty() || fields.len() % 3 != 0 {
+        if s.is_empty() || !fields.len().is_multiple_of(3) {
             return Err(FormatError::BadArity(if s.is_empty() {
                 0
             } else {
@@ -366,7 +380,10 @@ mod tests {
     fn build_and_run_bell_circuit() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.len(), 2);
         assert_eq!(c.depth(), 2);
         assert!(c.is_strict());
@@ -383,9 +400,15 @@ mod tests {
         c.push(Gate::H(2));
         c.push(Gate::H(3));
         assert_eq!(c.depth(), 1);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.depth(), 2);
-        c.push(Gate::Cnot { control: 2, target: 3 });
+        c.push(Gate::Cnot {
+            control: 2,
+            target: 3,
+        });
         assert_eq!(c.depth(), 2);
     }
 
@@ -503,10 +526,15 @@ mod tests {
         let via_strict = sc.run_from_zero();
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let direct = c.run_from_zero();
         assert!(via_strict.approx_eq(&direct, EPS));
-        assert!(via_strict.amp(0).approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), EPS));
+        assert!(via_strict
+            .amp(0)
+            .approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), EPS));
     }
 
     #[test]

@@ -173,6 +173,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via a·b⁻¹ is the definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

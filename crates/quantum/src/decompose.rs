@@ -52,20 +52,38 @@ impl std::error::Error for LowerError {}
 pub fn toffoli_clifford_t(c1: usize, c2: usize, t: usize) -> Vec<Gate> {
     vec![
         Gate::H(t),
-        Gate::Cnot { control: c2, target: t },
+        Gate::Cnot {
+            control: c2,
+            target: t,
+        },
         Gate::Tdg(t),
-        Gate::Cnot { control: c1, target: t },
+        Gate::Cnot {
+            control: c1,
+            target: t,
+        },
         Gate::T(t),
-        Gate::Cnot { control: c2, target: t },
+        Gate::Cnot {
+            control: c2,
+            target: t,
+        },
         Gate::Tdg(t),
-        Gate::Cnot { control: c1, target: t },
+        Gate::Cnot {
+            control: c1,
+            target: t,
+        },
         Gate::T(c2),
         Gate::T(t),
         Gate::H(t),
-        Gate::Cnot { control: c1, target: c2 },
+        Gate::Cnot {
+            control: c1,
+            target: c2,
+        },
         Gate::T(c1),
         Gate::Tdg(c2),
-        Gate::Cnot { control: c1, target: c2 },
+        Gate::Cnot {
+            control: c1,
+            target: c2,
+        },
     ]
 }
 
@@ -237,13 +255,25 @@ fn expand_one(g: &Gate, out: &mut Vec<Gate>) -> Result<(), LowerError> {
         }
         Gate::Cz(a, b) => {
             out.push(Gate::H(b));
-            out.push(Gate::Cnot { control: a, target: b });
+            out.push(Gate::Cnot {
+                control: a,
+                target: b,
+            });
             out.push(Gate::H(b));
         }
         Gate::Swap(a, b) => {
-            out.push(Gate::Cnot { control: a, target: b });
-            out.push(Gate::Cnot { control: b, target: a });
-            out.push(Gate::Cnot { control: a, target: b });
+            out.push(Gate::Cnot {
+                control: a,
+                target: b,
+            });
+            out.push(Gate::Cnot {
+                control: b,
+                target: a,
+            });
+            out.push(Gate::Cnot {
+                control: a,
+                target: b,
+            });
         }
         Gate::Toffoli { c1, c2, target } => {
             for inner in toffoli_clifford_t(c1, c2, target) {
@@ -285,17 +315,35 @@ mod tests {
     #[test]
     fn toffoli_decomposition_exact() {
         let dec = unitary_of(&toffoli_clifford_t(0, 1, 2), 3);
-        let reference = unitary_of(&[Gate::Toffoli { c1: 0, c2: 1, target: 2 }], 3);
+        let reference = unitary_of(
+            &[Gate::Toffoli {
+                c1: 0,
+                c2: 1,
+                target: 2,
+            }],
+            3,
+        );
         assert!(dec.approx_eq(&reference, EPS), "Toffoli lowering incorrect");
     }
 
     #[test]
     fn toffoli_strict_expansion_exact() {
-        let strict =
-            expand_to_strict(&[Gate::Toffoli { c1: 0, c2: 1, target: 2 }]).expect("expand");
+        let strict = expand_to_strict(&[Gate::Toffoli {
+            c1: 0,
+            c2: 1,
+            target: 2,
+        }])
+        .expect("expand");
         assert!(strict.iter().all(Gate::is_strict));
         let dec = unitary_of(&strict, 3);
-        let reference = unitary_of(&[Gate::Toffoli { c1: 0, c2: 1, target: 2 }], 3);
+        let reference = unitary_of(
+            &[Gate::Toffoli {
+                c1: 0,
+                c2: 1,
+                target: 2,
+            }],
+            3,
+        );
         assert!(dec.approx_eq(&reference, EPS));
     }
 
@@ -355,11 +403,18 @@ mod tests {
         assert_eq!(mcx(&[], 0, &[]).unwrap(), vec![Gate::X(0)]);
         assert_eq!(
             mcx(&[3], 0, &[]).unwrap(),
-            vec![Gate::Cnot { control: 3, target: 0 }]
+            vec![Gate::Cnot {
+                control: 3,
+                target: 0
+            }]
         );
         assert_eq!(
             mcx(&[1, 2], 0, &[]).unwrap(),
-            vec![Gate::Toffoli { c1: 1, c2: 2, target: 0 }]
+            vec![Gate::Toffoli {
+                c1: 1,
+                c2: 2,
+                target: 0
+            }]
         );
     }
 

@@ -115,7 +115,10 @@ mod tests {
     fn bell_state_histogram() {
         let mut s = StateVector::zero(2);
         s.apply(&Gate::H(0));
-        s.apply(&Gate::Cnot { control: 0, target: 1 });
+        s.apply(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let mut rng = StdRng::seed_from_u64(231);
         let hist = SampleHistogram::collect(&s, 10_000, &mut rng);
         assert!(hist.consistent_with(&s.probabilities(), 1e-4));

@@ -80,7 +80,10 @@ impl Gate {
 
     /// Largest qubit index touched.
     pub fn max_qubit(&self) -> usize {
-        self.qubits().into_iter().max().expect("gate touches qubits")
+        self.qubits()
+            .into_iter()
+            .max()
+            .expect("gate touches qubits")
     }
 
     /// True iff the gate is one of the strict paper set `{H, T, CNOT}`.
@@ -209,10 +212,17 @@ mod tests {
             Gate::Z(0),
             Gate::Phase(0, 0.37),
             Gate::Ry(0, 1.1),
-            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
             Gate::Cz(0, 1),
             Gate::Swap(0, 1),
-            Gate::Toffoli { c1: 0, c2: 1, target: 2 },
+            Gate::Toffoli {
+                c1: 0,
+                c2: 1,
+                target: 2,
+            },
         ]
     }
 
@@ -227,9 +237,18 @@ mod tests {
     fn strict_set_membership() {
         assert!(Gate::H(3).is_strict());
         assert!(Gate::T(0).is_strict());
-        assert!(Gate::Cnot { control: 1, target: 0 }.is_strict());
+        assert!(Gate::Cnot {
+            control: 1,
+            target: 0
+        }
+        .is_strict());
         assert!(!Gate::S(0).is_strict());
-        assert!(!Gate::Toffoli { c1: 0, c2: 1, target: 2 }.is_strict());
+        assert!(!Gate::Toffoli {
+            c1: 0,
+            c2: 1,
+            target: 2
+        }
+        .is_strict());
     }
 
     #[test]
@@ -276,19 +295,52 @@ mod tests {
     #[test]
     fn qubit_lists() {
         assert_eq!(Gate::H(5).qubits(), vec![5]);
-        assert_eq!(Gate::Cnot { control: 2, target: 7 }.qubits(), vec![2, 7]);
         assert_eq!(
-            Gate::Toffoli { c1: 1, c2: 2, target: 0 }.qubits(),
+            Gate::Cnot {
+                control: 2,
+                target: 7
+            }
+            .qubits(),
+            vec![2, 7]
+        );
+        assert_eq!(
+            Gate::Toffoli {
+                c1: 1,
+                c2: 2,
+                target: 0
+            }
+            .qubits(),
             vec![1, 2, 0]
         );
-        assert_eq!(Gate::Toffoli { c1: 1, c2: 2, target: 0 }.max_qubit(), 2);
+        assert_eq!(
+            Gate::Toffoli {
+                c1: 1,
+                c2: 2,
+                target: 0
+            }
+            .max_qubit(),
+            2
+        );
     }
 
     #[test]
     fn well_formedness() {
-        assert!(Gate::Cnot { control: 0, target: 1 }.is_well_formed());
-        assert!(!Gate::Cnot { control: 1, target: 1 }.is_well_formed());
-        assert!(!Gate::Toffoli { c1: 0, c2: 0, target: 1 }.is_well_formed());
+        assert!(Gate::Cnot {
+            control: 0,
+            target: 1
+        }
+        .is_well_formed());
+        assert!(!Gate::Cnot {
+            control: 1,
+            target: 1
+        }
+        .is_well_formed());
+        assert!(!Gate::Toffoli {
+            c1: 0,
+            c2: 0,
+            target: 1
+        }
+        .is_well_formed());
         assert!(Gate::H(0).is_well_formed());
     }
 

@@ -14,8 +14,12 @@
 //! * [`matrix`] — small dense matrices for gate definitions and for
 //!   verifying circuit identities with Kronecker products;
 //! * [`gate`] — the strict paper set plus standard derived gates;
-//! * [`state`] — the `O(2^n)`-amplitude simulator with `O(2^n)`-time gate
-//!   application and `O(1)`-time streaming structured updates;
+//! * [`backend`] — the [`QuantumBackend`] trait every simulator implements
+//!   and every consumer crate is generic over;
+//! * [`state`] — the dense `O(2^n)`-amplitude simulator with `O(2^n)`-time
+//!   gate application and `O(1)`-time streaming structured updates;
+//! * [`sparse`] — the support-proportional simulator for the structured
+//!   states of procedure A3 (amplitudes keyed by basis index);
 //! * [`circuit`] — circuit IR, plus the paper's exact `a#b#c` output-tape
 //!   format (serializer and validating parser);
 //! * [`structured`] — the operators `U_k`, `S_k`, `V_x`, `W_x`, `R_x` of
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod circuit;
 pub mod complex;
 pub mod decompose;
@@ -38,15 +43,18 @@ pub mod diagnostics;
 pub mod gate;
 pub mod matrix;
 pub mod optimize;
+pub mod sparse;
 pub mod state;
 pub mod structured;
 pub mod synth;
 
+pub use backend::QuantumBackend;
 pub use circuit::{Circuit, FormatError, StrictCircuit, StrictOp};
 pub use complex::Complex;
 pub use diagnostics::{chi_squared_quantile_bound, SampleHistogram};
 pub use gate::Gate;
 pub use matrix::Matrix;
 pub use optimize::{optimize_circuit, optimize_gates, optimize_strict, OptimizeStats};
+pub use sparse::SparseState;
 pub use state::StateVector;
 pub use structured::GroverLayout;

@@ -234,7 +234,10 @@ mod tests {
     const EPS: f64 = 1e-12;
 
     fn hadamard() -> Matrix {
-        Matrix::from_reals(2, &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2])
+        Matrix::from_reals(
+            2,
+            &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2],
+        )
     }
 
     #[test]

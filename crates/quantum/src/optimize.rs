@@ -54,8 +54,14 @@ fn cancel_pairs_and_fold_t(gates: &[Gate]) -> Vec<Gate> {
                 out.pop();
             }
             (
-                Some(Gate::Cnot { control: c1, target: t1 }),
-                Gate::Cnot { control: c2, target: t2 },
+                Some(Gate::Cnot {
+                    control: c1,
+                    target: t1,
+                }),
+                Gate::Cnot {
+                    control: c2,
+                    target: t2,
+                },
             ) if c1 == c2 && t1 == t2 => {
                 out.pop();
             }
@@ -157,15 +163,27 @@ mod tests {
     #[test]
     fn cancels_adjacent_cnots() {
         let gates = vec![
-            Gate::Cnot { control: 0, target: 1 },
-            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
         ];
         let (opt, _) = optimize_gates(&gates);
         assert!(opt.is_empty());
         // Different operands do NOT cancel.
         let gates = vec![
-            Gate::Cnot { control: 0, target: 1 },
-            Gate::Cnot { control: 1, target: 0 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cnot {
+                control: 1,
+                target: 0,
+            },
         ];
         let (opt, _) = optimize_gates(&gates);
         assert_eq!(opt.len(), 2);
@@ -212,7 +230,7 @@ mod tests {
         let (opt, stats) = optimize_strict(&sc);
         assert_eq!(stats.before, 6);
         assert_eq!(opt.len(), 2); // T(1), CNOT(0,2)
-        // Semantics preserved.
+                                  // Semantics preserved.
         assert!(opt.run_from_zero().approx_eq(&sc.run_from_zero(), EPS));
     }
 

@@ -1,0 +1,549 @@
+//! Sparse pure-state simulation: amplitudes keyed by basis index.
+//!
+//! [`SparseState`] stores only (numerically) nonzero amplitudes in an
+//! ordered map, so memory and per-gate time scale with the **support**
+//! of the state rather than the `2^n` dimension. This is exactly the
+//! structure the paper's procedure A3 exposes: its register `|i⟩|h⟩|l⟩`
+//! lives in a `2^{2k+2}`-dimensional space but every reachable state is
+//! supported on at most `2·2^{2k}` basis states (index register times the
+//! `h` branch; the `l` branch only populates during the marking round) —
+//! and diagonal/permutation structured operators (`S_k`, `V_x`, `W_x`,
+//! `R_x`) never grow the support at all. Recognizers over `O(log n)` live
+//! qubits therefore run in support-proportional memory, and the
+//! `O(1)`-per-streamed-bit updates of
+//! [`GroverLayout`](crate::GroverLayout) touch at most four map entries.
+//!
+//! Dense Hadamard sweeps (`U_k`) still cost `O(support · 2)` per qubit
+//! and can double the support, as they must — sparsity is a property of
+//! the states the workload reaches, not a universal speed-up. The
+//! cross-backend equivalence suite pins this backend to the dense
+//! reference at fidelity `≥ 1 − 1e−9`.
+
+use crate::backend::QuantumBackend;
+use crate::complex::{Complex, ONE, ZERO};
+use crate::gate::Gate;
+use crate::matrix::Matrix;
+use crate::state::StateVector;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Amplitudes with squared magnitude below this are dropped from the map
+/// (well under every tolerance the workspace tests at, and far above
+/// f64 rounding noise accumulation over any circuit we run).
+pub const SPARSE_PRUNE_EPS: f64 = 1e-30;
+
+/// A pure quantum state storing only its nonzero amplitudes.
+///
+/// The map is ordered ([`BTreeMap`]) so iteration — and therefore
+/// sampling, probability sums and `Debug` output — is deterministic.
+#[derive(Clone, PartialEq)]
+pub struct SparseState {
+    n: usize,
+    amps: BTreeMap<usize, Complex>,
+}
+
+impl SparseState {
+    /// Read-only view of the stored `(basis index, amplitude)` pairs in
+    /// increasing index order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, Complex)> + '_ {
+        self.amps.iter().map(|(&b, &a)| (b, a))
+    }
+
+    fn insert_pruned(map: &mut BTreeMap<usize, Complex>, b: usize, a: Complex) {
+        if a.norm_sqr() > SPARSE_PRUNE_EPS {
+            map.insert(b, a);
+        }
+    }
+
+    fn set(&mut self, b: usize, a: Complex) {
+        if a.norm_sqr() > SPARSE_PRUNE_EPS {
+            self.amps.insert(b, a);
+        } else {
+            self.amps.remove(&b);
+        }
+    }
+
+    fn scale_all(&mut self, s: f64) {
+        for a in self.amps.values_mut() {
+            *a = a.scale(s);
+        }
+    }
+}
+
+impl QuantumBackend for SparseState {
+    fn zero(n: usize) -> Self {
+        assert!(n < usize::BITS as usize, "basis indices must fit in usize");
+        let mut amps = BTreeMap::new();
+        amps.insert(0usize, ONE);
+        SparseState { n, amps }
+    }
+
+    fn basis(n: usize, b: usize) -> Self {
+        assert!(n < usize::BITS as usize, "basis indices must fit in usize");
+        // n ≤ 63, so the shift cannot overflow.
+        assert!(b < (1usize << n), "basis index out of range");
+        let mut amps = BTreeMap::new();
+        amps.insert(b, ONE);
+        SparseState { n, amps }
+    }
+
+    fn uniform(n: usize) -> Self {
+        assert!(n <= 28, "a uniform state is dense; limited to 28 qubits");
+        let len = 1usize << n;
+        let amp = Complex::real(1.0 / (len as f64).sqrt());
+        SparseState {
+            n,
+            amps: (0..len).map(|b| (b, amp)).collect(),
+        }
+    }
+
+    fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len > 0, "length must be 2^n");
+        let n = len.trailing_zeros() as usize;
+        let norm = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(
+            norm > crate::state::STATE_EPS,
+            "cannot normalize the zero vector"
+        );
+        let inv = 1.0 / norm;
+        let mut map = BTreeMap::new();
+        for (b, a) in amps.into_iter().enumerate() {
+            Self::insert_pruned(&mut map, b, a.scale(inv));
+        }
+        SparseState { n, amps: map }
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn support(&self) -> usize {
+        self.amps.len()
+    }
+
+    fn amp(&self, b: usize) -> Complex {
+        debug_assert!(b < (1usize << self.n));
+        self.amps.get(&b).copied().unwrap_or(ZERO)
+    }
+
+    fn norm(&self) -> f64 {
+        self.amps.values().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    fn normalize(&mut self) {
+        let norm = self.norm();
+        assert!(
+            norm > crate::state::STATE_EPS,
+            "cannot normalize the zero vector"
+        );
+        self.scale_all(1.0 / norm);
+    }
+
+    fn inner(&self, other: &Self) -> Complex {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        // Sum over the smaller support, probing the larger.
+        let (small, large, conj_small) = if self.amps.len() <= other.amps.len() {
+            (&self.amps, &other.amps, true)
+        } else {
+            (&other.amps, &self.amps, false)
+        };
+        small
+            .iter()
+            .filter_map(|(b, &a)| {
+                large.get(b).map(|&o| {
+                    if conj_small {
+                        // a is ⟨self|'s ket entry: conj(self_b) · other_b.
+                        a.conj() * o
+                    } else {
+                        o.conj() * a
+                    }
+                })
+            })
+            .sum()
+    }
+
+    fn to_dense(&self) -> StateVector {
+        assert!(self.n <= 28, "dense representation limited to 28 qubits");
+        let mut amps = vec![ZERO; 1usize << self.n];
+        for (&b, &a) in &self.amps {
+            amps[b] = a;
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) {
+        assert!(
+            gate.is_well_formed(),
+            "gate operands must be distinct: {gate:?}"
+        );
+        assert!(
+            gate.max_qubit() < self.n,
+            "gate {gate:?} out of range for {} qubits",
+            self.n
+        );
+        match *gate {
+            Gate::X(q) => self.permute_in_place(|b| b ^ (1usize << q)),
+            Gate::Z(q) => self.phase_if(|b| (b >> q) & 1 == 1, -ONE),
+            Gate::S(q) => self.phase_if(|b| (b >> q) & 1 == 1, Complex::new(0.0, 1.0)),
+            Gate::Sdg(q) => self.phase_if(|b| (b >> q) & 1 == 1, Complex::new(0.0, -1.0)),
+            Gate::T(q) => self.phase_if(
+                |b| (b >> q) & 1 == 1,
+                Complex::from_phase(std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Tdg(q) => self.phase_if(
+                |b| (b >> q) & 1 == 1,
+                Complex::from_phase(-std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Phase(q, theta) => {
+                self.phase_if(|b| (b >> q) & 1 == 1, Complex::from_phase(theta))
+            }
+            Gate::Cnot { control, target } => {
+                self.permute_in_place(|b| {
+                    if (b >> control) & 1 == 1 {
+                        b ^ (1usize << target)
+                    } else {
+                        b
+                    }
+                });
+            }
+            Gate::Toffoli { c1, c2, target } => {
+                let mask = (1usize << c1) | (1usize << c2);
+                self.permute_in_place(|b| {
+                    if b & mask == mask {
+                        b ^ (1usize << target)
+                    } else {
+                        b
+                    }
+                });
+            }
+            Gate::Cz(a, b) => {
+                let mask = (1usize << a) | (1usize << b);
+                self.phase_if(|i| i & mask == mask, -ONE);
+            }
+            Gate::Swap(a, b) => {
+                self.permute_in_place(|i| {
+                    let ba = (i >> a) & 1;
+                    let bb = (i >> b) & 1;
+                    if ba != bb {
+                        i ^ (1usize << a) ^ (1usize << b)
+                    } else {
+                        i
+                    }
+                });
+            }
+            _ => {
+                let m = gate.local_matrix();
+                let qs = gate.qubits();
+                debug_assert_eq!(qs.len(), 1, "multi-qubit fallthrough");
+                self.apply_single(qs[0], &m);
+            }
+        }
+    }
+
+    fn apply_single(&mut self, q: usize, m: &Matrix) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        assert_eq!((m.rows(), m.cols()), (2, 2), "expected 2x2 matrix");
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let bit = 1usize << q;
+        let mut next = BTreeMap::new();
+        for (&b, &a) in &self.amps {
+            let lo = b & !bit;
+            let hi = lo | bit;
+            if b & bit == 0 {
+                let a1 = self.amps.get(&hi).copied().unwrap_or(ZERO);
+                Self::insert_pruned(&mut next, lo, m00 * a + m01 * a1);
+                Self::insert_pruned(&mut next, hi, m10 * a + m11 * a1);
+            } else if !self.amps.contains_key(&lo) {
+                // The pair was not visited from its low index.
+                Self::insert_pruned(&mut next, lo, m01 * a);
+                Self::insert_pruned(&mut next, hi, m11 * a);
+            }
+        }
+        self.amps = next;
+    }
+
+    fn phase_if<F: Fn(usize) -> bool>(&mut self, pred: F, phase: Complex) {
+        // Diagonal: zero amplitudes stay zero, so only the support moves.
+        for (&b, a) in self.amps.iter_mut() {
+            if pred(b) {
+                *a *= phase;
+            }
+        }
+    }
+
+    fn permute_in_place<F: Fn(usize) -> usize>(&mut self, f: F) {
+        // A permutation re-keys the support without changing its size.
+        let mut next = BTreeMap::new();
+        for (&b, &a) in &self.amps {
+            let t = f(b);
+            debug_assert_eq!(f(t), b, "permutation must be an involution");
+            next.insert(t, a);
+        }
+        self.amps = next;
+    }
+
+    fn store_amplitudes(&mut self, writes: &[(usize, Complex)]) {
+        for &(idx, val) in writes {
+            self.set(idx, val);
+        }
+    }
+
+    fn reflect_about(&mut self, psi: &Self) {
+        assert_eq!(self.n, psi.n, "qubit count mismatch");
+        let overlap = psi.inner(self);
+        let two_overlap = overlap * 2.0;
+        // s ← 2⟨ψ|s⟩·ψ − s over the union of supports.
+        let mut next = BTreeMap::new();
+        for (&b, &p) in &psi.amps {
+            Self::insert_pruned(&mut next, b, two_overlap * p - self.amp(b));
+        }
+        for (&b, &a) in &self.amps {
+            if !psi.amps.contains_key(&b) {
+                Self::insert_pruned(&mut next, b, -a);
+            }
+        }
+        self.amps = next;
+    }
+
+    fn add_scaled(&mut self, other: &Self, coeff: Complex) {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        for (&b, &o) in &other.amps {
+            let v = self.amp(b) + coeff * o;
+            self.set(b, v);
+        }
+    }
+
+    fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n);
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .filter(|(&b, _)| b & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    fn probability_where<F: Fn(usize) -> bool>(&self, pred: F) -> f64 {
+        self.amps
+            .iter()
+            .filter(|(&b, _)| pred(b))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        assert!(self.n <= 28, "dense distribution limited to 28 qubits");
+        let mut out = vec![0.0; 1usize << self.n];
+        for (&b, &a) in &self.amps {
+            out[b] = a.norm_sqr();
+        }
+        out
+    }
+
+    fn collapse_qubit(&mut self, q: usize, outcome: u8) {
+        let mask = 1usize << q;
+        self.amps.retain(|&b, _| u8::from(b & mask != 0) == outcome);
+        self.normalize();
+    }
+
+    fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut u: f64 = rng.gen();
+        let mut last = 0usize;
+        for (&b, &a) in &self.amps {
+            last = b;
+            u -= a.norm_sqr();
+            if u <= 0.0 {
+                return b;
+            }
+        }
+        last
+    }
+}
+
+impl std::fmt::Debug for SparseState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "SparseState({} qubits, support {}) [",
+            self.n,
+            self.amps.len()
+        )?;
+        for (&b, &a) in &self.amps {
+            if !a.is_approx_zero(1e-12) {
+                writeln!(f, "  |{:0width$b}⟩: {:?}", b, a, width = self.n)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn zero_and_basis_have_unit_support() {
+        let z = SparseState::zero(5);
+        assert_eq!(z.support(), 1);
+        assert!(z.amp(0).approx_eq(ONE, EPS));
+        let b = SparseState::basis(5, 19);
+        assert_eq!(b.support(), 1);
+        assert!(b.amp(19).approx_eq(ONE, EPS));
+        assert!((b.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_beyond_dense_limit_is_cheap() {
+        // The whole point of the sparse backend: 50 "qubits" cost one entry.
+        let s = SparseState::zero(50);
+        assert_eq!(s.support(), 1);
+        assert_eq!(s.num_qubits(), 50);
+    }
+
+    #[test]
+    fn hadamard_grows_support_geometrically() {
+        let mut s = SparseState::zero(10);
+        for q in 0..4 {
+            s.apply_gate(&Gate::H(q));
+            assert_eq!(s.support(), 1 << (q + 1));
+        }
+        assert!((s.norm() - 1.0).abs() < EPS);
+        for b in 0..16 {
+            assert!(s.amp(b).approx_eq(Complex::real(0.25), EPS));
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_bell_state() {
+        let mut sp = SparseState::zero(2);
+        let mut dv = StateVector::zero(2);
+        for g in [
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        ] {
+            sp.apply_gate(&g);
+            dv.apply(&g);
+        }
+        assert!((sp.to_dense().fidelity(&dv) - 1.0).abs() < 1e-12);
+        assert_eq!(sp.support(), 2);
+    }
+
+    #[test]
+    fn diagonal_and_permutation_ops_preserve_support() {
+        let mut s = SparseState::zero(6);
+        s.apply_hadamard_all(&[0, 1, 2]);
+        let before = s.support();
+        s.phase_if(|b| b % 3 == 1, Complex::from_phase(0.7));
+        s.permute_in_place(|b| b ^ 0b101);
+        s.apply_gate(&Gate::Cz(0, 2));
+        s.apply_gate(&Gate::X(4));
+        assert_eq!(s.support(), before);
+        assert!((s.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn collapse_shrinks_support_and_renormalizes() {
+        let mut s = SparseState::uniform(3);
+        assert_eq!(s.support(), 8);
+        s.collapse_qubit(1, 1);
+        assert_eq!(s.support(), 4);
+        assert!((s.norm() - 1.0).abs() < EPS);
+        assert_eq!(s.prob_one(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index out of range")]
+    fn basis_out_of_range_panics_at_max_width() {
+        let _ = SparseState::basis(63, usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot normalize")]
+    fn collapse_impossible_outcome_panics() {
+        let mut s = SparseState::zero(2);
+        s.collapse_qubit(0, 1);
+    }
+
+    #[test]
+    fn measurement_statistics_match_dense() {
+        let mut sp = SparseState::zero(1);
+        sp.apply_gate(&Gate::Ry(0, 2.0 * (0.3f64.sqrt()).asin()));
+        assert!((sp.prob_one(0) - 0.3).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let ones: u32 = (0..trials)
+            .map(|_| u32::from(sp.clone().measure_qubit(0, &mut rng)))
+            .sum();
+        let freq = f64::from(ones) / f64::from(trials);
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn sample_basis_distribution_uniform() {
+        let s = SparseState::uniform(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[s.sample_basis(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = f64::from(c) / 8000.0;
+            assert!((f - 0.25).abs() < 0.03, "count fraction {f}");
+        }
+    }
+
+    #[test]
+    fn inner_product_over_disjoint_support_is_zero() {
+        let a = SparseState::basis(4, 3);
+        let b = SparseState::basis(4, 12);
+        assert!(a.inner(&b).is_approx_zero(EPS));
+        assert!((a.inner(&a).norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn reflect_about_is_involutive() {
+        let psi = SparseState::uniform(3);
+        let mut s = SparseState::basis(3, 5);
+        let orig = s.clone();
+        s.reflect_about(&psi);
+        assert!((s.norm() - 1.0).abs() < EPS);
+        s.reflect_about(&psi);
+        assert!((s.to_dense().fidelity(&orig.to_dense()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn store_amplitudes_prunes_zeros() {
+        let mut s = SparseState::uniform(2);
+        s.store_amplitudes(&[(0, ZERO), (3, Complex::real(0.9))]);
+        assert_eq!(s.support(), 3);
+        assert!(s.amp(0).is_approx_zero(0.0));
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes_and_prunes() {
+        let s =
+            SparseState::from_amplitudes(vec![Complex::real(3.0), ZERO, ZERO, Complex::real(4.0)]);
+        assert_eq!(s.support(), 2);
+        assert!(s.amp(0).approx_eq(Complex::real(0.6), EPS));
+        assert!(s.amp(3).approx_eq(Complex::real(0.8), EPS));
+    }
+
+    #[test]
+    fn probabilities_match_dense_layout() {
+        let mut s = SparseState::zero(3);
+        s.apply_gate(&Gate::H(1));
+        let p = s.probabilities();
+        assert_eq!(p.len(), 8);
+        assert!((p[0] - 0.5).abs() < EPS);
+        assert!((p[2] - 0.5).abs() < EPS);
+        assert!(p[1].abs() < EPS);
+    }
+}

@@ -22,6 +22,7 @@
 //!   This is what makes the online simulation of procedure A3 run in time
 //!   linear in the input length.
 
+use crate::backend::QuantumBackend;
 use crate::complex::ONE;
 use crate::state::StateVector;
 
@@ -79,9 +80,16 @@ impl GroverLayout {
         (0..self.idx_width).collect()
     }
 
-    /// The paper's initial state `|φ_k⟩ = 2^{-k} Σ_i |i⟩|0⟩|0⟩`.
+    /// The paper's initial state `|φ_k⟩ = 2^{-k} Σ_i |i⟩|0⟩|0⟩` in the
+    /// dense reference backend.
     pub fn phi(&self) -> StateVector {
-        let mut s = StateVector::zero(self.num_qubits());
+        self.phi_in::<StateVector>()
+    }
+
+    /// `|φ_k⟩` in any backend (the sparse backend stores its `2^{idx_width}`
+    /// support entries and nothing else).
+    pub fn phi_in<B: QuantumBackend>(&self) -> B {
+        let mut s = B::zero(self.num_qubits());
         s.apply_hadamard_all(&self.index_qubits());
         s
     }
@@ -91,18 +99,18 @@ impl GroverLayout {
     // ------------------------------------------------------------------
 
     /// Applies `U_k = H^{⊗idx_width} ⊗ I ⊗ I`.
-    pub fn apply_uk(&self, s: &mut StateVector) {
+    pub fn apply_uk<B: QuantumBackend>(&self, s: &mut B) {
         s.apply_hadamard_all(&self.index_qubits());
     }
 
     /// Applies `S_k` (phase −1 on every `i ≠ 0`).
-    pub fn apply_sk(&self, s: &mut StateVector) {
+    pub fn apply_sk<B: QuantumBackend>(&self, s: &mut B) {
         let mask = self.domain() - 1;
         s.phase_if(|b| b & mask != 0, -ONE);
     }
 
     /// Applies `V_x` for the full string `x` (`x.len() = domain`).
-    pub fn apply_vx(&self, s: &mut StateVector, x: &[bool]) {
+    pub fn apply_vx<B: QuantumBackend>(&self, s: &mut B, x: &[bool]) {
         assert_eq!(x.len(), self.domain(), "string length mismatch");
         let mask = self.domain() - 1;
         let hbit = 1usize << self.h_qubit();
@@ -110,7 +118,7 @@ impl GroverLayout {
     }
 
     /// Applies `W_x` for the full string `x`.
-    pub fn apply_wx(&self, s: &mut StateVector, x: &[bool]) {
+    pub fn apply_wx<B: QuantumBackend>(&self, s: &mut B, x: &[bool]) {
         assert_eq!(x.len(), self.domain(), "string length mismatch");
         let mask = self.domain() - 1;
         let hbit = 1usize << self.h_qubit();
@@ -118,7 +126,7 @@ impl GroverLayout {
     }
 
     /// Applies `R_x` for the full string `x`.
-    pub fn apply_rx(&self, s: &mut StateVector, x: &[bool]) {
+    pub fn apply_rx<B: QuantumBackend>(&self, s: &mut B, x: &[bool]) {
         assert_eq!(x.len(), self.domain(), "string length mismatch");
         let mask = self.domain() - 1;
         let hbit = 1usize << self.h_qubit();
@@ -134,9 +142,9 @@ impl GroverLayout {
 
     /// One full Grover iteration `U_k S_k U_k V_z W_y V_x` (applied right to
     /// left, i.e. `V_x` first), as in step 3 of procedure A3.
-    pub fn apply_grover_iteration(
+    pub fn apply_grover_iteration<B: QuantumBackend>(
         &self,
-        s: &mut StateVector,
+        s: &mut B,
         x: &[bool],
         y: &[bool],
         z: &[bool],
@@ -156,7 +164,7 @@ impl GroverLayout {
     /// Streaming `V_x` fragment: the factor of `V_x` acting on index value
     /// `i` with bit `x_i = xi`. Swaps the two `h` branches of the four
     /// amplitudes whose index part is `i`.
-    pub fn apply_vx_bit(&self, s: &mut StateVector, i: usize, xi: bool) {
+    pub fn apply_vx_bit<B: QuantumBackend>(&self, s: &mut B, i: usize, xi: bool) {
         if !xi {
             return;
         }
@@ -167,42 +175,31 @@ impl GroverLayout {
         let b01 = self.basis(i, 0, 1);
         let b11 = self.basis(i, 1, 1);
         // SAFETY of logic: distinct indices by construction.
-        let amps = s.amplitudes();
-        let (a00, a10, a01, a11) = (amps[b00], amps[b10], amps[b01], amps[b11]);
-        self.write4(s, [(b00, a10), (b10, a00), (b01, a11), (b11, a01)]);
+        let (a00, a10, a01, a11) = (s.amp(b00), s.amp(b10), s.amp(b01), s.amp(b11));
+        s.store_amplitudes(&[(b00, a10), (b10, a00), (b01, a11), (b11, a01)]);
     }
 
     /// Streaming `W_x` fragment for index `i`: negates the `h = 1` branches.
-    pub fn apply_wx_bit(&self, s: &mut StateVector, i: usize, xi: bool) {
+    pub fn apply_wx_bit<B: QuantumBackend>(&self, s: &mut B, i: usize, xi: bool) {
         if !xi {
             return;
         }
         let b10 = self.basis(i, 1, 0);
         let b11 = self.basis(i, 1, 1);
-        let amps = s.amplitudes();
-        let (a10, a11) = (amps[b10], amps[b11]);
-        self.write4(s, [(b10, -a10), (b11, -a11), (b10, -a10), (b11, -a11)]);
+        let (a10, a11) = (s.amp(b10), s.amp(b11));
+        s.store_amplitudes(&[(b10, -a10), (b11, -a11)]);
     }
 
     /// Streaming `R_x` fragment for index `i`: swaps `l` on the `h = 1`
     /// branches.
-    pub fn apply_rx_bit(&self, s: &mut StateVector, i: usize, xi: bool) {
+    pub fn apply_rx_bit<B: QuantumBackend>(&self, s: &mut B, i: usize, xi: bool) {
         if !xi {
             return;
         }
         let b10 = self.basis(i, 1, 0);
         let b11 = self.basis(i, 1, 1);
-        let amps = s.amplitudes();
-        let (a10, a11) = (amps[b10], amps[b11]);
-        self.write4(s, [(b10, a11), (b11, a10), (b10, a11), (b11, a10)]);
-    }
-
-    fn write4(&self, s: &mut StateVector, writes: [(usize, crate::complex::Complex); 4]) {
-        // StateVector exposes no public mutable amplitude access; go through
-        // a tiny internal permutation/phase-free write helper implemented
-        // with phase_if/permute would be awkward, so we rebuild via a
-        // dedicated mutator.
-        s.write_amplitudes(&writes);
+        let (a10, a11) = (s.amp(b10), s.amp(b11));
+        s.store_amplitudes(&[(b10, a11), (b11, a10)]);
     }
 }
 
@@ -285,7 +282,8 @@ mod tests {
         for i in 0..8 {
             let sign = if x[i] && y[i] { -1.0 } else { 1.0 };
             assert!(
-                s.amp(l.basis(i, 0, 0)).approx_eq(Complex::real(sign * amp), EPS),
+                s.amp(l.basis(i, 0, 0))
+                    .approx_eq(Complex::real(sign * amp), EPS),
                 "index {i}"
             );
             assert!(s.amp(l.basis(i, 1, 0)).is_approx_zero(EPS));
@@ -352,9 +350,8 @@ mod tests {
                 "Vx",
                 (|l: &GroverLayout, s: &mut StateVector, x: &[bool]| l.apply_vx(s, x))
                     as fn(&GroverLayout, &mut StateVector, &[bool]),
-                (|l: &GroverLayout, s: &mut StateVector, i: usize, b: bool| {
-                    l.apply_vx_bit(s, i, b)
-                }) as fn(&GroverLayout, &mut StateVector, usize, bool),
+                (|l: &GroverLayout, s: &mut StateVector, i: usize, b: bool| l.apply_vx_bit(s, i, b))
+                    as fn(&GroverLayout, &mut StateVector, usize, bool),
             ),
             (
                 "Wx",

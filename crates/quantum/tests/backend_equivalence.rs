@@ -1,0 +1,175 @@
+//! Cross-backend equivalence: [`SparseState`] must agree with the dense
+//! [`StateVector`] reference — fidelity `≥ 1 − 1e−9` — on random circuits
+//! up to 10 qubits, on every structured operator of procedure A3, and
+//! through measurement collapse.
+
+use oqsc_quantum::{Gate, GroverLayout, QuantumBackend, SparseState, StateVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FIDELITY_EPS: f64 = 1e-9;
+
+fn random_gate(n: usize, rng: &mut StdRng) -> Gate {
+    let q = rng.gen_range(0..n);
+    let r = (q + 1 + rng.gen_range(0..n - 1)) % n;
+    match rng.gen_range(0u8..10) {
+        0 => Gate::H(q),
+        1 => Gate::T(q),
+        2 => Gate::Tdg(q),
+        3 => Gate::X(q),
+        4 => Gate::Z(q),
+        5 => Gate::S(q),
+        6 => Gate::Phase(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+        7 => Gate::Cnot {
+            control: q,
+            target: r,
+        },
+        8 => Gate::Cz(q, r),
+        _ => Gate::Swap(q, r),
+    }
+}
+
+fn assert_equivalent(sparse: &SparseState, dense: &StateVector, context: &str) {
+    let fidelity = sparse.to_dense().fidelity(dense);
+    assert!(
+        fidelity >= 1.0 - FIDELITY_EPS,
+        "{context}: fidelity {fidelity} below 1 - 1e-9"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random circuits on 2–10 qubits: both backends reach the same state.
+    #[test]
+    fn prop_random_circuits_agree(seed in any::<u64>(), n in 2usize..=10, len in 1usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse = SparseState::zero(n);
+        let mut dense = StateVector::zero(n);
+        for step in 0..len {
+            let gate = random_gate(n, &mut rng);
+            sparse.apply_gate(&gate);
+            dense.apply(&gate);
+            prop_assert!(
+                sparse.to_dense().fidelity(&dense) >= 1.0 - FIDELITY_EPS,
+                "seed {} step {} gate {:?}", seed, step, gate
+            );
+        }
+        prop_assert!((sparse.norm() - 1.0).abs() < 1e-8);
+    }
+
+    /// The structured A3 operators (block and bit mode) agree across
+    /// backends, and the diagonal/permutation ones never grow the sparse
+    /// support.
+    #[test]
+    fn prop_structured_operators_agree(seed in any::<u64>(), k in 1u32..=3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = GroverLayout::for_k(k);
+        let m = layout.domain();
+        let x: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let y: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+
+        let mut sparse: SparseState = layout.phi_in();
+        let mut dense: StateVector = layout.phi();
+        prop_assert_eq!(sparse.support(), m);
+        assert_equivalent(&sparse, &dense, "phi");
+
+        layout.apply_grover_iteration(&mut sparse, &x, &y, &x);
+        layout.apply_grover_iteration(&mut dense, &x, &y, &x);
+        assert_equivalent(&sparse, &dense, "grover iteration");
+
+        // Bit-mode streaming updates (the O(1)-per-symbol path).
+        for (i, (&xi, &yi)) in x.iter().zip(&y).enumerate() {
+            layout.apply_vx_bit(&mut sparse, i, xi);
+            layout.apply_vx_bit(&mut dense, i, xi);
+            layout.apply_wx_bit(&mut sparse, i, yi);
+            layout.apply_wx_bit(&mut dense, i, yi);
+            layout.apply_rx_bit(&mut sparse, i, xi);
+            layout.apply_rx_bit(&mut dense, i, xi);
+        }
+        assert_equivalent(&sparse, &dense, "bit-mode stream");
+        // |i⟩ ⊗ |h⟩ ⊗ |l⟩ support never exceeds index ⨯ branch count.
+        prop_assert!(sparse.support() <= 4 * m);
+    }
+
+    /// Measurement statistics and collapse agree: prob_one everywhere, and
+    /// the post-collapse states match.
+    #[test]
+    fn prop_measurement_agrees(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2usize..=6);
+        let mut sparse = SparseState::zero(n);
+        let mut dense = StateVector::zero(n);
+        for _ in 0..30 {
+            let gate = random_gate(n, &mut rng);
+            sparse.apply_gate(&gate);
+            dense.apply(&gate);
+        }
+        for q in 0..n {
+            let (ps, pd) = (sparse.prob_one(q), dense.prob_one(q));
+            prop_assert!((ps - pd).abs() < 1e-9, "qubit {}: {} vs {}", q, ps, pd);
+        }
+        // Collapse onto whichever outcome has the larger probability (so it
+        // is never numerically impossible) and compare the posteriors.
+        let q = rng.gen_range(0..n);
+        let outcome = u8::from(dense.prob_one(q) > 0.5);
+        sparse.collapse_qubit(q, outcome);
+        dense.collapse_qubit(q, outcome);
+        assert_equivalent(&sparse, &dense, "post-collapse");
+    }
+}
+
+/// Deterministic spot check: a GHZ-style circuit where the sparse support
+/// stays tiny while the dense vector is exponentially padded.
+#[test]
+fn ghz_support_is_two() {
+    let n = 10;
+    let mut sparse = SparseState::zero(n);
+    let mut dense = StateVector::zero(n);
+    sparse.apply_gate(&Gate::H(0));
+    dense.apply(&Gate::H(0));
+    for q in 1..n {
+        let g = Gate::Cnot {
+            control: 0,
+            target: q,
+        };
+        sparse.apply_gate(&g);
+        dense.apply(&g);
+    }
+    assert_eq!(sparse.support(), 2);
+    assert_eq!(QuantumBackend::support(&dense), 1 << n);
+    assert_equivalent(&sparse, &dense, "GHZ");
+}
+
+/// Sampling distributions agree between backends under a shared seed
+/// stream length (statistical check).
+#[test]
+fn sampling_distributions_agree() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sparse = SparseState::zero(3);
+    let mut dense = StateVector::zero(3);
+    for g in [
+        Gate::H(0),
+        Gate::H(1),
+        Gate::Cnot {
+            control: 1,
+            target: 2,
+        },
+    ] {
+        sparse.apply_gate(&g);
+        dense.apply(&g);
+    }
+    let trials = 8000;
+    let mut counts_sparse = [0u32; 8];
+    let mut counts_dense = [0u32; 8];
+    for _ in 0..trials {
+        counts_sparse[sparse.sample_basis(&mut rng)] += 1;
+        counts_dense[dense.sample_basis(&mut rng)] += 1;
+    }
+    for b in 0..8 {
+        let fs = f64::from(counts_sparse[b]) / trials as f64;
+        let fd = f64::from(counts_dense[b]) / trials as f64;
+        assert!((fs - fd).abs() < 0.03, "basis {b}: {fs} vs {fd}");
+    }
+}

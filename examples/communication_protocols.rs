@@ -5,11 +5,11 @@
 //! cargo run --release --example communication_protocols
 //! ```
 
+use onlineq::comm::lower_bound::disj_fn;
 use onlineq::comm::{
     bcw_bounded_error, bcw_detection_probability, communication_matrix, disj_fooling_set,
     one_way_deterministic_cost, trivial_disj_protocol, verify_fooling_set, BcwParams,
 };
-use onlineq::comm::lower_bound::disj_fn;
 use onlineq::lang::{random_member, random_nonmember, string_len};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,7 +55,9 @@ fn main() {
     }
 
     println!();
-    println!("asymptotics (analytic worst case, single run): crossover vs the n-bit trivial protocol");
+    println!(
+        "asymptotics (analytic worst case, single run): crossover vs the n-bit trivial protocol"
+    );
     for log_n in [4u32, 6, 8, 10, 12, 14, 16, 20] {
         let params = BcwParams::for_n(1usize << log_n);
         let worst = params.worst_case_single_run_qubits();
@@ -63,7 +65,11 @@ fn main() {
             "  n = 2^{log_n:>2}: {:>9} qubits vs {:>9} bits  ({})",
             worst,
             params.n,
-            if worst < params.n { "quantum wins" } else { "trivial wins" }
+            if worst < params.n {
+                "quantum wins"
+            } else {
+                "trivial wins"
+            }
         );
     }
 

@@ -15,11 +15,19 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(23);
     let k = 1u32;
 
-    println!("Definition 2.3 pipeline at k = {k} (register: 2k+2 data qubits + Toffoli ancillas)\n");
+    println!(
+        "Definition 2.3 pipeline at k = {k} (register: 2k+2 data qubits + Toffoli ancillas)\n"
+    );
 
     let non = random_nonmember(k, 1, &mut rng);
-    println!("non-member instance (one intersection): x = {:?}", bits(non.x()));
-    println!("                                        y = {:?}", bits(non.y()));
+    println!(
+        "non-member instance (one intersection): x = {:?}",
+        bits(non.x())
+    );
+    println!(
+        "                                        y = {:?}",
+        bits(non.y())
+    );
     for j in 0..non.rounds() {
         let run = run_definition_2_3(&non, j);
         println!(

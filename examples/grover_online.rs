@@ -15,8 +15,13 @@ fn main() {
     let n = 256usize;
     let m = 16usize; // √n rounds, as procedure A3 uses
 
-    println!("single-shot random-j detection over N = {n} items (paper bound: ≥ 1/4 for 0 < t < N)");
-    println!("{:>5} {:>12} {:>12} {:>10}", "t", "analytic", "simulated", "≥ 1/4?");
+    println!(
+        "single-shot random-j detection over N = {n} items (paper bound: ≥ 1/4 for 0 < t < N)"
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>10}",
+        "t", "analytic", "simulated", "≥ 1/4?"
+    );
     for t in [1usize, 2, 4, 8, 16, 64, 128, 255] {
         let mut marked = vec![false; n];
         let mut placed = 0;

@@ -19,7 +19,11 @@ fn main() {
     // A member: x and y disjoint.
     let member = random_member(k, &mut rng);
     let word = member.encode();
-    println!("instance: k = {k}, |x| = |y| = {}, input length = {}", member.m(), word.len());
+    println!(
+        "instance: k = {k}, |x| = |y| = {}, input length = {}",
+        member.m(),
+        word.len()
+    );
 
     // Corollary 3.5 machine: bounded-error recognizer of L_DISJ.
     let (verdict, _) = run_decider(LdisjRecognizer::new(4, &mut rng), &word);

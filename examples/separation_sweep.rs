@@ -31,5 +31,7 @@ fn main() {
     }
     println!();
     println!("quantum column grows like log n; classical columns like n^(1/3) = √m.");
-    println!("(lower-bound column: tape cells forced by the Theorem 3.6 reduction, c = 1, |Q| = 64)");
+    println!(
+        "(lower-bound column: tape cells forced by the Theorem 3.6 reduction, c = 1, |Q| = 64)"
+    );
 }

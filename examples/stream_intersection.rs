@@ -24,7 +24,11 @@ fn main() {
     let k = 4u32; // catalogs of m = 256 items
     let t = 1usize; // exactly one item in common — the needle
 
-    println!("two catalogs of {} items, exactly {t} shared item, streamed {}x", 1 << (2 * k), 1 << k);
+    println!(
+        "two catalogs of {} items, exactly {t} shared item, streamed {}x",
+        1 << (2 * k),
+        1 << k
+    );
     println!();
 
     let trials = 60;

@@ -21,7 +21,7 @@ fn truncation_at_every_position() {
         let prefix = &word[..cut];
         let (a1, _) = run_decider(FormatChecker::new(), prefix);
         assert!(!a1, "cut={cut} must fail the shape check");
-        assert_eq!(parse_shape(prefix).is_ok(), false, "cut={cut}");
+        assert!(parse_shape(prefix).is_err(), "cut={cut}");
         // Whole stack stays panic-free.
         let _ = run_decider(ComplementRecognizer::new(&mut rng), prefix);
         let _ = run_decider(Prop37Decider::new(&mut rng), prefix);
@@ -103,7 +103,12 @@ fn absurd_k_does_not_allocate() {
 #[test]
 fn degenerate_inputs() {
     let mut rng = StdRng::seed_from_u64(204);
-    for word in [vec![], vec![Sym::Hash], vec![Sym::One], vec![Sym::One, Sym::Hash]] {
+    for word in [
+        vec![],
+        vec![Sym::Hash],
+        vec![Sym::One],
+        vec![Sym::One, Sym::Hash],
+    ] {
         assert!(!is_in_ldisj(&word));
         let (m, _) = run_decider(LdisjRecognizer::new(2, &mut rng), &word);
         assert!(!m, "word {word:?}");

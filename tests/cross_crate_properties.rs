@@ -1,94 +1,127 @@
 //! Property-based integration tests across the workspace.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these properties run as seeded randomized loops (24 cases each, the
+//! same budget the original `ProptestConfig::with_cases(24)` used). Each
+//! failure message includes the case's seed so it can be replayed.
 
 use onlineq::core::recognizer::exact_complement_accept_probability;
 use onlineq::core::{ComplementRecognizer, Prop37Decider};
-use onlineq::lang::{is_in_ldisj, parse_shape, LdisjInstance, string_len};
-use onlineq::machine::{run_decider, StreamingDecider};
+use onlineq::lang::{is_in_ldisj, parse_shape, string_len, LdisjInstance, Sym};
+use onlineq::machine::run_decider;
 use onlineq::quantum::{Gate, StateVector};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn instance_strategy(k: u32) -> impl Strategy<Value = LdisjInstance> {
+const CASES: u64 = 24;
+
+fn random_instance(k: u32, rng: &mut StdRng) -> LdisjInstance {
     let m = string_len(k);
-    (
-        proptest::collection::vec(any::<bool>(), m),
-        proptest::collection::vec(any::<bool>(), m),
-    )
-        .prop_map(move |(x, y)| LdisjInstance::new(k, x, y))
+    let x: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+    let y: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+    LdisjInstance::new(k, x, y)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Encode → parse round-trips for arbitrary instances.
-    #[test]
-    fn prop_encode_parse_roundtrip(inst in instance_strategy(1)) {
+/// Encode → parse round-trips for arbitrary instances.
+#[test]
+fn prop_encode_parse_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_instance(1, &mut rng);
         let word = inst.encode();
         let parsed = parse_shape(&word).expect("well shaped");
-        prop_assert_eq!(parsed.to_instance().expect("consistent"), inst);
+        assert_eq!(
+            parsed.to_instance().expect("consistent"),
+            inst,
+            "seed {seed}"
+        );
     }
+}
 
-    /// The quantum recognizer NEVER accepts a member (one-sided error is a
-    /// hard invariant, for every instance and every coin).
-    #[test]
-    fn prop_one_sided_error_is_absolute(inst in instance_strategy(1), seed in any::<u64>()) {
-        prop_assume!(inst.is_member());
+/// The quantum recognizer NEVER accepts a member (one-sided error is a
+/// hard invariant, for every instance and every coin).
+#[test]
+fn prop_one_sided_error_is_absolute() {
+    let mut found = 0;
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    while found < CASES {
+        let inst = random_instance(1, &mut rng);
+        if !inst.is_member() {
+            continue;
+        }
+        found += 1;
         let word = inst.encode();
         // Exact over all (t, j): probability must be 0...
-        prop_assert!(exact_complement_accept_probability(&word) < 1e-12);
+        assert!(exact_complement_accept_probability(&word) < 1e-12);
         // ...and any sampled run agrees.
-        let mut rng = StdRng::seed_from_u64(seed);
         let (accepted, _) = run_decider(ComplementRecognizer::new(&mut rng), &word);
-        prop_assert!(!accepted);
+        assert!(!accepted);
     }
+}
 
-    /// Intersecting instances are caught with probability ≥ 1/4, whatever
-    /// the intersection pattern.
-    #[test]
-    fn prop_nonmembers_caught(inst in instance_strategy(1)) {
-        prop_assume!(!inst.is_member());
+/// Intersecting instances are caught with probability ≥ 1/4, whatever
+/// the intersection pattern.
+#[test]
+fn prop_nonmembers_caught() {
+    let mut found = 0;
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    while found < CASES {
+        let inst = random_instance(1, &mut rng);
+        if inst.is_member() {
+            continue;
+        }
+        found += 1;
         let p = exact_complement_accept_probability(&inst.encode());
-        prop_assert!(p >= 0.25 - 1e-9, "p = {}", p);
+        assert!(p >= 0.25 - 1e-9, "p = {p}");
     }
+}
 
-    /// Proposition 3.7's decider agrees with the reference on arbitrary
-    /// instances (members and non-members alike).
-    #[test]
-    fn prop_prop37_matches_reference(inst in instance_strategy(2), seed in any::<u64>()) {
-        let word = inst.encode();
+/// Proposition 3.7's decider agrees with the reference on arbitrary
+/// instances (members and non-members alike).
+#[test]
+fn prop_prop37_matches_reference() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_instance(2, &mut rng);
+        let word = inst.encode();
         let (verdict, _) = run_decider(Prop37Decider::new(&mut rng), &word);
-        prop_assert_eq!(verdict, is_in_ldisj(&word));
+        assert_eq!(verdict, is_in_ldisj(&word), "seed {seed}");
     }
+}
 
-    /// Arbitrary words over Σ never panic any online decider, and shape
-    /// acceptance equals the offline parser's.
-    #[test]
-    fn prop_arbitrary_words_are_safe(word_bits in proptest::collection::vec(0u8..3, 0..200), seed in any::<u64>()) {
-        let word: Vec<onlineq::lang::Sym> = word_bits
-            .iter()
-            .map(|&b| match b {
-                0 => onlineq::lang::Sym::Zero,
-                1 => onlineq::lang::Sym::One,
-                _ => onlineq::lang::Sym::Hash,
+/// Arbitrary words over Σ never panic any online decider, and shape
+/// acceptance equals the offline parser's.
+#[test]
+fn prop_arbitrary_words_are_safe() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..200usize);
+        let word: Vec<Sym> = (0..len)
+            .map(|_| match rng.gen_range(0u8..3) {
+                0 => Sym::Zero,
+                1 => Sym::One,
+                _ => Sym::Hash,
             })
             .collect();
-        let mut rng = StdRng::seed_from_u64(seed);
         let (a1, _) = run_decider(onlineq::core::FormatChecker::new(), &word);
-        prop_assert_eq!(a1, parse_shape(&word).is_ok());
+        assert_eq!(a1, parse_shape(&word).is_ok(), "seed {seed}");
         // The full stack handles garbage gracefully.
         let _ = run_decider(ComplementRecognizer::new(&mut rng), &word);
         let _ = run_decider(Prop37Decider::new(&mut rng), &word);
     }
+}
 
-    /// Random strict circuits keep the state normalized and serialize
-    /// round-trip through the paper's output format.
-    #[test]
-    fn prop_strict_circuits_roundtrip(ops in proptest::collection::vec((0usize..4, 0usize..4, 0u8..3), 1..40)) {
+/// Random strict circuits keep the state normalized and serialize
+/// round-trip through the paper's output format.
+#[test]
+fn prop_strict_circuits_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut sc = onlineq::quantum::StrictCircuit::new(4);
-        for (a, b, c) in ops {
-            match c {
+        for _ in 0..rng.gen_range(1..40usize) {
+            let a = rng.gen_range(0..4usize);
+            let b = rng.gen_range(0..4usize);
+            match rng.gen_range(0u8..3) {
                 0 => sc.h(a),
                 1 => sc.t(a),
                 _ => {
@@ -102,18 +135,23 @@ proptest! {
         }
         let text = sc.serialize();
         let parsed = onlineq::quantum::StrictCircuit::parse(&text, 4).expect("own output parses");
-        prop_assert_eq!(&parsed, &sc);
+        assert_eq!(&parsed, &sc, "seed {seed}");
         let state = sc.run_from_zero();
-        prop_assert!((state.norm() - 1.0).abs() < 1e-8);
+        assert!((state.norm() - 1.0).abs() < 1e-8, "seed {seed}");
     }
+}
 
-    /// Fingerprint equality testing is complete for every point (cross-
-    /// crate: lang instances through the fingerprint stack).
-    #[test]
-    fn prop_fingerprint_complete_on_instances(inst in instance_strategy(1), t in 0u64..17) {
+/// Fingerprint equality testing is complete for every point (cross-
+/// crate: lang instances through the fingerprint stack).
+#[test]
+fn prop_fingerprint_complete_on_instances() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_instance(1, &mut rng);
+        let t = rng.gen_range(0u64..17);
         let tester = onlineq::fingerprint::EqualityTester::with_point(17, t);
-        prop_assert!(tester.probably_equal(inst.x(), inst.x()));
-        prop_assert!(tester.probably_equal(inst.y(), inst.y()));
+        assert!(tester.probably_equal(inst.x(), inst.x()), "seed {seed}");
+        assert!(tester.probably_equal(inst.y(), inst.y()), "seed {seed}");
     }
 }
 
@@ -122,6 +160,9 @@ proptest! {
 fn facade_reexports_work() {
     let mut s = StateVector::zero(2);
     s.apply(&Gate::H(0));
-    s.apply(&Gate::Cnot { control: 0, target: 1 });
+    s.apply(&Gate::Cnot {
+        control: 0,
+        target: 1,
+    });
     assert!((s.prob_one(1) - 0.5).abs() < 1e-12);
 }

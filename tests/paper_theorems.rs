@@ -3,8 +3,8 @@
 use onlineq::comm::lower_bound::disj_fn;
 use onlineq::comm::{
     bcw_bounded_error, bcw_detection_probability, communication_matrix, disj_fooling_set,
-    one_way_deterministic_cost, simulate_reduction, theorem_3_6_space_bound,
-    verify_fooling_set, BcwParams,
+    one_way_deterministic_cost, simulate_reduction, theorem_3_6_space_bound, verify_fooling_set,
+    BcwParams,
 };
 use onlineq::core::classical::Prop37Decider;
 use onlineq::core::recognizer::{
