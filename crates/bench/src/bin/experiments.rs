@@ -1,20 +1,58 @@
 //! Regenerates every experiment table of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run --release -p oqsc-bench --bin experiments
+//! cargo run --release -p oqsc-bench --bin experiments [-- --workers N]
 //! ```
+//!
+//! `--workers N` sizes the batch scheduler's worker fleet for the
+//! decider sweeps (E6, F3, F4; default: the machine's available
+//! parallelism). Every table is a pure function of its seeds, so the
+//! numbers are identical at any worker count — only the wall-clock
+//! changes.
+
+use oqsc_machine::BatchRunner;
+
+fn parse_workers() -> BatchRunner {
+    let mut workers: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: experiments [--workers N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    workers.map_or_else(BatchRunner::available, BatchRunner::new)
+}
 
 fn main() {
-    println!("== Reproduction experiments: Le Gall, SPAA 2006 ==\n");
+    let runner = parse_workers();
+    println!(
+        "== Reproduction experiments: Le Gall, SPAA 2006 ({} batch worker{}) ==\n",
+        runner.workers(),
+        if runner.workers() == 1 { "" } else { "s" }
+    );
     oqsc_bench::print_e1();
     oqsc_bench::print_e2();
     oqsc_bench::print_e3();
     oqsc_bench::print_e4();
     oqsc_bench::print_e5();
-    oqsc_bench::print_e6();
+    oqsc_bench::print_e6(&runner);
     oqsc_bench::print_f1();
     oqsc_bench::print_f2();
-    oqsc_bench::print_f3();
-    oqsc_bench::print_f4();
+    oqsc_bench::print_f3(&runner);
+    oqsc_bench::print_f4(&runner);
     oqsc_bench::print_ablations();
 }

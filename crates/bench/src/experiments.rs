@@ -2,8 +2,12 @@
 //!
 //! Each `eN_*`/`fN_*` function returns structured rows (so tests can
 //! assert on them) and has a `print_*` companion used by the
-//! `experiments` binary. Monte-Carlo sweeps fan out over std scoped
-//! threads, one per parameter point.
+//! `experiments` binary. Decider sweeps (E6, F3, F4, and F1's
+//! separation table) run through the [`BatchRunner`] shard-per-worker
+//! scheduler — the `experiments` binary's `--workers N` flag sizes the
+//! fleet, and every table is a pure function of its seeds, whatever the
+//! worker count. Exact-analysis sweeps (E3) still fan out over plain
+//! scoped threads, one per parameter point.
 
 use oqsc_comm::lower_bound::{
     communication_matrix, disj_fn, disj_fooling_set, one_way_deterministic_cost,
@@ -12,11 +16,12 @@ use oqsc_comm::{simulate_reduction, theorem_3_6_space_bound, BcwParams};
 use oqsc_core::classical::{Prop37Decider, SketchDecider};
 use oqsc_core::recognizer::exact_complement_accept_probability;
 use oqsc_core::separation::{separation_table, SeparationRow};
+use oqsc_core::sweep::derive_seed;
 use oqsc_fingerprint::paper_error_bound;
 use oqsc_grover::bbht::random_j_detection_probability;
 use oqsc_grover::{averaged_success, GroverSim};
 use oqsc_lang::{encoded_len, malform, random_member, random_nonmember, string_len, Malformation};
-use oqsc_machine::{run_decider, StreamingDecider};
+use oqsc_machine::{BatchRunner, StreamingDecider};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -337,39 +342,48 @@ pub struct E6Row {
     pub correct: bool,
 }
 
-/// Measures the Proposition 3.7 decider for `k ∈ 1..=k_max` (parallel).
-pub fn e6_classical_rows(k_max: u32) -> Vec<E6Row> {
-    let ks: Vec<u32> = (1..=k_max).collect();
-    let mut rows: Vec<Option<E6Row>> = vec![None; ks.len()];
-    std::thread::scope(|scope| {
-        for (slot, &k) in rows.iter_mut().zip(&ks) {
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
-                let member = random_member(k, &mut rng);
-                let non = random_nonmember(k, 1, &mut rng);
-                let (v_m, space) = run_decider(Prop37Decider::new(&mut rng), &member.encode());
-                let (v_n, _) = run_decider(Prop37Decider::new(&mut rng), &non.encode());
-                *slot = Some(E6Row {
-                    k,
-                    n: encoded_len(k),
-                    space_bits: space,
-                    n_cbrt: (encoded_len(k) as f64).powf(1.0 / 3.0),
-                    correct: v_m && !v_n,
-                });
-            });
+/// Measures the Proposition 3.7 decider for `k ∈ 1..=k_max`: one batch
+/// of `2·k_max` decider instances (a member and a `t = 1` non-member per
+/// `k`) over the shard-per-worker scheduler. Each task rebuilds its
+/// machines from the per-`k` seed alone, so the table is worker-count
+/// independent.
+pub fn e6_classical_rows(k_max: u32, runner: &BatchRunner) -> Vec<E6Row> {
+    let report = runner.run(2 * k_max as usize, |i| {
+        let k = 1 + (i / 2) as u32;
+        let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
+        let member = random_member(k, &mut rng);
+        let non = random_nonmember(k, 1, &mut rng);
+        let first = Prop37Decider::new(&mut rng);
+        if i % 2 == 0 {
+            (first, member.encode().into_iter())
+        } else {
+            let second = Prop37Decider::new(&mut rng);
+            (second, non.encode().into_iter())
         }
     });
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+    (1..=k_max)
+        .map(|k| {
+            let member_out = &report.outcomes[2 * (k as usize - 1)];
+            let non_out = &report.outcomes[2 * (k as usize - 1) + 1];
+            E6Row {
+                k,
+                n: encoded_len(k),
+                space_bits: member_out.classical_bits,
+                n_cbrt: (encoded_len(k) as f64).powf(1.0 / 3.0),
+                correct: member_out.accept && !non_out.accept,
+            }
+        })
+        .collect()
 }
 
 /// Prints the E6 table.
-pub fn print_e6() {
+pub fn print_e6(runner: &BatchRunner) {
     println!("E6 (Proposition 3.7) — classical Θ(n^(1/3)) decider");
     println!(
         "{:>3} {:>10} {:>12} {:>10} {:>9}",
         "k", "n", "space bits", "n^(1/3)", "correct"
     );
-    for r in e6_classical_rows(7) {
+    for r in e6_classical_rows(7, runner) {
         println!(
             "{:>3} {:>10} {:>12} {:>10.1} {:>9}",
             r.k, r.n, r.space_bits, r.n_cbrt, r.correct
@@ -497,40 +511,34 @@ pub struct F3Row {
     pub bound: f64,
 }
 
-/// Monte-Carlo A2 false-accept rates (parallel over k).
-pub fn f3_fingerprint_rows(trials: usize) -> Vec<F3Row> {
-    let ks = [1u32, 2, 3];
-    let mut rows: Vec<Option<F3Row>> = vec![None; ks.len()];
-    std::thread::scope(|scope| {
-        for (slot, &k) in rows.iter_mut().zip(&ks) {
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(7000 + u64::from(k));
-                let mut false_accepts = 0usize;
-                for _ in 0..trials {
-                    let inst = random_member(k, &mut rng);
-                    let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
-                    let mut a2 = oqsc_core::ConsistencyChecker::new(&mut rng);
-                    a2.feed_all(&bad);
-                    if a2.decide() {
-                        false_accepts += 1;
-                    }
-                }
-                *slot = Some(F3Row {
-                    k,
-                    empirical: false_accepts as f64 / trials as f64,
-                    bound: 2.0 * paper_error_bound(k),
-                });
+/// Monte-Carlo A2 false-accept rates: one batched fleet of `trials`
+/// checker instances per `k`, each trial's corrupted word and evaluation
+/// point derived from `(k, trial)` alone.
+pub fn f3_fingerprint_rows(trials: usize, runner: &BatchRunner) -> Vec<F3Row> {
+    [1u32, 2, 3]
+        .iter()
+        .map(|&k| {
+            let report = runner.run(trials, |trial| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(7000 + u64::from(k), trial));
+                let inst = random_member(k, &mut rng);
+                let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
+                let a2 = oqsc_core::ConsistencyChecker::new(&mut rng);
+                (a2, bad.into_iter())
             });
-        }
-    });
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+            F3Row {
+                k,
+                empirical: report.accept_rate(),
+                bound: 2.0 * paper_error_bound(k),
+            }
+        })
+        .collect()
 }
 
 /// Prints the F3 series.
-pub fn print_f3() {
+pub fn print_f3(runner: &BatchRunner) {
     println!("F3 — A2 fingerprint false-accept rate on corrupted words (one-sided soundness)");
     println!("{:>3} {:>12} {:>16}", "k", "empirical", "2·(m−1)/2^4k");
-    for r in f3_fingerprint_rows(4000) {
+    for r in f3_fingerprint_rows(4000, runner) {
         println!("{:>3} {:>12.6} {:>16.6}", r.k, r.empirical, r.bound);
     }
     println!();
@@ -555,43 +563,35 @@ pub struct F4Row {
     pub expected_miss: f64,
 }
 
-/// Sweeps sketch budgets at `k` (parallel over budgets).
-pub fn f4_sketch_rows(k: u32, trials: usize) -> Vec<F4Row> {
+/// Sweeps sketch budgets at `k`: a batched fleet of `trials` sketch
+/// deciders per budget, each trial derived from `(budget, trial)` alone.
+pub fn f4_sketch_rows(k: u32, trials: usize, runner: &BatchRunner) -> Vec<F4Row> {
     let m = string_len(k);
     let budgets: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
         .into_iter()
         .filter(|&b| b <= m)
         .collect();
-    let mut rows: Vec<Option<F4Row>> = vec![None; budgets.len()];
-    std::thread::scope(|scope| {
-        for (slot, &budget) in rows.iter_mut().zip(&budgets) {
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(8000 + budget as u64);
-                let mut misses = 0usize;
-                let mut space = 0usize;
-                for _ in 0..trials {
-                    let non = random_nonmember(k, 1, &mut rng);
-                    let mut sketch = SketchDecider::new(budget, &mut rng);
-                    sketch.feed_all(&non.encode());
-                    space = sketch.space_bits();
-                    if sketch.decide() {
-                        misses += 1;
-                    }
-                }
-                *slot = Some(F4Row {
-                    budget,
-                    space_bits: space,
-                    miss_rate: misses as f64 / trials as f64,
-                    expected_miss: 1.0 - budget as f64 / m as f64,
-                });
+    budgets
+        .iter()
+        .map(|&budget| {
+            let report = runner.run(trials, |trial| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(8000 + budget as u64, trial));
+                let non = random_nonmember(k, 1, &mut rng);
+                let sketch = SketchDecider::new(budget, &mut rng);
+                (sketch, non.encode().into_iter())
             });
-        }
-    });
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+            F4Row {
+                budget,
+                space_bits: report.peak_classical_bits,
+                miss_rate: report.accept_rate(),
+                expected_miss: 1.0 - budget as f64 / m as f64,
+            }
+        })
+        .collect()
 }
 
 /// Prints the F4 series.
-pub fn print_f4() {
+pub fn print_f4(runner: &BatchRunner) {
     let k = 4;
     println!(
         "F4 — classical sketches below √m fail (k = {k}, m = {}, planted t = 1)",
@@ -601,7 +601,7 @@ pub fn print_f4() {
         "{:>7} {:>11} {:>11} {:>14}",
         "budget", "space bits", "miss rate", "analytic miss"
     );
-    for r in f4_sketch_rows(k, 400) {
+    for r in f4_sketch_rows(k, 400, runner) {
         println!(
             "{:>7} {:>11} {:>11.3} {:>14.3}",
             r.budget, r.space_bits, r.miss_rate, r.expected_miss
@@ -811,9 +811,30 @@ mod tests {
 
     #[test]
     fn e6_rows_correct_and_cbrt_shaped() {
-        for r in e6_classical_rows(5) {
+        for r in e6_classical_rows(5, &BatchRunner::available()) {
             assert!(r.correct);
             assert!((r.space_bits as f64) < 40.0 * r.n_cbrt + 200.0);
+        }
+    }
+
+    #[test]
+    fn batched_tables_are_worker_count_independent() {
+        let serial = BatchRunner::serial();
+        let wide = BatchRunner::new(8);
+        let e6_a = e6_classical_rows(4, &serial);
+        let e6_b = e6_classical_rows(4, &wide);
+        for (a, b) in e6_a.iter().zip(&e6_b) {
+            assert_eq!(
+                (a.k, a.space_bits, a.correct),
+                (b.k, b.space_bits, b.correct)
+            );
+        }
+        let f4_a = f4_sketch_rows(2, 50, &serial);
+        let f4_b = f4_sketch_rows(2, 50, &wide);
+        for (a, b) in f4_a.iter().zip(&f4_b) {
+            assert_eq!(a.budget, b.budget);
+            assert_eq!(a.space_bits, b.space_bits);
+            assert!((a.miss_rate - b.miss_rate).abs() < 1e-12);
         }
     }
 
@@ -827,7 +848,7 @@ mod tests {
 
     #[test]
     fn f3_empirical_below_bound() {
-        for r in f3_fingerprint_rows(500) {
+        for r in f3_fingerprint_rows(500, &BatchRunner::available()) {
             assert!(
                 r.empirical <= r.bound + 0.05,
                 "k={}: {} > {}",
@@ -840,7 +861,7 @@ mod tests {
 
     #[test]
     fn f4_miss_rate_tracks_analytic() {
-        let rows = f4_sketch_rows(3, 200);
+        let rows = f4_sketch_rows(3, 200, &BatchRunner::available());
         for r in &rows {
             assert!(
                 (r.miss_rate - r.expected_miss).abs() < 0.15,

@@ -9,8 +9,10 @@
 //!   Criterion, one bench target per experiment family.
 //!
 //! The library part holds the table-producing functions so both entry
-//! points (and the integration tests) share one implementation. Sweeps
-//! run in parallel with crossbeam scoped threads.
+//! points (and the integration tests) share one implementation. Decider
+//! sweeps run through `oqsc_machine::BatchRunner` (size the fleet with
+//! `--workers N` on the binary); `cargo bench --bench throughput`
+//! measures the batch and parallel-dense paths against the serial one.
 
 #![warn(missing_docs)]
 

@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn equality_words_accepted_for_every_point() {
         for t in 0..257u64 {
-            let (v, _) = run_decider(eq_decider(t), &syms("10110#10110"));
+            let v = run_decider(eq_decider(t), &syms("10110#10110")).accept;
             assert!(v, "t={t}");
         }
     }
@@ -224,7 +224,7 @@ mod tests {
         let mut false_accepts = 0;
         for _ in 0..300 {
             let t = rng.gen_range(0..257);
-            let (v, _) = run_decider(eq_decider(t), &syms("10110#10111"));
+            let v = run_decider(eq_decider(t), &syms("10110#10111")).accept;
             if v {
                 false_accepts += 1;
             }
@@ -236,16 +236,16 @@ mod tests {
     #[test]
     fn length_mismatch_rejected_always() {
         for t in 0..50u64 {
-            let (v, _) = run_decider(eq_decider(t), &syms("1011#10110"));
+            let v = run_decider(eq_decider(t), &syms("1011#10110")).accept;
             assert!(!v);
         }
     }
 
     #[test]
     fn malformed_split_rejected() {
-        let (v, _) = run_decider(eq_decider(3), &syms("10#1#0"));
+        let v = run_decider(eq_decider(3), &syms("10#1#0")).accept;
         assert!(!v);
-        let (v, _) = run_decider(eq_decider(3), &syms("10110"));
+        let v = run_decider(eq_decider(3), &syms("10110")).accept;
         assert!(!v, "no separator");
     }
 

@@ -162,7 +162,7 @@ mod tests {
 
     fn check(s: &str) -> bool {
         let word = from_str(s).expect("valid symbols");
-        run_decider(FormatChecker::new(), &word).0
+        run_decider(FormatChecker::new(), &word).accept
     }
 
     #[test]
@@ -189,7 +189,7 @@ mod tests {
         for k in 1..=3u32 {
             let inst = random_member(k, &mut rng);
             let word = inst.encode();
-            assert!(run_decider(FormatChecker::new(), &word).0);
+            assert!(run_decider(FormatChecker::new(), &word).accept);
             assert!(parse_shape(&word).is_ok());
             for kind in [
                 Malformation::MissingPrefix,
@@ -198,7 +198,7 @@ mod tests {
                 Malformation::Truncated,
             ] {
                 let bad = malform(&inst, kind, &mut rng);
-                let a1 = run_decider(FormatChecker::new(), &bad).0;
+                let a1 = run_decider(FormatChecker::new(), &bad).accept;
                 assert!(!a1, "k={k} {kind:?}");
                 assert!(parse_shape(&bad).is_err());
             }
@@ -209,7 +209,10 @@ mod tests {
                 Malformation::YDriftAcrossRounds,
             ] {
                 let bad = malform(&inst, kind, &mut rng);
-                assert!(run_decider(FormatChecker::new(), &bad).0, "k={k} {kind:?}");
+                assert!(
+                    run_decider(FormatChecker::new(), &bad).accept,
+                    "k={k} {kind:?}"
+                );
             }
         }
     }
@@ -220,7 +223,8 @@ mod tests {
         let mut prev_space = 0usize;
         for k in 1..=5u32 {
             let inst = random_member(k, &mut rng);
-            let (ok, space) = run_decider(FormatChecker::new(), &inst.encode());
+            let out = run_decider(FormatChecker::new(), &inst.encode());
+            let (ok, space) = (out.accept, out.classical_bits);
             assert!(ok);
             let n = encoded_len(k);
             // O(log n): generous constant 10.

@@ -210,12 +210,12 @@ mod tests {
         let inst = random_member(1, &mut rng);
         let word = inst.encode();
         for t in 0..64u64 {
-            let (ok, _) = run_decider(ConsistencyChecker::with_seed(t), &word);
+            let ok = run_decider(ConsistencyChecker::with_seed(t), &word).accept;
             assert!(ok, "seed {t}");
         }
         // Non-members that are still consistent copies also pass A2.
         let non = random_nonmember(1, 2, &mut rng);
-        let (ok, _) = run_decider(ConsistencyChecker::new(&mut rng), &non.encode());
+        let ok = run_decider(ConsistencyChecker::new(&mut rng), &non.encode()).accept;
         assert!(ok);
     }
 
@@ -232,7 +232,7 @@ mod tests {
             for _ in 0..trials {
                 let inst = random_member(2, &mut rng);
                 let bad = malform(&inst, kind, &mut rng);
-                let (ok, _) = run_decider(ConsistencyChecker::new(&mut rng), &bad);
+                let ok = run_decider(ConsistencyChecker::new(&mut rng), &bad).accept;
                 if ok {
                     false_accepts += 1;
                 }
@@ -258,10 +258,7 @@ mod tests {
         let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
         let p = fingerprint_prime(1); // 17
         let fooled = (0..p)
-            .filter(|&t| {
-                let (ok, _) = run_decider(ConsistencyChecker::with_seed(t), &bad);
-                ok
-            })
+            .filter(|&t| run_decider(ConsistencyChecker::with_seed(t), &bad).accept)
             .count();
         let rate = fooled as f64 / p as f64;
         assert!(
@@ -275,7 +272,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(83);
         for k in 1..=5u32 {
             let inst = random_member(k, &mut rng);
-            let (ok, space) = run_decider(ConsistencyChecker::new(&mut rng), &inst.encode());
+            let out = run_decider(ConsistencyChecker::new(&mut rng), &inst.encode());
+            let (ok, space) = (out.accept, out.classical_bits);
             assert!(ok);
             let n = encoded_len(k);
             assert!(
@@ -307,7 +305,7 @@ mod tests {
         // A 0-led word: A2 must not panic and simply keeps a verdict;
         // its output is only consulted when A1 passed.
         let word = oqsc_lang::token::from_str("01#11#").expect("syms");
-        let (_, space) = run_decider(ConsistencyChecker::with_seed(1), &word);
+        let space = run_decider(ConsistencyChecker::with_seed(1), &word).classical_bits;
         assert!(space < 100);
     }
 }

@@ -287,6 +287,17 @@ impl<B: QuantumBackend> StreamingDecider for GroverStreamer<B> {
         self.meter.peak_bits()
     }
 
+    fn peak_qubits(&self) -> usize {
+        // The analytic register width (2k + 2): identical in simulated and
+        // metering-only runs, which is what keeps the large-k space tables
+        // comparable to the simulated ones.
+        self.qubits()
+    }
+
+    fn peak_amplitudes(&self) -> usize {
+        self.reg.peak_support()
+    }
+
     fn snapshot(&self) -> Vec<u8> {
         // A3's configuration is *quantum*: it cannot be serialized into a
         // classical message. This is precisely why Theorem 3.6's reduction
@@ -399,7 +410,7 @@ mod tests {
         let trials = 1500;
         let detections = (0..trials)
             .filter(|_| {
-                let (passed, _) = run_decider(GroverStreamer::new(&mut rng), &inst.encode());
+                let passed = run_decider(GroverStreamer::new(&mut rng), &inst.encode()).accept;
                 !passed
             })
             .count();
@@ -423,7 +434,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(94);
         for k in 1..=4u32 {
             let inst = random_member(k, &mut rng);
-            let (passed, space) = run_decider(GroverStreamer::new(&mut rng), &inst.encode());
+            let out = run_decider(GroverStreamer::new(&mut rng), &inst.encode());
+            let (passed, space) = (out.accept, out.classical_bits);
             assert!(passed);
             let n = encoded_len(k);
             assert!(
@@ -452,7 +464,8 @@ mod tests {
     #[test]
     fn garbage_prefix_is_inert() {
         let word = oqsc_lang::token::from_str("0#101#").expect("syms");
-        let (passed, space) = run_decider(GroverStreamer::with_j_seed(0, 0), &word);
+        let out = run_decider(GroverStreamer::with_j_seed(0, 0), &word);
+        let (passed, space) = (out.accept, out.classical_bits);
         assert!(passed, "no register allocated → vacuous pass");
         assert!(space < 64);
     }

@@ -143,8 +143,9 @@ pub fn witness_obpspace_cbrt<R: Rng + ?Sized>(k_max: u32, rng: &mut R) -> ClassW
         .map(|k| {
             let member = random_member(k, rng);
             let non = random_nonmember(k, 1, rng);
-            let (vm, space) = run_decider(Prop37Decider::new(rng), &member.encode());
-            let (vn, _) = run_decider(Prop37Decider::new(rng), &non.encode());
+            let out = run_decider(Prop37Decider::new(rng), &member.encode());
+            let (vm, space) = (out.accept, out.classical_bits);
+            let vn = run_decider(Prop37Decider::new(rng), &non.encode()).accept;
             let error_condition_ok = vm == is_in_ldisj(&member.encode()) && !vn;
             WitnessRow {
                 k,

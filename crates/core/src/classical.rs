@@ -332,11 +332,11 @@ mod tests {
         for k in 1..=3u32 {
             let m = string_len(k);
             let member = random_member(k, &mut rng);
-            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &member.encode());
+            let v = run_decider(Prop37Decider::new(&mut rng), &member.encode()).accept;
             assert!(v, "k={k} member");
             for t in [1usize, m / 2, m] {
                 let non = random_nonmember(k, t, &mut rng);
-                let (v, _) = run_decider(Prop37Decider::new(&mut rng), &non.encode());
+                let v = run_decider(Prop37Decider::new(&mut rng), &non.encode()).accept;
                 assert!(!v, "k={k} t={t} non-member");
             }
         }
@@ -348,7 +348,7 @@ mod tests {
         let inst = random_member(2, &mut rng);
         for kind in ALL_MALFORMATIONS {
             let bad = malform(&inst, kind, &mut rng);
-            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &bad);
+            let v = run_decider(Prop37Decider::new(&mut rng), &bad).accept;
             // A2 is probabilistic but the corruption-catch probability at
             // k=2 is ≥ 15/16 per test; a single failure here would be rare.
             // To keep this test deterministic we only require: shape
@@ -372,7 +372,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(122);
         for k in 1..=6u32 {
             let inst = random_member(k, &mut rng);
-            let (v, space) = run_decider(Prop37Decider::new(&mut rng), &inst.encode());
+            let out = run_decider(Prop37Decider::new(&mut rng), &inst.encode());
+            let (v, space) = (out.accept, out.classical_bits);
             assert!(v);
             let buffer = 1usize << k;
             assert!(space >= buffer, "k={k}: buffer must be charged");
@@ -395,7 +396,7 @@ mod tests {
         for _ in 0..20 {
             let inst = oqsc_lang::random_pair(2, 0.12, &mut rng);
             let word = inst.encode();
-            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &word);
+            let v = run_decider(Prop37Decider::new(&mut rng), &word).accept;
             assert_eq!(v, is_in_ldisj(&word));
         }
     }
@@ -408,7 +409,7 @@ mod tests {
         for _ in 0..10 {
             let inst = oqsc_lang::random_pair(k, 0.2, &mut rng);
             let word = inst.encode();
-            let (v, _) = run_decider(SketchDecider::new(m, &mut rng), &word);
+            let v = run_decider(SketchDecider::new(m, &mut rng), &word).accept;
             assert_eq!(v, is_in_ldisj(&word));
         }
     }
@@ -422,7 +423,7 @@ mod tests {
         let mut misses = 0usize;
         for _ in 0..trials {
             let non = random_nonmember(k, 1, &mut rng);
-            let (v, _) = run_decider(SketchDecider::new(budget, &mut rng), &non.encode());
+            let v = run_decider(SketchDecider::new(budget, &mut rng), &non.encode()).accept;
             if v {
                 misses += 1;
             }
@@ -437,7 +438,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(126);
         let inst = random_member(2, &mut rng);
         for budget in [1usize, 4, 16] {
-            let (v, _) = run_decider(SketchDecider::new(budget, &mut rng), &inst.encode());
+            let v = run_decider(SketchDecider::new(budget, &mut rng), &inst.encode()).accept;
             assert!(v, "budget {budget}");
         }
     }
@@ -446,8 +447,8 @@ mod tests {
     fn sketch_space_tracks_budget() {
         let mut rng = StdRng::seed_from_u64(127);
         let inst = random_member(3, &mut rng);
-        let (_, s_small) = run_decider(SketchDecider::new(2, &mut rng), &inst.encode());
-        let (_, s_big) = run_decider(SketchDecider::new(32, &mut rng), &inst.encode());
+        let s_small = run_decider(SketchDecider::new(2, &mut rng), &inst.encode()).classical_bits;
+        let s_big = run_decider(SketchDecider::new(32, &mut rng), &inst.encode()).classical_bits;
         assert!(s_big > s_small + 100, "space {s_small} -> {s_big}");
     }
 }

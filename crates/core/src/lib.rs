@@ -18,7 +18,11 @@
 //!   and Corollary 3.5's amplified bounded-error recognizer of `L_DISJ`;
 //! * [`classical`] — Proposition 3.7's `Θ(n^{1/3})` classical decider and
 //!   the sub-√m sketches that demonstrably fail;
-//! * [`separation`] — the measured separation table (experiment F1).
+//! * [`separation`] — the measured separation table (experiment F1),
+//!   fanned out over the batch scheduler;
+//! * [`sweep`] — batched recognizer sweeps: fleets of seeded recognizer
+//!   instances driven through [`oqsc_machine::BatchRunner`], generic over
+//!   the simulation backend.
 //!
 //! ## Quickstart
 //!
@@ -31,8 +35,8 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let instance = random_member(2, &mut rng);           // k=2: strings of 16 bits
 //! let word = instance.encode();                        // 1^2#(x#y#x#)^4
-//! let (is_member, _space) = run_decider(LdisjRecognizer::new(4, &mut rng), &word);
-//! assert!(is_member);
+//! let outcome = run_decider(LdisjRecognizer::new(4, &mut rng), &word);
+//! assert!(outcome.accept);
 //! ```
 
 #![warn(missing_docs)]
@@ -46,6 +50,7 @@ pub mod emit;
 pub mod model;
 pub mod recognizer;
 pub mod separation;
+pub mod sweep;
 
 pub use a1::FormatChecker;
 pub use a2::ConsistencyChecker;
@@ -60,4 +65,11 @@ pub use model::{run_definition_2_3, validate_oqr_conditions, Definition23Run, Oq
 pub use recognizer::{
     exact_complement_accept_probability, ComplementRecognizer, LdisjRecognizer, SpaceReport,
 };
-pub use separation::{measure_separation_row, separation_table, SeparationRow};
+pub use separation::{
+    measure_separation_row, measure_separation_row_seeded, separation_rows_batched,
+    separation_table, SeparationRow,
+};
+pub use sweep::{
+    complement_accept_frequency_in, complement_sweep, complement_sweep_in, derive_seed,
+    ldisj_sweep, ldisj_sweep_in,
+};

@@ -69,11 +69,7 @@ impl ComplementRecognizer<StateVector> {
     /// [`GroverStreamer::metering_only`]). Space reports are exact;
     /// verdicts from A3 are vacuous. Used for large-`k` space tables.
     pub fn metering_only() -> Self {
-        ComplementRecognizer {
-            a1: FormatChecker::new(),
-            a2: ConsistencyChecker::with_seed(0),
-            a3: GroverStreamer::metering_only(),
-        }
+        ComplementRecognizer::metering_only_in()
     }
 }
 
@@ -93,6 +89,15 @@ impl<B: QuantumBackend> ComplementRecognizer<B> {
             a1: FormatChecker::new(),
             a2: ConsistencyChecker::with_seed(t_seed),
             a3: GroverStreamer::with_j_seed_in(j_seed, measure_seed),
+        }
+    }
+
+    /// [`ComplementRecognizer::metering_only`] over any backend.
+    pub fn metering_only_in() -> Self {
+        ComplementRecognizer {
+            a1: FormatChecker::new(),
+            a2: ConsistencyChecker::with_seed(0),
+            a3: GroverStreamer::metering_only_in(),
         }
     }
 
@@ -127,6 +132,14 @@ impl<B: QuantumBackend> StreamingDecider for ComplementRecognizer<B> {
 
     fn space_bits(&self) -> usize {
         self.space().classical_bits
+    }
+
+    fn peak_qubits(&self) -> usize {
+        self.a3.qubits()
+    }
+
+    fn peak_amplitudes(&self) -> usize {
+        self.a3.peak_amplitudes()
     }
 
     fn snapshot(&self) -> Vec<u8> {
@@ -231,6 +244,17 @@ impl<B: QuantumBackend> StreamingDecider for LdisjRecognizer<B> {
         self.space().classical_bits
     }
 
+    fn peak_qubits(&self) -> usize {
+        self.copies.iter().map(StreamingDecider::peak_qubits).sum()
+    }
+
+    fn peak_amplitudes(&self) -> usize {
+        self.copies
+            .iter()
+            .map(StreamingDecider::peak_amplitudes)
+            .sum()
+    }
+
     fn snapshot(&self) -> Vec<u8> {
         self.copies.iter().flat_map(|c| c.snapshot()).collect()
     }
@@ -302,7 +326,7 @@ mod tests {
         let exact = exact_complement_accept_probability(&word);
         let trials = 1200;
         let accepts = (0..trials)
-            .filter(|_| run_decider(ComplementRecognizer::new(&mut rng), &word).0)
+            .filter(|_| run_decider(ComplementRecognizer::new(&mut rng), &word).accept)
             .count();
         let freq = accepts as f64 / trials as f64;
         assert!((freq - exact).abs() < 0.05, "freq {freq} vs exact {exact}");
@@ -314,20 +338,20 @@ mod tests {
         // Members: always declared members.
         let member = random_member(2, &mut rng);
         for _ in 0..20 {
-            let (is_member, _) = run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode());
+            let is_member = run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode()).accept;
             assert!(is_member);
         }
         // Non-members: error rate ≤ (3/4)^4 ≈ 0.316 < 1/3.
         let non = random_nonmember(2, 1, &mut rng);
         let trials = 800;
         let wrong = (0..trials)
-            .filter(|_| run_decider(LdisjRecognizer::new(4, &mut rng), &non.encode()).0)
+            .filter(|_| run_decider(LdisjRecognizer::new(4, &mut rng), &non.encode()).accept)
             .count();
         let err = wrong as f64 / trials as f64;
         assert!(err < 0.38, "amplified error {err}");
         // And amplification helps: r = 12 should be far below r = 1's 3/4.
         let wrong12 = (0..trials)
-            .filter(|_| run_decider(LdisjRecognizer::new(12, &mut rng), &non.encode()).0)
+            .filter(|_| run_decider(LdisjRecognizer::new(12, &mut rng), &non.encode()).accept)
             .count();
         assert!(wrong12 as f64 / trials as f64 <= 0.08);
     }
@@ -344,7 +368,7 @@ mod tests {
             };
             let word = inst.encode();
             let member_votes = (0..60)
-                .filter(|_| run_decider(LdisjRecognizer::new(6, &mut rng), &word).0)
+                .filter(|_| run_decider(LdisjRecognizer::new(6, &mut rng), &word).accept)
                 .count();
             assert_eq!(member_votes > 30, is_in_ldisj(&word));
         }

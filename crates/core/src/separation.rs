@@ -9,10 +9,12 @@
 
 use crate::classical::Prop37Decider;
 use crate::recognizer::{ComplementRecognizer, SpaceReport};
+use crate::sweep::derive_seed;
 use oqsc_comm::theorem_3_6_space_bound;
-use oqsc_lang::{encoded_len, random_member, string_len};
-use oqsc_machine::StreamingDecider;
-use rand::Rng;
+use oqsc_lang::{encoded_len, random_member, string_len, LdisjInstance};
+use oqsc_machine::BatchRunner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One row of the separation table.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -39,6 +41,12 @@ impl SeparationRow {
     }
 }
 
+/// The row's member instance, derived deterministically from its seed.
+fn row_instance(k: u32, seed: u64) -> LdisjInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_member(k, &mut rng)
+}
+
 /// Measures one row of the separation table at parameter `k` (feeds one
 /// random member instance through both machines).
 ///
@@ -47,49 +55,83 @@ impl SeparationRow {
 /// no amplitude allocation — see
 /// [`crate::a3::GroverStreamer::metering_only`]).
 pub fn measure_separation_row<R: Rng + ?Sized>(k: u32, rng: &mut R) -> SeparationRow {
-    let inst = random_member(k, rng);
-
-    let mut quantum = if k <= 5 {
-        ComplementRecognizer::new(rng)
-    } else {
-        ComplementRecognizer::metering_only()
-    };
-    // Stream without materializing the word (5·10⁷ symbols at k = 8).
-    for sym in inst.stream() {
-        quantum.feed(sym);
-    }
-    let q_space = quantum.space();
-
-    let mut classical = Prop37Decider::new(rng);
-    for sym in inst.stream() {
-        classical.feed(sym);
-    }
-    let c_space = classical.space_bits();
-
-    SeparationRow {
-        k,
-        m: string_len(k),
-        n: encoded_len(k),
-        quantum: q_space,
-        classical_upper_bits: c_space,
-        classical_lower_cells: theorem_3_6_space_bound(k, 1.0, 64),
-    }
+    measure_separation_row_seeded(k, rng.gen())
 }
 
-/// Measures the whole table for `k ∈ [k_min, k_max]`.
+/// [`measure_separation_row`] as a pure function of its seed (the form
+/// the batch scheduler requires: a row's machines and instance depend on
+/// `(k, seed)` alone, never on sweep order).
+pub fn measure_separation_row_seeded(k: u32, seed: u64) -> SeparationRow {
+    let rows = separation_rows_batched(k, &[seed], &BatchRunner::serial());
+    rows.into_iter().next().expect("one row")
+}
+
+/// Measures the whole table for `k ∈ [k_min, k_max]`, fanning the rows
+/// out over the batch scheduler (one shard per worker; the table is a
+/// pure function of the caller's `rng`, whatever the worker count).
 pub fn separation_table<R: Rng + ?Sized>(
     k_min: u32,
     k_max: u32,
     rng: &mut R,
 ) -> Vec<SeparationRow> {
-    (k_min..=k_max)
-        .map(|k| measure_separation_row(k, rng))
+    let seeds: Vec<u64> = (k_min..=k_max).map(|_| rng.gen()).collect();
+    separation_rows_batched(k_min, &seeds, &BatchRunner::available())
+}
+
+/// The batched core of the separation experiment: row `i` measures
+/// `k = k_min + i` with entropy `seeds[i]`. Both machine fleets — the
+/// quantum recognizers and the Proposition 3.7 classical deciders — run
+/// through [`BatchRunner`], streaming each instance without
+/// materializing it (5·10⁷ symbols at `k = 8`).
+pub fn separation_rows_batched(
+    k_min: u32,
+    seeds: &[u64],
+    runner: &BatchRunner,
+) -> Vec<SeparationRow> {
+    let quantum = runner.run(seeds.len(), |i| {
+        let k = k_min + i as u32;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 0));
+        let decider = if k <= 5 {
+            ComplementRecognizer::new(&mut rng)
+        } else {
+            ComplementRecognizer::metering_only()
+        };
+        (decider, row_instance(k, seeds[i]).into_stream())
+    });
+    let classical = runner.run(seeds.len(), |i| {
+        let k = k_min + i as u32;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 1));
+        (
+            Prop37Decider::new(&mut rng),
+            row_instance(k, seeds[i]).into_stream(),
+        )
+    });
+    quantum
+        .outcomes
+        .iter()
+        .zip(&classical.outcomes)
+        .enumerate()
+        .map(|(i, (q, c))| {
+            let k = k_min + i as u32;
+            SeparationRow {
+                k,
+                m: string_len(k),
+                n: encoded_len(k),
+                quantum: SpaceReport {
+                    classical_bits: q.classical_bits,
+                    qubits: q.peak_qubits,
+                },
+                classical_upper_bits: c.classical_bits,
+                classical_lower_cells: theorem_3_6_space_bound(k, 1.0, 64),
+            }
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oqsc_machine::StreamingDecider;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -129,6 +171,21 @@ mod tests {
             last.classical_upper_bits,
             last.quantum.total()
         );
+    }
+
+    #[test]
+    fn batched_rows_are_worker_count_independent() {
+        let seeds = [11u64, 22, 33, 44];
+        let reference = separation_rows_batched(1, &seeds, &BatchRunner::serial());
+        assert_eq!(reference.len(), 4);
+        for workers in [2usize, 8] {
+            let rows = separation_rows_batched(1, &seeds, &BatchRunner::new(workers));
+            assert_eq!(rows, reference, "workers={workers}");
+        }
+        // And the seeded single-row API agrees with the batch.
+        for (i, row) in reference.iter().enumerate() {
+            assert_eq!(measure_separation_row_seeded(1 + i as u32, seeds[i]), *row);
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Batched recognizer sweeps: the Definition 2.3 end-to-end runs, fleet
+//! style.
+//!
+//! Every experiment that feeds many words through
+//! [`ComplementRecognizer`] / [`LdisjRecognizer`] instances goes through
+//! [`BatchRunner`] here: one fresh recognizer per word, per-index seeds
+//! derived from one base seed (SplitMix64), shards executed concurrently,
+//! results aggregated into a worker-count-independent
+//! [`BatchReport`]. Generic over the simulation backend, so the same
+//! sweep runs dense ([`StateVector`]), parallel-dense
+//! (`ParallelStateVector`) or sparse (`SparseState`) — and the
+//! cross-backend suites compare the reports.
+
+use crate::recognizer::{ComplementRecognizer, LdisjRecognizer};
+use oqsc_lang::Sym;
+use oqsc_machine::{BatchReport, BatchRunner};
+use oqsc_quantum::{QuantumBackend, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64: one cheap, well-mixed seed per instance index. Every
+/// batch task derives its entropy from `(base, index)` alone, which is
+/// what makes a sweep's [`BatchReport`] independent of worker count and
+/// shard order (the DESIGN.md §6 determinism contract).
+pub fn derive_seed(base: u64, index: usize) -> u64 {
+    let mut z = base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sweeps the Theorem 3.4 complement recognizer over `words` on the
+/// dense default backend.
+pub fn complement_sweep(words: &[Vec<Sym>], base_seed: u64, runner: &BatchRunner) -> BatchReport {
+    complement_sweep_in::<StateVector>(words, base_seed, runner)
+}
+
+/// [`complement_sweep`] over any backend.
+pub fn complement_sweep_in<B: QuantumBackend>(
+    words: &[Vec<Sym>],
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> BatchReport {
+    runner.run_words(words, |i| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
+        ComplementRecognizer::<B>::new_in(&mut rng)
+    })
+}
+
+/// Sweeps the Corollary 3.5 amplified recognizer (`reps` parallel
+/// copies) over `words` on the dense default backend.
+pub fn ldisj_sweep(
+    words: &[Vec<Sym>],
+    reps: usize,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> BatchReport {
+    ldisj_sweep_in::<StateVector>(words, reps, base_seed, runner)
+}
+
+/// [`ldisj_sweep`] over any backend.
+pub fn ldisj_sweep_in<B: QuantumBackend>(
+    words: &[Vec<Sym>],
+    reps: usize,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> BatchReport {
+    runner.run_words(words, |i| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
+        LdisjRecognizer::<B>::new_in(reps, &mut rng)
+    })
+}
+
+/// Monte-Carlo acceptance estimate of the complement recognizer on one
+/// word: `trials` independent seeded recognizers through the batch path,
+/// returning the acceptance frequency. Deterministic in `(base_seed,
+/// trials)` whatever the worker count.
+pub fn complement_accept_frequency_in<B: QuantumBackend>(
+    word: &[Sym],
+    trials: usize,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> f64 {
+    let report = runner.run(trials, |i| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
+        (
+            ComplementRecognizer::<B>::new_in(&mut rng),
+            word.iter().copied(),
+        )
+    });
+    report.accept_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizer::exact_complement_accept_probability;
+    use oqsc_lang::{random_member, random_nonmember};
+    use oqsc_quantum::{ParallelStateVector, SparseState};
+    use rand::Rng;
+
+    fn seeded_words(n: usize, seed: u64) -> Vec<Vec<Sym>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    random_member(1, &mut rng).encode()
+                } else {
+                    random_nonmember(1, 1 + rng.gen_range(0..3usize), &mut rng).encode()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_report_is_worker_count_independent() {
+        let words = seeded_words(10, 42);
+        let reference = complement_sweep(&words, 7, &BatchRunner::serial());
+        for workers in [2usize, 5, 8] {
+            let report = complement_sweep(&words, 7, &BatchRunner::new(workers));
+            assert_eq!(report, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sweep_reports_agree_across_backends() {
+        // Same seeds, three backends: identical verdict sets and space
+        // accounting except for the stored-amplitude observable, where
+        // parallel-dense ≡ dense and sparse is bounded by dense.
+        let words = seeded_words(8, 99);
+        let runner = BatchRunner::new(4);
+        let dense = complement_sweep_in::<StateVector>(&words, 3, &runner);
+        let par = complement_sweep_in::<ParallelStateVector>(&words, 3, &runner);
+        let sparse = complement_sweep_in::<SparseState>(&words, 3, &runner);
+        assert_eq!(dense, par, "parallel-dense must match dense exactly");
+        assert_eq!(sparse.accepted, dense.accepted);
+        assert_eq!(sparse.peak_qubits, dense.peak_qubits);
+        assert_eq!(sparse.peak_classical_bits, dense.peak_classical_bits);
+        assert!(sparse.peak_amplitudes <= dense.peak_amplitudes);
+        for (s, d) in sparse.outcomes.iter().zip(&dense.outcomes) {
+            assert_eq!(s.accept, d.accept);
+            assert!(s.peak_amplitudes <= d.peak_amplitudes);
+        }
+    }
+
+    #[test]
+    fn members_never_flagged_by_the_batched_sweep() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let words: Vec<Vec<Sym>> = (0..6)
+            .map(|_| random_member(1, &mut rng).encode())
+            .collect();
+        let report = complement_sweep(&words, 11, &BatchRunner::new(3));
+        assert_eq!(report.accepted, 0, "one-sided error must hold fleet-wide");
+        // And the amplified recognizer declares them all members.
+        let amplified = ldisj_sweep(&words, 4, 13, &BatchRunner::new(3));
+        assert_eq!(amplified.accepted, words.len());
+        assert!(amplified.peak_qubits >= 4 * 4, "4 copies × (2k+2) qubits");
+    }
+
+    #[test]
+    fn batched_frequency_tracks_exact_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let word = random_nonmember(1, 1, &mut rng).encode();
+        let exact = exact_complement_accept_probability(&word);
+        let freq =
+            complement_accept_frequency_in::<StateVector>(&word, 600, 123, &BatchRunner::new(4));
+        assert!((freq - exact).abs() < 0.07, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn derive_seed_spreads_indices() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls (pure function).
+        assert_eq!(derive_seed(1, 0), a);
+    }
+}

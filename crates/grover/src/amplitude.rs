@@ -50,7 +50,8 @@ impl<B: QuantumBackend> AmplitudeAmplifier<B> {
 
     /// The initial success probability `a = Σ_marked |ψ_b|²`.
     pub fn initial_success(&self) -> f64 {
-        self.psi.probability_where(|b| self.marked[b])
+        let marked = &self.marked;
+        self.psi.probability_where(|b| marked[b])
     }
 
     /// The rotation angle `θ_a = asin(√a)`.
@@ -78,7 +79,8 @@ impl<B: QuantumBackend> AmplitudeAmplifier<B> {
     /// see).
     pub fn iterate(&self, state: &mut B) {
         // Oracle: phase −1 on marked basis states.
-        state.phase_if(|b| self.marked[b], -ONE);
+        let marked = &self.marked;
+        state.phase_if(|b| marked[b], -ONE);
         // Reflection about ψ: s ← 2⟨ψ|s⟩·ψ − s.
         state.reflect_about(&self.psi);
     }
@@ -89,7 +91,8 @@ impl<B: QuantumBackend> AmplitudeAmplifier<B> {
         for _ in 0..j {
             self.iterate(&mut s);
         }
-        s.probability_where(|b| self.marked[b])
+        let marked = &self.marked;
+        s.probability_where(|b| marked[b])
     }
 }
 

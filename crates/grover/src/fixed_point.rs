@@ -70,7 +70,8 @@ impl<B: QuantumBackend> FixedPointAmplifier<B> {
         // the δ³ contraction — tests pin the numbers).
         let mut s = u.clone();
         let phase = Complex::from_phase(std::f64::consts::PI / 3.0);
-        s.phase_if(|b| self.marked[b], phase);
+        let marked = &self.marked;
+        s.phase_if(|b| marked[b], phase);
         // U_m = U_{m-1} R_s(π/3) U_{m-1}† R_f(π/3) U_{m-1}:
         // the middle operator R_s(π/3) acts as
         // I + (e^{iπ/3} − 1)|u⟩⟨u| in state space.

@@ -125,6 +125,13 @@ impl LdisjInstance {
         (0..encoded_len(self.k)).map(move |p| self.symbol_at(p).expect("within length"))
     }
 
+    /// [`Self::stream`], but consuming the instance: an owning iterator
+    /// with no borrow, which is what a batch task factory must hand to a
+    /// worker thread together with a fresh decider.
+    pub fn into_stream(self) -> impl Iterator<Item = Sym> {
+        (0..encoded_len(self.k)).map(move |p| self.symbol_at(p).expect("within length"))
+    }
+
     /// Encodes to the input word `1^k # (x#y#x#)^{2^k}`.
     pub fn encode(&self) -> Vec<Sym> {
         let mut out = Vec::with_capacity(encoded_len(self.k));

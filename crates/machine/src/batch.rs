@@ -1,0 +1,266 @@
+//! Batched streaming: many decider instances, one scheduler.
+//!
+//! Every experiment that sweeps `L_DISJ` instances (the Definition 2.3
+//! end-to-end runs, the separation tables, the Monte-Carlo error-rate
+//! estimates) used to drive one [`StreamingDecider`] at a time, leaving
+//! all but one core idle. [`BatchRunner`] drives a whole fleet: the
+//! instance index space is cut into one index-strided **shard per
+//! worker** (worker `w` owns indices `w, w+W, w+2W, …`, so sweeps whose
+//! per-task cost grows with the index stay balanced), each worker runs
+//! its shard serially on a scoped thread, and the per-instance
+//! [`RunOutcome`]s land in index-order slots, from which the fleet-wide
+//! aggregates are folded serially.
+//!
+//! **Determinism contract** (DESIGN.md §6): a [`BatchReport`] depends
+//! only on the task factory, never on the worker count or shard
+//! boundaries. Two ingredients make this hold:
+//!
+//! 1. the factory builds instance `i`'s decider *and* its entropy from
+//!    `i` alone (callers derive per-index seeds; the factory is `Sync`
+//!    and must not share mutable state across calls);
+//! 2. results are written into slot `i` and aggregated by increasing
+//!    index, so shard order cannot leak into the report.
+//!
+//! The integration suite pins this: 1, 2 and 8 workers over the same
+//! seeded instance set produce `==`-identical reports.
+
+use crate::streaming::{run_decider_stream, RunOutcome, StreamingDecider};
+use oqsc_lang::Sym;
+
+/// A shard-per-worker scheduler driving many [`StreamingDecider`]
+/// instances concurrently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl BatchRunner {
+    /// A runner with `workers` concurrent workers (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        BatchRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The single-threaded runner (the reference the determinism contract
+    /// compares everything else against).
+    pub fn serial() -> Self {
+        BatchRunner::new(1)
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn available() -> Self {
+        BatchRunner::new(oqsc_quantum::par::available_threads())
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Drives `count` decider instances. `task(i)` builds instance `i`:
+    /// a fresh decider plus the symbol stream to feed it (materialized
+    /// word or lazy generator — anything `IntoIterator<Item = Sym>`).
+    ///
+    /// The factory must be deterministic per index (derive any randomness
+    /// from `i`); see the module docs for the determinism contract.
+    pub fn run<D, W, F>(&self, count: usize, task: F) -> BatchReport
+    where
+        D: StreamingDecider,
+        W: IntoIterator<Item = Sym>,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        let workers = self.workers.min(count.max(1));
+        let run_one = |idx: usize| {
+            let (decider, word) = task(idx);
+            run_decider_stream(decider, word)
+        };
+        if workers <= 1 {
+            return BatchReport::from_outcomes((0..count).map(run_one).collect());
+        }
+        // Index-strided shards: worker `w` owns indices w, w+W, w+2W, …
+        // Sweeps whose per-task cost grows with the index (the separation
+        // table's roughly doubles per k) stay balanced, unlike contiguous
+        // shards where the last worker would own the expensive tail. The
+        // assignment is still a pure function of (index, worker count),
+        // and results are re-scattered into index-order slots, so the
+        // report never sees the schedule.
+        let mut slots: Vec<Option<RunOutcome>> = vec![None; count];
+        let sharded: Vec<Vec<(usize, RunOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        (w..count)
+                            .step_by(workers)
+                            .map(|idx| (idx, run_one(idx)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        for (idx, outcome) in sharded.into_iter().flatten() {
+            slots[idx] = Some(outcome);
+        }
+        BatchReport::from_outcomes(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every shard slot filled"))
+                .collect(),
+        )
+    }
+
+    /// Convenience: drives one decider per materialized word.
+    pub fn run_words<D, F>(&self, words: &[Vec<Sym>], make: F) -> BatchReport
+    where
+        D: StreamingDecider,
+        F: Fn(usize) -> D + Sync,
+    {
+        self.run(words.len(), |i| (make(i), words[i].iter().copied()))
+    }
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::available()
+    }
+}
+
+/// Aggregated result of a batched sweep: the per-instance outcomes in
+/// index order plus the fleet-wide statistics the space experiments
+/// record. Worker-count independent by construction (see module docs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per-instance outcomes, indexed exactly like the submitted tasks.
+    pub outcomes: Vec<RunOutcome>,
+    /// How many instances accepted.
+    pub accepted: usize,
+    /// Fleet-wide peak classical work space, in bits.
+    pub peak_classical_bits: usize,
+    /// Fleet-wide peak quantum register width, in qubits.
+    pub peak_qubits: usize,
+    /// Fleet-wide peak stored amplitudes (the `MeteredRegister` memory
+    /// observable).
+    pub peak_amplitudes: usize,
+}
+
+impl BatchReport {
+    /// Folds per-instance outcomes (in index order) into the fleet view.
+    pub fn from_outcomes(outcomes: Vec<RunOutcome>) -> Self {
+        let mut report = BatchReport {
+            outcomes,
+            ..BatchReport::default()
+        };
+        for o in &report.outcomes {
+            report.accepted += usize::from(o.accept);
+            report.peak_classical_bits = report.peak_classical_bits.max(o.classical_bits);
+            report.peak_qubits = report.peak_qubits.max(o.peak_qubits);
+            report.peak_amplitudes = report.peak_amplitudes.max(o.peak_amplitudes);
+        }
+        report
+    }
+
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Fraction of instances that accepted (0 on an empty batch).
+    pub fn accept_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.accepted as f64 / self.outcomes.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::{run_decider, StoreEverything};
+    use oqsc_lang::token::from_str;
+
+    fn words() -> Vec<Vec<Sym>> {
+        ["1#01#", "0#0#", "111#", "0000#", "1#1#1#", "01#10#"]
+            .iter()
+            .map(|s| from_str(s).expect("ok"))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_run_decider() {
+        let words = words();
+        let report = BatchRunner::new(3).run_words(&words, |_| {
+            StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One))
+        });
+        assert_eq!(report.len(), words.len());
+        for (i, word) in words.iter().enumerate() {
+            let single = run_decider(
+                StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One)),
+                word,
+            );
+            assert_eq!(report.outcomes[i], single, "instance {i}");
+        }
+        assert_eq!(report.accepted, 4);
+        assert!((report.accept_rate() - 4.0 / 6.0).abs() < 1e-12);
+        // Fleet peak = the longest word's linear space.
+        let longest = words.iter().map(Vec::len).max().expect("nonempty");
+        assert_eq!(report.peak_classical_bits, 2 * longest);
+        assert_eq!(report.peak_qubits, 0);
+    }
+
+    #[test]
+    fn report_is_worker_count_independent() {
+        let words = words();
+        let reference = BatchRunner::serial().run_words(&words, |_| {
+            StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One))
+        });
+        for workers in [2usize, 3, 8, 64] {
+            let report = BatchRunner::new(workers).run_words(&words, |_| {
+                StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One))
+            });
+            assert_eq!(report, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lazy_streams_feed_without_materializing() {
+        // Generate each word on the fly from the index.
+        let report = BatchRunner::new(2).run(5, |i| {
+            (
+                StoreEverything::new(move |w: &[Sym]| w.len() == i),
+                (0..i).map(|_| Sym::Zero),
+            )
+        });
+        assert_eq!(report.len(), 5);
+        assert_eq!(report.accepted, 5, "every generated stream has length i");
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let report = BatchRunner::new(4).run_words(&[], |_| StoreEverything::new(|_: &[Sym]| true));
+        assert!(report.is_empty());
+        assert_eq!(report.accept_rate(), 0.0);
+        assert_eq!(report.peak_classical_bits, 0);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_one() {
+        assert_eq!(BatchRunner::new(0).workers(), 1);
+        assert!(BatchRunner::available().workers() >= 1);
+        assert_eq!(
+            BatchRunner::default().workers(),
+            BatchRunner::available().workers()
+        );
+    }
+}

@@ -11,7 +11,12 @@
 //! * [`streaming`] — the [`StreamingDecider`](streaming::StreamingDecider)
 //!   trait every concrete online algorithm implements (procedures A1/A2,
 //!   the Proposition 3.7 algorithm, the sketches), with configuration
-//!   snapshots for the communication reduction;
+//!   snapshots for the communication reduction and the full
+//!   [`RunOutcome`](streaming::RunOutcome) space accounting;
+//! * [`batch`] — the [`BatchRunner`](batch::BatchRunner): many decider
+//!   instances driven concurrently over a shard-per-worker scheduler,
+//!   aggregated into a worker-count-independent
+//!   [`BatchReport`](batch::BatchReport);
 //! * [`register`] — the [`MeteredRegister`](register::MeteredRegister)
 //!   quantum-register handle making quantum streaming drivers generic over
 //!   any [`oqsc_quantum::QuantumBackend`];
@@ -19,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod builder;
 pub mod counter;
 pub mod nerode;
@@ -27,14 +33,17 @@ pub mod register;
 pub mod space;
 pub mod streaming;
 
+pub use batch::{BatchReport, BatchRunner};
 pub use builder::{a1_shape_machine, OptmBuilder};
 pub use counter::power_of_two_length_machine;
 pub use nerode::{mini_disj_space_floor, nerode_classes_at, streaming_space_floor_bits};
 pub use optm::{
     fact_2_2_log2_configs, machine_contains_one, machine_even_ones, machine_fair_coin,
-    machine_first_equals_last, Action, Configuration, InputMove, Optm, RunOutcome, State, TapeSym,
-    WorkMove,
+    machine_first_equals_last, Action, Configuration, InputMove, Optm, OptmRunOutcome, State,
+    TapeSym, WorkMove,
 };
 pub use register::MeteredRegister;
 pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
-pub use streaming::{run_decider, StoreEverything, StreamingDecider};
+pub use streaming::{
+    run_decider, run_decider_stream, RunOutcome, StoreEverything, StreamingDecider,
+};

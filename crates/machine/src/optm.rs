@@ -134,7 +134,7 @@ impl Configuration {
 
 /// Result of a sampled run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RunOutcome {
+pub struct OptmRunOutcome {
     /// Whether the machine halted in an accepting state.
     pub accepted: bool,
     /// Whether the machine halted at all within the step budget. A
@@ -245,7 +245,12 @@ impl Optm {
     }
 
     /// Samples one run.
-    pub fn run<R: Rng + ?Sized>(&self, input: &[Sym], rng: &mut R, max_steps: usize) -> RunOutcome {
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        input: &[Sym],
+        rng: &mut R,
+        max_steps: usize,
+    ) -> OptmRunOutcome {
         let mut cfg = Configuration::initial(self.start);
         let mut peak = 0usize;
         for step in 0..max_steps {
@@ -253,7 +258,7 @@ impl Optm {
             let key = self.scan(&cfg, input);
             let branches = match self.transitions.get(&(cfg.state, key.0, key.1)) {
                 None => {
-                    return RunOutcome {
+                    return OptmRunOutcome {
                         accepted: self.is_accepting(cfg.state),
                         halted: true,
                         steps: step,
@@ -276,7 +281,7 @@ impl Optm {
                 // Probability mass < 1: the residual branch means "halt
                 // and reject" (models machines that stop without accepting).
                 None => {
-                    return RunOutcome {
+                    return OptmRunOutcome {
                         accepted: false,
                         halted: true,
                         steps: step,
@@ -285,7 +290,7 @@ impl Optm {
                 }
             }
         }
-        RunOutcome {
+        OptmRunOutcome {
             accepted: false,
             halted: false,
             steps: max_steps,

@@ -27,6 +27,22 @@ pub trait StreamingDecider {
     /// the worst coin flips; deciders must meter their own worst case).
     fn space_bits(&self) -> usize;
 
+    /// Peak quantum-register width in qubits over the run so far. Purely
+    /// classical deciders report 0 (the default); quantum streaming
+    /// drivers forward their [`crate::MeteredRegister::peak_qubits`].
+    fn peak_qubits(&self) -> usize {
+        0
+    }
+
+    /// Peak number of stored amplitudes over the run so far (`2^qubits`
+    /// for dense backends, the support high-water for sparse ones).
+    /// Purely classical deciders report 0 (the default); quantum
+    /// streaming drivers forward
+    /// [`crate::MeteredRegister::peak_support`].
+    fn peak_amplitudes(&self) -> usize {
+        0
+    }
+
     /// Serializes the current configuration (work-tape contents + control
     /// state). Used by the communication reduction of Theorem 3.6; the
     /// byte length bounds the message size.
@@ -40,11 +56,56 @@ pub trait StreamingDecider {
     }
 }
 
-/// Runs a decider over a word and returns `(verdict, peak_space_bits)`.
-pub fn run_decider<D: StreamingDecider>(mut decider: D, word: &[Sym]) -> (bool, usize) {
-    decider.feed_all(word);
-    let verdict = decider.decide();
-    (verdict, decider.space_bits())
+/// Everything one decider run reports: the verdict plus the full
+/// Definition 2.3 space accounting — classical bits *and* the quantum
+/// register's metered peaks (0 for classical deciders). Replaces the old
+/// bare `(bool, usize)` return of [`run_decider`], which silently dropped
+/// the [`crate::MeteredRegister`] report of quantum-backed deciders.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// End-of-stream verdict: `true` = accept.
+    pub accept: bool,
+    /// Peak classical work space, in bits.
+    pub classical_bits: usize,
+    /// Peak quantum register width, in qubits (0 if never allocated).
+    pub peak_qubits: usize,
+    /// Peak stored amplitudes (`2^qubits` dense, support high-water
+    /// sparse; 0 if no register was allocated).
+    pub peak_amplitudes: usize,
+}
+
+impl RunOutcome {
+    /// Total space on the single-axis Definition 2.3 scale: classical
+    /// bits plus qubits.
+    pub fn total_space(&self) -> usize {
+        self.classical_bits + self.peak_qubits
+    }
+}
+
+/// Runs a decider over any symbol stream (materialized or generated
+/// lazily) and returns the full [`RunOutcome`]. The one implementation
+/// of "feed, decide, meter" — [`run_decider`] and the batch scheduler
+/// both delegate here.
+pub fn run_decider_stream<D, W>(mut decider: D, word: W) -> RunOutcome
+where
+    D: StreamingDecider,
+    W: IntoIterator<Item = Sym>,
+{
+    for sym in word {
+        decider.feed(sym);
+    }
+    let accept = decider.decide();
+    RunOutcome {
+        accept,
+        classical_bits: decider.space_bits(),
+        peak_qubits: decider.peak_qubits(),
+        peak_amplitudes: decider.peak_amplitudes(),
+    }
+}
+
+/// Runs a decider over a word and returns the full [`RunOutcome`].
+pub fn run_decider<D: StreamingDecider>(decider: D, word: &[Sym]) -> RunOutcome {
+    run_decider_stream(decider, word.iter().copied())
 }
 
 /// A trivial decider that stores the entire input and applies an arbitrary
@@ -107,17 +168,20 @@ mod tests {
     fn store_everything_applies_predicate() {
         let word = from_str("1#01#").expect("ok");
         let decider = StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One));
-        let (verdict, space) = run_decider(decider, &word);
-        assert!(verdict);
-        assert_eq!(space, 2 * word.len());
+        let out = run_decider(decider, &word);
+        assert!(out.accept);
+        assert_eq!(out.classical_bits, 2 * word.len());
+        // Classical deciders report no quantum resources.
+        assert_eq!(out.peak_qubits, 0);
+        assert_eq!(out.peak_amplitudes, 0);
+        assert_eq!(out.total_space(), out.classical_bits);
     }
 
     #[test]
     fn store_everything_rejects() {
         let word = from_str("0#0#").expect("ok");
         let decider = StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One));
-        let (verdict, _) = run_decider(decider, &word);
-        assert!(!verdict);
+        assert!(!run_decider(decider, &word).accept);
     }
 
     #[test]

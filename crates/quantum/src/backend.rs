@@ -114,7 +114,10 @@ pub trait QuantumBackend: Clone + std::fmt::Debug {
 
     /// Multiplies the amplitude of every basis state satisfying `pred` by
     /// `phase` (structured diagonal operators: `S_k`, `W_x`, oracles).
-    fn phase_if<F: Fn(usize) -> bool>(&mut self, pred: F, phase: Complex);
+    ///
+    /// `pred` is `Sync` so parallel backends may evaluate it from several
+    /// worker threads at once.
+    fn phase_if<F: Fn(usize) -> bool + Sync>(&mut self, pred: F, phase: Complex);
 
     /// Applies a basis-state permutation given as an involution
     /// (`V_x`, `R_x`, X/CNOT-style classical reversible maps).
@@ -141,7 +144,10 @@ pub trait QuantumBackend: Clone + std::fmt::Debug {
 
     /// Total probability of the basis states satisfying `pred` (marked-set
     /// success statistics).
-    fn probability_where<F: Fn(usize) -> bool>(&self, pred: F) -> f64;
+    ///
+    /// `pred` is `Sync` so parallel backends may evaluate it from several
+    /// worker threads at once.
+    fn probability_where<F: Fn(usize) -> bool + Sync>(&self, pred: F) -> f64;
 
     /// The full distribution over basis states.
     fn probabilities(&self) -> Vec<f64>;
@@ -159,6 +165,97 @@ pub trait QuantumBackend: Clone + std::fmt::Debug {
 
     /// Samples a full computational-basis measurement without collapsing.
     fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize;
+}
+
+/// How a named gate acts on the computational basis — the **single**
+/// classification table every backend's `apply_gate` dispatches on.
+/// The diagonal phase constants and permutation masks live here exactly
+/// once; the cross-backend bit-for-bit contract (DESIGN.md §6) depends
+/// on the dense, sparse and parallel backends agreeing on them, so they
+/// must not be re-derived per backend.
+pub(crate) enum GateKernel {
+    /// Multiply the amplitude of every basis state with
+    /// `b & mask == mask` by `phase` (Z, S, S†, T, T†, Phase, CZ).
+    Diagonal {
+        /// Bits that must all be set for the phase to apply.
+        mask: usize,
+        /// The unimodular factor.
+        phase: Complex,
+    },
+    /// The involution `b ↦ b ^ xor` on basis states with
+    /// `b & controls == controls` (X, CNOT, Toffoli; `controls = 0`
+    /// means unconditional).
+    ControlledFlip {
+        /// Bits that must all be set for the flip to apply.
+        controls: usize,
+        /// Target bits to flip.
+        xor: usize,
+    },
+    /// Exchange the values of two qubits (SWAP).
+    SwapBits {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Arbitrary single-qubit unitary on `q`; apply via
+    /// [`Gate::local_matrix`] (H, Y, Ry, …).
+    Single {
+        /// Target qubit.
+        q: usize,
+    },
+}
+
+/// Classifies a named gate into its basis-action kernel.
+pub(crate) fn gate_kernel(gate: &Gate) -> GateKernel {
+    match *gate {
+        Gate::X(q) => GateKernel::ControlledFlip {
+            controls: 0,
+            xor: 1usize << q,
+        },
+        Gate::Z(q) => GateKernel::Diagonal {
+            mask: 1usize << q,
+            phase: -crate::complex::ONE,
+        },
+        Gate::S(q) => GateKernel::Diagonal {
+            mask: 1usize << q,
+            phase: Complex::new(0.0, 1.0),
+        },
+        Gate::Sdg(q) => GateKernel::Diagonal {
+            mask: 1usize << q,
+            phase: Complex::new(0.0, -1.0),
+        },
+        Gate::T(q) => GateKernel::Diagonal {
+            mask: 1usize << q,
+            phase: Complex::from_phase(std::f64::consts::FRAC_PI_4),
+        },
+        Gate::Tdg(q) => GateKernel::Diagonal {
+            mask: 1usize << q,
+            phase: Complex::from_phase(-std::f64::consts::FRAC_PI_4),
+        },
+        Gate::Phase(q, theta) => GateKernel::Diagonal {
+            mask: 1usize << q,
+            phase: Complex::from_phase(theta),
+        },
+        Gate::Cz(a, b) => GateKernel::Diagonal {
+            mask: (1usize << a) | (1usize << b),
+            phase: -crate::complex::ONE,
+        },
+        Gate::Cnot { control, target } => GateKernel::ControlledFlip {
+            controls: 1usize << control,
+            xor: 1usize << target,
+        },
+        Gate::Toffoli { c1, c2, target } => GateKernel::ControlledFlip {
+            controls: (1usize << c1) | (1usize << c2),
+            xor: 1usize << target,
+        },
+        Gate::Swap(a, b) => GateKernel::SwapBits { a, b },
+        _ => {
+            let qs = gate.qubits();
+            debug_assert_eq!(qs.len(), 1, "multi-qubit fallthrough");
+            GateKernel::Single { q: qs[0] }
+        }
+    }
 }
 
 impl QuantumBackend for StateVector {
@@ -222,7 +319,7 @@ impl QuantumBackend for StateVector {
         StateVector::apply_hadamard_all(self, qs)
     }
 
-    fn phase_if<F: Fn(usize) -> bool>(&mut self, pred: F, phase: Complex) {
+    fn phase_if<F: Fn(usize) -> bool + Sync>(&mut self, pred: F, phase: Complex) {
         StateVector::phase_if(self, pred, phase)
     }
 
@@ -246,13 +343,8 @@ impl QuantumBackend for StateVector {
         StateVector::prob_one(self, q)
     }
 
-    fn probability_where<F: Fn(usize) -> bool>(&self, pred: F) -> f64 {
-        self.amplitudes()
-            .iter()
-            .enumerate()
-            .filter(|(b, _)| pred(*b))
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+    fn probability_where<F: Fn(usize) -> bool + Sync>(&self, pred: F) -> f64 {
+        crate::par::chunked_prob_where(self.amplitudes(), pred)
     }
 
     fn probabilities(&self) -> Vec<f64> {

@@ -20,6 +20,11 @@
 //!   gate application and `O(1)`-time streaming structured updates;
 //! * [`sparse`] — the support-proportional simulator for the structured
 //!   states of procedure A3 (amplitudes keyed by basis index);
+//! * [`par`] — vendored scoped-thread work splitting plus the chunked
+//!   floating-point summation contract all dense reductions follow;
+//! * [`parallel`] — the parallel dense backend ([`ParallelStateVector`]):
+//!   dense semantics bit-for-bit, `O(2^n)` passes split across scoped
+//!   worker threads above a size threshold;
 //! * [`circuit`] — circuit IR, plus the paper's exact `a#b#c` output-tape
 //!   format (serializer and validating parser);
 //! * [`structured`] — the operators `U_k`, `S_k`, `V_x`, `W_x`, `R_x` of
@@ -43,6 +48,8 @@ pub mod diagnostics;
 pub mod gate;
 pub mod matrix;
 pub mod optimize;
+pub mod par;
+pub mod parallel;
 pub mod sparse;
 pub mod state;
 pub mod structured;
@@ -55,6 +62,7 @@ pub use diagnostics::{chi_squared_quantile_bound, SampleHistogram};
 pub use gate::Gate;
 pub use matrix::Matrix;
 pub use optimize::{optimize_circuit, optimize_gates, optimize_strict, OptimizeStats};
+pub use parallel::{ParallelStateVector, PARALLEL_THRESHOLD};
 pub use sparse::SparseState;
 pub use state::StateVector;
 pub use structured::GroverLayout;

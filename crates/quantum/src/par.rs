@@ -1,0 +1,301 @@
+//! Vendored work-splitting helpers for the parallel dense backend.
+//!
+//! The build environment has no registry access, so instead of rayon this
+//! module provides the two primitives the concurrency layer (DESIGN.md §6)
+//! actually needs, on plain [`std::thread::scope`]:
+//!
+//! * [`for_each_chunk_mut`] — run a closure over disjoint contiguous,
+//!   boundary-aligned chunks of a mutable slice, one scoped thread per
+//!   chunk;
+//! * the *chunked reduction* family ([`chunked_norm_sqr`],
+//!   [`chunked_inner`], [`chunked_prob_where`] and their `par_*`
+//!   counterparts) — floating-point sums accumulated per
+//!   [`REDUCE_CHUNK`]-sized block and folded in block order.
+//!
+//! The chunked reductions define the workspace's **summation contract**:
+//! the serial dense backend and the parallel dense backend both sum
+//! per-block partials in increasing block order, so their results are
+//! bit-for-bit identical regardless of how many threads computed the
+//! partials. This is what makes the "parallel-dense matches dense
+//! digit-for-digit" equivalence pin (tests/backend_pipelines.rs) an exact
+//! equality rather than a tolerance.
+
+use crate::complex::{Complex, ZERO};
+
+/// Block size (in elements) of the chunked floating-point reductions.
+/// A power of two, so block boundaries always align with the `2^q` strides
+/// of single-qubit gate application.
+pub const REDUCE_CHUNK: usize = 1 << 12;
+
+/// Number of worker threads the parallel backend uses by default: the
+/// machine's available parallelism (1 when it cannot be queried).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(offset, chunk)` over disjoint contiguous chunks of `data`, one
+/// scoped thread per chunk, with every chunk boundary a multiple of
+/// `align` elements. With `threads <= 1` (or when the slice is shorter
+/// than one aligned block per thread) the call degrades to a single
+/// in-place invocation — no thread is spawned.
+///
+/// `offset` is the chunk's starting index in `data`, so predicates over
+/// basis indices stay correct inside a chunk.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], align: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let align = align.max(1);
+    let blocks = len / align;
+    if threads <= 1 || blocks <= 1 {
+        f(0, data);
+        return;
+    }
+    let per_chunk = blocks.div_ceil(threads) * align;
+    std::thread::scope(|scope| {
+        // Spawn workers for all chunks but the last, which runs inline on
+        // the calling thread — it would otherwise idle inside the scope,
+        // and one saved spawn is measurable at dimensions just above the
+        // serial threshold.
+        let mut chunks: Vec<(usize, &mut [T])> = data
+            .chunks_mut(per_chunk)
+            .enumerate()
+            .map(|(i, c)| (i * per_chunk, c))
+            .collect();
+        let last = chunks.pop();
+        for (offset, chunk) in chunks {
+            let f = &f;
+            scope.spawn(move || f(offset, chunk));
+        }
+        if let Some((offset, chunk)) = last {
+            f(offset, chunk);
+        }
+    });
+}
+
+/// Serial per-block partial sums of `term(index, element)` over
+/// [`REDUCE_CHUNK`]-sized blocks, folded in block order. The canonical
+/// (reference) summation every backend agrees with.
+pub fn chunked_sum<T, F: Fn(usize, &T) -> f64>(data: &[T], term: F) -> f64 {
+    let mut total = 0.0;
+    for (ci, chunk) in data.chunks(REDUCE_CHUNK).enumerate() {
+        let base = ci * REDUCE_CHUNK;
+        let mut partial = 0.0;
+        for (i, t) in chunk.iter().enumerate() {
+            partial += term(base + i, t);
+        }
+        total += partial;
+    }
+    total
+}
+
+/// Parallel version of [`chunked_sum`]: the per-block partials are
+/// computed on up to `threads` scoped threads, then folded serially in
+/// block order — bit-for-bit equal to the serial result.
+pub fn par_chunked_sum<T, F>(data: &[T], threads: usize, term: F) -> f64
+where
+    T: Sync,
+    F: Fn(usize, &T) -> f64 + Sync,
+{
+    if threads <= 1 || data.len() <= REDUCE_CHUNK {
+        return chunked_sum(data, term);
+    }
+    let blocks = data.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f64; blocks];
+    let blocks_per_thread = blocks.div_ceil(threads);
+    let span = blocks_per_thread * REDUCE_CHUNK;
+    let fill_group = |group_idx: usize, slot_group: &mut [f64], block_group: &[T]| {
+        for (bi, (slot, chunk)) in slot_group
+            .iter_mut()
+            .zip(block_group.chunks(REDUCE_CHUNK))
+            .enumerate()
+        {
+            let base = group_idx * span + bi * REDUCE_CHUNK;
+            let mut partial = 0.0;
+            for (i, t) in chunk.iter().enumerate() {
+                partial += term(base + i, t);
+            }
+            *slot = partial;
+        }
+    };
+    std::thread::scope(|scope| {
+        // Last group runs inline on the calling thread (see
+        // [`for_each_chunk_mut`]).
+        let mut groups: Vec<(usize, &mut [f64], &[T])> = partials
+            .chunks_mut(blocks_per_thread)
+            .zip(data.chunks(span))
+            .enumerate()
+            .map(|(i, (s, b))| (i, s, b))
+            .collect();
+        let last = groups.pop();
+        for (group_idx, slot_group, block_group) in groups {
+            let fill_group = &fill_group;
+            scope.spawn(move || fill_group(group_idx, slot_group, block_group));
+        }
+        if let Some((group_idx, slot_group, block_group)) = last {
+            fill_group(group_idx, slot_group, block_group);
+        }
+    });
+    partials.into_iter().sum()
+}
+
+/// Canonical chunked `Σ |a_i|²` (squared norm) of a dense amplitude slice.
+pub fn chunked_norm_sqr(amps: &[Complex]) -> f64 {
+    chunked_sum(amps, |_, a| a.norm_sqr())
+}
+
+/// Parallel [`chunked_norm_sqr`]; bit-for-bit equal to the serial form.
+pub fn par_chunked_norm_sqr(amps: &[Complex], threads: usize) -> f64 {
+    par_chunked_sum(amps, threads, |_, a| a.norm_sqr())
+}
+
+/// Canonical chunked probability mass of the basis states satisfying
+/// `pred`.
+pub fn chunked_prob_where<F: Fn(usize) -> bool>(amps: &[Complex], pred: F) -> f64 {
+    chunked_sum(amps, |b, a| if pred(b) { a.norm_sqr() } else { 0.0 })
+}
+
+/// Parallel [`chunked_prob_where`]; bit-for-bit equal to the serial form.
+pub fn par_chunked_prob_where<F>(amps: &[Complex], threads: usize, pred: F) -> f64
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    par_chunked_sum(
+        amps,
+        threads,
+        |b, a: &Complex| if pred(b) { a.norm_sqr() } else { 0.0 },
+    )
+}
+
+/// Canonical chunked inner product `⟨a|b⟩` of two equal-length dense
+/// amplitude slices: complex per-block partials folded in block order.
+pub fn chunked_inner(a: &[Complex], b: &[Complex]) -> Complex {
+    debug_assert_eq!(a.len(), b.len());
+    let mut total = ZERO;
+    for (ca, cb) in a.chunks(REDUCE_CHUNK).zip(b.chunks(REDUCE_CHUNK)) {
+        let mut partial = ZERO;
+        for (x, y) in ca.iter().zip(cb) {
+            partial += x.conj() * *y;
+        }
+        total += partial;
+    }
+    total
+}
+
+/// Parallel [`chunked_inner`]; bit-for-bit equal to the serial form.
+pub fn par_chunked_inner(a: &[Complex], b: &[Complex], threads: usize) -> Complex {
+    debug_assert_eq!(a.len(), b.len());
+    if threads <= 1 || a.len() <= REDUCE_CHUNK {
+        return chunked_inner(a, b);
+    }
+    let blocks = a.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![ZERO; blocks];
+    let blocks_per_thread = blocks.div_ceil(threads);
+    let span = blocks_per_thread * REDUCE_CHUNK;
+    fn fill_group(slot_group: &mut [Complex], ca: &[Complex], cb: &[Complex]) {
+        for ((slot, xa), xb) in slot_group
+            .iter_mut()
+            .zip(ca.chunks(REDUCE_CHUNK))
+            .zip(cb.chunks(REDUCE_CHUNK))
+        {
+            let mut partial = ZERO;
+            for (x, y) in xa.iter().zip(xb) {
+                partial += x.conj() * *y;
+            }
+            *slot = partial;
+        }
+    }
+    std::thread::scope(|scope| {
+        // Last group runs inline on the calling thread (see
+        // [`for_each_chunk_mut`]).
+        let mut groups: Vec<(&mut [Complex], &[Complex], &[Complex])> = partials
+            .chunks_mut(blocks_per_thread)
+            .zip(a.chunks(span))
+            .zip(b.chunks(span))
+            .map(|((s, ca), cb)| (s, ca, cb))
+            .collect();
+        let last = groups.pop();
+        for (slot_group, ca, cb) in groups {
+            scope.spawn(move || fill_group(slot_group, ca, cb));
+        }
+        if let Some((slot_group, ca, cb)) = last {
+            fill_group(slot_group, ca, cb);
+        }
+    });
+    let mut total = ZERO;
+    for p in partials {
+        total += p;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::ONE;
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.01, -(i as f64) * 0.003))
+            .collect()
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_whole_slice_with_aligned_offsets() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut data: Vec<usize> = vec![0; 1024];
+            for_each_chunk_mut(&mut data, 16, threads, |offset, chunk| {
+                assert_eq!(offset % 16, 0, "threads={threads}");
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + i;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sums_are_bitwise_equal_to_serial() {
+        // Cross the REDUCE_CHUNK boundary with a ragged tail.
+        let amps = ramp(3 * REDUCE_CHUNK + 17);
+        let serial = chunked_norm_sqr(&amps);
+        for threads in [1usize, 2, 3, 5, 8] {
+            let par = par_chunked_norm_sqr(&amps, threads);
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
+        let serial_p = chunked_prob_where(&amps, |b| b % 3 == 0);
+        for threads in [2usize, 7] {
+            let par = par_chunked_prob_where(&amps, threads, |b| b % 3 == 0);
+            assert_eq!(serial_p.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_inner_is_bitwise_equal_to_serial() {
+        let a = ramp(2 * REDUCE_CHUNK + 5);
+        let b: Vec<Complex> = a.iter().map(|c| *c * Complex::new(0.5, 0.25)).collect();
+        let serial = chunked_inner(&a, &b);
+        for threads in [2usize, 4, 9] {
+            let par = par_chunked_inner(&a, &b, threads);
+            assert_eq!(serial.re.to_bits(), par.re.to_bits(), "threads={threads}");
+            assert_eq!(serial.im.to_bits(), par.im.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_sum_indexes_globally() {
+        let amps = vec![ONE; REDUCE_CHUNK + 3];
+        // Count the elements whose global index is beyond the first block.
+        let count = chunked_sum(&amps, |i, _| if i >= REDUCE_CHUNK { 1.0 } else { 0.0 });
+        assert_eq!(count, 3.0);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

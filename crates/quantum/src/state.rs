@@ -94,6 +94,13 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable view of the amplitudes (crate-internal: the parallel dense
+    /// backend splits this slice into chunks for its scoped workers).
+    #[inline]
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
     /// The amplitude of basis state `b`.
     #[inline]
     pub fn amp(&self, b: usize) -> Complex {
@@ -101,8 +108,12 @@ impl StateVector {
     }
 
     /// Euclidean norm of the vector (should always be 1 for a valid state).
+    ///
+    /// Summed per [`crate::par::REDUCE_CHUNK`]-sized block (the workspace
+    /// summation contract), so the parallel dense backend reproduces this
+    /// value bit-for-bit.
     pub fn norm(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+        crate::par::chunked_norm_sqr(&self.amps).sqrt()
     }
 
     /// Renormalizes in place (used after a measurement collapse).
@@ -115,14 +126,11 @@ impl StateVector {
         }
     }
 
-    /// Inner product `⟨self|other⟩`.
+    /// Inner product `⟨self|other⟩` (chunked summation contract; see
+    /// [`crate::par`]).
     pub fn inner(&self, other: &StateVector) -> Complex {
         assert_eq!(self.n, other.n, "qubit count mismatch");
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .map(|(a, b)| a.conj() * *b)
-            .sum()
+        crate::par::chunked_inner(&self.amps, &other.amps)
     }
 
     /// Fidelity `|⟨self|other⟩|²`.
@@ -174,25 +182,15 @@ impl StateVector {
     pub fn apply_single(&mut self, q: usize, m: &Matrix) {
         assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
         assert_eq!((m.rows(), m.cols()), (2, 2), "expected 2x2 matrix");
-        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
         let stride = 1usize << q;
-        // Walking paired half-blocks of split slices, each of length
-        // exactly `stride`, lets the indexed inner loop elide its bounds
-        // checks and autovectorize; measured ~9% faster per Hadamard sweep
-        // at 16 qubits than the former `base`/`stride` index arithmetic
-        // (and faster than the zip-of-iterators formulation, which codegens
-        // worse than the indexed loop here).
         for block in self.amps.chunks_exact_mut(stride << 1) {
-            let (los, his) = block.split_at_mut(stride);
-            for i in 0..stride {
-                let (a0, a1) = (los[i], his[i]);
-                los[i] = m00 * a0 + m01 * a1;
-                his[i] = m10 * a0 + m11 * a1;
-            }
+            apply_single_block(block, stride, m);
         }
     }
 
-    /// Applies a named gate.
+    /// Applies a named gate, dispatching on the shared
+    /// [`crate::backend::gate_kernel`] classification (one table for all
+    /// backends — see DESIGN.md §6).
     pub fn apply(&mut self, gate: &Gate) {
         assert!(
             gate.is_well_formed(),
@@ -203,9 +201,19 @@ impl StateVector {
             "gate {gate:?} out of range for {} qubits",
             self.n
         );
-        match *gate {
-            Gate::X(q) => {
-                let stride = 1usize << q;
+        match crate::backend::gate_kernel(gate) {
+            crate::backend::GateKernel::Diagonal { mask, phase } => {
+                self.phase_if(|b| b & mask == mask, phase)
+            }
+            // Uncontrolled single-bit flip (Pauli X): a direct stride-swap
+            // loop touches each amplitude pair once, skipping the
+            // per-index predicate of the generic permutation path. Same
+            // swaps, same state — just the dense fast path layered on the
+            // shared classification.
+            crate::backend::GateKernel::ControlledFlip { controls: 0, xor }
+                if xor.is_power_of_two() =>
+            {
+                let stride = xor;
                 let dim = self.amps.len();
                 let mut base = 0usize;
                 while base < dim {
@@ -215,44 +223,10 @@ impl StateVector {
                     base += stride << 1;
                 }
             }
-            Gate::Z(q) => self.phase_if(|b| (b >> q) & 1 == 1, -ONE),
-            Gate::S(q) => self.phase_if(|b| (b >> q) & 1 == 1, Complex::new(0.0, 1.0)),
-            Gate::Sdg(q) => self.phase_if(|b| (b >> q) & 1 == 1, Complex::new(0.0, -1.0)),
-            Gate::T(q) => self.phase_if(
-                |b| (b >> q) & 1 == 1,
-                Complex::from_phase(std::f64::consts::FRAC_PI_4),
-            ),
-            Gate::Tdg(q) => self.phase_if(
-                |b| (b >> q) & 1 == 1,
-                Complex::from_phase(-std::f64::consts::FRAC_PI_4),
-            ),
-            Gate::Phase(q, theta) => {
-                self.phase_if(|b| (b >> q) & 1 == 1, Complex::from_phase(theta))
+            crate::backend::GateKernel::ControlledFlip { controls, xor } => {
+                self.permute_in_place(|b| if b & controls == controls { b ^ xor } else { b })
             }
-            Gate::Cnot { control, target } => {
-                self.permute_in_place(|b| {
-                    if (b >> control) & 1 == 1 {
-                        b ^ (1usize << target)
-                    } else {
-                        b
-                    }
-                });
-            }
-            Gate::Toffoli { c1, c2, target } => {
-                let mask = (1usize << c1) | (1usize << c2);
-                self.permute_in_place(|b| {
-                    if b & mask == mask {
-                        b ^ (1usize << target)
-                    } else {
-                        b
-                    }
-                });
-            }
-            Gate::Cz(a, b) => {
-                let mask = (1usize << a) | (1usize << b);
-                self.phase_if(|i| i & mask == mask, -ONE);
-            }
-            Gate::Swap(a, b) => {
+            crate::backend::GateKernel::SwapBits { a, b } => {
                 self.permute_in_place(|i| {
                     let ba = (i >> a) & 1;
                     let bb = (i >> b) & 1;
@@ -263,12 +237,7 @@ impl StateVector {
                     }
                 });
             }
-            _ => {
-                let m = gate.local_matrix();
-                let qs = gate.qubits();
-                debug_assert_eq!(qs.len(), 1, "multi-qubit fallthrough");
-                self.apply_single(qs[0], &m);
-            }
+            crate::backend::GateKernel::Single { q } => self.apply_single(q, &gate.local_matrix()),
         }
     }
 
@@ -350,16 +319,12 @@ impl StateVector {
     // Measurement
     // ------------------------------------------------------------------
 
-    /// Probability that measuring qubit `q` yields 1.
+    /// Probability that measuring qubit `q` yields 1 (chunked summation
+    /// contract; see [`crate::par`]).
     pub fn prob_one(&self, q: usize) -> f64 {
         assert!(q < self.n);
         let mask = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(b, _)| b & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        crate::par::chunked_prob_where(&self.amps, |b| b & mask != 0)
     }
 
     /// Measures qubit `q` in the computational basis, collapsing the state.
@@ -402,6 +367,37 @@ impl StateVector {
     /// The probability distribution over basis states.
     pub fn probabilities(&self) -> Vec<f64> {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+/// The single-qubit gate kernel over one `2·stride` block: paired
+/// half-blocks of split slices, each of length exactly `stride`, let the
+/// indexed inner loop elide its bounds checks and autovectorize; measured
+/// ~9% faster per Hadamard sweep at 16 qubits than `base`/`stride` index
+/// arithmetic (and faster than the zip-of-iterators formulation, which
+/// codegens worse than the indexed loop here). Shared with the parallel
+/// dense backend, whose workers run this same kernel over disjoint
+/// sub-slices — identical elementwise arithmetic, so identical digits.
+#[inline]
+pub(crate) fn apply_single_block(block: &mut [Complex], stride: usize, m: &Matrix) {
+    let (los, his) = block.split_at_mut(stride);
+    apply_single_pairs(los, his, m);
+}
+
+/// The innermost pairwise kernel: `los[i]`/`his[i]` are the `|…0…⟩` and
+/// `|…1…⟩` partners of one amplitude pair. Exposed separately so the
+/// parallel backend can split a single huge block (high target qubit)
+/// into matching sub-ranges of its two halves.
+#[inline]
+pub(crate) fn apply_single_pairs(los: &mut [Complex], his: &mut [Complex], m: &Matrix) {
+    let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+    debug_assert_eq!(los.len(), his.len());
+    let pairs = los.len();
+    let his = &mut his[..pairs];
+    for i in 0..pairs {
+        let (a0, a1) = (los[i], his[i]);
+        los[i] = m00 * a0 + m01 * a1;
+        his[i] = m10 * a0 + m11 * a1;
     }
 }
 

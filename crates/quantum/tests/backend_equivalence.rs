@@ -1,9 +1,17 @@
 //! Cross-backend equivalence: [`SparseState`] must agree with the dense
 //! [`StateVector`] reference — fidelity `≥ 1 − 1e−9` — on random circuits
 //! up to 10 qubits, on every structured operator of procedure A3, and
-//! through measurement collapse.
+//! through measurement collapse. [`ParallelStateVector`] is held to a
+//! strictly harsher pin: **bit-for-bit** equality with the dense
+//! reference at every worker count (the DESIGN.md §6 determinism
+//! contract). The sparse runs also exercise the pruning-audit hook
+//! ([`SparseState::assert_support_pruned`]) after every operation: no
+//! cancelled amplitude may silently survive in the support.
 
-use oqsc_quantum::{Gate, GroverLayout, QuantumBackend, SparseState, StateVector};
+use oqsc_quantum::{
+    Gate, GroverLayout, ParallelStateVector, QuantumBackend, SparseState, StateVector,
+    PARALLEL_THRESHOLD,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,12 +59,36 @@ proptest! {
             let gate = random_gate(n, &mut rng);
             sparse.apply_gate(&gate);
             dense.apply(&gate);
+            sparse.assert_support_pruned();
+            prop_assert!(sparse.support_len() <= dense.dim());
             prop_assert!(
                 sparse.to_dense().fidelity(&dense) >= 1.0 - FIDELITY_EPS,
                 "seed {} step {} gate {:?}", seed, step, gate
             );
         }
         prop_assert!((sparse.norm() - 1.0).abs() < 1e-8);
+    }
+
+    /// The parallel dense backend is the dense reference, bit for bit, at
+    /// every worker count — including counts far above the host's cores.
+    #[test]
+    fn prop_parallel_dense_is_bitwise_dense(seed in any::<u64>(), threads in 1usize..=8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 8;
+        let mut dense = StateVector::zero(n);
+        let mut par = ParallelStateVector::with_threads(StateVector::zero(n), threads);
+        for _ in 0..40 {
+            let gate = random_gate(n, &mut rng);
+            dense.apply(&gate);
+            par.apply_gate(&gate);
+        }
+        for (x, y) in dense.amplitudes().iter().zip(par.as_dense().amplitudes()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        prop_assert_eq!(dense.norm().to_bits(), par.norm().to_bits());
+        let q = rng.gen_range(0..n);
+        prop_assert_eq!(dense.prob_one(q).to_bits(), par.prob_one(q).to_bits());
     }
 
     /// The structured A3 operators (block and bit mode) agree across
@@ -87,10 +119,39 @@ proptest! {
             layout.apply_wx_bit(&mut dense, i, yi);
             layout.apply_rx_bit(&mut sparse, i, xi);
             layout.apply_rx_bit(&mut dense, i, xi);
+            sparse.assert_support_pruned();
         }
         assert_equivalent(&sparse, &dense, "bit-mode stream");
         // |i⟩ ⊗ |h⟩ ⊗ |l⟩ support never exceeds index ⨯ branch count.
-        prop_assert!(sparse.support() <= 4 * m);
+        prop_assert!(sparse.support_len() <= 4 * m);
+    }
+
+    /// The structured A3 operators on the parallel backend reproduce the
+    /// dense reference digit for digit.
+    #[test]
+    fn prop_structured_operators_bitwise_on_parallel(seed in any::<u64>(), k in 1u32..=3, threads in 1usize..=4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = GroverLayout::for_k(k);
+        let m = layout.domain();
+        let x: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let y: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let mut dense: StateVector = layout.phi();
+        let mut par =
+            ParallelStateVector::with_threads(layout.phi(), threads);
+        layout.apply_grover_iteration(&mut dense, &x, &y, &x);
+        layout.apply_grover_iteration(&mut par, &x, &y, &x);
+        for (i, (&xi, &yi)) in x.iter().zip(&y).enumerate() {
+            layout.apply_vx_bit(&mut dense, i, xi);
+            layout.apply_vx_bit(&mut par, i, xi);
+            layout.apply_rx_bit(&mut dense, i, yi);
+            layout.apply_rx_bit(&mut par, i, yi);
+        }
+        for (p, d) in par.as_dense().amplitudes().iter().zip(dense.amplitudes()) {
+            prop_assert_eq!(p.re.to_bits(), d.re.to_bits());
+            prop_assert_eq!(p.im.to_bits(), d.im.to_bits());
+        }
+        let l = layout.l_qubit();
+        prop_assert_eq!(dense.prob_one(l).to_bits(), par.prob_one(l).to_bits());
     }
 
     /// Measurement statistics and collapse agree: prob_one everywhere, and
@@ -117,6 +178,58 @@ proptest! {
         sparse.collapse_qubit(q, outcome);
         dense.collapse_qubit(q, outcome);
         assert_equivalent(&sparse, &dense, "post-collapse");
+    }
+}
+
+/// Above [`PARALLEL_THRESHOLD`] the *threaded* kernels run — the
+/// proptest circuits (n ≤ 10, 1024 amplitudes) stay below it and
+/// exercise only the serial fallback, so this 14-qubit deterministic
+/// case is what actually pins the chunked scoped-thread paths (gates,
+/// sweeps, reductions, reflection, collapse) bit-for-bit against dense.
+/// CI runs this suite under `--release`, putting the optimized codegen
+/// of those kernels under test.
+#[test]
+fn threaded_kernels_bitwise_above_threshold() {
+    let n = 14; // 2^14 amplitudes, above PARALLEL_THRESHOLD = 2^13
+    assert!(1usize << n > PARALLEL_THRESHOLD);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let gates: Vec<Gate> = (0..30).map(|_| random_gate(n, &mut rng)).collect();
+    let psi_dense = StateVector::uniform(n);
+
+    let mut dense = StateVector::zero(n);
+    for g in &gates {
+        dense.apply(g);
+    }
+    dense.apply_hadamard_all(&[0, n / 2, n - 1]);
+    dense.reflect_about(&psi_dense);
+    let outcome = u8::from(dense.prob_one(3) > 0.5);
+    dense.collapse_qubit(3, outcome);
+
+    for threads in [2usize, 3, 8] {
+        let mut par = ParallelStateVector::with_threads(StateVector::zero(n), threads);
+        for g in &gates {
+            par.apply_gate(g);
+        }
+        par.apply_hadamard_all(&[0, n / 2, n - 1]);
+        par.reflect_about(&ParallelStateVector::with_threads(
+            psi_dense.clone(),
+            threads,
+        ));
+        par.collapse_qubit(3, outcome);
+        for (x, y) in dense.amplitudes().iter().zip(par.as_dense().amplitudes()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "threads={threads}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "threads={threads}");
+        }
+        assert_eq!(
+            dense.norm().to_bits(),
+            par.norm().to_bits(),
+            "threads={threads}"
+        );
+        let (pd, pp) = (
+            QuantumBackend::probability_where(&dense, |b| b % 5 == 2),
+            par.probability_where(|b| b % 5 == 2),
+        );
+        assert_eq!(pd.to_bits(), pp.to_bits(), "threads={threads}");
     }
 }
 

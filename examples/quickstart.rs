@@ -26,14 +26,14 @@ fn main() {
     );
 
     // Corollary 3.5 machine: bounded-error recognizer of L_DISJ.
-    let (verdict, _) = run_decider(LdisjRecognizer::new(4, &mut rng), &word);
+    let verdict = run_decider(LdisjRecognizer::new(4, &mut rng), &word).accept;
     println!("member instance  -> declared member: {verdict}");
 
     // A non-member with a single intersecting coordinate (the hard case).
     let non = random_nonmember(k, 1, &mut rng);
     let trials = 50;
     let wrong = (0..trials)
-        .filter(|_| run_decider(LdisjRecognizer::new(4, &mut rng), &non.encode()).0)
+        .filter(|_| run_decider(LdisjRecognizer::new(4, &mut rng), &non.encode()).accept)
         .count();
     println!("non-member (t=1) -> declared member {wrong}/{trials} times (bound: < 1/3)");
 

@@ -19,7 +19,7 @@ fn truncation_at_every_position() {
     let word = inst.encode();
     for cut in 0..word.len() {
         let prefix = &word[..cut];
-        let (a1, _) = run_decider(FormatChecker::new(), prefix);
+        let a1 = run_decider(FormatChecker::new(), prefix).accept;
         assert!(!a1, "cut={cut} must fail the shape check");
         assert!(parse_shape(prefix).is_err(), "cut={cut}");
         // Whole stack stays panic-free.
@@ -47,7 +47,7 @@ fn single_symbol_substitutions() {
             let mut mutant = word.clone();
             mutant[pos] = sub;
             let reference = is_in_ldisj(&mutant);
-            let (v, _) = run_decider(Prop37Decider::new(&mut rng), &mutant);
+            let v = run_decider(Prop37Decider::new(&mut rng), &mutant).accept;
             // Prop37's A2 part is probabilistic: a corrupted-copy mutant is
             // caught with prob ≥ 1 − 2·3/17; accept the rare fooling only
             // in the direction soundness allows (false "member").
@@ -76,12 +76,13 @@ fn long_garbage_stream_bounded_space() {
             _ => Sym::Hash,
         })
         .collect();
-    let (v1, s1) = run_decider(FormatChecker::new(), &garbage);
+    let out1 = run_decider(FormatChecker::new(), &garbage);
+    let (v1, s1) = (out1.accept, out1.classical_bits);
     assert!(!v1);
     assert!(s1 < 200, "A1 space {s1}");
-    let (_, s2) = run_decider(ConsistencyChecker::new(&mut rng), &garbage);
+    let s2 = run_decider(ConsistencyChecker::new(&mut rng), &garbage).classical_bits;
     assert!(s2 < 400, "A2 space {s2}");
-    let (_, s3) = run_decider(GroverStreamer::new(&mut rng), &garbage);
+    let s3 = run_decider(GroverStreamer::new(&mut rng), &garbage).classical_bits;
     assert!(s3 < 400, "A3 classical space {s3}");
 }
 
@@ -93,9 +94,9 @@ fn absurd_k_does_not_allocate() {
     word.push(Sym::Hash);
     word.extend(vec![Sym::Zero; 100]);
     let mut rng = StdRng::seed_from_u64(203);
-    let (accepted_as_member, _) = run_decider(LdisjRecognizer::new(2, &mut rng), &word);
+    let accepted_as_member = run_decider(LdisjRecognizer::new(2, &mut rng), &word).accept;
     assert!(!accepted_as_member, "ill-formed word is not in L_DISJ");
-    let (a1, _) = run_decider(FormatChecker::new(), &word);
+    let a1 = run_decider(FormatChecker::new(), &word).accept;
     assert!(!a1);
 }
 
@@ -110,9 +111,9 @@ fn degenerate_inputs() {
         vec![Sym::One, Sym::Hash],
     ] {
         assert!(!is_in_ldisj(&word));
-        let (m, _) = run_decider(LdisjRecognizer::new(2, &mut rng), &word);
+        let m = run_decider(LdisjRecognizer::new(2, &mut rng), &word).accept;
         assert!(!m, "word {word:?}");
-        let (c, _) = run_decider(Prop37Decider::new(&mut rng), &word);
+        let c = run_decider(Prop37Decider::new(&mut rng), &word).accept;
         assert!(!c, "word {word:?}");
     }
 }
@@ -126,9 +127,9 @@ fn concatenated_words_rejected() {
     let mut doubled = inst.encode();
     doubled.extend(inst.encode());
     assert!(!is_in_ldisj(&doubled));
-    let (a1, _) = run_decider(FormatChecker::new(), &doubled);
+    let a1 = run_decider(FormatChecker::new(), &doubled).accept;
     assert!(!a1);
-    let (m, _) = run_decider(LdisjRecognizer::new(2, &mut rng), &doubled);
+    let m = run_decider(LdisjRecognizer::new(2, &mut rng), &doubled).accept;
     assert!(!m);
 }
 

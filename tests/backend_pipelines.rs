@@ -6,7 +6,9 @@
 //! complement recognizer, and the Corollary 3.5 amplified recognizer must
 //! produce identical statistics (detection probabilities digit-for-digit,
 //! fidelity ≥ 1 − 1e−9 where a state is exposed) whichever backend runs
-//! underneath.
+//! underneath. The parallel dense backend is held to the harsher §6
+//! determinism contract: **bit-for-bit** equality with dense through the
+//! whole A1/A2/A3 pipeline, at every stream position.
 
 use onlineq::core::recognizer::exact_complement_accept_probability;
 use onlineq::core::{
@@ -15,7 +17,7 @@ use onlineq::core::{
 };
 use onlineq::lang::{random_member, random_nonmember, string_len, LdisjInstance};
 use onlineq::machine::{run_decider, StreamingDecider};
-use onlineq::quantum::{QuantumBackend, SparseState, StateVector};
+use onlineq::quantum::{ParallelStateVector, QuantumBackend, SparseState, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,8 +63,78 @@ fn a3_streaming_agrees_across_backends() {
     }
 }
 
+/// Procedure A3 on the parallel dense backend is the dense pipeline
+/// **digit for digit**: same drawn `j`, bit-identical detection
+/// probability at every prefix of the stream, identical space report.
+/// (Sparse gets a 1e−9 fidelity pin; parallel-dense gets exact equality —
+/// the DESIGN.md §6 determinism contract.)
+#[test]
+fn a3_streaming_parallel_dense_is_digit_for_digit() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = 1 + (seed % 3) as u32;
+        let inst = random_instance(k, &mut rng);
+        let word = inst.encode();
+        for j in [0u64, inst.rounds() as u64 - 1] {
+            let mut dense = GroverStreamer::<StateVector>::with_j_seed_in(j, 0);
+            let mut par = GroverStreamer::<ParallelStateVector>::with_j_seed_in(j, 0);
+            for (pos, &sym) in word.iter().enumerate() {
+                dense.feed(sym);
+                par.feed(sym);
+                let (pd, pp) = (dense.detection_probability(), par.detection_probability());
+                assert_eq!(
+                    pd.to_bits(),
+                    pp.to_bits(),
+                    "seed {seed} j {j} position {pos}: {pd} vs {pp}"
+                );
+            }
+            assert_eq!(dense.j(), par.j());
+            assert_eq!(dense.qubits(), par.qubits());
+            assert_eq!(dense.peak_amplitudes(), par.peak_amplitudes());
+            assert_eq!(dense.space_bits(), par.space_bits());
+        }
+    }
+}
+
+/// The full A1/A2/A3 recognizer pipeline, parallel-dense vs dense: same
+/// seeds in, identical verdict, space report and run outcome — including
+/// the measurement, which must consume identical randomness.
+#[test]
+fn complement_recognizer_parallel_dense_is_digit_for_digit() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_instance(1 + (seed % 2) as u32, &mut rng);
+        let word = inst.encode();
+        for (t_seed, j_seed) in [(0u64, 0u64), (1, 1), (2, 0)] {
+            let mut dense = ComplementRecognizer::<StateVector>::with_seeds_in(t_seed, j_seed, 7);
+            let mut par =
+                ComplementRecognizer::<ParallelStateVector>::with_seeds_in(t_seed, j_seed, 7);
+            dense.feed_all(&word);
+            par.feed_all(&word);
+            assert_eq!(dense.space(), par.space(), "seed {seed}");
+            let (pd, pp) = (
+                dense.a3_detection_probability(),
+                par.a3_detection_probability(),
+            );
+            assert_eq!(pd.to_bits(), pp.to_bits(), "seed {seed}: {pd} vs {pp}");
+            assert_eq!(dense.decide(), par.decide(), "seed {seed}");
+        }
+        // And through run_decider: the whole RunOutcome matches.
+        let dense_out = run_decider(
+            ComplementRecognizer::<StateVector>::with_seeds_in(0, 1, 3),
+            &word,
+        );
+        let par_out = run_decider(
+            ComplementRecognizer::<ParallelStateVector>::with_seeds_in(0, 1, 3),
+            &word,
+        );
+        assert_eq!(dense_out, par_out, "seed {seed}");
+    }
+}
+
 /// The exact averaged A3 detection probability — the number Theorem 3.4's
-/// ≥ 1/4 bound is about — is backend-independent.
+/// ≥ 1/4 bound is about — is backend-independent, and bit-identical
+/// between dense and parallel-dense.
 #[test]
 fn a3_exact_detection_probability_is_backend_independent() {
     let mut rng = StdRng::seed_from_u64(0xD15C);
@@ -76,9 +148,15 @@ fn a3_exact_detection_probability_is_backend_independent() {
             };
             let dense = a3_exact_detection_probability(&inst);
             let sparse = a3_exact_detection_probability_in::<SparseState>(&inst);
+            let parallel = a3_exact_detection_probability_in::<ParallelStateVector>(&inst);
             assert!(
                 (dense - sparse).abs() < 1e-9,
                 "k={k} t={t}: dense {dense} vs sparse {sparse}"
+            );
+            assert_eq!(
+                dense.to_bits(),
+                parallel.to_bits(),
+                "k={k} t={t}: dense {dense} vs parallel-dense {parallel}"
             );
         }
     }
@@ -121,8 +199,8 @@ fn sparse_recognizer_keeps_one_sided_error() {
             assert!(a3.detection_probability() < 1e-12);
             assert!(a3.decide());
         }
-        let (accepted, _) =
-            run_decider(ComplementRecognizer::<SparseState>::new_in(&mut rng), &word);
+        let accepted =
+            run_decider(ComplementRecognizer::<SparseState>::new_in(&mut rng), &word).accept;
         assert!(!accepted, "member flagged by sparse recognizer");
     }
 }
@@ -137,7 +215,9 @@ fn sparse_amplified_recognizer_matches_exact_statistics() {
     let exact = exact_complement_accept_probability(&word);
     let trials = 600;
     let accepts = (0..trials)
-        .filter(|_| run_decider(ComplementRecognizer::<SparseState>::new_in(&mut rng), &word).0)
+        .filter(|_| {
+            run_decider(ComplementRecognizer::<SparseState>::new_in(&mut rng), &word).accept
+        })
         .count();
     let freq = accepts as f64 / trials as f64;
     assert!(
@@ -147,7 +227,7 @@ fn sparse_amplified_recognizer_matches_exact_statistics() {
     // And the amplified recognizer still meets the Corollary 3.5 error
     // budget when run sparse.
     let wrong = (0..trials)
-        .filter(|_| run_decider(LdisjRecognizer::<SparseState>::new_in(4, &mut rng), &word).0)
+        .filter(|_| run_decider(LdisjRecognizer::<SparseState>::new_in(4, &mut rng), &word).accept)
         .count();
     assert!((wrong as f64 / trials as f64) < 0.38);
 }

@@ -1,0 +1,90 @@
+//! Determinism under concurrency (DESIGN.md §6, determinism contract).
+//!
+//! The batch scheduler's output must be a pure function of its task
+//! factory: [`BatchRunner`] with 1, 2 and 8 workers over the same seeded
+//! instance set produces `==`-identical [`BatchReport`]s — verdicts,
+//! classical bits, metered quantum peaks, fleet aggregates, everything.
+//! Checked for all three backends (dense, parallel-dense, sparse) and
+//! for the separation experiment's batched rows. CI runs this suite
+//! under `--release` so the optimized parallel paths are the ones
+//! exercised.
+
+use onlineq::core::separation_rows_batched;
+use onlineq::core::sweep::{complement_sweep_in, ldisj_sweep_in};
+use onlineq::lang::{random_member, random_nonmember, Sym};
+use onlineq::machine::{BatchReport, BatchRunner};
+use onlineq::quantum::{ParallelStateVector, QuantumBackend, SparseState, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn seeded_instance_set(seed: u64) -> Vec<Vec<Sym>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..9)
+        .map(|i| match i % 3 {
+            0 => random_member(1, &mut rng).encode(),
+            1 => random_nonmember(1, 1 + rng.gen_range(0..3usize), &mut rng).encode(),
+            _ => random_member(2, &mut rng).encode(),
+        })
+        .collect()
+}
+
+fn reports_for<B: QuantumBackend>(words: &[Vec<Sym>]) -> Vec<BatchReport> {
+    WORKER_COUNTS
+        .iter()
+        .map(|&w| complement_sweep_in::<B>(words, 0xDE, &BatchRunner::new(w)))
+        .collect()
+}
+
+#[test]
+fn complement_sweep_identical_at_1_2_and_8_workers() {
+    let words = seeded_instance_set(2024);
+    for (name, reports) in [
+        ("dense", reports_for::<StateVector>(&words)),
+        ("parallel-dense", reports_for::<ParallelStateVector>(&words)),
+        ("sparse", reports_for::<SparseState>(&words)),
+    ] {
+        assert_eq!(reports[0], reports[1], "{name}: 1 vs 2 workers");
+        assert_eq!(reports[0], reports[2], "{name}: 1 vs 8 workers");
+        assert_eq!(reports[0].len(), words.len(), "{name}");
+    }
+}
+
+#[test]
+fn amplified_sweep_identical_at_1_2_and_8_workers() {
+    let words = seeded_instance_set(77);
+    let reference = ldisj_sweep_in::<StateVector>(&words, 4, 9, &BatchRunner::serial());
+    for workers in [2usize, 8] {
+        let report = ldisj_sweep_in::<StateVector>(&words, 4, 9, &BatchRunner::new(workers));
+        assert_eq!(report, reference, "workers={workers}");
+    }
+    // The report carries real quantum metering: 4 copies on k ∈ {1, 2}
+    // instances peak at 4·(2·2+2) = 24 qubits.
+    assert_eq!(reference.peak_qubits, 24);
+    assert!(reference.peak_amplitudes >= 4 * (1 << 4));
+}
+
+#[test]
+fn parallel_dense_sweep_equals_dense_sweep_exactly() {
+    // Backend parallelism and fleet parallelism compose: the
+    // parallel-dense fleet report is ==-identical to the dense one.
+    let words = seeded_instance_set(4096);
+    let runner = BatchRunner::new(2);
+    let dense = complement_sweep_in::<StateVector>(&words, 5, &runner);
+    let par = complement_sweep_in::<ParallelStateVector>(&words, 5, &runner);
+    assert_eq!(dense, par);
+}
+
+#[test]
+fn separation_rows_identical_at_1_2_and_8_workers() {
+    let seeds = [3u64, 1, 4, 1, 5];
+    let reference = separation_rows_batched(1, &seeds, &BatchRunner::serial());
+    for workers in [2usize, 8] {
+        assert_eq!(
+            separation_rows_batched(1, &seeds, &BatchRunner::new(workers)),
+            reference,
+            "workers={workers}"
+        );
+    }
+}

@@ -54,7 +54,7 @@ fn prop_one_sided_error_is_absolute() {
         // Exact over all (t, j): probability must be 0...
         assert!(exact_complement_accept_probability(&word) < 1e-12);
         // ...and any sampled run agrees.
-        let (accepted, _) = run_decider(ComplementRecognizer::new(&mut rng), &word);
+        let accepted = run_decider(ComplementRecognizer::new(&mut rng), &word).accept;
         assert!(!accepted);
     }
 }
@@ -84,7 +84,7 @@ fn prop_prop37_matches_reference() {
         let mut rng = StdRng::seed_from_u64(seed);
         let inst = random_instance(2, &mut rng);
         let word = inst.encode();
-        let (verdict, _) = run_decider(Prop37Decider::new(&mut rng), &word);
+        let verdict = run_decider(Prop37Decider::new(&mut rng), &word).accept;
         assert_eq!(verdict, is_in_ldisj(&word), "seed {seed}");
     }
 }
@@ -103,7 +103,7 @@ fn prop_arbitrary_words_are_safe() {
                 _ => Sym::Hash,
             })
             .collect();
-        let (a1, _) = run_decider(onlineq::core::FormatChecker::new(), &word);
+        let a1 = run_decider(onlineq::core::FormatChecker::new(), &word).accept;
         assert_eq!(a1, parse_shape(&word).is_ok(), "seed {seed}");
         // The full stack handles garbage gracefully.
         let _ = run_decider(ComplementRecognizer::new(&mut rng), &word);

@@ -116,7 +116,7 @@ fn corollary_3_5_bounded_error() {
     let mut rng = StdRng::seed_from_u64(4);
     let member = random_member(2, &mut rng);
     for _ in 0..15 {
-        let (v, _) = run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode());
+        let v = run_decider(LdisjRecognizer::new(4, &mut rng), &member.encode()).accept;
         assert!(v, "members never misclassified");
     }
     let non = random_nonmember(2, 1, &mut rng);
@@ -157,12 +157,13 @@ fn proposition_3_7_classical_upper_bound() {
     for k in 1..=3u32 {
         // Members, non-members, malformed: all decided like the reference.
         let member = random_member(k, &mut rng);
-        let (v, space) = run_decider(Prop37Decider::new(&mut rng), &member.encode());
+        let out = run_decider(Prop37Decider::new(&mut rng), &member.encode());
+        let (v, space) = (out.accept, out.classical_bits);
         assert!(v);
         assert!(space >= 1 << k);
         assert!(space <= (1 << k) + 60 * k as usize + 60);
         let non = random_nonmember(k, 1, &mut rng);
-        let (v, _) = run_decider(Prop37Decider::new(&mut rng), &non.encode());
+        let v = run_decider(Prop37Decider::new(&mut rng), &non.encode()).accept;
         assert!(!v);
     }
 }
@@ -197,11 +198,11 @@ fn all_deciders_agree_with_reference() {
         let inst = onlineq::lang::random_pair(2, 0.15, &mut rng);
         let word = inst.encode();
         let reference = is_in_ldisj(&word);
-        let (prop37, _) = run_decider(Prop37Decider::new(&mut rng), &word);
+        let prop37 = run_decider(Prop37Decider::new(&mut rng), &word).accept;
         assert_eq!(prop37, reference);
         // Quantum, by majority vote of amplified runs.
         let votes = (0..30)
-            .filter(|_| run_decider(LdisjRecognizer::new(6, &mut rng), &word).0)
+            .filter(|_| run_decider(LdisjRecognizer::new(6, &mut rng), &word).accept)
             .count();
         assert_eq!(votes > 15, reference);
     }
