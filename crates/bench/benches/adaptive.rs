@@ -1,0 +1,90 @@
+//! Adaptive vs fixed backends on A3 workloads (DESIGN.md §7).
+//!
+//! Two streams at `k = 5` (a `2k + 2 = 12`-qubit register, 4096 dense
+//! amplitudes), one per regime of the promotion rule:
+//!
+//! * **structured** — a well-formed member instance: the reachable states
+//!   keep support density exactly 1/4, below the 3/8 promotion threshold,
+//!   so `AdaptiveState` stays sparse for the whole run and pays
+//!   support-proportional memory like `SparseState`;
+//! * **densifying** — the same shape with fully random blocks: the `z`
+//!   copies no longer uncompute the `h` branch, diffusion mixes the
+//!   branches, and the support grows past the threshold mid-stream —
+//!   `AdaptiveState` promotes and finishes on the parallel dense kernels
+//!   instead of grinding a near-dense `BTreeMap`.
+//!
+//! Each workload runs on all four backends. The interesting comparisons:
+//! `adaptive` vs `sparse` on the densifying stream (the promotion win)
+//! and `adaptive` vs `dense` on the structured stream (the memory win at
+//! a bounded speed cost). The verdict statistics are identical everywhere
+//! by the equivalence suites; this bench measures only time.
+//!
+//! ```text
+//! cargo bench -p oqsc-bench --bench adaptive
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_core::GroverStreamer;
+use oqsc_lang::{random_member, Sym};
+use oqsc_machine::StreamingDecider;
+use oqsc_quantum::{AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const K: u32 = 5;
+
+/// A well-formed member instance: support density pinned at 1/4.
+fn structured_word() -> Vec<Sym> {
+    let mut rng = StdRng::seed_from_u64(0xADAB1);
+    random_member(K, &mut rng).encode()
+}
+
+/// The same `1^k # (b^{2^{2k}} #)^{3·2^k}` shape with independently
+/// random blocks: the `h` branch stops uncomputing and the support
+/// crosses the promotion threshold during the early diffusion rounds.
+fn densifying_word() -> Vec<Sym> {
+    let mut rng = StdRng::seed_from_u64(0xADAB2);
+    let m = 1usize << (2 * K);
+    let blocks = 3 * (1usize << K);
+    let mut word = Vec::with_capacity(K as usize + 1 + blocks * (m + 1));
+    word.extend(std::iter::repeat_n(Sym::One, K as usize));
+    word.push(Sym::Hash);
+    for _ in 0..blocks {
+        word.extend((0..m).map(|_| if rng.gen() { Sym::One } else { Sym::Zero }));
+        word.push(Sym::Hash);
+    }
+    word
+}
+
+fn run_streamer<B: QuantumBackend>(word: &[Sym]) -> f64 {
+    let mut a3 = GroverStreamer::<B>::with_j_seed_in(3, 0);
+    a3.feed_all(word);
+    a3.detection_probability()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let workloads = [
+        ("a3-structured", structured_word()),
+        ("a3-densifying", densifying_word()),
+    ];
+    for (name, word) in &workloads {
+        let mut group = c.benchmark_group(format!("adaptive/{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("dense"), |b| {
+            b.iter(|| black_box(run_streamer::<StateVector>(word)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("parallel"), |b| {
+            b.iter(|| black_box(run_streamer::<ParallelStateVector>(word)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("sparse"), |b| {
+            b.iter(|| black_box(run_streamer::<SparseState>(word)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("adaptive"), |b| {
+            b.iter(|| black_box(run_streamer::<AdaptiveState>(word)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

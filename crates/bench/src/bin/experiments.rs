@@ -1,58 +1,114 @@
 //! Regenerates every experiment table of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run --release -p oqsc-bench --bin experiments [-- --workers N]
+//! cargo run --release -p oqsc-bench --bin experiments \
+//!     [-- --workers N] [--checkpoint-every N]
 //! ```
 //!
 //! `--workers N` sizes the batch scheduler's worker fleet for the
-//! decider sweeps (E6, F3, F4; default: the machine's available
-//! parallelism). Every table is a pure function of its seeds, so the
-//! numbers are identical at any worker count — only the wall-clock
-//! changes.
+//! decider sweeps (E6, F1, F3, F4; default: the machine's available
+//! parallelism). `--checkpoint-every N` switches those sweeps to the
+//! migrating session schedule: every decider is suspended after each
+//! segment of `N` tokens, serialized into a checkpoint (classical
+//! configuration + quantum register snapshot + metering), handed to the
+//! next worker, and resumed there. Every table is a pure function of its
+//! seeds, so the numbers are identical at any worker count and any
+//! checkpoint cadence — only the wall clock changes.
+//!
+//! Out-of-range values are rejected up front with a clear message
+//! (`--workers 0`, a worker fleet beyond [`MAX_WORKERS`], a zero
+//! checkpoint interval, or a non-numeric argument), never silently
+//! clamped or panicked on.
 
-use oqsc_machine::BatchRunner;
+use oqsc_machine::{BatchRunner, SessionSchedule};
 
-fn parse_workers() -> BatchRunner {
+/// Upper bound on `--workers`: far above any real machine, low enough to
+/// catch a mistyped value before it spawns a few million threads.
+const MAX_WORKERS: usize = 4096;
+
+struct Cli {
+    runner: BatchRunner,
+    schedule: SessionSchedule,
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    println!("usage: experiments [--workers N] [--checkpoint-every N]");
+    println!("  --workers N           batch workers, 1..={MAX_WORKERS} (default: available cores)");
+    println!("  --checkpoint-every N  suspend/migrate/resume every N tokens, N >= 1");
+    println!("                        (default: uninterrupted sessions)");
+    std::process::exit(code);
+}
+
+fn bad_value(flag: &str, value: Option<String>, expected: &str) -> ! {
+    match value {
+        Some(v) => eprintln!("error: {flag} {v}: expected {expected}"),
+        None => eprintln!("error: {flag} requires a value ({expected})"),
+    }
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
     let mut workers: Option<usize> = None;
+    let mut checkpoint_every: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => workers = Some(n),
-                _ => {
-                    eprintln!("--workers expects a positive integer");
-                    std::process::exit(2);
+            "--workers" => {
+                let raw = args.next();
+                match raw.as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if (1..=MAX_WORKERS).contains(&n) => workers = Some(n),
+                    _ => bad_value(
+                        "--workers",
+                        raw,
+                        &format!("an integer between 1 and {MAX_WORKERS}"),
+                    ),
                 }
-            },
-            "--help" | "-h" => {
-                println!("usage: experiments [--workers N]");
-                std::process::exit(0);
             }
+            "--checkpoint-every" => {
+                let raw = args.next();
+                match raw.as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n >= 1 => checkpoint_every = Some(n),
+                    _ => bad_value("--checkpoint-every", raw, "a positive token count"),
+                }
+            }
+            "--help" | "-h" => usage_and_exit(0),
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                eprintln!("error: unknown argument: {other}");
+                usage_and_exit(2);
             }
         }
     }
-    workers.map_or_else(BatchRunner::available, BatchRunner::new)
+    Cli {
+        runner: workers.map_or_else(BatchRunner::available, BatchRunner::new),
+        schedule: checkpoint_every.map_or(
+            SessionSchedule::Uninterrupted,
+            SessionSchedule::MigrateEvery,
+        ),
+    }
 }
 
 fn main() {
-    let runner = parse_workers();
+    let cli = parse_cli();
+    let schedule_desc = match cli.schedule {
+        SessionSchedule::Uninterrupted => "uninterrupted sessions".to_string(),
+        SessionSchedule::MigrateEvery(n) => {
+            format!("suspend/migrate/resume every {n} tokens")
+        }
+    };
     println!(
-        "== Reproduction experiments: Le Gall, SPAA 2006 ({} batch worker{}) ==\n",
-        runner.workers(),
-        if runner.workers() == 1 { "" } else { "s" }
+        "== Reproduction experiments: Le Gall, SPAA 2006 ({} batch worker{}, {schedule_desc}) ==\n",
+        cli.runner.workers(),
+        if cli.runner.workers() == 1 { "" } else { "s" }
     );
     oqsc_bench::print_e1();
     oqsc_bench::print_e2();
     oqsc_bench::print_e3();
     oqsc_bench::print_e4();
     oqsc_bench::print_e5();
-    oqsc_bench::print_e6(&runner);
-    oqsc_bench::print_f1();
+    oqsc_bench::print_e6(&cli.runner, cli.schedule);
+    oqsc_bench::print_f1(&cli.runner, cli.schedule);
     oqsc_bench::print_f2();
-    oqsc_bench::print_f3(&runner);
-    oqsc_bench::print_f4(&runner);
+    oqsc_bench::print_f3(&cli.runner, cli.schedule);
+    oqsc_bench::print_f4(&cli.runner, cli.schedule);
     oqsc_bench::print_ablations();
 }

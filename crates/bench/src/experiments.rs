@@ -15,13 +15,13 @@ use oqsc_comm::lower_bound::{
 use oqsc_comm::{simulate_reduction, theorem_3_6_space_bound, BcwParams};
 use oqsc_core::classical::{Prop37Decider, SketchDecider};
 use oqsc_core::recognizer::exact_complement_accept_probability;
-use oqsc_core::separation::{separation_table, SeparationRow};
+use oqsc_core::separation::{separation_rows_scheduled, SeparationRow};
 use oqsc_core::sweep::derive_seed;
 use oqsc_fingerprint::paper_error_bound;
 use oqsc_grover::bbht::random_j_detection_probability;
 use oqsc_grover::{averaged_success, GroverSim};
 use oqsc_lang::{encoded_len, malform, random_member, random_nonmember, string_len, Malformation};
-use oqsc_machine::{BatchRunner, StreamingDecider};
+use oqsc_machine::{BatchRunner, SessionSchedule, StreamingDecider};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -344,11 +344,16 @@ pub struct E6Row {
 
 /// Measures the Proposition 3.7 decider for `k ∈ 1..=k_max`: one batch
 /// of `2·k_max` decider instances (a member and a `t = 1` non-member per
-/// `k`) over the shard-per-worker scheduler. Each task rebuilds its
-/// machines from the per-`k` seed alone, so the table is worker-count
-/// independent.
-pub fn e6_classical_rows(k_max: u32, runner: &BatchRunner) -> Vec<E6Row> {
-    let report = runner.run(2 * k_max as usize, |i| {
+/// `k`) over the session scheduler. Each task rebuilds its machines from
+/// the per-`k` seed alone, so the table is worker-count independent —
+/// and, under [`SessionSchedule::MigrateEvery`], independent of where
+/// the suspend/resume boundaries fall.
+pub fn e6_classical_rows(
+    k_max: u32,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<E6Row> {
+    let report = runner.run_scheduled(2 * k_max as usize, schedule, |i| {
         let k = 1 + (i / 2) as u32;
         let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
         let member = random_member(k, &mut rng);
@@ -377,13 +382,13 @@ pub fn e6_classical_rows(k_max: u32, runner: &BatchRunner) -> Vec<E6Row> {
 }
 
 /// Prints the E6 table.
-pub fn print_e6(runner: &BatchRunner) {
+pub fn print_e6(runner: &BatchRunner, schedule: SessionSchedule) {
     println!("E6 (Proposition 3.7) — classical Θ(n^(1/3)) decider");
     println!(
         "{:>3} {:>10} {:>12} {:>10} {:>9}",
         "k", "n", "space bits", "n^(1/3)", "correct"
     );
-    for r in e6_classical_rows(7, runner) {
+    for r in e6_classical_rows(7, runner, schedule) {
         println!(
             "{:>3} {:>10} {:>12} {:>10.1} {:>9}",
             r.k, r.n, r.space_bits, r.n_cbrt, r.correct
@@ -398,18 +403,36 @@ pub fn print_e6(runner: &BatchRunner) {
 
 /// Measures the separation series (quantum metering-only above k = 5).
 pub fn f1_separation_rows(k_max: u32) -> Vec<SeparationRow> {
+    f1_separation_rows_scheduled(
+        k_max,
+        &BatchRunner::available(),
+        SessionSchedule::Uninterrupted,
+    )
+}
+
+/// [`f1_separation_rows`] under an explicit runner and
+/// [`SessionSchedule`]: both machine fleets run as sessions; the
+/// migrating schedule suspends, serializes and migrates every decider
+/// (quantum register snapshots included) at each segment boundary and
+/// produces the identical table.
+pub fn f1_separation_rows_scheduled(
+    k_max: u32,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<SeparationRow> {
     let mut rng = StdRng::seed_from_u64(5000);
-    separation_table(1, k_max, &mut rng)
+    let seeds: Vec<u64> = (1..=k_max).map(|_| rng.gen()).collect();
+    separation_rows_scheduled(1, &seeds, runner, schedule)
 }
 
 /// Prints the F1 series.
-pub fn print_f1() {
+pub fn print_f1(runner: &BatchRunner, schedule: SessionSchedule) {
     println!("F1 — the separation: space to recognize L_DISJ online, vs input length");
     println!(
         "{:>3} {:>8} {:>11} | {:>14} {:>7} | {:>15} {:>12}",
         "k", "m", "n", "quantum bits", "qubits", "classical bits", "LB (cells)"
     );
-    for r in f1_separation_rows(8) {
+    for r in f1_separation_rows_scheduled(8, runner, schedule) {
         println!(
             "{:>3} {:>8} {:>11} | {:>14} {:>7} | {:>15} {:>12}",
             r.k,
@@ -514,11 +537,15 @@ pub struct F3Row {
 /// Monte-Carlo A2 false-accept rates: one batched fleet of `trials`
 /// checker instances per `k`, each trial's corrupted word and evaluation
 /// point derived from `(k, trial)` alone.
-pub fn f3_fingerprint_rows(trials: usize, runner: &BatchRunner) -> Vec<F3Row> {
+pub fn f3_fingerprint_rows(
+    trials: usize,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<F3Row> {
     [1u32, 2, 3]
         .iter()
         .map(|&k| {
-            let report = runner.run(trials, |trial| {
+            let report = runner.run_scheduled(trials, schedule, |trial| {
                 let mut rng = StdRng::seed_from_u64(derive_seed(7000 + u64::from(k), trial));
                 let inst = random_member(k, &mut rng);
                 let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
@@ -535,10 +562,10 @@ pub fn f3_fingerprint_rows(trials: usize, runner: &BatchRunner) -> Vec<F3Row> {
 }
 
 /// Prints the F3 series.
-pub fn print_f3(runner: &BatchRunner) {
+pub fn print_f3(runner: &BatchRunner, schedule: SessionSchedule) {
     println!("F3 — A2 fingerprint false-accept rate on corrupted words (one-sided soundness)");
     println!("{:>3} {:>12} {:>16}", "k", "empirical", "2·(m−1)/2^4k");
-    for r in f3_fingerprint_rows(4000, runner) {
+    for r in f3_fingerprint_rows(4000, runner, schedule) {
         println!("{:>3} {:>12.6} {:>16.6}", r.k, r.empirical, r.bound);
     }
     println!();
@@ -565,7 +592,12 @@ pub struct F4Row {
 
 /// Sweeps sketch budgets at `k`: a batched fleet of `trials` sketch
 /// deciders per budget, each trial derived from `(budget, trial)` alone.
-pub fn f4_sketch_rows(k: u32, trials: usize, runner: &BatchRunner) -> Vec<F4Row> {
+pub fn f4_sketch_rows(
+    k: u32,
+    trials: usize,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<F4Row> {
     let m = string_len(k);
     let budgets: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
         .into_iter()
@@ -574,7 +606,7 @@ pub fn f4_sketch_rows(k: u32, trials: usize, runner: &BatchRunner) -> Vec<F4Row>
     budgets
         .iter()
         .map(|&budget| {
-            let report = runner.run(trials, |trial| {
+            let report = runner.run_scheduled(trials, schedule, |trial| {
                 let mut rng = StdRng::seed_from_u64(derive_seed(8000 + budget as u64, trial));
                 let non = random_nonmember(k, 1, &mut rng);
                 let sketch = SketchDecider::new(budget, &mut rng);
@@ -591,7 +623,7 @@ pub fn f4_sketch_rows(k: u32, trials: usize, runner: &BatchRunner) -> Vec<F4Row>
 }
 
 /// Prints the F4 series.
-pub fn print_f4(runner: &BatchRunner) {
+pub fn print_f4(runner: &BatchRunner, schedule: SessionSchedule) {
     let k = 4;
     println!(
         "F4 — classical sketches below √m fail (k = {k}, m = {}, planted t = 1)",
@@ -601,7 +633,7 @@ pub fn print_f4(runner: &BatchRunner) {
         "{:>7} {:>11} {:>11} {:>14}",
         "budget", "space bits", "miss rate", "analytic miss"
     );
-    for r in f4_sketch_rows(k, 400, runner) {
+    for r in f4_sketch_rows(k, 400, runner, schedule) {
         println!(
             "{:>7} {:>11} {:>11.3} {:>14.3}",
             r.budget, r.space_bits, r.miss_rate, r.expected_miss
@@ -811,7 +843,7 @@ mod tests {
 
     #[test]
     fn e6_rows_correct_and_cbrt_shaped() {
-        for r in e6_classical_rows(5, &BatchRunner::available()) {
+        for r in e6_classical_rows(5, &BatchRunner::available(), SessionSchedule::Uninterrupted) {
             assert!(r.correct);
             assert!((r.space_bits as f64) < 40.0 * r.n_cbrt + 200.0);
         }
@@ -821,16 +853,17 @@ mod tests {
     fn batched_tables_are_worker_count_independent() {
         let serial = BatchRunner::serial();
         let wide = BatchRunner::new(8);
-        let e6_a = e6_classical_rows(4, &serial);
-        let e6_b = e6_classical_rows(4, &wide);
+        let plain = SessionSchedule::Uninterrupted;
+        let e6_a = e6_classical_rows(4, &serial, plain);
+        let e6_b = e6_classical_rows(4, &wide, plain);
         for (a, b) in e6_a.iter().zip(&e6_b) {
             assert_eq!(
                 (a.k, a.space_bits, a.correct),
                 (b.k, b.space_bits, b.correct)
             );
         }
-        let f4_a = f4_sketch_rows(2, 50, &serial);
-        let f4_b = f4_sketch_rows(2, 50, &wide);
+        let f4_a = f4_sketch_rows(2, 50, &serial, plain);
+        let f4_b = f4_sketch_rows(2, 50, &wide, SessionSchedule::MigrateEvery(13));
         for (a, b) in f4_a.iter().zip(&f4_b) {
             assert_eq!(a.budget, b.budget);
             assert_eq!(a.space_bits, b.space_bits);
@@ -848,7 +881,11 @@ mod tests {
 
     #[test]
     fn f3_empirical_below_bound() {
-        for r in f3_fingerprint_rows(500, &BatchRunner::available()) {
+        for r in f3_fingerprint_rows(
+            500,
+            &BatchRunner::available(),
+            SessionSchedule::Uninterrupted,
+        ) {
             assert!(
                 r.empirical <= r.bound + 0.05,
                 "k={}: {} > {}",
@@ -861,7 +898,12 @@ mod tests {
 
     #[test]
     fn f4_miss_rate_tracks_analytic() {
-        let rows = f4_sketch_rows(3, 200, &BatchRunner::available());
+        let rows = f4_sketch_rows(
+            3,
+            200,
+            &BatchRunner::available(),
+            SessionSchedule::Uninterrupted,
+        );
         for r in &rows {
             assert!(
                 (r.miss_rate - r.expected_miss).abs() < 0.15,

@@ -8,7 +8,10 @@
 //! logarithmic in the input length.
 
 use oqsc_lang::Sym;
-use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
+use oqsc_machine::session::{put_u32, put_u8, put_usize};
+use oqsc_machine::{
+    bits_for_counter, ByteReader, CheckpointError, Checkpointable, SpaceMeter, StreamingDecider,
+};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
@@ -147,6 +150,50 @@ impl StreamingDecider for FormatChecker {
         out.extend_from_slice(&(self.block_pos as u64).to_le_bytes());
         out.extend_from_slice(&(self.blocks_done as u64).to_le_bytes());
         out
+    }
+}
+
+impl Checkpointable for FormatChecker {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        put_u8(
+            out,
+            match self.phase {
+                Phase::Prefix => 0,
+                Phase::Block => 1,
+                Phase::Done => 2,
+                Phase::Failed => 3,
+            },
+        );
+        put_u32(out, self.k);
+        put_usize(out, self.m);
+        put_usize(out, self.total_blocks);
+        put_usize(out, self.block_pos);
+        put_usize(out, self.blocks_done);
+        self.meter.write_checkpoint(out);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let phase = match r.read_u8()? {
+            0 => Phase::Prefix,
+            1 => Phase::Block,
+            2 => Phase::Done,
+            3 => Phase::Failed,
+            v => return Err(CheckpointError::Malformed(format!("bad A1 phase tag {v}"))),
+        };
+        let k = r.read_u32()?;
+        let m = r.read_usize()?;
+        let total_blocks = r.read_usize()?;
+        let block_pos = r.read_usize()?;
+        let blocks_done = r.read_usize()?;
+        Ok(FormatChecker {
+            phase,
+            k,
+            m,
+            total_blocks,
+            block_pos,
+            blocks_done,
+            meter: SpaceMeter::read_checkpoint(r)?,
+        })
     }
 }
 

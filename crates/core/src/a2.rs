@@ -15,7 +15,10 @@
 
 use oqsc_fingerprint::{ceil_log2, fingerprint_prime, StreamingFingerprint};
 use oqsc_lang::Sym;
-use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
+use oqsc_machine::session::{put_bool, put_u32, put_u64, put_u8, put_usize};
+use oqsc_machine::{
+    bits_for_counter, ByteReader, CheckpointError, Checkpointable, SpaceMeter, StreamingDecider,
+};
 use rand::Rng;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +192,96 @@ impl StreamingDecider for ConsistencyChecker {
             out.extend_from_slice(&(fp.len() as u64).to_le_bytes());
         }
         out
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            put_bool(out, true);
+            put_u64(out, x);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn read_opt_u64(r: &mut ByteReader) -> Result<Option<u64>, CheckpointError> {
+    Ok(if r.read_bool()? {
+        Some(r.read_u64()?)
+    } else {
+        None
+    })
+}
+
+impl Checkpointable for ConsistencyChecker {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.seed_t);
+        put_bool(out, self.in_prefix);
+        put_u32(out, self.k);
+        match &self.fp {
+            Some(fp) => {
+                put_bool(out, true);
+                put_u64(out, fp.modulus());
+                put_u64(out, fp.point());
+                put_u64(out, fp.value());
+                put_u64(out, fp.power());
+                put_usize(out, fp.len());
+            }
+            None => put_bool(out, false),
+        }
+        put_u8(
+            out,
+            match self.slot {
+                Slot::X => 0,
+                Slot::Y => 1,
+                Slot::Z => 2,
+            },
+        );
+        put_opt_u64(out, self.prev_x);
+        put_opt_u64(out, self.prev_y);
+        put_bool(out, self.ok);
+        self.meter.write_checkpoint(out);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let seed_t = r.read_u64()?;
+        let in_prefix = r.read_bool()?;
+        let k = r.read_u32()?;
+        let fp = if r.read_bool()? {
+            let p = r.read_u64()?;
+            let t = r.read_u64()?;
+            let acc = r.read_u64()?;
+            let t_pow = r.read_u64()?;
+            let len = r.read_usize()?;
+            if p < 2 || t >= p || acc >= p || t_pow >= p {
+                return Err(CheckpointError::Malformed(
+                    "A2 fingerprint residues not reduced".into(),
+                ));
+            }
+            Some(StreamingFingerprint::from_parts(p, t, acc, t_pow, len))
+        } else {
+            None
+        };
+        let slot = match r.read_u8()? {
+            0 => Slot::X,
+            1 => Slot::Y,
+            2 => Slot::Z,
+            v => return Err(CheckpointError::Malformed(format!("bad A2 slot tag {v}"))),
+        };
+        let prev_x = read_opt_u64(r)?;
+        let prev_y = read_opt_u64(r)?;
+        let ok = r.read_bool()?;
+        Ok(ConsistencyChecker {
+            seed_t,
+            in_prefix,
+            k,
+            fp,
+            slot,
+            prev_x,
+            prev_y,
+            ok,
+            meter: SpaceMeter::read_checkpoint(r)?,
+        })
     }
 }
 

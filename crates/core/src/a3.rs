@@ -18,7 +18,11 @@
 //! `1 − b`; so `true` (= 1) means "no intersection witnessed".
 
 use oqsc_lang::Sym;
-use oqsc_machine::{bits_for_counter, MeteredRegister, SpaceMeter, StreamingDecider};
+use oqsc_machine::session::{put_bool, put_u32, put_u64, put_u8, put_usize};
+use oqsc_machine::{
+    bits_for_counter, ByteReader, CheckpointError, Checkpointable, MeteredRegister, SpaceMeter,
+    StreamingDecider,
+};
 use oqsc_quantum::{GroverLayout, QuantumBackend, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,9 +47,12 @@ enum Slot {
 /// procedure in support-proportional memory).
 #[derive(Clone, Debug)]
 pub struct GroverStreamer<B: QuantumBackend = StateVector> {
-    /// Seed for the measurement and for drawing `j` (an OPTM flips coins
-    /// online; we pre-commit the entropy for reproducibility).
-    rng: StdRng,
+    /// Seed for the final measurement (an OPTM flips coins online; we
+    /// pre-commit the entropy for reproducibility — and, since the coin
+    /// is only consumed at [`StreamingDecider::decide`], storing the seed
+    /// rather than a live generator makes the whole mid-stream
+    /// configuration serializable for session checkpoints).
+    measure_seed: u64,
     j_seed: u64,
     in_prefix: bool,
     k: u32,
@@ -93,7 +100,7 @@ impl<B: QuantumBackend> GroverStreamer<B> {
     /// [`GroverStreamer::new`] over any backend.
     pub fn new_in<R: Rng + ?Sized>(rng: &mut R) -> Self {
         GroverStreamer {
-            rng: StdRng::seed_from_u64(rng.gen()),
+            measure_seed: rng.gen(),
             j_seed: rng.gen(),
             in_prefix: true,
             k: 0,
@@ -112,7 +119,7 @@ impl<B: QuantumBackend> GroverStreamer<B> {
     /// [`GroverStreamer::with_j_seed`] over any backend.
     pub fn with_j_seed_in(j_seed: u64, measure_seed: u64) -> Self {
         GroverStreamer {
-            rng: StdRng::seed_from_u64(measure_seed),
+            measure_seed,
             j_seed,
             in_prefix: true,
             k: 0,
@@ -271,10 +278,15 @@ impl<B: QuantumBackend> StreamingDecider for GroverStreamer<B> {
     }
 
     fn decide(&mut self) -> bool {
-        // Measure the last qubit; output 1 − b.
+        // Measure the last qubit; output 1 − b. The measurement generator
+        // is built from the pre-committed seed here, at the single point
+        // it is consumed — identical draw to keeping it live, and the
+        // reason a suspended streamer needs only the seed in its
+        // checkpoint.
         match (self.layout, self.reg.state_mut()) {
             (Some(layout), Some(state)) => {
-                let b = state.measure_qubit(layout.l_qubit(), &mut self.rng);
+                let mut rng = StdRng::seed_from_u64(self.measure_seed);
+                let b = state.measure_qubit(layout.l_qubit(), &mut rng);
                 b == 0
             }
             // No quantum register was ever allocated (garbage prefix):
@@ -311,6 +323,93 @@ impl<B: QuantumBackend> StreamingDecider for GroverStreamer<B> {
         out.extend_from_slice(&(self.j as u32).to_le_bytes());
         out.extend_from_slice(&(self.bit_idx as u32).to_le_bytes());
         out
+    }
+}
+
+impl<B: QuantumBackend> Checkpointable for GroverStreamer<B> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.measure_seed);
+        put_u64(out, self.j_seed);
+        put_bool(out, self.in_prefix);
+        put_u32(out, self.k);
+        match &self.layout {
+            Some(l) => {
+                put_bool(out, true);
+                put_usize(out, l.idx_width);
+            }
+            None => put_bool(out, false),
+        }
+        self.reg.write_checkpoint(out);
+        put_usize(out, self.round);
+        put_usize(out, self.j);
+        put_u8(
+            out,
+            match self.slot {
+                Slot::X => 0,
+                Slot::Y => 1,
+                Slot::Z => 2,
+            },
+        );
+        put_usize(out, self.bit_idx);
+        put_bool(out, self.marking_done);
+        put_bool(out, self.simulate);
+        self.meter.write_checkpoint(out);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let measure_seed = r.read_u64()?;
+        let j_seed = r.read_u64()?;
+        let in_prefix = r.read_bool()?;
+        let k = r.read_u32()?;
+        let layout = if r.read_bool()? {
+            Some(GroverLayout {
+                idx_width: r.read_usize()?,
+            })
+        } else {
+            None
+        };
+        let reg = MeteredRegister::read_checkpoint(r)?;
+        // A layout is only ever recorded alongside the register it was
+        // allocated for; a width mismatch (or a layout without a
+        // register) is a corrupted checkpoint, and must fail resume here
+        // rather than panic on the first out-of-range gate later.
+        if let Some(l) = &layout {
+            let width_matches = reg
+                .state()
+                .is_some_and(|s| QuantumBackend::num_qubits(s) == l.num_qubits());
+            if !width_matches {
+                return Err(CheckpointError::Malformed(format!(
+                    "A3 layout ({} qubits) does not match the restored register",
+                    l.num_qubits()
+                )));
+            }
+        }
+        let round = r.read_usize()?;
+        let j = r.read_usize()?;
+        let slot = match r.read_u8()? {
+            0 => Slot::X,
+            1 => Slot::Y,
+            2 => Slot::Z,
+            v => return Err(CheckpointError::Malformed(format!("bad A3 slot tag {v}"))),
+        };
+        let bit_idx = r.read_usize()?;
+        let marking_done = r.read_bool()?;
+        let simulate = r.read_bool()?;
+        Ok(GroverStreamer {
+            measure_seed,
+            j_seed,
+            in_prefix,
+            k,
+            layout,
+            reg,
+            round,
+            j,
+            slot,
+            bit_idx,
+            marking_done,
+            simulate,
+            meter: SpaceMeter::read_checkpoint(r)?,
+        })
     }
 }
 

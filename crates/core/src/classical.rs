@@ -5,8 +5,43 @@
 use crate::a1::FormatChecker;
 use crate::a2::ConsistencyChecker;
 use oqsc_lang::Sym;
-use oqsc_machine::{bits_for_counter, SpaceMeter, StreamingDecider};
+use oqsc_machine::session::{put_bool, put_u32, put_u64, put_u8, put_usize};
+use oqsc_machine::{
+    bits_for_counter, ByteReader, CheckpointError, Checkpointable, SpaceMeter, StreamingDecider,
+};
 use rand::Rng;
+
+fn put_slot(out: &mut Vec<u8>, slot: Slot) {
+    put_u8(
+        out,
+        match slot {
+            Slot::X => 0,
+            Slot::Y => 1,
+            Slot::Z => 2,
+        },
+    );
+}
+
+fn read_slot(r: &mut ByteReader) -> Result<Slot, CheckpointError> {
+    match r.read_u8()? {
+        0 => Ok(Slot::X),
+        1 => Ok(Slot::Y),
+        2 => Ok(Slot::Z),
+        v => Err(CheckpointError::Malformed(format!("bad slot tag {v}"))),
+    }
+}
+
+fn put_bools(out: &mut Vec<u8>, bits: &[bool]) {
+    put_usize(out, bits.len());
+    for &b in bits {
+        put_bool(out, b);
+    }
+}
+
+fn read_bools(r: &mut ByteReader) -> Result<Vec<bool>, CheckpointError> {
+    let len = r.read_usize()?;
+    (0..len).map(|_| r.read_bool()).collect()
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Slot {
@@ -165,6 +200,53 @@ impl StreamingDecider for Prop37Decider {
     }
 }
 
+impl Checkpointable for Prop37Decider {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.format.write_state(out);
+        self.consistency.write_state(out);
+        put_u32(out, self.k);
+        put_usize(out, self.chunk);
+        put_bools(out, &self.buffer);
+        put_usize(out, self.round);
+        put_slot(out, self.slot);
+        put_usize(out, self.bit_idx);
+        put_bool(out, self.in_prefix);
+        put_bool(out, self.intersection);
+        self.meter.write_checkpoint(out);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let format = Checkpointable::read_state(r)?;
+        let consistency = Checkpointable::read_state(r)?;
+        let k = r.read_u32()?;
+        let chunk = r.read_usize()?;
+        let bits = read_bools(r)?;
+        // Rebuild the round buffer at its reserved capacity: the space
+        // meter charges the committed buffer (capacity), so the restored
+        // decider must hold the same allocation the live one did.
+        let mut buffer = Vec::with_capacity(chunk.max(bits.len()));
+        buffer.extend_from_slice(&bits);
+        let round = r.read_usize()?;
+        let slot = read_slot(r)?;
+        let bit_idx = r.read_usize()?;
+        let in_prefix = r.read_bool()?;
+        let intersection = r.read_bool()?;
+        Ok(Prop37Decider {
+            format,
+            consistency,
+            k,
+            chunk,
+            buffer,
+            round,
+            slot,
+            bit_idx,
+            in_prefix,
+            intersection,
+            meter: SpaceMeter::read_checkpoint(r)?,
+        })
+    }
+}
+
 /// A bounded-budget sampling sketch: stores `x` on a random set of
 /// `budget` coordinates (chosen once `m` is known) and declares an
 /// intersection only if it sees one on a sampled coordinate. With
@@ -314,6 +396,65 @@ impl StreamingDecider for SketchDecider {
             out.push(u8::from(b));
         }
         out
+    }
+}
+
+impl Checkpointable for SketchDecider {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.format.write_state(out);
+        self.consistency.write_state(out);
+        put_usize(out, self.budget);
+        put_u32(out, self.k);
+        put_bool(out, self.in_prefix);
+        put_usize(out, self.positions.len());
+        for &p in &self.positions {
+            put_u32(out, p);
+        }
+        put_bools(out, &self.x_bits);
+        put_usize(out, self.round);
+        put_slot(out, self.slot);
+        put_usize(out, self.bit_idx);
+        put_bool(out, self.intersection);
+        put_u64(out, self.seed);
+        self.meter.write_checkpoint(out);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let format = Checkpointable::read_state(r)?;
+        let consistency = Checkpointable::read_state(r)?;
+        let budget = r.read_usize()?;
+        let k = r.read_u32()?;
+        let in_prefix = r.read_bool()?;
+        let n_pos = r.read_usize()?;
+        let positions = (0..n_pos)
+            .map(|_| r.read_u32())
+            .collect::<Result<Vec<_>, _>>()?;
+        let x_bits = read_bools(r)?;
+        if x_bits.len() != positions.len() {
+            return Err(CheckpointError::Malformed(
+                "sketch bit/position length mismatch".into(),
+            ));
+        }
+        let round = r.read_usize()?;
+        let slot = read_slot(r)?;
+        let bit_idx = r.read_usize()?;
+        let intersection = r.read_bool()?;
+        let seed = r.read_u64()?;
+        Ok(SketchDecider {
+            format,
+            consistency,
+            budget,
+            k,
+            in_prefix,
+            positions,
+            x_bits,
+            round,
+            slot,
+            bit_idx,
+            intersection,
+            seed,
+            meter: SpaceMeter::read_checkpoint(r)?,
+        })
     }
 }
 

@@ -67,9 +67,10 @@ pub use recognizer::{
 };
 pub use separation::{
     measure_separation_row, measure_separation_row_seeded, separation_rows_batched,
-    separation_table, SeparationRow,
+    separation_rows_scheduled, separation_table, SeparationRow,
 };
 pub use sweep::{
-    complement_accept_frequency_in, complement_sweep, complement_sweep_in, derive_seed,
-    ldisj_sweep, ldisj_sweep_in,
+    complement_accept_frequency_in, complement_sweep, complement_sweep_in,
+    complement_sweep_scheduled_in, derive_seed, ldisj_sweep, ldisj_sweep_in,
+    ldisj_sweep_scheduled_in,
 };

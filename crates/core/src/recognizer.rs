@@ -23,7 +23,8 @@ use crate::a2::ConsistencyChecker;
 use crate::a3::GroverStreamer;
 use oqsc_fingerprint::fingerprint_prime;
 use oqsc_lang::Sym;
-use oqsc_machine::StreamingDecider;
+use oqsc_machine::session::put_usize;
+use oqsc_machine::{ByteReader, CheckpointError, Checkpointable, StreamingDecider};
 use oqsc_quantum::{QuantumBackend, StateVector};
 use rand::Rng;
 
@@ -150,6 +151,22 @@ impl<B: QuantumBackend> StreamingDecider for ComplementRecognizer<B> {
     }
 }
 
+impl<B: QuantumBackend> Checkpointable for ComplementRecognizer<B> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.a1.write_state(out);
+        self.a2.write_state(out);
+        self.a3.write_state(out);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        Ok(ComplementRecognizer {
+            a1: Checkpointable::read_state(r)?,
+            a2: Checkpointable::read_state(r)?,
+            a3: Checkpointable::read_state(r)?,
+        })
+    }
+}
+
 /// Exact acceptance probability of [`ComplementRecognizer`] on a word, by
 /// exhausting A2's evaluation points and A3's iteration counts (feasible
 /// for `k ≤ 3`). Acceptance means "declared in the complement".
@@ -257,6 +274,28 @@ impl<B: QuantumBackend> StreamingDecider for LdisjRecognizer<B> {
 
     fn snapshot(&self) -> Vec<u8> {
         self.copies.iter().flat_map(|c| c.snapshot()).collect()
+    }
+}
+
+impl<B: QuantumBackend> Checkpointable for LdisjRecognizer<B> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.copies.len());
+        for c in &self.copies {
+            c.write_state(out);
+        }
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let reps = r.read_usize()?;
+        if reps == 0 {
+            return Err(CheckpointError::Malformed(
+                "amplified recognizer needs ≥ 1 copy".into(),
+            ));
+        }
+        let copies = (0..reps)
+            .map(|_| Checkpointable::read_state(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LdisjRecognizer { copies })
     }
 }
 

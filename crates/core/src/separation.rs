@@ -12,7 +12,7 @@ use crate::recognizer::{ComplementRecognizer, SpaceReport};
 use crate::sweep::derive_seed;
 use oqsc_comm::theorem_3_6_space_bound;
 use oqsc_lang::{encoded_len, random_member, string_len, LdisjInstance};
-use oqsc_machine::BatchRunner;
+use oqsc_machine::{BatchRunner, SessionSchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -88,7 +88,22 @@ pub fn separation_rows_batched(
     seeds: &[u64],
     runner: &BatchRunner,
 ) -> Vec<SeparationRow> {
-    let quantum = runner.run(seeds.len(), |i| {
+    separation_rows_scheduled(k_min, seeds, runner, SessionSchedule::Uninterrupted)
+}
+
+/// [`separation_rows_batched`] under an explicit [`SessionSchedule`]:
+/// with [`SessionSchedule::MigrateEvery`], both fleets — quantum
+/// recognizers (register snapshots included) and classical deciders —
+/// are suspended at every segment boundary, serialized, migrated to the
+/// next worker, and resumed, and the table is `==`-identical to the
+/// uninterrupted one.
+pub fn separation_rows_scheduled(
+    k_min: u32,
+    seeds: &[u64],
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<SeparationRow> {
+    let quantum = runner.run_scheduled(seeds.len(), schedule, |i| {
         let k = k_min + i as u32;
         let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 0));
         let decider = if k <= 5 {
@@ -98,7 +113,7 @@ pub fn separation_rows_batched(
         };
         (decider, row_instance(k, seeds[i]).into_stream())
     });
-    let classical = runner.run(seeds.len(), |i| {
+    let classical = runner.run_scheduled(seeds.len(), schedule, |i| {
         let k = k_min + i as u32;
         let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 1));
         (

@@ -13,7 +13,7 @@
 
 use crate::recognizer::{ComplementRecognizer, LdisjRecognizer};
 use oqsc_lang::Sym;
-use oqsc_machine::{BatchReport, BatchRunner};
+use oqsc_machine::{BatchReport, BatchRunner, SessionSchedule};
 use oqsc_quantum::{QuantumBackend, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +42,21 @@ pub fn complement_sweep_in<B: QuantumBackend>(
     base_seed: u64,
     runner: &BatchRunner,
 ) -> BatchReport {
-    runner.run_words(words, |i| {
+    complement_sweep_scheduled_in::<B>(words, base_seed, runner, SessionSchedule::Uninterrupted)
+}
+
+/// [`complement_sweep_in`] under an explicit [`SessionSchedule`]: with
+/// [`SessionSchedule::MigrateEvery`], every recognizer is repeatedly
+/// suspended, serialized (decider configuration + register snapshot +
+/// metering), migrated to the next worker, and resumed — producing the
+/// identical report, by the checkpoint round-trip contract.
+pub fn complement_sweep_scheduled_in<B: QuantumBackend>(
+    words: &[Vec<Sym>],
+    base_seed: u64,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> BatchReport {
+    runner.run_words_scheduled(words, schedule, |i| {
         let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
         ComplementRecognizer::<B>::new_in(&mut rng)
     })
@@ -66,7 +80,25 @@ pub fn ldisj_sweep_in<B: QuantumBackend>(
     base_seed: u64,
     runner: &BatchRunner,
 ) -> BatchReport {
-    runner.run_words(words, |i| {
+    ldisj_sweep_scheduled_in::<B>(
+        words,
+        reps,
+        base_seed,
+        runner,
+        SessionSchedule::Uninterrupted,
+    )
+}
+
+/// [`ldisj_sweep_in`] under an explicit [`SessionSchedule`] (see
+/// [`complement_sweep_scheduled_in`]).
+pub fn ldisj_sweep_scheduled_in<B: QuantumBackend>(
+    words: &[Vec<Sym>],
+    reps: usize,
+    base_seed: u64,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> BatchReport {
+    runner.run_words_scheduled(words, schedule, |i| {
         let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
         LdisjRecognizer::<B>::new_in(reps, &mut rng)
     })

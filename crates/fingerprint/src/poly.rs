@@ -77,6 +77,39 @@ impl StreamingFingerprint {
         self.p
     }
 
+    /// The evaluation point `t`.
+    #[inline]
+    pub fn point(&self) -> u64 {
+        self.t
+    }
+
+    /// The running power `t^len mod p` (serialization observable).
+    #[inline]
+    pub fn power(&self) -> u64 {
+        self.t_pow
+    }
+
+    /// Rebuilds a mid-stream fingerprint from its serialized parts (the
+    /// session-checkpoint restore path): the inverse of reading
+    /// [`modulus`](Self::modulus), [`point`](Self::point),
+    /// [`value`](Self::value), [`power`](Self::power) and
+    /// [`len`](Self::len).
+    ///
+    /// # Panics
+    /// If the parts are not reduced residues of a valid stream
+    /// (`p < 2`, `t ≥ p`, `acc ≥ p`, or `t_pow ≥ p`).
+    pub fn from_parts(p: u64, t: u64, acc: u64, t_pow: u64, len: usize) -> Self {
+        assert!(p >= 2, "modulus must be ≥ 2");
+        assert!(t < p && acc < p && t_pow < p, "residues must be reduced");
+        StreamingFingerprint {
+            p,
+            t,
+            acc,
+            t_pow,
+            len,
+        }
+    }
+
     /// Resets to an empty fingerprint at the same `(p, t)`, reusing the
     /// allocation-free state (A2 restarts one fingerprint per block).
     pub fn reset(&mut self) {

@@ -24,8 +24,25 @@
 //! The integration suite pins this: 1, 2 and 8 workers over the same
 //! seeded instance set produce `==`-identical reports.
 
+use crate::session::{Checkpointable, Session, SessionCheckpoint};
 use crate::streaming::{run_decider_stream, RunOutcome, StreamingDecider};
 use oqsc_lang::Sym;
+
+/// How a batched fleet drives its sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SessionSchedule {
+    /// Each instance runs start to finish on one worker (the classic
+    /// shard-per-worker path).
+    #[default]
+    Uninterrupted,
+    /// Every instance is suspended after each segment of this many
+    /// tokens, its checkpoint handed to the **next** worker, and resumed
+    /// there — continuous migration, exercising the full
+    /// suspend/serialize/resume seam. The report is identical to
+    /// [`SessionSchedule::Uninterrupted`] by the checkpoint round-trip
+    /// contract (DESIGN.md §7).
+    MigrateEvery(usize),
+}
 
 /// A shard-per-worker scheduler driving many [`StreamingDecider`]
 /// instances concurrently.
@@ -121,6 +138,165 @@ impl BatchRunner {
         F: Fn(usize) -> D + Sync,
     {
         self.run(words.len(), |i| (make(i), words[i].iter().copied()))
+    }
+
+    /// [`run`](Self::run) under an explicit [`SessionSchedule`]: the
+    /// uninterrupted schedule is the classic path; the migrating schedule
+    /// routes every instance through
+    /// [`run_migrating`](Self::run_migrating).
+    pub fn run_scheduled<D, W, F>(
+        &self,
+        count: usize,
+        schedule: SessionSchedule,
+        task: F,
+    ) -> BatchReport
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        match schedule {
+            SessionSchedule::Uninterrupted => self.run(count, task),
+            SessionSchedule::MigrateEvery(n) => self.run_migrating(count, n, task),
+        }
+    }
+
+    /// [`run_words`](Self::run_words) under an explicit schedule.
+    pub fn run_words_scheduled<D, F>(
+        &self,
+        words: &[Vec<Sym>],
+        schedule: SessionSchedule,
+        make: F,
+    ) -> BatchReport
+    where
+        D: Checkpointable,
+        F: Fn(usize) -> D + Sync,
+    {
+        self.run_scheduled(words.len(), schedule, |i| {
+            (make(i), words[i].iter().copied())
+        })
+    }
+
+    /// Drives `count` checkpointable sessions with **continuous worker
+    /// migration**: execution proceeds in rounds of `checkpoint_every`
+    /// tokens (clamped to ≥ 1); after each round every live session is
+    /// suspended into its serialized [`SessionCheckpoint`] and the bytes
+    /// are handed to a different worker for the next round (instance `i`
+    /// runs round `r` on worker `(i + r) mod W`). The decider crosses
+    /// rounds **only as bytes** — every segment boundary resumes it from
+    /// its checkpoint, so the full suspend/serialize/resume seam is
+    /// exercised at every boundary. (The input iterator itself travels
+    /// alongside the bytes: in-process migration need not replay a
+    /// 50-million-symbol stream, and a cross-process scheduler would
+    /// re-derive it from `task(i)` and skip to
+    /// [`SessionCheckpoint::position`].)
+    ///
+    /// Because a checkpoint round-trip is an identity on decider state,
+    /// the report is `==`-identical to [`run`] — whatever the worker
+    /// count and wherever the segment boundaries fall. The integration
+    /// suite pins this.
+    ///
+    /// [`run`]: Self::run
+    pub fn run_migrating<D, W, F>(
+        &self,
+        count: usize,
+        checkpoint_every: usize,
+        task: F,
+    ) -> BatchReport
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        enum Cell<I> {
+            Unstarted,
+            Suspended(SessionCheckpoint, I),
+            Done(RunOutcome),
+        }
+        let workers = self.workers.min(count.max(1));
+        let segment = checkpoint_every.max(1);
+        let mut cells: Vec<Cell<W::IntoIter>> = (0..count).map(|_| Cell::Unstarted).collect();
+        // Advance one live instance by one segment: resume the decider
+        // from its checkpoint bytes, feed, and suspend it back to bytes.
+        let advance = |idx: usize, cell: Cell<W::IntoIter>| -> Cell<W::IntoIter> {
+            let (mut session, mut stream) = match cell {
+                Cell::Unstarted => {
+                    let (decider, word) = task(idx);
+                    (Session::new(decider), word.into_iter())
+                }
+                Cell::Suspended(cp, stream) => (
+                    Session::resume(&cp).expect("in-process checkpoint must resume"),
+                    stream,
+                ),
+                Cell::Done(_) => unreachable!("finished instances are not rescheduled"),
+            };
+            for _ in 0..segment {
+                match stream.next() {
+                    Some(sym) => session.feed(sym),
+                    None => return Cell::Done(session.finish()),
+                }
+            }
+            Cell::Suspended(session.suspend(), stream)
+        };
+        for round in 0.. {
+            if cells.iter().all(|c| matches!(c, Cell::Done(_))) {
+                break;
+            }
+            if workers <= 1 {
+                // Single worker: same suspend/resume cadence, no spawn.
+                for (idx, cell) in cells.iter_mut().enumerate() {
+                    if !matches!(cell, Cell::Done(_)) {
+                        let taken = std::mem::replace(cell, Cell::Unstarted);
+                        *cell = advance(idx, taken);
+                    }
+                }
+                continue;
+            }
+            // Migration: instance i's round-r segment runs on worker
+            // (i + r) mod W — every surviving session changes worker
+            // every round. Results are scattered back by index, so the
+            // schedule never leaks into the report.
+            let mut assigned: Vec<Vec<(usize, Cell<W::IntoIter>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (idx, cell) in cells.iter_mut().enumerate() {
+                if !matches!(cell, Cell::Done(_)) {
+                    let taken = std::mem::replace(cell, Cell::Unstarted);
+                    assigned[(idx + round) % workers].push((idx, taken));
+                }
+            }
+            let updates: Vec<Vec<(usize, Cell<W::IntoIter>)>> = std::thread::scope(|scope| {
+                let advance = &advance;
+                let handles: Vec<_> = assigned
+                    .into_iter()
+                    .map(|batch| {
+                        scope.spawn(move || {
+                            batch
+                                .into_iter()
+                                .map(|(idx, cell)| (idx, advance(idx, cell)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("migrating batch worker panicked"))
+                    .collect()
+            });
+            for (idx, cell) in updates.into_iter().flatten() {
+                cells[idx] = cell;
+            }
+        }
+        BatchReport::from_outcomes(
+            cells
+                .into_iter()
+                .map(|c| match c {
+                    Cell::Done(o) => o,
+                    _ => unreachable!("loop exits only when every cell is done"),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -252,6 +428,125 @@ mod tests {
         assert!(report.is_empty());
         assert_eq!(report.accept_rate(), 0.0);
         assert_eq!(report.peak_classical_bits, 0);
+    }
+
+    /// A checkpointable counting decider for exercising the migrating
+    /// scheduler: accepts iff the number of `1`s equals `target`.
+    #[derive(Clone, Debug)]
+    struct CountOnes {
+        target: u64,
+        seen: u64,
+        peak: usize,
+    }
+
+    impl StreamingDecider for CountOnes {
+        fn feed(&mut self, sym: Sym) {
+            if sym == Sym::One {
+                self.seen += 1;
+            }
+            self.peak = self.peak.max(64 - self.seen.leading_zeros() as usize);
+        }
+
+        fn decide(&mut self) -> bool {
+            self.seen == self.target
+        }
+
+        fn space_bits(&self) -> usize {
+            self.peak
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            self.seen.to_le_bytes().to_vec()
+        }
+    }
+
+    impl crate::session::Checkpointable for CountOnes {
+        fn write_state(&self, out: &mut Vec<u8>) {
+            crate::session::put_u64(out, self.target);
+            crate::session::put_u64(out, self.seen);
+            crate::session::put_usize(out, self.peak);
+        }
+
+        fn read_state(
+            r: &mut crate::session::ByteReader,
+        ) -> Result<Self, crate::session::CheckpointError> {
+            Ok(CountOnes {
+                target: r.read_u64()?,
+                seen: r.read_u64()?,
+                peak: r.read_usize()?,
+            })
+        }
+    }
+
+    #[test]
+    fn migrating_schedule_reproduces_the_uninterrupted_report() {
+        // Streams of different lengths (so instances finish in different
+        // rounds), segments that do and do not divide the lengths, and
+        // several worker counts: every combination must equal the plain
+        // run exactly.
+        let task = |i: usize| {
+            (
+                CountOnes {
+                    target: (3 * i % 5) as u64,
+                    seen: 0,
+                    peak: 0,
+                },
+                (0..2 + 5 * i).map(move |j| {
+                    if j % (i + 2) == 0 {
+                        Sym::One
+                    } else {
+                        Sym::Zero
+                    }
+                }),
+            )
+        };
+        let reference = BatchRunner::serial().run(7, task);
+        assert!(
+            reference.accepted > 0 && reference.accepted < 7,
+            "mixed verdicts"
+        );
+        for workers in [1usize, 2, 3, 8] {
+            let runner = BatchRunner::new(workers);
+            for segment in [1usize, 2, 7, 100] {
+                let migrated = runner.run_migrating(7, segment, task);
+                assert_eq!(migrated, reference, "workers={workers} segment={segment}");
+                let scheduled =
+                    runner.run_scheduled(7, SessionSchedule::MigrateEvery(segment), task);
+                assert_eq!(scheduled, reference, "scheduled workers={workers}");
+            }
+            // The uninterrupted schedule is the classic path.
+            assert_eq!(
+                runner.run_scheduled(7, SessionSchedule::Uninterrupted, task),
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn migrating_schedule_handles_empty_batches_and_zero_segments() {
+        let empty = BatchRunner::new(4).run_migrating(0, 3, |_| {
+            (
+                CountOnes {
+                    target: 0,
+                    seen: 0,
+                    peak: 0,
+                },
+                std::iter::empty(),
+            )
+        });
+        assert!(empty.is_empty());
+        // Segment 0 clamps to 1 instead of looping forever.
+        let one = BatchRunner::new(2).run_migrating(3, 0, |i| {
+            (
+                CountOnes {
+                    target: 0,
+                    seen: 0,
+                    peak: 0,
+                },
+                (0..i).map(|_| Sym::Zero),
+            )
+        });
+        assert_eq!(one.accepted, 3);
     }
 
     #[test]

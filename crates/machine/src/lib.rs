@@ -13,10 +13,17 @@
 //!   the Proposition 3.7 algorithm, the sketches), with configuration
 //!   snapshots for the communication reduction and the full
 //!   [`RunOutcome`](streaming::RunOutcome) space accounting;
+//! * [`session`] — the session engine: [`Session`](session::Session)
+//!   drives a decider token by token and, for
+//!   [`Checkpointable`](session::Checkpointable) deciders, suspends into
+//!   a versioned [`SessionCheckpoint`](session::SessionCheckpoint) and
+//!   resumes anywhere, bit-identically (DESIGN.md §7);
 //! * [`batch`] — the [`BatchRunner`](batch::BatchRunner): many decider
 //!   instances driven concurrently over a shard-per-worker scheduler,
 //!   aggregated into a worker-count-independent
-//!   [`BatchReport`](batch::BatchReport);
+//!   [`BatchReport`](batch::BatchReport); under
+//!   [`SessionSchedule::MigrateEvery`](batch::SessionSchedule) the fleet
+//!   continuously suspends, migrates and resumes its shards;
 //! * [`register`] — the [`MeteredRegister`](register::MeteredRegister)
 //!   quantum-register handle making quantum streaming drivers generic over
 //!   any [`oqsc_quantum::QuantumBackend`];
@@ -30,10 +37,11 @@ pub mod counter;
 pub mod nerode;
 pub mod optm;
 pub mod register;
+pub mod session;
 pub mod space;
 pub mod streaming;
 
-pub use batch::{BatchReport, BatchRunner};
+pub use batch::{BatchReport, BatchRunner, SessionSchedule};
 pub use builder::{a1_shape_machine, OptmBuilder};
 pub use counter::power_of_two_length_machine;
 pub use nerode::{mini_disj_space_floor, nerode_classes_at, streaming_space_floor_bits};
@@ -43,6 +51,9 @@ pub use optm::{
     TapeSym, WorkMove,
 };
 pub use register::MeteredRegister;
+pub use session::{
+    ByteReader, CheckpointError, Checkpointable, Session, SessionCheckpoint, CHECKPOINT_VERSION,
+};
 pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
 pub use streaming::{
     run_decider, run_decider_stream, RunOutcome, StoreEverything, StreamingDecider,

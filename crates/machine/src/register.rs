@@ -11,7 +11,8 @@
 //! over the backend through this type, so swapping dense for sparse
 //! simulation is a type parameter, not a rewrite.
 
-use oqsc_quantum::QuantumBackend;
+use crate::session::{put_bool, put_bytes, put_usize, ByteReader, CheckpointError};
+use oqsc_quantum::{QuantumBackend, StateSnapshot};
 
 /// A lazily allocated, space-metered quantum register over backend `B`.
 #[derive(Clone, Debug)]
@@ -91,6 +92,42 @@ impl<B: QuantumBackend> MeteredRegister<B> {
     /// by.
     pub fn peak_support(&self) -> usize {
         self.peak_support
+    }
+
+    /// Serializes the register for a session checkpoint: allocation flag,
+    /// the state as a versioned byte-exact
+    /// [`oqsc_quantum::StateSnapshot`], and both metering high-water
+    /// marks.
+    pub fn write_checkpoint(&self, out: &mut Vec<u8>) {
+        match &self.state {
+            Some(s) => {
+                put_bool(out, true);
+                put_bytes(out, s.snapshot().as_bytes());
+            }
+            None => put_bool(out, false),
+        }
+        put_usize(out, self.peak_qubits);
+        put_usize(out, self.peak_support);
+    }
+
+    /// Rebuilds a register from bytes written by
+    /// [`write_checkpoint`](Self::write_checkpoint). The state restores
+    /// bit-exactly (no renormalization — the snapshot seam's contract).
+    pub fn read_checkpoint(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        let state = if r.read_bool()? {
+            let snap = StateSnapshot::from_bytes(r.read_prefixed_bytes()?.to_vec())
+                .map_err(CheckpointError::from)?;
+            Some(B::restore(&snap)?)
+        } else {
+            None
+        };
+        let peak_qubits = r.read_usize()?;
+        let peak_support = r.read_usize()?;
+        Ok(MeteredRegister {
+            state,
+            peak_qubits,
+            peak_support,
+        })
     }
 }
 

@@ -19,6 +19,48 @@ impl SpaceMeter {
         SpaceMeter::default()
     }
 
+    /// Rebuilds a meter from trusted readings.
+    ///
+    /// # Panics
+    /// If `peak_bits < current_bits` (no valid history produces that).
+    /// Wire bytes must go through [`read_checkpoint`](Self::read_checkpoint)
+    /// instead, which rejects such readings as a [`CheckpointError`].
+    pub fn from_parts(current_bits: usize, peak_bits: usize) -> Self {
+        assert!(
+            peak_bits >= current_bits,
+            "peak ({peak_bits}) below current ({current_bits})"
+        );
+        SpaceMeter {
+            current_bits,
+            peak_bits,
+        }
+    }
+
+    /// Serializes the readings for a session checkpoint.
+    pub fn write_checkpoint(&self, out: &mut Vec<u8>) {
+        crate::session::put_usize(out, self.current_bits);
+        crate::session::put_usize(out, self.peak_bits);
+    }
+
+    /// Restores a meter from checkpoint bytes, rejecting readings no
+    /// valid history produces (a corrupted checkpoint must fail resume
+    /// with an error, never a panic).
+    pub fn read_checkpoint(
+        r: &mut crate::session::ByteReader,
+    ) -> Result<Self, crate::session::CheckpointError> {
+        let current_bits = r.read_usize()?;
+        let peak_bits = r.read_usize()?;
+        if peak_bits < current_bits {
+            return Err(crate::session::CheckpointError::Malformed(format!(
+                "space meter peak ({peak_bits}) below current ({current_bits})"
+            )));
+        }
+        Ok(SpaceMeter {
+            current_bits,
+            peak_bits,
+        })
+    }
+
     /// Records the *current* total footprint; the peak is updated
     /// automatically.
     pub fn record(&mut self, bits: usize) {
@@ -74,6 +116,28 @@ pub fn bits_for_counter(max: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meter_checkpoint_round_trips_and_rejects_impossible_readings() {
+        let mut m = SpaceMeter::new();
+        m.record(10);
+        m.record(4);
+        let mut bytes = Vec::new();
+        m.write_checkpoint(&mut bytes);
+        let mut r = crate::session::ByteReader::new(&bytes);
+        let back = SpaceMeter::read_checkpoint(&mut r).expect("valid readings");
+        assert_eq!(back, m);
+        // peak < current never arises from a real history: corrupted wire
+        // bytes must fail with an error, not a panic.
+        let mut corrupt = Vec::new();
+        crate::session::put_usize(&mut corrupt, 12);
+        crate::session::put_usize(&mut corrupt, 5);
+        let mut r = crate::session::ByteReader::new(&corrupt);
+        assert!(matches!(
+            SpaceMeter::read_checkpoint(&mut r),
+            Err(crate::session::CheckpointError::Malformed(_))
+        ));
+    }
 
     #[test]
     fn meter_tracks_peak() {

@@ -83,24 +83,21 @@ impl RunOutcome {
 }
 
 /// Runs a decider over any symbol stream (materialized or generated
-/// lazily) and returns the full [`RunOutcome`]. The one implementation
-/// of "feed, decide, meter" — [`run_decider`] and the batch scheduler
-/// both delegate here.
-pub fn run_decider_stream<D, W>(mut decider: D, word: W) -> RunOutcome
+/// lazily) and returns the full [`RunOutcome`]. A thin wrapper over the
+/// session engine — one [`crate::session::Session`] opened, fed, and
+/// finished — so every one-shot run goes through the same seam the
+/// suspendable/migratable runs use. [`run_decider`] and the batch
+/// scheduler both delegate here.
+pub fn run_decider_stream<D, W>(decider: D, word: W) -> RunOutcome
 where
     D: StreamingDecider,
     W: IntoIterator<Item = Sym>,
 {
+    let mut session = crate::session::Session::new(decider);
     for sym in word {
-        decider.feed(sym);
+        session.feed(sym);
     }
-    let accept = decider.decide();
-    RunOutcome {
-        accept,
-        classical_bits: decider.space_bits(),
-        peak_qubits: decider.peak_qubits(),
-        peak_amplitudes: decider.peak_amplitudes(),
-    }
+    session.finish()
 }
 
 /// Runs a decider over a word and returns the full [`RunOutcome`].

@@ -29,6 +29,7 @@
 use crate::complex::Complex;
 use crate::gate::Gate;
 use crate::matrix::Matrix;
+use crate::snapshot::{SnapshotError, StateSnapshot};
 use crate::state::StateVector;
 use rand::Rng;
 
@@ -93,6 +94,32 @@ pub trait QuantumBackend: Clone + std::fmt::Debug {
     /// Densifies into the reference representation (equivalence testing
     /// and cross-backend fidelity).
     fn to_dense(&self) -> StateVector;
+
+    /// Fraction of the Hilbert dimension that is explicitly stored:
+    /// `support() / dim()`. Dense backends always report 1; sparse ones
+    /// report their live occupancy. This is the observable the adaptive
+    /// backend's promotion rule ([`crate::adaptive::AdaptiveState`]) is a
+    /// pure function of.
+    fn support_density(&self) -> f64 {
+        self.support() as f64 / self.dim() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (the session engine's quantum seam)
+    // ------------------------------------------------------------------
+
+    /// Serializes the state into a versioned, byte-exact
+    /// [`StateSnapshot`]. Together with [`restore`](Self::restore) this
+    /// must be a bit-for-bit round trip: every amplitude (including
+    /// signed zeros) comes back with the identical IEEE-754 pattern, so a
+    /// suspended run resumes on exactly the digits it left.
+    fn snapshot(&self) -> StateSnapshot;
+
+    /// Rebuilds a state from a snapshot **without renormalizing**. Any
+    /// backend can restore any backend's snapshot (the migration path may
+    /// move a register between representations); restoring its own must
+    /// reproduce the state exactly.
+    fn restore(snap: &StateSnapshot) -> Result<Self, SnapshotError>;
 
     // ------------------------------------------------------------------
     // Gate application
@@ -258,6 +285,24 @@ pub(crate) fn gate_kernel(gate: &Gate) -> GateKernel {
     }
 }
 
+/// Shared dense restore: scatters decoded entries (dense or sparse
+/// encoding) into a full amplitude vector with exact `+0.0` off the
+/// support, **without** renormalizing. Used by [`StateVector`],
+/// [`crate::ParallelStateVector`] and the adaptive backend's dense phase.
+pub(crate) fn restore_dense(snap: &StateSnapshot) -> Result<StateVector, SnapshotError> {
+    let dec = snap.decode()?;
+    if dec.num_qubits > 28 {
+        return Err(SnapshotError::Malformed(
+            "state too wide for a dense backend (> 28 qubits)",
+        ));
+    }
+    let mut amps = vec![crate::complex::ZERO; 1usize << dec.num_qubits];
+    for (b, a) in dec.entries {
+        amps[b] = a;
+    }
+    Ok(StateVector::from_amplitudes_unchecked(amps))
+}
+
 impl QuantumBackend for StateVector {
     fn zero(n: usize) -> Self {
         StateVector::zero(n)
@@ -305,6 +350,14 @@ impl QuantumBackend for StateVector {
 
     fn to_dense(&self) -> StateVector {
         self.clone()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::encode_dense(StateVector::num_qubits(self), self.amplitudes())
+    }
+
+    fn restore(snap: &StateSnapshot) -> Result<Self, SnapshotError> {
+        restore_dense(snap)
     }
 
     fn apply_gate(&mut self, gate: &Gate) {

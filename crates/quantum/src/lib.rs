@@ -20,11 +20,18 @@
 //!   gate application and `O(1)`-time streaming structured updates;
 //! * [`sparse`] — the support-proportional simulator for the structured
 //!   states of procedure A3 (amplitudes keyed by basis index);
-//! * [`par`] — vendored scoped-thread work splitting plus the chunked
-//!   floating-point summation contract all dense reductions follow;
+//! * [`par`] — **the** scoped-thread work-splitting module (every spawn in
+//!   the substrate lives here) plus the chunked floating-point summation
+//!   contract all backends' reductions follow;
 //! * [`parallel`] — the parallel dense backend ([`ParallelStateVector`]):
 //!   dense semantics bit-for-bit, `O(2^n)` passes split across scoped
 //!   worker threads above a size threshold;
+//! * [`adaptive`] — the adaptive backend ([`AdaptiveState`]): starts
+//!   sparse, promotes to parallel-dense when the support density crosses a
+//!   deterministic threshold (a pure function of the state);
+//! * [`snapshot`] — versioned byte-exact state serialization
+//!   ([`StateSnapshot`]), the quantum half of the session engine's
+//!   suspend/resume seam;
 //! * [`circuit`] — circuit IR, plus the paper's exact `a#b#c` output-tape
 //!   format (serializer and validating parser);
 //! * [`structured`] — the operators `U_k`, `S_k`, `V_x`, `W_x`, `R_x` of
@@ -40,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod backend;
 pub mod circuit;
 pub mod complex;
@@ -50,11 +58,13 @@ pub mod matrix;
 pub mod optimize;
 pub mod par;
 pub mod parallel;
+pub mod snapshot;
 pub mod sparse;
 pub mod state;
 pub mod structured;
 pub mod synth;
 
+pub use adaptive::AdaptiveState;
 pub use backend::QuantumBackend;
 pub use circuit::{Circuit, FormatError, StrictCircuit, StrictOp};
 pub use complex::Complex;
@@ -63,6 +73,7 @@ pub use gate::Gate;
 pub use matrix::Matrix;
 pub use optimize::{optimize_circuit, optimize_gates, optimize_strict, OptimizeStats};
 pub use parallel::{ParallelStateVector, PARALLEL_THRESHOLD};
+pub use snapshot::{SnapshotError, StateSnapshot, SNAPSHOT_VERSION};
 pub use sparse::SparseState;
 pub use state::StateVector;
 pub use structured::GroverLayout;

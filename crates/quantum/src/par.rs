@@ -1,24 +1,36 @@
-//! Vendored work-splitting helpers for the parallel dense backend.
+//! The single scoped-thread work-splitting and chunked-summation module.
 //!
 //! The build environment has no registry access, so instead of rayon this
-//! module provides the two primitives the concurrency layer (DESIGN.md §6)
-//! actually needs, on plain [`std::thread::scope`]:
+//! module provides every splitting primitive the concurrency layer
+//! (DESIGN.md §6) uses — **all** scoped-thread spawning in the simulation
+//! substrate lives here, so the parallel dense backend and the adaptive
+//! backend share one implementation:
 //!
 //! * [`for_each_chunk_mut`] — run a closure over disjoint contiguous,
 //!   boundary-aligned chunks of a mutable slice, one scoped thread per
 //!   chunk;
+//! * [`for_each_pair_chunk_mut`] — the same over two matching mutable
+//!   slices (the `|…0…⟩`/`|…1…⟩` halves of a single huge gate block);
+//! * [`par_block_partials`] — the generic engine computing per-block
+//!   reduction partials on scoped workers, folded by the caller in block
+//!   order;
 //! * the *chunked reduction* family ([`chunked_norm_sqr`],
-//!   [`chunked_inner`], [`chunked_prob_where`] and their `par_*`
-//!   counterparts) — floating-point sums accumulated per
-//!   [`REDUCE_CHUNK`]-sized block and folded in block order.
+//!   [`chunked_inner`], [`chunked_prob_where`], their `par_*`
+//!   counterparts, and the sparse-iteration form [`chunked_sum_sparse`])
+//!   — floating-point sums accumulated per [`REDUCE_CHUNK`]-sized block
+//!   and folded in block order.
 //!
 //! The chunked reductions define the workspace's **summation contract**:
-//! the serial dense backend and the parallel dense backend both sum
-//! per-block partials in increasing block order, so their results are
-//! bit-for-bit identical regardless of how many threads computed the
-//! partials. This is what makes the "parallel-dense matches dense
-//! digit-for-digit" equivalence pin (tests/backend_pipelines.rs) an exact
-//! equality rather than a tolerance.
+//! every backend sums per-block partials in increasing block order, so
+//! results are bit-for-bit identical regardless of how many threads
+//! computed the partials — and regardless of whether the backend iterates
+//! a dense slice or a sparse support ([`chunked_sum_sparse`] groups a
+//! sparse in-order iteration by the same block boundaries; absent indices
+//! contribute exactly `+0.0` to a dense partial, so the two agree
+//! bitwise). This is what makes the "parallel-dense matches dense
+//! digit-for-digit" and "adaptive matches dense digit-for-digit"
+//! equivalence pins (tests/backend_pipelines.rs) exact equalities rather
+//! than tolerances.
 
 use crate::complex::{Complex, ZERO};
 
@@ -75,6 +87,70 @@ where
     });
 }
 
+/// Splits two equal-length mutable slices into matching contiguous
+/// sub-ranges of up to `⌈len/threads⌉` elements and runs `f(lo, hi)` on
+/// one scoped worker per pair; the last pair runs inline on the calling
+/// thread. The parallel dense backend's single-huge-block gate path (high
+/// target qubit) pairs the `|…0…⟩` and `|…1…⟩` halves of a block this
+/// way.
+pub fn for_each_pair_chunk_mut<T, F>(los: &mut [T], his: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut [T], &mut [T]) + Sync,
+{
+    debug_assert_eq!(los.len(), his.len());
+    if threads <= 1 || los.len() <= 1 {
+        f(los, his);
+        return;
+    }
+    let per = los.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut pairs: Vec<(&mut [T], &mut [T])> =
+            los.chunks_mut(per).zip(his.chunks_mut(per)).collect();
+        let last = pairs.pop();
+        for (lo_c, hi_c) in pairs {
+            let f = &f;
+            scope.spawn(move || f(lo_c, hi_c));
+        }
+        if let Some((lo_c, hi_c)) = last {
+            f(lo_c, hi_c);
+        }
+    });
+}
+
+/// The generic parallel-reduction engine: computes `blocks` per-block
+/// partials with `fill(block_index)` on up to `threads` scoped workers
+/// (contiguous block groups, last group inline on the calling thread) and
+/// returns them in block order. Callers fold the vector front to back —
+/// the summation contract — so the result cannot depend on the thread
+/// count. Every `par_*` reduction in this module is a thin wrapper over
+/// this engine; new backends must not re-derive the grouping.
+pub fn par_block_partials<A, F>(blocks: usize, threads: usize, fill: F) -> Vec<A>
+where
+    A: Send + Default,
+    F: Fn(usize) -> A + Sync,
+{
+    let mut partials: Vec<A> = std::iter::repeat_with(A::default).take(blocks).collect();
+    let per = blocks.div_ceil(threads.max(1));
+    let run = |group_idx: usize, slots: &mut [A]| {
+        for (bi, slot) in slots.iter_mut().enumerate() {
+            *slot = fill(group_idx * per + bi);
+        }
+    };
+    std::thread::scope(|scope| {
+        let mut groups: Vec<(usize, &mut [A])> = partials.chunks_mut(per).enumerate().collect();
+        let last = groups.pop();
+        for (group_idx, slots) in groups {
+            let run = &run;
+            scope.spawn(move || run(group_idx, slots));
+        }
+        if let Some((group_idx, slots)) = last {
+            run(group_idx, slots);
+        }
+    });
+    partials
+}
+
 /// Serial per-block partial sums of `term(index, element)` over
 /// [`REDUCE_CHUNK`]-sized blocks, folded in block order. The canonical
 /// (reference) summation every backend agrees with.
@@ -91,9 +167,39 @@ pub fn chunked_sum<T, F: Fn(usize, &T) -> f64>(data: &[T], term: F) -> f64 {
     total
 }
 
+/// [`chunked_sum`] over a *sparse* in-order iteration: `entries` yields
+/// `(global_index, term)` pairs with strictly increasing indices, and the
+/// terms are accumulated into per-[`REDUCE_CHUNK`]-block partials folded
+/// in block order. Bitwise equal to [`chunked_sum`] over the equivalent
+/// dense vector whenever (a) the dense vector's off-support terms are
+/// exactly `+0.0` and (b) all terms are non-negative (so no partial is
+/// `-0.0`): adding `+0.0` to a partial, or an empty block's `+0.0`
+/// partial to the total, never changes a bit. The sparse and adaptive
+/// backends' probability/norm reductions go through here, which is what
+/// keeps them on the dense backend's digits.
+pub fn chunked_sum_sparse<I>(entries: I) -> f64
+where
+    I: IntoIterator<Item = (usize, f64)>,
+{
+    let mut total = 0.0;
+    let mut partial = 0.0;
+    let mut block = 0usize;
+    for (i, t) in entries {
+        let b = i / REDUCE_CHUNK;
+        if b != block {
+            total += partial;
+            partial = 0.0;
+            block = b;
+        }
+        partial += t;
+    }
+    total + partial
+}
+
 /// Parallel version of [`chunked_sum`]: the per-block partials are
-/// computed on up to `threads` scoped threads, then folded serially in
-/// block order — bit-for-bit equal to the serial result.
+/// computed on up to `threads` scoped threads via
+/// [`par_block_partials`], then folded serially in block order —
+/// bit-for-bit equal to the serial result.
 pub fn par_chunked_sum<T, F>(data: &[T], threads: usize, term: F) -> f64
 where
     T: Sync,
@@ -103,42 +209,20 @@ where
         return chunked_sum(data, term);
     }
     let blocks = data.len().div_ceil(REDUCE_CHUNK);
-    let mut partials = vec![0.0f64; blocks];
-    let blocks_per_thread = blocks.div_ceil(threads);
-    let span = blocks_per_thread * REDUCE_CHUNK;
-    let fill_group = |group_idx: usize, slot_group: &mut [f64], block_group: &[T]| {
-        for (bi, (slot, chunk)) in slot_group
-            .iter_mut()
-            .zip(block_group.chunks(REDUCE_CHUNK))
-            .enumerate()
-        {
-            let base = group_idx * span + bi * REDUCE_CHUNK;
-            let mut partial = 0.0;
-            for (i, t) in chunk.iter().enumerate() {
-                partial += term(base + i, t);
-            }
-            *slot = partial;
+    let partials = par_block_partials(blocks, threads, |b| {
+        let base = b * REDUCE_CHUNK;
+        let chunk = &data[base..data.len().min(base + REDUCE_CHUNK)];
+        let mut partial = 0.0;
+        for (i, t) in chunk.iter().enumerate() {
+            partial += term(base + i, t);
         }
-    };
-    std::thread::scope(|scope| {
-        // Last group runs inline on the calling thread (see
-        // [`for_each_chunk_mut`]).
-        let mut groups: Vec<(usize, &mut [f64], &[T])> = partials
-            .chunks_mut(blocks_per_thread)
-            .zip(data.chunks(span))
-            .enumerate()
-            .map(|(i, (s, b))| (i, s, b))
-            .collect();
-        let last = groups.pop();
-        for (group_idx, slot_group, block_group) in groups {
-            let fill_group = &fill_group;
-            scope.spawn(move || fill_group(group_idx, slot_group, block_group));
-        }
-        if let Some((group_idx, slot_group, block_group)) = last {
-            fill_group(group_idx, slot_group, block_group);
-        }
+        partial
     });
-    partials.into_iter().sum()
+    let mut total = 0.0;
+    for p in partials {
+        total += p;
+    }
+    total
 }
 
 /// Canonical chunked `Σ |a_i|²` (squared norm) of a dense amplitude slice.
@@ -191,38 +275,14 @@ pub fn par_chunked_inner(a: &[Complex], b: &[Complex], threads: usize) -> Comple
         return chunked_inner(a, b);
     }
     let blocks = a.len().div_ceil(REDUCE_CHUNK);
-    let mut partials = vec![ZERO; blocks];
-    let blocks_per_thread = blocks.div_ceil(threads);
-    let span = blocks_per_thread * REDUCE_CHUNK;
-    fn fill_group(slot_group: &mut [Complex], ca: &[Complex], cb: &[Complex]) {
-        for ((slot, xa), xb) in slot_group
-            .iter_mut()
-            .zip(ca.chunks(REDUCE_CHUNK))
-            .zip(cb.chunks(REDUCE_CHUNK))
-        {
-            let mut partial = ZERO;
-            for (x, y) in xa.iter().zip(xb) {
-                partial += x.conj() * *y;
-            }
-            *slot = partial;
+    let partials = par_block_partials(blocks, threads, |bi| {
+        let base = bi * REDUCE_CHUNK;
+        let end = a.len().min(base + REDUCE_CHUNK);
+        let mut partial = ZERO;
+        for (x, y) in a[base..end].iter().zip(&b[base..end]) {
+            partial += x.conj() * *y;
         }
-    }
-    std::thread::scope(|scope| {
-        // Last group runs inline on the calling thread (see
-        // [`for_each_chunk_mut`]).
-        let mut groups: Vec<(&mut [Complex], &[Complex], &[Complex])> = partials
-            .chunks_mut(blocks_per_thread)
-            .zip(a.chunks(span))
-            .zip(b.chunks(span))
-            .map(|((s, ca), cb)| (s, ca, cb))
-            .collect();
-        let last = groups.pop();
-        for (slot_group, ca, cb) in groups {
-            scope.spawn(move || fill_group(slot_group, ca, cb));
-        }
-        if let Some((slot_group, ca, cb)) = last {
-            fill_group(slot_group, ca, cb);
-        }
+        partial
     });
     let mut total = ZERO;
     for p in partials {
@@ -254,6 +314,24 @@ mod tests {
             });
             for (i, v) in data.iter().enumerate() {
                 assert_eq!(*v, i, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_pair_chunk_mut_pairs_matching_ranges() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut lo: Vec<usize> = (0..100).collect();
+            let mut hi: Vec<usize> = (100..200).collect();
+            for_each_pair_chunk_mut(&mut lo, &mut hi, threads, |lc, hc| {
+                assert_eq!(lc.len(), hc.len());
+                for (l, h) in lc.iter_mut().zip(hc.iter_mut()) {
+                    assert_eq!(*h, *l + 100, "pairs must stay aligned");
+                    std::mem::swap(l, h);
+                }
+            });
+            for (i, v) in lo.iter().enumerate() {
+                assert_eq!(*v, i + 100, "threads={threads}");
             }
         }
     }
@@ -292,6 +370,36 @@ mod tests {
         // Count the elements whose global index is beyond the first block.
         let count = chunked_sum(&amps, |i, _| if i >= REDUCE_CHUNK { 1.0 } else { 0.0 });
         assert_eq!(count, 3.0);
+    }
+
+    #[test]
+    fn sparse_chunked_sum_matches_dense_bitwise() {
+        // A dense vector that is zero except on a scattered support
+        // spanning several blocks: the sparse iteration must reproduce
+        // the dense chunked sum bit for bit.
+        let len = 3 * REDUCE_CHUNK + 100;
+        let support: Vec<usize> = (0..len).filter(|i| i % 97 == 13).collect();
+        let mut dense = vec![ZERO; len];
+        for &i in &support {
+            dense[i] = Complex::new(0.01 + i as f64 * 1e-6, -1e-7 * i as f64);
+        }
+        let reference = chunked_norm_sqr(&dense);
+        let sparse = chunked_sum_sparse(support.iter().map(|&i| (i, dense[i].norm_sqr())));
+        assert_eq!(reference.to_bits(), sparse.to_bits());
+        // Empty iteration sums to exactly zero.
+        assert_eq!(
+            chunked_sum_sparse(std::iter::empty()).to_bits(),
+            0.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn par_block_partials_orders_blocks() {
+        for threads in [1usize, 2, 5, 16] {
+            let partials = par_block_partials(11, threads, |b| b as f64);
+            let expected: Vec<f64> = (0..11).map(|b| b as f64).collect();
+            assert_eq!(partials, expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::complex::{Complex, ZERO};
 use crate::gate::Gate;
 use crate::matrix::Matrix;
 use crate::par;
+use crate::snapshot::{SnapshotError, StateSnapshot};
 use crate::state::{apply_single_block, apply_single_pairs, StateVector};
 use rand::Rng;
 
@@ -174,6 +175,17 @@ impl QuantumBackend for ParallelStateVector {
         self.inner.clone()
     }
 
+    fn snapshot(&self) -> StateSnapshot {
+        QuantumBackend::snapshot(&self.inner)
+    }
+
+    fn restore(snap: &StateSnapshot) -> Result<Self, SnapshotError> {
+        // The thread count is an execution knob, not state: a restored
+        // register picks up the restoring host's parallelism, which is
+        // exactly what a migrated shard wants.
+        Ok(Self::from_dense(crate::backend::restore_dense(snap)?))
+    }
+
     fn apply_gate(&mut self, gate: &Gate) {
         assert!(
             gate.is_well_formed(),
@@ -224,21 +236,12 @@ impl QuantumBackend for ParallelStateVector {
             });
         } else {
             // Few huge blocks (high target qubit): split each block's two
-            // halves into matching sub-ranges, one worker per pair; the
-            // last pair runs inline on the calling thread.
-            let per = stride.div_ceil(threads);
+            // halves into matching sub-ranges, one worker per pair (the
+            // shared splitting helper runs the last pair inline).
             for b in amps.chunks_exact_mut(block) {
                 let (los, his) = b.split_at_mut(stride);
-                std::thread::scope(|scope| {
-                    let mut pairs: Vec<(&mut [Complex], &mut [Complex])> =
-                        los.chunks_mut(per).zip(his.chunks_mut(per)).collect();
-                    let last = pairs.pop();
-                    for (lo_c, hi_c) in pairs {
-                        scope.spawn(move || apply_single_pairs(lo_c, hi_c, m));
-                    }
-                    if let Some((lo_c, hi_c)) = last {
-                        apply_single_pairs(lo_c, hi_c, m);
-                    }
+                par::for_each_pair_chunk_mut(los, his, threads, |lo_c, hi_c| {
+                    apply_single_pairs(lo_c, hi_c, m)
                 });
             }
         }

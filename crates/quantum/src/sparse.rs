@@ -23,6 +23,7 @@ use crate::backend::QuantumBackend;
 use crate::complex::{Complex, ONE, ZERO};
 use crate::gate::Gate;
 use crate::matrix::Matrix;
+use crate::snapshot::{SnapshotError, StateSnapshot};
 use crate::state::StateVector;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -36,10 +37,18 @@ pub const SPARSE_PRUNE_EPS: f64 = 1e-30;
 ///
 /// The map is ordered ([`BTreeMap`]) so iteration — and therefore
 /// sampling, probability sums and `Debug` output — is deterministic.
+///
+/// `prune_eps` is the squared-magnitude eviction threshold, normally
+/// [`SPARSE_PRUNE_EPS`]. The adaptive backend runs its sparse phase in
+/// **exact mode** (`prune_eps = 0.0`: only exact zeros are evicted), so
+/// even sub-`1e-15` near-cancellation residues — which later gates remix
+/// into nonzero amplitudes — stay bit-for-bit aligned with the dense
+/// reference.
 #[derive(Clone, PartialEq)]
 pub struct SparseState {
     n: usize,
     amps: BTreeMap<usize, Complex>,
+    prune_eps: f64,
 }
 
 impl SparseState {
@@ -66,20 +75,65 @@ impl SparseState {
     pub fn assert_support_pruned(&self) {
         for (&b, a) in &self.amps {
             assert!(
-                a.norm_sqr() > SPARSE_PRUNE_EPS,
+                a.norm_sqr() > self.prune_eps,
                 "unpruned zero amplitude retained at basis index {b}: {a:?}"
             );
         }
     }
 
-    fn insert_pruned(map: &mut BTreeMap<usize, Complex>, b: usize, a: Complex) {
-        if a.norm_sqr() > SPARSE_PRUNE_EPS {
+    /// Exact densification: scatters the support into a full amplitude
+    /// vector with exact `+0.0` off the support, **without** the
+    /// renormalization `to_dense` applies. This is the adaptive backend's
+    /// promotion path — scaling by `1/norm` (even with `norm ≈ 1`) would
+    /// perturb amplitude bits and break its bit-for-bit-equals-dense
+    /// contract.
+    pub(crate) fn densify_exact(&self) -> StateVector {
+        assert!(self.n <= 28, "dense representation limited to 28 qubits");
+        let mut amps = vec![ZERO; 1usize << self.n];
+        for (&b, &a) in &self.amps {
+            amps[b] = a;
+        }
+        StateVector::from_amplitudes_unchecked(amps)
+    }
+
+    /// Switches this state to exact mode: only exact zeros are evicted
+    /// from the support. The adaptive backend's sparse phase runs here —
+    /// it is what makes "adaptive equals dense digit for digit" hold
+    /// through near-cancellations. Call on a freshly initialized state
+    /// (past pruning is not undone).
+    pub(crate) fn set_exact_mode(&mut self) {
+        self.prune_eps = 0.0;
+    }
+
+    /// [`QuantumBackend::restore`] with an explicit eviction threshold
+    /// (the adaptive backend restores in exact mode so residues carried
+    /// by its own snapshots survive the round trip).
+    pub(crate) fn restore_with_eps(snap: &StateSnapshot, eps: f64) -> Result<Self, SnapshotError> {
+        let dec = snap.decode()?;
+        if dec.num_qubits >= usize::BITS as usize {
+            return Err(SnapshotError::Malformed("qubit count out of range"));
+        }
+        let mut amps = BTreeMap::new();
+        for (b, a) in dec.entries {
+            // Dense encodings carry explicit zeros; keep exactly what the
+            // target mode's setters would have kept.
+            Self::insert_pruned(&mut amps, b, a, eps);
+        }
+        Ok(SparseState {
+            n: dec.num_qubits,
+            amps,
+            prune_eps: eps,
+        })
+    }
+
+    fn insert_pruned(map: &mut BTreeMap<usize, Complex>, b: usize, a: Complex, eps: f64) {
+        if a.norm_sqr() > eps {
             map.insert(b, a);
         }
     }
 
     fn set(&mut self, b: usize, a: Complex) {
-        if a.norm_sqr() > SPARSE_PRUNE_EPS {
+        if a.norm_sqr() > self.prune_eps {
             self.amps.insert(b, a);
         } else {
             self.amps.remove(&b);
@@ -98,7 +152,11 @@ impl QuantumBackend for SparseState {
         assert!(n < usize::BITS as usize, "basis indices must fit in usize");
         let mut amps = BTreeMap::new();
         amps.insert(0usize, ONE);
-        SparseState { n, amps }
+        SparseState {
+            n,
+            amps,
+            prune_eps: SPARSE_PRUNE_EPS,
+        }
     }
 
     fn basis(n: usize, b: usize) -> Self {
@@ -107,7 +165,11 @@ impl QuantumBackend for SparseState {
         assert!(b < (1usize << n), "basis index out of range");
         let mut amps = BTreeMap::new();
         amps.insert(b, ONE);
-        SparseState { n, amps }
+        SparseState {
+            n,
+            amps,
+            prune_eps: SPARSE_PRUNE_EPS,
+        }
     }
 
     fn uniform(n: usize) -> Self {
@@ -117,6 +179,7 @@ impl QuantumBackend for SparseState {
         SparseState {
             n,
             amps: (0..len).map(|b| (b, amp)).collect(),
+            prune_eps: SPARSE_PRUNE_EPS,
         }
     }
 
@@ -132,9 +195,13 @@ impl QuantumBackend for SparseState {
         let inv = 1.0 / norm;
         let mut map = BTreeMap::new();
         for (b, a) in amps.into_iter().enumerate() {
-            Self::insert_pruned(&mut map, b, a.scale(inv));
+            Self::insert_pruned(&mut map, b, a.scale(inv), SPARSE_PRUNE_EPS);
         }
-        SparseState { n, amps: map }
+        SparseState {
+            n,
+            amps: map,
+            prune_eps: SPARSE_PRUNE_EPS,
+        }
     }
 
     fn num_qubits(&self) -> usize {
@@ -151,7 +218,12 @@ impl QuantumBackend for SparseState {
     }
 
     fn norm(&self) -> f64 {
-        self.amps.values().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+        // Chunk-ordered per the summation contract (crate::par): the
+        // support iterates in increasing index order, so grouping terms
+        // by REDUCE_CHUNK block reproduces the dense reduction bit for
+        // bit — what keeps the adaptive backend's sparse phase on the
+        // dense backend's digits.
+        crate::par::chunked_sum_sparse(self.amps.iter().map(|(&b, a)| (b, a.norm_sqr()))).sqrt()
     }
 
     fn normalize(&mut self) {
@@ -195,6 +267,14 @@ impl QuantumBackend for SparseState {
         StateVector::from_amplitudes(amps)
     }
 
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::encode_sparse(self.n, self.entries())
+    }
+
+    fn restore(snap: &StateSnapshot) -> Result<Self, SnapshotError> {
+        Self::restore_with_eps(snap, SPARSE_PRUNE_EPS)
+    }
+
     fn apply_gate(&mut self, gate: &Gate) {
         assert!(
             gate.is_well_formed(),
@@ -232,18 +312,19 @@ impl QuantumBackend for SparseState {
         assert_eq!((m.rows(), m.cols()), (2, 2), "expected 2x2 matrix");
         let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
         let bit = 1usize << q;
+        let eps = self.prune_eps;
         let mut next = BTreeMap::new();
         for (&b, &a) in &self.amps {
             let lo = b & !bit;
             let hi = lo | bit;
             if b & bit == 0 {
                 let a1 = self.amps.get(&hi).copied().unwrap_or(ZERO);
-                Self::insert_pruned(&mut next, lo, m00 * a + m01 * a1);
-                Self::insert_pruned(&mut next, hi, m10 * a + m11 * a1);
+                Self::insert_pruned(&mut next, lo, m00 * a + m01 * a1, eps);
+                Self::insert_pruned(&mut next, hi, m10 * a + m11 * a1, eps);
             } else if !self.amps.contains_key(&lo) {
                 // The pair was not visited from its low index.
-                Self::insert_pruned(&mut next, lo, m01 * a);
-                Self::insert_pruned(&mut next, hi, m11 * a);
+                Self::insert_pruned(&mut next, lo, m01 * a, eps);
+                Self::insert_pruned(&mut next, hi, m11 * a, eps);
             }
         }
         self.amps = next;
@@ -280,13 +361,14 @@ impl QuantumBackend for SparseState {
         let overlap = psi.inner(self);
         let two_overlap = overlap * 2.0;
         // s ← 2⟨ψ|s⟩·ψ − s over the union of supports.
+        let eps = self.prune_eps;
         let mut next = BTreeMap::new();
         for (&b, &p) in &psi.amps {
-            Self::insert_pruned(&mut next, b, two_overlap * p - self.amp(b));
+            Self::insert_pruned(&mut next, b, two_overlap * p - self.amp(b), eps);
         }
         for (&b, &a) in &self.amps {
             if !psi.amps.contains_key(&b) {
-                Self::insert_pruned(&mut next, b, -a);
+                Self::insert_pruned(&mut next, b, -a, eps);
             }
         }
         self.amps = next;
@@ -303,19 +385,17 @@ impl QuantumBackend for SparseState {
     fn prob_one(&self, q: usize) -> f64 {
         assert!(q < self.n);
         let mask = 1usize << q;
-        self.amps
-            .iter()
-            .filter(|(&b, _)| b & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.probability_where(|b| b & mask != 0)
     }
 
     fn probability_where<F: Fn(usize) -> bool + Sync>(&self, pred: F) -> f64 {
-        self.amps
-            .iter()
-            .filter(|(&b, _)| pred(b))
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        // Chunk-ordered (see `norm`): bitwise equal to the dense
+        // chunked_prob_where over the equivalent dense vector.
+        crate::par::chunked_sum_sparse(
+            self.amps
+                .iter()
+                .map(|(&b, a)| (b, if pred(b) { a.norm_sqr() } else { 0.0 })),
+        )
     }
 
     fn probabilities(&self) -> Vec<f64> {

@@ -65,6 +65,18 @@ impl StateVector {
         s
     }
 
+    /// Builds a state from explicit amplitudes **without renormalizing**:
+    /// the restore path of the snapshot seam, where scaling by `1/norm`
+    /// (even with `norm ≈ 1`) would perturb amplitude bits and break the
+    /// checkpointed-run-equals-uninterrupted-run contract. The caller
+    /// guarantees the amplitudes came from a valid state.
+    pub(crate) fn from_amplitudes_unchecked(amps: Vec<Complex>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len > 0, "length must be 2^n");
+        let n = len.trailing_zeros() as usize;
+        StateVector { n, amps }
+    }
+
     /// The uniform superposition `H^{⊗n}|0…0⟩` over all `2^n` basis states
     /// (the paper's `|φ_k⟩` restricted to the index register).
     pub fn uniform(n: usize) -> Self {

@@ -9,8 +9,8 @@
 //! cancelled amplitude may silently survive in the support.
 
 use oqsc_quantum::{
-    Gate, GroverLayout, ParallelStateVector, QuantumBackend, SparseState, StateVector,
-    PARALLEL_THRESHOLD,
+    AdaptiveState, Gate, GroverLayout, ParallelStateVector, QuantumBackend, SnapshotError,
+    SparseState, StateSnapshot, StateVector, PARALLEL_THRESHOLD, SNAPSHOT_VERSION,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -154,6 +154,64 @@ proptest! {
         prop_assert_eq!(dense.prob_one(l).to_bits(), par.prob_one(l).to_bits());
     }
 
+    /// The adaptive backend is the dense reference **digit for digit**
+    /// through random circuits — before, across, and after its promotion
+    /// boundary (±0.0 identified: a diagonal phase can leave a −0.0 on a
+    /// dense zero the sparse phase never stores; the sign of zero is
+    /// unobservable in every reduction).
+    #[test]
+    fn prop_adaptive_is_digitwise_dense(seed in any::<u64>(), n in 2usize..=9, len in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dense = StateVector::zero(n);
+        let mut ad = AdaptiveState::zero(n);
+        for step in 0..len {
+            let gate = random_gate(n, &mut rng);
+            dense.apply(&gate);
+            ad.apply_gate(&gate);
+            for b in 0..dense.dim() {
+                let (x, y) = (dense.amp(b), ad.amp(b));
+                prop_assert!(
+                    x.re == y.re && x.im == y.im,
+                    "seed {} step {} amp {}: {:?} vs {:?}", seed, step, b, x, y
+                );
+            }
+        }
+        let q = rng.gen_range(0..n);
+        prop_assert_eq!(dense.prob_one(q).to_bits(), ad.prob_one(q).to_bits());
+        prop_assert_eq!(dense.norm().to_bits(), ad.norm().to_bits());
+    }
+
+    /// Snapshot → bytes → restore is a bit-exact round trip on every
+    /// backend, from any reachable state.
+    #[test]
+    fn prop_snapshot_round_trip_is_exact(seed in any::<u64>(), n in 2usize..=8, len in 0usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gates: Vec<Gate> = (0..len).map(|_| random_gate(n, &mut rng)).collect();
+        fn check<B: QuantumBackend>(n: usize, gates: &[Gate]) -> proptest::TestCaseResult {
+            let mut s = B::zero(n);
+            for g in gates {
+                s.apply_gate(g);
+            }
+            let wire = s.snapshot().as_bytes().to_vec();
+            let snap = StateSnapshot::from_bytes(wire).expect("well formed");
+            let r = B::restore(&snap).expect("own snapshot restores");
+            prop_assert_eq!(r.num_qubits(), s.num_qubits());
+            prop_assert_eq!(r.support(), s.support());
+            for b in 0..(1usize << n) {
+                let (x, y) = (s.amp(b), r.amp(b));
+                prop_assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "amp {}: {:?} vs {:?}", b, x, y
+                );
+            }
+            Ok(())
+        }
+        check::<StateVector>(n, &gates)?;
+        check::<ParallelStateVector>(n, &gates)?;
+        check::<SparseState>(n, &gates)?;
+        check::<AdaptiveState>(n, &gates)?;
+    }
+
     /// Measurement statistics and collapse agree: prob_one everywhere, and
     /// the post-collapse states match.
     #[test]
@@ -231,6 +289,49 @@ fn threaded_kernels_bitwise_above_threshold() {
         );
         assert_eq!(pd.to_bits(), pp.to_bits(), "threads={threads}");
     }
+}
+
+/// Cross-backend restore: a sparse snapshot restores into every backend
+/// (dense fills zeros exactly), a dense snapshot restores into sparse
+/// (pruned by the sparse setters' own rule), and an unknown snapshot
+/// version is rejected by every backend rather than guessed at.
+#[test]
+fn snapshots_restore_across_backends_and_reject_unknown_versions() {
+    let mut sparse = SparseState::zero(6);
+    sparse.apply_gate(&Gate::H(0));
+    sparse.apply_gate(&Gate::Cnot {
+        control: 0,
+        target: 4,
+    });
+    let snap = sparse.snapshot();
+    let dense = StateVector::restore(&snap).expect("sparse → dense");
+    let par = ParallelStateVector::restore(&snap).expect("sparse → parallel");
+    let ad = AdaptiveState::restore(&snap).expect("sparse → adaptive");
+    for b in 0..64 {
+        let want = sparse.amp(b);
+        assert_eq!(want.re.to_bits(), dense.amp(b).re.to_bits(), "amp {b}");
+        assert_eq!(want.re.to_bits(), par.amp(b).re.to_bits(), "amp {b}");
+        assert_eq!(want.re.to_bits(), ad.amp(b).re.to_bits(), "amp {b}");
+    }
+    // Dense snapshot into sparse keeps exactly the nonzero support.
+    let back = SparseState::restore(&QuantumBackend::snapshot(&dense)).expect("dense → sparse");
+    assert_eq!(back.support(), sparse.support());
+
+    // Unknown version: every backend refuses.
+    let mut bytes = snap.as_bytes().to_vec();
+    bytes[0] = SNAPSHOT_VERSION + 7;
+    let err = StateSnapshot::from_bytes(bytes).expect_err("future version");
+    assert_eq!(err, SnapshotError::UnsupportedVersion(SNAPSHOT_VERSION + 7));
+
+    // A dense restore of an over-wide sparse state is a clean error, not
+    // an allocation attempt.
+    let wide = SparseState::basis(40, 1 << 33);
+    let wide_snap = wide.snapshot();
+    assert!(matches!(
+        StateVector::restore(&wide_snap),
+        Err(SnapshotError::Malformed(_))
+    ));
+    assert!(SparseState::restore(&wide_snap).is_ok());
 }
 
 /// Deterministic spot check: a GHZ-style circuit where the sparse support

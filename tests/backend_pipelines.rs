@@ -17,7 +17,9 @@ use onlineq::core::{
 };
 use onlineq::lang::{random_member, random_nonmember, string_len, LdisjInstance};
 use onlineq::machine::{run_decider, StreamingDecider};
-use onlineq::quantum::{ParallelStateVector, QuantumBackend, SparseState, StateVector};
+use onlineq::quantum::{
+    AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,6 +134,83 @@ fn complement_recognizer_parallel_dense_is_digit_for_digit() {
     }
 }
 
+/// Procedure A3 on the **adaptive** backend is the dense pipeline digit
+/// for digit — the DESIGN.md §7 contract: in its sparse phase every
+/// observable follows the dense arithmetic and summation order, the
+/// promotion (if the stream densifies) moves bits without recomputing
+/// them, and the dense phase is the parallel backend, itself pinned to
+/// dense. Checked at every prefix of the stream, like the parallel pin.
+#[test]
+fn a3_streaming_adaptive_is_digit_for_digit() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = 1 + (seed % 3) as u32;
+        let inst = random_instance(k, &mut rng);
+        let word = inst.encode();
+        for j in [0u64, inst.rounds() as u64 - 1] {
+            let mut dense = GroverStreamer::<StateVector>::with_j_seed_in(j, 0);
+            let mut ad = GroverStreamer::<AdaptiveState>::with_j_seed_in(j, 0);
+            for (pos, &sym) in word.iter().enumerate() {
+                dense.feed(sym);
+                ad.feed(sym);
+                let (pd, pa) = (dense.detection_probability(), ad.detection_probability());
+                assert_eq!(
+                    pd.to_bits(),
+                    pa.to_bits(),
+                    "seed {seed} j {j} position {pos}: {pd} vs {pa}"
+                );
+            }
+            assert_eq!(dense.j(), ad.j());
+            assert_eq!(dense.qubits(), ad.qubits());
+            assert_eq!(dense.space_bits(), ad.space_bits());
+            // Memory: the structured stream keeps density at 1/4, so the
+            // adaptive run stays sparse and meters the support, not the
+            // dimension.
+            assert!(ad.peak_amplitudes() <= dense.peak_amplitudes());
+        }
+    }
+}
+
+/// The full A1/A2/A3 recognizer pipeline on the adaptive backend: same
+/// seeds in, identical space report, bit-identical detection statistic,
+/// identical verdict and `RunOutcome` modulo the metered amplitude peak
+/// (which is the point of running adaptive).
+#[test]
+fn complement_recognizer_adaptive_is_digit_for_digit() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_instance(1 + (seed % 2) as u32, &mut rng);
+        let word = inst.encode();
+        for (t_seed, j_seed) in [(0u64, 0u64), (1, 1), (2, 0)] {
+            let mut dense = ComplementRecognizer::<StateVector>::with_seeds_in(t_seed, j_seed, 7);
+            let mut ad = ComplementRecognizer::<AdaptiveState>::with_seeds_in(t_seed, j_seed, 7);
+            dense.feed_all(&word);
+            ad.feed_all(&word);
+            assert_eq!(dense.space(), ad.space(), "seed {seed}");
+            let (pd, pa) = (
+                dense.a3_detection_probability(),
+                ad.a3_detection_probability(),
+            );
+            assert_eq!(pd.to_bits(), pa.to_bits(), "seed {seed}: {pd} vs {pa}");
+            // The measurement consumes identical randomness on identical
+            // digits, so the verdict matches too.
+            assert_eq!(dense.decide(), ad.decide(), "seed {seed}");
+        }
+        let dense_out = run_decider(
+            ComplementRecognizer::<StateVector>::with_seeds_in(0, 1, 3),
+            &word,
+        );
+        let ad_out = run_decider(
+            ComplementRecognizer::<AdaptiveState>::with_seeds_in(0, 1, 3),
+            &word,
+        );
+        assert_eq!(dense_out.accept, ad_out.accept, "seed {seed}");
+        assert_eq!(dense_out.classical_bits, ad_out.classical_bits);
+        assert_eq!(dense_out.peak_qubits, ad_out.peak_qubits);
+        assert!(ad_out.peak_amplitudes <= dense_out.peak_amplitudes);
+    }
+}
+
 /// The exact averaged A3 detection probability — the number Theorem 3.4's
 /// ≥ 1/4 bound is about — is backend-independent, and bit-identical
 /// between dense and parallel-dense.
@@ -149,6 +228,7 @@ fn a3_exact_detection_probability_is_backend_independent() {
             let dense = a3_exact_detection_probability(&inst);
             let sparse = a3_exact_detection_probability_in::<SparseState>(&inst);
             let parallel = a3_exact_detection_probability_in::<ParallelStateVector>(&inst);
+            let adaptive = a3_exact_detection_probability_in::<AdaptiveState>(&inst);
             assert!(
                 (dense - sparse).abs() < 1e-9,
                 "k={k} t={t}: dense {dense} vs sparse {sparse}"
@@ -157,6 +237,11 @@ fn a3_exact_detection_probability_is_backend_independent() {
                 dense.to_bits(),
                 parallel.to_bits(),
                 "k={k} t={t}: dense {dense} vs parallel-dense {parallel}"
+            );
+            assert_eq!(
+                dense.to_bits(),
+                adaptive.to_bits(),
+                "k={k} t={t}: dense {dense} vs adaptive {adaptive}"
             );
         }
     }

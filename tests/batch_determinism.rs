@@ -9,11 +9,13 @@
 //! under `--release` so the optimized parallel paths are the ones
 //! exercised.
 
-use onlineq::core::separation_rows_batched;
 use onlineq::core::sweep::{complement_sweep_in, ldisj_sweep_in};
+use onlineq::core::{separation_rows_batched, separation_rows_scheduled};
 use onlineq::lang::{random_member, random_nonmember, Sym};
-use onlineq::machine::{BatchReport, BatchRunner};
-use onlineq::quantum::{ParallelStateVector, QuantumBackend, SparseState, StateVector};
+use onlineq::machine::{BatchReport, BatchRunner, SessionSchedule};
+use onlineq::quantum::{
+    AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +46,7 @@ fn complement_sweep_identical_at_1_2_and_8_workers() {
         ("dense", reports_for::<StateVector>(&words)),
         ("parallel-dense", reports_for::<ParallelStateVector>(&words)),
         ("sparse", reports_for::<SparseState>(&words)),
+        ("adaptive", reports_for::<AdaptiveState>(&words)),
     ] {
         assert_eq!(reports[0], reports[1], "{name}: 1 vs 2 workers");
         assert_eq!(reports[0], reports[2], "{name}: 1 vs 8 workers");
@@ -77,6 +80,47 @@ fn parallel_dense_sweep_equals_dense_sweep_exactly() {
 }
 
 #[test]
+fn adaptive_sweep_matches_dense_verdicts_and_space() {
+    // The adaptive backend reports identical verdicts, classical bits and
+    // register widths; its stored-amplitude peak is bounded by dense
+    // (sparse phase) and reaches dense once promoted.
+    let words = seeded_instance_set(515);
+    let runner = BatchRunner::new(2);
+    let dense = complement_sweep_in::<StateVector>(&words, 5, &runner);
+    let adaptive = complement_sweep_in::<AdaptiveState>(&words, 5, &runner);
+    assert_eq!(adaptive.accepted, dense.accepted);
+    assert_eq!(adaptive.peak_qubits, dense.peak_qubits);
+    assert_eq!(adaptive.peak_classical_bits, dense.peak_classical_bits);
+    assert!(adaptive.peak_amplitudes <= dense.peak_amplitudes);
+    for (a, d) in adaptive.outcomes.iter().zip(&dense.outcomes) {
+        assert_eq!(a.accept, d.accept);
+        assert_eq!(a.classical_bits, d.classical_bits);
+        assert!(a.peak_amplitudes <= d.peak_amplitudes);
+    }
+}
+
+#[test]
+fn migrating_schedule_is_schedule_and_worker_count_independent() {
+    // The full determinism contract in one assertion grid: serial
+    // uninterrupted = N-worker uninterrupted = N-worker migrating at any
+    // segment length, on the adaptive backend (checkpoints cross both a
+    // representation seam and worker boundaries).
+    let words = seeded_instance_set(90210);
+    let reference = complement_sweep_in::<AdaptiveState>(&words, 0xD1, &BatchRunner::serial());
+    for workers in [2usize, 8] {
+        for segment in [1usize, 17, 4096] {
+            let report = onlineq::core::sweep::complement_sweep_scheduled_in::<AdaptiveState>(
+                &words,
+                0xD1,
+                &BatchRunner::new(workers),
+                SessionSchedule::MigrateEvery(segment),
+            );
+            assert_eq!(report, reference, "workers={workers} segment={segment}");
+        }
+    }
+}
+
+#[test]
 fn separation_rows_identical_at_1_2_and_8_workers() {
     let seeds = [3u64, 1, 4, 1, 5];
     let reference = separation_rows_batched(1, &seeds, &BatchRunner::serial());
@@ -85,6 +129,20 @@ fn separation_rows_identical_at_1_2_and_8_workers() {
             separation_rows_batched(1, &seeds, &BatchRunner::new(workers)),
             reference,
             "workers={workers}"
+        );
+    }
+    // And the migrating schedule reproduces the table exactly, suspension
+    // points and worker hops notwithstanding.
+    for segment in [64usize, 1000] {
+        assert_eq!(
+            separation_rows_scheduled(
+                1,
+                &seeds,
+                &BatchRunner::new(3),
+                SessionSchedule::MigrateEvery(segment)
+            ),
+            reference,
+            "segment={segment}"
         );
     }
 }
