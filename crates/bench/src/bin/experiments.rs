@@ -1,41 +1,96 @@
-//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//! Regenerates every experiment table of `EXPERIMENTS.md` — and drives
+//! single sweeps in-process, across OS worker processes, and through
+//! the persistent checkpoint store.
 //!
 //! ```text
+//! # all tables (classic mode)
 //! cargo run --release -p oqsc-bench --bin experiments \
 //!     [-- --workers N] [--checkpoint-every N]
+//!
+//! # one sweep, optionally sharded over worker processes and/or
+//! # persisted so a killed run can resume
+//! experiments --sweep e6|f1 [--k-max K] [--workers N] [--processes P]
+//!             [--store PREFIX [--resume]] [--checkpoint-every N]
 //! ```
 //!
-//! `--workers N` sizes the batch scheduler's worker fleet for the
-//! decider sweeps (E6, F1, F3, F4; default: the machine's available
-//! parallelism). `--checkpoint-every N` switches those sweeps to the
-//! migrating session schedule: every decider is suspended after each
-//! segment of `N` tokens, serialized into a checkpoint (classical
-//! configuration + quantum register snapshot + metering), handed to the
-//! next worker, and resumed there. Every table is a pure function of its
-//! seeds, so the numbers are identical at any worker count and any
-//! checkpoint cadence — only the wall clock changes.
+//! `--workers N` sizes the in-process batch scheduler's worker fleet
+//! for the decider sweeps (E6, F1, F3, F4; default: the machine's
+//! available parallelism). `--checkpoint-every N` without a store
+//! switches those sweeps to the migrating session schedule (suspend /
+//! serialize / migrate / resume every `N` tokens); with `--store` it is
+//! the persistence cadence instead. Every table is a pure function of
+//! its seeds, so the numbers are identical at any worker count, any
+//! process count, and any checkpoint cadence — only the wall clock
+//! changes.
 //!
-//! Out-of-range values are rejected up front with a clear message
-//! (`--workers 0`, a worker fleet beyond [`MAX_WORKERS`], a zero
-//! checkpoint interval, or a non-numeric argument), never silently
-//! clamped or panicked on.
+//! `--sweep` mode additionally accepts:
+//!
+//! * `--processes P` — shard the sweep over `P` OS worker processes
+//!   (this same binary re-executed in `--worker` mode); the merged
+//!   table is byte-identical to the in-process one.
+//! * `--store PREFIX` — persist checkpoints every `--checkpoint-every`
+//!   tokens into per-shard store files `PREFIX.<fleet>.shard<w>of<P>.cps`.
+//!   A fresh run refuses stale store files; pass `--resume` to recover
+//!   them (salvaging any crash-truncated tail) and continue from the
+//!   last persisted boundaries.
+//! * `--crash-after-tokens T` — testing hook: stop dead after feeding
+//!   `T` tokens per fleet (exit code 9), simulating a kill; a later
+//!   `--resume` run completes the sweep with the identical table.
+//!
+//! Out-of-range values are rejected up front with a clear message,
+//! never silently clamped or panicked on.
 
+use oqsc_bench::pool::{worker_outcomes, PoolError, PoolRunOpts, ShardId, SweepSpec};
+use oqsc_bench::{emit_outcomes, ProcessPool, WORKER_CRASH_EXIT};
 use oqsc_machine::{BatchRunner, SessionSchedule};
 
 /// Upper bound on `--workers`: far above any real machine, low enough to
 /// catch a mistyped value before it spawns a few million threads.
 const MAX_WORKERS: usize = 4096;
 
+/// Upper bound on `--processes` (same rationale, for OS processes).
+const MAX_PROCESSES: usize = 256;
+
+/// Upper bound on `--k-max`: `k = 8` already streams 5·10⁷ symbols.
+const MAX_K: u32 = 8;
+
+/// Default persistence cadence when `--store` is given without an
+/// explicit `--checkpoint-every`.
+const DEFAULT_PERSIST_EVERY: usize = 4096;
+
 struct Cli {
     runner: BatchRunner,
     schedule: SessionSchedule,
+    workers: Option<usize>,
+    sweep: Option<String>,
+    k_max: Option<u32>,
+    processes: Option<usize>,
+    store: Option<std::path::PathBuf>,
+    resume: bool,
+    crash_after_tokens: Option<u64>,
+    checkpoint_every: Option<usize>,
+    worker: bool,
+    shard: Option<usize>,
+    of: Option<usize>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     println!("usage: experiments [--workers N] [--checkpoint-every N]");
-    println!("  --workers N           batch workers, 1..={MAX_WORKERS} (default: available cores)");
-    println!("  --checkpoint-every N  suspend/migrate/resume every N tokens, N >= 1");
-    println!("                        (default: uninterrupted sessions)");
+    println!("       experiments --sweep e6|f1 [--k-max K] [--workers N] [--processes P]");
+    println!("                   [--store PREFIX [--resume]] [--checkpoint-every N]");
+    println!(
+        "  --workers N            batch workers, 1..={MAX_WORKERS} (default: available cores)"
+    );
+    println!("  --checkpoint-every N   suspend/migrate/resume every N tokens, N >= 1;");
+    println!("                         with --store: the persistence cadence (default {DEFAULT_PERSIST_EVERY})");
+    println!("  --sweep e6|f1          run one sweep and print its table");
+    println!("  --k-max K              sweep size, 1..={MAX_K} (default: e6 7, f1 8)");
+    println!(
+        "  --processes P          shard the sweep over P worker processes, 1..={MAX_PROCESSES}"
+    );
+    println!("  --store PREFIX         persist checkpoints to PREFIX.<fleet>.shard<w>of<P>.cps");
+    println!("  --resume               recover existing shard stores and continue");
+    println!("  --crash-after-tokens T testing hook: die after T tokens per fleet (needs --store)");
     std::process::exit(code);
 }
 
@@ -47,29 +102,103 @@ fn bad_value(flag: &str, value: Option<String>, expected: &str) -> ! {
     std::process::exit(2);
 }
 
+fn parse_num<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expected: &str,
+    ok: impl Fn(&T) -> bool,
+) -> T {
+    let raw = args.next();
+    match raw.as_deref().map(str::parse::<T>) {
+        Some(Ok(n)) if ok(&n) => n,
+        _ => bad_value(flag, raw, expected),
+    }
+}
+
 fn parse_cli() -> Cli {
-    let mut workers: Option<usize> = None;
-    let mut checkpoint_every: Option<usize> = None;
+    let mut cli = Cli {
+        runner: BatchRunner::available(),
+        schedule: SessionSchedule::Uninterrupted,
+        workers: None,
+        sweep: None,
+        k_max: None,
+        processes: None,
+        store: None,
+        resume: false,
+        crash_after_tokens: None,
+        checkpoint_every: None,
+        worker: false,
+        shard: None,
+        of: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
-                let raw = args.next();
-                match raw.as_deref().map(str::parse::<usize>) {
-                    Some(Ok(n)) if (1..=MAX_WORKERS).contains(&n) => workers = Some(n),
-                    _ => bad_value(
-                        "--workers",
-                        raw,
-                        &format!("an integer between 1 and {MAX_WORKERS}"),
-                    ),
-                }
+                cli.workers = Some(parse_num(
+                    &mut args,
+                    "--workers",
+                    &format!("an integer between 1 and {MAX_WORKERS}"),
+                    |n: &usize| (1..=MAX_WORKERS).contains(n),
+                ));
             }
             "--checkpoint-every" => {
-                let raw = args.next();
-                match raw.as_deref().map(str::parse::<usize>) {
-                    Some(Ok(n)) if n >= 1 => checkpoint_every = Some(n),
-                    _ => bad_value("--checkpoint-every", raw, "a positive token count"),
-                }
+                cli.checkpoint_every = Some(parse_num(
+                    &mut args,
+                    "--checkpoint-every",
+                    "a positive token count",
+                    |n: &usize| *n >= 1,
+                ));
+            }
+            "--sweep" => match args.next() {
+                Some(name) if name == "e6" || name == "f1" => cli.sweep = Some(name),
+                raw => bad_value("--sweep", raw, "one of: e6, f1"),
+            },
+            "--k-max" => {
+                cli.k_max = Some(parse_num(
+                    &mut args,
+                    "--k-max",
+                    &format!("an integer between 1 and {MAX_K}"),
+                    |n: &u32| (1..=MAX_K).contains(n),
+                ));
+            }
+            "--processes" => {
+                cli.processes = Some(parse_num(
+                    &mut args,
+                    "--processes",
+                    &format!("an integer between 1 and {MAX_PROCESSES}"),
+                    |n: &usize| (1..=MAX_PROCESSES).contains(n),
+                ));
+            }
+            "--store" => match args.next() {
+                Some(p) if !p.is_empty() => cli.store = Some(p.into()),
+                raw => bad_value("--store", raw, "a path prefix"),
+            },
+            "--resume" => cli.resume = true,
+            "--crash-after-tokens" => {
+                cli.crash_after_tokens = Some(parse_num(
+                    &mut args,
+                    "--crash-after-tokens",
+                    "a token count",
+                    |_: &u64| true,
+                ));
+            }
+            "--worker" => cli.worker = true,
+            "--shard" => {
+                cli.shard = Some(parse_num(
+                    &mut args,
+                    "--shard",
+                    "a shard index",
+                    |_: &usize| true,
+                ));
+            }
+            "--of" => {
+                cli.of = Some(parse_num(
+                    &mut args,
+                    "--of",
+                    &format!("an integer between 1 and {MAX_PROCESSES}"),
+                    |n: &usize| (1..=MAX_PROCESSES).contains(n),
+                ));
             }
             "--help" | "-h" => usage_and_exit(0),
             other => {
@@ -78,17 +207,158 @@ fn parse_cli() -> Cli {
             }
         }
     }
-    Cli {
-        runner: workers.map_or_else(BatchRunner::available, BatchRunner::new),
-        schedule: checkpoint_every.map_or(
-            SessionSchedule::Uninterrupted,
-            SessionSchedule::MigrateEvery,
-        ),
+    if let Some(w) = cli.workers {
+        cli.runner = BatchRunner::new(w);
     }
+    if cli.store.is_none() {
+        if let Some(n) = cli.checkpoint_every {
+            cli.schedule = SessionSchedule::MigrateEvery(n);
+        }
+    }
+    // Flags that only make sense inside a sweep.
+    if cli.sweep.is_none() {
+        for (set, flag) in [
+            (cli.k_max.is_some(), "--k-max"),
+            (cli.processes.is_some(), "--processes"),
+            (cli.store.is_some(), "--store"),
+            (cli.resume, "--resume"),
+            (cli.crash_after_tokens.is_some(), "--crash-after-tokens"),
+            (cli.worker, "--worker"),
+        ] {
+            if set {
+                eprintln!("error: {flag} requires --sweep");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.resume && cli.store.is_none() {
+        eprintln!("error: --resume requires --store");
+        std::process::exit(2);
+    }
+    if cli.crash_after_tokens.is_some() && cli.store.is_none() {
+        eprintln!("error: --crash-after-tokens requires --store");
+        std::process::exit(2);
+    }
+    if cli.worker && (cli.shard.is_none() || cli.of.is_none()) {
+        eprintln!("error: --worker requires --shard and --of");
+        std::process::exit(2);
+    }
+    if let (Some(shard), Some(of)) = (cli.shard, cli.of) {
+        if shard >= of {
+            eprintln!("error: --shard {shard} out of range: must be < --of {of}");
+            std::process::exit(2);
+        }
+    }
+    if !cli.worker && (cli.shard.is_some() || cli.of.is_some()) {
+        eprintln!("error: --shard/--of require --worker");
+        std::process::exit(2);
+    }
+    cli
+}
+
+fn pool_opts(cli: &Cli) -> PoolRunOpts {
+    PoolRunOpts {
+        store_prefix: cli.store.clone(),
+        resume: cli.resume,
+        checkpoint_every: cli.checkpoint_every.unwrap_or(DEFAULT_PERSIST_EVERY),
+        crash_after_tokens: cli.crash_after_tokens,
+        workers: cli.workers.unwrap_or(1),
+    }
+}
+
+fn exit_for(err: &PoolError) -> i32 {
+    match err {
+        PoolError::WorkerCrashed { .. } => WORKER_CRASH_EXIT,
+        _ => 1,
+    }
+}
+
+fn run_sweep(cli: &Cli) -> i32 {
+    let name = cli.sweep.as_deref().expect("sweep mode");
+    let default_k = if name == "e6" { 7 } else { 8 };
+    let spec = SweepSpec::from_cli(name, cli.k_max.unwrap_or(default_k)).expect("validated name");
+    if cli.worker {
+        // Worker mode: run our shard, speak the OUTCOME protocol.
+        let shard = ShardId {
+            shard: cli.shard.expect("validated"),
+            of: cli.of.expect("validated"),
+        };
+        return match worker_outcomes(spec, shard, &pool_opts(cli)) {
+            Ok(Some(outcomes)) => {
+                let stdout = std::io::stdout();
+                emit_outcomes(&mut stdout.lock(), &outcomes).expect("stdout");
+                0
+            }
+            Ok(None) => WORKER_CRASH_EXIT,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        };
+    }
+    let rows =
+        if let Some(processes) = cli.processes {
+            // Parent mode: shard over worker processes running this binary.
+            let exe = match std::env::current_exe() {
+                Ok(exe) => exe,
+                Err(e) => {
+                    eprintln!("error: cannot locate own executable: {e}");
+                    return 1;
+                }
+            };
+            match ProcessPool::new(processes).run(&exe, spec, &pool_opts(cli)) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return exit_for(&e);
+                }
+            }
+        } else if cli.store.is_some() {
+            // Single-process persistent run: the worker path, in-process.
+            match worker_outcomes(spec, ShardId { shard: 0, of: 1 }, &pool_opts(cli)) {
+                Ok(Some(outcomes)) => {
+                    let triples = outcomes
+                        .into_iter()
+                        .map(|(fleet, idx, o)| (fleet.to_string(), idx, o));
+                    match oqsc_bench::pool::rows_from_outcomes(spec, triples) {
+                        Ok(rows) => rows,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return 1;
+                        }
+                    }
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "crashed after --crash-after-tokens budget; resume with --resume to finish"
+                    );
+                    return WORKER_CRASH_EXIT;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        } else {
+            // Plain in-process sweep.
+            match spec {
+                SweepSpec::E6 { k_max } => oqsc_bench::SweepRows::E6(
+                    oqsc_bench::e6_classical_rows(k_max, &cli.runner, cli.schedule),
+                ),
+                SweepSpec::F1 { k_max } => oqsc_bench::SweepRows::F1(
+                    oqsc_bench::f1_separation_rows_scheduled(k_max, &cli.runner, cli.schedule),
+                ),
+            }
+        };
+    rows.print();
+    0
 }
 
 fn main() {
     let cli = parse_cli();
+    if cli.sweep.is_some() {
+        std::process::exit(run_sweep(&cli));
+    }
     let schedule_desc = match cli.schedule {
         SessionSchedule::Uninterrupted => "uninterrupted sessions".to_string(),
         SessionSchedule::MigrateEvery(n) => {

@@ -328,7 +328,7 @@ pub fn print_e5() {
 // ---------------------------------------------------------------------
 
 /// One row of the E6 table.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct E6Row {
     /// Language parameter.
     pub k: u32,
@@ -342,30 +342,33 @@ pub struct E6Row {
     pub correct: bool,
 }
 
-/// Measures the Proposition 3.7 decider for `k ∈ 1..=k_max`: one batch
-/// of `2·k_max` decider instances (a member and a `t = 1` non-member per
-/// `k`) over the session scheduler. Each task rebuilds its machines from
-/// the per-`k` seed alone, so the table is worker-count independent —
-/// and, under [`SessionSchedule::MigrateEvery`], independent of where
-/// the suspend/resume boundaries fall.
-pub fn e6_classical_rows(
-    k_max: u32,
-    runner: &BatchRunner,
-    schedule: SessionSchedule,
-) -> Vec<E6Row> {
-    let report = runner.run_scheduled(2 * k_max as usize, schedule, |i| {
-        let k = 1 + (i / 2) as u32;
-        let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
-        let member = random_member(k, &mut rng);
-        let non = random_nonmember(k, 1, &mut rng);
-        let first = Prop37Decider::new(&mut rng);
-        if i % 2 == 0 {
-            (first, member.encode().into_iter())
-        } else {
-            let second = Prop37Decider::new(&mut rng);
-            (second, non.encode().into_iter())
-        }
-    });
+/// Instances in the E6 sweep at `k_max`: a member and a `t = 1`
+/// non-member per `k`.
+pub fn e6_instance_count(k_max: u32) -> usize {
+    2 * k_max as usize
+}
+
+/// Builds E6 instance `i`: even indices feed `k = 1 + i/2`'s member
+/// word, odd ones its non-member word, machines and words both derived
+/// from the per-`k` seed alone. A pure function of `i`, so the sweep is
+/// worker-count independent in-process and re-derivable inside a worker
+/// *process* (the cross-process scheduler ships indices, not machines).
+pub fn e6_task(i: usize) -> (Prop37Decider, std::vec::IntoIter<oqsc_lang::Sym>) {
+    let k = 1 + (i / 2) as u32;
+    let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
+    let member = random_member(k, &mut rng);
+    let non = random_nonmember(k, 1, &mut rng);
+    let first = Prop37Decider::new(&mut rng);
+    if i.is_multiple_of(2) {
+        (first, member.encode().into_iter())
+    } else {
+        let second = Prop37Decider::new(&mut rng);
+        (second, non.encode().into_iter())
+    }
+}
+
+/// Folds an E6 sweep's [`oqsc_machine::BatchReport`] into table rows.
+pub fn e6_rows_from_report(k_max: u32, report: &oqsc_machine::BatchReport) -> Vec<E6Row> {
     (1..=k_max)
         .map(|k| {
             let member_out = &report.outcomes[2 * (k as usize - 1)];
@@ -381,20 +384,41 @@ pub fn e6_classical_rows(
         .collect()
 }
 
-/// Prints the E6 table.
-pub fn print_e6(runner: &BatchRunner, schedule: SessionSchedule) {
+/// Measures the Proposition 3.7 decider for `k ∈ 1..=k_max`: one batch
+/// of `2·k_max` decider instances (a member and a `t = 1` non-member per
+/// `k`) over the session scheduler. Each task rebuilds its machines from
+/// the per-`k` seed alone, so the table is worker-count independent —
+/// and, under [`SessionSchedule::MigrateEvery`], independent of where
+/// the suspend/resume boundaries fall.
+pub fn e6_classical_rows(
+    k_max: u32,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<E6Row> {
+    let report = runner.run(e6_instance_count(k_max), schedule, e6_task);
+    e6_rows_from_report(k_max, &report)
+}
+
+/// Prints an E6 table (any source: in-process sweep or merged
+/// cross-process shards — identical rows print identical bytes).
+pub fn print_e6_rows(rows: &[E6Row]) {
     println!("E6 (Proposition 3.7) — classical Θ(n^(1/3)) decider");
     println!(
         "{:>3} {:>10} {:>12} {:>10} {:>9}",
         "k", "n", "space bits", "n^(1/3)", "correct"
     );
-    for r in e6_classical_rows(7, runner, schedule) {
+    for r in rows {
         println!(
             "{:>3} {:>10} {:>12} {:>10.1} {:>9}",
             r.k, r.n, r.space_bits, r.n_cbrt, r.correct
         );
     }
     println!();
+}
+
+/// Prints the E6 table.
+pub fn print_e6(runner: &BatchRunner, schedule: SessionSchedule) {
+    print_e6_rows(&e6_classical_rows(7, runner, schedule));
 }
 
 // ---------------------------------------------------------------------
@@ -420,19 +444,26 @@ pub fn f1_separation_rows_scheduled(
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> Vec<SeparationRow> {
-    let mut rng = StdRng::seed_from_u64(5000);
-    let seeds: Vec<u64> = (1..=k_max).map(|_| rng.gen()).collect();
-    separation_rows_scheduled(1, &seeds, runner, schedule)
+    separation_rows_scheduled(1, &f1_seeds(k_max), runner, schedule)
 }
 
-/// Prints the F1 series.
-pub fn print_f1(runner: &BatchRunner, schedule: SessionSchedule) {
+/// The F1 table's per-row seeds, derived from the experiment's base
+/// seed alone — shared by the in-process sweep and every worker process
+/// of a cross-process run, so both re-derive identical instances.
+pub fn f1_seeds(k_max: u32) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(5000);
+    (1..=k_max).map(|_| rng.gen()).collect()
+}
+
+/// Prints an F1 table (any source: in-process sweep or merged
+/// cross-process shards — identical rows print identical bytes).
+pub fn print_f1_rows(rows: &[SeparationRow]) {
     println!("F1 — the separation: space to recognize L_DISJ online, vs input length");
     println!(
         "{:>3} {:>8} {:>11} | {:>14} {:>7} | {:>15} {:>12}",
         "k", "m", "n", "quantum bits", "qubits", "classical bits", "LB (cells)"
     );
-    for r in f1_separation_rows_scheduled(8, runner, schedule) {
+    for r in rows {
         println!(
             "{:>3} {:>8} {:>11} | {:>14} {:>7} | {:>15} {:>12}",
             r.k,
@@ -446,6 +477,11 @@ pub fn print_f1(runner: &BatchRunner, schedule: SessionSchedule) {
     }
     println!("   quantum = Θ(log n); classical = Θ(n^(1/3)) both measured and forced (LB)");
     println!();
+}
+
+/// Prints the F1 series.
+pub fn print_f1(runner: &BatchRunner, schedule: SessionSchedule) {
+    print_f1_rows(&f1_separation_rows_scheduled(8, runner, schedule));
 }
 
 // ---------------------------------------------------------------------
@@ -545,7 +581,7 @@ pub fn f3_fingerprint_rows(
     [1u32, 2, 3]
         .iter()
         .map(|&k| {
-            let report = runner.run_scheduled(trials, schedule, |trial| {
+            let report = runner.run(trials, schedule, |trial| {
                 let mut rng = StdRng::seed_from_u64(derive_seed(7000 + u64::from(k), trial));
                 let inst = random_member(k, &mut rng);
                 let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
@@ -606,7 +642,7 @@ pub fn f4_sketch_rows(
     budgets
         .iter()
         .map(|&budget| {
-            let report = runner.run_scheduled(trials, schedule, |trial| {
+            let report = runner.run(trials, schedule, |trial| {
                 let mut rng = StdRng::seed_from_u64(derive_seed(8000 + budget as u64, trial));
                 let non = random_nonmember(k, 1, &mut rng);
                 let sketch = SketchDecider::new(budget, &mut rng);

@@ -17,5 +17,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod pool;
 
 pub use experiments::*;
+pub use pool::{
+    emit_outcomes, rows_from_outcomes, worker_outcomes, PoolError, PoolRunOpts, ProcessPool,
+    ShardId, SweepRows, SweepSpec, WORKER_CRASH_EXIT,
+};

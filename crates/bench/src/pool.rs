@@ -1,0 +1,671 @@
+//! Cross-process sweep scheduling: shard an experiment over OS worker
+//! processes, optionally persisting checkpoints so a killed worker can
+//! be resumed.
+//!
+//! Threads (PR 2) and thread-migration (PR 3) scale a sweep inside one
+//! address space; [`ProcessPool`] is the next axis: the parent spawns
+//! the `experiments` binary in **worker mode** once per shard
+//! (`--worker --sweep … --shard w --of P`), each worker re-derives its
+//! instances from the sweep's pure per-index task functions (nothing
+//! but indices crosses the process boundary), runs them serially, and
+//! prints one `OUTCOME` line per instance on stdout. The parent merges
+//! the shard outcomes into index-ordered [`BatchReport`]s and folds
+//! them into the same table rows the in-process sweep produces — so a
+//! 1/2/4-process run prints tables byte-identical to `--workers N`
+//! in-process runs (the process-pool suite pins this).
+//!
+//! With a store prefix, each worker persists its sessions into its own
+//! single-writer shard file
+//! (`<prefix>.<fleet>.shard<w>of<P>.cps`) every `checkpoint_every`
+//! tokens via [`BatchRunner::run_resumable_budgeted`]. A killed worker
+//! (simulated deterministically by `--crash-after-tokens`, which makes
+//! the worker stop dead mid-segment and exit with
+//! [`WORKER_CRASH_EXIT`]) loses only its unpersisted tail: re-running
+//! the pool with `resume` recovers each shard store, salvages the valid
+//! record prefix, breaks the dead writer's orphaned lock, and continues
+//! from the last persisted boundaries — producing the identical table.
+//! Resuming must reuse the same process count: the shard file name
+//! encodes `w` and `P`, so a different `P` simply starts fresh shards
+//! rather than misassigning instances.
+
+use crate::experiments::{
+    e6_instance_count, e6_rows_from_report, e6_task, f1_seeds, print_e6_rows, print_f1_rows, E6Row,
+};
+use oqsc_core::separation::{
+    separation_classical_task, separation_quantum_task, separation_rows_from_reports, SeparationRow,
+};
+use oqsc_machine::{
+    BatchReport, BatchRunner, CheckpointStore, Checkpointable, RunOutcome, SessionSchedule,
+    StoreError,
+};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Exit code a worker uses when its token budget ran dry — the
+/// deterministic stand-in for being killed mid-sweep. The parent maps
+/// it to [`PoolError::WorkerCrashed`]; anything non-zero and different
+/// is a real failure ([`PoolError::WorkerFailed`]).
+pub const WORKER_CRASH_EXIT: i32 = 9;
+
+/// A sweep the cross-process scheduler knows how to shard: every
+/// instance must be a pure function of its index (and the spec), so a
+/// worker process can re-derive its shard from the spec alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepSpec {
+    /// Experiment E6 (Proposition 3.7 decider) for `k ∈ 1..=k_max`.
+    E6 {
+        /// Largest language parameter measured.
+        k_max: u32,
+    },
+    /// Experiment F1 (the separation table) for `k ∈ 1..=k_max`.
+    F1 {
+        /// Largest language parameter measured.
+        k_max: u32,
+    },
+}
+
+impl SweepSpec {
+    /// CLI name (`--sweep e6` / `--sweep f1`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepSpec::E6 { .. } => "e6",
+            SweepSpec::F1 { .. } => "f1",
+        }
+    }
+
+    /// Largest language parameter measured.
+    pub fn k_max(&self) -> u32 {
+        match self {
+            SweepSpec::E6 { k_max } | SweepSpec::F1 { k_max } => *k_max,
+        }
+    }
+
+    /// Parses a CLI sweep name.
+    pub fn from_cli(name: &str, k_max: u32) -> Option<SweepSpec> {
+        match name {
+            "e6" => Some(SweepSpec::E6 { k_max }),
+            "f1" => Some(SweepSpec::F1 { k_max }),
+            _ => None,
+        }
+    }
+
+    /// The decider fleets this sweep runs, with their instance counts.
+    /// (F1 runs two fleets over the same words: the quantum recognizers
+    /// and the classical Proposition 3.7 deciders.)
+    pub fn fleets(&self) -> Vec<(&'static str, usize)> {
+        match self {
+            SweepSpec::E6 { k_max } => vec![("e6", e6_instance_count(*k_max))],
+            SweepSpec::F1 { k_max } => {
+                let n = *k_max as usize;
+                vec![("quantum", n), ("classical", n)]
+            }
+        }
+    }
+}
+
+/// Why a cross-process sweep failed.
+#[derive(Debug)]
+pub enum PoolError {
+    /// Spawning or talking to a worker failed at the OS level.
+    Io(std::io::Error),
+    /// A shard checkpoint store could not be opened or written.
+    Store(StoreError),
+    /// A worker exited with a real error (not the crash exit).
+    WorkerFailed {
+        /// Which shard failed.
+        shard: usize,
+        /// Its exit code (`None`: killed by a signal).
+        code: Option<i32>,
+        /// Captured stderr, for the operator.
+        stderr: String,
+    },
+    /// A worker hit its token budget and stopped dead (exit
+    /// [`WORKER_CRASH_EXIT`]); resume the pool to continue.
+    WorkerCrashed {
+        /// Which shard crashed.
+        shard: usize,
+    },
+    /// A worker's stdout violated the `OUTCOME` protocol, or the merged
+    /// shards did not cover the instance space exactly once.
+    Protocol(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Io(e) => write!(f, "process pool I/O error: {e}"),
+            PoolError::Store(e) => write!(f, "process pool store error: {e}"),
+            PoolError::WorkerFailed {
+                shard,
+                code,
+                stderr,
+            } => match code {
+                Some(c) => write!(
+                    f,
+                    "worker shard {shard} failed with exit code {c}: {stderr}"
+                ),
+                None => write!(f, "worker shard {shard} was killed by a signal: {stderr}"),
+            },
+            PoolError::WorkerCrashed { shard } => write!(
+                f,
+                "worker shard {shard} crashed (token budget exhausted); resume to continue"
+            ),
+            PoolError::Protocol(what) => write!(f, "worker protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Io(e) => Some(e),
+            PoolError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PoolError {
+    fn from(e: std::io::Error) -> Self {
+        PoolError::Io(e)
+    }
+}
+
+impl From<StoreError> for PoolError {
+    fn from(e: StoreError) -> Self {
+        PoolError::Store(e)
+    }
+}
+
+/// Per-run options shared by worker mode and the parent pool.
+#[derive(Clone, Debug, Default)]
+pub struct PoolRunOpts {
+    /// Persist checkpoints under this path prefix (one store file per
+    /// fleet per shard). `None`: run without persistence.
+    pub store_prefix: Option<PathBuf>,
+    /// Recover existing shard stores and continue from their last
+    /// persisted boundaries; without it, a leftover store file is an
+    /// error (stale-store protection), never silently reused.
+    pub resume: bool,
+    /// Tokens between persisted checkpoints (clamped to ≥ 1).
+    pub checkpoint_every: usize,
+    /// Testing hook: per fleet, stop dead after feeding this many
+    /// tokens — the deterministic crash model. Requires a store prefix.
+    pub crash_after_tokens: Option<u64>,
+    /// Batch-scheduler threads *inside each worker* (clamped to ≥ 1;
+    /// `Default` = 1, one serial sweep per process). Reports are
+    /// worker-count independent, so this only changes the wall clock.
+    pub workers: usize,
+}
+
+/// The per-shard identity of one worker invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardId {
+    /// This worker's shard index, `0 ≤ shard < of`.
+    pub shard: usize,
+    /// Total number of shards in the pool.
+    pub of: usize,
+}
+
+/// The table rows a sweep produced, whatever path computed them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepRows {
+    /// E6 rows.
+    E6(Vec<E6Row>),
+    /// F1 rows.
+    F1(Vec<SeparationRow>),
+}
+
+impl SweepRows {
+    /// Prints the table with the same row formatters the all-tables
+    /// binary uses, so every path prints byte-identical tables.
+    pub fn print(&self) {
+        match self {
+            SweepRows::E6(rows) => print_e6_rows(rows),
+            SweepRows::F1(rows) => print_f1_rows(rows),
+        }
+    }
+}
+
+/// The store file owned by `(fleet, shard)` under `prefix`. Single
+/// writer by construction: no two workers ever share a path, and the
+/// name encodes the pool width so resuming at a different width starts
+/// fresh instead of misassigning instances.
+pub fn shard_store_path(prefix: &Path, fleet: &str, shard: ShardId) -> PathBuf {
+    let mut os = prefix.as_os_str().to_os_string();
+    os.push(format!(".{fleet}.shard{}of{}.cps", shard.shard, shard.of));
+    PathBuf::from(os)
+}
+
+fn open_shard_store<D: Checkpointable>(
+    path: &Path,
+    resume: bool,
+) -> Result<CheckpointStore, StoreError> {
+    if resume {
+        // The scheduler owns these single-writer shard files, and resume
+        // only runs after the parent reaped the previous worker — the
+        // one situation where breaking an orphaned lock is sound. (A
+        // kill before the first append leaves a lock but no store file;
+        // break the orphan either way.)
+        CheckpointStore::break_lock(path)?;
+        if path.exists() {
+            return CheckpointStore::recover_for::<D>(path).map(|(store, _)| store);
+        }
+        CheckpointStore::create_for::<D>(path)
+    } else {
+        // Fresh runs refuse stale stores (`StoreError::AlreadyExists`).
+        CheckpointStore::create_for::<D>(path)
+    }
+}
+
+/// Runs one fleet's shard. Returns `true` when the token budget crashed
+/// the fleet mid-run (outcomes gathered so far are discarded — a crash
+/// loses everything that is not in the store).
+fn run_fleet_shard<D, W, F>(
+    fleet: &'static str,
+    count: usize,
+    shard: ShardId,
+    opts: &PoolRunOpts,
+    out: &mut Vec<(&'static str, usize, RunOutcome)>,
+    task: F,
+) -> Result<bool, PoolError>
+where
+    D: Checkpointable,
+    W: IntoIterator<Item = oqsc_lang::Sym>,
+    W::IntoIter: Send,
+    F: Fn(usize) -> (D, W) + Sync,
+{
+    let of = shard.of.max(1);
+    let indices: Vec<usize> = (shard.shard..count).step_by(of).collect();
+    let local_task = |j: usize| task(indices[j]);
+    let runner = BatchRunner::new(opts.workers.max(1));
+    let report = match &opts.store_prefix {
+        Some(prefix) => {
+            let path = shard_store_path(prefix, fleet, shard);
+            let mut store = open_shard_store::<D>(&path, opts.resume)?;
+            let budget = opts.crash_after_tokens.unwrap_or(u64::MAX);
+            match runner.run_resumable_budgeted(
+                indices.len(),
+                opts.checkpoint_every.max(1),
+                &mut store,
+                budget,
+                local_task,
+            )? {
+                Some(report) => report,
+                None => return Ok(true),
+            }
+        }
+        None => {
+            if opts.crash_after_tokens.is_some() {
+                return Err(PoolError::Protocol(
+                    "--crash-after-tokens requires --store (a crash without \
+                     persistence cannot be resumed)"
+                        .into(),
+                ));
+            }
+            runner.run(indices.len(), SessionSchedule::Uninterrupted, local_task)
+        }
+    };
+    for (j, outcome) in report.outcomes.iter().enumerate() {
+        out.push((fleet, indices[j], *outcome));
+    }
+    Ok(false)
+}
+
+/// `(fleet, global index, outcome)` triples one worker reports.
+pub type WorkerOutcomes = Vec<(&'static str, usize, RunOutcome)>;
+
+/// Executes one worker's shard of `spec` and returns its outcomes — or
+/// `None` when the token budget crashed it (the budget applies per
+/// fleet). This is the whole of worker mode; the binary just prints the
+/// result with [`emit_outcomes`] and exits.
+pub fn worker_outcomes(
+    spec: SweepSpec,
+    shard: ShardId,
+    opts: &PoolRunOpts,
+) -> Result<Option<WorkerOutcomes>, PoolError> {
+    let mut out = Vec::new();
+    let crashed = match spec {
+        SweepSpec::E6 { k_max } => run_fleet_shard(
+            "e6",
+            e6_instance_count(k_max),
+            shard,
+            opts,
+            &mut out,
+            e6_task,
+        )?,
+        SweepSpec::F1 { k_max } => {
+            let seeds = f1_seeds(k_max);
+            run_fleet_shard("quantum", seeds.len(), shard, opts, &mut out, |i| {
+                separation_quantum_task(1, &seeds, i)
+            })? || run_fleet_shard("classical", seeds.len(), shard, opts, &mut out, |i| {
+                separation_classical_task(1, &seeds, i)
+            })?
+        }
+    };
+    Ok(if crashed { None } else { Some(out) })
+}
+
+/// Writes the worker protocol: one
+/// `OUTCOME <fleet> <index> <accept> <bits> <qubits> <amplitudes>`
+/// line per instance. [`RunOutcome`] is all integers, so the text round
+/// trip is exact — merged cross-process reports are `==` to in-process
+/// ones.
+pub fn emit_outcomes(
+    out: &mut impl std::io::Write,
+    outcomes: &[(&'static str, usize, RunOutcome)],
+) -> std::io::Result<()> {
+    for (fleet, idx, o) in outcomes {
+        writeln!(
+            out,
+            "OUTCOME {fleet} {idx} {} {} {} {}",
+            u8::from(o.accept),
+            o.classical_bits,
+            o.peak_qubits,
+            o.peak_amplitudes
+        )?;
+    }
+    Ok(())
+}
+
+fn parse_outcome_line(line: &str) -> Result<(String, usize, RunOutcome), PoolError> {
+    let bad = || PoolError::Protocol(format!("malformed OUTCOME line: {line:?}"));
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("OUTCOME") {
+        return Err(bad());
+    }
+    let fleet = parts.next().ok_or_else(bad)?.to_string();
+    let mut next_num = |what: &str| -> Result<u64, PoolError> {
+        parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| PoolError::Protocol(format!("bad {what} in OUTCOME line: {line:?}")))
+    };
+    let idx = next_num("index")? as usize;
+    let accept = match next_num("accept flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(bad()),
+    };
+    let outcome = RunOutcome {
+        accept,
+        classical_bits: next_num("classical bits")? as usize,
+        peak_qubits: next_num("peak qubits")? as usize,
+        peak_amplitudes: next_num("peak amplitudes")? as usize,
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok((fleet, idx, outcome))
+}
+
+/// Merges `(fleet, index, outcome)` triples — from any number of shards
+/// — into index-ordered per-fleet [`BatchReport`]s and folds them into
+/// table rows. Errors if the triples do not cover every instance of
+/// every fleet exactly once.
+pub fn rows_from_outcomes(
+    spec: SweepSpec,
+    outcomes: impl IntoIterator<Item = (String, usize, RunOutcome)>,
+) -> Result<SweepRows, PoolError> {
+    let fleets = spec.fleets();
+    let mut slots: Vec<Vec<Option<RunOutcome>>> =
+        fleets.iter().map(|&(_, count)| vec![None; count]).collect();
+    for (fleet, idx, outcome) in outcomes {
+        let f = fleets
+            .iter()
+            .position(|&(name, _)| name == fleet)
+            .ok_or_else(|| PoolError::Protocol(format!("unknown fleet {fleet:?}")))?;
+        let slot = slots[f].get_mut(idx).ok_or_else(|| {
+            PoolError::Protocol(format!("fleet {fleet:?} index {idx} out of range"))
+        })?;
+        if slot.replace(outcome).is_some() {
+            return Err(PoolError::Protocol(format!(
+                "fleet {fleet:?} index {idx} reported twice"
+            )));
+        }
+    }
+    let mut reports = Vec::with_capacity(fleets.len());
+    for (&(name, _), fleet_slots) in fleets.iter().zip(slots) {
+        let outcomes: Option<Vec<RunOutcome>> = fleet_slots.into_iter().collect();
+        let outcomes = outcomes.ok_or_else(|| {
+            PoolError::Protocol(format!("fleet {name:?} is missing instance outcomes"))
+        })?;
+        reports.push(BatchReport::from_outcomes(outcomes));
+    }
+    Ok(match spec {
+        SweepSpec::E6 { k_max } => SweepRows::E6(e6_rows_from_report(k_max, &reports[0])),
+        SweepSpec::F1 { .. } => {
+            SweepRows::F1(separation_rows_from_reports(1, &reports[0], &reports[1]))
+        }
+    })
+}
+
+/// Shards a sweep over OS worker processes (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessPool {
+    processes: usize,
+}
+
+impl ProcessPool {
+    /// A pool of `processes` worker processes (clamped to ≥ 1).
+    pub fn new(processes: usize) -> Self {
+        ProcessPool {
+            processes: processes.max(1),
+        }
+    }
+
+    /// Configured process count.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    /// Runs `spec` sharded over the pool: spawns `exe` (the
+    /// `experiments` binary — usually `std::env::current_exe()`) in
+    /// worker mode once per shard, all concurrently, and merges their
+    /// `OUTCOME` streams into table rows identical to the in-process
+    /// sweep's.
+    pub fn run(
+        &self,
+        exe: &Path,
+        spec: SweepSpec,
+        opts: &PoolRunOpts,
+    ) -> Result<SweepRows, PoolError> {
+        let mut children = Vec::with_capacity(self.processes);
+        for shard in 0..self.processes {
+            let mut cmd = Command::new(exe);
+            cmd.arg("--worker")
+                .arg("--sweep")
+                .arg(spec.name())
+                .arg("--k-max")
+                .arg(spec.k_max().to_string())
+                .arg("--shard")
+                .arg(shard.to_string())
+                .arg("--of")
+                .arg(self.processes.to_string())
+                .arg("--checkpoint-every")
+                .arg(opts.checkpoint_every.max(1).to_string())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            if opts.workers > 1 {
+                cmd.arg("--workers").arg(opts.workers.to_string());
+            }
+            if let Some(prefix) = &opts.store_prefix {
+                cmd.arg("--store").arg(prefix);
+            }
+            if opts.resume {
+                cmd.arg("--resume");
+            }
+            if let Some(t) = opts.crash_after_tokens {
+                cmd.arg("--crash-after-tokens").arg(t.to_string());
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push((shard, child)),
+                Err(e) => {
+                    // Never leave live writers behind: kill and reap the
+                    // shards already launched before reporting.
+                    for (_, mut child) in children {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        // Reap *every* worker before judging any of them: returning
+        // early would leave live workers appending to their shard
+        // stores, and a subsequent resume (which breaks what it assumes
+        // are orphaned locks) would double-write those logs.
+        let outputs: Vec<(usize, std::io::Result<std::process::Output>)> = children
+            .into_iter()
+            .map(|(shard, child)| (shard, child.wait_with_output()))
+            .collect();
+        let mut merged = Vec::new();
+        let mut crashed_shard = None;
+        let mut first_error = None;
+        for (shard, output) in outputs {
+            let output = match output {
+                Ok(output) => output,
+                Err(e) => {
+                    first_error.get_or_insert(PoolError::Io(e));
+                    continue;
+                }
+            };
+            match output.status.code() {
+                Some(0) => {
+                    for line in String::from_utf8_lossy(&output.stdout).lines() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match parse_outcome_line(line) {
+                            Ok(triple) => merged.push(triple),
+                            Err(e) => {
+                                first_error.get_or_insert(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some(WORKER_CRASH_EXIT) => crashed_shard = Some(shard),
+                code => {
+                    first_error.get_or_insert(PoolError::WorkerFailed {
+                        shard,
+                        code,
+                        stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+                    });
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if let Some(shard) = crashed_shard {
+            return Err(PoolError::WorkerCrashed { shard });
+        }
+        rows_from_outcomes(spec, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_lines_round_trip() {
+        let outcomes = vec![
+            (
+                "e6",
+                3usize,
+                RunOutcome {
+                    accept: true,
+                    classical_bits: 123,
+                    peak_qubits: 7,
+                    peak_amplitudes: 130,
+                },
+            ),
+            ("e6", 0, RunOutcome::default()),
+        ];
+        let mut wire = Vec::new();
+        emit_outcomes(&mut wire, &outcomes).expect("writes");
+        let text = String::from_utf8(wire).expect("utf8");
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| parse_outcome_line(l).expect("parses"))
+            .collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "e6");
+        assert_eq!(parsed[0].1, 3);
+        assert_eq!(parsed[0].2, outcomes[0].2);
+        assert_eq!(parsed[1].2, RunOutcome::default());
+    }
+
+    #[test]
+    fn malformed_outcome_lines_are_protocol_errors() {
+        for line in [
+            "OUTCOM e6 0 1 2 3 4",
+            "OUTCOME e6 0 2 2 3 4", // accept flag must be 0/1
+            "OUTCOME e6 0 1 2 3",   // missing field
+            "OUTCOME e6 0 1 2 3 4 5",
+            "OUTCOME e6 x 1 2 3 4",
+        ] {
+            assert!(
+                matches!(parse_outcome_line(line), Err(PoolError::Protocol(_))),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_outcomes_must_cover_the_instance_space_exactly_once() {
+        let spec = SweepSpec::E6 { k_max: 2 };
+        let full: Vec<(String, usize, RunOutcome)> = (0..4)
+            .map(|i| ("e6".to_string(), i, RunOutcome::default()))
+            .collect();
+        assert!(rows_from_outcomes(spec, full.clone()).is_ok());
+        // A missing instance, a duplicate, an unknown fleet, and an
+        // out-of-range index are each protocol violations.
+        assert!(rows_from_outcomes(spec, full[..3].to_vec()).is_err());
+        let mut dup = full.clone();
+        dup.push(("e6".to_string(), 1, RunOutcome::default()));
+        assert!(rows_from_outcomes(spec, dup).is_err());
+        let mut alien = full.clone();
+        alien[0].0 = "f9".to_string();
+        assert!(rows_from_outcomes(spec, alien).is_err());
+        let mut oob = full;
+        oob[0].1 = 99;
+        assert!(rows_from_outcomes(spec, oob).is_err());
+    }
+
+    #[test]
+    fn worker_outcomes_match_the_in_process_sweep() {
+        // Two shards of the E6 sweep, merged, equal the one-shot rows.
+        let spec = SweepSpec::E6 { k_max: 3 };
+        let mut merged = Vec::new();
+        for shard in 0..2 {
+            let out = worker_outcomes(spec, ShardId { shard, of: 2 }, &PoolRunOpts::default())
+                .expect("runs")
+                .expect("no budget, no crash");
+            merged.extend(
+                out.into_iter()
+                    .map(|(fleet, idx, o)| (fleet.to_string(), idx, o)),
+            );
+        }
+        let rows = rows_from_outcomes(spec, merged).expect("complete");
+        let reference = crate::experiments::e6_classical_rows(
+            3,
+            &BatchRunner::new(2),
+            SessionSchedule::Uninterrupted,
+        );
+        match rows {
+            SweepRows::E6(rows) => {
+                assert_eq!(rows.len(), reference.len());
+                for (a, b) in rows.iter().zip(&reference) {
+                    assert_eq!(
+                        (a.k, a.n, a.space_bits, a.correct),
+                        (b.k, b.n, b.space_bits, b.correct)
+                    );
+                }
+            }
+            other => panic!("expected E6 rows, got {other:?}"),
+        }
+    }
+}

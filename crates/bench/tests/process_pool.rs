@@ -1,0 +1,316 @@
+//! The cross-process scheduler's contract, pinned against the real
+//! `experiments` binary (spawned as OS processes, exactly as a user
+//! would run it):
+//!
+//! * 1/2/4-process runs of E6 and F1 print tables **byte-identical** to
+//!   the in-process `--workers N` runs;
+//! * a sweep killed mid-run (worker processes exiting the crash way)
+//!   and resumed from the persisted shard stores prints the identical
+//!   table;
+//! * stale stores are refused without `--resume`, and orphaned lock
+//!   files block a fresh run until broken.
+//!
+//! CI runs this suite under `--release`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const WORKER_CRASH_EXIT: i32 = 9;
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = experiments(args);
+    assert!(
+        out.status.success(),
+        "experiments {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 table")
+}
+
+fn temp_prefix(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oqsc-pool-{}-{name}", std::process::id()));
+    p
+}
+
+fn cleanup_prefix(prefix: &Path) {
+    let dir = prefix.parent().expect("temp dir");
+    let stem = prefix
+        .file_name()
+        .expect("prefix name")
+        .to_string_lossy()
+        .into_owned();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(&stem) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+#[test]
+fn process_pools_print_tables_byte_identical_to_in_process_runs() {
+    for (sweep, k_max) in [("e6", "4"), ("f1", "4")] {
+        let reference = stdout_of(&["--sweep", sweep, "--k-max", k_max, "--workers", "2"]);
+        assert!(reference.contains('|') || reference.contains("correct"));
+        for processes in ["1", "2", "4"] {
+            let pooled = stdout_of(&["--sweep", sweep, "--k-max", k_max, "--processes", processes]);
+            assert_eq!(
+                pooled, reference,
+                "{sweep}: {processes}-process table differs from in-process"
+            );
+        }
+        // Threads inside worker processes compose with process sharding
+        // without touching the table.
+        let threaded = stdout_of(&[
+            "--sweep",
+            sweep,
+            "--k-max",
+            k_max,
+            "--processes",
+            "2",
+            "--workers",
+            "2",
+        ]);
+        assert_eq!(threaded, reference, "{sweep}: threaded workers differ");
+    }
+}
+
+#[test]
+fn killed_pool_resumes_to_the_identical_table() {
+    let reference = stdout_of(&["--sweep", "e6", "--k-max", "4"]);
+    for processes in ["1", "2", "4"] {
+        let prefix = temp_prefix(&format!("crash-{processes}"));
+        let prefix_s = prefix.to_string_lossy().into_owned();
+        // Kill the sweep mid-run: every worker stops dead after 300
+        // tokens (well inside the k=4 instance stream) having persisted
+        // only whole 64-token segments.
+        let crashed = experiments(&[
+            "--sweep",
+            "e6",
+            "--k-max",
+            "4",
+            "--processes",
+            processes,
+            "--store",
+            &prefix_s,
+            "--checkpoint-every",
+            "64",
+            "--crash-after-tokens",
+            "300",
+        ]);
+        assert_eq!(
+            crashed.status.code(),
+            Some(WORKER_CRASH_EXIT),
+            "stderr: {}",
+            String::from_utf8_lossy(&crashed.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&crashed.stderr).contains("resume"),
+            "crash message tells the operator how to continue"
+        );
+        // Resume from nothing but the shard store files.
+        let resumed = stdout_of(&[
+            "--sweep",
+            "e6",
+            "--k-max",
+            "4",
+            "--processes",
+            processes,
+            "--store",
+            &prefix_s,
+            "--checkpoint-every",
+            "64",
+            "--resume",
+        ]);
+        assert_eq!(
+            resumed, reference,
+            "{processes}-process resumed table differs from uninterrupted"
+        );
+        cleanup_prefix(&prefix);
+    }
+}
+
+#[test]
+fn f1_pool_with_persistence_survives_a_kill_too() {
+    // The F1 sweep checkpoints two fleets (quantum registers included).
+    let reference = stdout_of(&["--sweep", "f1", "--k-max", "3"]);
+    let prefix = temp_prefix("f1-crash");
+    let prefix_s = prefix.to_string_lossy().into_owned();
+    let crashed = experiments(&[
+        "--sweep",
+        "f1",
+        "--k-max",
+        "3",
+        "--processes",
+        "2",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "32",
+        "--crash-after-tokens",
+        "100",
+    ]);
+    assert_eq!(crashed.status.code(), Some(WORKER_CRASH_EXIT));
+    let resumed = stdout_of(&[
+        "--sweep",
+        "f1",
+        "--k-max",
+        "3",
+        "--processes",
+        "2",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "32",
+        "--resume",
+    ]);
+    assert_eq!(resumed, reference);
+    cleanup_prefix(&prefix);
+}
+
+#[test]
+fn stale_stores_are_refused_without_resume() {
+    let prefix = temp_prefix("stale");
+    let prefix_s = prefix.to_string_lossy().into_owned();
+    let first = experiments(&[
+        "--sweep",
+        "e6",
+        "--k-max",
+        "2",
+        "--processes",
+        "2",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "16",
+    ]);
+    assert!(first.status.success());
+    // Re-running fresh over the leftover stores must refuse, loudly.
+    let second = experiments(&[
+        "--sweep",
+        "e6",
+        "--k-max",
+        "2",
+        "--processes",
+        "2",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "16",
+    ]);
+    assert_eq!(second.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("already exists"),
+        "stderr: {}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    // With --resume the finished shards replay from their last
+    // checkpoints and the table matches the plain run.
+    let resumed = stdout_of(&[
+        "--sweep",
+        "e6",
+        "--k-max",
+        "2",
+        "--processes",
+        "2",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "16",
+        "--resume",
+    ]);
+    assert_eq!(resumed, stdout_of(&["--sweep", "e6", "--k-max", "2"]));
+    cleanup_prefix(&prefix);
+}
+
+#[test]
+fn orphaned_locks_block_fresh_runs() {
+    let prefix = temp_prefix("orphan");
+    let prefix_s = prefix.to_string_lossy().into_owned();
+    // Simulate a kill that left shard 0's lock file behind (the
+    // simulated-crash path releases locks; a real SIGKILL would not).
+    let lock = PathBuf::from(format!("{prefix_s}.e6.shard0of1.cps.lock"));
+    std::fs::write(&lock, b"314159").expect("orphan lock");
+    let blocked = experiments(&[
+        "--sweep",
+        "e6",
+        "--k-max",
+        "2",
+        "--processes",
+        "1",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "16",
+    ]);
+    assert_eq!(blocked.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&blocked.stderr).contains("lock"),
+        "stderr: {}",
+        String::from_utf8_lossy(&blocked.stderr)
+    );
+    // A resume run owns the shard files and may break the orphan (the
+    // parent reaped the only possible writer).
+    let resumed = experiments(&[
+        "--sweep",
+        "e6",
+        "--k-max",
+        "2",
+        "--processes",
+        "1",
+        "--store",
+        &prefix_s,
+        "--checkpoint-every",
+        "16",
+        "--resume",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    cleanup_prefix(&prefix);
+}
+
+#[test]
+fn cli_rejects_inconsistent_flag_combinations() {
+    for (args, needle) in [
+        (
+            vec!["--sweep", "e6", "--resume"],
+            "--resume requires --store",
+        ),
+        (
+            vec!["--sweep", "e6", "--crash-after-tokens", "5"],
+            "--crash-after-tokens requires --store",
+        ),
+        (vec!["--store", "/tmp/x"], "requires --sweep"),
+        (vec!["--processes", "2"], "requires --sweep"),
+        (
+            vec!["--sweep", "e6", "--worker"],
+            "--worker requires --shard",
+        ),
+        (
+            vec!["--sweep", "e6", "--worker", "--shard", "5", "--of", "2"],
+            "must be < --of",
+        ),
+        (vec!["--sweep", "nope"], "expected one of"),
+        (vec!["--sweep", "e6", "--k-max", "99"], "between 1 and"),
+    ] {
+        let out = experiments(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "{args:?}: stderr {:?}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

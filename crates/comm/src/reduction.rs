@@ -203,7 +203,7 @@ mod tests {
     use oqsc_lang::Sym;
     use oqsc_lang::{random_member, random_nonmember};
     use oqsc_machine::machine_even_ones;
-    use oqsc_machine::streaming::StoreEverything;
+    use oqsc_machine::streaming::{StoreEverything, StorePredicate};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -246,7 +246,7 @@ mod tests {
     fn store_everything_reduction_is_linear_communication() {
         let mut rng = StdRng::seed_from_u64(60);
         let inst = random_member(1, &mut rng);
-        let report = simulate_reduction(StoreEverything::new(oqsc_lang::is_in_ldisj), &inst);
+        let report = simulate_reduction(StoreEverything::new(StorePredicate::InLdisj), &inst);
         assert_eq!(report.num_messages, 5);
         assert!(report.verdict, "member accepted");
         // Snapshots of a store-everything decider grow with the prefix, so
@@ -263,7 +263,7 @@ mod tests {
             let non = random_nonmember(k, 1, &mut rng);
             for inst in [member, non] {
                 let report =
-                    simulate_reduction(StoreEverything::new(oqsc_lang::is_in_ldisj), &inst);
+                    simulate_reduction(StoreEverything::new(StorePredicate::InLdisj), &inst);
                 assert_eq!(report.verdict, inst.is_member());
             }
         }

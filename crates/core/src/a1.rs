@@ -154,6 +154,8 @@ impl StreamingDecider for FormatChecker {
 }
 
 impl Checkpointable for FormatChecker {
+    const TYPE_TAG: &'static str = "FormatChecker";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         put_u8(
             out,

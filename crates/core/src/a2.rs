@@ -214,6 +214,8 @@ fn read_opt_u64(r: &mut ByteReader) -> Result<Option<u64>, CheckpointError> {
 }
 
 impl Checkpointable for ConsistencyChecker {
+    const TYPE_TAG: &'static str = "ConsistencyChecker";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         put_u64(out, self.seed_t);
         put_bool(out, self.in_prefix);

@@ -327,6 +327,8 @@ impl<B: QuantumBackend> StreamingDecider for GroverStreamer<B> {
 }
 
 impl<B: QuantumBackend> Checkpointable for GroverStreamer<B> {
+    const TYPE_TAG: &'static str = "GroverStreamer";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         put_u64(out, self.measure_seed);
         put_u64(out, self.j_seed);

@@ -201,6 +201,8 @@ impl StreamingDecider for Prop37Decider {
 }
 
 impl Checkpointable for Prop37Decider {
+    const TYPE_TAG: &'static str = "Prop37Decider";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         self.format.write_state(out);
         self.consistency.write_state(out);
@@ -400,6 +402,8 @@ impl StreamingDecider for SketchDecider {
 }
 
 impl Checkpointable for SketchDecider {
+    const TYPE_TAG: &'static str = "SketchDecider";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         self.format.write_state(out);
         self.consistency.write_state(out);

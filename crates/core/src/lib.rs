@@ -66,11 +66,12 @@ pub use recognizer::{
     exact_complement_accept_probability, ComplementRecognizer, LdisjRecognizer, SpaceReport,
 };
 pub use separation::{
-    measure_separation_row, measure_separation_row_seeded, separation_rows_batched,
+    measure_separation_row, measure_separation_row_seeded, separation_classical_task,
+    separation_quantum_task, separation_rows_batched, separation_rows_from_reports,
     separation_rows_scheduled, separation_table, SeparationRow,
 };
 pub use sweep::{
     complement_accept_frequency_in, complement_sweep, complement_sweep_in,
-    complement_sweep_scheduled_in, derive_seed, ldisj_sweep, ldisj_sweep_in,
-    ldisj_sweep_scheduled_in,
+    complement_sweep_resumable_in, complement_sweep_scheduled_in, derive_seed, ldisj_sweep,
+    ldisj_sweep_in, ldisj_sweep_scheduled_in,
 };

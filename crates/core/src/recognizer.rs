@@ -152,6 +152,8 @@ impl<B: QuantumBackend> StreamingDecider for ComplementRecognizer<B> {
 }
 
 impl<B: QuantumBackend> Checkpointable for ComplementRecognizer<B> {
+    const TYPE_TAG: &'static str = "ComplementRecognizer";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         self.a1.write_state(out);
         self.a2.write_state(out);
@@ -278,6 +280,8 @@ impl<B: QuantumBackend> StreamingDecider for LdisjRecognizer<B> {
 }
 
 impl<B: QuantumBackend> Checkpointable for LdisjRecognizer<B> {
+    const TYPE_TAG: &'static str = "LdisjRecognizer";
+
     fn write_state(&self, out: &mut Vec<u8>) {
         put_usize(out, self.copies.len());
         for c in &self.copies {

@@ -103,24 +103,65 @@ pub fn separation_rows_scheduled(
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> Vec<SeparationRow> {
-    let quantum = runner.run_scheduled(seeds.len(), schedule, |i| {
-        let k = k_min + i as u32;
-        let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 0));
-        let decider = if k <= 5 {
-            ComplementRecognizer::new(&mut rng)
-        } else {
-            ComplementRecognizer::metering_only()
-        };
-        (decider, row_instance(k, seeds[i]).into_stream())
+    let quantum = runner.run(seeds.len(), schedule, |i| {
+        separation_quantum_task(k_min, seeds, i)
     });
-    let classical = runner.run_scheduled(seeds.len(), schedule, |i| {
-        let k = k_min + i as u32;
-        let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 1));
-        (
-            Prop37Decider::new(&mut rng),
-            row_instance(k, seeds[i]).into_stream(),
-        )
+    let classical = runner.run(seeds.len(), schedule, |i| {
+        separation_classical_task(k_min, seeds, i)
     });
+    separation_rows_from_reports(k_min, &quantum, &classical)
+}
+
+/// Builds the **quantum fleet's** instance `i` — the Theorem 3.4
+/// recognizer (metering-only above `k = 5`) plus its streamed member
+/// word. A pure function of `(k_min, seeds, i)`, which is exactly what
+/// lets a cross-process scheduler re-derive any instance inside a worker
+/// process instead of shipping deciders or words between processes.
+pub fn separation_quantum_task(
+    k_min: u32,
+    seeds: &[u64],
+    i: usize,
+) -> (
+    ComplementRecognizer<oqsc_quantum::StateVector>,
+    impl Iterator<Item = oqsc_lang::Sym>,
+) {
+    let k = k_min + i as u32;
+    let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 0));
+    let decider = if k <= 5 {
+        ComplementRecognizer::new(&mut rng)
+    } else {
+        ComplementRecognizer::metering_only()
+    };
+    (decider, row_instance(k, seeds[i]).into_stream())
+}
+
+/// Builds the **classical fleet's** instance `i` — the Proposition 3.7
+/// decider plus the same streamed word (independent entropy stream).
+/// See [`separation_quantum_task`] for why this is a standalone pure
+/// function.
+pub fn separation_classical_task(
+    k_min: u32,
+    seeds: &[u64],
+    i: usize,
+) -> (Prop37Decider, impl Iterator<Item = oqsc_lang::Sym>) {
+    let k = k_min + i as u32;
+    let mut rng = StdRng::seed_from_u64(derive_seed(seeds[i], 1));
+    (
+        Prop37Decider::new(&mut rng),
+        row_instance(k, seeds[i]).into_stream(),
+    )
+}
+
+/// Folds the two fleets' [`oqsc_machine::BatchReport`]s (index `i` =
+/// parameter `k_min + i` in both) into the separation table. The
+/// cross-process scheduler merges per-shard outcomes into the same
+/// reports and calls this, so its tables are identical to the
+/// in-process ones by construction.
+pub fn separation_rows_from_reports(
+    k_min: u32,
+    quantum: &oqsc_machine::BatchReport,
+    classical: &oqsc_machine::BatchReport,
+) -> Vec<SeparationRow> {
     quantum
         .outcomes
         .iter()

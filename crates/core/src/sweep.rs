@@ -13,7 +13,7 @@
 
 use crate::recognizer::{ComplementRecognizer, LdisjRecognizer};
 use oqsc_lang::Sym;
-use oqsc_machine::{BatchReport, BatchRunner, SessionSchedule};
+use oqsc_machine::{BatchReport, BatchRunner, CheckpointStore, SessionSchedule, StoreError};
 use oqsc_quantum::{QuantumBackend, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +56,7 @@ pub fn complement_sweep_scheduled_in<B: QuantumBackend>(
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> BatchReport {
-    runner.run_words_scheduled(words, schedule, |i| {
+    runner.run_words(words, schedule, |i| {
         let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
         ComplementRecognizer::<B>::new_in(&mut rng)
     })
@@ -98,9 +98,36 @@ pub fn ldisj_sweep_scheduled_in<B: QuantumBackend>(
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> BatchReport {
-    runner.run_words_scheduled(words, schedule, |i| {
+    runner.run_words(words, schedule, |i| {
         let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
         LdisjRecognizer::<B>::new_in(reps, &mut rng)
+    })
+}
+
+/// [`complement_sweep_in`] with **persistence**: every recognizer's
+/// checkpoint is appended to `store` after each segment of
+/// `persist_every` tokens, and any instance the store already holds
+/// progress for resumes from its last persisted boundary (see
+/// [`BatchRunner::run_resumable_budgeted`]). `token_budget` caps how
+/// many symbols this call may feed before it stops dead and returns
+/// `Ok(None)` — the crash/preemption model the recovery suite drives;
+/// pass `u64::MAX` to run to completion. Complete runs are
+/// `==`-identical to [`complement_sweep_in`], wherever previous runs
+/// crashed.
+pub fn complement_sweep_resumable_in<B: QuantumBackend>(
+    words: &[Vec<Sym>],
+    base_seed: u64,
+    runner: &BatchRunner,
+    persist_every: usize,
+    store: &mut CheckpointStore,
+    token_budget: u64,
+) -> Result<Option<BatchReport>, StoreError> {
+    runner.run_resumable_budgeted(words.len(), persist_every, store, token_budget, |i| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
+        (
+            ComplementRecognizer::<B>::new_in(&mut rng),
+            words[i].iter().copied(),
+        )
     })
 }
 
@@ -114,7 +141,7 @@ pub fn complement_accept_frequency_in<B: QuantumBackend>(
     base_seed: u64,
     runner: &BatchRunner,
 ) -> f64 {
-    let report = runner.run(trials, |i| {
+    let report = runner.run(trials, SessionSchedule::Uninterrupted, |i| {
         let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
         (
             ComplementRecognizer::<B>::new_in(&mut rng),

@@ -24,9 +24,12 @@
 //! The integration suite pins this: 1, 2 and 8 workers over the same
 //! seeded instance set produce `==`-identical reports.
 
-use crate::session::{Checkpointable, Session, SessionCheckpoint};
+use crate::session::{CheckpointError, Checkpointable, Session, SessionCheckpoint};
+use crate::store::{CheckpointStore, StoreError};
 use crate::streaming::{run_decider_stream, RunOutcome, StreamingDecider};
 use oqsc_lang::Sym;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// How a batched fleet drives its sessions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,13 +78,38 @@ impl BatchRunner {
         self.workers
     }
 
-    /// Drives `count` decider instances. `task(i)` builds instance `i`:
-    /// a fresh decider plus the symbol stream to feed it (materialized
-    /// word or lazy generator — anything `IntoIterator<Item = Sym>`).
+    /// Drives `count` decider instances under a [`SessionSchedule`].
+    /// `task(i)` builds instance `i`: a fresh decider plus the symbol
+    /// stream to feed it (materialized word or lazy generator — anything
+    /// `IntoIterator<Item = Sym>`).
+    ///
+    /// Every decider in the tree is [`Checkpointable`], so the classic
+    /// uninterrupted path and the migrating path are one entry point:
+    /// [`SessionSchedule::Uninterrupted`] runs each instance start to
+    /// finish on one worker; [`SessionSchedule::MigrateEvery`] routes
+    /// every instance through [`run_migrating`](Self::run_migrating).
+    /// For *persistent* schedules — checkpoints written to disk so a
+    /// killed sweep can resume — see
+    /// [`run_resumable`](Self::run_resumable).
     ///
     /// The factory must be deterministic per index (derive any randomness
     /// from `i`); see the module docs for the determinism contract.
-    pub fn run<D, W, F>(&self, count: usize, task: F) -> BatchReport
+    pub fn run<D, W, F>(&self, count: usize, schedule: SessionSchedule, task: F) -> BatchReport
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        match schedule {
+            SessionSchedule::Uninterrupted => self.run_uninterrupted(count, task),
+            SessionSchedule::MigrateEvery(n) => self.run_migrating(count, n, task),
+        }
+    }
+
+    /// The classic shard-per-worker path (no suspension): each instance
+    /// runs start to finish on the worker that owns its index.
+    fn run_uninterrupted<D, W, F>(&self, count: usize, task: F) -> BatchReport
     where
         D: StreamingDecider,
         W: IntoIterator<Item = Sym>,
@@ -131,39 +159,9 @@ impl BatchRunner {
         )
     }
 
-    /// Convenience: drives one decider per materialized word.
-    pub fn run_words<D, F>(&self, words: &[Vec<Sym>], make: F) -> BatchReport
-    where
-        D: StreamingDecider,
-        F: Fn(usize) -> D + Sync,
-    {
-        self.run(words.len(), |i| (make(i), words[i].iter().copied()))
-    }
-
-    /// [`run`](Self::run) under an explicit [`SessionSchedule`]: the
-    /// uninterrupted schedule is the classic path; the migrating schedule
-    /// routes every instance through
-    /// [`run_migrating`](Self::run_migrating).
-    pub fn run_scheduled<D, W, F>(
-        &self,
-        count: usize,
-        schedule: SessionSchedule,
-        task: F,
-    ) -> BatchReport
-    where
-        D: Checkpointable,
-        W: IntoIterator<Item = Sym>,
-        W::IntoIter: Send,
-        F: Fn(usize) -> (D, W) + Sync,
-    {
-        match schedule {
-            SessionSchedule::Uninterrupted => self.run(count, task),
-            SessionSchedule::MigrateEvery(n) => self.run_migrating(count, n, task),
-        }
-    }
-
-    /// [`run_words`](Self::run_words) under an explicit schedule.
-    pub fn run_words_scheduled<D, F>(
+    /// Convenience: drives one decider per materialized word under a
+    /// [`SessionSchedule`].
+    pub fn run_words<D, F>(
         &self,
         words: &[Vec<Sym>],
         schedule: SessionSchedule,
@@ -173,9 +171,167 @@ impl BatchRunner {
         D: Checkpointable,
         F: Fn(usize) -> D + Sync,
     {
-        self.run_scheduled(words.len(), schedule, |i| {
+        self.run(words.len(), schedule, |i| {
             (make(i), words[i].iter().copied())
         })
+    }
+
+    /// [`run`](Self::run) with **persistence**: every instance's session
+    /// is suspended after each segment of `persist_every` tokens
+    /// (clamped to ≥ 1) and the checkpoint appended to `store`; on
+    /// entry, any instance with a persisted checkpoint resumes from it —
+    /// the stream is re-derived from `task(i)` and skipped to
+    /// [`SessionCheckpoint::position`], so nothing but the store file
+    /// has to survive a crash. The report is `==`-identical to
+    /// [`run`](Self::run) whatever was (or was not) in the store, by the
+    /// checkpoint round-trip contract.
+    ///
+    /// The store must have been created (or recovered) for this decider
+    /// type — open it with
+    /// [`CheckpointStore::create_for`]/[`CheckpointStore::recover_for`]
+    /// so the header tag matches `D`.
+    pub fn run_resumable<D, W, F>(
+        &self,
+        count: usize,
+        persist_every: usize,
+        store: &mut CheckpointStore,
+        task: F,
+    ) -> Result<BatchReport, StoreError>
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        self.run_resumable_budgeted(count, persist_every, store, u64::MAX, task)
+            .map(|report| report.expect("a u64::MAX token budget cannot be exhausted"))
+    }
+
+    /// [`run_resumable`](Self::run_resumable) under a **token budget**:
+    /// the sweep may feed at most `token_budget` symbols (fleet-wide,
+    /// across all workers) before it stops dead — mid-segment, without
+    /// persisting the partial segment — and returns `Ok(None)`. This is
+    /// a faithful crash/preemption model: whatever was not yet appended
+    /// to the store is lost, and a later call (on a freshly
+    /// [`recover`](CheckpointStore::recover)ed store) resumes from the
+    /// last persisted boundaries and produces the identical report. The
+    /// crash/corruption suite drives this at every checkpoint boundary
+    /// and at arbitrary token positions.
+    ///
+    /// With more than one worker the exact crash position is racy (the
+    /// budget pool is shared), but resume correctness never depends on
+    /// where the crash fell.
+    pub fn run_resumable_budgeted<D, W, F>(
+        &self,
+        count: usize,
+        persist_every: usize,
+        store: &mut CheckpointStore,
+        token_budget: u64,
+        task: F,
+    ) -> Result<Option<BatchReport>, StoreError>
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        let workers = self.workers.min(count.max(1));
+        let segment = persist_every.max(1);
+        let store = Mutex::new(store);
+        let budget = AtomicU64::new(token_budget);
+        let crashed = AtomicBool::new(false);
+        // One token from the shared pool, or false when the budget is dry.
+        let take_token = || {
+            budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok()
+        };
+        // Runs worker `w`'s strided shard; returns its finished outcomes.
+        let run_shard = |w: usize| -> Result<Vec<(usize, RunOutcome)>, StoreError> {
+            let mut out = Vec::new();
+            'instances: for idx in (w..count).step_by(workers) {
+                if crashed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let (fresh, word) = task(idx);
+                let mut stream = word.into_iter();
+                let persisted = store
+                    .lock()
+                    .expect("store mutex poisoned")
+                    .latest(idx as u64)?;
+                let mut session = match persisted {
+                    Some(cp) => {
+                        let session = Session::<D>::resume(&cp)?;
+                        // Re-derive the stream and skip what was already fed.
+                        for consumed in 0..cp.position() {
+                            if stream.next().is_none() {
+                                return Err(StoreError::Checkpoint(CheckpointError::Malformed(
+                                    format!(
+                                        "instance {idx}: checkpoint position {} beyond its \
+                                         {consumed}-token stream",
+                                        cp.position()
+                                    ),
+                                )));
+                            }
+                        }
+                        session
+                    }
+                    None => Session::new(fresh),
+                };
+                loop {
+                    for _ in 0..segment {
+                        match stream.next() {
+                            Some(sym) => {
+                                if !take_token() {
+                                    // Crash: the partial segment is lost.
+                                    crashed.store(true, Ordering::Relaxed);
+                                    continue 'instances;
+                                }
+                                session.feed(sym);
+                            }
+                            None => {
+                                out.push((idx, session.finish()));
+                                continue 'instances;
+                            }
+                        }
+                    }
+                    store
+                        .lock()
+                        .expect("store mutex poisoned")
+                        .append(idx as u64, &session.suspend())?;
+                }
+            }
+            Ok(out)
+        };
+        let sharded: Vec<Result<Vec<(usize, RunOutcome)>, StoreError>> = if workers <= 1 {
+            vec![run_shard(0)]
+        } else {
+            std::thread::scope(|scope| {
+                let run_shard = &run_shard;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| scope.spawn(move || run_shard(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("resumable batch worker panicked"))
+                    .collect()
+            })
+        };
+        let mut slots: Vec<Option<RunOutcome>> = vec![None; count];
+        for shard in sharded {
+            for (idx, outcome) in shard? {
+                slots[idx] = Some(outcome);
+            }
+        }
+        if crashed.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        Ok(Some(BatchReport::from_outcomes(
+            slots
+                .into_iter()
+                .map(|s| s.expect("uncrashed sweeps fill every slot"))
+                .collect(),
+        )))
     }
 
     /// Drives `count` checkpointable sessions with **continuous worker
@@ -363,7 +519,8 @@ impl BatchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::streaming::{run_decider, StoreEverything};
+    use crate::store::CheckpointStore;
+    use crate::streaming::{run_decider, StoreEverything, StorePredicate};
     use oqsc_lang::token::from_str;
 
     fn words() -> Vec<Vec<Sym>> {
@@ -376,15 +533,12 @@ mod tests {
     #[test]
     fn batch_matches_serial_run_decider() {
         let words = words();
-        let report = BatchRunner::new(3).run_words(&words, |_| {
-            StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One))
+        let report = BatchRunner::new(3).run_words(&words, SessionSchedule::Uninterrupted, |_| {
+            StoreEverything::new(StorePredicate::ContainsOne)
         });
         assert_eq!(report.len(), words.len());
         for (i, word) in words.iter().enumerate() {
-            let single = run_decider(
-                StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One)),
-                word,
-            );
+            let single = run_decider(StoreEverything::new(StorePredicate::ContainsOne), word);
             assert_eq!(report.outcomes[i], single, "instance {i}");
         }
         assert_eq!(report.accepted, 4);
@@ -398,13 +552,15 @@ mod tests {
     #[test]
     fn report_is_worker_count_independent() {
         let words = words();
-        let reference = BatchRunner::serial().run_words(&words, |_| {
-            StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One))
-        });
-        for workers in [2usize, 3, 8, 64] {
-            let report = BatchRunner::new(workers).run_words(&words, |_| {
-                StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One))
+        let reference =
+            BatchRunner::serial().run_words(&words, SessionSchedule::Uninterrupted, |_| {
+                StoreEverything::new(StorePredicate::ContainsOne)
             });
+        for workers in [2usize, 3, 8, 64] {
+            let report =
+                BatchRunner::new(workers).run_words(&words, SessionSchedule::Uninterrupted, |_| {
+                    StoreEverything::new(StorePredicate::ContainsOne)
+                });
             assert_eq!(report, reference, "workers={workers}");
         }
     }
@@ -412,9 +568,9 @@ mod tests {
     #[test]
     fn lazy_streams_feed_without_materializing() {
         // Generate each word on the fly from the index.
-        let report = BatchRunner::new(2).run(5, |i| {
+        let report = BatchRunner::new(2).run(5, SessionSchedule::Uninterrupted, |i| {
             (
-                StoreEverything::new(move |w: &[Sym]| w.len() == i),
+                StoreEverything::new(StorePredicate::LengthEquals(i as u64)),
                 (0..i).map(|_| Sym::Zero),
             )
         });
@@ -424,7 +580,9 @@ mod tests {
 
     #[test]
     fn empty_batch_is_well_formed() {
-        let report = BatchRunner::new(4).run_words(&[], |_| StoreEverything::new(|_: &[Sym]| true));
+        let report = BatchRunner::new(4).run_words(&[], SessionSchedule::Uninterrupted, |_| {
+            StoreEverything::new(StorePredicate::AcceptAll)
+        });
         assert!(report.is_empty());
         assert_eq!(report.accept_rate(), 0.0);
         assert_eq!(report.peak_classical_bits, 0);
@@ -461,6 +619,8 @@ mod tests {
     }
 
     impl crate::session::Checkpointable for CountOnes {
+        const TYPE_TAG: &'static str = "CountOnes";
+
         fn write_state(&self, out: &mut Vec<u8>) {
             crate::session::put_u64(out, self.target);
             crate::session::put_u64(out, self.seen);
@@ -500,7 +660,7 @@ mod tests {
                 }),
             )
         };
-        let reference = BatchRunner::serial().run(7, task);
+        let reference = BatchRunner::serial().run(7, SessionSchedule::Uninterrupted, task);
         assert!(
             reference.accepted > 0 && reference.accepted < 7,
             "mixed verdicts"
@@ -510,13 +670,12 @@ mod tests {
             for segment in [1usize, 2, 7, 100] {
                 let migrated = runner.run_migrating(7, segment, task);
                 assert_eq!(migrated, reference, "workers={workers} segment={segment}");
-                let scheduled =
-                    runner.run_scheduled(7, SessionSchedule::MigrateEvery(segment), task);
+                let scheduled = runner.run(7, SessionSchedule::MigrateEvery(segment), task);
                 assert_eq!(scheduled, reference, "scheduled workers={workers}");
             }
             // The uninterrupted schedule is the classic path.
             assert_eq!(
-                runner.run_scheduled(7, SessionSchedule::Uninterrupted, task),
+                runner.run(7, SessionSchedule::Uninterrupted, task),
                 reference
             );
         }
@@ -547,6 +706,103 @@ mod tests {
             )
         });
         assert_eq!(one.accepted, 3);
+    }
+
+    fn count_ones_task(i: usize) -> (CountOnes, impl Iterator<Item = Sym>) {
+        (
+            CountOnes {
+                target: (3 * i % 5) as u64,
+                seen: 0,
+                peak: 0,
+            },
+            (0..2 + 5 * i).map(move |j| {
+                if j % (i + 2) == 0 {
+                    Sym::One
+                } else {
+                    Sym::Zero
+                }
+            }),
+        )
+    }
+
+    fn temp_store(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oqsc-batch-unit-{}-{name}.cps", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn resumable_sweep_without_prior_state_matches_plain_run() {
+        let reference =
+            BatchRunner::serial().run(7, SessionSchedule::Uninterrupted, count_ones_task);
+        let path = temp_store("fresh");
+        let mut store = CheckpointStore::create_for::<CountOnes>(&path).expect("create");
+        let report = BatchRunner::new(3)
+            .run_resumable(7, 4, &mut store, count_ones_task)
+            .expect("no store errors");
+        assert_eq!(report, reference);
+        assert!(store.records() > 0, "segments were persisted");
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crashed_then_resumed_sweep_reproduces_the_uninterrupted_report() {
+        let reference =
+            BatchRunner::serial().run(7, SessionSchedule::Uninterrupted, count_ones_task);
+        let total_tokens: u64 = (0..7).map(|i| 2 + 5 * i as u64).sum();
+        // Crash at every possible token position (serial runner: the
+        // crash point is exact), then resume to completion.
+        for crash_at in 0..=total_tokens {
+            let path = temp_store(&format!("crash-{crash_at}"));
+            let mut store = CheckpointStore::create_for::<CountOnes>(&path).expect("create");
+            let first = BatchRunner::serial()
+                .run_resumable_budgeted(7, 3, &mut store, crash_at, count_ones_task)
+                .expect("no store errors");
+            if crash_at >= total_tokens {
+                assert_eq!(first, Some(reference.clone()), "budget covers the sweep");
+                drop(store);
+            } else {
+                assert_eq!(first, None, "budget {crash_at} must crash");
+                drop(store);
+                let (mut store, _) =
+                    CheckpointStore::recover_for::<CountOnes>(&path).expect("recover");
+                let resumed = BatchRunner::serial()
+                    .run_resumable(7, 3, &mut store, count_ones_task)
+                    .expect("resume");
+                assert_eq!(resumed, reference, "crash at token {crash_at}");
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn resumable_sweep_is_worker_count_independent() {
+        let reference =
+            BatchRunner::serial().run(7, SessionSchedule::Uninterrupted, count_ones_task);
+        for workers in [2usize, 5] {
+            let path = temp_store(&format!("workers-{workers}"));
+            let mut store = CheckpointStore::create_for::<CountOnes>(&path).expect("create");
+            let report = BatchRunner::new(workers)
+                .run_resumable(7, 2, &mut store, count_ones_task)
+                .expect("runs");
+            assert_eq!(report, reference, "workers={workers}");
+            drop(store);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn resumable_sweep_handles_empty_batches() {
+        let path = temp_store("empty");
+        let mut store = CheckpointStore::create_for::<CountOnes>(&path).expect("create");
+        let report = BatchRunner::new(4)
+            .run_resumable(0, 1, &mut store, count_ones_task)
+            .expect("runs");
+        assert!(report.is_empty());
+        drop(store);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   [`BatchReport`](batch::BatchReport); under
 //!   [`SessionSchedule::MigrateEvery`](batch::SessionSchedule) the fleet
 //!   continuously suspends, migrates and resumes its shards;
+//! * [`store`] — the persistent checkpoint layer: a content-addressed,
+//!   append-only [`CheckpointStore`](store::CheckpointStore) log whose
+//!   header pins store/checkpoint/workspace versions and the decider
+//!   type, with strict open plus a salvaging
+//!   [`recover`](store::CheckpointStore::recover) path — crash-recoverable
+//!   sweeps (DESIGN.md §8);
 //! * [`register`] — the [`MeteredRegister`](register::MeteredRegister)
 //!   quantum-register handle making quantum streaming drivers generic over
 //!   any [`oqsc_quantum::QuantumBackend`];
@@ -39,6 +45,7 @@ pub mod optm;
 pub mod register;
 pub mod session;
 pub mod space;
+pub mod store;
 pub mod streaming;
 
 pub use batch::{BatchReport, BatchRunner, SessionSchedule};
@@ -55,6 +62,10 @@ pub use session::{
     ByteReader, CheckpointError, Checkpointable, Session, SessionCheckpoint, CHECKPOINT_VERSION,
 };
 pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
+pub use store::{
+    content_key, CheckpointStore, RecoveryReport, StoreError, STORE_MAGIC, STORE_VERSION,
+    WORKSPACE_VERSION,
+};
 pub use streaming::{
-    run_decider, run_decider_stream, RunOutcome, StoreEverything, StreamingDecider,
+    run_decider, run_decider_stream, RunOutcome, StoreEverything, StorePredicate, StreamingDecider,
 };

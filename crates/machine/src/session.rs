@@ -192,6 +192,13 @@ impl<'a> ByteReader<'a> {
 /// `read_state(write_state(d))` behaves identically to `d` — same
 /// verdicts, same metering, same randomness consumption.
 pub trait Checkpointable: StreamingDecider + Sized {
+    /// Stable name of the decider type. Recorded in the header of a
+    /// persistent [`crate::store::CheckpointStore`], so a store written
+    /// for one decider type is never decoded as another; generic deciders
+    /// share one tag across backends (the register snapshot encoding is
+    /// backend-portable).
+    const TYPE_TAG: &'static str;
+
     /// Appends the decider's complete configuration to `out`.
     fn write_state(&self, out: &mut Vec<u8>);
 
@@ -382,6 +389,8 @@ mod tests {
     }
 
     impl Checkpointable for ParityDecider {
+        const TYPE_TAG: &'static str = "ParityDecider";
+
         fn write_state(&self, out: &mut Vec<u8>) {
             put_u64(out, self.ones);
         }

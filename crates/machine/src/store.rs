@@ -1,0 +1,778 @@
+//! Persistent checkpoint store: a content-addressed, append-only log of
+//! [`SessionCheckpoint`]s.
+//!
+//! [`SessionCheckpoint`] bytes are portable (DESIGN.md §7) but, until
+//! this module, lived only in memory — a crashed or preempted sweep lost
+//! everything. A [`CheckpointStore`] is one log file plus an in-memory
+//! index:
+//!
+//! * **Header** — magic, store format version, the
+//!   [`CHECKPOINT_VERSION`] the payloads use, the workspace version that
+//!   wrote the file, and the decider's
+//!   [`Checkpointable::TYPE_TAG`]. A store written by an unknown layout,
+//!   a different checkpoint version, a different workspace version, or
+//!   for a different decider type is rejected on open — never
+//!   half-read, never panicked on.
+//! * **Records** — appended, never rewritten. Each record carries the
+//!   owning instance index, the stream position, a 128-bit FNV/SplitMix
+//!   content hash of the checkpoint payload (the record's *key*), and a
+//!   header checksum. A payload is stored once: re-appending bytes the
+//!   log already holds writes a small *ref* record pointing at the
+//!   existing payload (content addressing).
+//! * **Recovery** — [`CheckpointStore::open`] is strict: a truncated
+//!   tail (the signature of a crash mid-append) or a bit-flipped record
+//!   is an error. [`CheckpointStore::recover`] salvages instead: it
+//!   keeps the longest valid record prefix, truncates the rest, and
+//!   reports what was dropped. Resuming a crashed sweep goes through
+//!   `recover`; since checkpoints are only appended at segment
+//!   boundaries, the salvaged prefix is always a consistent set of
+//!   boundary snapshots.
+//!
+//! Concurrent writers are excluded by a `<path>.lock` file. A lock left
+//! behind by a killed process (an *orphaned lock*) makes open fail with
+//! [`StoreError::Locked`]; [`CheckpointStore::break_lock`] removes it
+//! once the operator knows the writer is gone. The per-shard store
+//! files used by the cross-process scheduler never share a writer, so
+//! orphaned locks only arise from kills — exactly the case `recover` +
+//! `break_lock` exist for.
+//!
+//! Durability scope: records survive process death (the kill-based
+//! suites pin this); surviving machine/power failure would additionally
+//! need an fsync per append, which the sweep cadence does not pay for.
+
+use crate::session::{CheckpointError, Checkpointable, SessionCheckpoint, CHECKPOINT_VERSION};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The store's own format version (independent of [`CHECKPOINT_VERSION`],
+/// which versions the payload bytes).
+pub const STORE_VERSION: u8 = 1;
+
+/// The 8-byte magic opening every store file.
+pub const STORE_MAGIC: [u8; 8] = *b"OQSC-CPS";
+
+/// The workspace version stamped into store headers (a store written by
+/// one build of the workspace is not silently decoded by another).
+pub const WORKSPACE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+const RECORD_FULL: u8 = 1;
+const RECORD_REF: u8 = 2;
+/// kind (1) + instance (8) + position (8) + key (16) + header check (8).
+const RECORD_HEADER_LEN: u64 = 41;
+
+/// Why a store could not be opened, read, or appended to.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not begin with the store magic (wrong file, or a
+    /// zero-length / foreign file).
+    NotAStore,
+    /// The store format version is not one this build understands.
+    UnsupportedStoreVersion(u8),
+    /// The payloads were written under a different checkpoint encoding
+    /// version.
+    CheckpointVersionMismatch {
+        /// Version recorded in the header.
+        found: u8,
+    },
+    /// The store was written by a different workspace version.
+    WorkspaceMismatch {
+        /// Version string recorded in the header.
+        found: String,
+    },
+    /// The store was written for a different decider type.
+    DeciderMismatch {
+        /// [`Checkpointable::TYPE_TAG`] recorded in the header.
+        found: String,
+        /// The tag the caller expected.
+        expected: String,
+    },
+    /// The file ends mid-header or mid-record (crash mid-append, or an
+    /// external truncation).
+    Truncated {
+        /// Offset of the first incomplete byte range.
+        offset: u64,
+    },
+    /// A record's checksum or content hash does not match its bytes
+    /// (bit flip), or a ref record points at a payload the log does not
+    /// hold.
+    CorruptRecord {
+        /// Offset of the corrupt record.
+        offset: u64,
+    },
+    /// [`CheckpointStore::get`] was asked for a key the store does not
+    /// hold.
+    UnknownKey,
+    /// Another writer holds (or a killed writer left) the lock file.
+    Locked {
+        /// The lock file path.
+        lock_path: PathBuf,
+    },
+    /// [`CheckpointStore::create`] refused to overwrite an existing
+    /// file.
+    AlreadyExists {
+        /// The existing store path.
+        path: PathBuf,
+    },
+    /// A stored payload failed checkpoint-level validation.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
+            StoreError::NotAStore => write!(f, "not a checkpoint store (missing magic)"),
+            StoreError::UnsupportedStoreVersion(v) => {
+                write!(f, "unsupported store version {v} (this build reads {STORE_VERSION})")
+            }
+            StoreError::CheckpointVersionMismatch { found } => write!(
+                f,
+                "store holds checkpoint-version-{found} payloads (this build reads {CHECKPOINT_VERSION})"
+            ),
+            StoreError::WorkspaceMismatch { found } => write!(
+                f,
+                "store written by workspace {found} (this build is {WORKSPACE_VERSION})"
+            ),
+            StoreError::DeciderMismatch { found, expected } => {
+                write!(f, "store written for decider {found:?}, expected {expected:?}")
+            }
+            StoreError::Truncated { offset } => {
+                write!(f, "store truncated at byte {offset}")
+            }
+            StoreError::CorruptRecord { offset } => {
+                write!(f, "corrupt store record at byte {offset}")
+            }
+            StoreError::UnknownKey => write!(f, "no record with the requested content key"),
+            StoreError::Locked { lock_path } => write!(
+                f,
+                "store is locked by another writer (or an orphaned lock): {}",
+                lock_path.display()
+            ),
+            StoreError::AlreadyExists { path } => write!(
+                f,
+                "store already exists (open it with --resume / recover instead): {}",
+                path.display()
+            ),
+            StoreError::Checkpoint(e) => write!(f, "stored checkpoint invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for StoreError {
+    fn from(e: CheckpointError) -> Self {
+        StoreError::Checkpoint(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: scrambles FNV's weak low bits.
+fn splitmix_fin(mut z: u64) -> u64 {
+    z = z.wrapping_add(SPLITMIX_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 128-bit content key of a checkpoint payload: two independently
+/// seeded FNV-1a streams, each passed through a SplitMix64 finalizer.
+/// Identical payloads — and only identical payloads, up to a 2⁻¹²⁸
+/// collision — share a key, which is what lets the log store each
+/// payload once.
+pub fn content_key(payload: &[u8]) -> u128 {
+    let hi = splitmix_fin(fnv1a64(FNV_OFFSET, payload));
+    let lo = splitmix_fin(fnv1a64(FNV_OFFSET ^ SPLITMIX_GAMMA, payload));
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+fn record_header_check(kind: u8, instance: u64, position: u64, key: u128) -> u64 {
+    let mut bytes = Vec::with_capacity(33);
+    bytes.push(kind);
+    bytes.extend_from_slice(&instance.to_le_bytes());
+    bytes.extend_from_slice(&position.to_le_bytes());
+    bytes.extend_from_slice(&key.to_le_bytes());
+    splitmix_fin(fnv1a64(FNV_OFFSET, &bytes))
+}
+
+// ---------------------------------------------------------------------
+// Lock files
+// ---------------------------------------------------------------------
+
+/// RAII guard over `<path>.lock`; removes the lock file on drop.
+#[derive(Debug)]
+struct LockGuard {
+    lock_path: PathBuf,
+}
+
+impl LockGuard {
+    fn acquire(store_path: &Path) -> Result<Self, StoreError> {
+        let lock_path = lock_path_for(store_path);
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut f) => {
+                // Advisory content: which process took the lock.
+                let _ = writeln!(f, "{}", std::process::id());
+                Ok(LockGuard { lock_path })
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(StoreError::Locked { lock_path })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.lock_path);
+    }
+}
+
+fn lock_path_for(store_path: &Path) -> PathBuf {
+    let mut os = store_path.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// What [`CheckpointStore::recover`] salvaged from a damaged log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records in the valid prefix that was kept.
+    pub salvaged_records: usize,
+    /// Bytes of truncated or corrupt tail that were discarded.
+    pub dropped_bytes: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PayloadLoc {
+    offset: u64,
+    len: u64,
+}
+
+/// A content-addressed, append-only log of [`SessionCheckpoint`]s for
+/// one decider type. See the module docs for the format and the
+/// recovery protocol.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    file: File,
+    path: PathBuf,
+    /// Logical end of valid data (everything before it has been
+    /// validated or written by this handle).
+    end: u64,
+    /// Content key → location of the (single) stored payload.
+    index: HashMap<u128, PayloadLoc>,
+    /// Instance → (highest stream position seen, its content key).
+    latest: HashMap<u64, (u64, u128)>,
+    records: usize,
+    _lock: LockGuard,
+}
+
+impl CheckpointStore {
+    /// Creates a fresh store at `path` for deciders tagged `tag`.
+    /// Refuses to overwrite an existing file
+    /// ([`StoreError::AlreadyExists`]) — resuming goes through
+    /// [`recover`](Self::recover) instead.
+    pub fn create(path: impl AsRef<Path>, tag: &str) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        // Lock first: a live writer reports `Locked`, not `AlreadyExists`.
+        let lock = LockGuard::acquire(path)?;
+        if path.exists() {
+            return Err(StoreError::AlreadyExists {
+                path: path.to_path_buf(),
+            });
+        }
+        let mut header = Vec::with_capacity(32);
+        header.extend_from_slice(&STORE_MAGIC);
+        header.push(STORE_VERSION);
+        header.push(CHECKPOINT_VERSION);
+        push_short_str(&mut header, WORKSPACE_VERSION);
+        push_short_str(&mut header, tag);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(&header)?;
+        Ok(CheckpointStore {
+            file,
+            path: path.to_path_buf(),
+            end: header.len() as u64,
+            index: HashMap::new(),
+            latest: HashMap::new(),
+            records: 0,
+            _lock: lock,
+        })
+    }
+
+    /// Opens an existing store strictly: any header mismatch, truncated
+    /// tail, or corrupt record is an error. Use
+    /// [`recover`](Self::recover) to salvage a damaged log.
+    pub fn open(path: impl AsRef<Path>, tag: &str) -> Result<Self, StoreError> {
+        Self::open_inner(path.as_ref(), tag, false).map(|(store, _)| store)
+    }
+
+    /// Opens an existing store, keeping the longest valid record prefix
+    /// and truncating any damaged tail (the crash-recovery path).
+    /// Header-level mismatches are still fatal: recovery never
+    /// reinterprets a store written by a different layout, workspace, or
+    /// decider type.
+    pub fn recover(
+        path: impl AsRef<Path>,
+        tag: &str,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_inner(path.as_ref(), tag, true)
+    }
+
+    /// [`create`](Self::create) with the tag taken from the decider type.
+    pub fn create_for<D: Checkpointable>(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::create(path, D::TYPE_TAG)
+    }
+
+    /// [`open`](Self::open) with the tag taken from the decider type.
+    pub fn open_for<D: Checkpointable>(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open(path, D::TYPE_TAG)
+    }
+
+    /// [`recover`](Self::recover) with the tag taken from the decider
+    /// type.
+    pub fn recover_for<D: Checkpointable>(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::recover(path, D::TYPE_TAG)
+    }
+
+    /// Removes an orphaned lock file left behind by a killed writer.
+    /// Returns whether a lock existed. Only call this once the previous
+    /// writer is known to be dead — breaking a live writer's lock
+    /// un-serializes the log.
+    pub fn break_lock(path: impl AsRef<Path>) -> Result<bool, StoreError> {
+        match std::fs::remove_file(lock_path_for(path.as_ref())) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn open_inner(
+        path: &Path,
+        tag: &str,
+        salvage: bool,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let lock = LockGuard::acquire(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let header_len = validate_header(&bytes, tag)?;
+        let mut index = HashMap::new();
+        let mut latest: HashMap<u64, (u64, u128)> = HashMap::new();
+        let mut records = 0usize;
+        let mut off = header_len;
+        let end = loop {
+            if off == bytes.len() as u64 {
+                break off;
+            }
+            match scan_record(&bytes, off, &index) {
+                Ok(rec) => {
+                    if let Some(loc) = rec.stored {
+                        index.insert(rec.key, loc);
+                    }
+                    let slot = latest.entry(rec.instance).or_insert((0, rec.key));
+                    if rec.position >= slot.0 {
+                        *slot = (rec.position, rec.key);
+                    }
+                    records += 1;
+                    off = rec.next;
+                }
+                Err(e) if salvage => {
+                    debug_assert!(matches!(
+                        e,
+                        StoreError::Truncated { .. } | StoreError::CorruptRecord { .. }
+                    ));
+                    break off;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let dropped = bytes.len() as u64 - end;
+        if dropped > 0 {
+            file.set_len(end)?;
+        }
+        Ok((
+            CheckpointStore {
+                file,
+                path: path.to_path_buf(),
+                end,
+                index,
+                latest,
+                records,
+                _lock: lock,
+            },
+            RecoveryReport {
+                salvaged_records: records,
+                dropped_bytes: dropped,
+            },
+        ))
+    }
+
+    /// Appends one checkpoint owned by `instance`. Returns the payload's
+    /// content key. A payload the log already holds is not rewritten —
+    /// only a small ref record is appended.
+    pub fn append(&mut self, instance: u64, cp: &SessionCheckpoint) -> Result<u128, StoreError> {
+        let payload = cp.as_bytes();
+        let key = content_key(payload);
+        let position = cp.position();
+        let kind = if self.index.contains_key(&key) {
+            RECORD_REF
+        } else {
+            RECORD_FULL
+        };
+        let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len() + 8);
+        rec.push(kind);
+        rec.extend_from_slice(&instance.to_le_bytes());
+        rec.extend_from_slice(&position.to_le_bytes());
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(&record_header_check(kind, instance, position, key).to_le_bytes());
+        if kind == RECORD_FULL {
+            rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            rec.extend_from_slice(payload);
+        }
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&rec)?;
+        if kind == RECORD_FULL {
+            self.index.insert(
+                key,
+                PayloadLoc {
+                    offset: self.end + RECORD_HEADER_LEN + 8,
+                    len: payload.len() as u64,
+                },
+            );
+        }
+        self.end += rec.len() as u64;
+        self.records += 1;
+        let slot = self.latest.entry(instance).or_insert((position, key));
+        if position >= slot.0 {
+            *slot = (position, key);
+        }
+        Ok(key)
+    }
+
+    /// Reads the checkpoint with content key `key`, re-verifying the
+    /// hash against the bytes on disk.
+    pub fn get(&mut self, key: u128) -> Result<SessionCheckpoint, StoreError> {
+        let loc = *self.index.get(&key).ok_or(StoreError::UnknownKey)?;
+        self.file.seek(SeekFrom::Start(loc.offset))?;
+        let mut payload = vec![0u8; loc.len as usize];
+        self.file.read_exact(&mut payload)?;
+        if content_key(&payload) != key {
+            return Err(StoreError::CorruptRecord { offset: loc.offset });
+        }
+        Ok(SessionCheckpoint::from_bytes(payload)?)
+    }
+
+    /// The newest checkpoint persisted for `instance` (highest stream
+    /// position), if any.
+    pub fn latest(&mut self, instance: u64) -> Result<Option<SessionCheckpoint>, StoreError> {
+        match self.latest.get(&instance) {
+            None => Ok(None),
+            Some(&(_, key)) => self.get(key).map(Some),
+        }
+    }
+
+    /// The stream position of the newest checkpoint for `instance`.
+    pub fn latest_position(&self, instance: u64) -> Option<u64> {
+        self.latest.get(&instance).map(|&(p, _)| p)
+    }
+
+    /// Number of records appended (full + ref).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Number of distinct payloads stored.
+    pub fn payloads(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of instances with at least one checkpoint.
+    pub fn instances(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Size of the log file in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn push_short_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u8::MAX as usize);
+    out.push(s.len().min(u8::MAX as usize) as u8);
+    out.extend_from_slice(&s.as_bytes()[..s.len().min(u8::MAX as usize)]);
+}
+
+/// Validates the variable-length header, returning its byte length.
+/// Every read is bounds-checked against the file, so a truncated or
+/// hostile header can never index out of range or over-allocate.
+fn validate_header(bytes: &[u8], tag: &str) -> Result<u64, StoreError> {
+    if bytes.len() < STORE_MAGIC.len() || bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+        return Err(StoreError::NotAStore);
+    }
+    let mut off = STORE_MAGIC.len();
+    let take = |off: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        if bytes.len() - *off < n {
+            return Err(StoreError::Truncated {
+                offset: *off as u64,
+            });
+        }
+        let out = &bytes[*off..*off + n];
+        *off += n;
+        Ok(out)
+    };
+    let store_ver = take(&mut off, 1)?[0];
+    if store_ver != STORE_VERSION {
+        return Err(StoreError::UnsupportedStoreVersion(store_ver));
+    }
+    let cp_ver = take(&mut off, 1)?[0];
+    if cp_ver != CHECKPOINT_VERSION {
+        return Err(StoreError::CheckpointVersionMismatch { found: cp_ver });
+    }
+    let ws_len = take(&mut off, 1)?[0] as usize;
+    let ws = String::from_utf8_lossy(take(&mut off, ws_len)?).into_owned();
+    if ws != WORKSPACE_VERSION {
+        return Err(StoreError::WorkspaceMismatch { found: ws });
+    }
+    let tag_len = take(&mut off, 1)?[0] as usize;
+    let found_tag = String::from_utf8_lossy(take(&mut off, tag_len)?).into_owned();
+    if found_tag != tag {
+        return Err(StoreError::DeciderMismatch {
+            found: found_tag,
+            expected: tag.to_string(),
+        });
+    }
+    Ok(off as u64)
+}
+
+struct ScannedRecord {
+    instance: u64,
+    position: u64,
+    key: u128,
+    /// Payload location, for full records (refs reuse the index entry).
+    stored: Option<PayloadLoc>,
+    /// Offset one past the record.
+    next: u64,
+}
+
+/// Validates the record starting at `off`. Length fields are checked
+/// against the real file size *before* any slice or allocation, so a
+/// bit-flipped (or hostile) length can neither panic nor over-allocate.
+fn scan_record(
+    bytes: &[u8],
+    off: u64,
+    index: &HashMap<u128, PayloadLoc>,
+) -> Result<ScannedRecord, StoreError> {
+    let remaining = bytes.len() as u64 - off;
+    if remaining < RECORD_HEADER_LEN {
+        return Err(StoreError::Truncated { offset: off });
+    }
+    let at = off as usize;
+    let kind = bytes[at];
+    let instance = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().expect("sliced"));
+    let position = u64::from_le_bytes(bytes[at + 9..at + 17].try_into().expect("sliced"));
+    let key = u128::from_le_bytes(bytes[at + 17..at + 33].try_into().expect("sliced"));
+    let check = u64::from_le_bytes(bytes[at + 33..at + 41].try_into().expect("sliced"));
+    if check != record_header_check(kind, instance, position, key) {
+        return Err(StoreError::CorruptRecord { offset: off });
+    }
+    match kind {
+        RECORD_REF => {
+            if !index.contains_key(&key) {
+                // A ref to a payload the log never stored: dangling.
+                return Err(StoreError::CorruptRecord { offset: off });
+            }
+            Ok(ScannedRecord {
+                instance,
+                position,
+                key,
+                stored: None,
+                next: off + RECORD_HEADER_LEN,
+            })
+        }
+        RECORD_FULL => {
+            if remaining < RECORD_HEADER_LEN + 8 {
+                return Err(StoreError::Truncated { offset: off });
+            }
+            let len = u64::from_le_bytes(bytes[at + 41..at + 49].try_into().expect("sliced"));
+            if remaining - RECORD_HEADER_LEN - 8 < len {
+                return Err(StoreError::Truncated { offset: off });
+            }
+            let payload_off = off + RECORD_HEADER_LEN + 8;
+            let payload = &bytes[payload_off as usize..(payload_off + len) as usize];
+            if content_key(payload) != key {
+                return Err(StoreError::CorruptRecord { offset: off });
+            }
+            Ok(ScannedRecord {
+                instance,
+                position,
+                key,
+                stored: Some(PayloadLoc {
+                    offset: payload_off,
+                    len,
+                }),
+                next: payload_off + len,
+            })
+        }
+        _ => Err(StoreError::CorruptRecord { offset: off }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use crate::streaming::{StoreEverything, StorePredicate};
+    use oqsc_lang::Sym;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oqsc-store-unit-{}-{name}.cps", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(lock_path_for(&p));
+        p
+    }
+
+    fn checkpoint_at(tokens: usize) -> SessionCheckpoint {
+        let mut s = Session::new(StoreEverything::new(StorePredicate::ContainsOne));
+        for i in 0..tokens {
+            s.feed(if i % 2 == 0 { Sym::One } else { Sym::Zero });
+        }
+        s.suspend()
+    }
+
+    #[test]
+    fn append_get_latest_round_trip() {
+        let path = temp_path("round-trip");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        let a = checkpoint_at(3);
+        let b = checkpoint_at(7);
+        let ka = store.append(0, &a).expect("append a");
+        let kb = store.append(0, &b).expect("append b");
+        assert_ne!(ka, kb);
+        assert_eq!(store.get(ka).expect("get a"), a);
+        assert_eq!(store.latest(0).expect("latest"), Some(b.clone()));
+        assert_eq!(store.latest_position(0), Some(7));
+        assert_eq!(store.latest(1).expect("none"), None);
+        drop(store);
+        // Reopen strictly: everything is still there.
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        assert_eq!(store.records(), 2);
+        assert_eq!(store.latest(0).expect("latest"), Some(b));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn identical_payloads_are_stored_once() {
+        let path = temp_path("dedupe");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        let cp = checkpoint_at(5);
+        let k1 = store.append(0, &cp).expect("first");
+        let full_size = store.len_bytes();
+        let k2 = store.append(9, &cp).expect("second (other instance)");
+        assert_eq!(k1, k2, "content-addressed: same bytes, same key");
+        assert_eq!(store.payloads(), 1);
+        let ref_growth = store.len_bytes() - full_size;
+        assert_eq!(
+            ref_growth, RECORD_HEADER_LEN,
+            "ref records carry no payload"
+        );
+        // Both instances resolve to the same checkpoint, across a reopen.
+        drop(store);
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        assert_eq!(store.latest(9).expect("latest"), Some(cp));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite_and_locks_exclude() {
+        let path = temp_path("exclusive");
+        let store = CheckpointStore::create(&path, "T").expect("create");
+        assert!(matches!(
+            CheckpointStore::create(&path, "T"),
+            Err(StoreError::Locked { .. })
+        ));
+        drop(store);
+        // Lock released on drop; the file still exists, so create refuses.
+        assert!(matches!(
+            CheckpointStore::create(&path, "T"),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        // An orphaned lock (writer killed) blocks open until broken.
+        std::fs::write(lock_path_for(&path), b"12345").expect("fake orphan lock");
+        assert!(matches!(
+            CheckpointStore::open(&path, "T"),
+            Err(StoreError::Locked { .. })
+        ));
+        assert!(CheckpointStore::break_lock(&path).expect("break"));
+        assert!(!CheckpointStore::break_lock(&path).expect("idempotent"));
+        CheckpointStore::open(&path, "T").expect("opens after break");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_mismatches_are_rejected() {
+        let path = temp_path("tag");
+        drop(CheckpointStore::create(&path, "TypeA").expect("create"));
+        assert!(matches!(
+            CheckpointStore::open(&path, "TypeB"),
+            Err(StoreError::DeciderMismatch { .. })
+        ));
+        CheckpointStore::open(&path, "TypeA").expect("right tag opens");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -105,18 +105,63 @@ pub fn run_decider<D: StreamingDecider>(decider: D, word: &[Sym]) -> RunOutcome 
     run_decider_stream(decider, word.iter().copied())
 }
 
-/// A trivial decider that stores the entire input and applies an arbitrary
+/// The offline predicate a [`StoreEverything`] decider applies at end of
+/// stream — a closed *named* set rather than an arbitrary closure, so the
+/// decider's complete configuration (buffer **and** verdict rule) is a
+/// finite byte string and [`StoreEverything`] can implement
+/// [`crate::session::Checkpointable`] like every other decider in the
+/// tree. (The closure form was the one decider a checkpoint could not
+/// carry: a `Fn` has no serializable identity.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorePredicate {
+    /// Accept iff the buffered word contains a `1`.
+    ContainsOne,
+    /// Accept iff the buffer is empty.
+    IsEmpty,
+    /// Accept iff the buffer length equals the given value.
+    LengthEquals(u64),
+    /// Accept every word.
+    AcceptAll,
+    /// Accept iff the buffered word is in `L_DISJ` (the reference
+    /// offline decider, [`oqsc_lang::is_in_ldisj`]).
+    InLdisj,
+}
+
+impl StorePredicate {
+    /// Applies the predicate to a buffered word.
+    pub fn eval(&self, word: &[Sym]) -> bool {
+        match self {
+            StorePredicate::ContainsOne => word.contains(&Sym::One),
+            StorePredicate::IsEmpty => word.is_empty(),
+            StorePredicate::LengthEquals(n) => word.len() as u64 == *n,
+            StorePredicate::AcceptAll => true,
+            StorePredicate::InLdisj => oqsc_lang::is_in_ldisj(word),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            StorePredicate::ContainsOne => 0,
+            StorePredicate::IsEmpty => 1,
+            StorePredicate::LengthEquals(_) => 2,
+            StorePredicate::AcceptAll => 3,
+            StorePredicate::InLdisj => 4,
+        }
+    }
+}
+
+/// A trivial decider that stores the entire input and applies a named
 /// offline predicate: the "if the classical device can store the two
 /// strings in memory, the problem is trivial" baseline from the paper's
 /// introduction. Space is linear in the input length.
-pub struct StoreEverything<F: Fn(&[Sym]) -> bool> {
+pub struct StoreEverything {
     buffer: Vec<Sym>,
-    predicate: F,
+    predicate: StorePredicate,
 }
 
-impl<F: Fn(&[Sym]) -> bool> StoreEverything<F> {
+impl StoreEverything {
     /// Creates the decider with the offline predicate to apply at the end.
-    pub fn new(predicate: F) -> Self {
+    pub fn new(predicate: StorePredicate) -> Self {
         StoreEverything {
             buffer: Vec::new(),
             predicate,
@@ -124,13 +169,13 @@ impl<F: Fn(&[Sym]) -> bool> StoreEverything<F> {
     }
 }
 
-impl<F: Fn(&[Sym]) -> bool> StreamingDecider for StoreEverything<F> {
+impl StreamingDecider for StoreEverything {
     fn feed(&mut self, sym: Sym) {
         self.buffer.push(sym);
     }
 
     fn decide(&mut self) -> bool {
-        (self.predicate)(&self.buffer)
+        self.predicate.eval(&self.buffer)
     }
 
     fn space_bits(&self) -> usize {
@@ -156,15 +201,66 @@ impl<F: Fn(&[Sym]) -> bool> StreamingDecider for StoreEverything<F> {
     }
 }
 
+impl crate::session::Checkpointable for StoreEverything {
+    const TYPE_TAG: &'static str = "StoreEverything";
+
+    fn write_state(&self, out: &mut Vec<u8>) {
+        crate::session::put_u8(out, self.predicate.tag());
+        if let StorePredicate::LengthEquals(n) = self.predicate {
+            crate::session::put_u64(out, n);
+        }
+        crate::session::put_usize(out, self.buffer.len());
+        for &s in &self.buffer {
+            crate::session::put_u8(
+                out,
+                match s {
+                    Sym::Zero => 0,
+                    Sym::One => 1,
+                    Sym::Hash => 2,
+                },
+            );
+        }
+    }
+
+    fn read_state(
+        r: &mut crate::session::ByteReader,
+    ) -> Result<Self, crate::session::CheckpointError> {
+        use crate::session::CheckpointError;
+        let predicate = match r.read_u8()? {
+            0 => StorePredicate::ContainsOne,
+            1 => StorePredicate::IsEmpty,
+            2 => StorePredicate::LengthEquals(r.read_u64()?),
+            3 => StorePredicate::AcceptAll,
+            4 => StorePredicate::InLdisj,
+            t => return Err(CheckpointError::Malformed(format!("bad predicate tag {t}"))),
+        };
+        let len = r.read_usize()?;
+        if r.remaining() < len {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut buffer = Vec::with_capacity(len);
+        for _ in 0..len {
+            buffer.push(match r.read_u8()? {
+                0 => Sym::Zero,
+                1 => Sym::One,
+                2 => Sym::Hash,
+                b => return Err(CheckpointError::Malformed(format!("bad symbol byte {b}"))),
+            });
+        }
+        Ok(StoreEverything { buffer, predicate })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{ByteReader, Checkpointable, Session};
     use oqsc_lang::token::from_str;
 
     #[test]
     fn store_everything_applies_predicate() {
         let word = from_str("1#01#").expect("ok");
-        let decider = StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One));
+        let decider = StoreEverything::new(StorePredicate::ContainsOne);
         let out = run_decider(decider, &word);
         assert!(out.accept);
         assert_eq!(out.classical_bits, 2 * word.len());
@@ -177,14 +273,14 @@ mod tests {
     #[test]
     fn store_everything_rejects() {
         let word = from_str("0#0#").expect("ok");
-        let decider = StoreEverything::new(|w: &[Sym]| w.contains(&Sym::One));
+        let decider = StoreEverything::new(StorePredicate::ContainsOne);
         assert!(!run_decider(decider, &word).accept);
     }
 
     #[test]
     fn snapshot_packs_two_bits_per_symbol() {
         let word = from_str("01#0101#").expect("ok");
-        let mut d = StoreEverything::new(|_: &[Sym]| true);
+        let mut d = StoreEverything::new(StorePredicate::AcceptAll);
         d.feed_all(&word);
         let snap = d.snapshot();
         assert_eq!(snap.len(), word.len().div_ceil(4));
@@ -194,9 +290,65 @@ mod tests {
 
     #[test]
     fn empty_stream_decides() {
-        let mut d = StoreEverything::new(|w: &[Sym]| w.is_empty());
+        let mut d = StoreEverything::new(StorePredicate::IsEmpty);
         assert!(d.decide());
         assert_eq!(d.space_bits(), 0);
         assert!(d.snapshot().is_empty());
+    }
+
+    #[test]
+    fn named_predicates_cover_their_semantics() {
+        let word = from_str("01#1").expect("ok");
+        let cases = [
+            (StorePredicate::ContainsOne, true),
+            (StorePredicate::IsEmpty, false),
+            (StorePredicate::LengthEquals(4), true),
+            (StorePredicate::LengthEquals(5), false),
+            (StorePredicate::AcceptAll, true),
+            (StorePredicate::InLdisj, false),
+        ];
+        for (pred, expect) in cases {
+            assert_eq!(
+                run_decider(StoreEverything::new(pred), &word).accept,
+                expect,
+                "{pred:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_everything_checkpoints_round_trip() {
+        // The ROADMAP holdout: the buffer decider now survives the
+        // suspend/serialize/resume seam like every other decider.
+        let word = from_str("1#01#110#1").expect("ok");
+        for pred in [
+            StorePredicate::ContainsOne,
+            StorePredicate::LengthEquals(3),
+            StorePredicate::InLdisj,
+        ] {
+            let reference = run_decider(StoreEverything::new(pred), &word);
+            for cut in 0..=word.len() {
+                let mut s = Session::new(StoreEverything::new(pred));
+                s.feed_all(&word[..cut]);
+                let cp = s.suspend();
+                let mut resumed = Session::<StoreEverything>::resume(&cp).expect("resumes");
+                resumed.feed_all(&word[cut..]);
+                assert_eq!(resumed.finish(), reference, "{pred:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn store_everything_rejects_malformed_state() {
+        let mut bytes = Vec::new();
+        crate::session::put_u8(&mut bytes, 200); // no such predicate tag
+        assert!(StoreEverything::read_state(&mut ByteReader::new(&bytes)).is_err());
+        let mut bytes = Vec::new();
+        crate::session::put_u8(&mut bytes, 0);
+        crate::session::put_usize(&mut bytes, usize::MAX); // overflowing length
+        assert!(matches!(
+            StoreEverything::read_state(&mut ByteReader::new(&bytes)),
+            Err(crate::session::CheckpointError::Truncated)
+        ));
     }
 }

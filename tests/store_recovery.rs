@@ -1,0 +1,500 @@
+//! The persistent checkpoint store's contract (DESIGN.md §8), pinned
+//! end to end:
+//!
+//! * **Crash recovery** — a sweep killed at *any* token position (every
+//!   checkpoint boundary and arbitrary mid-segment points), resumed
+//!   from nothing but the store file, produces a `BatchReport`
+//!   `==`-identical to the uninterrupted run — on the dense, parallel,
+//!   sparse and adaptive backends.
+//! * **Robustness** — truncated files, bit-flipped bytes (anywhere:
+//!   header, record headers, payloads), unknown format versions, wrong
+//!   decider-type tags, overflowed length fields, trailing garbage and
+//!   zero-length files all return errors. No input panics, no input
+//!   over-allocates, and `recover` always salvages the longest valid
+//!   record prefix.
+//!
+//! CI runs this suite under `--release`.
+
+use onlineq::core::sweep::{complement_sweep_in, complement_sweep_resumable_in};
+use onlineq::lang::{random_member, random_nonmember, Sym};
+use onlineq::machine::session::{put_u64, ByteReader, CheckpointError};
+use onlineq::machine::{
+    BatchRunner, CheckpointStore, Checkpointable, Session, SessionCheckpoint, StoreError,
+    StreamingDecider, STORE_MAGIC,
+};
+use onlineq::quantum::{
+    AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// A tiny checkpointable decider for format-level tests (accepts iff it
+/// saw more `1`s than `0`s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TallyDecider {
+    ones: u64,
+    zeros: u64,
+}
+
+impl TallyDecider {
+    fn new() -> Self {
+        TallyDecider { ones: 0, zeros: 0 }
+    }
+}
+
+impl StreamingDecider for TallyDecider {
+    fn feed(&mut self, sym: Sym) {
+        match sym {
+            Sym::One => self.ones += 1,
+            Sym::Zero => self.zeros += 1,
+            Sym::Hash => {}
+        }
+    }
+
+    fn decide(&mut self) -> bool {
+        self.ones > self.zeros
+    }
+
+    fn space_bits(&self) -> usize {
+        128
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.ones.to_le_bytes().to_vec();
+        out.extend_from_slice(&self.zeros.to_le_bytes());
+        out
+    }
+}
+
+impl Checkpointable for TallyDecider {
+    const TYPE_TAG: &'static str = "TallyDecider";
+
+    fn write_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.ones);
+        put_u64(out, self.zeros);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        Ok(TallyDecider {
+            ones: r.read_u64()?,
+            zeros: r.read_u64()?,
+        })
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "oqsc-store-recovery-{}-{name}.cps",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(lock_path(&p));
+    p
+}
+
+fn lock_path(p: &std::path::Path) -> PathBuf {
+    let mut os = p.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+fn cleanup(p: &PathBuf) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(lock_path(p));
+}
+
+fn checkpoint_at(tokens: usize) -> SessionCheckpoint {
+    let mut s = Session::new(TallyDecider::new());
+    for i in 0..tokens {
+        s.feed(if i % 3 == 0 { Sym::One } else { Sym::Zero });
+    }
+    s.suspend()
+}
+
+/// A store with a few records (including a dedupe ref), plus the byte
+/// offsets at which each append left the file — i.e. the valid
+/// truncation boundaries.
+fn build_store(name: &str) -> (PathBuf, Vec<u64>) {
+    let path = temp_path(name);
+    let mut store = CheckpointStore::create_for::<TallyDecider>(&path).expect("create");
+    let mut boundaries = vec![store.len_bytes()];
+    for (instance, tokens) in [(0u64, 4usize), (1, 6), (0, 8), (2, 6)] {
+        store
+            .append(instance, &checkpoint_at(tokens))
+            .expect("append");
+        boundaries.push(store.len_bytes());
+    }
+    // Instance 2 re-persists bytes instance 1 already wrote: a ref record.
+    drop(store);
+    (path, boundaries)
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: kill at every boundary and at arbitrary positions
+// ---------------------------------------------------------------------
+
+fn seeded_words(n: usize, seed: u64) -> Vec<Vec<Sym>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                random_member(1, &mut rng).encode()
+            } else {
+                random_nonmember(1, 1 + i % 3, &mut rng).encode()
+            }
+        })
+        .collect()
+}
+
+/// Runs the complement sweep with a token budget of `crash_at`, then —
+/// if it crashed — recovers the store file and resumes to completion,
+/// requiring the final report to equal the uninterrupted reference.
+fn crash_resume_once<B: QuantumBackend>(
+    words: &[Vec<Sym>],
+    reference: &onlineq::machine::BatchReport,
+    every: usize,
+    crash_at: u64,
+    workers: usize,
+    name: &str,
+) {
+    let path = temp_path(&format!("crash-{name}-{workers}w-{every}e-{crash_at}"));
+    let runner = BatchRunner::new(workers);
+    let tag = "ComplementRecognizer";
+    let mut store = CheckpointStore::create(&path, tag).expect("create");
+    let first =
+        complement_sweep_resumable_in::<B>(words, 0xFEED, &runner, every, &mut store, crash_at)
+            .expect("no store errors");
+    match first {
+        Some(report) => assert_eq!(&report, reference, "{name}: budget covered the sweep"),
+        None => {
+            drop(store);
+            let (mut store, salvage) = CheckpointStore::recover(&path, tag).expect("recover");
+            assert_eq!(salvage.dropped_bytes, 0, "clean kill leaves no torn tail");
+            let resumed = complement_sweep_resumable_in::<B>(
+                words,
+                0xFEED,
+                &runner,
+                every,
+                &mut store,
+                u64::MAX,
+            )
+            .expect("resume")
+            .expect("unlimited budget completes");
+            assert_eq!(&resumed, reference, "{name}: crash at {crash_at}");
+        }
+    }
+    cleanup(&path);
+}
+
+/// The tentpole property: a sweep killed at every checkpoint boundary —
+/// and at arbitrary token positions between them — and resumed from the
+/// persisted store alone reproduces the uninterrupted `BatchReport`
+/// exactly, on all four backends.
+#[test]
+fn killed_sweeps_resume_identically_on_all_backends() {
+    let words = seeded_words(4, 0x5707);
+    let total: u64 = words.iter().map(|w| w.len() as u64).sum();
+    let every = 5usize;
+    fn check<B: QuantumBackend>(words: &[Vec<Sym>], total: u64, every: usize, name: &str) {
+        let reference = complement_sweep_in::<B>(words, 0xFEED, &BatchRunner::serial());
+        // Every checkpoint boundary (serial: kill points are exact) …
+        let mut budgets: Vec<u64> = (0..=total).step_by(every).collect();
+        // … and arbitrary mid-segment positions.
+        budgets.extend(
+            (0..=total)
+                .step_by(7)
+                .map(|b| b.saturating_add(3).min(total)),
+        );
+        budgets.push(total);
+        for crash_at in budgets {
+            crash_resume_once::<B>(words, &reference, every, crash_at, 1, name);
+        }
+    }
+    check::<StateVector>(&words, total, every, "dense");
+    check::<ParallelStateVector>(&words, total, every, "parallel-dense");
+    check::<SparseState>(&words, total, every, "sparse");
+    check::<AdaptiveState>(&words, total, every, "adaptive");
+}
+
+/// Multi-worker crashes are racy (the budget pool is shared across
+/// worker threads), but resume correctness must hold wherever the crash
+/// fell.
+#[test]
+fn racy_multiworker_crashes_still_resume_identically() {
+    let words = seeded_words(6, 0xACE);
+    let reference = complement_sweep_in::<StateVector>(&words, 0xFEED, &BatchRunner::serial());
+    for crash_at in [1u64, 17, 40, 77, 120] {
+        crash_resume_once::<StateVector>(&words, &reference, 4, crash_at, 3, "dense-racy");
+    }
+}
+
+/// Repeated kills: crash, resume with a budget, crash again, … until
+/// done. Progress is monotone and the final report is exact.
+#[test]
+fn repeated_crashes_make_progress_and_finish() {
+    let words = seeded_words(4, 0xBEEF);
+    let reference = complement_sweep_in::<SparseState>(&words, 0xFEED, &BatchRunner::serial());
+    let path = temp_path("repeated");
+    let tag = "ComplementRecognizer";
+    let mut store = Some(CheckpointStore::create(&path, tag).expect("create"));
+    let mut rounds = 0;
+    let report = loop {
+        rounds += 1;
+        assert!(rounds < 100, "a 25-token budget must finish eventually");
+        let mut s = store.take().expect("store");
+        match complement_sweep_resumable_in::<SparseState>(
+            &words,
+            0xFEED,
+            &BatchRunner::serial(),
+            3,
+            &mut s,
+            25,
+        )
+        .expect("no store errors")
+        {
+            Some(report) => break report,
+            None => {
+                drop(s);
+                let (s, _) = CheckpointStore::recover(&path, tag).expect("recover");
+                store = Some(s);
+            }
+        }
+    };
+    assert_eq!(report, reference);
+    assert!(
+        rounds > 1,
+        "the budget must actually have crashed the sweep"
+    );
+    cleanup(&path);
+}
+
+// ---------------------------------------------------------------------
+// Robustness: truncation, bit flips, versions, tags, overflow
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_length_and_foreign_files_are_not_stores() {
+    let path = temp_path("zero");
+    std::fs::write(&path, b"").expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::NotAStore)
+    ));
+    std::fs::write(&path, b"not a store at all").expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::NotAStore)
+    ));
+    // Recovery does not reinterpret foreign files either.
+    assert!(CheckpointStore::recover_for::<TallyDecider>(&path).is_err());
+    cleanup(&path);
+}
+
+#[test]
+fn unknown_store_and_checkpoint_versions_are_rejected() {
+    let (path, _) = build_store("versions");
+    let original = std::fs::read(&path).expect("read");
+    // Byte 8 is the store format version.
+    let mut bumped = original.clone();
+    bumped[STORE_MAGIC.len()] = 99;
+    std::fs::write(&path, &bumped).expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::UnsupportedStoreVersion(99))
+    ));
+    // Byte 9 is the checkpoint encoding version the payloads use.
+    let mut bumped = original.clone();
+    bumped[STORE_MAGIC.len() + 1] = 77;
+    std::fs::write(&path, &bumped).expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::CheckpointVersionMismatch { found: 77 })
+    ));
+    cleanup(&path);
+}
+
+#[test]
+fn workspace_and_decider_tag_mismatches_are_rejected() {
+    let (path, _) = build_store("tags");
+    assert!(matches!(
+        CheckpointStore::open(&path, "SomeOtherDecider"),
+        Err(StoreError::DeciderMismatch { .. })
+    ));
+    // Handcraft a header claiming workspace 9.9.9 (this also pins the
+    // header byte layout: magic, store version, checkpoint version,
+    // length-prefixed workspace version, length-prefixed tag).
+    let mut fake = Vec::new();
+    fake.extend_from_slice(&STORE_MAGIC);
+    fake.push(onlineq::machine::STORE_VERSION);
+    fake.push(onlineq::machine::CHECKPOINT_VERSION);
+    fake.push(5);
+    fake.extend_from_slice(b"9.9.9");
+    fake.push(12);
+    fake.extend_from_slice(b"TallyDecider");
+    std::fs::write(&path, &fake).expect("write");
+    match CheckpointStore::open_for::<TallyDecider>(&path) {
+        Err(StoreError::WorkspaceMismatch { found }) => assert_eq!(found, "9.9.9"),
+        other => panic!("expected WorkspaceMismatch, got {other:?}"),
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn every_truncation_point_errors_strictly_and_recovers_salvageably() {
+    let (path, boundaries) = build_store("truncate");
+    let full = std::fs::read(&path).expect("read");
+    let header_len = boundaries[0];
+    for cut in 0..full.len() as u64 {
+        std::fs::write(&path, &full[..cut as usize]).expect("write");
+        let strict = CheckpointStore::open_for::<TallyDecider>(&path);
+        if cut < header_len {
+            assert!(strict.is_err(), "cut {cut}: inside the header");
+            continue;
+        }
+        if boundaries.contains(&cut) {
+            // A record boundary is a consistent (shorter) store.
+            let store = strict.unwrap_or_else(|e| panic!("cut {cut}: boundary must open: {e}"));
+            let records_before_cut = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(store.records(), records_before_cut, "cut {cut}");
+        } else {
+            assert!(matches!(
+                strict,
+                Err(StoreError::Truncated { .. }) | Err(StoreError::CorruptRecord { .. })
+            ));
+            drop(strict);
+            // Recovery keeps the longest valid prefix and truncates the
+            // torn tail; the salvaged store reopens cleanly.
+            let (store, report) =
+                CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+            let salvage_end = *boundaries.iter().rfind(|&&b| b <= cut).expect("header");
+            assert_eq!(store.len_bytes(), salvage_end, "cut {cut}");
+            assert_eq!(report.dropped_bytes, cut - salvage_end, "cut {cut}");
+            drop(store);
+            CheckpointStore::open_for::<TallyDecider>(&path).expect("clean after recovery");
+        }
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn every_single_byte_flip_is_detected_without_panicking() {
+    let (path, boundaries) = build_store("bitflip");
+    let full = std::fs::read(&path).expect("read");
+    for at in 0..full.len() {
+        let mut flipped = full.clone();
+        flipped[at] ^= 0xFF;
+        std::fs::write(&path, &flipped).expect("write");
+        // Strict open must refuse — a flipped store header, record
+        // header, or payload (content-hash mismatch) is never half-read.
+        assert!(
+            CheckpointStore::open_for::<TallyDecider>(&path).is_err(),
+            "flip at byte {at} went unnoticed"
+        );
+        // Recovery never panics either; flips after the header salvage
+        // the records before the flipped one.
+        if at as u64 >= boundaries[0] {
+            let (_store, report) =
+                CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+            let flipped_record_start = *boundaries
+                .iter()
+                .rfind(|&&b| b <= at as u64)
+                .expect("header");
+            assert_eq!(
+                report.salvaged_records,
+                boundaries
+                    .iter()
+                    .filter(|&&b| b <= flipped_record_start)
+                    .count()
+                    - 1,
+                "flip at byte {at}"
+            );
+        }
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn overflowed_length_fields_neither_panic_nor_allocate() {
+    let (path, boundaries) = build_store("overflow");
+    let mut bytes = std::fs::read(&path).expect("read");
+    // The first record's payload-length field sits 41 bytes past the
+    // record start (kind + instance + position + key + header check).
+    let len_field = boundaries[0] as usize + 41;
+    bytes[len_field..len_field + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    // A 16-EiB claimed payload must be rejected by bounds arithmetic,
+    // not by attempting the allocation.
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::Truncated { .. })
+    ));
+    let (store, report) = CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+    assert_eq!(report.salvaged_records, 0);
+    assert_eq!(store.len_bytes(), boundaries[0]);
+    cleanup(&path);
+}
+
+#[test]
+fn trailing_garbage_is_refused_and_recovered_away() {
+    let (path, boundaries) = build_store("garbage");
+    let mut bytes = std::fs::read(&path).expect("read");
+    let valid_len = bytes.len() as u64;
+    bytes.extend_from_slice(&[0xAB; 13]);
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(CheckpointStore::open_for::<TallyDecider>(&path).is_err());
+    let (store, report) = CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+    assert_eq!(store.len_bytes(), valid_len);
+    assert_eq!(report.dropped_bytes, 13);
+    assert_eq!(report.salvaged_records, boundaries.len() - 1);
+    cleanup(&path);
+}
+
+#[test]
+fn orphaned_locks_block_until_broken() {
+    let (path, _) = build_store("orphan");
+    std::fs::write(lock_path(&path), b"9999999").expect("orphan lock");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::Locked { .. })
+    ));
+    assert!(matches!(
+        CheckpointStore::recover_for::<TallyDecider>(&path),
+        Err(StoreError::Locked { .. })
+    ));
+    assert!(CheckpointStore::break_lock(&path).expect("break"));
+    CheckpointStore::open_for::<TallyDecider>(&path).expect("opens after break");
+    cleanup(&path);
+}
+
+#[test]
+fn unknown_keys_and_stale_creates_are_errors() {
+    let (path, _) = build_store("misc");
+    let mut store = CheckpointStore::open_for::<TallyDecider>(&path).expect("open");
+    assert!(matches!(store.get(42), Err(StoreError::UnknownKey)));
+    drop(store);
+    assert!(matches!(
+        CheckpointStore::create_for::<TallyDecider>(&path),
+        Err(StoreError::AlreadyExists { .. })
+    ));
+    cleanup(&path);
+}
+
+/// A resumable run against a store holding a checkpoint whose position
+/// exceeds the re-derived stream (a task-factory / store mismatch)
+/// fails loudly instead of misresuming.
+#[test]
+fn checkpoint_beyond_the_stream_is_a_loud_error() {
+    let path = temp_path("beyond");
+    let mut store = CheckpointStore::create_for::<TallyDecider>(&path).expect("create");
+    store.append(0, &checkpoint_at(50)).expect("append");
+    let err = BatchRunner::serial()
+        .run_resumable::<TallyDecider, _, _>(1, 4, &mut store, |_| {
+            (TallyDecider::new(), std::iter::repeat_n(Sym::One, 10))
+        })
+        .expect_err("position 50 > 10-token stream");
+    assert!(matches!(err, StoreError::Checkpoint(_)), "{err}");
+    drop(store);
+    cleanup(&path);
+}
