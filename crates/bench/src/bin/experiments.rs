@@ -9,8 +9,12 @@
 //!
 //! # one sweep, optionally sharded over worker processes and/or
 //! # persisted so a killed run can resume
-//! experiments --sweep e6|f1 [--k-max K] [--workers N] [--processes P]
-//!             [--store PREFIX [--resume]] [--checkpoint-every N]
+//! experiments --sweep e6|f1|f3|f4 [--k-max K] [--trials T] [--workers N]
+//!             [--processes P] [--store PREFIX [--resume]]
+//!             [--checkpoint-every N]
+//!
+//! # rewrite resume-heavy store files down to one record per instance
+//! experiments --compact PREFIX [--break-locks]
 //! ```
 //!
 //! `--workers N` sizes the in-process batch scheduler's worker fleet
@@ -25,24 +29,37 @@
 //!
 //! `--sweep` mode additionally accepts:
 //!
+//! * `--trials T` — Monte-Carlo fleet size for the f3/f4 sweeps
+//!   (rejected for e6/f1, whose fleets are sized by `--k-max` alone).
 //! * `--processes P` — shard the sweep over `P` OS worker processes
 //!   (this same binary re-executed in `--worker` mode); the merged
 //!   table is byte-identical to the in-process one.
 //! * `--store PREFIX` — persist checkpoints every `--checkpoint-every`
-//!   tokens into per-shard store files `PREFIX.<fleet>.shard<w>of<P>.cps`.
-//!   A fresh run refuses stale store files; pass `--resume` to recover
-//!   them (salvaging any crash-truncated tail) and continue from the
-//!   last persisted boundaries.
+//!   tokens into per-shard store files `PREFIX.<fleet>.shard<w>of<P>.cps`,
+//!   plus an outcome record whenever an instance finishes, so a resumed
+//!   sweep skips finished instances outright. A fresh run refuses stale
+//!   store files; pass `--resume` to recover them (salvaging any
+//!   crash-truncated tail) and continue from the last persisted
+//!   boundaries.
 //! * `--crash-after-tokens T` — testing hook: stop dead after feeding
 //!   `T` tokens per fleet (exit code 9), simulating a kill; a later
 //!   `--resume` run completes the sweep with the identical table.
 //!
+//! `--compact PREFIX` rewrites every store file under the prefix down
+//! to one record per instance (its outcome if finished, its latest
+//! checkpoint otherwise) via an atomic rename — resume-heavy stores
+//! shrink, subsequent `--resume` runs are bit-identical. Add
+//! `--break-locks` to clear `.lock` files orphaned by killed writers
+//! first (only sound once those writers are known dead).
+//!
 //! Out-of-range values are rejected up front with a clear message,
 //! never silently clamped or panicked on.
 
-use oqsc_bench::pool::{worker_outcomes, PoolError, PoolRunOpts, ShardId, SweepSpec};
+use oqsc_bench::pool::{
+    find_store_files, worker_outcomes, PoolError, PoolRunOpts, ShardId, SweepSpec,
+};
 use oqsc_bench::{emit_outcomes, ProcessPool, WORKER_CRASH_EXIT};
-use oqsc_machine::{BatchRunner, SessionSchedule};
+use oqsc_machine::{BatchRunner, CheckpointStore, SessionSchedule, StoreError};
 
 /// Upper bound on `--workers`: far above any real machine, low enough to
 /// catch a mistyped value before it spawns a few million threads.
@@ -54,6 +71,10 @@ const MAX_PROCESSES: usize = 256;
 /// Upper bound on `--k-max`: `k = 8` already streams 5·10⁷ symbols.
 const MAX_K: u32 = 8;
 
+/// Upper bound on `--trials` (a million Monte-Carlo instances per fleet
+/// is already far past any table in the paper).
+const MAX_TRIALS: usize = 1_000_000;
+
 /// Default persistence cadence when `--store` is given without an
 /// explicit `--checkpoint-every`.
 const DEFAULT_PERSIST_EVERY: usize = 4096;
@@ -64,6 +85,7 @@ struct Cli {
     workers: Option<usize>,
     sweep: Option<String>,
     k_max: Option<u32>,
+    trials: Option<usize>,
     processes: Option<usize>,
     store: Option<std::path::PathBuf>,
     resume: bool,
@@ -72,25 +94,37 @@ struct Cli {
     worker: bool,
     shard: Option<usize>,
     of: Option<usize>,
+    compact: Option<std::path::PathBuf>,
+    break_locks: bool,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     println!("usage: experiments [--workers N] [--checkpoint-every N]");
-    println!("       experiments --sweep e6|f1 [--k-max K] [--workers N] [--processes P]");
-    println!("                   [--store PREFIX [--resume]] [--checkpoint-every N]");
+    println!("       experiments --sweep e6|f1|f3|f4 [--k-max K] [--trials T] [--workers N]");
+    println!(
+        "                   [--processes P] [--store PREFIX [--resume]] [--checkpoint-every N]"
+    );
+    println!("       experiments --compact PREFIX [--break-locks]");
     println!(
         "  --workers N            batch workers, 1..={MAX_WORKERS} (default: available cores)"
     );
     println!("  --checkpoint-every N   suspend/migrate/resume every N tokens, N >= 1;");
     println!("                         with --store: the persistence cadence (default {DEFAULT_PERSIST_EVERY})");
-    println!("  --sweep e6|f1          run one sweep and print its table");
-    println!("  --k-max K              sweep size, 1..={MAX_K} (default: e6 7, f1 8)");
+    println!("  --sweep e6|f1|f3|f4    run one sweep and print its table");
+    println!("  --k-max K              sweep size, 1..={MAX_K} (default: e6 7, f1 8, f3 3, f4 4)");
+    println!("  --trials T             f3/f4 Monte-Carlo fleet size, 1..={MAX_TRIALS}");
+    println!("                         (default: f3 4000, f4 400; rejected for e6/f1)");
     println!(
         "  --processes P          shard the sweep over P worker processes, 1..={MAX_PROCESSES}"
     );
-    println!("  --store PREFIX         persist checkpoints to PREFIX.<fleet>.shard<w>of<P>.cps");
-    println!("  --resume               recover existing shard stores and continue");
+    println!("  --store PREFIX         persist checkpoints + finished outcomes to");
+    println!("                         PREFIX.<fleet>.shard<w>of<P>.cps");
+    println!("  --resume               recover existing shard stores, skip finished instances,");
+    println!("                         and continue");
     println!("  --crash-after-tokens T testing hook: die after T tokens per fleet (needs --store)");
+    println!("  --compact PREFIX       rewrite each store under PREFIX to one record per");
+    println!("                         instance (atomic rename); resumes stay bit-identical");
+    println!("  --break-locks          with --compact: clear orphaned .lock files first");
     std::process::exit(code);
 }
 
@@ -122,6 +156,7 @@ fn parse_cli() -> Cli {
         workers: None,
         sweep: None,
         k_max: None,
+        trials: None,
         processes: None,
         store: None,
         resume: false,
@@ -130,6 +165,8 @@ fn parse_cli() -> Cli {
         worker: false,
         shard: None,
         of: None,
+        compact: None,
+        break_locks: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -151,8 +188,10 @@ fn parse_cli() -> Cli {
                 ));
             }
             "--sweep" => match args.next() {
-                Some(name) if name == "e6" || name == "f1" => cli.sweep = Some(name),
-                raw => bad_value("--sweep", raw, "one of: e6, f1"),
+                Some(name) if ["e6", "f1", "f3", "f4"].contains(&name.as_str()) => {
+                    cli.sweep = Some(name)
+                }
+                raw => bad_value("--sweep", raw, "one of: e6, f1, f3, f4"),
             },
             "--k-max" => {
                 cli.k_max = Some(parse_num(
@@ -160,6 +199,14 @@ fn parse_cli() -> Cli {
                     "--k-max",
                     &format!("an integer between 1 and {MAX_K}"),
                     |n: &u32| (1..=MAX_K).contains(n),
+                ));
+            }
+            "--trials" => {
+                cli.trials = Some(parse_num(
+                    &mut args,
+                    "--trials",
+                    &format!("an integer between 1 and {MAX_TRIALS}"),
+                    |n: &usize| (1..=MAX_TRIALS).contains(n),
                 ));
             }
             "--processes" => {
@@ -183,6 +230,11 @@ fn parse_cli() -> Cli {
                     |_: &u64| true,
                 ));
             }
+            "--compact" => match args.next() {
+                Some(p) if !p.is_empty() => cli.compact = Some(p.into()),
+                raw => bad_value("--compact", raw, "a store path prefix"),
+            },
+            "--break-locks" => cli.break_locks = true,
             "--worker" => cli.worker = true,
             "--shard" => {
                 cli.shard = Some(parse_num(
@@ -215,21 +267,53 @@ fn parse_cli() -> Cli {
             cli.schedule = SessionSchedule::MigrateEvery(n);
         }
     }
+    // Compact mode stands alone: it reads stores, never runs sweeps.
+    if cli.compact.is_some() {
+        for (set, flag) in [
+            (cli.sweep.is_some(), "--sweep"),
+            (cli.workers.is_some(), "--workers"),
+            (cli.checkpoint_every.is_some(), "--checkpoint-every"),
+            (cli.store.is_some(), "--store"),
+            (cli.resume, "--resume"),
+        ] {
+            if set {
+                eprintln!("error: --compact cannot be combined with {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.break_locks && cli.compact.is_none() {
+        eprintln!("error: --break-locks requires --compact");
+        std::process::exit(2);
+    }
     // Flags that only make sense inside a sweep.
     if cli.sweep.is_none() {
         for (set, flag) in [
             (cli.k_max.is_some(), "--k-max"),
+            (cli.trials.is_some(), "--trials"),
             (cli.processes.is_some(), "--processes"),
             (cli.store.is_some(), "--store"),
             (cli.resume, "--resume"),
             (cli.crash_after_tokens.is_some(), "--crash-after-tokens"),
             (cli.worker, "--worker"),
         ] {
-            if set {
+            if set && cli.compact.is_none() {
                 eprintln!("error: {flag} requires --sweep");
+                std::process::exit(2);
+            } else if set {
+                eprintln!("error: --compact cannot be combined with {flag}");
                 std::process::exit(2);
             }
         }
+    }
+    if cli.trials.is_some()
+        && !matches!(cli.sweep.as_deref(), Some("f3") | Some("f4"))
+        && cli.sweep.is_some()
+    {
+        eprintln!(
+            "error: --trials only applies to --sweep f3|f4 (e6/f1 fleets are sized by --k-max)"
+        );
+        std::process::exit(2);
     }
     if cli.resume && cli.store.is_none() {
         eprintln!("error: --resume requires --store");
@@ -275,8 +359,23 @@ fn exit_for(err: &PoolError) -> i32 {
 
 fn run_sweep(cli: &Cli) -> i32 {
     let name = cli.sweep.as_deref().expect("sweep mode");
-    let default_k = if name == "e6" { 7 } else { 8 };
-    let spec = SweepSpec::from_cli(name, cli.k_max.unwrap_or(default_k)).expect("validated name");
+    let default_k = match name {
+        "e6" => 7,
+        "f1" => 8,
+        "f3" => oqsc_bench::F3_DEFAULT_K_MAX,
+        _ => oqsc_bench::F4_DEFAULT_K,
+    };
+    let default_trials = if name == "f3" {
+        oqsc_bench::F3_DEFAULT_TRIALS
+    } else {
+        oqsc_bench::F4_DEFAULT_TRIALS
+    };
+    let spec = SweepSpec::from_cli(
+        name,
+        cli.k_max.unwrap_or(default_k),
+        cli.trials.unwrap_or(default_trials),
+    )
+    .expect("validated name");
     if cli.worker {
         // Worker mode: run our shard, speak the OUTCOME protocol.
         let shard = ShardId {
@@ -296,66 +395,115 @@ fn run_sweep(cli: &Cli) -> i32 {
             }
         };
     }
-    let rows =
-        if let Some(processes) = cli.processes {
-            // Parent mode: shard over worker processes running this binary.
-            let exe = match std::env::current_exe() {
-                Ok(exe) => exe,
-                Err(e) => {
-                    eprintln!("error: cannot locate own executable: {e}");
-                    return 1;
-                }
-            };
-            match ProcessPool::new(processes).run(&exe, spec, &pool_opts(cli)) {
-                Ok(rows) => rows,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return exit_for(&e);
-                }
-            }
-        } else if cli.store.is_some() {
-            // Single-process persistent run: the worker path, in-process.
-            match worker_outcomes(spec, ShardId { shard: 0, of: 1 }, &pool_opts(cli)) {
-                Ok(Some(outcomes)) => {
-                    let triples = outcomes
-                        .into_iter()
-                        .map(|(fleet, idx, o)| (fleet.to_string(), idx, o));
-                    match oqsc_bench::pool::rows_from_outcomes(spec, triples) {
-                        Ok(rows) => rows,
-                        Err(e) => {
-                            eprintln!("error: {e}");
-                            return 1;
-                        }
-                    }
-                }
-                Ok(None) => {
-                    eprintln!(
-                        "crashed after --crash-after-tokens budget; resume with --resume to finish"
-                    );
-                    return WORKER_CRASH_EXIT;
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return 1;
-                }
-            }
-        } else {
-            // Plain in-process sweep.
-            match spec {
-                SweepSpec::E6 { k_max } => oqsc_bench::SweepRows::E6(
-                    oqsc_bench::e6_classical_rows(k_max, &cli.runner, cli.schedule),
-                ),
-                SweepSpec::F1 { k_max } => oqsc_bench::SweepRows::F1(
-                    oqsc_bench::f1_separation_rows_scheduled(k_max, &cli.runner, cli.schedule),
-                ),
+    let rows = if let Some(processes) = cli.processes {
+        // Parent mode: shard over worker processes running this binary.
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("error: cannot locate own executable: {e}");
+                return 1;
             }
         };
+        match ProcessPool::new(processes).run(&exe, spec, &pool_opts(cli)) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return exit_for(&e);
+            }
+        }
+    } else if cli.store.is_some() {
+        // Single-process persistent run: the worker path, in-process.
+        // Unlike spawned worker processes (which default to one serial
+        // thread each), this is the whole sweep — honor the documented
+        // --workers default of all available cores.
+        let mut opts = pool_opts(cli);
+        opts.workers = cli.workers.unwrap_or_else(|| cli.runner.workers());
+        match worker_outcomes(spec, ShardId { shard: 0, of: 1 }, &opts) {
+            Ok(Some(outcomes)) => {
+                let triples = outcomes
+                    .into_iter()
+                    .map(|(fleet, idx, o)| (fleet.to_string(), idx, o));
+                match oqsc_bench::pool::rows_from_outcomes(spec, triples) {
+                    Ok(rows) => rows,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            Ok(None) => {
+                eprintln!(
+                    "crashed after --crash-after-tokens budget; resume with --resume to finish"
+                );
+                return WORKER_CRASH_EXIT;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        // Plain in-process sweep, straight through the registry.
+        spec.rows_in_process(&cli.runner, cli.schedule)
+    };
     rows.print();
+    0
+}
+
+/// Compacts every checkpoint store under `prefix` (see the module docs).
+fn run_compact(prefix: &std::path::Path, break_locks: bool) -> i32 {
+    let files = match find_store_files(prefix) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", prefix.display());
+            return 1;
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "error: no checkpoint stores (*.cps) match prefix {}",
+            prefix.display()
+        );
+        return 1;
+    }
+    for path in files {
+        if break_locks {
+            match CheckpointStore::break_lock(&path) {
+                Ok(true) => println!("broke orphaned lock: {}.lock", path.display()),
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("error: breaking lock of {}: {e}", path.display());
+                    return 1;
+                }
+            }
+        }
+        match CheckpointStore::compact_file(&path) {
+            Ok(r) => println!(
+                "compacted {}: {} records / {} bytes -> {} records / {} bytes",
+                path.display(),
+                r.records_before,
+                r.bytes_before,
+                r.records_after,
+                r.bytes_after
+            ),
+            Err(e @ StoreError::Locked { .. }) => {
+                eprintln!("error: {e}\n       (if the writer is dead, re-run with --break-locks)");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("error: compacting {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
     0
 }
 
 fn main() {
     let cli = parse_cli();
+    if let Some(prefix) = &cli.compact {
+        std::process::exit(run_compact(prefix, cli.break_locks));
+    }
     if cli.sweep.is_some() {
         std::process::exit(run_sweep(&cli));
     }

@@ -13,10 +13,9 @@ use oqsc_comm::lower_bound::{
     communication_matrix, disj_fn, disj_fooling_set, one_way_deterministic_cost,
 };
 use oqsc_comm::{simulate_reduction, theorem_3_6_space_bound, BcwParams};
-use oqsc_core::classical::{Prop37Decider, SketchDecider};
+use oqsc_core::classical::Prop37Decider;
 use oqsc_core::recognizer::exact_complement_accept_probability;
-use oqsc_core::separation::{separation_rows_scheduled, SeparationRow};
-use oqsc_core::sweep::derive_seed;
+use oqsc_core::separation::SeparationRow;
 use oqsc_fingerprint::paper_error_bound;
 use oqsc_grover::bbht::random_j_detection_probability;
 use oqsc_grover::{averaged_success, GroverSim};
@@ -386,7 +385,8 @@ pub fn e6_rows_from_report(k_max: u32, report: &oqsc_machine::BatchReport) -> Ve
 
 /// Measures the Proposition 3.7 decider for `k ∈ 1..=k_max`: one batch
 /// of `2·k_max` decider instances (a member and a `t = 1` non-member per
-/// `k`) over the session scheduler. Each task rebuilds its machines from
+/// `k`) over the session scheduler, routed through the
+/// [`crate::SweepSpec`] registry. Each task rebuilds its machines from
 /// the per-`k` seed alone, so the table is worker-count independent —
 /// and, under [`SessionSchedule::MigrateEvery`], independent of where
 /// the suspend/resume boundaries fall.
@@ -395,8 +395,10 @@ pub fn e6_classical_rows(
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> Vec<E6Row> {
-    let report = runner.run(e6_instance_count(k_max), schedule, e6_task);
-    e6_rows_from_report(k_max, &report)
+    match (crate::SweepSpec::E6 { k_max }).rows_in_process(runner, schedule) {
+        crate::SweepRows::E6(rows) => rows,
+        other => unreachable!("E6 spec produced {other:?}"),
+    }
 }
 
 /// Prints an E6 table (any source: in-process sweep or merged
@@ -435,16 +437,20 @@ pub fn f1_separation_rows(k_max: u32) -> Vec<SeparationRow> {
 }
 
 /// [`f1_separation_rows`] under an explicit runner and
-/// [`SessionSchedule`]: both machine fleets run as sessions; the
-/// migrating schedule suspends, serializes and migrates every decider
-/// (quantum register snapshots included) at each segment boundary and
-/// produces the identical table.
+/// [`SessionSchedule`], routed through the [`crate::SweepSpec`]
+/// registry: both machine fleets run as sessions; the migrating schedule
+/// suspends, serializes and migrates every decider (quantum register
+/// snapshots included) at each segment boundary and produces the
+/// identical table.
 pub fn f1_separation_rows_scheduled(
     k_max: u32,
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> Vec<SeparationRow> {
-    separation_rows_scheduled(1, &f1_seeds(k_max), runner, schedule)
+    match (crate::SweepSpec::F1 { k_max }).rows_in_process(runner, schedule) {
+        crate::SweepRows::F1(rows) => rows,
+        other => unreachable!("F1 spec produced {other:?}"),
+    }
 }
 
 /// The F1 table's per-row seeds, derived from the experiment's base
@@ -560,7 +566,7 @@ pub fn print_f2() {
 // ---------------------------------------------------------------------
 
 /// One row of the F3 series.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct F3Row {
     /// Language parameter.
     pub k: u32,
@@ -570,41 +576,62 @@ pub struct F3Row {
     pub bound: f64,
 }
 
-/// Monte-Carlo A2 false-accept rates: one batched fleet of `trials`
-/// checker instances per `k`, each trial's corrupted word and evaluation
-/// point derived from `(k, trial)` alone.
-pub fn f3_fingerprint_rows(
-    trials: usize,
-    runner: &BatchRunner,
-    schedule: SessionSchedule,
-) -> Vec<F3Row> {
-    [1u32, 2, 3]
-        .iter()
-        .map(|&k| {
-            let report = runner.run(trials, schedule, |trial| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(7000 + u64::from(k), trial));
-                let inst = random_member(k, &mut rng);
-                let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
-                let a2 = oqsc_core::ConsistencyChecker::new(&mut rng);
-                (a2, bad.into_iter())
-            });
-            F3Row {
-                k,
-                empirical: report.accept_rate(),
-                bound: 2.0 * paper_error_bound(k),
-            }
+/// The published F3 table's largest language parameter.
+pub const F3_DEFAULT_K_MAX: u32 = 3;
+
+/// The published F3 table's Monte-Carlo fleet size per `k`.
+pub const F3_DEFAULT_TRIALS: usize = 4000;
+
+/// Folds F3's per-`k` fleet [`oqsc_machine::BatchReport`]s (fleet `i` =
+/// parameter `k = i + 1`) into table rows — the single row-merge
+/// definition shared by the in-process sweep and the cross-process
+/// scheduler, so both print identical bytes.
+pub fn f3_rows_from_reports(k_max: u32, reports: &[oqsc_machine::BatchReport]) -> Vec<F3Row> {
+    (1..=k_max)
+        .zip(reports)
+        .map(|(k, report)| F3Row {
+            k,
+            empirical: report.accept_rate(),
+            bound: 2.0 * paper_error_bound(k),
         })
         .collect()
 }
 
-/// Prints the F3 series.
-pub fn print_f3(runner: &BatchRunner, schedule: SessionSchedule) {
+/// Monte-Carlo A2 false-accept rates for `k ∈ 1..=k_max`: one batched
+/// fleet of `trials` checker instances per `k`, each trial built by the
+/// pure [`oqsc_core::f3_fingerprint_task`] from `(k, trial)` alone —
+/// routed through the [`crate::SweepSpec`] registry like every sweep.
+pub fn f3_fingerprint_rows(
+    k_max: u32,
+    trials: usize,
+    runner: &BatchRunner,
+    schedule: SessionSchedule,
+) -> Vec<F3Row> {
+    match (crate::SweepSpec::F3 { k_max, trials }).rows_in_process(runner, schedule) {
+        crate::SweepRows::F3(rows) => rows,
+        other => unreachable!("F3 spec produced {other:?}"),
+    }
+}
+
+/// Prints an F3 table (any source: in-process sweep or merged
+/// cross-process shards — identical rows print identical bytes).
+pub fn print_f3_rows(rows: &[F3Row]) {
     println!("F3 — A2 fingerprint false-accept rate on corrupted words (one-sided soundness)");
     println!("{:>3} {:>12} {:>16}", "k", "empirical", "2·(m−1)/2^4k");
-    for r in f3_fingerprint_rows(4000, runner, schedule) {
+    for r in rows {
         println!("{:>3} {:>12.6} {:>16.6}", r.k, r.empirical, r.bound);
     }
     println!();
+}
+
+/// Prints the F3 series.
+pub fn print_f3(runner: &BatchRunner, schedule: SessionSchedule) {
+    print_f3_rows(&f3_fingerprint_rows(
+        F3_DEFAULT_K_MAX,
+        F3_DEFAULT_TRIALS,
+        runner,
+        schedule,
+    ));
 }
 
 // ---------------------------------------------------------------------
@@ -612,7 +639,7 @@ pub fn print_f3(runner: &BatchRunner, schedule: SessionSchedule) {
 // ---------------------------------------------------------------------
 
 /// One row of the F4 series.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct F4Row {
     /// Sketch budget (stored positions).
     pub budget: usize,
@@ -626,41 +653,60 @@ pub struct F4Row {
     pub expected_miss: f64,
 }
 
+/// The published F4 table's language parameter.
+pub const F4_DEFAULT_K: u32 = 4;
+
+/// The published F4 table's Monte-Carlo fleet size per budget.
+pub const F4_DEFAULT_TRIALS: usize = 400;
+
+/// The sketch budgets F4 sweeps at `k`: the powers of two up to the
+/// string length `m`. One decider fleet per budget — shared by the
+/// in-process sweep and the cross-process shard derivation.
+pub fn f4_budgets(k: u32) -> Vec<usize> {
+    let m = string_len(k);
+    [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
+        .into_iter()
+        .filter(|&b| b <= m)
+        .collect()
+}
+
+/// Folds F4's per-budget fleet [`oqsc_machine::BatchReport`]s (fleet `i`
+/// = `f4_budgets(k)[i]`) into table rows — the single row-merge
+/// definition shared by the in-process sweep and the cross-process
+/// scheduler.
+pub fn f4_rows_from_reports(k: u32, reports: &[oqsc_machine::BatchReport]) -> Vec<F4Row> {
+    let m = string_len(k);
+    f4_budgets(k)
+        .into_iter()
+        .zip(reports)
+        .map(|(budget, report)| F4Row {
+            budget,
+            space_bits: report.peak_classical_bits,
+            miss_rate: report.accept_rate(),
+            expected_miss: 1.0 - budget as f64 / m as f64,
+        })
+        .collect()
+}
+
 /// Sweeps sketch budgets at `k`: a batched fleet of `trials` sketch
-/// deciders per budget, each trial derived from `(budget, trial)` alone.
+/// deciders per budget, each trial built by the pure
+/// [`oqsc_core::f4_sketch_task`] from `(budget, trial)` alone — routed
+/// through the [`crate::SweepSpec`] registry like every sweep.
 pub fn f4_sketch_rows(
     k: u32,
     trials: usize,
     runner: &BatchRunner,
     schedule: SessionSchedule,
 ) -> Vec<F4Row> {
-    let m = string_len(k);
-    let budgets: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
-        .into_iter()
-        .filter(|&b| b <= m)
-        .collect();
-    budgets
-        .iter()
-        .map(|&budget| {
-            let report = runner.run(trials, schedule, |trial| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(8000 + budget as u64, trial));
-                let non = random_nonmember(k, 1, &mut rng);
-                let sketch = SketchDecider::new(budget, &mut rng);
-                (sketch, non.encode().into_iter())
-            });
-            F4Row {
-                budget,
-                space_bits: report.peak_classical_bits,
-                miss_rate: report.accept_rate(),
-                expected_miss: 1.0 - budget as f64 / m as f64,
-            }
-        })
-        .collect()
+    match (crate::SweepSpec::F4 { k, trials }).rows_in_process(runner, schedule) {
+        crate::SweepRows::F4 { rows, .. } => rows,
+        other => unreachable!("F4 spec produced {other:?}"),
+    }
 }
 
-/// Prints the F4 series.
-pub fn print_f4(runner: &BatchRunner, schedule: SessionSchedule) {
-    let k = 4;
+/// Prints an F4 table at parameter `k` (any source: in-process sweep or
+/// merged cross-process shards).
+pub fn print_f4_rows(k: u32, rows: &[F4Row]) {
     println!(
         "F4 — classical sketches below √m fail (k = {k}, m = {}, planted t = 1)",
         string_len(k)
@@ -669,7 +715,7 @@ pub fn print_f4(runner: &BatchRunner, schedule: SessionSchedule) {
         "{:>7} {:>11} {:>11} {:>14}",
         "budget", "space bits", "miss rate", "analytic miss"
     );
-    for r in f4_sketch_rows(k, 400, runner, schedule) {
+    for r in rows {
         println!(
             "{:>7} {:>11} {:>11.3} {:>14.3}",
             r.budget, r.space_bits, r.miss_rate, r.expected_miss
@@ -679,6 +725,14 @@ pub fn print_f4(runner: &BatchRunner, schedule: SessionSchedule) {
         "   (reliability requires budget ~ m = Θ(√m)² — far above the quantum machine's O(log m))"
     );
     println!();
+}
+
+/// Prints the F4 series.
+pub fn print_f4(runner: &BatchRunner, schedule: SessionSchedule) {
+    print_f4_rows(
+        F4_DEFAULT_K,
+        &f4_sketch_rows(F4_DEFAULT_K, F4_DEFAULT_TRIALS, runner, schedule),
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -918,6 +972,7 @@ mod tests {
     #[test]
     fn f3_empirical_below_bound() {
         for r in f3_fingerprint_rows(
+            3,
             500,
             &BatchRunner::available(),
             SessionSchedule::Uninterrupted,

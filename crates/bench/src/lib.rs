@@ -21,6 +21,6 @@ pub mod pool;
 
 pub use experiments::*;
 pub use pool::{
-    emit_outcomes, rows_from_outcomes, worker_outcomes, PoolError, PoolRunOpts, ProcessPool,
-    ShardId, SweepRows, SweepSpec, WORKER_CRASH_EXIT,
+    emit_outcomes, find_store_files, rows_from_outcomes, rows_from_reports, worker_outcomes,
+    PoolError, PoolRunOpts, ProcessPool, ShardId, SweepRows, SweepSpec, WORKER_CRASH_EXIT,
 };

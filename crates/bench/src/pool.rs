@@ -29,11 +29,14 @@
 //! rather than misassigning instances.
 
 use crate::experiments::{
-    e6_instance_count, e6_rows_from_report, e6_task, f1_seeds, print_e6_rows, print_f1_rows, E6Row,
+    e6_instance_count, e6_rows_from_report, e6_task, f1_seeds, f3_rows_from_reports, f4_budgets,
+    f4_rows_from_reports, print_e6_rows, print_f1_rows, print_f3_rows, print_f4_rows, E6Row, F3Row,
+    F4Row,
 };
 use oqsc_core::separation::{
     separation_classical_task, separation_quantum_task, separation_rows_from_reports, SeparationRow,
 };
+use oqsc_core::{f3_fingerprint_task, f4_sketch_task};
 use oqsc_machine::{
     BatchReport, BatchRunner, CheckpointStore, Checkpointable, RunOutcome, SessionSchedule,
     StoreError,
@@ -47,9 +50,69 @@ use std::process::{Command, Stdio};
 /// is a real failure ([`PoolError::WorkerFailed`]).
 pub const WORKER_CRASH_EXIT: i32 = 9;
 
-/// A sweep the cross-process scheduler knows how to shard: every
-/// instance must be a pure function of its index (and the spec), so a
-/// worker process can re-derive its shard from the spec alone.
+/// How much of a worker's stderr an error carries, bounded so a runaway
+/// child cannot balloon the parent's error path.
+const STDERR_TAIL_BYTES: usize = 4096;
+
+/// Bytes of the *head* kept when stderr overflows the budget. Rust
+/// prints a panic message first and the (possibly huge, under
+/// `RUST_BACKTRACE`) backtrace after it, while store/CLI errors are
+/// final lines — keeping both ends preserves each.
+const STDERR_HEAD_BYTES: usize = 1024;
+
+/// At most [`STDERR_TAIL_BYTES`] of a worker's stderr, lossily decoded
+/// and trimmed. Oversized output keeps the first [`STDERR_HEAD_BYTES`]
+/// (where a panic message lives) and the trailing remainder (where
+/// final error lines live), with `…` marking the elision.
+fn stderr_tail(stderr: &[u8]) -> String {
+    if stderr.len() <= STDERR_TAIL_BYTES {
+        return String::from_utf8_lossy(stderr).trim_end().to_string();
+    }
+    let head = String::from_utf8_lossy(&stderr[..STDERR_HEAD_BYTES]);
+    let tail_start = stderr.len() - (STDERR_TAIL_BYTES - STDERR_HEAD_BYTES);
+    let tail = String::from_utf8_lossy(&stderr[tail_start..]);
+    format!("{head}…{}", tail.trim_end())
+}
+
+/// Per-`k` fleet names for the F3 sweep (static, because outcome triples
+/// carry `&'static str` fleet names across the worker protocol; the
+/// table is the contract's bound, independent of the CLI's own `--k-max`
+/// cap).
+fn f3_fleet_name(k: u32) -> &'static str {
+    const NAMES: [&str; 8] = ["k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"];
+    assert!(
+        (1..=NAMES.len() as u32).contains(&k),
+        "F3 sweeps support k in 1..={} (fleet names are static); got {k}",
+        NAMES.len()
+    );
+    NAMES[k as usize - 1]
+}
+
+/// Per-budget fleet names for the F4 sweep (the budget set is the fixed
+/// powers of two of [`f4_budgets`]).
+fn f4_fleet_name(budget: usize) -> &'static str {
+    match budget {
+        1 => "b1",
+        2 => "b2",
+        4 => "b4",
+        8 => "b8",
+        16 => "b16",
+        32 => "b32",
+        64 => "b64",
+        128 => "b128",
+        256 => "b256",
+        other => unreachable!("budget {other} is not in the F4 sweep"),
+    }
+}
+
+/// A sweep the schedulers know how to run: the **single registry** of
+/// experiments — every entry defines its decider fleets (name + instance
+/// count), its pure per-index task functions, and its row merge, so one
+/// engine drives it in-process ([`SweepSpec::rows_in_process`]), sharded
+/// over worker processes ([`ProcessPool`]), and crash-recoverably
+/// through the persistent store. Every instance must be a pure function
+/// of its index (and the spec), so a worker process can re-derive its
+/// shard from the spec alone.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SweepSpec {
     /// Experiment E6 (Proposition 3.7 decider) for `k ∈ 1..=k_max`.
@@ -62,36 +125,71 @@ pub enum SweepSpec {
         /// Largest language parameter measured.
         k_max: u32,
     },
+    /// Experiment F3 (A2 fingerprint false-accept rates) for
+    /// `k ∈ 1..=k_max`, one Monte-Carlo fleet of `trials` per `k`.
+    F3 {
+        /// Largest language parameter measured.
+        k_max: u32,
+        /// Trials per `k` fleet.
+        trials: usize,
+    },
+    /// Experiment F4 (sketch failure below √m) at `k`, one fleet of
+    /// `trials` per budget in [`f4_budgets`].
+    F4 {
+        /// Language parameter.
+        k: u32,
+        /// Trials per budget fleet.
+        trials: usize,
+    },
 }
 
 impl SweepSpec {
-    /// CLI name (`--sweep e6` / `--sweep f1`).
+    /// CLI name (`--sweep e6|f1|f3|f4`).
     pub fn name(&self) -> &'static str {
         match self {
             SweepSpec::E6 { .. } => "e6",
             SweepSpec::F1 { .. } => "f1",
+            SweepSpec::F3 { .. } => "f3",
+            SweepSpec::F4 { .. } => "f4",
         }
     }
 
-    /// Largest language parameter measured.
+    /// The sweep's language-parameter knob (what the CLI's `--k-max`
+    /// sets: the largest `k` for E6/F1/F3, *the* `k` for F4).
     pub fn k_max(&self) -> u32 {
         match self {
-            SweepSpec::E6 { k_max } | SweepSpec::F1 { k_max } => *k_max,
+            SweepSpec::E6 { k_max } | SweepSpec::F1 { k_max } | SweepSpec::F3 { k_max, .. } => {
+                *k_max
+            }
+            SweepSpec::F4 { k, .. } => *k,
         }
     }
 
-    /// Parses a CLI sweep name.
-    pub fn from_cli(name: &str, k_max: u32) -> Option<SweepSpec> {
+    /// Monte-Carlo fleet size, for the sweeps that have one (F3/F4).
+    pub fn trials(&self) -> Option<usize> {
+        match self {
+            SweepSpec::E6 { .. } | SweepSpec::F1 { .. } => None,
+            SweepSpec::F3 { trials, .. } | SweepSpec::F4 { trials, .. } => Some(*trials),
+        }
+    }
+
+    /// Parses a CLI sweep name. `trials` is ignored by the sweeps that
+    /// have no Monte-Carlo fleet (the CLI rejects `--trials` for them
+    /// up front).
+    pub fn from_cli(name: &str, k_max: u32, trials: usize) -> Option<SweepSpec> {
         match name {
             "e6" => Some(SweepSpec::E6 { k_max }),
             "f1" => Some(SweepSpec::F1 { k_max }),
+            "f3" => Some(SweepSpec::F3 { k_max, trials }),
+            "f4" => Some(SweepSpec::F4 { k: k_max, trials }),
             _ => None,
         }
     }
 
     /// The decider fleets this sweep runs, with their instance counts.
     /// (F1 runs two fleets over the same words: the quantum recognizers
-    /// and the classical Proposition 3.7 deciders.)
+    /// and the classical Proposition 3.7 deciders. F3 runs one fleet per
+    /// `k`, F4 one per sketch budget.)
     pub fn fleets(&self) -> Vec<(&'static str, usize)> {
         match self {
             SweepSpec::E6 { k_max } => vec![("e6", e6_instance_count(*k_max))],
@@ -99,7 +197,47 @@ impl SweepSpec {
                 let n = *k_max as usize;
                 vec![("quantum", n), ("classical", n)]
             }
+            SweepSpec::F3 { k_max, trials } => {
+                (1..=*k_max).map(|k| (f3_fleet_name(k), *trials)).collect()
+            }
+            SweepSpec::F4 { k, trials } => f4_budgets(*k)
+                .into_iter()
+                .map(|b| (f4_fleet_name(b), *trials))
+                .collect(),
         }
+    }
+
+    /// Runs every fleet in-process under `runner`/`schedule` and merges
+    /// the reports into table rows. This is the classic sweep path —
+    /// `experiments --sweep … --workers N` without a store or process
+    /// pool — and the reference the cross-process tables are
+    /// byte-compared against; both end in [`rows_from_reports`], so they
+    /// agree by construction.
+    pub fn rows_in_process(&self, runner: &BatchRunner, schedule: SessionSchedule) -> SweepRows {
+        let reports: Vec<BatchReport> = match *self {
+            SweepSpec::E6 { k_max } => {
+                vec![runner.run(e6_instance_count(k_max), schedule, e6_task)]
+            }
+            SweepSpec::F1 { k_max } => {
+                let seeds = f1_seeds(k_max);
+                vec![
+                    runner.run(seeds.len(), schedule, |i| {
+                        separation_quantum_task(1, &seeds, i)
+                    }),
+                    runner.run(seeds.len(), schedule, |i| {
+                        separation_classical_task(1, &seeds, i)
+                    }),
+                ]
+            }
+            SweepSpec::F3 { k_max, trials } => (1..=k_max)
+                .map(|k| runner.run(trials, schedule, |i| f3_fingerprint_task(k, i)))
+                .collect(),
+            SweepSpec::F4 { k, trials } => f4_budgets(k)
+                .into_iter()
+                .map(|budget| runner.run(trials, schedule, |i| f4_sketch_task(k, budget, i)))
+                .collect(),
+        };
+        rows_from_reports(*self, &reports)
     }
 }
 
@@ -116,7 +254,8 @@ pub enum PoolError {
         shard: usize,
         /// Its exit code (`None`: killed by a signal).
         code: Option<i32>,
-        /// Captured stderr, for the operator.
+        /// The tail of the worker's stderr (panic message included), for
+        /// the operator.
         stderr: String,
     },
     /// A worker hit its token budget and stopped dead (exit
@@ -124,6 +263,9 @@ pub enum PoolError {
     WorkerCrashed {
         /// Which shard crashed.
         shard: usize,
+        /// The tail of the worker's stderr (what it said on its way
+        /// down).
+        stderr: String,
     },
     /// A worker's stdout violated the `OUTCOME` protocol, or the merged
     /// shards did not cover the instance space exactly once.
@@ -146,10 +288,16 @@ impl std::fmt::Display for PoolError {
                 ),
                 None => write!(f, "worker shard {shard} was killed by a signal: {stderr}"),
             },
-            PoolError::WorkerCrashed { shard } => write!(
-                f,
-                "worker shard {shard} crashed (token budget exhausted); resume to continue"
-            ),
+            PoolError::WorkerCrashed { shard, stderr } => {
+                write!(
+                    f,
+                    "worker shard {shard} crashed (token budget exhausted); resume to continue"
+                )?;
+                if !stderr.is_empty() {
+                    write!(f, ": {stderr}")?;
+                }
+                Ok(())
+            }
             PoolError::Protocol(what) => write!(f, "worker protocol violation: {what}"),
         }
     }
@@ -214,6 +362,15 @@ pub enum SweepRows {
     E6(Vec<E6Row>),
     /// F1 rows.
     F1(Vec<SeparationRow>),
+    /// F3 rows.
+    F3(Vec<F3Row>),
+    /// F4 rows (the header names the language parameter).
+    F4 {
+        /// Language parameter the budgets were swept at.
+        k: u32,
+        /// The per-budget rows.
+        rows: Vec<F4Row>,
+    },
 }
 
 impl SweepRows {
@@ -223,7 +380,28 @@ impl SweepRows {
         match self {
             SweepRows::E6(rows) => print_e6_rows(rows),
             SweepRows::F1(rows) => print_f1_rows(rows),
+            SweepRows::F3(rows) => print_f3_rows(rows),
+            SweepRows::F4 { k, rows } => print_f4_rows(*k, rows),
         }
+    }
+}
+
+/// Folds per-fleet [`BatchReport`]s (in [`SweepSpec::fleets`] order)
+/// into table rows — the **single row-merge definition** every path
+/// ends in: the in-process sweep, the single-process persistent run,
+/// and the merged cross-process shards all call this, which is why
+/// their printed tables are byte-identical by construction.
+pub fn rows_from_reports(spec: SweepSpec, reports: &[BatchReport]) -> SweepRows {
+    match spec {
+        SweepSpec::E6 { k_max } => SweepRows::E6(e6_rows_from_report(k_max, &reports[0])),
+        SweepSpec::F1 { .. } => {
+            SweepRows::F1(separation_rows_from_reports(1, &reports[0], &reports[1]))
+        }
+        SweepSpec::F3 { k_max, .. } => SweepRows::F3(f3_rows_from_reports(k_max, reports)),
+        SweepSpec::F4 { k, .. } => SweepRows::F4 {
+            k,
+            rows: f4_rows_from_reports(k, reports),
+        },
     }
 }
 
@@ -235,6 +413,42 @@ pub fn shard_store_path(prefix: &Path, fleet: &str, shard: ShardId) -> PathBuf {
     let mut os = prefix.as_os_str().to_os_string();
     os.push(format!(".{fleet}.shard{}of{}.cps", shard.shard, shard.of));
     PathBuf::from(os)
+}
+
+/// Every checkpoint store file under `prefix`, sorted: the `.cps` files
+/// whose names extend the prefix's file name **at a `.` boundary** (the
+/// shape [`shard_store_path`] writes), or `prefix` itself when it names
+/// one store file directly. The separator requirement keeps sibling
+/// runs apart: `--compact /data/run1` must never touch
+/// `/data/run10.e6.shard0of2.cps`. This is what `experiments --compact
+/// PREFIX` iterates — the operator passes the same prefix they swept
+/// with.
+pub fn find_store_files(prefix: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let name = prefix.file_name().map(|n| n.to_string_lossy().into_owned());
+    if prefix.is_file() {
+        if name.as_deref().is_some_and(|n| n.ends_with(".cps")) {
+            return Ok(vec![prefix.to_path_buf()]);
+        }
+        return Ok(Vec::new());
+    }
+    let Some(stem) = name else {
+        return Ok(Vec::new());
+    };
+    let stem_dot = format!("{stem}.");
+    let dir = match prefix.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name().to_string_lossy().into_owned();
+        if file_name.starts_with(&stem_dot) && file_name.ends_with(".cps") {
+            found.push(entry.path());
+        }
+    }
+    found.sort();
+    Ok(found)
 }
 
 fn open_shard_store<D: Checkpointable>(
@@ -342,6 +556,31 @@ pub fn worker_outcomes(
                 separation_classical_task(1, &seeds, i)
             })?
         }
+        SweepSpec::F3 { k_max, trials } => {
+            let mut crashed = false;
+            for k in 1..=k_max {
+                crashed = run_fleet_shard(f3_fleet_name(k), trials, shard, opts, &mut out, |i| {
+                    f3_fingerprint_task(k, i)
+                })?;
+                if crashed {
+                    break;
+                }
+            }
+            crashed
+        }
+        SweepSpec::F4 { k, trials } => {
+            let mut crashed = false;
+            for budget in f4_budgets(k) {
+                crashed =
+                    run_fleet_shard(f4_fleet_name(budget), trials, shard, opts, &mut out, |i| {
+                        f4_sketch_task(k, budget, i)
+                    })?;
+                if crashed {
+                    break;
+                }
+            }
+            crashed
+        }
     };
     Ok(if crashed { None } else { Some(out) })
 }
@@ -432,12 +671,7 @@ pub fn rows_from_outcomes(
         })?;
         reports.push(BatchReport::from_outcomes(outcomes));
     }
-    Ok(match spec {
-        SweepSpec::E6 { k_max } => SweepRows::E6(e6_rows_from_report(k_max, &reports[0])),
-        SweepSpec::F1 { .. } => {
-            SweepRows::F1(separation_rows_from_reports(1, &reports[0], &reports[1]))
-        }
-    })
+    Ok(rows_from_reports(spec, &reports))
 }
 
 /// Shards a sweep over OS worker processes (see the module docs).
@@ -486,6 +720,9 @@ impl ProcessPool {
                 .arg(opts.checkpoint_every.max(1).to_string())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::piped());
+            if let Some(trials) = spec.trials() {
+                cmd.arg("--trials").arg(trials.to_string());
+            }
             if opts.workers > 1 {
                 cmd.arg("--workers").arg(opts.workers.to_string());
             }
@@ -545,12 +782,16 @@ impl ProcessPool {
                         }
                     }
                 }
-                Some(WORKER_CRASH_EXIT) => crashed_shard = Some(shard),
+                Some(WORKER_CRASH_EXIT) => {
+                    crashed_shard = Some((shard, stderr_tail(&output.stderr)));
+                }
                 code => {
+                    // A real failure (panic, store error, signal): the
+                    // stderr tail carries the child's last words.
                     first_error.get_or_insert(PoolError::WorkerFailed {
                         shard,
                         code,
-                        stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+                        stderr: stderr_tail(&output.stderr),
                     });
                 }
             }
@@ -558,8 +799,8 @@ impl ProcessPool {
         if let Some(e) = first_error {
             return Err(e);
         }
-        if let Some(shard) = crashed_shard {
-            return Err(PoolError::WorkerCrashed { shard });
+        if let Some((shard, stderr)) = crashed_shard {
+            return Err(PoolError::WorkerCrashed { shard, stderr });
         }
         rows_from_outcomes(spec, merged)
     }
@@ -633,6 +874,132 @@ mod tests {
         let mut oob = full;
         oob[0].1 = 99;
         assert!(rows_from_outcomes(spec, oob).is_err());
+    }
+
+    #[test]
+    fn stderr_tails_are_bounded_and_keep_both_ends() {
+        assert_eq!(stderr_tail(b""), "");
+        assert_eq!(
+            stderr_tail(b"thread panicked: boom\n"),
+            "thread panicked: boom"
+        );
+        // Oversized stderr keeps the head (where Rust prints the panic
+        // message, ahead of a RUST_BACKTRACE dump) *and* the tail (where
+        // final error lines land), eliding the middle.
+        let mut noisy = b"thread 'main' panicked at 'boom'\n".to_vec();
+        noisy.extend_from_slice(&vec![b'x'; 3 * STDERR_TAIL_BYTES]);
+        noisy.extend_from_slice(b"\nerror: final line");
+        let tail = stderr_tail(&noisy);
+        assert!(tail.starts_with("thread 'main' panicked at 'boom'"));
+        assert!(tail.contains('\u{2026}'));
+        assert!(tail.ends_with("error: final line"));
+        assert!(tail.len() <= STDERR_TAIL_BYTES + '\u{2026}'.len_utf8());
+    }
+
+    #[test]
+    fn crash_and_failure_errors_carry_the_worker_stderr() {
+        let crashed = PoolError::WorkerCrashed {
+            shard: 2,
+            stderr: "crashed after budget".into(),
+        };
+        let rendered = crashed.to_string();
+        assert!(rendered.contains("shard 2"), "{rendered}");
+        assert!(rendered.contains("crashed after budget"), "{rendered}");
+        let failed = PoolError::WorkerFailed {
+            shard: 1,
+            code: Some(101),
+            stderr: "thread 'main' panicked at 'boom'".into(),
+        };
+        let rendered = failed.to_string();
+        assert!(rendered.contains("exit code 101"), "{rendered}");
+        assert!(rendered.contains("panicked at 'boom'"), "{rendered}");
+    }
+
+    #[test]
+    fn f3_and_f4_specs_describe_their_fleets() {
+        let f3 = SweepSpec::F3 {
+            k_max: 3,
+            trials: 10,
+        };
+        assert_eq!(
+            f3.fleets(),
+            vec![("k1", 10), ("k2", 10), ("k3", 10)],
+            "one fleet per k"
+        );
+        assert_eq!(f3.name(), "f3");
+        assert_eq!(f3.trials(), Some(10));
+        let f4 = SweepSpec::F4 { k: 1, trials: 7 };
+        assert_eq!(
+            f4.fleets(),
+            vec![("b1", 7), ("b2", 7), ("b4", 7)],
+            "budgets capped at m = 4 when k = 1"
+        );
+        assert_eq!(f4.k_max(), 1);
+        assert_eq!(
+            SweepSpec::from_cli("f4", 2, 9),
+            Some(SweepSpec::F4 { k: 2, trials: 9 })
+        );
+        assert_eq!(
+            SweepSpec::from_cli("e6", 2, 9),
+            Some(SweepSpec::E6 { k_max: 2 })
+        );
+    }
+
+    #[test]
+    fn f3_and_f4_worker_shards_merge_to_the_in_process_rows() {
+        for spec in [
+            SweepSpec::F3 {
+                k_max: 2,
+                trials: 9,
+            },
+            SweepSpec::F4 { k: 2, trials: 8 },
+        ] {
+            let mut merged = Vec::new();
+            for shard in 0..3 {
+                let out = worker_outcomes(spec, ShardId { shard, of: 3 }, &PoolRunOpts::default())
+                    .expect("runs")
+                    .expect("no budget, no crash");
+                merged.extend(
+                    out.into_iter()
+                        .map(|(fleet, idx, o)| (fleet.to_string(), idx, o)),
+                );
+            }
+            let rows = rows_from_outcomes(spec, merged).expect("complete");
+            let reference =
+                spec.rows_in_process(&BatchRunner::new(2), SessionSchedule::Uninterrupted);
+            assert_eq!(rows, reference, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn find_store_files_matches_the_shard_naming() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("oqsc-find-stores-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let prefix = dir.join("sweep");
+        for name in [
+            "sweep.e6.shard0of2.cps",
+            "sweep.e6.shard1of2.cps",
+            "sweep.e6.shard0of2.cps.lock",
+            "other.e6.shard0of1.cps",
+            // A sibling run whose name merely *starts with* the prefix:
+            // the `.` separator requirement must keep it out.
+            "sweep2.e6.shard0of1.cps",
+            "sweep.notes.txt",
+        ] {
+            std::fs::write(dir.join(name), b"x").expect("write");
+        }
+        let found = find_store_files(&prefix).expect("scan");
+        let names: Vec<String> = found
+            .iter()
+            .map(|p| p.file_name().expect("name").to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["sweep.e6.shard0of2.cps", "sweep.e6.shard1of2.cps"]);
+        // A direct path to one store file is accepted as-is.
+        let one = find_store_files(&dir.join("other.e6.shard0of1.cps")).expect("scan");
+        assert_eq!(one.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! `experiments` binary (spawned as OS processes, exactly as a user
 //! would run it):
 //!
-//! * 1/2/4-process runs of E6 and F1 print tables **byte-identical** to
-//!   the in-process `--workers N` runs;
+//! * 1/2/4-process runs of **every registered sweep** (E6, F1, F3, F4)
+//!   print tables **byte-identical** to the in-process `--workers N`
+//!   runs;
 //! * a sweep killed mid-run (worker processes exiting the crash way)
 //!   and resumed from the persisted shard stores prints the identical
-//!   table;
+//!   table — and the resume *skips* instances whose outcomes were
+//!   persisted;
+//! * `--compact` shrinks resume-heavy stores via atomic rename and a
+//!   further `--resume` still prints the identical table;
+//! * a worker that dies with a real error surfaces its stderr tail in
+//!   the parent's error message;
 //! * stale stores are refused without `--resume`, and orphaned lock
 //!   files block a fresh run until broken.
 //!
@@ -56,13 +62,29 @@ fn cleanup_prefix(prefix: &Path) {
     }
 }
 
+/// The sweep registry, as CLI argument lists: every entry must satisfy
+/// the cross-process identity contract. F3/F4 use small Monte-Carlo
+/// fleets so the suite stays fast; identity is size-independent.
+fn registry_args() -> Vec<Vec<&'static str>> {
+    vec![
+        vec!["--sweep", "e6", "--k-max", "4"],
+        vec!["--sweep", "f1", "--k-max", "4"],
+        vec!["--sweep", "f3", "--k-max", "2", "--trials", "40"],
+        vec!["--sweep", "f4", "--k-max", "2", "--trials", "30"],
+    ]
+}
+
 #[test]
 fn process_pools_print_tables_byte_identical_to_in_process_runs() {
-    for (sweep, k_max) in [("e6", "4"), ("f1", "4")] {
-        let reference = stdout_of(&["--sweep", sweep, "--k-max", k_max, "--workers", "2"]);
-        assert!(reference.contains('|') || reference.contains("correct"));
+    for base in registry_args() {
+        let sweep = base[1];
+        let reference = stdout_of(&[&base[..], &["--workers", "2"]].concat());
+        assert!(
+            reference.contains('|') || reference.contains("correct") || reference.contains("k"),
+            "{sweep}: table shape"
+        );
         for processes in ["1", "2", "4"] {
-            let pooled = stdout_of(&["--sweep", sweep, "--k-max", k_max, "--processes", processes]);
+            let pooled = stdout_of(&[&base[..], &["--processes", processes]].concat());
             assert_eq!(
                 pooled, reference,
                 "{sweep}: {processes}-process table differs from in-process"
@@ -70,16 +92,7 @@ fn process_pools_print_tables_byte_identical_to_in_process_runs() {
         }
         // Threads inside worker processes compose with process sharding
         // without touching the table.
-        let threaded = stdout_of(&[
-            "--sweep",
-            sweep,
-            "--k-max",
-            k_max,
-            "--processes",
-            "2",
-            "--workers",
-            "2",
-        ]);
+        let threaded = stdout_of(&[&base[..], &["--processes", "2", "--workers", "2"]].concat());
         assert_eq!(threaded, reference, "{sweep}: threaded workers differ");
     }
 }
@@ -175,6 +188,192 @@ fn f1_pool_with_persistence_survives_a_kill_too() {
     ]);
     assert_eq!(resumed, reference);
     cleanup_prefix(&prefix);
+}
+
+#[test]
+fn f3_and_f4_pools_with_persistence_survive_kills_too() {
+    for (base, crash) in [
+        (
+            vec!["--sweep", "f3", "--k-max", "2", "--trials", "30"],
+            "200",
+        ),
+        (
+            vec!["--sweep", "f4", "--k-max", "2", "--trials", "25"],
+            "150",
+        ),
+    ] {
+        let sweep = base[1];
+        let reference = stdout_of(&base);
+        let prefix = temp_prefix(&format!("{sweep}-crash"));
+        let prefix_s = prefix.to_string_lossy().into_owned();
+        let store_args = ["--store", &prefix_s, "--checkpoint-every", "16"];
+        let crashed = experiments(
+            &[
+                &base[..],
+                &["--processes", "2"],
+                &store_args,
+                &["--crash-after-tokens", crash],
+            ]
+            .concat(),
+        );
+        assert_eq!(
+            crashed.status.code(),
+            Some(WORKER_CRASH_EXIT),
+            "{sweep}: stderr: {}",
+            String::from_utf8_lossy(&crashed.stderr)
+        );
+        let resumed =
+            stdout_of(&[&base[..], &["--processes", "2"], &store_args, &["--resume"]].concat());
+        assert_eq!(resumed, reference, "{sweep}: resumed table differs");
+        cleanup_prefix(&prefix);
+    }
+}
+
+#[test]
+fn compaction_between_resumes_keeps_tables_byte_identical() {
+    // The satellite smoke cycle, end to end against the real binary:
+    // kill → resume (table A) → --compact → resume again (table B);
+    // A == B == the uninterrupted reference, and every store file
+    // shrank.
+    let base = ["--sweep", "e6", "--k-max", "4"];
+    let reference = stdout_of(&base);
+    let prefix = temp_prefix("compact-cycle");
+    let prefix_s = prefix.to_string_lossy().into_owned();
+    let store_args = ["--store", &prefix_s, "--checkpoint-every", "32"];
+    let crashed = experiments(
+        &[
+            &base[..],
+            &["--processes", "2"],
+            &store_args,
+            &["--crash-after-tokens", "300"],
+        ]
+        .concat(),
+    );
+    assert_eq!(crashed.status.code(), Some(WORKER_CRASH_EXIT));
+    let first = stdout_of(&[&base[..], &["--processes", "2"], &store_args, &["--resume"]].concat());
+    assert_eq!(first, reference, "resume before compaction");
+    let sizes_before: Vec<(PathBuf, u64)> = store_files(&prefix);
+    assert!(!sizes_before.is_empty(), "shard stores exist");
+    // Compact every shard store under the prefix.
+    let compacted = experiments(&["--compact", &prefix_s]);
+    assert!(
+        compacted.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&compacted.stderr)
+    );
+    let report = String::from_utf8_lossy(&compacted.stdout).into_owned();
+    for (path, before) in &sizes_before {
+        let after = std::fs::metadata(path).expect("still there").len();
+        assert!(
+            after < *before,
+            "{}: {before} -> {after} bytes",
+            path.display()
+        );
+        assert!(
+            report.contains(&path.display().to_string()),
+            "compaction reported {}",
+            path.display()
+        );
+    }
+    // A further resume over the compacted stores: byte-identical, and
+    // instant (every instance finished, so outcomes are just read back).
+    let second =
+        stdout_of(&[&base[..], &["--processes", "2"], &store_args, &["--resume"]].concat());
+    assert_eq!(second, reference, "resume after compaction");
+    cleanup_prefix(&prefix);
+}
+
+fn store_files(prefix: &Path) -> Vec<(PathBuf, u64)> {
+    let dir = prefix.parent().expect("temp dir");
+    let stem = prefix
+        .file_name()
+        .expect("prefix name")
+        .to_string_lossy()
+        .into_owned();
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("read dir").flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&stem) && name.ends_with(".cps") {
+            let len = entry.metadata().expect("metadata").len();
+            found.push((entry.path(), len));
+        }
+    }
+    found.sort();
+    found
+}
+
+#[test]
+fn failed_workers_surface_their_stderr_in_the_parent_error() {
+    // Point the shard stores into a directory that does not exist: the
+    // worker dies with a real store error on stderr, and the parent's
+    // error message must carry that tail (not just an exit code).
+    let mut missing = std::env::temp_dir();
+    missing.push(format!("oqsc-pool-missing-{}", std::process::id()));
+    missing.push("nope");
+    missing.push("prefix");
+    let missing_s = missing.to_string_lossy().into_owned();
+    let out = experiments(&[
+        "--sweep",
+        "e6",
+        "--k-max",
+        "2",
+        "--processes",
+        "2",
+        "--store",
+        &missing_s,
+        "--checkpoint-every",
+        "16",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("worker shard"),
+        "parent names the shard: {stderr}"
+    );
+    assert!(
+        stderr.contains("I/O error") || stderr.contains("No such file"),
+        "parent surfaces the child's own message: {stderr}"
+    );
+}
+
+#[test]
+fn compact_validates_its_flags_and_missing_prefixes() {
+    // --break-locks without --compact, and --compact mixed with a sweep,
+    // are flag errors (exit 2) with pointed messages.
+    for (args, needle) in [
+        (vec!["--break-locks"], "--break-locks requires --compact"),
+        (
+            vec!["--compact", "/tmp/x", "--sweep", "e6"],
+            "--compact cannot be combined with --sweep",
+        ),
+        (
+            vec!["--compact", "/tmp/x", "--resume"],
+            "--compact cannot be combined with --resume",
+        ),
+        (
+            vec!["--sweep", "e6", "--trials", "5"],
+            "--trials only applies",
+        ),
+        (vec!["--trials", "5"], "--trials requires --sweep"),
+    ] {
+        let out = experiments(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "{args:?}: stderr {:?}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // A prefix matching no store files is a clear runtime error (exit 1).
+    let mut nowhere = std::env::temp_dir();
+    nowhere.push(format!("oqsc-compact-nothing-{}", std::process::id()));
+    let out = experiments(&["--compact", &nowhere.to_string_lossy()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no checkpoint stores"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

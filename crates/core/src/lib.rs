@@ -71,7 +71,7 @@ pub use separation::{
     separation_rows_scheduled, separation_table, SeparationRow,
 };
 pub use sweep::{
-    complement_accept_frequency_in, complement_sweep, complement_sweep_in,
-    complement_sweep_resumable_in, complement_sweep_scheduled_in, derive_seed, ldisj_sweep,
-    ldisj_sweep_in, ldisj_sweep_scheduled_in,
+    complement_accept_frequency_in, complement_frequency_task, complement_sweep,
+    complement_sweep_in, complement_sweep_resumable_in, complement_sweep_scheduled_in, derive_seed,
+    f3_fingerprint_task, f4_sketch_task, ldisj_sweep, ldisj_sweep_in, ldisj_sweep_scheduled_in,
 };

@@ -11,8 +11,9 @@
 //! (`ParallelStateVector`) or sparse (`SparseState`) — and the
 //! cross-backend suites compare the reports.
 
+use crate::classical::SketchDecider;
 use crate::recognizer::{ComplementRecognizer, LdisjRecognizer};
-use oqsc_lang::Sym;
+use oqsc_lang::{malform, random_member, random_nonmember, Malformation, Sym};
 use oqsc_machine::{BatchReport, BatchRunner, CheckpointStore, SessionSchedule, StoreError};
 use oqsc_quantum::{QuantumBackend, StateVector};
 use rand::rngs::StdRng;
@@ -131,6 +132,58 @@ pub fn complement_sweep_resumable_in<B: QuantumBackend>(
     })
 }
 
+// ---------------------------------------------------------------------
+// Pure per-fleet task functions
+// ---------------------------------------------------------------------
+//
+// Every sweep below is expressed as `task(i) → (decider, stream)`, the
+// form the batch, resumable, and cross-process schedulers all consume:
+// instance `i` is a pure function of the fleet parameters and `i` alone,
+// so any scheduler — in-process, killed-and-resumed, or a worker process
+// holding nothing but indices — re-derives identical instances.
+
+/// Builds trial `i` of the **recognizer frequency fleet**: one freshly
+/// seeded Theorem 3.4 recognizer fed `word` (the Monte-Carlo acceptance
+/// estimate's unit of work). Mirrors
+/// [`separation_quantum_task`](crate::separation::separation_quantum_task).
+pub fn complement_frequency_task<'w, B: QuantumBackend>(
+    word: &'w [Sym],
+    base_seed: u64,
+    i: usize,
+) -> (ComplementRecognizer<B>, impl Iterator<Item = Sym> + 'w) {
+    let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
+    (
+        ComplementRecognizer::<B>::new_in(&mut rng),
+        word.iter().copied(),
+    )
+}
+
+/// Builds trial `i` of **experiment F3's fleet at `k`**: a freshly
+/// seeded A2 consistency checker fed a corrupted (x-drifting) member
+/// word, both derived from `(k, i)` alone. One fleet per `k`; the
+/// fleet's accept rate is the empirical false-accept rate.
+pub fn f3_fingerprint_task(
+    k: u32,
+    i: usize,
+) -> (crate::ConsistencyChecker, std::vec::IntoIter<Sym>) {
+    let mut rng = StdRng::seed_from_u64(derive_seed(7000 + u64::from(k), i));
+    let inst = random_member(k, &mut rng);
+    let bad = malform(&inst, Malformation::XDriftAcrossRounds, &mut rng);
+    let a2 = crate::ConsistencyChecker::new(&mut rng);
+    (a2, bad.into_iter())
+}
+
+/// Builds trial `i` of **experiment F4's fleet at `(k, budget)`**: a
+/// sketch decider with `budget` stored positions fed a planted `t = 1`
+/// non-member, both derived from `(budget, i)` alone. One fleet per
+/// budget; the fleet's accept rate is the miss rate.
+pub fn f4_sketch_task(k: u32, budget: usize, i: usize) -> (SketchDecider, std::vec::IntoIter<Sym>) {
+    let mut rng = StdRng::seed_from_u64(derive_seed(8000 + budget as u64, i));
+    let non = random_nonmember(k, 1, &mut rng);
+    let sketch = SketchDecider::new(budget, &mut rng);
+    (sketch, non.encode().into_iter())
+}
+
 /// Monte-Carlo acceptance estimate of the complement recognizer on one
 /// word: `trials` independent seeded recognizers through the batch path,
 /// returning the acceptance frequency. Deterministic in `(base_seed,
@@ -142,11 +195,7 @@ pub fn complement_accept_frequency_in<B: QuantumBackend>(
     runner: &BatchRunner,
 ) -> f64 {
     let report = runner.run(trials, SessionSchedule::Uninterrupted, |i| {
-        let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, i));
-        (
-            ComplementRecognizer::<B>::new_in(&mut rng),
-            word.iter().copied(),
-        )
+        complement_frequency_task::<B>(word, base_seed, i)
     });
     report.accept_rate()
 }

@@ -178,13 +178,17 @@ impl BatchRunner {
 
     /// [`run`](Self::run) with **persistence**: every instance's session
     /// is suspended after each segment of `persist_every` tokens
-    /// (clamped to ≥ 1) and the checkpoint appended to `store`; on
-    /// entry, any instance with a persisted checkpoint resumes from it —
-    /// the stream is re-derived from `task(i)` and skipped to
-    /// [`SessionCheckpoint::position`], so nothing but the store file
-    /// has to survive a crash. The report is `==`-identical to
+    /// (clamped to ≥ 1) and the checkpoint appended to `store`, and when
+    /// an instance finishes its final [`RunOutcome`] is persisted as an
+    /// outcome record. On entry, any instance with a persisted outcome
+    /// is **skipped** — its task is never built and no token is ever
+    /// re-fed — while any instance with only a checkpoint resumes from
+    /// it, the stream re-derived from `task(i)` and skipped to
+    /// [`SessionCheckpoint::position`]; nothing but the store file has
+    /// to survive a crash. The report is `==`-identical to
     /// [`run`](Self::run) whatever was (or was not) in the store, by the
-    /// checkpoint round-trip contract.
+    /// checkpoint round-trip contract and the exactness of the outcome
+    /// encoding.
     ///
     /// The store must have been created (or recovered) for this decider
     /// type — open it with
@@ -253,6 +257,18 @@ impl BatchRunner {
                 if crashed.load(Ordering::Relaxed) {
                     break;
                 }
+                // An instance with a persisted outcome is *skipped*, not
+                // replayed: its task is never built, its stream never
+                // re-derived, zero tokens fed (the accounting suite pins
+                // this with a zero-token resume budget).
+                let finished = store
+                    .lock()
+                    .expect("store mutex poisoned")
+                    .outcome(idx as u64)?;
+                if let Some(outcome) = finished {
+                    out.push((idx, outcome));
+                    continue;
+                }
                 let (fresh, word) = task(idx);
                 let mut stream = word.into_iter();
                 let persisted = store
@@ -290,7 +306,13 @@ impl BatchRunner {
                                 session.feed(sym);
                             }
                             None => {
-                                out.push((idx, session.finish()));
+                                let position = session.position();
+                                let outcome = session.finish();
+                                store
+                                    .lock()
+                                    .expect("store mutex poisoned")
+                                    .append_outcome(idx as u64, position, &outcome)?;
+                                out.push((idx, outcome));
                                 continue 'instances;
                             }
                         }
@@ -791,6 +813,57 @@ mod tests {
             drop(store);
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn finished_instances_are_skipped_not_replayed_on_resume() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let reference =
+            BatchRunner::serial().run(7, SessionSchedule::Uninterrupted, count_ones_task);
+        let path = temp_store("skip");
+        let mut store = CheckpointStore::create_for::<CountOnes>(&path).expect("create");
+        let first = BatchRunner::serial()
+            .run_resumable(7, 3, &mut store, count_ones_task)
+            .expect("first run");
+        assert_eq!(first, reference);
+        assert_eq!(store.finished_instances(), 7, "every outcome persisted");
+        // Resume over the complete store: the task factory must never be
+        // invoked, and a zero-token budget must still complete (nothing
+        // is re-fed).
+        let factory_calls = AtomicUsize::new(0);
+        let resumed = BatchRunner::serial()
+            .run_resumable_budgeted(7, 3, &mut store, 0, |i| {
+                factory_calls.fetch_add(1, Ordering::Relaxed);
+                count_ones_task(i)
+            })
+            .expect("no store errors")
+            .expect("zero tokens suffice when everything is finished");
+        assert_eq!(resumed, reference);
+        assert_eq!(factory_calls.load(Ordering::Relaxed), 0);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compacted_store_resumes_identically() {
+        let reference =
+            BatchRunner::serial().run(7, SessionSchedule::Uninterrupted, count_ones_task);
+        let path = temp_store("compact-resume");
+        let mut store = CheckpointStore::create_for::<CountOnes>(&path).expect("create");
+        // Crash partway: some instances finished, some mid-checkpoint.
+        let crashed = BatchRunner::serial()
+            .run_resumable_budgeted(7, 3, &mut store, 60, count_ones_task)
+            .expect("no store errors");
+        assert_eq!(crashed, None, "budget 60 < 119 total tokens");
+        let before = store.len_bytes();
+        let report = store.compact().expect("compact");
+        assert!(report.bytes_after <= before);
+        let resumed = BatchRunner::serial()
+            .run_resumable(7, 3, &mut store, count_ones_task)
+            .expect("resume after compact");
+        assert_eq!(resumed, reference);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -27,9 +27,11 @@
 //! * [`store`] — the persistent checkpoint layer: a content-addressed,
 //!   append-only [`CheckpointStore`](store::CheckpointStore) log whose
 //!   header pins store/checkpoint/workspace versions and the decider
-//!   type, with strict open plus a salvaging
-//!   [`recover`](store::CheckpointStore::recover) path — crash-recoverable
-//!   sweeps (DESIGN.md §8);
+//!   type, with strict open, a salvaging
+//!   [`recover`](store::CheckpointStore::recover) path, finished-instance
+//!   outcome records (resume skips, never replays, completed work), and
+//!   [`compact`](store::CheckpointStore::compact)ion — crash-recoverable
+//!   sweeps (DESIGN.md §8–§9);
 //! * [`register`] — the [`MeteredRegister`](register::MeteredRegister)
 //!   quantum-register handle making quantum streaming drivers generic over
 //!   any [`oqsc_quantum::QuantumBackend`];
@@ -63,8 +65,8 @@ pub use session::{
 };
 pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
 pub use store::{
-    content_key, CheckpointStore, RecoveryReport, StoreError, STORE_MAGIC, STORE_VERSION,
-    WORKSPACE_VERSION,
+    content_key, peek_tag, CheckpointStore, CompactionReport, RecoveryReport, StoreError,
+    STORE_MAGIC, STORE_VERSION, WORKSPACE_VERSION,
 };
 pub use streaming::{
     run_decider, run_decider_stream, RunOutcome, StoreEverything, StorePredicate, StreamingDecider,

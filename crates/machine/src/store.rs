@@ -1,5 +1,5 @@
 //! Persistent checkpoint store: a content-addressed, append-only log of
-//! [`SessionCheckpoint`]s.
+//! [`SessionCheckpoint`]s and finished-instance [`RunOutcome`]s.
 //!
 //! [`SessionCheckpoint`] bytes are portable (DESIGN.md §7) but, until
 //! this module, lived only in memory — a crashed or preempted sweep lost
@@ -13,12 +13,17 @@
 //!   a different checkpoint version, a different workspace version, or
 //!   for a different decider type is rejected on open — never
 //!   half-read, never panicked on.
-//! * **Records** — appended, never rewritten. Each record carries the
-//!   owning instance index, the stream position, a 128-bit FNV/SplitMix
-//!   content hash of the checkpoint payload (the record's *key*), and a
-//!   header checksum. A payload is stored once: re-appending bytes the
-//!   log already holds writes a small *ref* record pointing at the
-//!   existing payload (content addressing).
+//! * **Records** — appended, never rewritten. Each record carries its
+//!   kind (checkpoint or outcome, full or ref), the owning instance
+//!   index, the stream position, a 128-bit FNV/SplitMix content hash of
+//!   the payload (the record's *key*), and a header checksum. A payload
+//!   is stored once: re-appending bytes the log already holds writes a
+//!   small *ref* record pointing at the existing payload (content
+//!   addressing). Checkpoint payloads are [`SessionCheckpoint`] bytes;
+//!   **outcome** payloads are the fixed-width [`RunOutcome`] encoding a
+//!   finished instance leaves behind, so a resumed sweep can *skip* the
+//!   instance instead of replaying it from its last checkpoint
+//!   (DESIGN.md §9).
 //! * **Recovery** — [`CheckpointStore::open`] is strict: a truncated
 //!   tail (the signature of a crash mid-append) or a bit-flipped record
 //!   is an error. [`CheckpointStore::recover`] salvages instead: it
@@ -27,6 +32,13 @@
 //!   `recover`; since checkpoints are only appended at segment
 //!   boundaries, the salvaged prefix is always a consistent set of
 //!   boundary snapshots.
+//! * **Compaction** — the log only grows; a resume-heavy store
+//!   accumulates superseded checkpoints. [`CheckpointStore::compact`]
+//!   rewrites one record per instance — its outcome if it finished, its
+//!   latest checkpoint otherwise — to a sibling temp file, atomically
+//!   renames it over the log, and re-indexes. Readers never observe a
+//!   half-compacted store: a crash before the rename leaves the old log
+//!   untouched, a crash after it leaves the new one complete.
 //!
 //! Concurrent writers are excluded by a `<path>.lock` file. A lock left
 //! behind by a killed process (an *orphaned lock*) makes open fail with
@@ -41,14 +53,18 @@
 //! need an fsync per append, which the sweep cadence does not pay for.
 
 use crate::session::{CheckpointError, Checkpointable, SessionCheckpoint, CHECKPOINT_VERSION};
+use crate::streaming::RunOutcome;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// The store's own format version (independent of [`CHECKPOINT_VERSION`],
-/// which versions the payload bytes).
-pub const STORE_VERSION: u8 = 1;
+/// which versions the checkpoint payload bytes). Version 2 added the
+/// outcome record kinds and their fixed-width [`RunOutcome`] payload —
+/// version-1 logs hold no outcomes, so they are rejected rather than
+/// resumed with silent replays.
+pub const STORE_VERSION: u8 = 2;
 
 /// The 8-byte magic opening every store file.
 pub const STORE_MAGIC: [u8; 8] = *b"OQSC-CPS";
@@ -59,8 +75,14 @@ pub const WORKSPACE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 const RECORD_FULL: u8 = 1;
 const RECORD_REF: u8 = 2;
+const RECORD_OUTCOME_FULL: u8 = 3;
+const RECORD_OUTCOME_REF: u8 = 4;
 /// kind (1) + instance (8) + position (8) + key (16) + header check (8).
 const RECORD_HEADER_LEN: u64 = 41;
+
+/// Byte length of an encoded [`RunOutcome`] payload: accept (1) +
+/// classical bits (8) + peak qubits (8) + peak amplitudes (8).
+const OUTCOME_PAYLOAD_LEN: u64 = 25;
 
 /// Why a store could not be opened, read, or appended to.
 #[derive(Debug)]
@@ -230,6 +252,38 @@ fn record_header_check(kind: u8, instance: u64, position: u64, key: u128) -> u64
 }
 
 // ---------------------------------------------------------------------
+// Outcome payloads
+// ---------------------------------------------------------------------
+
+/// Encodes a finished instance's [`RunOutcome`] as the fixed-width
+/// outcome payload ([`OUTCOME_PAYLOAD_LEN`] bytes, all integers — the
+/// round trip is exact).
+fn encode_outcome(o: &RunOutcome) -> Vec<u8> {
+    let mut out = Vec::with_capacity(OUTCOME_PAYLOAD_LEN as usize);
+    out.push(u8::from(o.accept));
+    out.extend_from_slice(&(o.classical_bits as u64).to_le_bytes());
+    out.extend_from_slice(&(o.peak_qubits as u64).to_le_bytes());
+    out.extend_from_slice(&(o.peak_amplitudes as u64).to_le_bytes());
+    out
+}
+
+/// Decodes an outcome payload, rejecting wrong lengths and non-boolean
+/// accept bytes (a bit-flipped payload already fails the content hash;
+/// this guards hand-crafted or cross-version bytes).
+fn decode_outcome(bytes: &[u8]) -> Option<RunOutcome> {
+    if bytes.len() as u64 != OUTCOME_PAYLOAD_LEN || bytes[0] > 1 {
+        return None;
+    }
+    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("sliced"));
+    Some(RunOutcome {
+        accept: bytes[0] == 1,
+        classical_bits: usize::try_from(word(1)).ok()?,
+        peak_qubits: usize::try_from(word(9)).ok()?,
+        peak_amplitudes: usize::try_from(word(17)).ok()?,
+    })
+}
+
+// ---------------------------------------------------------------------
 // Lock files
 // ---------------------------------------------------------------------
 
@@ -285,19 +339,34 @@ pub struct RecoveryReport {
     pub dropped_bytes: u64,
 }
 
+/// What [`CheckpointStore::compact`] did to the log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records in the log before compaction.
+    pub records_before: usize,
+    /// Records after (one per instance: outcome or latest checkpoint).
+    pub records_after: usize,
+    /// Log size in bytes before compaction.
+    pub bytes_before: u64,
+    /// Log size in bytes after.
+    pub bytes_after: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct PayloadLoc {
     offset: u64,
     len: u64,
 }
 
-/// A content-addressed, append-only log of [`SessionCheckpoint`]s for
-/// one decider type. See the module docs for the format and the
-/// recovery protocol.
+/// A content-addressed, append-only log of [`SessionCheckpoint`]s and
+/// finished-instance [`RunOutcome`]s for one decider type. See the
+/// module docs for the format, the recovery protocol, and compaction.
 #[derive(Debug)]
 pub struct CheckpointStore {
     file: File,
     path: PathBuf,
+    /// The validated header bytes (compaction rewrites them verbatim).
+    header: Vec<u8>,
     /// Logical end of valid data (everything before it has been
     /// validated or written by this handle).
     end: u64,
@@ -305,6 +374,9 @@ pub struct CheckpointStore {
     index: HashMap<u128, PayloadLoc>,
     /// Instance → (highest stream position seen, its content key).
     latest: HashMap<u64, (u64, u128)>,
+    /// Instance → (final stream position, outcome payload key), for
+    /// instances that ran to completion.
+    finished: HashMap<u64, (u64, u128)>,
     records: usize,
     _lock: LockGuard,
 }
@@ -339,8 +411,10 @@ impl CheckpointStore {
             file,
             path: path.to_path_buf(),
             end: header.len() as u64,
+            header,
             index: HashMap::new(),
             latest: HashMap::new(),
+            finished: HashMap::new(),
             records: 0,
             _lock: lock,
         })
@@ -407,6 +481,7 @@ impl CheckpointStore {
         let header_len = validate_header(&bytes, tag)?;
         let mut index = HashMap::new();
         let mut latest: HashMap<u64, (u64, u128)> = HashMap::new();
+        let mut finished: HashMap<u64, (u64, u128)> = HashMap::new();
         let mut records = 0usize;
         let mut off = header_len;
         let end = loop {
@@ -418,9 +493,13 @@ impl CheckpointStore {
                     if let Some(loc) = rec.stored {
                         index.insert(rec.key, loc);
                     }
-                    let slot = latest.entry(rec.instance).or_insert((0, rec.key));
-                    if rec.position >= slot.0 {
-                        *slot = (rec.position, rec.key);
+                    if rec.outcome {
+                        finished.insert(rec.instance, (rec.position, rec.key));
+                    } else {
+                        let slot = latest.entry(rec.instance).or_insert((0, rec.key));
+                        if rec.position >= slot.0 {
+                            *slot = (rec.position, rec.key);
+                        }
                     }
                     records += 1;
                     off = rec.next;
@@ -443,9 +522,11 @@ impl CheckpointStore {
             CheckpointStore {
                 file,
                 path: path.to_path_buf(),
+                header: bytes[..header_len as usize].to_vec(),
                 end,
                 index,
                 latest,
+                finished,
                 records,
                 _lock: lock,
             },
@@ -456,17 +537,21 @@ impl CheckpointStore {
         ))
     }
 
-    /// Appends one checkpoint owned by `instance`. Returns the payload's
-    /// content key. A payload the log already holds is not rewritten —
-    /// only a small ref record is appended.
-    pub fn append(&mut self, instance: u64, cp: &SessionCheckpoint) -> Result<u128, StoreError> {
-        let payload = cp.as_bytes();
+    /// Appends one record (checkpoint or outcome) owned by `instance`,
+    /// writing the payload only if the log does not already hold it.
+    fn append_record(
+        &mut self,
+        full_kind: u8,
+        ref_kind: u8,
+        instance: u64,
+        position: u64,
+        payload: &[u8],
+    ) -> Result<u128, StoreError> {
         let key = content_key(payload);
-        let position = cp.position();
         let kind = if self.index.contains_key(&key) {
-            RECORD_REF
+            ref_kind
         } else {
-            RECORD_FULL
+            full_kind
         };
         let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len() + 8);
         rec.push(kind);
@@ -474,13 +559,13 @@ impl CheckpointStore {
         rec.extend_from_slice(&position.to_le_bytes());
         rec.extend_from_slice(&key.to_le_bytes());
         rec.extend_from_slice(&record_header_check(kind, instance, position, key).to_le_bytes());
-        if kind == RECORD_FULL {
+        if kind == full_kind {
             rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             rec.extend_from_slice(payload);
         }
         self.file.seek(SeekFrom::Start(self.end))?;
         self.file.write_all(&rec)?;
-        if kind == RECORD_FULL {
+        if kind == full_kind {
             self.index.insert(
                 key,
                 PayloadLoc {
@@ -491,6 +576,15 @@ impl CheckpointStore {
         }
         self.end += rec.len() as u64;
         self.records += 1;
+        Ok(key)
+    }
+
+    /// Appends one checkpoint owned by `instance`. Returns the payload's
+    /// content key. A payload the log already holds is not rewritten —
+    /// only a small ref record is appended.
+    pub fn append(&mut self, instance: u64, cp: &SessionCheckpoint) -> Result<u128, StoreError> {
+        let position = cp.position();
+        let key = self.append_record(RECORD_FULL, RECORD_REF, instance, position, cp.as_bytes())?;
         let slot = self.latest.entry(instance).or_insert((position, key));
         if position >= slot.0 {
             *slot = (position, key);
@@ -498,9 +592,31 @@ impl CheckpointStore {
         Ok(key)
     }
 
-    /// Reads the checkpoint with content key `key`, re-verifying the
+    /// Appends the final [`RunOutcome`] of `instance`, which consumed
+    /// `position` stream tokens. A resumed sweep skips instances with a
+    /// persisted outcome instead of replaying them from their last
+    /// checkpoint. Returns the outcome payload's content key (identical
+    /// outcomes — common in Monte-Carlo fleets — are stored once).
+    pub fn append_outcome(
+        &mut self,
+        instance: u64,
+        position: u64,
+        outcome: &RunOutcome,
+    ) -> Result<u128, StoreError> {
+        let key = self.append_record(
+            RECORD_OUTCOME_FULL,
+            RECORD_OUTCOME_REF,
+            instance,
+            position,
+            &encode_outcome(outcome),
+        )?;
+        self.finished.insert(instance, (position, key));
+        Ok(key)
+    }
+
+    /// Reads the raw payload with content key `key`, re-verifying the
     /// hash against the bytes on disk.
-    pub fn get(&mut self, key: u128) -> Result<SessionCheckpoint, StoreError> {
+    fn get_payload(&mut self, key: u128) -> Result<Vec<u8>, StoreError> {
         let loc = *self.index.get(&key).ok_or(StoreError::UnknownKey)?;
         self.file.seek(SeekFrom::Start(loc.offset))?;
         let mut payload = vec![0u8; loc.len as usize];
@@ -508,7 +624,13 @@ impl CheckpointStore {
         if content_key(&payload) != key {
             return Err(StoreError::CorruptRecord { offset: loc.offset });
         }
-        Ok(SessionCheckpoint::from_bytes(payload)?)
+        Ok(payload)
+    }
+
+    /// Reads the checkpoint with content key `key`, re-verifying the
+    /// hash against the bytes on disk.
+    pub fn get(&mut self, key: u128) -> Result<SessionCheckpoint, StoreError> {
+        Ok(SessionCheckpoint::from_bytes(self.get_payload(key)?)?)
     }
 
     /// The newest checkpoint persisted for `instance` (highest stream
@@ -525,7 +647,30 @@ impl CheckpointStore {
         self.latest.get(&instance).map(|&(p, _)| p)
     }
 
-    /// Number of records appended (full + ref).
+    /// The persisted final [`RunOutcome`] of `instance`, if it ran to
+    /// completion, re-verified against the bytes on disk.
+    pub fn outcome(&mut self, instance: u64) -> Result<Option<RunOutcome>, StoreError> {
+        let Some(&(_, key)) = self.finished.get(&instance) else {
+            return Ok(None);
+        };
+        let loc = *self.index.get(&key).ok_or(StoreError::UnknownKey)?;
+        let payload = self.get_payload(key)?;
+        decode_outcome(&payload)
+            .map(Some)
+            .ok_or(StoreError::CorruptRecord { offset: loc.offset })
+    }
+
+    /// Whether `instance` has a persisted final outcome.
+    pub fn is_finished(&self, instance: u64) -> bool {
+        self.finished.contains_key(&instance)
+    }
+
+    /// Number of instances with a persisted final outcome.
+    pub fn finished_instances(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Number of records appended (full + ref, checkpoints + outcomes).
     pub fn records(&self) -> usize {
         self.records
     }
@@ -535,9 +680,14 @@ impl CheckpointStore {
         self.index.len()
     }
 
-    /// Number of instances with at least one checkpoint.
+    /// Number of instances with at least one checkpoint or outcome.
     pub fn instances(&self) -> usize {
-        self.latest.len()
+        self.finished.len()
+            + self
+                .latest
+                .keys()
+                .filter(|k| !self.finished.contains_key(k))
+                .count()
     }
 
     /// Size of the log file in bytes.
@@ -549,7 +699,150 @@ impl CheckpointStore {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Rewrites the log keeping exactly one record per instance — its
+    /// outcome if it finished, its latest checkpoint otherwise — into a
+    /// sibling temp file, then atomically renames it over the log and
+    /// re-indexes. Superseded checkpoints (the bulk of a resume-heavy
+    /// store) are dropped; everything a resume reads — latest
+    /// checkpoints, outcomes, positions — survives bit-exactly, so a
+    /// strict [`open`](Self::open) + resume after compaction behaves
+    /// identically. The lock is held throughout; a crash before the
+    /// rename leaves the old log untouched.
+    pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
+        let before = CompactionReport {
+            records_before: self.records,
+            records_after: 0,
+            bytes_before: self.end,
+            bytes_after: 0,
+        };
+        // One surviving record per instance, in instance order (so the
+        // compacted bytes are a pure function of the logical contents).
+        let mut survivors: Vec<(u64, u64, u128, bool)> = Vec::new();
+        for (&instance, &(position, key)) in &self.finished {
+            survivors.push((instance, position, key, true));
+        }
+        for (&instance, &(position, key)) in &self.latest {
+            if !self.finished.contains_key(&instance) {
+                survivors.push((instance, position, key, false));
+            }
+        }
+        survivors.sort_unstable_by_key(|&(instance, ..)| instance);
+        // Stream the compacted log into a sibling temp file, one record
+        // at a time: each surviving payload is read from the old log
+        // (hash re-verified by get_payload) and written straight out, so
+        // memory stays bounded by the largest single payload — not the
+        // surviving set, which on a big fleet is itself huge.
+        let tmp_path = {
+            let mut os = self.path.as_os_str().to_os_string();
+            os.push(".compact");
+            PathBuf::from(os)
+        };
+        let _ = std::fs::remove_file(&tmp_path);
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&tmp_path)?;
+        let mut index = HashMap::new();
+        let mut latest = HashMap::new();
+        let mut finished = HashMap::new();
+        tmp.write_all(&self.header)?;
+        let mut end = self.header.len() as u64;
+        for &(instance, position, key, is_outcome) in &survivors {
+            let (full_kind, ref_kind) = if is_outcome {
+                (RECORD_OUTCOME_FULL, RECORD_OUTCOME_REF)
+            } else {
+                (RECORD_FULL, RECORD_REF)
+            };
+            let kind = if index.contains_key(&key) {
+                ref_kind
+            } else {
+                full_kind
+            };
+            let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + 8);
+            rec.push(kind);
+            rec.extend_from_slice(&instance.to_le_bytes());
+            rec.extend_from_slice(&position.to_le_bytes());
+            rec.extend_from_slice(&key.to_le_bytes());
+            rec.extend_from_slice(
+                &record_header_check(kind, instance, position, key).to_le_bytes(),
+            );
+            if kind == full_kind {
+                let payload = self.get_payload(key)?;
+                rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                tmp.write_all(&rec)?;
+                tmp.write_all(&payload)?;
+                index.insert(
+                    key,
+                    PayloadLoc {
+                        offset: end + rec.len() as u64,
+                        len: payload.len() as u64,
+                    },
+                );
+                end += rec.len() as u64 + payload.len() as u64;
+            } else {
+                tmp.write_all(&rec)?;
+                end += rec.len() as u64;
+            }
+            if is_outcome {
+                finished.insert(instance, (position, key));
+            } else {
+                latest.insert(instance, (position, key));
+            }
+        }
+        tmp.sync_all()?;
+        // Rename the temp log into place — the one atomic step. The
+        // `.lock` path is untouched, so this handle keeps its writer
+        // exclusion across the swap. The temp file's own handle becomes
+        // the store handle: a rename does not invalidate an open
+        // descriptor, so there is no post-rename reopen that could fail
+        // and leave this handle appending to the unlinked
+        // pre-compaction inode.
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = tmp;
+        self.end = end;
+        self.index = index;
+        self.latest = latest;
+        self.finished = finished;
+        self.records = survivors.len();
+        Ok(CompactionReport {
+            records_after: self.records,
+            bytes_after: self.end,
+            ..before
+        })
+    }
+
+    /// [`compact`](Self::compact) on a store file in one step: reads the
+    /// decider tag out of the header (fully validating it first), opens
+    /// the store strictly, and compacts. This is what `experiments
+    /// --compact` drives — the operator does not need to know which
+    /// decider type wrote each shard file.
+    pub fn compact_file(path: impl AsRef<Path>) -> Result<CompactionReport, StoreError> {
+        let tag = peek_tag(path.as_ref())?;
+        Self::open(path, &tag)?.compact()
+    }
 }
+
+/// Reads the decider [`Checkpointable::TYPE_TAG`] out of a store file's
+/// header, validating magic and versions on the way (but, by
+/// construction, not the tag itself). Lets tag-agnostic tooling — store
+/// compaction, inspection — open a store that describes itself. Only a
+/// bounded prefix is read: the header's variable parts carry `u8`
+/// length prefixes, so it can never exceed [`MAX_HEADER_LEN`] bytes —
+/// peeking a multi-hundred-megabyte resume-heavy log costs one small
+/// read, not a full scan.
+pub fn peek_tag(path: impl AsRef<Path>) -> Result<String, StoreError> {
+    let mut bytes = Vec::with_capacity(MAX_HEADER_LEN);
+    File::open(path.as_ref())?
+        .take(MAX_HEADER_LEN as u64)
+        .read_to_end(&mut bytes)?;
+    validate_header_tag(&bytes).map(|(_, tag)| tag)
+}
+
+/// Upper bound on the header's byte length: magic + two version bytes +
+/// two `u8`-length-prefixed strings of at most 255 bytes each.
+const MAX_HEADER_LEN: usize = STORE_MAGIC.len() + 2 + 2 * (1 + u8::MAX as usize);
 
 fn push_short_str(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= u8::MAX as usize);
@@ -557,10 +850,11 @@ fn push_short_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&s.as_bytes()[..s.len().min(u8::MAX as usize)]);
 }
 
-/// Validates the variable-length header, returning its byte length.
-/// Every read is bounds-checked against the file, so a truncated or
-/// hostile header can never index out of range or over-allocate.
-fn validate_header(bytes: &[u8], tag: &str) -> Result<u64, StoreError> {
+/// Validates the variable-length header, returning its byte length and
+/// the decider tag it records. Every read is bounds-checked against the
+/// file, so a truncated or hostile header can never index out of range
+/// or over-allocate.
+fn validate_header_tag(bytes: &[u8]) -> Result<(u64, String), StoreError> {
     if bytes.len() < STORE_MAGIC.len() || bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
         return Err(StoreError::NotAStore);
     }
@@ -590,19 +884,28 @@ fn validate_header(bytes: &[u8], tag: &str) -> Result<u64, StoreError> {
     }
     let tag_len = take(&mut off, 1)?[0] as usize;
     let found_tag = String::from_utf8_lossy(take(&mut off, tag_len)?).into_owned();
+    Ok((off as u64, found_tag))
+}
+
+/// [`validate_header_tag`], additionally requiring the recorded decider
+/// tag to equal `tag`.
+fn validate_header(bytes: &[u8], tag: &str) -> Result<u64, StoreError> {
+    let (len, found_tag) = validate_header_tag(bytes)?;
     if found_tag != tag {
         return Err(StoreError::DeciderMismatch {
             found: found_tag,
             expected: tag.to_string(),
         });
     }
-    Ok(off as u64)
+    Ok(len)
 }
 
 struct ScannedRecord {
     instance: u64,
     position: u64,
     key: u128,
+    /// True for outcome records (full or ref).
+    outcome: bool,
     /// Payload location, for full records (refs reuse the index entry).
     stored: Option<PayloadLoc>,
     /// Offset one past the record.
@@ -631,20 +934,33 @@ fn scan_record(
         return Err(StoreError::CorruptRecord { offset: off });
     }
     match kind {
-        RECORD_REF => {
-            if !index.contains_key(&key) {
+        RECORD_REF | RECORD_OUTCOME_REF => {
+            let Some(loc) = index.get(&key) else {
                 // A ref to a payload the log never stored: dangling.
                 return Err(StoreError::CorruptRecord { offset: off });
+            };
+            if kind == RECORD_OUTCOME_REF {
+                // An outcome ref must reference outcome-shaped bytes: a
+                // crafted ref at a checkpoint payload would otherwise
+                // pass strict open and then poison compaction (which
+                // rewrites it as an outcome full record that no longer
+                // scans). The loc came from a validated full record, so
+                // the slice is in bounds.
+                let payload = &bytes[loc.offset as usize..(loc.offset + loc.len) as usize];
+                if decode_outcome(payload).is_none() {
+                    return Err(StoreError::CorruptRecord { offset: off });
+                }
             }
             Ok(ScannedRecord {
                 instance,
                 position,
                 key,
+                outcome: kind == RECORD_OUTCOME_REF,
                 stored: None,
                 next: off + RECORD_HEADER_LEN,
             })
         }
-        RECORD_FULL => {
+        RECORD_FULL | RECORD_OUTCOME_FULL => {
             if remaining < RECORD_HEADER_LEN + 8 {
                 return Err(StoreError::Truncated { offset: off });
             }
@@ -657,10 +973,16 @@ fn scan_record(
             if content_key(payload) != key {
                 return Err(StoreError::CorruptRecord { offset: off });
             }
+            if kind == RECORD_OUTCOME_FULL && decode_outcome(payload).is_none() {
+                // Right hash, wrong shape: hand-crafted bytes, never a
+                // bit flip. Still refused before anything trusts it.
+                return Err(StoreError::CorruptRecord { offset: off });
+            }
             Ok(ScannedRecord {
                 instance,
                 position,
                 key,
+                outcome: kind == RECORD_OUTCOME_FULL,
                 stored: Some(PayloadLoc {
                     offset: payload_off,
                     len,
@@ -773,6 +1095,133 @@ mod tests {
             Err(StoreError::DeciderMismatch { .. })
         ));
         CheckpointStore::open(&path, "TypeA").expect("right tag opens");
+        assert_eq!(peek_tag(&path).expect("self-describing"), "TypeA");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn outcome(accept: bool, bits: usize) -> RunOutcome {
+        RunOutcome {
+            accept,
+            classical_bits: bits,
+            peak_qubits: 3,
+            peak_amplitudes: 8,
+        }
+    }
+
+    #[test]
+    fn outcome_records_round_trip_and_dedupe() {
+        let path = temp_path("outcome");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        store.append(0, &checkpoint_at(3)).expect("checkpoint");
+        let o = outcome(true, 40);
+        store.append_outcome(0, 7, &o).expect("outcome");
+        assert!(store.is_finished(0));
+        assert!(!store.is_finished(1));
+        assert_eq!(store.outcome(0).expect("read"), Some(o));
+        assert_eq!(store.outcome(1).expect("none"), None);
+        // The same outcome for another instance is a ref record.
+        let full_size = store.len_bytes();
+        store.append_outcome(5, 9, &o).expect("dedupe");
+        assert_eq!(store.len_bytes() - full_size, RECORD_HEADER_LEN);
+        assert_eq!(store.finished_instances(), 2);
+        assert_eq!(store.instances(), 2, "0 and 5 (0 counted once)");
+        drop(store);
+        // Everything survives a strict reopen.
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        assert_eq!(store.outcome(0).expect("read"), Some(o));
+        assert_eq!(store.outcome(5).expect("read"), Some(o));
+        assert_eq!(store.latest_position(0), Some(3), "checkpoint kept too");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_keeps_only_latest_checkpoints_and_outcomes() {
+        let path = temp_path("compact");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        // Instance 0: finished (3 superseded checkpoints + outcome).
+        // Instance 1: unfinished (2 checkpoints). Instance 2: outcome only.
+        for tokens in [2usize, 4, 6] {
+            store.append(0, &checkpoint_at(tokens)).expect("append");
+        }
+        let done = outcome(false, 17);
+        store.append_outcome(0, 8, &done).expect("outcome");
+        store.append(1, &checkpoint_at(5)).expect("append");
+        let latest_cp = checkpoint_at(9);
+        store.append(1, &latest_cp).expect("append");
+        store.append_outcome(2, 4, &outcome(true, 9)).expect("out");
+        let bytes_before = store.len_bytes();
+        let report = store.compact().expect("compact");
+        assert_eq!(report.bytes_before, bytes_before);
+        assert_eq!(report.records_before, 7);
+        assert_eq!(report.records_after, 3, "one record per instance");
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(store.len_bytes(), report.bytes_after);
+        // The live view is intact through the handle…
+        assert_eq!(store.outcome(0).expect("read"), Some(done));
+        assert_eq!(store.latest(1).expect("read"), Some(latest_cp.clone()));
+        assert_eq!(store.latest_position(0), None, "superseded by the outcome");
+        drop(store);
+        // …and through a strict reopen of the rewritten file.
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        assert_eq!(store.records(), 3);
+        assert_eq!(store.outcome(0).expect("read"), Some(done));
+        assert_eq!(store.outcome(2).expect("read"), Some(outcome(true, 9)));
+        assert_eq!(store.latest(1).expect("read"), Some(latest_cp));
+        // Compacting twice is a fixed point (byte-identical log).
+        let bytes = std::fs::read(&path).expect("read");
+        store.compact().expect("recompact");
+        drop(store);
+        assert_eq!(std::fs::read(&path).expect("read"), bytes);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crafted_cross_kind_outcome_refs_are_rejected() {
+        let path = temp_path("cross-ref");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        let cp = checkpoint_at(4);
+        let key = store.append(0, &cp).expect("checkpoint");
+        drop(store);
+        // Hand-craft an outcome *ref* record whose key points at the
+        // checkpoint payload (header checksum computed honestly, so only
+        // the cross-kind validation can catch it). Strict open must
+        // refuse — otherwise compaction would rewrite the checkpoint
+        // bytes as an outcome full record that no longer scans.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let valid_len = bytes.len() as u64;
+        bytes.push(RECORD_OUTCOME_REF);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&record_header_check(RECORD_OUTCOME_REF, 0, 4, key).to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            CheckpointStore::open_for::<StoreEverything>(&path),
+            Err(StoreError::CorruptRecord { .. })
+        ));
+        // Recovery drops the crafted record and keeps the real one.
+        let (mut store, report) =
+            CheckpointStore::recover_for::<StoreEverything>(&path).expect("recover");
+        assert_eq!(store.len_bytes(), valid_len);
+        assert!(report.dropped_bytes > 0);
+        assert!(!store.is_finished(0));
+        assert_eq!(store.latest(0).expect("read"), Some(cp));
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_file_opens_by_header_tag() {
+        let path = temp_path("compact-file");
+        let mut store = CheckpointStore::create(&path, "SomeTag").expect("create");
+        let cp = checkpoint_at(4);
+        store.append(0, &cp).expect("a");
+        store.append(0, &checkpoint_at(6)).expect("b");
+        drop(store);
+        let report = CheckpointStore::compact_file(&path).expect("compacts untagged");
+        assert_eq!(report.records_before, 2);
+        assert_eq!(report.records_after, 1);
+        CheckpointStore::open(&path, "SomeTag").expect("still strict-openable");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,4 +1,4 @@
-//! The persistent checkpoint store's contract (DESIGN.md §8), pinned
+//! The persistent checkpoint store's contract (DESIGN.md §8–§9), pinned
 //! end to end:
 //!
 //! * **Crash recovery** — a sweep killed at *any* token position (every
@@ -6,12 +6,19 @@
 //!   from nothing but the store file, produces a `BatchReport`
 //!   `==`-identical to the uninterrupted run — on the dense, parallel,
 //!   sparse and adaptive backends.
+//! * **Outcome records** — finished instances persist their final
+//!   `RunOutcome`; a resume *skips* them (zero re-fed tokens, asserted
+//!   by per-instance stream metering) instead of replaying from their
+//!   last checkpoint.
+//! * **Compaction** — `compact` rewrites the log to one record per
+//!   instance via an atomic rename; a subsequent strict `open` + resume
+//!   is bit-exact, on all four backends.
 //! * **Robustness** — truncated files, bit-flipped bytes (anywhere:
-//!   header, record headers, payloads), unknown format versions, wrong
-//!   decider-type tags, overflowed length fields, trailing garbage and
-//!   zero-length files all return errors. No input panics, no input
-//!   over-allocates, and `recover` always salvages the longest valid
-//!   record prefix.
+//!   header, record headers, checkpoint *and outcome* payloads), unknown
+//!   format versions, wrong decider-type tags, overflowed length fields,
+//!   trailing garbage and zero-length files all return errors. No input
+//!   panics, no input over-allocates, and `recover` always salvages the
+//!   longest valid record prefix.
 //!
 //! CI runs this suite under `--release`.
 
@@ -19,8 +26,8 @@ use onlineq::core::sweep::{complement_sweep_in, complement_sweep_resumable_in};
 use onlineq::lang::{random_member, random_nonmember, Sym};
 use onlineq::machine::session::{put_u64, ByteReader, CheckpointError};
 use onlineq::machine::{
-    BatchRunner, CheckpointStore, Checkpointable, Session, SessionCheckpoint, StoreError,
-    StreamingDecider, STORE_MAGIC,
+    BatchRunner, CheckpointStore, Checkpointable, RunOutcome, Session, SessionCheckpoint,
+    StoreError, StreamingDecider, STORE_MAGIC,
 };
 use onlineq::quantum::{
     AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector,
@@ -113,9 +120,11 @@ fn checkpoint_at(tokens: usize) -> SessionCheckpoint {
     s.suspend()
 }
 
-/// A store with a few records (including a dedupe ref), plus the byte
-/// offsets at which each append left the file — i.e. the valid
-/// truncation boundaries.
+/// A store with a few records of every kind — checkpoint full + dedupe
+/// ref, outcome full + dedupe ref — plus the byte offsets at which each
+/// append left the file, i.e. the valid truncation boundaries. The
+/// truncation and bit-flip batteries walk every byte of this file, so
+/// outcome records face the same hostile inputs checkpoints do.
 fn build_store(name: &str) -> (PathBuf, Vec<u64>) {
     let path = temp_path(name);
     let mut store = CheckpointStore::create_for::<TallyDecider>(&path).expect("create");
@@ -127,6 +136,20 @@ fn build_store(name: &str) -> (PathBuf, Vec<u64>) {
         boundaries.push(store.len_bytes());
     }
     // Instance 2 re-persists bytes instance 1 already wrote: a ref record.
+    let done = RunOutcome {
+        accept: true,
+        classical_bits: 128,
+        peak_qubits: 0,
+        peak_amplitudes: 0,
+    };
+    for instance in [0u64, 1] {
+        // Instance 0: outcome full record; instance 1: same outcome
+        // bytes, so an outcome *ref* record.
+        store
+            .append_outcome(instance, 8 + instance, &done)
+            .expect("outcome");
+        boundaries.push(store.len_bytes());
+    }
     drop(store);
     (path, boundaries)
 }
@@ -271,8 +294,176 @@ fn repeated_crashes_make_progress_and_finish() {
 }
 
 // ---------------------------------------------------------------------
-// Robustness: truncation, bit flips, versions, tags, overflow
+// Outcome records: skip-not-replay accounting and compaction identity
 // ---------------------------------------------------------------------
+
+/// A symbol stream that meters how many tokens were actually pulled —
+/// the accounting instrument for the skip-not-replay contract.
+struct MeteredStream<'a> {
+    inner: std::vec::IntoIter<Sym>,
+    pulled: &'a std::sync::atomic::AtomicU64,
+}
+
+impl Iterator for MeteredStream<'_> {
+    type Item = Sym;
+
+    fn next(&mut self) -> Option<Sym> {
+        let sym = self.inner.next();
+        if sym.is_some() {
+            self.pulled
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        sym
+    }
+}
+
+/// The tentpole accounting property: an instance whose outcome is in
+/// the store is *skipped* on resume — its task is never built and not
+/// one token of its stream is re-derived or re-fed, proven by metering
+/// every stream pull.
+#[test]
+fn finished_instances_are_never_refed_tokens_on_resume() {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    let words = seeded_words(6, 0xFACE);
+    let reference = complement_sweep_in::<StateVector>(&words, 0xFEED, &BatchRunner::serial());
+    let path = temp_path("accounting");
+    let tag = "ComplementRecognizer";
+    let pulled: Vec<AtomicU64> = (0..words.len()).map(|_| AtomicU64::new(0)).collect();
+    let built = AtomicUsize::new(0);
+    let task = |i: usize| {
+        built.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(onlineq::core::derive_seed(0xFEED, i));
+        (
+            onlineq::core::ComplementRecognizer::<StateVector>::new_in(&mut rng),
+            MeteredStream {
+                inner: words[i].clone().into_iter(),
+                pulled: &pulled[i],
+            },
+        )
+    };
+    // Crash partway: some instances finish, some are left mid-stream.
+    let mut store = CheckpointStore::create(&path, tag).expect("create");
+    let crashed = BatchRunner::serial()
+        .run_resumable_budgeted(words.len(), 4, &mut store, 70, task)
+        .expect("no store errors");
+    assert_eq!(crashed, None, "budget 70 must crash the ~180-token sweep");
+    let finished: Vec<usize> = (0..words.len())
+        .filter(|&i| store.is_finished(i as u64))
+        .collect();
+    assert!(
+        !finished.is_empty() && finished.len() < words.len(),
+        "the crash must split the fleet: {finished:?}"
+    );
+    // Resume to completion with fresh meters: finished instances must
+    // contribute zero pulls and zero task builds.
+    for p in &pulled {
+        p.store(0, Ordering::Relaxed);
+    }
+    built.store(0, Ordering::Relaxed);
+    drop(store);
+    let (mut store, _) = CheckpointStore::recover(&path, tag).expect("recover");
+    let resumed = BatchRunner::serial()
+        .run_resumable(words.len(), 4, &mut store, task)
+        .expect("resume");
+    assert_eq!(resumed, reference);
+    for &i in &finished {
+        assert_eq!(
+            pulled[i].load(Ordering::Relaxed),
+            0,
+            "instance {i} finished before the crash yet was re-fed"
+        );
+    }
+    assert_eq!(
+        built.load(Ordering::Relaxed),
+        words.len() - finished.len(),
+        "tasks are built only for unfinished instances"
+    );
+    // A second resume needs nothing at all: every instance is finished,
+    // so a zero-token budget still completes and nothing is pulled.
+    for p in &pulled {
+        p.store(0, Ordering::Relaxed);
+    }
+    built.store(0, Ordering::Relaxed);
+    let replay = BatchRunner::serial()
+        .run_resumable_budgeted(words.len(), 4, &mut store, 0, task)
+        .expect("no store errors")
+        .expect("zero tokens suffice: everything is finished");
+    assert_eq!(replay, reference);
+    assert_eq!(built.load(Ordering::Relaxed), 0, "no task built at all");
+    let total_pulled: u64 = pulled.iter().map(|p| p.load(Ordering::Relaxed)).sum();
+    assert_eq!(total_pulled, 0, "zero replayed tokens, fleet-wide");
+    cleanup(&path);
+}
+
+/// Compaction never changes what a resume computes: crash → recover →
+/// `compact` → strict reopen → resume is `==`-identical to the
+/// uninterrupted sweep, on all four backends — and the compacted file
+/// is smaller than the resume-heavy original.
+#[test]
+fn resume_after_compaction_is_identical_on_all_backends() {
+    fn check<B: QuantumBackend>(name: &str) {
+        let words = seeded_words(4, 0xC0DE);
+        let reference = complement_sweep_in::<B>(&words, 0xFEED, &BatchRunner::serial());
+        let path = temp_path(&format!("compact-{name}"));
+        let tag = "ComplementRecognizer";
+        let mut store = Some(CheckpointStore::create(&path, tag).expect("create"));
+        // Several crash/resume rounds pile up superseded checkpoints.
+        let report = loop {
+            let mut s = store.take().expect("store");
+            match complement_sweep_resumable_in::<B>(
+                &words,
+                0xFEED,
+                &BatchRunner::serial(),
+                3,
+                &mut s,
+                40,
+            )
+            .expect("no store errors")
+            {
+                Some(report) => {
+                    store = Some(s);
+                    break report;
+                }
+                None => {
+                    drop(s);
+                    let (mut s, _) = CheckpointStore::recover(&path, tag).expect("recover");
+                    // Compact mid-recovery too: resumes must not care.
+                    s.compact().expect("compact mid-sweep");
+                    store = Some(s);
+                }
+            }
+        };
+        assert_eq!(report, reference, "{name}: first completion");
+        let mut s = store.take().expect("store");
+        let heavy = s.len_bytes();
+        let compaction = s.compact().expect("compact completed store");
+        assert!(
+            compaction.bytes_after < heavy,
+            "{name}: {heavy} -> {} bytes",
+            compaction.bytes_after
+        );
+        drop(s);
+        // The compacted file strict-opens and resumes bit-exactly.
+        let mut s = CheckpointStore::open(&path, tag).expect("strict open after compact");
+        assert_eq!(s.finished_instances(), words.len());
+        let resumed = complement_sweep_resumable_in::<B>(
+            &words,
+            0xFEED,
+            &BatchRunner::serial(),
+            3,
+            &mut s,
+            0,
+        )
+        .expect("no store errors")
+        .expect("all finished: zero tokens needed");
+        assert_eq!(resumed, reference, "{name}: resume after compaction");
+        cleanup(&path);
+    }
+    check::<StateVector>("dense");
+    check::<ParallelStateVector>("parallel-dense");
+    check::<SparseState>("sparse");
+    check::<AdaptiveState>("adaptive");
+}
 
 #[test]
 fn zero_length_and_foreign_files_are_not_stores() {
