@@ -85,10 +85,38 @@ fn bench_dense_vs_sparse_backend(c: &mut Criterion) {
     group.finish();
 }
 
+/// SIMD dispatch on vs forced-scalar for the dense kernel hot loops (the
+/// Hadamard sweep plus the diffusion axpy), at sizes spanning the
+/// `PARALLEL_THRESHOLD` seam. Criterion bench binaries run their targets
+/// sequentially, so toggling the process-global `simd::force` between the
+/// two arms is safe here.
+fn bench_simd_vs_scalar(c: &mut Criterion) {
+    use oqsc_quantum::{simd, SimdLevel, StateVector};
+    let mut group = c.benchmark_group("ablation_simd_dense");
+    for n in [14usize, 16, 18] {
+        let qs: Vec<usize> = (0..n).collect();
+        for (arm, level) in [("simd", None), ("scalar", Some(SimdLevel::Scalar))] {
+            group.bench_with_input(BenchmarkId::new(arm, n), &qs, |b, qs| {
+                simd::force(level);
+                let mirror = StateVector::uniform(qs.len());
+                let mut s = StateVector::uniform(qs.len());
+                b.iter(|| {
+                    s.apply_hadamard_all(qs);
+                    s.reflect_about(&mirror);
+                    s.prob_one(0)
+                });
+                simd::force(None);
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_structured_vs_strict,
     bench_bit_vs_block,
-    bench_dense_vs_sparse_backend
+    bench_dense_vs_sparse_backend,
+    bench_simd_vs_scalar
 );
 criterion_main!(benches);

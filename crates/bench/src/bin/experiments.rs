@@ -96,6 +96,8 @@ struct Cli {
     of: Option<usize>,
     compact: Option<std::path::PathBuf>,
     break_locks: bool,
+    bench_json: Option<std::path::PathBuf>,
+    bench_reduced: bool,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -105,6 +107,7 @@ fn usage_and_exit(code: i32) -> ! {
         "                   [--processes P] [--store PREFIX [--resume]] [--checkpoint-every N]"
     );
     println!("       experiments --compact PREFIX [--break-locks]");
+    println!("       experiments --bench-json PATH [--bench-reduced]");
     println!(
         "  --workers N            batch workers, 1..={MAX_WORKERS} (default: available cores)"
     );
@@ -125,6 +128,9 @@ fn usage_and_exit(code: i32) -> ! {
     println!("  --compact PREFIX       rewrite each store under PREFIX to one record per");
     println!("                         instance (atomic rename); resumes stay bit-identical");
     println!("  --break-locks          with --compact: clear orphaned .lock files first");
+    println!("  --bench-json PATH      run the SIMD kernel micro-benchmarks (scalar vs");
+    println!("                         auto dispatch) and write the JSON record to PATH");
+    println!("  --bench-reduced        with --bench-json: shrink sizes for a CI smoke run");
     std::process::exit(code);
 }
 
@@ -167,6 +173,8 @@ fn parse_cli() -> Cli {
         of: None,
         compact: None,
         break_locks: false,
+        bench_json: None,
+        bench_reduced: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -235,6 +243,11 @@ fn parse_cli() -> Cli {
                 raw => bad_value("--compact", raw, "a store path prefix"),
             },
             "--break-locks" => cli.break_locks = true,
+            "--bench-json" => match args.next() {
+                Some(p) if !p.is_empty() => cli.bench_json = Some(p.into()),
+                raw => bad_value("--bench-json", raw, "an output path"),
+            },
+            "--bench-reduced" => cli.bench_reduced = true,
             "--worker" => cli.worker = true,
             "--shard" => {
                 cli.shard = Some(parse_num(
@@ -266,6 +279,25 @@ fn parse_cli() -> Cli {
         if let Some(n) = cli.checkpoint_every {
             cli.schedule = SessionSchedule::MigrateEvery(n);
         }
+    }
+    // Bench-record mode stands alone: it times kernels, nothing else.
+    if cli.bench_json.is_some() {
+        for (set, flag) in [
+            (cli.sweep.is_some(), "--sweep"),
+            (cli.compact.is_some(), "--compact"),
+            (cli.workers.is_some(), "--workers"),
+            (cli.checkpoint_every.is_some(), "--checkpoint-every"),
+            (cli.store.is_some(), "--store"),
+        ] {
+            if set {
+                eprintln!("error: --bench-json cannot be combined with {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.bench_reduced && cli.bench_json.is_none() {
+        eprintln!("error: --bench-reduced requires --bench-json");
+        std::process::exit(2);
     }
     // Compact mode stands alone: it reads stores, never runs sweeps.
     if cli.compact.is_some() {
@@ -450,6 +482,19 @@ fn run_sweep(cli: &Cli) -> i32 {
     0
 }
 
+/// Runs the SIMD kernel micro-benchmark suite (scalar vs auto dispatch)
+/// and writes the machine-readable record to `path`.
+fn run_bench_record(path: &std::path::Path, reduced: bool) -> i32 {
+    let json = oqsc_bench::run_record(oqsc_bench::RecordOpts { reduced });
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: writing {}: {e}", path.display());
+        return 1;
+    }
+    println!("wrote bench record to {}", path.display());
+    print!("{json}");
+    0
+}
+
 /// Compacts every checkpoint store under `prefix` (see the module docs).
 fn run_compact(prefix: &std::path::Path, break_locks: bool) -> i32 {
     let files = match find_store_files(prefix) {
@@ -501,6 +546,9 @@ fn run_compact(prefix: &std::path::Path, break_locks: bool) -> i32 {
 
 fn main() {
     let cli = parse_cli();
+    if let Some(path) = &cli.bench_json {
+        std::process::exit(run_bench_record(path, cli.bench_reduced));
+    }
     if let Some(prefix) = &cli.compact {
         std::process::exit(run_compact(prefix, cli.break_locks));
     }

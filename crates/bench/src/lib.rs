@@ -15,12 +15,15 @@
 //! measures the batch and parallel-dense paths against the serial one.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod experiments;
 pub mod pool;
+pub mod record;
 
 pub use experiments::*;
 pub use pool::{
     emit_outcomes, find_store_files, rows_from_outcomes, rows_from_reports, worker_outcomes,
     PoolError, PoolRunOpts, ProcessPool, ShardId, SweepRows, SweepSpec, WORKER_CRASH_EXIT,
 };
+pub use record::{run_record, RecordOpts};

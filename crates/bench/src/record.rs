@@ -1,0 +1,282 @@
+//! Machine-readable micro-benchmark records for the SIMD kernel layer.
+//!
+//! `experiments --bench-json PATH` runs a small fixed suite of dense-kernel
+//! micro-benchmarks twice — once with the SIMD dispatch forced to scalar,
+//! once with auto-detection — and writes one JSON document describing both
+//! runs plus the derived scalar/SIMD speedups. The committed
+//! `BENCH_throughput.json` at the repo root is one such record; CI re-runs
+//! the suite at reduced size and diffs the schema (keys, not timings)
+//! against it, so the file can never silently drift from the producer.
+//!
+//! The format is hand-rolled (no serde in the dependency budget) and
+//! deliberately timestamp-free: the same binary on the same host produces
+//! structurally identical output, and timings are the only thing that
+//! varies between runs.
+//!
+//! Schema (`oqsc-bench-record/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "oqsc-bench-record/v1",
+//!   "host": { "arch": "...", "simd": "avx2", "threads": 1 },
+//!   "results": [
+//!     { "bench": "gate_sweep_dense", "qubits": 16, "mode": "scalar",
+//!       "median_ns": 1, "min_ns": 1, "max_ns": 1,
+//!       "samples": 7, "iters": 3 }
+//!   ],
+//!   "derived": [
+//!     { "bench": "gate_sweep_dense", "qubits": 16, "speedup": 1.50 }
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup` is `scalar_median_ns / simd_median_ns` for the same
+//! `(bench, qubits)` pair; on a host with no usable SIMD both modes run the
+//! identical scalar code and the ratio hovers around 1.0.
+
+use oqsc_quantum::{simd, Complex, QuantumBackend, SimdLevel, StateVector};
+use std::time::Instant;
+
+/// Options for one record run.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordOpts {
+    /// Shrink problem sizes and sample counts so the suite finishes in a
+    /// few seconds — the CI smoke setting. Timings from a reduced run are
+    /// not comparable to a full run; only the schema is.
+    pub reduced: bool,
+}
+
+/// Per-iteration timing statistics for one `(bench, qubits, mode)` cell.
+struct Timing {
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    samples: usize,
+    iters: u32,
+}
+
+/// One row of the `results` array.
+struct ResultRow {
+    bench: &'static str,
+    qubits: usize,
+    mode: &'static str,
+    timing: Timing,
+}
+
+/// Target wall-clock per timing sample, full vs reduced.
+const SAMPLE_TARGET_NS: u64 = 10_000_000;
+const SAMPLE_TARGET_NS_REDUCED: u64 = 1_000_000;
+
+/// Samples per cell, full vs reduced (median over these is reported).
+const SAMPLES: usize = 7;
+const SAMPLES_REDUCED: usize = 3;
+
+/// The acceptance micro-benchmark: a full Hadamard sweep (`H` on every
+/// qubit) over a dense `StateVector` — the hottest dense inner loop in the
+/// A1/A2/A3 pipelines.
+fn gate_sweep_dense(n: usize, iters: u32) -> u64 {
+    let qs: Vec<usize> = (0..n).collect();
+    let mut s = StateVector::uniform(n);
+    let t = Instant::now();
+    for _ in 0..iters {
+        s.apply_hadamard_all(&qs);
+    }
+    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    std::hint::black_box(s.amp(0));
+    ns
+}
+
+/// The amplification axpy family: `reflect_about` plus one `add_scaled`
+/// per iteration (the diffusion step of every Grover-style experiment).
+fn reflect_axpy(n: usize, iters: u32) -> u64 {
+    let mirror = StateVector::uniform(n);
+    let mut s = StateVector::uniform(n);
+    let coeff = Complex::new(0.0, 0.0);
+    let t = Instant::now();
+    for _ in 0..iters {
+        s.reflect_about(&mirror);
+        s.add_scaled(&mirror, coeff);
+    }
+    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    std::hint::black_box(s.amp(0));
+    ns
+}
+
+/// The chunked reduction family: norm, one marginal, and one masked
+/// probability per iteration — everything measurement-side code touches.
+fn reductions_dense(n: usize, iters: u32) -> u64 {
+    let s = StateVector::uniform(n);
+    let mut sink = 0.0f64;
+    let t = Instant::now();
+    for _ in 0..iters {
+        sink += s.norm();
+        sink += s.prob_one(n - 1);
+        sink += s.probability_where(|b| b & 1 == 0);
+    }
+    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    std::hint::black_box(sink);
+    ns
+}
+
+/// Calibrate an iteration count so one sample takes roughly `target_ns`,
+/// then collect `samples` per-iteration timings.
+fn measure(run: fn(usize, u32) -> u64, n: usize, target_ns: u64, samples: usize) -> Timing {
+    let probe = run(n, 1).max(1);
+    let iters = u32::try_from((target_ns / probe).clamp(1, 100_000)).expect("clamped");
+    let mut per_iter: Vec<u64> = (0..samples)
+        .map(|_| run(n, iters) / u64::from(iters))
+        .collect();
+    per_iter.sort_unstable();
+    Timing {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        samples,
+        iters,
+    }
+}
+
+/// The benchmark suite: `(name, runner, full sizes, reduced sizes)`.
+type Suite = [(
+    &'static str,
+    fn(usize, u32) -> u64,
+    &'static [usize],
+    &'static [usize],
+); 3];
+
+const SUITE: Suite = [
+    ("gate_sweep_dense", gate_sweep_dense, &[14, 16, 18], &[10]),
+    ("reflect_axpy", reflect_axpy, &[16], &[10]),
+    ("reductions_dense", reductions_dense, &[16], &[10]),
+];
+
+/// Restores automatic SIMD dispatch even if a benchmark panics.
+struct ForceGuard;
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        simd::force(None);
+    }
+}
+
+/// Run the full suite under both dispatch modes and return the JSON record.
+///
+/// The scalar pass runs first (under `simd::force(Some(Scalar))`), then the
+/// auto pass; dispatch is restored to auto-detection before returning.
+pub fn run_record(opts: RecordOpts) -> String {
+    let _guard = ForceGuard;
+    let (target_ns, samples) = if opts.reduced {
+        (SAMPLE_TARGET_NS_REDUCED, SAMPLES_REDUCED)
+    } else {
+        (SAMPLE_TARGET_NS, SAMPLES)
+    };
+    let mut results: Vec<ResultRow> = Vec::new();
+    for (mode, level) in [("scalar", Some(SimdLevel::Scalar)), ("simd", None)] {
+        simd::force(level);
+        for (bench, run, full, reduced) in SUITE {
+            let sizes = if opts.reduced { reduced } else { full };
+            for &n in sizes {
+                results.push(ResultRow {
+                    bench,
+                    qubits: n,
+                    mode,
+                    timing: measure(run, n, target_ns, samples),
+                });
+            }
+        }
+    }
+    render_json(&results)
+}
+
+/// Scalar-median / simd-median for every `(bench, qubits)` pair that has
+/// both modes measured.
+fn derived_speedups(results: &[ResultRow]) -> Vec<(&'static str, usize, f64)> {
+    let mut out = Vec::new();
+    for r in results.iter().filter(|r| r.mode == "scalar") {
+        if let Some(s) = results
+            .iter()
+            .find(|s| s.mode == "simd" && s.bench == r.bench && s.qubits == r.qubits)
+        {
+            let ratio = r.timing.median_ns as f64 / s.timing.median_ns.max(1) as f64;
+            out.push((r.bench, r.qubits, ratio));
+        }
+    }
+    out
+}
+
+/// Serialize the record. Keys are emitted in a fixed order so two runs of
+/// the same binary differ only in the measured numbers.
+fn render_json(results: &[ResultRow]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"oqsc-bench-record/v1\",\n");
+    json.push_str(&format!(
+        "  \"host\": {{ \"arch\": \"{}\", \"simd\": \"{}\", \"threads\": {} }},\n",
+        std::env::consts::ARCH,
+        simd::detected().name(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"bench\": \"{}\", \"qubits\": {}, \"mode\": \"{}\", \
+             \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"samples\": {}, \"iters\": {} }}{}\n",
+            r.bench,
+            r.qubits,
+            r.mode,
+            r.timing.median_ns,
+            r.timing.min_ns,
+            r.timing.max_ns,
+            r.timing.samples,
+            r.timing.iters,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"derived\": [\n");
+    let derived = derived_speedups(results);
+    for (i, (bench, qubits, speedup)) in derived.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"bench\": \"{bench}\", \"qubits\": {qubits}, \"speedup\": {speedup:.3} }}{}\n",
+            if i + 1 == derived.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Structural smoke test on the reduced suite: every expected key is
+    /// present and both modes appear for every bench.
+    #[test]
+    fn reduced_record_has_stable_schema() {
+        let json = run_record(RecordOpts { reduced: true });
+        for key in [
+            "\"schema\": \"oqsc-bench-record/v1\"",
+            "\"host\"",
+            "\"arch\"",
+            "\"simd\"",
+            "\"threads\"",
+            "\"results\"",
+            "\"derived\"",
+            "\"median_ns\"",
+            "\"min_ns\"",
+            "\"max_ns\"",
+            "\"samples\"",
+            "\"iters\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        for (bench, _, _, _) in SUITE {
+            for mode in ["scalar", "simd"] {
+                let cell = format!("\"bench\": \"{bench}\", \"qubits\": 10, \"mode\": \"{mode}\"");
+                assert!(json.contains(&cell), "missing {cell} in:\n{json}");
+            }
+        }
+        // Dispatch must be restored after the run.
+        assert_eq!(simd::active(), simd::detected());
+    }
+}

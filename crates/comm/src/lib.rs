@@ -21,6 +21,7 @@
 //! * [`nondet`] — nondeterministic cover complexity (§1 context).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod bcw;
 pub mod bridge;

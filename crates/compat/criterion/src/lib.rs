@@ -12,6 +12,7 @@
 //! crate when a registry is available; no bench-source change is needed.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

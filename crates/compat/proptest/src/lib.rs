@@ -10,6 +10,7 @@
 //! dependency for the real `proptest` when a registry is available.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,6 +11,7 @@
 //! source change is needed.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 /// Low-level uniform bit generation (the `rand` 0.8 `RngCore` subset).
 pub trait RngCore {

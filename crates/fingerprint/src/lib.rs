@@ -16,6 +16,7 @@
 //!   (the space-vs-error ablation of experiment F3).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod equality;
 pub mod modarith;

@@ -17,6 +17,7 @@
 //!   constant).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod amplitude;
 pub mod analysis;

@@ -15,6 +15,7 @@
 //!   seven structural malformations procedures A1/A2 must detect.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod gen;
 pub mod instance;

@@ -38,6 +38,7 @@
 //! * [`space`] — bit-level work-space metering shared by all of them.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod batch;
 pub mod builder;

@@ -345,6 +345,13 @@ impl QuantumBackend for AdaptiveState {
         }
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        match &self.repr {
+            Repr::Sparse(s) => s.probabilities_into(out),
+            Repr::Dense(d) => d.probabilities_into(out),
+        }
+    }
+
     fn collapse_qubit(&mut self, q: usize, outcome: u8) {
         match &mut self.repr {
             Repr::Sparse(s) => s.collapse_qubit(q, outcome),

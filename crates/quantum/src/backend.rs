@@ -179,6 +179,15 @@ pub trait QuantumBackend: Clone + std::fmt::Debug {
     /// The full distribution over basis states.
     fn probabilities(&self) -> Vec<f64>;
 
+    /// Fills `out` with the full distribution over basis states, reusing
+    /// its allocation. Repeated-sampling loops should prefer this over
+    /// [`Self::probabilities`], which allocates `2^n` doubles per call;
+    /// backends with a dense buffer override it to write in place.
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.probabilities());
+    }
+
     /// Measures qubit `q`, collapsing the state; returns the observed bit.
     fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {
         let p1 = self.prob_one(q);
@@ -402,6 +411,10 @@ impl QuantumBackend for StateVector {
 
     fn probabilities(&self) -> Vec<f64> {
         StateVector::probabilities(self)
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        StateVector::probabilities_into(self, out)
     }
 
     fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {

@@ -26,6 +26,9 @@
 //! * [`parallel`] — the parallel dense backend ([`ParallelStateVector`]):
 //!   dense semantics bit-for-bit, `O(2^n)` passes split across scoped
 //!   worker threads above a size threshold;
+//! * [`simd`] — explicit AVX2/NEON kernels for the dense inner loops,
+//!   runtime-dispatched with a scalar reference fallback, bit-for-bit
+//!   equal to the scalar paths (the only module with `unsafe` code);
 //! * [`adaptive`] — the adaptive backend ([`AdaptiveState`]): starts
 //!   sparse, promotes to parallel-dense when the support density crosses a
 //!   deterministic threshold (a pure function of the state);
@@ -46,6 +49,7 @@
 //!   the mechanical lowering overhead is recoverable.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)] // `simd.rs` alone opts back in; see its module docs.
 
 pub mod adaptive;
 pub mod backend;
@@ -58,6 +62,7 @@ pub mod matrix;
 pub mod optimize;
 pub mod par;
 pub mod parallel;
+pub mod simd;
 pub mod snapshot;
 pub mod sparse;
 pub mod state;
@@ -73,6 +78,7 @@ pub use gate::Gate;
 pub use matrix::Matrix;
 pub use optimize::{optimize_circuit, optimize_gates, optimize_strict, OptimizeStats};
 pub use parallel::{ParallelStateVector, PARALLEL_THRESHOLD};
+pub use simd::SimdLevel;
 pub use snapshot::{SnapshotError, StateSnapshot, SNAPSHOT_VERSION};
 pub use sparse::SparseState;
 pub use state::StateVector;

@@ -31,8 +31,28 @@
 //! digit-for-digit" and "adaptive matches dense digit-for-digit"
 //! equivalence pins (tests/backend_pipelines.rs) exact equalities rather
 //! than tolerances.
+//!
+//! *Inside* a block, accumulation is **stratified**: element `j` of a
+//! block adds into lane `j & (REDUCE_LANES − 1)` of [`REDUCE_LANES`]
+//! independent real accumulators folded as `((l0+l1)+l2)+l3` (complex
+//! inner products use [`REDUCE_COMPLEX_LANES`] lanes folded `l0+l1`).
+//! This order is what a 256-bit vector accumulator computes natively, so
+//! the SIMD kernels in [`crate::simd`] reproduce the scalar reductions
+//! bit for bit instead of merely approximately — and on scalar hardware
+//! it breaks the add-latency dependency chain for free. Because
+//! [`REDUCE_CHUNK`] is a multiple of the lane count, an element's lane is
+//! the same under global or in-block indexing, which keeps the sparse
+//! iteration form on the dense digits.
 
 use crate::complex::{Complex, ZERO};
+use crate::simd;
+
+/// Number of stratified complex accumulation lanes for inner products
+/// (re-exported from [`crate::simd`], which defines the kernels that
+/// realize the contract).
+pub use crate::simd::COMPLEX_LANES as REDUCE_COMPLEX_LANES;
+/// Number of stratified real accumulation lanes inside a reduction block.
+pub use crate::simd::LANES as REDUCE_LANES;
 
 /// Block size (in elements) of the chunked floating-point reductions.
 /// A power of two, so block boundaries always align with the `2^q` strides
@@ -151,49 +171,59 @@ where
     partials
 }
 
+/// Stratified sum of `term(base + j, element)` over one block: element `j`
+/// accumulates into lane `j & (REDUCE_LANES − 1)`, and the lanes are folded
+/// as `((l0 + l1) + l2) + l3`. This is the canonical in-block accumulation
+/// order shared by the scalar and SIMD kernels.
+pub fn block_sum_with<T, F: Fn(usize, &T) -> f64>(base: usize, chunk: &[T], term: F) -> f64 {
+    let mut lanes = [0.0f64; REDUCE_LANES];
+    for (j, t) in chunk.iter().enumerate() {
+        lanes[j & (REDUCE_LANES - 1)] += term(base + j, t);
+    }
+    simd::scalar::fold_lanes(lanes)
+}
+
 /// Serial per-block partial sums of `term(index, element)` over
-/// [`REDUCE_CHUNK`]-sized blocks, folded in block order. The canonical
-/// (reference) summation every backend agrees with.
+/// [`REDUCE_CHUNK`]-sized blocks ([`block_sum_with`] inside each block),
+/// folded in block order. The canonical (reference) summation every
+/// backend agrees with.
 pub fn chunked_sum<T, F: Fn(usize, &T) -> f64>(data: &[T], term: F) -> f64 {
     let mut total = 0.0;
     for (ci, chunk) in data.chunks(REDUCE_CHUNK).enumerate() {
-        let base = ci * REDUCE_CHUNK;
-        let mut partial = 0.0;
-        for (i, t) in chunk.iter().enumerate() {
-            partial += term(base + i, t);
-        }
-        total += partial;
+        total += block_sum_with(ci * REDUCE_CHUNK, chunk, &term);
     }
     total
 }
 
 /// [`chunked_sum`] over a *sparse* in-order iteration: `entries` yields
 /// `(global_index, term)` pairs with strictly increasing indices, and the
-/// terms are accumulated into per-[`REDUCE_CHUNK`]-block partials folded
-/// in block order. Bitwise equal to [`chunked_sum`] over the equivalent
-/// dense vector whenever (a) the dense vector's off-support terms are
-/// exactly `+0.0` and (b) all terms are non-negative (so no partial is
-/// `-0.0`): adding `+0.0` to a partial, or an empty block's `+0.0`
-/// partial to the total, never changes a bit. The sparse and adaptive
-/// backends' probability/norm reductions go through here, which is what
-/// keeps them on the dense backend's digits.
+/// terms are accumulated into per-[`REDUCE_CHUNK`]-block stratified
+/// partials folded in block order. Bitwise equal to [`chunked_sum`] over
+/// the equivalent dense vector whenever (a) the dense vector's
+/// off-support terms are exactly `+0.0` and (b) all terms are
+/// non-negative (so no lane is `-0.0`): adding `+0.0` to a lane, or an
+/// empty block's `+0.0` partial to the total, never changes a bit. An
+/// element's stratified lane is `i & (REDUCE_LANES − 1)` under *global*
+/// indexing too, because block bases are multiples of the lane count.
+/// The sparse and adaptive backends' probability/norm reductions go
+/// through here, which is what keeps them on the dense backend's digits.
 pub fn chunked_sum_sparse<I>(entries: I) -> f64
 where
     I: IntoIterator<Item = (usize, f64)>,
 {
     let mut total = 0.0;
-    let mut partial = 0.0;
+    let mut lanes = [0.0f64; REDUCE_LANES];
     let mut block = 0usize;
     for (i, t) in entries {
         let b = i / REDUCE_CHUNK;
         if b != block {
-            total += partial;
-            partial = 0.0;
+            total += simd::scalar::fold_lanes(lanes);
+            lanes = [0.0; REDUCE_LANES];
             block = b;
         }
-        partial += t;
+        lanes[i & (REDUCE_LANES - 1)] += t;
     }
-    total + partial
+    total + simd::scalar::fold_lanes(lanes)
 }
 
 /// Parallel version of [`chunked_sum`]: the per-block partials are
@@ -212,11 +242,7 @@ where
     let partials = par_block_partials(blocks, threads, |b| {
         let base = b * REDUCE_CHUNK;
         let chunk = &data[base..data.len().min(base + REDUCE_CHUNK)];
-        let mut partial = 0.0;
-        for (i, t) in chunk.iter().enumerate() {
-            partial += term(base + i, t);
-        }
-        partial
+        block_sum_with(base, chunk, &term)
     });
     let mut total = 0.0;
     for p in partials {
@@ -225,18 +251,37 @@ where
     total
 }
 
-/// Canonical chunked `Σ |a_i|²` (squared norm) of a dense amplitude slice.
+/// Canonical chunked `Σ |a_i|²` (squared norm) of a dense amplitude slice,
+/// via the dispatched [`simd::block_norm_sqr`] kernel.
 pub fn chunked_norm_sqr(amps: &[Complex]) -> f64 {
-    chunked_sum(amps, |_, a| a.norm_sqr())
+    let mut total = 0.0;
+    for chunk in amps.chunks(REDUCE_CHUNK) {
+        total += simd::block_norm_sqr(chunk);
+    }
+    total
 }
 
 /// Parallel [`chunked_norm_sqr`]; bit-for-bit equal to the serial form.
 pub fn par_chunked_norm_sqr(amps: &[Complex], threads: usize) -> f64 {
-    par_chunked_sum(amps, threads, |_, a| a.norm_sqr())
+    if threads <= 1 || amps.len() <= REDUCE_CHUNK {
+        return chunked_norm_sqr(amps);
+    }
+    let blocks = amps.len().div_ceil(REDUCE_CHUNK);
+    let partials = par_block_partials(blocks, threads, |b| {
+        let base = b * REDUCE_CHUNK;
+        simd::block_norm_sqr(&amps[base..amps.len().min(base + REDUCE_CHUNK)])
+    });
+    let mut total = 0.0;
+    for p in partials {
+        total += p;
+    }
+    total
 }
 
 /// Canonical chunked probability mass of the basis states satisfying
-/// `pred`.
+/// `pred`. Adding a skipped state's `+0.0` to a lane is bitwise identical
+/// to not touching the lane, so this agrees exactly with
+/// [`chunked_prob_mask`] when `pred(b) == (b & mask != 0)`.
 pub fn chunked_prob_where<F: Fn(usize) -> bool>(amps: &[Complex], pred: F) -> f64 {
     chunked_sum(amps, |b, a| if pred(b) { a.norm_sqr() } else { 0.0 })
 }
@@ -253,17 +298,43 @@ where
     )
 }
 
+/// Canonical chunked probability mass of the basis states `b` with
+/// `b & mask != 0`, via the dispatched [`simd::block_prob_mask`] kernel.
+/// Bitwise equal to `chunked_prob_where(amps, |b| b & mask != 0)` — the
+/// single-qubit measurement reduction in vectorizable form.
+pub fn chunked_prob_mask(amps: &[Complex], mask: usize) -> f64 {
+    let mut total = 0.0;
+    for (ci, chunk) in amps.chunks(REDUCE_CHUNK).enumerate() {
+        total += simd::block_prob_mask(ci * REDUCE_CHUNK, chunk, mask);
+    }
+    total
+}
+
+/// Parallel [`chunked_prob_mask`]; bit-for-bit equal to the serial form.
+pub fn par_chunked_prob_mask(amps: &[Complex], threads: usize, mask: usize) -> f64 {
+    if threads <= 1 || amps.len() <= REDUCE_CHUNK {
+        return chunked_prob_mask(amps, mask);
+    }
+    let blocks = amps.len().div_ceil(REDUCE_CHUNK);
+    let partials = par_block_partials(blocks, threads, |b| {
+        let base = b * REDUCE_CHUNK;
+        simd::block_prob_mask(base, &amps[base..amps.len().min(base + REDUCE_CHUNK)], mask)
+    });
+    let mut total = 0.0;
+    for p in partials {
+        total += p;
+    }
+    total
+}
+
 /// Canonical chunked inner product `⟨a|b⟩` of two equal-length dense
-/// amplitude slices: complex per-block partials folded in block order.
+/// amplitude slices: per-block complex partials ([`simd::block_inner`],
+/// stratified over [`REDUCE_COMPLEX_LANES`] lanes) folded in block order.
 pub fn chunked_inner(a: &[Complex], b: &[Complex]) -> Complex {
     debug_assert_eq!(a.len(), b.len());
     let mut total = ZERO;
     for (ca, cb) in a.chunks(REDUCE_CHUNK).zip(b.chunks(REDUCE_CHUNK)) {
-        let mut partial = ZERO;
-        for (x, y) in ca.iter().zip(cb) {
-            partial += x.conj() * *y;
-        }
-        total += partial;
+        total += simd::block_inner(ca, cb);
     }
     total
 }
@@ -278,11 +349,7 @@ pub fn par_chunked_inner(a: &[Complex], b: &[Complex], threads: usize) -> Comple
     let partials = par_block_partials(blocks, threads, |bi| {
         let base = bi * REDUCE_CHUNK;
         let end = a.len().min(base + REDUCE_CHUNK);
-        let mut partial = ZERO;
-        for (x, y) in a[base..end].iter().zip(&b[base..end]) {
-            partial += x.conj() * *y;
-        }
-        partial
+        simd::block_inner(&a[base..end], &b[base..end])
     });
     let mut total = ZERO;
     for p in partials {
@@ -391,6 +458,38 @@ mod tests {
             chunked_sum_sparse(std::iter::empty()).to_bits(),
             0.0f64.to_bits()
         );
+    }
+
+    #[test]
+    fn prob_mask_matches_prob_where_bitwise() {
+        let amps = ramp(2 * REDUCE_CHUNK + 31);
+        for &mask in &[1usize, 2, 1 << 5, (1 << 13) | 1, 3] {
+            let via_pred = chunked_prob_where(&amps, |b| b & mask != 0);
+            let via_mask = chunked_prob_mask(&amps, mask);
+            assert_eq!(via_pred.to_bits(), via_mask.to_bits(), "mask={mask}");
+            for threads in [2usize, 7] {
+                let par = par_chunked_prob_mask(&amps, threads, mask);
+                assert_eq!(
+                    via_mask.to_bits(),
+                    par.to_bits(),
+                    "mask={mask} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_sum_with_stratifies_by_in_block_index() {
+        // Lane assignment is j & 3: four elements landing in four distinct
+        // lanes sum independently before the canonical fold.
+        let chunk = [1.0f64, 2.0, 4.0, 8.0, 16.0];
+        let s = block_sum_with(0, &chunk, |_, t| *t);
+        // lanes: [1+16, 2, 4, 8] → ((17+2)+4)+8 = 31.
+        assert_eq!(s, 31.0);
+        // The base offset feeds the term's global index, not the lane.
+        let idx_sum = block_sum_with(REDUCE_CHUNK, &chunk, |i, _| i as f64);
+        let expected: f64 = (0..5).map(|j| (REDUCE_CHUNK + j) as f64).sum();
+        assert_eq!(idx_sum, expected);
     }
 
     #[test]

@@ -29,8 +29,9 @@ use crate::complex::{Complex, ZERO};
 use crate::gate::Gate;
 use crate::matrix::Matrix;
 use crate::par;
+use crate::simd;
 use crate::snapshot::{SnapshotError, StateSnapshot};
-use crate::state::{apply_single_block, apply_single_pairs, StateVector};
+use crate::state::StateVector;
 use rand::Rng;
 
 /// Dimension (amplitude count) below which [`ParallelStateVector`] runs
@@ -155,7 +156,10 @@ impl QuantumBackend for ParallelStateVector {
             "cannot normalize the zero vector"
         );
         let inv = 1.0 / norm;
-        self.for_each_amp(|_, a| *a = a.scale(inv));
+        let threads = self.effective_threads();
+        par::for_each_chunk_mut(self.inner.amplitudes_mut(), 1, threads, |_, chunk| {
+            simd::scale(chunk, inv)
+        });
     }
 
     fn inner(&self, other: &Self) -> Complex {
@@ -228,11 +232,10 @@ impl QuantumBackend for ParallelStateVector {
         let amps = self.inner.amplitudes_mut();
         if amps.len() / block >= threads {
             // Many independent 2·stride blocks: hand each worker a
-            // contiguous, block-aligned run of them.
+            // contiguous, block-aligned run of them, vectorized by the
+            // same dispatched kernel the dense backend runs.
             par::for_each_chunk_mut(amps, block, threads, |_, chunk| {
-                for b in chunk.chunks_exact_mut(block) {
-                    apply_single_block(b, stride, m);
-                }
+                simd::apply_single_run(chunk, stride, m);
             });
         } else {
             // Few huge blocks (high target qubit): split each block's two
@@ -241,7 +244,7 @@ impl QuantumBackend for ParallelStateVector {
             for b in amps.chunks_exact_mut(block) {
                 let (los, his) = b.split_at_mut(stride);
                 par::for_each_pair_chunk_mut(los, his, threads, |lo_c, hi_c| {
-                    apply_single_pairs(lo_c, hi_c, m)
+                    simd::apply_single_pairs(lo_c, hi_c, m)
                 });
             }
         }
@@ -282,10 +285,7 @@ impl QuantumBackend for ParallelStateVector {
             par::par_chunked_inner(psi.inner.amplitudes(), self.inner.amplitudes(), threads);
         let psi_amps = psi.inner.amplitudes();
         par::for_each_chunk_mut(self.inner.amplitudes_mut(), 1, threads, |offset, chunk| {
-            let ps = &psi_amps[offset..offset + chunk.len()];
-            for (a, &p) in chunk.iter_mut().zip(ps) {
-                *a = overlap * p * 2.0 - *a;
-            }
+            simd::reflect_about(chunk, &psi_amps[offset..offset + chunk.len()], overlap)
         });
     }
 
@@ -298,19 +298,17 @@ impl QuantumBackend for ParallelStateVector {
         let threads = self.effective_threads();
         let other_amps = other.inner.amplitudes();
         par::for_each_chunk_mut(self.inner.amplitudes_mut(), 1, threads, |offset, chunk| {
-            let os = &other_amps[offset..offset + chunk.len()];
-            for (a, &o) in chunk.iter_mut().zip(os) {
-                *a += coeff * o;
-            }
+            simd::add_scaled(chunk, &other_amps[offset..offset + chunk.len()], coeff)
         });
     }
 
     fn prob_one(&self, q: usize) -> f64 {
         assert!(q < self.num_qubits());
-        let mask = 1usize << q;
-        par::par_chunked_prob_where(self.inner.amplitudes(), self.effective_threads(), |b| {
-            b & mask != 0
-        })
+        par::par_chunked_prob_mask(
+            self.inner.amplitudes(),
+            self.effective_threads(),
+            1usize << q,
+        )
     }
 
     fn probability_where<F: Fn(usize) -> bool + Sync>(&self, pred: F) -> f64 {
@@ -319,6 +317,10 @@ impl QuantumBackend for ParallelStateVector {
 
     fn probabilities(&self) -> Vec<f64> {
         self.inner.probabilities()
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        self.inner.probabilities_into(out);
     }
 
     fn collapse_qubit(&mut self, q: usize, outcome: u8) {

@@ -1,0 +1,1064 @@
+//! Explicit-SIMD kernels for the dense hot loops, behind runtime dispatch.
+//!
+//! This is the only module in the workspace that contains `unsafe` code; the
+//! crate root carries `#![deny(unsafe_code)]` and this file alone opts back
+//! in. Every unsafe block is a `std::arch` intrinsic sequence whose safety
+//! argument is (a) the corresponding CPU feature was verified at runtime by
+//! [`active`] before the call, and (b) all pointer arithmetic stays inside
+//! the bounds of the slices passed in ([`Complex`] is `#[repr(C)]`, so a
+//! `&[Complex]` of length `k` is exactly `2k` packed `f64`s).
+//!
+//! ## The bitwise contract
+//!
+//! The substrate promises that every backend produces bit-for-bit identical
+//! amplitudes and reduction values at any worker count. SIMD must not bend
+//! that promise, so each kernel here is *defined* by its scalar reference
+//! implementation in [`scalar`], and the vector paths are transcriptions
+//! that perform the same IEEE-754 operations on the same values in the same
+//! order per output. Two classes of kernel exist:
+//!
+//! * **Maps** (gate application, axpy, scaling): each output element depends
+//!   only on its own inputs, so vectorizing across elements changes nothing.
+//!   The only identities relied on are bitwise-exact ones: `a·b ≡ b·a`,
+//!   `a + b ≡ b + a`, `a − (−c) ≡ a + c`, and `(−x)·y ≡ −(x·y)`. No FMA is
+//!   ever emitted (every multiply and add is a separate correctly-rounded
+//!   intrinsic), matching the scalar code.
+//! * **Reductions** (norms, masked probabilities, inner products): the
+//!   canonical accumulation order *inside* a `REDUCE_CHUNK` block is
+//!   stratified into [`LANES`] independent real lanes (element `j`
+//!   accumulates into lane `j & 3`) folded as `((l0+l1)+l2)+l3`, and
+//!   [`COMPLEX_LANES`] complex lanes (lane `j & 1`, folded `l0+l1`) for
+//!   inner products. The scalar reference uses exactly this order, and a
+//!   256-bit (or paired 128-bit) accumulator reproduces it natively. Blocks
+//!   themselves are combined in block order by `par.rs`, unchanged.
+//!
+//! Dispatch is resolved once per process ([`detected`], honouring the
+//! `OQSC_SIMD` environment variable) with a test/bench override
+//! ([`force`]) that is clamped to what the hardware supports.
+
+#![allow(unsafe_code)]
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Number of stratified real accumulation lanes inside a reduction block.
+///
+/// Element `j` of a block accumulates into lane `j & (LANES - 1)`; the lanes
+/// are folded as `((l0 + l1) + l2) + l3`. Because `REDUCE_CHUNK` is a
+/// multiple of `LANES`, an element's lane is the same whether indexed within
+/// its block or globally.
+pub const LANES: usize = 4;
+
+/// Number of stratified complex accumulation lanes for inner products.
+///
+/// Element `j` accumulates `a[j].conj() * b[j]` into complex lane `j & 1`;
+/// the two lanes are folded as `l0 + l1`.
+pub const COMPLEX_LANES: usize = 2;
+
+/// The instruction-set level a kernel call executes at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar Rust — the reference semantics.
+    Scalar = 1,
+    /// x86-64 AVX2 (4 × f64 per vector).
+    Avx2 = 2,
+    /// AArch64 NEON (2 × f64 per vector).
+    Neon = 3,
+}
+
+impl SimdLevel {
+    /// Stable lower-case name, for logs and bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+}
+
+/// The best level this CPU supports, ignoring any override.
+pub fn supported() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdLevel::Neon;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The level selected at first use: hardware detection, unless the
+/// `OQSC_SIMD` environment variable is `off`/`0`/`scalar`/`none`.
+pub fn detected() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| match std::env::var("OQSC_SIMD") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "off" | "0" | "scalar" | "none" => SimdLevel::Scalar,
+            _ => supported(),
+        },
+        Err(_) => supported(),
+    })
+}
+
+/// Process-wide override installed by [`force`]; `0` means "no override".
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The level the next kernel call will dispatch to.
+pub fn active() -> SimdLevel {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => SimdLevel::Scalar,
+        2 => SimdLevel::Avx2,
+        3 => SimdLevel::Neon,
+        _ => detected(),
+    }
+}
+
+/// Overrides dispatch for tests and benches. `None` restores automatic
+/// selection. A requested level the hardware cannot run is clamped to
+/// [`SimdLevel::Scalar`]. The override wins over `OQSC_SIMD`.
+pub fn force(level: Option<SimdLevel>) {
+    let v = match level {
+        None => 0,
+        Some(l) => {
+            let l = if l == SimdLevel::Scalar || l == supported() {
+                l
+            } else {
+                SimdLevel::Scalar
+            };
+            l as u8
+        }
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// Applies a 2×2 gate to every `(lo, hi)` pair formed by consecutive
+/// `2·stride` blocks of `amps` (lo half, then hi half). `amps.len()` must be
+/// a multiple of `2·stride`.
+pub fn apply_single_run(amps: &mut [Complex], stride: usize, m: &Matrix) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::apply_single_run(amps, stride, m) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::apply_single_run(amps, stride, m) },
+        _ => scalar::apply_single_run(amps, stride, m),
+    }
+}
+
+/// Applies a 2×2 gate to element-wise pairs of two equal-length halves.
+pub fn apply_single_pairs(los: &mut [Complex], his: &mut [Complex], m: &Matrix) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::apply_single_pairs(los, his, m) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::apply_single_pairs(los, his, m) },
+        _ => scalar::apply_single_pairs(los, his, m),
+    }
+}
+
+/// `dst[i] += coeff * src[i]` (complex axpy).
+pub fn add_scaled(dst: &mut [Complex], src: &[Complex], coeff: Complex) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::add_scaled(dst, src, coeff) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::add_scaled(dst, src, coeff) },
+        _ => scalar::add_scaled(dst, src, coeff),
+    }
+}
+
+/// `dst[i] = overlap * psi[i] * 2.0 - dst[i]` (Grover reflection step).
+pub fn reflect_about(dst: &mut [Complex], psi: &[Complex], overlap: Complex) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::reflect_about(dst, psi, overlap) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::reflect_about(dst, psi, overlap) },
+        _ => scalar::reflect_about(dst, psi, overlap),
+    }
+}
+
+/// `amps[i] = amps[i].scale(s)` (real rescaling, used by normalization).
+pub fn scale(amps: &mut [Complex], s: f64) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::scale(amps, s) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::scale(amps, s) },
+        _ => scalar::scale(amps, s),
+    }
+}
+
+/// `out[i] = amps[i].norm_sqr()` (probability vector fill).
+pub fn norm_sqr_into(amps: &[Complex], out: &mut [f64]) {
+    debug_assert_eq!(amps.len(), out.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::norm_sqr_into(amps, out) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::norm_sqr_into(amps, out) },
+        _ => scalar::norm_sqr_into(amps, out),
+    }
+}
+
+/// Sum of `|a|²` over one block, in the stratified-lane order.
+pub fn block_norm_sqr(chunk: &[Complex]) -> f64 {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::block_norm_sqr(chunk) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::block_norm_sqr(chunk) },
+        _ => scalar::block_norm_sqr(chunk),
+    }
+}
+
+/// Sum of `|a|²` over the elements of one block whose global basis index
+/// (`base + j`) has a non-zero AND with `mask`, in stratified-lane order.
+///
+/// Skipping a non-selected element is bitwise identical to adding `+0.0`
+/// to its lane, because every lane starts at `+0.0` and `|a|²` terms are
+/// never `-0.0`-producing in a way that changes the sum's sign.
+pub fn block_prob_mask(base: usize, chunk: &[Complex], mask: usize) -> f64 {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::block_prob_mask(base, chunk, mask) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::block_prob_mask(base, chunk, mask) },
+        _ => scalar::block_prob_mask(base, chunk, mask),
+    }
+}
+
+/// Sum of `a[j].conj() * b[j]` over one block, in the two-complex-lane
+/// stratified order.
+pub fn block_inner(a: &[Complex], b: &[Complex]) -> Complex {
+    debug_assert_eq!(a.len(), b.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::block_inner(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::block_inner(a, b) },
+        _ => scalar::block_inner(a, b),
+    }
+}
+
+/// Portable reference implementations — the definition of every kernel's
+/// semantics. The vector paths above must match these bit for bit.
+pub mod scalar {
+    use crate::complex::Complex;
+    use crate::complex::ZERO;
+    use crate::matrix::Matrix;
+
+    /// Folds the four stratified lanes in the canonical order.
+    #[inline]
+    pub fn fold_lanes(l: [f64; 4]) -> f64 {
+        ((l[0] + l[1]) + l[2]) + l[3]
+    }
+
+    /// Scalar reference for [`super::apply_single_pairs`].
+    pub fn apply_single_pairs(los: &mut [Complex], his: &mut [Complex], m: &Matrix) {
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        debug_assert_eq!(los.len(), his.len());
+        let pairs = los.len();
+        let his = &mut his[..pairs];
+        for i in 0..pairs {
+            let (a0, a1) = (los[i], his[i]);
+            los[i] = m00 * a0 + m01 * a1;
+            his[i] = m10 * a0 + m11 * a1;
+        }
+    }
+
+    /// Scalar reference for [`super::apply_single_run`].
+    pub fn apply_single_run(amps: &mut [Complex], stride: usize, m: &Matrix) {
+        for block in amps.chunks_exact_mut(stride << 1) {
+            let (los, his) = block.split_at_mut(stride);
+            apply_single_pairs(los, his, m);
+        }
+    }
+
+    /// Scalar reference for [`super::add_scaled`].
+    pub fn add_scaled(dst: &mut [Complex], src: &[Complex], coeff: Complex) {
+        for (a, o) in dst.iter_mut().zip(src) {
+            *a += coeff * *o;
+        }
+    }
+
+    /// Scalar reference for [`super::reflect_about`].
+    pub fn reflect_about(dst: &mut [Complex], psi: &[Complex], overlap: Complex) {
+        for (a, p) in dst.iter_mut().zip(psi) {
+            *a = overlap * *p * 2.0 - *a;
+        }
+    }
+
+    /// Scalar reference for [`super::scale`].
+    pub fn scale(amps: &mut [Complex], s: f64) {
+        for a in amps.iter_mut() {
+            *a = a.scale(s);
+        }
+    }
+
+    /// Scalar reference for [`super::norm_sqr_into`].
+    pub fn norm_sqr_into(amps: &[Complex], out: &mut [f64]) {
+        for (o, a) in out.iter_mut().zip(amps) {
+            *o = a.norm_sqr();
+        }
+    }
+
+    /// Scalar reference for [`super::block_norm_sqr`].
+    pub fn block_norm_sqr(chunk: &[Complex]) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        for (j, a) in chunk.iter().enumerate() {
+            lanes[j & 3] += a.norm_sqr();
+        }
+        fold_lanes(lanes)
+    }
+
+    /// Scalar reference for [`super::block_prob_mask`].
+    pub fn block_prob_mask(base: usize, chunk: &[Complex], mask: usize) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        for (j, a) in chunk.iter().enumerate() {
+            if (base + j) & mask != 0 {
+                lanes[j & 3] += a.norm_sqr();
+            }
+        }
+        fold_lanes(lanes)
+    }
+
+    /// Scalar reference for [`super::block_inner`].
+    pub fn block_inner(a: &[Complex], b: &[Complex]) -> Complex {
+        let mut lanes = [ZERO; 2];
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            lanes[j & 1] += x.conj() * *y;
+        }
+        lanes[0] + lanes[1]
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 transcriptions: 2 complexes (4 × f64) per `__m256d`.
+    //!
+    //! Reductions keep a 4-lane accumulator whose *physical* lanes hold the
+    //! *logical* stratified lanes in the order `[0, 2, 1, 3]` — that is what
+    //! `unpacklo/unpackhi` across two consecutive loads naturally produce —
+    //! and re-map on extraction, so the per-lane addition order is exactly
+    //! the scalar reference's.
+
+    use super::scalar;
+    use crate::complex::Complex;
+    use crate::matrix::Matrix;
+    use std::arch::x86_64::*;
+
+    /// A complex constant in the two broadcast layouts `cmul` consumes.
+    #[derive(Clone, Copy)]
+    struct CVec {
+        /// `[re, im, re, im]`
+        vec: __m256d,
+        /// `[im, re, im, re]`
+        swap: __m256d,
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cvec(c: Complex) -> CVec {
+        CVec {
+            vec: _mm256_setr_pd(c.re, c.im, c.re, c.im),
+            swap: _mm256_setr_pd(c.im, c.re, c.im, c.re),
+        }
+    }
+
+    /// `v * c` per packed complex, bitwise-equal to the scalar product:
+    /// `addsub([vr·cr, vr·ci], [vi·ci, vi·cr]) = [vr·cr − vi·ci, vr·ci + vi·cr]`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmul(v: __m256d, c: CVec) -> __m256d {
+        let t0 = _mm256_mul_pd(_mm256_movedup_pd(v), c.vec);
+        let t1 = _mm256_mul_pd(_mm256_permute_pd(v, 0b1111), c.swap);
+        _mm256_addsub_pd(t0, t1)
+    }
+
+    /// `conj(a) * b` per packed complex. With `t1` sign-flipped on the odd
+    /// lanes, `t0 + t1 = [ar·br + ai·bi, ar·bi − ai·br]`, matching the
+    /// scalar `a.conj() * b` via `x − (−y) ≡ x + y` and `(−x)·y ≡ −(x·y)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn conj_mul(a: __m256d, b: __m256d, sign_odd: __m256d) -> __m256d {
+        let t0 = _mm256_mul_pd(_mm256_movedup_pd(a), b);
+        let t1 = _mm256_mul_pd(_mm256_permute_pd(a, 0b1111), _mm256_permute_pd(b, 0b0101));
+        _mm256_add_pd(t0, _mm256_xor_pd(t1, sign_odd))
+    }
+
+    /// `[n_j, n_{j+2}, n_{j+1}, n_{j+3}]` for four consecutive complexes —
+    /// physical lanes hold logical stratified lanes `[0, 2, 1, 3]`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn norm_sqr4(p: *const f64, j: usize) -> __m256d {
+        let v0 = _mm256_loadu_pd(p.add(2 * j));
+        let v1 = _mm256_loadu_pd(p.add(2 * j + 4));
+        let x = _mm256_mul_pd(v0, v0);
+        let y = _mm256_mul_pd(v1, v1);
+        _mm256_add_pd(_mm256_unpacklo_pd(x, y), _mm256_unpackhi_pd(x, y))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn apply_single_pairs(los: &mut [Complex], his: &mut [Complex], m: &Matrix) {
+        debug_assert_eq!(los.len(), his.len());
+        let pairs = los.len();
+        let m00 = cvec(m[(0, 0)]);
+        let m01 = cvec(m[(0, 1)]);
+        let m10 = cvec(m[(1, 0)]);
+        let m11 = cvec(m[(1, 1)]);
+        let lo_p = los.as_mut_ptr() as *mut f64;
+        let hi_p = his.as_mut_ptr() as *mut f64;
+        let vec_pairs = pairs & !1;
+        let mut i = 0;
+        while i < vec_pairs {
+            let a0 = _mm256_loadu_pd(lo_p.add(2 * i));
+            let a1 = _mm256_loadu_pd(hi_p.add(2 * i));
+            let lo = _mm256_add_pd(cmul(a0, m00), cmul(a1, m01));
+            let hi = _mm256_add_pd(cmul(a0, m10), cmul(a1, m11));
+            _mm256_storeu_pd(lo_p.add(2 * i), lo);
+            _mm256_storeu_pd(hi_p.add(2 * i), hi);
+            i += 2;
+        }
+        if i < pairs {
+            scalar::apply_single_pairs(&mut los[i..], &mut his[i..], m);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn apply_single_run(amps: &mut [Complex], stride: usize, m: &Matrix) {
+        if stride == 1 {
+            apply_single_stride1(amps, m);
+            return;
+        }
+        for block in amps.chunks_exact_mut(stride << 1) {
+            let (los, his) = block.split_at_mut(stride);
+            apply_single_pairs(los, his, m);
+        }
+    }
+
+    /// `stride == 1`: blocks are adjacent `[lo, hi]` complex pairs. Two
+    /// blocks per iteration, de-interleaved across 128-bit halves.
+    #[target_feature(enable = "avx2")]
+    unsafe fn apply_single_stride1(amps: &mut [Complex], m: &Matrix) {
+        let m00 = cvec(m[(0, 0)]);
+        let m01 = cvec(m[(0, 1)]);
+        let m10 = cvec(m[(1, 0)]);
+        let m11 = cvec(m[(1, 1)]);
+        let p = amps.as_mut_ptr() as *mut f64;
+        let blocks = amps.len() >> 1;
+        let vec_blocks = blocks & !1;
+        let mut b = 0;
+        while b < vec_blocks {
+            let v0 = _mm256_loadu_pd(p.add(4 * b));
+            let v1 = _mm256_loadu_pd(p.add(4 * b + 4));
+            let a0 = _mm256_permute2f128_pd(v0, v1, 0x20); // [lo0, lo1]
+            let a1 = _mm256_permute2f128_pd(v0, v1, 0x31); // [hi0, hi1]
+            let lo = _mm256_add_pd(cmul(a0, m00), cmul(a1, m01));
+            let hi = _mm256_add_pd(cmul(a0, m10), cmul(a1, m11));
+            _mm256_storeu_pd(p.add(4 * b), _mm256_permute2f128_pd(lo, hi, 0x20));
+            _mm256_storeu_pd(p.add(4 * b + 4), _mm256_permute2f128_pd(lo, hi, 0x31));
+            b += 2;
+        }
+        if b < blocks {
+            scalar::apply_single_run(&mut amps[(b << 1)..], 1, m);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_scaled(dst: &mut [Complex], src: &[Complex], coeff: Complex) {
+        let n = dst.len().min(src.len());
+        let c = cvec(coeff);
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let sp = src.as_ptr() as *const f64;
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            let d = _mm256_loadu_pd(dp.add(2 * j));
+            let s = _mm256_loadu_pd(sp.add(2 * j));
+            _mm256_storeu_pd(dp.add(2 * j), _mm256_add_pd(d, cmul(s, c)));
+            j += 2;
+        }
+        while j < n {
+            dst[j] += coeff * src[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn reflect_about(dst: &mut [Complex], psi: &[Complex], overlap: Complex) {
+        let n = dst.len().min(psi.len());
+        let c = cvec(overlap);
+        let two = _mm256_set1_pd(2.0);
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let pp = psi.as_ptr() as *const f64;
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            let d = _mm256_loadu_pd(dp.add(2 * j));
+            let p = _mm256_loadu_pd(pp.add(2 * j));
+            let r = _mm256_sub_pd(_mm256_mul_pd(cmul(p, c), two), d);
+            _mm256_storeu_pd(dp.add(2 * j), r);
+            j += 2;
+        }
+        while j < n {
+            dst[j] = overlap * psi[j] * 2.0 - dst[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale(amps: &mut [Complex], s: f64) {
+        let sv = _mm256_set1_pd(s);
+        let p = amps.as_mut_ptr() as *mut f64;
+        let n = amps.len();
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            _mm256_storeu_pd(
+                p.add(2 * j),
+                _mm256_mul_pd(_mm256_loadu_pd(p.add(2 * j)), sv),
+            );
+            j += 2;
+        }
+        while j < n {
+            amps[j] = amps[j].scale(s);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn norm_sqr_into(amps: &[Complex], out: &mut [f64]) {
+        let n = amps.len();
+        let p = amps.as_ptr() as *const f64;
+        let op = out.as_mut_ptr();
+        let vec_n = n & !3;
+        let mut j = 0;
+        while j < vec_n {
+            // Physical order [n0, n2, n1, n3] → natural order via 0b11011000.
+            let ordered = _mm256_permute4x64_pd(norm_sqr4(p, j), 0b11011000);
+            _mm256_storeu_pd(op.add(j), ordered);
+            j += 4;
+        }
+        while j < n {
+            *op.add(j) = amps[j].norm_sqr();
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_norm_sqr(chunk: &[Complex]) -> f64 {
+        let p = chunk.as_ptr() as *const f64;
+        let n = chunk.len();
+        let vec_n = n & !3;
+        let mut acc = _mm256_setzero_pd();
+        let mut j = 0;
+        while j < vec_n {
+            acc = _mm256_add_pd(acc, norm_sqr4(p, j));
+            j += 4;
+        }
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        let mut lanes = [l[0], l[2], l[1], l[3]];
+        while j < n {
+            lanes[j & 3] += chunk[j].norm_sqr();
+            j += 1;
+        }
+        scalar::fold_lanes(lanes)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_prob_mask(base: usize, chunk: &[Complex], mask: usize) -> f64 {
+        let p = chunk.as_ptr() as *const f64;
+        let n = chunk.len();
+        let vec_n = n & !3;
+        let mut acc = _mm256_setzero_pd();
+        // Basis indices in the physical lane order [j, j+2, j+1, j+3].
+        let mut idx = _mm256_set_epi64x(
+            (base + 3) as i64,
+            (base + 1) as i64,
+            (base + 2) as i64,
+            base as i64,
+        );
+        let step = _mm256_set1_epi64x(4);
+        let mvec = _mm256_set1_epi64x(mask as i64);
+        let zero = _mm256_setzero_si256();
+        let mut j = 0;
+        while j < vec_n {
+            let nsq = norm_sqr4(p, j);
+            let is_zero = _mm256_cmpeq_epi64(_mm256_and_si256(idx, mvec), zero);
+            let masked = _mm256_andnot_pd(_mm256_castsi256_pd(is_zero), nsq);
+            acc = _mm256_add_pd(acc, masked);
+            idx = _mm256_add_epi64(idx, step);
+            j += 4;
+        }
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        let mut lanes = [l[0], l[2], l[1], l[3]];
+        while j < n {
+            if (base + j) & mask != 0 {
+                lanes[j & 3] += chunk[j].norm_sqr();
+            }
+            j += 1;
+        }
+        scalar::fold_lanes(lanes)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_inner(a: &[Complex], b: &[Complex]) -> Complex {
+        let n = a.len();
+        let ap = a.as_ptr() as *const f64;
+        let bp = b.as_ptr() as *const f64;
+        let sign_odd = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+        // [even.re, even.im, odd.re, odd.im]
+        let mut acc = _mm256_setzero_pd();
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            let va = _mm256_loadu_pd(ap.add(2 * j));
+            let vb = _mm256_loadu_pd(bp.add(2 * j));
+            acc = _mm256_add_pd(acc, conj_mul(va, vb, sign_odd));
+            j += 2;
+        }
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        let mut lanes = [Complex::new(l[0], l[1]), Complex::new(l[2], l[3])];
+        while j < n {
+            lanes[j & 1] += a[j].conj() * b[j];
+            j += 1;
+        }
+        lanes[0] + lanes[1]
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON transcriptions: 1 complex (2 × f64) per `float64x2_t`.
+    //!
+    //! Reductions keep one accumulator per stratified lane pair, in natural
+    //! logical order, so no extraction permutation is needed.
+
+    use super::scalar;
+    use crate::complex::Complex;
+    use crate::matrix::Matrix;
+    use std::arch::aarch64::*;
+
+    /// A complex constant in the two layouts `cmul` consumes.
+    #[derive(Clone, Copy)]
+    struct CVec {
+        /// `[re, im]`
+        vec: float64x2_t,
+        /// `[im, re]`
+        swap: float64x2_t,
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn cvec(c: Complex) -> CVec {
+        let vec = vld1q_f64([c.re, c.im].as_ptr());
+        CVec {
+            vec,
+            swap: vextq_f64::<1>(vec, vec),
+        }
+    }
+
+    /// `sign` masks for flipping one f64 lane's sign bit via XOR.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn sign_even() -> float64x2_t {
+        vld1q_f64([-0.0f64, 0.0].as_ptr())
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn sign_odd() -> float64x2_t {
+        vld1q_f64([0.0f64, -0.0].as_ptr())
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn feor(a: float64x2_t, b: float64x2_t) -> float64x2_t {
+        vreinterpretq_f64_u64(veorq_u64(
+            vreinterpretq_u64_f64(a),
+            vreinterpretq_u64_f64(b),
+        ))
+    }
+
+    /// `v * c` for one complex: `[vr·cr + (−(vi·ci)), vr·ci + vi·cr]`,
+    /// bitwise-equal to the scalar product via `x − y ≡ x + (−y)`.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn cmul(v: float64x2_t, c: CVec, sign_even: float64x2_t) -> float64x2_t {
+        let t0 = vmulq_f64(vdupq_laneq_f64::<0>(v), c.vec);
+        let t1 = vmulq_f64(vdupq_laneq_f64::<1>(v), c.swap);
+        vaddq_f64(t0, feor(t1, sign_even))
+    }
+
+    /// `conj(a) * b` for one complex: `[ar·br + ai·bi, ar·bi − ai·br]`.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn conj_mul(a: float64x2_t, b: float64x2_t, sign_odd: float64x2_t) -> float64x2_t {
+        let t0 = vmulq_f64(vdupq_laneq_f64::<0>(a), b);
+        let t1 = vmulq_f64(vdupq_laneq_f64::<1>(a), vextq_f64::<1>(b, b));
+        vaddq_f64(t0, feor(t1, sign_odd))
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn apply_single_pairs(los: &mut [Complex], his: &mut [Complex], m: &Matrix) {
+        debug_assert_eq!(los.len(), his.len());
+        let pairs = los.len();
+        let m00 = cvec(m[(0, 0)]);
+        let m01 = cvec(m[(0, 1)]);
+        let m10 = cvec(m[(1, 0)]);
+        let m11 = cvec(m[(1, 1)]);
+        let se = sign_even();
+        let lo_p = los.as_mut_ptr() as *mut f64;
+        let hi_p = his.as_mut_ptr() as *mut f64;
+        for i in 0..pairs {
+            let a0 = vld1q_f64(lo_p.add(2 * i));
+            let a1 = vld1q_f64(hi_p.add(2 * i));
+            let lo = vaddq_f64(cmul(a0, m00, se), cmul(a1, m01, se));
+            let hi = vaddq_f64(cmul(a0, m10, se), cmul(a1, m11, se));
+            vst1q_f64(lo_p.add(2 * i), lo);
+            vst1q_f64(hi_p.add(2 * i), hi);
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn apply_single_run(amps: &mut [Complex], stride: usize, m: &Matrix) {
+        for block in amps.chunks_exact_mut(stride << 1) {
+            let (los, his) = block.split_at_mut(stride);
+            apply_single_pairs(los, his, m);
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn add_scaled(dst: &mut [Complex], src: &[Complex], coeff: Complex) {
+        let n = dst.len().min(src.len());
+        let c = cvec(coeff);
+        let se = sign_even();
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let sp = src.as_ptr() as *const f64;
+        for j in 0..n {
+            let d = vld1q_f64(dp.add(2 * j));
+            let s = vld1q_f64(sp.add(2 * j));
+            vst1q_f64(dp.add(2 * j), vaddq_f64(d, cmul(s, c, se)));
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn reflect_about(dst: &mut [Complex], psi: &[Complex], overlap: Complex) {
+        let n = dst.len().min(psi.len());
+        let c = cvec(overlap);
+        let se = sign_even();
+        let two = vdupq_n_f64(2.0);
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let pp = psi.as_ptr() as *const f64;
+        for j in 0..n {
+            let d = vld1q_f64(dp.add(2 * j));
+            let p = vld1q_f64(pp.add(2 * j));
+            vst1q_f64(dp.add(2 * j), vsubq_f64(vmulq_f64(cmul(p, c, se), two), d));
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn scale(amps: &mut [Complex], s: f64) {
+        let sv = vdupq_n_f64(s);
+        let p = amps.as_mut_ptr() as *mut f64;
+        for j in 0..amps.len() {
+            vst1q_f64(p.add(2 * j), vmulq_f64(vld1q_f64(p.add(2 * j)), sv));
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn norm_sqr_into(amps: &[Complex], out: &mut [f64]) {
+        let n = amps.len();
+        let p = amps.as_ptr() as *const f64;
+        let op = out.as_mut_ptr();
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            let v0 = vld1q_f64(p.add(2 * j));
+            let v1 = vld1q_f64(p.add(2 * j + 2));
+            // vpaddq([re0², im0²], [re1², im1²]) = [n0, n1]
+            vst1q_f64(op.add(j), vpaddq_f64(vmulq_f64(v0, v0), vmulq_f64(v1, v1)));
+            j += 2;
+        }
+        while j < n {
+            *op.add(j) = amps[j].norm_sqr();
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn block_norm_sqr(chunk: &[Complex]) -> f64 {
+        let p = chunk.as_ptr() as *const f64;
+        let n = chunk.len();
+        let vec_n = n & !3;
+        let mut acc01 = vdupq_n_f64(0.0);
+        let mut acc23 = vdupq_n_f64(0.0);
+        let mut j = 0;
+        while j < vec_n {
+            let v0 = vld1q_f64(p.add(2 * j));
+            let v1 = vld1q_f64(p.add(2 * j + 2));
+            let v2 = vld1q_f64(p.add(2 * j + 4));
+            let v3 = vld1q_f64(p.add(2 * j + 6));
+            acc01 = vaddq_f64(acc01, vpaddq_f64(vmulq_f64(v0, v0), vmulq_f64(v1, v1)));
+            acc23 = vaddq_f64(acc23, vpaddq_f64(vmulq_f64(v2, v2), vmulq_f64(v3, v3)));
+            j += 4;
+        }
+        let mut lanes = [
+            vgetq_lane_f64::<0>(acc01),
+            vgetq_lane_f64::<1>(acc01),
+            vgetq_lane_f64::<0>(acc23),
+            vgetq_lane_f64::<1>(acc23),
+        ];
+        while j < n {
+            lanes[j & 3] += chunk[j].norm_sqr();
+            j += 1;
+        }
+        scalar::fold_lanes(lanes)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn block_prob_mask(base: usize, chunk: &[Complex], mask: usize) -> f64 {
+        let p = chunk.as_ptr() as *const f64;
+        let n = chunk.len();
+        let vec_n = n & !3;
+        let mut acc01 = vdupq_n_f64(0.0);
+        let mut acc23 = vdupq_n_f64(0.0);
+        let mvec = vdupq_n_u64(mask as u64);
+        let mut idx01 = vld1q_u64([base as u64, (base + 1) as u64].as_ptr());
+        let mut idx23 = vld1q_u64([(base + 2) as u64, (base + 3) as u64].as_ptr());
+        let step = vdupq_n_u64(4);
+        let mut j = 0;
+        while j < vec_n {
+            let v0 = vld1q_f64(p.add(2 * j));
+            let v1 = vld1q_f64(p.add(2 * j + 2));
+            let v2 = vld1q_f64(p.add(2 * j + 4));
+            let v3 = vld1q_f64(p.add(2 * j + 6));
+            let n01 = vpaddq_f64(vmulq_f64(v0, v0), vmulq_f64(v1, v1));
+            let n23 = vpaddq_f64(vmulq_f64(v2, v2), vmulq_f64(v3, v3));
+            // vtstq: all-ones where (idx & mask) != 0.
+            let hit01 = vtstq_u64(idx01, mvec);
+            let hit23 = vtstq_u64(idx23, mvec);
+            acc01 = vaddq_f64(
+                acc01,
+                vreinterpretq_f64_u64(vandq_u64(hit01, vreinterpretq_u64_f64(n01))),
+            );
+            acc23 = vaddq_f64(
+                acc23,
+                vreinterpretq_f64_u64(vandq_u64(hit23, vreinterpretq_u64_f64(n23))),
+            );
+            idx01 = vaddq_u64(idx01, step);
+            idx23 = vaddq_u64(idx23, step);
+            j += 4;
+        }
+        let mut lanes = [
+            vgetq_lane_f64::<0>(acc01),
+            vgetq_lane_f64::<1>(acc01),
+            vgetq_lane_f64::<0>(acc23),
+            vgetq_lane_f64::<1>(acc23),
+        ];
+        while j < n {
+            if (base + j) & mask != 0 {
+                lanes[j & 3] += chunk[j].norm_sqr();
+            }
+            j += 1;
+        }
+        scalar::fold_lanes(lanes)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn block_inner(a: &[Complex], b: &[Complex]) -> Complex {
+        let n = a.len();
+        let ap = a.as_ptr() as *const f64;
+        let bp = b.as_ptr() as *const f64;
+        let so = sign_odd();
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            acc0 = vaddq_f64(
+                acc0,
+                conj_mul(vld1q_f64(ap.add(2 * j)), vld1q_f64(bp.add(2 * j)), so),
+            );
+            acc1 = vaddq_f64(
+                acc1,
+                conj_mul(
+                    vld1q_f64(ap.add(2 * j + 2)),
+                    vld1q_f64(bp.add(2 * j + 2)),
+                    so,
+                ),
+            );
+            j += 2;
+        }
+        let mut lanes = [
+            Complex::new(vgetq_lane_f64::<0>(acc0), vgetq_lane_f64::<1>(acc0)),
+            Complex::new(vgetq_lane_f64::<0>(acc1), vgetq_lane_f64::<1>(acc1)),
+        ];
+        while j < n {
+            lanes[j & 1] += a[j].conj() * b[j];
+            j += 1;
+        }
+        lanes[0] + lanes[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::FRAC_1_SQRT_2;
+
+    /// Deterministic pseudo-random amplitude buffer (splitmix64).
+    fn buf(len: usize, seed: u64) -> Vec<Complex> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        (0..len)
+            .map(|_| {
+                let re = (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                let im = (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                Complex::new(re, im)
+            })
+            .collect()
+    }
+
+    fn hadamard() -> Matrix {
+        Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::real(FRAC_1_SQRT_2),
+                Complex::real(FRAC_1_SQRT_2),
+                Complex::real(FRAC_1_SQRT_2),
+                Complex::real(-FRAC_1_SQRT_2),
+            ],
+        )
+    }
+
+    fn bits(v: &[Complex]) -> Vec<(u64, u64)> {
+        v.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+    }
+
+    const SIZES: [usize; 8] = [1, 2, 3, 7, 64, 1000, 4096, 5000];
+
+    #[test]
+    fn dispatched_reductions_match_scalar_reference() {
+        for &n in &SIZES {
+            let a = buf(n, 1);
+            let b = buf(n, 2);
+            assert_eq!(
+                block_norm_sqr(&a).to_bits(),
+                scalar::block_norm_sqr(&a).to_bits(),
+                "norm n={n}"
+            );
+            for &(base, mask) in &[(0usize, 1usize), (4096, 6), (8192, 1 << 10)] {
+                assert_eq!(
+                    block_prob_mask(base, &a, mask).to_bits(),
+                    scalar::block_prob_mask(base, &a, mask).to_bits(),
+                    "prob n={n} base={base} mask={mask}"
+                );
+            }
+            let d = block_inner(&a, &b);
+            let s = scalar::block_inner(&a, &b);
+            assert_eq!(d.re.to_bits(), s.re.to_bits(), "inner re n={n}");
+            assert_eq!(d.im.to_bits(), s.im.to_bits(), "inner im n={n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_maps_match_scalar_reference() {
+        let m = hadamard();
+        for &pairs in &SIZES {
+            let (mut lo_a, mut hi_a) = (buf(pairs, 3), buf(pairs, 4));
+            let (mut lo_b, mut hi_b) = (lo_a.clone(), hi_a.clone());
+            apply_single_pairs(&mut lo_a, &mut hi_a, &m);
+            scalar::apply_single_pairs(&mut lo_b, &mut hi_b, &m);
+            assert_eq!(bits(&lo_a), bits(&lo_b), "pairs lo n={pairs}");
+            assert_eq!(bits(&hi_a), bits(&hi_b), "pairs hi n={pairs}");
+
+            let coeff = Complex::new(0.3, -0.7);
+            let src = buf(pairs, 5);
+            let (mut d_a, mut d_b) = (buf(pairs, 6), Vec::new());
+            d_b.extend_from_slice(&d_a);
+            add_scaled(&mut d_a, &src, coeff);
+            scalar::add_scaled(&mut d_b, &src, coeff);
+            assert_eq!(bits(&d_a), bits(&d_b), "axpy n={pairs}");
+
+            let overlap = Complex::new(-0.25, 0.5);
+            let psi = buf(pairs, 7);
+            let (mut r_a, mut r_b) = (buf(pairs, 8), Vec::new());
+            r_b.extend_from_slice(&r_a);
+            reflect_about(&mut r_a, &psi, overlap);
+            scalar::reflect_about(&mut r_b, &psi, overlap);
+            assert_eq!(bits(&r_a), bits(&r_b), "reflect n={pairs}");
+
+            let (mut s_a, mut s_b) = (buf(pairs, 9), Vec::new());
+            s_b.extend_from_slice(&s_a);
+            scale(&mut s_a, 1.337);
+            scalar::scale(&mut s_b, 1.337);
+            assert_eq!(bits(&s_a), bits(&s_b), "scale n={pairs}");
+
+            let probs_src = buf(pairs, 10);
+            let (mut p_a, mut p_b) = (vec![0.0; pairs], vec![0.0; pairs]);
+            norm_sqr_into(&probs_src, &mut p_a);
+            scalar::norm_sqr_into(&probs_src, &mut p_b);
+            let pa: Vec<u64> = p_a.iter().map(|x| x.to_bits()).collect();
+            let pb: Vec<u64> = p_b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pa, pb, "norm_sqr_into n={pairs}");
+        }
+    }
+
+    #[test]
+    fn dispatched_gate_runs_match_scalar_at_all_strides() {
+        let m = hadamard();
+        for &stride in &[1usize, 2, 4, 64, 2048] {
+            for &blocks in &[1usize, 2, 3, 5] {
+                let len = blocks * (stride << 1);
+                let mut a = buf(len, 11);
+                let mut b = a.clone();
+                apply_single_run(&mut a, stride, &m);
+                scalar::apply_single_run(&mut b, stride, &m);
+                assert_eq!(bits(&a), bits(&b), "run stride={stride} blocks={blocks}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_is_clamped_to_hardware() {
+        // Forcing an unavailable level falls back to scalar rather than
+        // executing illegal instructions.
+        let unavailable = if supported() == SimdLevel::Avx2 {
+            SimdLevel::Neon
+        } else {
+            SimdLevel::Avx2
+        };
+        force(Some(unavailable));
+        assert_eq!(active(), SimdLevel::Scalar);
+        force(None);
+        assert_eq!(active(), detected());
+    }
+
+    #[test]
+    fn level_names_are_stable() {
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert_eq!(SimdLevel::Neon.name(), "neon");
+    }
+}

@@ -187,7 +187,9 @@ impl QuantumBackend for SparseState {
         let len = amps.len();
         assert!(len.is_power_of_two() && len > 0, "length must be 2^n");
         let n = len.trailing_zeros() as usize;
-        let norm = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        // Chunked like the dense constructor, so both backends scale a
+        // shared amplitude vector by bitwise-identical factors.
+        let norm = crate::par::chunked_norm_sqr(&amps).sqrt();
         assert!(
             norm > crate::state::STATE_EPS,
             "cannot normalize the zero vector"
@@ -399,12 +401,18 @@ impl QuantumBackend for SparseState {
     }
 
     fn probabilities(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
         assert!(self.n <= 28, "dense distribution limited to 28 qubits");
-        let mut out = vec![0.0; 1usize << self.n];
+        out.clear();
+        out.resize(1usize << self.n, 0.0);
         for (&b, &a) in &self.amps {
             out[b] = a.norm_sqr();
         }
-        out
     }
 
     fn collapse_qubit(&mut self, q: usize, outcome: u8) {
@@ -414,16 +422,41 @@ impl QuantumBackend for SparseState {
     }
 
     fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // Mirrors the dense prefix scan exactly: skip whole REDUCE_CHUNK
+        // blocks by their stratified block mass, then walk the block the
+        // variate lands in. Off-support terms are `+0.0` in both the
+        // block sums and the walk, so every skip/return decision is
+        // bitwise identical to the dense backend's and the same random
+        // variate yields the same sample.
         let mut u: f64 = rng.gen();
         let mut last = 0usize;
-        for (&b, &a) in &self.amps {
-            last = b;
-            u -= a.norm_sqr();
-            if u <= 0.0 {
-                return b;
+        let dim = 1usize << self.n;
+        let chunk = crate::par::REDUCE_CHUNK;
+        let mut base = 0usize;
+        while base < dim {
+            let end = dim.min(base + chunk);
+            let mut lanes = [0.0f64; crate::par::REDUCE_LANES];
+            for (&b, a) in self.amps.range(base..end) {
+                // Block bases are multiples of the lane count, so the
+                // global index selects the same lane as the in-block one.
+                lanes[b & (crate::par::REDUCE_LANES - 1)] += a.norm_sqr();
             }
+            let s = crate::simd::scalar::fold_lanes(lanes);
+            if u > s {
+                u -= s;
+                base = end;
+                continue;
+            }
+            for (&b, a) in self.amps.range(base..end) {
+                last = b;
+                u -= a.norm_sqr();
+                if u <= 0.0 {
+                    return b;
+                }
+            }
+            base = end;
         }
-        last
+        self.amps.keys().next_back().copied().unwrap_or(last)
     }
 }
 

@@ -58,10 +58,7 @@ impl StateVector {
         let mut s = StateVector { n, amps };
         let norm = s.norm();
         assert!(norm > STATE_EPS, "cannot normalize the zero vector");
-        let inv = 1.0 / norm;
-        for a in &mut s.amps {
-            *a = a.scale(inv);
-        }
+        crate::simd::scale(&mut s.amps, 1.0 / norm);
         s
     }
 
@@ -132,10 +129,7 @@ impl StateVector {
     pub fn normalize(&mut self) {
         let norm = self.norm();
         assert!(norm > STATE_EPS, "cannot normalize the zero vector");
-        let inv = 1.0 / norm;
-        for a in &mut self.amps {
-            *a = a.scale(inv);
-        }
+        crate::simd::scale(&mut self.amps, 1.0 / norm);
     }
 
     /// Inner product `⟨self|other⟩` (chunked summation contract; see
@@ -190,14 +184,14 @@ impl StateVector {
     // Gate application
     // ------------------------------------------------------------------
 
-    /// Applies an arbitrary 2×2 unitary to qubit `q`.
+    /// Applies an arbitrary 2×2 unitary to qubit `q` via the dispatched
+    /// SIMD gate kernel ([`crate::simd::apply_single_run`]; scalar
+    /// fallback bit-for-bit identical).
     pub fn apply_single(&mut self, q: usize, m: &Matrix) {
         assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
         assert_eq!((m.rows(), m.cols()), (2, 2), "expected 2x2 matrix");
         let stride = 1usize << q;
-        for block in self.amps.chunks_exact_mut(stride << 1) {
-            apply_single_block(block, stride, m);
-        }
+        crate::simd::apply_single_run(&mut self.amps, stride, m);
     }
 
     /// Applies a named gate, dispatching on the shared
@@ -304,9 +298,7 @@ impl StateVector {
     /// (the π/3 fixed-point recursion); callers renormalize.
     pub fn add_scaled(&mut self, other: &StateVector, coeff: Complex) {
         assert_eq!(self.n, other.n, "qubit count mismatch");
-        for (a, &o) in self.amps.iter_mut().zip(&other.amps) {
-            *a += coeff * o;
-        }
+        crate::simd::add_scaled(&mut self.amps, &other.amps, coeff);
     }
 
     /// Reflects this state about `psi`: `|s⟩ ← (2|ψ⟩⟨ψ| − I)|s⟩`. This is
@@ -315,9 +307,7 @@ impl StateVector {
     pub fn reflect_about(&mut self, psi: &StateVector) {
         assert_eq!(self.n, psi.n, "qubit count mismatch");
         let overlap = psi.inner(self);
-        for (a, &p) in self.amps.iter_mut().zip(&psi.amps) {
-            *a = overlap * p * 2.0 - *a;
-        }
+        crate::simd::reflect_about(&mut self.amps, &psi.amps, overlap);
     }
 
     /// Applies an arbitrary unitary matrix over the **whole** register
@@ -332,11 +322,10 @@ impl StateVector {
     // ------------------------------------------------------------------
 
     /// Probability that measuring qubit `q` yields 1 (chunked summation
-    /// contract; see [`crate::par`]).
+    /// contract via the vectorized mask reduction; see [`crate::par`]).
     pub fn prob_one(&self, q: usize) -> f64 {
         assert!(q < self.n);
-        let mask = 1usize << q;
-        crate::par::chunked_prob_where(&self.amps, |b| b & mask != 0)
+        crate::par::chunked_prob_mask(&self.amps, 1usize << q)
     }
 
     /// Measures qubit `q` in the computational basis, collapsing the state.
@@ -365,12 +354,27 @@ impl StateVector {
     }
 
     /// Samples a full computational-basis measurement without collapsing.
+    ///
+    /// The prefix scan first skips whole [`crate::par::REDUCE_CHUNK`]
+    /// blocks using the vectorized block-norm reduction, then walks only
+    /// the block the random variate lands in. Off-support amplitudes
+    /// subtract exactly `+0.0`, so the sparse backend's support-only walk
+    /// makes bitwise-identical decisions and returns the same sample from
+    /// the same randomness.
     pub fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let mut u: f64 = rng.gen();
-        for (b, a) in self.amps.iter().enumerate() {
-            u -= a.norm_sqr();
-            if u <= 0.0 {
-                return b;
+        for (ci, chunk) in self.amps.chunks(crate::par::REDUCE_CHUNK).enumerate() {
+            let s = crate::simd::block_norm_sqr(chunk);
+            if u > s {
+                u -= s;
+                continue;
+            }
+            let base = ci * crate::par::REDUCE_CHUNK;
+            for (j, a) in chunk.iter().enumerate() {
+                u -= a.norm_sqr();
+                if u <= 0.0 {
+                    return base + j;
+                }
             }
         }
         self.amps.len() - 1
@@ -378,38 +382,19 @@ impl StateVector {
 
     /// The probability distribution over basis states.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
     }
-}
 
-/// The single-qubit gate kernel over one `2·stride` block: paired
-/// half-blocks of split slices, each of length exactly `stride`, let the
-/// indexed inner loop elide its bounds checks and autovectorize; measured
-/// ~9% faster per Hadamard sweep at 16 qubits than `base`/`stride` index
-/// arithmetic (and faster than the zip-of-iterators formulation, which
-/// codegens worse than the indexed loop here). Shared with the parallel
-/// dense backend, whose workers run this same kernel over disjoint
-/// sub-slices — identical elementwise arithmetic, so identical digits.
-#[inline]
-pub(crate) fn apply_single_block(block: &mut [Complex], stride: usize, m: &Matrix) {
-    let (los, his) = block.split_at_mut(stride);
-    apply_single_pairs(los, his, m);
-}
-
-/// The innermost pairwise kernel: `los[i]`/`his[i]` are the `|…0…⟩` and
-/// `|…1…⟩` partners of one amplitude pair. Exposed separately so the
-/// parallel backend can split a single huge block (high target qubit)
-/// into matching sub-ranges of its two halves.
-#[inline]
-pub(crate) fn apply_single_pairs(los: &mut [Complex], his: &mut [Complex], m: &Matrix) {
-    let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
-    debug_assert_eq!(los.len(), his.len());
-    let pairs = los.len();
-    let his = &mut his[..pairs];
-    for i in 0..pairs {
-        let (a0, a1) = (los[i], his[i]);
-        los[i] = m00 * a0 + m01 * a1;
-        his[i] = m10 * a0 + m11 * a1;
+    /// Fills `out` with the probability distribution, reusing its
+    /// allocation — the repeated-sampling loops of the experiment drivers
+    /// call this instead of [`Self::probabilities`] to avoid a `2^n`
+    /// allocation per shot.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.amps.len(), 0.0);
+        crate::simd::norm_sqr_into(&self.amps, out);
     }
 }
 

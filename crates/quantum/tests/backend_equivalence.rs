@@ -9,12 +9,14 @@
 //! cancelled amplitude may silently survive in the support.
 
 use oqsc_quantum::{
-    AdaptiveState, Gate, GroverLayout, ParallelStateVector, QuantumBackend, SnapshotError,
-    SparseState, StateSnapshot, StateVector, PARALLEL_THRESHOLD, SNAPSHOT_VERSION,
+    simd, AdaptiveState, Complex, Gate, GroverLayout, ParallelStateVector, QuantumBackend,
+    SimdLevel, SnapshotError, SparseState, StateSnapshot, StateVector, PARALLEL_THRESHOLD,
+    SNAPSHOT_VERSION,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 const FIDELITY_EPS: f64 = 1e-9;
 
@@ -385,5 +387,201 @@ fn sampling_distributions_agree() {
         let fs = f64::from(counts_sparse[b]) / trials as f64;
         let fd = f64::from(counts_dense[b]) / trials as f64;
         assert!((fs - fd).abs() < 0.03, "basis {b}: {fs} vs {fd}");
+    }
+}
+
+// --- Forced-scalar vs SIMD equality -----------------------------------------
+//
+// `simd::force` overrides a process-global dispatch level, so tests that
+// toggle it serialize on this mutex and restore auto-detection on drop (even
+// when an assertion panics mid-test).
+
+static SIMD_FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+struct SimdForceGuard;
+
+impl Drop for SimdForceGuard {
+    fn drop(&mut self) {
+        simd::force(None);
+    }
+}
+
+/// Fingerprint of everything a pipeline can observe from a backend: the raw
+/// amplitude bit patterns plus every reduction the experiments consume.
+#[derive(Debug, PartialEq, Eq)]
+struct BitTrace {
+    amps: Vec<(u64, u64)>,
+    norm: u64,
+    prob_one: u64,
+    prob_even: u64,
+    probs: Vec<u64>,
+    inner: (u64, u64),
+    samples: Vec<usize>,
+}
+
+fn bit_trace<B: QuantumBackend>(state: &B, reference: &B) -> BitTrace {
+    let n = state.num_qubits();
+    let mut probs = Vec::new();
+    state.probabilities_into(&mut probs);
+    let mut srng = StdRng::seed_from_u64(0xB177_2ACE);
+    let samples = (0..32).map(|_| state.sample_basis(&mut srng)).collect();
+    let ip = state.inner(reference);
+    BitTrace {
+        amps: (0..state.dim())
+            .map(|b| {
+                let a = state.amp(b);
+                (a.re.to_bits(), a.im.to_bits())
+            })
+            .collect(),
+        norm: state.norm().to_bits(),
+        prob_one: state.prob_one(n - 1).to_bits(),
+        prob_even: state.probability_where(|b| b & 1 == 0).to_bits(),
+        probs: probs.iter().map(|p| p.to_bits()).collect(),
+        inner: (ip.re.to_bits(), ip.im.to_bits()),
+        samples,
+    }
+}
+
+/// Run the shared mixed workload (random circuit + Hadamard sweep +
+/// reflection + a collapse) on one backend and fingerprint the result.
+fn forced_workload<B: QuantumBackend>(
+    n: usize,
+    gates: &[Gate],
+    mk: &dyn Fn(usize) -> B,
+) -> BitTrace {
+    let mut s = mk(n);
+    for g in gates {
+        s.apply_gate(g);
+    }
+    let qs: Vec<usize> = (0..n).collect();
+    s.apply_hadamard_all(&qs);
+    let mirror = B::uniform(n);
+    s.reflect_about(&mirror);
+    s.add_scaled(&mirror, Complex::new(0.125, -0.25));
+    s.collapse_qubit(0, 0);
+    bit_trace(&s, &mirror)
+}
+
+/// The tentpole contract: with SIMD forced off and with the hardware level
+/// active, every backend produces bit-for-bit identical amplitudes,
+/// reductions, probability tables, and sampling decisions. n = 14 crosses
+/// `PARALLEL_THRESHOLD` and spans four `REDUCE_CHUNK` blocks.
+#[test]
+fn forced_scalar_and_simd_backends_are_bitwise_identical() {
+    let _lock = SIMD_FORCE_LOCK.lock().unwrap();
+    let _guard = SimdForceGuard;
+    let n = 14;
+    let mut rng = StdRng::seed_from_u64(0x51D_CAFE);
+    let gates: Vec<Gate> = (0..24).map(|_| random_gate(n, &mut rng)).collect();
+
+    let run_all = |level: Option<SimdLevel>| {
+        simd::force(level);
+        let dense = forced_workload(n, &gates, &|n| StateVector::zero(n));
+        let par: Vec<BitTrace> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                forced_workload(n, &gates, &move |n| {
+                    ParallelStateVector::with_threads(StateVector::zero(n), t)
+                })
+            })
+            .collect();
+        let sparse = forced_workload(n, &gates, &|n| SparseState::zero(n));
+        let adaptive = forced_workload(n, &gates, &|n| AdaptiveState::zero(n));
+        (dense, par, sparse, adaptive)
+    };
+
+    let scalar = run_all(Some(SimdLevel::Scalar));
+    let auto = run_all(None);
+
+    assert_eq!(scalar.0, auto.0, "dense trace diverged under SIMD");
+    for (t, (s, a)) in scalar.1.iter().zip(auto.1.iter()).enumerate() {
+        assert_eq!(s, a, "parallel trace diverged under SIMD (threads idx {t})");
+        assert_eq!(s, &scalar.0, "parallel trace diverged from dense");
+    }
+    assert_eq!(scalar.2, auto.2, "sparse trace diverged under SIMD");
+    assert_eq!(scalar.3, auto.3, "adaptive trace diverged under SIMD");
+    assert_eq!(scalar.3, scalar.0, "adaptive trace diverged from dense");
+}
+
+/// Forcing a level the hardware lacks must clamp to scalar and stay bitwise
+/// equal to an explicit scalar run, so CI on any host exercises both arms.
+#[test]
+fn forcing_unavailable_levels_is_bitwise_scalar() {
+    let _lock = SIMD_FORCE_LOCK.lock().unwrap();
+    let _guard = SimdForceGuard;
+    let n = 10;
+    let mut rng = StdRng::seed_from_u64(31);
+    let gates: Vec<Gate> = (0..12).map(|_| random_gate(n, &mut rng)).collect();
+
+    simd::force(Some(SimdLevel::Scalar));
+    let scalar = forced_workload(n, &gates, &|n| StateVector::zero(n));
+    for level in [SimdLevel::Avx2, SimdLevel::Neon] {
+        simd::force(Some(level));
+        let forced = forced_workload(n, &gates, &|n| StateVector::zero(n));
+        // Either the level is real on this host (bitwise contract) or it was
+        // clamped to scalar (identical code path); both must match.
+        assert_eq!(forced, scalar, "{} diverged from scalar", level.name());
+    }
+}
+
+/// `sample_basis` walks chunked prefix sums; every backend must make the
+/// same block-skip decisions and return the same basis state for the same
+/// RNG stream (off-support sparse entries subtract exactly +0.0).
+#[test]
+fn sample_basis_is_bitwise_identical_across_backends() {
+    let n = 14;
+    let mut rng = StdRng::seed_from_u64(0x5A3);
+    let amps: Vec<Complex> = (0..1usize << n)
+        .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect();
+    let dense = StateVector::from_amplitudes(amps.clone());
+    let par = ParallelStateVector::with_threads(StateVector::from_amplitudes(amps.clone()), 4);
+    let sparse = SparseState::from_amplitudes(amps.clone());
+    let adaptive = AdaptiveState::from_amplitudes(amps);
+    for seed in 0..64u64 {
+        let mut r = [
+            StdRng::seed_from_u64(seed),
+            StdRng::seed_from_u64(seed),
+            StdRng::seed_from_u64(seed),
+            StdRng::seed_from_u64(seed),
+        ];
+        let b = dense.sample_basis(&mut r[0]);
+        assert_eq!(b, par.sample_basis(&mut r[1]), "parallel, seed {seed}");
+        assert_eq!(
+            b,
+            QuantumBackend::sample_basis(&sparse, &mut r[2]),
+            "sparse, seed {seed}"
+        );
+        assert_eq!(b, adaptive.sample_basis(&mut r[3]), "adaptive, seed {seed}");
+    }
+}
+
+/// The reusable-buffer probability path must agree bitwise with the
+/// allocating one and fully overwrite whatever the caller hands it.
+#[test]
+fn probabilities_into_matches_allocating_path() {
+    let n = 12;
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut s = StateVector::zero(n);
+    for _ in 0..16 {
+        let g = random_gate(n, &mut rng);
+        s.apply(&g);
+    }
+    let fresh = s.probabilities();
+    let mut reused = vec![f64::NAN; 7];
+    s.probabilities_into(&mut reused);
+    assert_eq!(reused.len(), 1 << n);
+    for (a, b) in fresh.iter().zip(reused.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // And again into an oversized buffer.
+    let mut oversized = vec![f64::NAN; 1 << (n + 1)];
+    s.probabilities_into(&mut oversized);
+    assert_eq!(oversized.len(), 1 << n);
+    let par = ParallelStateVector::with_threads(s.clone(), 3);
+    let mut via_par = Vec::new();
+    par.probabilities_into(&mut via_par);
+    for (a, b) in fresh.iter().zip(via_par.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -25,6 +25,7 @@
 //! | [`core`] | procedures A1/A2/A3, recognizers, classical baselines |
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub use oqsc_comm as comm;
 pub use oqsc_core as core;
