@@ -24,12 +24,15 @@
 //! ```
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oqsc_bench::record;
 use oqsc_core::GroverStreamer;
 use oqsc_lang::{random_member, Sym};
 use oqsc_machine::StreamingDecider;
-use oqsc_quantum::{AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector};
+use oqsc_quantum::{
+    AdaptiveState, ParallelStateVector, QuantumBackend, SimdLevel, SparseState, StateVector,
+};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 const K: u32 = 5;
 
@@ -42,18 +45,9 @@ fn structured_word() -> Vec<Sym> {
 /// The same `1^k # (b^{2^{2k}} #)^{3·2^k}` shape with independently
 /// random blocks: the `h` branch stops uncomputing and the support
 /// crosses the promotion threshold during the early diffusion rounds.
+/// (Shared with the `--bench-json` record's `adaptive_densify` cell.)
 fn densifying_word() -> Vec<Sym> {
-    let mut rng = StdRng::seed_from_u64(0xADAB2);
-    let m = 1usize << (2 * K);
-    let blocks = 3 * (1usize << K);
-    let mut word = Vec::with_capacity(K as usize + 1 + blocks * (m + 1));
-    word.extend(std::iter::repeat_n(Sym::One, K as usize));
-    word.push(Sym::Hash);
-    for _ in 0..blocks {
-        word.extend((0..m).map(|_| if rng.gen() { Sym::One } else { Sym::Zero }));
-        word.push(Sym::Hash);
-    }
-    word
+    record::densifying_word(K)
 }
 
 fn run_streamer<B: QuantumBackend>(word: &[Sym]) -> f64 {
@@ -86,5 +80,21 @@ fn bench_backends(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_backends);
+/// The record's `adaptive_densify` cell under criterion: the same `pub`
+/// workload function as the `--bench-json` run, scalar vs auto dispatch,
+/// at the full-record size (`qubits = 10`, i.e. `k = 4`).
+fn bench_record_densify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive/record-densify");
+    group.sample_size(10);
+    for (mode, level) in [("scalar", Some(SimdLevel::Scalar)), ("simd", None)] {
+        let guard = record::ForceGuard::force(level);
+        group.bench_function(BenchmarkId::from_parameter(mode), |b| {
+            b.iter(|| black_box(record::adaptive_densify(10, 1)))
+        });
+        drop(guard);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_record_densify);
 criterion_main!(benches);

@@ -13,32 +13,30 @@
 //! parallel backend would run serially by design, so measuring it there
 //! would time the wrong code path.
 //!
+//! Group `throughput-record` re-times the `--bench-json` record's kernel
+//! and end-to-end cells (the exact `pub` workload functions from
+//! `oqsc_bench::record`) under both SIMD dispatch modes, so criterion's
+//! statistics and the committed `BENCH_throughput.json` measure the same
+//! code.
+//!
 //! ```text
 //! cargo bench -p oqsc-bench --bench throughput
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oqsc_bench::record;
 use oqsc_core::sweep::{complement_sweep_in, derive_seed};
 use oqsc_core::ComplementRecognizer;
-use oqsc_lang::{random_member, random_nonmember, Sym};
+use oqsc_lang::Sym;
 use oqsc_machine::{run_decider, BatchRunner};
-use oqsc_quantum::{ParallelStateVector, StateVector};
+use oqsc_quantum::{ParallelStateVector, SimdLevel, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const BASE_SEED: u64 = 0xBA7C4;
 
 fn instance_set(k: u32, count: usize) -> Vec<Vec<Sym>> {
-    let mut rng = StdRng::seed_from_u64(0x7_0DD5);
-    (0..count)
-        .map(|i| {
-            if i % 2 == 0 {
-                random_member(k, &mut rng).encode()
-            } else {
-                random_nonmember(k, 1 + i % 4, &mut rng).encode()
-            }
-        })
-        .collect()
+    record::sweep_words(k, count)
 }
 
 /// Fleet axis: one recognizer per instance, serial vs batched shards.
@@ -98,5 +96,36 @@ fn bench_parallel_dense(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batching, bench_parallel_dense);
+/// One record cell: name, workload function, size.
+type RecordCell = (&'static str, fn(usize, u32) -> u64, usize);
+
+/// The bench-record cells under criterion: same workload functions, same
+/// sizes as the full `--bench-json` run, scalar vs auto dispatch.
+fn bench_record_cells(c: &mut Criterion) {
+    let cells: [RecordCell; 4] = [
+        ("gate_sweep_dense", record::gate_sweep_dense, 16),
+        ("reflect_axpy", record::reflect_axpy, 16),
+        ("reductions_dense", record::reductions_dense, 16),
+        ("throughput_sweep", record::throughput_sweep, 8),
+    ];
+    let mut group = c.benchmark_group("throughput-record");
+    group.sample_size(10);
+    for (name, run, n) in cells {
+        for (mode, level) in [("scalar", Some(SimdLevel::Scalar)), ("simd", None)] {
+            let guard = record::ForceGuard::force(level);
+            group.bench_function(BenchmarkId::new(name, mode), |b| {
+                b.iter(|| black_box(run(n, 1)))
+            });
+            drop(guard);
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batching,
+    bench_parallel_dense,
+    bench_record_cells
+);
 criterion_main!(benches);

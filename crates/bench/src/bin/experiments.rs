@@ -15,6 +15,9 @@
 //!
 //! # rewrite resume-heavy store files down to one record per instance
 //! experiments --compact PREFIX [--break-locks]
+//!
+//! # per-file record/dedupe/compression report for existing stores
+//! experiments --store-stats PREFIX [--break-locks]
 //! ```
 //!
 //! `--workers N` sizes the in-process batch scheduler's worker fleet
@@ -48,9 +51,18 @@
 //! `--compact PREFIX` rewrites every store file under the prefix down
 //! to one record per instance (its outcome if finished, its latest
 //! checkpoint otherwise) via an atomic rename — resume-heavy stores
-//! shrink, subsequent `--resume` runs are bit-identical. Add
-//! `--break-locks` to clear `.lock` files orphaned by killed writers
-//! first (only sound once those writers are known dead).
+//! shrink, subsequent `--resume` runs are bit-identical. Compacting a
+//! legacy v2 store upgrades it in place to the current compressed v3
+//! format. Add `--break-locks` to clear `.lock` files orphaned by
+//! killed writers first (only sound once those writers are known dead).
+//!
+//! `--store-stats PREFIX` prints one line per store file under the
+//! prefix: format version, record counts (full vs dedupe-ref and the
+//! dedupe hit rate), stored vs uncompressed payload bytes and the
+//! compression ratio — the same columns the `--compact` report shows
+//! before/after. `--store-format 2` makes a `--store` sweep write its
+//! fresh shard stores in the legacy v2 format (raw payloads), which is
+//! how CI exercises the v2 → v3 upgrade path end to end.
 //!
 //! Out-of-range values are rejected up front with a clear message,
 //! never silently clamped or panicked on.
@@ -95,6 +107,8 @@ struct Cli {
     shard: Option<usize>,
     of: Option<usize>,
     compact: Option<std::path::PathBuf>,
+    store_stats: Option<std::path::PathBuf>,
+    store_format: Option<u8>,
     break_locks: bool,
     bench_json: Option<std::path::PathBuf>,
     bench_reduced: bool,
@@ -107,6 +121,7 @@ fn usage_and_exit(code: i32) -> ! {
         "                   [--processes P] [--store PREFIX [--resume]] [--checkpoint-every N]"
     );
     println!("       experiments --compact PREFIX [--break-locks]");
+    println!("       experiments --store-stats PREFIX [--break-locks]");
     println!("       experiments --bench-json PATH [--bench-reduced]");
     println!(
         "  --workers N            batch workers, 1..={MAX_WORKERS} (default: available cores)"
@@ -125,9 +140,14 @@ fn usage_and_exit(code: i32) -> ! {
     println!("  --resume               recover existing shard stores, skip finished instances,");
     println!("                         and continue");
     println!("  --crash-after-tokens T testing hook: die after T tokens per fleet (needs --store)");
+    println!("  --store-format 2|3     with --store: format for fresh shard stores");
+    println!("                         (default 3; 2 writes legacy uncompressed logs)");
     println!("  --compact PREFIX       rewrite each store under PREFIX to one record per");
-    println!("                         instance (atomic rename); resumes stay bit-identical");
-    println!("  --break-locks          with --compact: clear orphaned .lock files first");
+    println!("                         instance (atomic rename); resumes stay bit-identical;");
+    println!("                         legacy v2 stores are upgraded to compressed v3");
+    println!("  --store-stats PREFIX   print records / dedupe / compression per store file");
+    println!("  --break-locks          with --compact or --store-stats: clear orphaned");
+    println!("                         .lock files first");
     println!("  --bench-json PATH      run the SIMD kernel micro-benchmarks (scalar vs");
     println!("                         auto dispatch) and write the JSON record to PATH");
     println!("  --bench-reduced        with --bench-json: shrink sizes for a CI smoke run");
@@ -172,6 +192,8 @@ fn parse_cli() -> Cli {
         shard: None,
         of: None,
         compact: None,
+        store_stats: None,
+        store_format: None,
         break_locks: false,
         bench_json: None,
         bench_reduced: false,
@@ -242,6 +264,20 @@ fn parse_cli() -> Cli {
                 Some(p) if !p.is_empty() => cli.compact = Some(p.into()),
                 raw => bad_value("--compact", raw, "a store path prefix"),
             },
+            "--store-stats" => match args.next() {
+                Some(p) if !p.is_empty() => cli.store_stats = Some(p.into()),
+                raw => bad_value("--store-stats", raw, "a store path prefix"),
+            },
+            "--store-format" => {
+                cli.store_format = Some(parse_num(
+                    &mut args,
+                    "--store-format",
+                    "2 (legacy uncompressed) or 3 (current)",
+                    |n: &u8| {
+                        [oqsc_machine::STORE_VERSION_V2, oqsc_machine::STORE_VERSION].contains(n)
+                    },
+                ));
+            }
             "--break-locks" => cli.break_locks = true,
             "--bench-json" => match args.next() {
                 Some(p) if !p.is_empty() => cli.bench_json = Some(p.into()),
@@ -285,6 +321,7 @@ fn parse_cli() -> Cli {
         for (set, flag) in [
             (cli.sweep.is_some(), "--sweep"),
             (cli.compact.is_some(), "--compact"),
+            (cli.store_stats.is_some(), "--store-stats"),
             (cli.workers.is_some(), "--workers"),
             (cli.checkpoint_every.is_some(), "--checkpoint-every"),
             (cli.store.is_some(), "--store"),
@@ -299,8 +336,15 @@ fn parse_cli() -> Cli {
         eprintln!("error: --bench-reduced requires --bench-json");
         std::process::exit(2);
     }
-    // Compact mode stands alone: it reads stores, never runs sweeps.
-    if cli.compact.is_some() {
+    // Compact and store-stats modes stand alone: they read existing
+    // stores, never run sweeps.
+    for (mode_set, mode) in [
+        (cli.compact.is_some(), "--compact"),
+        (cli.store_stats.is_some(), "--store-stats"),
+    ] {
+        if !mode_set {
+            continue;
+        }
         for (set, flag) in [
             (cli.sweep.is_some(), "--sweep"),
             (cli.workers.is_some(), "--workers"),
@@ -309,13 +353,21 @@ fn parse_cli() -> Cli {
             (cli.resume, "--resume"),
         ] {
             if set {
-                eprintln!("error: --compact cannot be combined with {flag}");
+                eprintln!("error: {mode} cannot be combined with {flag}");
                 std::process::exit(2);
             }
         }
     }
-    if cli.break_locks && cli.compact.is_none() {
-        eprintln!("error: --break-locks requires --compact");
+    if cli.compact.is_some() && cli.store_stats.is_some() {
+        eprintln!("error: --compact cannot be combined with --store-stats");
+        std::process::exit(2);
+    }
+    if cli.break_locks && cli.compact.is_none() && cli.store_stats.is_none() {
+        eprintln!("error: --break-locks requires --compact or --store-stats");
+        std::process::exit(2);
+    }
+    if cli.store_format.is_some() && cli.store.is_none() {
+        eprintln!("error: --store-format requires --store");
         std::process::exit(2);
     }
     // Flags that only make sense inside a sweep.
@@ -378,6 +430,7 @@ fn pool_opts(cli: &Cli) -> PoolRunOpts {
         resume: cli.resume,
         checkpoint_every: cli.checkpoint_every.unwrap_or(DEFAULT_PERSIST_EVERY),
         crash_after_tokens: cli.crash_after_tokens,
+        legacy_v2: cli.store_format == Some(oqsc_machine::STORE_VERSION_V2),
         workers: cli.workers.unwrap_or(1),
     }
 }
@@ -495,8 +548,35 @@ fn run_bench_record(path: &std::path::Path, reduced: bool) -> i32 {
     0
 }
 
-/// Compacts every checkpoint store under `prefix` (see the module docs).
-fn run_compact(prefix: &std::path::Path, break_locks: bool) -> i32 {
+/// One compact `StoreStats` summary: the shared column set of the
+/// `--store-stats` report and the `--compact` before/after lines.
+fn stats_columns(s: &oqsc_machine::StoreStats) -> String {
+    format!(
+        "v{} | {} records ({} full + {} ref, dedupe {:.1}%) | {}/{} finished | \
+         {} payload bytes on disk / {} logical ({:.2}x, {} compressed) | file {} bytes",
+        s.version,
+        s.records,
+        s.full_records,
+        s.ref_records,
+        100.0 * s.dedupe_hit_rate(),
+        s.finished_instances,
+        s.instances,
+        s.stored_payload_bytes,
+        s.uncompressed_payload_bytes,
+        s.compression_ratio(),
+        s.compressed_payloads,
+        s.file_bytes,
+    )
+}
+
+/// Finds every store file under `prefix`, optionally clearing orphaned
+/// locks first, and hands each to `visit` — the shared walk of
+/// `--compact` and `--store-stats`.
+fn walk_stores(
+    prefix: &std::path::Path,
+    break_locks: bool,
+    mut visit: impl FnMut(&std::path::Path) -> Result<(), i32>,
+) -> i32 {
     let files = match find_store_files(prefix) {
         Ok(files) => files,
         Err(e) => {
@@ -522,26 +602,71 @@ fn run_compact(prefix: &std::path::Path, break_locks: bool) -> i32 {
                 }
             }
         }
-        match CheckpointStore::compact_file(&path) {
-            Ok(r) => println!(
-                "compacted {}: {} records / {} bytes -> {} records / {} bytes",
-                path.display(),
-                r.records_before,
-                r.bytes_before,
-                r.records_after,
-                r.bytes_after
-            ),
-            Err(e @ StoreError::Locked { .. }) => {
-                eprintln!("error: {e}\n       (if the writer is dead, re-run with --break-locks)");
-                return 1;
-            }
-            Err(e) => {
-                eprintln!("error: compacting {}: {e}", path.display());
-                return 1;
-            }
+        if let Err(code) = visit(&path) {
+            return code;
         }
     }
     0
+}
+
+/// Compacts every checkpoint store under `prefix` (see the module docs).
+fn run_compact(prefix: &std::path::Path, break_locks: bool) -> i32 {
+    walk_stores(
+        prefix,
+        break_locks,
+        |path| match CheckpointStore::compact_file(path) {
+            Ok(r) => {
+                println!(
+                    "compacted {}: {} records / {} bytes -> {} records / {} bytes",
+                    path.display(),
+                    r.records_before,
+                    r.bytes_before,
+                    r.records_after,
+                    r.bytes_after
+                );
+                println!("  before: {}", stats_columns(&r.before));
+                println!("  after:  {}", stats_columns(&r.after));
+                Ok(())
+            }
+            Err(e @ StoreError::Locked { .. }) => {
+                eprintln!("error: {e}\n       (if the writer is dead, re-run with --break-locks)");
+                Err(1)
+            }
+            Err(e) => {
+                eprintln!("error: compacting {}: {e}", path.display());
+                Err(1)
+            }
+        },
+    )
+}
+
+/// Prints the per-file statistics report for every store under `prefix`
+/// without modifying anything (the read path still verifies every
+/// record, so a corrupt store is a loud error here too).
+fn run_store_stats(prefix: &std::path::Path, break_locks: bool) -> i32 {
+    walk_stores(prefix, break_locks, |path| {
+        let tag = match oqsc_machine::peek_header(path) {
+            Ok(header) => header.tag,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", path.display());
+                return Err(1);
+            }
+        };
+        match CheckpointStore::open(path, &tag) {
+            Ok(store) => {
+                println!("{}: {}", path.display(), stats_columns(&store.stats()));
+                Ok(())
+            }
+            Err(e @ StoreError::Locked { .. }) => {
+                eprintln!("error: {e}\n       (if the writer is dead, re-run with --break-locks)");
+                Err(1)
+            }
+            Err(e) => {
+                eprintln!("error: opening {}: {e}", path.display());
+                Err(1)
+            }
+        }
+    })
 }
 
 fn main() {
@@ -551,6 +676,9 @@ fn main() {
     }
     if let Some(prefix) = &cli.compact {
         std::process::exit(run_compact(prefix, cli.break_locks));
+    }
+    if let Some(prefix) = &cli.store_stats {
+        std::process::exit(run_store_stats(prefix, cli.break_locks));
     }
     if cli.sweep.is_some() {
         std::process::exit(run_sweep(&cli));

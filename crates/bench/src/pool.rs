@@ -340,6 +340,12 @@ pub struct PoolRunOpts {
     /// Testing hook: per fleet, stop dead after feeding this many
     /// tokens — the deterministic crash model. Requires a store prefix.
     pub crash_after_tokens: Option<u64>,
+    /// Write fresh shard stores in the legacy v2 format (raw payloads,
+    /// no compression) — the `--store-format 2` compatibility hook that
+    /// lets tests and CI produce v2 logs for the upgrade path. Resuming
+    /// an existing v2 store is still a typed `ReadOnly` error until
+    /// `--compact` upgrades it.
+    pub legacy_v2: bool,
     /// Batch-scheduler threads *inside each worker* (clamped to ≥ 1;
     /// `Default` = 1, one serial sweep per process). Reports are
     /// worker-count independent, so this only changes the wall clock.
@@ -454,7 +460,13 @@ pub fn find_store_files(prefix: &Path) -> std::io::Result<Vec<PathBuf>> {
 fn open_shard_store<D: Checkpointable>(
     path: &Path,
     resume: bool,
+    legacy_v2: bool,
 ) -> Result<CheckpointStore, StoreError> {
+    let version = if legacy_v2 {
+        oqsc_machine::STORE_VERSION_V2
+    } else {
+        oqsc_machine::STORE_VERSION
+    };
     if resume {
         // The scheduler owns these single-writer shard files, and resume
         // only runs after the parent reaped the previous worker — the
@@ -465,10 +477,10 @@ fn open_shard_store<D: Checkpointable>(
         if path.exists() {
             return CheckpointStore::recover_for::<D>(path).map(|(store, _)| store);
         }
-        CheckpointStore::create_for::<D>(path)
+        CheckpointStore::create_with_version(path, D::TYPE_TAG, version)
     } else {
         // Fresh runs refuse stale stores (`StoreError::AlreadyExists`).
-        CheckpointStore::create_for::<D>(path)
+        CheckpointStore::create_with_version(path, D::TYPE_TAG, version)
     }
 }
 
@@ -496,7 +508,7 @@ where
     let report = match &opts.store_prefix {
         Some(prefix) => {
             let path = shard_store_path(prefix, fleet, shard);
-            let mut store = open_shard_store::<D>(&path, opts.resume)?;
+            let mut store = open_shard_store::<D>(&path, opts.resume, opts.legacy_v2)?;
             let budget = opts.crash_after_tokens.unwrap_or(u64::MAX);
             match runner.run_resumable_budgeted(
                 indices.len(),
@@ -734,6 +746,10 @@ impl ProcessPool {
             }
             if let Some(t) = opts.crash_after_tokens {
                 cmd.arg("--crash-after-tokens").arg(t.to_string());
+            }
+            if opts.legacy_v2 {
+                cmd.arg("--store-format")
+                    .arg(oqsc_machine::STORE_VERSION_V2.to_string());
             }
             match cmd.spawn() {
                 Ok(child) => children.push((shard, child)),

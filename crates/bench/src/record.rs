@@ -1,16 +1,32 @@
-//! Machine-readable micro-benchmark records for the SIMD kernel layer.
+//! Machine-readable benchmark records for the perf-sensitive layers.
 //!
-//! `experiments --bench-json PATH` runs a small fixed suite of dense-kernel
-//! micro-benchmarks twice — once with the SIMD dispatch forced to scalar,
-//! once with auto-detection — and writes one JSON document describing both
-//! runs plus the derived scalar/SIMD speedups. The committed
-//! `BENCH_throughput.json` at the repo root is one such record; CI re-runs
-//! the suite at reduced size and diffs the schema (keys, not timings)
-//! against it, so the file can never silently drift from the producer.
+//! `experiments --bench-json PATH` runs a fixed suite of benchmarks and
+//! writes one JSON document. Three families:
+//!
+//! * **kernel / end-to-end cells** — dense-kernel micro-benchmarks plus two
+//!   end-to-end workloads (a batched complement sweep and an A3 densifying
+//!   stream), each measured twice: once with the SIMD dispatch forced to
+//!   scalar, once with auto-detection, with the derived scalar/SIMD
+//!   speedups;
+//! * **store cells** — `store_open`, `store_recover` and
+//!   `checkpoint_roundtrip` timed against a log of dense A3 checkpoints,
+//!   once with payload compression off and once on
+//!   (`mode: "uncompressed" | "compressed"`; SIMD-independent);
+//! * **`stores` rows** — on-disk size of real dense-backend E6/F1 sweep
+//!   stores, compressed vs uncompressed, with the shrink factor (the
+//!   store-v3 acceptance number: dense amplitude snapshots shrink well
+//!   over 2×).
+//!
+//! The committed `BENCH_throughput.json` at the repo root is one such
+//! record; CI re-runs the suite at reduced size and diffs the schema
+//! (keys, not timings) against it, so the file can never silently drift
+//! from the producer. The workload functions are `pub` and reused by
+//! `cargo bench --bench throughput` / `--bench adaptive`, so the criterion
+//! benches and the JSON record time the same code.
 //!
 //! The format is hand-rolled (no serde in the dependency budget) and
 //! deliberately timestamp-free: the same binary on the same host produces
-//! structurally identical output, and timings are the only thing that
+//! structurally identical output, and measurements are the only thing that
 //! varies between runs.
 //!
 //! Schema (`oqsc-bench-record/v1`):
@@ -26,15 +42,32 @@
 //!   ],
 //!   "derived": [
 //!     { "bench": "gate_sweep_dense", "qubits": 16, "speedup": 1.50 }
+//!   ],
+//!   "stores": [
+//!     { "sweep": "f1-dense", "records": 58, "uncompressed_bytes": 825340,
+//!       "compressed_bytes": 61144, "shrink": 13.50 }
 //!   ]
 //! }
 //! ```
 //!
 //! `speedup` is `scalar_median_ns / simd_median_ns` for the same
 //! `(bench, qubits)` pair; on a host with no usable SIMD both modes run the
-//! identical scalar code and the ratio hovers around 1.0.
+//! identical scalar code and the ratio hovers around 1.0. `shrink` is
+//! `uncompressed_bytes / compressed_bytes` for the same sweep, checkpoint
+//! cadence and record count.
 
-use oqsc_quantum::{simd, Complex, QuantumBackend, SimdLevel, StateVector};
+use crate::experiments::f1_seeds;
+use oqsc_core::separation::separation_quantum_task;
+use oqsc_core::sweep::complement_sweep_in;
+use oqsc_core::{ComplementRecognizer, GroverStreamer};
+use oqsc_lang::{random_member, random_nonmember, Sym};
+use oqsc_machine::{
+    BatchRunner, CheckpointStore, Checkpointable, Session, SessionCheckpoint, StreamingDecider,
+};
+use oqsc_quantum::{simd, AdaptiveState, Complex, QuantumBackend, SimdLevel, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Options for one record run.
@@ -63,6 +96,23 @@ struct ResultRow {
     timing: Timing,
 }
 
+/// One row of the `stores` array: the on-disk footprint of one
+/// dense-backend sweep's checkpoint store, compression off vs on (same
+/// instances, cadence and record count in both runs).
+struct StoreRow {
+    sweep: &'static str,
+    records: usize,
+    uncompressed_bytes: u64,
+    compressed_bytes: u64,
+}
+
+impl StoreRow {
+    /// `uncompressed / compressed` — the store-v3 acceptance number.
+    fn shrink(&self) -> f64 {
+        self.uncompressed_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
 /// Target wall-clock per timing sample, full vs reduced.
 const SAMPLE_TARGET_NS: u64 = 10_000_000;
 const SAMPLE_TARGET_NS_REDUCED: u64 = 1_000_000;
@@ -71,24 +121,39 @@ const SAMPLE_TARGET_NS_REDUCED: u64 = 1_000_000;
 const SAMPLES: usize = 7;
 const SAMPLES_REDUCED: usize = 3;
 
+/// Checkpoints in the store-cell log (`store_open`/`store_recover`/
+/// `checkpoint_roundtrip` all work over the same set).
+const STORE_BENCH_CHECKPOINTS: usize = 24;
+
+/// `t.elapsed()` as saturating nanoseconds.
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// `k` from a row's qubit label — `qubits = 2k + 2`, the A3 register size
+/// at language parameter `k`, used as the size axis for every cell.
+fn k_for(qubits: usize) -> u32 {
+    u32::try_from(qubits.saturating_sub(2) / 2).expect("small k")
+}
+
 /// The acceptance micro-benchmark: a full Hadamard sweep (`H` on every
 /// qubit) over a dense `StateVector` — the hottest dense inner loop in the
-/// A1/A2/A3 pipelines.
-fn gate_sweep_dense(n: usize, iters: u32) -> u64 {
+/// A1/A2/A3 pipelines. Returns elapsed nanoseconds for `iters` sweeps.
+pub fn gate_sweep_dense(n: usize, iters: u32) -> u64 {
     let qs: Vec<usize> = (0..n).collect();
     let mut s = StateVector::uniform(n);
     let t = Instant::now();
     for _ in 0..iters {
         s.apply_hadamard_all(&qs);
     }
-    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let ns = elapsed_ns(t);
     std::hint::black_box(s.amp(0));
     ns
 }
 
 /// The amplification axpy family: `reflect_about` plus one `add_scaled`
 /// per iteration (the diffusion step of every Grover-style experiment).
-fn reflect_axpy(n: usize, iters: u32) -> u64 {
+pub fn reflect_axpy(n: usize, iters: u32) -> u64 {
     let mirror = StateVector::uniform(n);
     let mut s = StateVector::uniform(n);
     let coeff = Complex::new(0.0, 0.0);
@@ -97,14 +162,14 @@ fn reflect_axpy(n: usize, iters: u32) -> u64 {
         s.reflect_about(&mirror);
         s.add_scaled(&mirror, coeff);
     }
-    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let ns = elapsed_ns(t);
     std::hint::black_box(s.amp(0));
     ns
 }
 
 /// The chunked reduction family: norm, one marginal, and one masked
 /// probability per iteration — everything measurement-side code touches.
-fn reductions_dense(n: usize, iters: u32) -> u64 {
+pub fn reductions_dense(n: usize, iters: u32) -> u64 {
     let s = StateVector::uniform(n);
     let mut sink = 0.0f64;
     let t = Instant::now();
@@ -113,18 +178,87 @@ fn reductions_dense(n: usize, iters: u32) -> u64 {
         sink += s.prob_one(n - 1);
         sink += s.probability_where(|b| b & 1 == 0);
     }
-    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let ns = elapsed_ns(t);
+    std::hint::black_box(sink);
+    ns
+}
+
+/// Deterministic member/non-member words for the complement sweep (seed
+/// `0x7_0DD5`) — shared by [`throughput_sweep`] and the criterion
+/// `throughput` bench so both time the same instances.
+pub fn sweep_words(k: u32, count: usize) -> Vec<Vec<Sym>> {
+    let mut rng = StdRng::seed_from_u64(0x7_0DD5);
+    (0..count)
+        .map(|i| {
+            if i.is_multiple_of(2) {
+                random_member(k, &mut rng).encode()
+            } else {
+                random_nonmember(k, 1 + i % 4, &mut rng).encode()
+            }
+        })
+        .collect()
+}
+
+/// End-to-end fleet cell: a 4-instance complement sweep through the dense
+/// recognizer on a serial [`BatchRunner`] — the whole E-family pipeline
+/// (token loop, gates, reductions, verdicts), not one isolated kernel.
+pub fn throughput_sweep(qubits: usize, iters: u32) -> u64 {
+    let words = sweep_words(k_for(qubits), 4);
+    let runner = BatchRunner::serial();
+    let mut sink = 0usize;
+    let t = Instant::now();
+    for _ in 0..iters {
+        sink += complement_sweep_in::<StateVector>(&words, 0xBA7C4, &runner).accepted;
+    }
+    let ns = elapsed_ns(t);
+    std::hint::black_box(sink);
+    ns
+}
+
+/// The `1^k # (b^{2^{2k}} #)^{3·2^k}` A3 shape with independently random
+/// blocks (seed `0xADAB2`): the `z` copies stop uncomputing the `h`
+/// branch, the support crosses the promotion threshold mid-stream, and
+/// adaptive backends finish on the dense kernels. Shared with the
+/// criterion `adaptive` bench.
+pub fn densifying_word(k: u32) -> Vec<Sym> {
+    let mut rng = StdRng::seed_from_u64(0xADAB2);
+    let m = 1usize << (2 * k);
+    let blocks = 3 * (1usize << k);
+    let mut word = Vec::with_capacity(k as usize + 1 + blocks * (m + 1));
+    word.extend(std::iter::repeat_n(Sym::One, k as usize));
+    word.push(Sym::Hash);
+    for _ in 0..blocks {
+        word.extend((0..m).map(|_| if rng.gen() { Sym::One } else { Sym::Zero }));
+        word.push(Sym::Hash);
+    }
+    word
+}
+
+/// End-to-end adaptive cell: one A3 densifying stream on `AdaptiveState`
+/// — sparse until the promotion threshold, then the parallel dense
+/// kernels, so the SIMD axis shows up in the post-promotion phase.
+pub fn adaptive_densify(qubits: usize, iters: u32) -> u64 {
+    let word = densifying_word(k_for(qubits));
+    let mut sink = 0.0f64;
+    let t = Instant::now();
+    for _ in 0..iters {
+        let mut a3 = GroverStreamer::<AdaptiveState>::with_j_seed_in(3, 0);
+        a3.feed_all(&word);
+        sink += a3.detection_probability();
+    }
+    let ns = elapsed_ns(t);
     std::hint::black_box(sink);
     ns
 }
 
 /// Calibrate an iteration count so one sample takes roughly `target_ns`,
-/// then collect `samples` per-iteration timings.
-fn measure(run: fn(usize, u32) -> u64, n: usize, target_ns: u64, samples: usize) -> Timing {
-    let probe = run(n, 1).max(1);
+/// then collect `samples` per-iteration timings. `run(iters)` returns the
+/// elapsed nanoseconds for `iters` iterations of the workload.
+fn measure(mut run: impl FnMut(u32) -> u64, target_ns: u64, samples: usize) -> Timing {
+    let probe = run(1).max(1);
     let iters = u32::try_from((target_ns / probe).clamp(1, 100_000)).expect("clamped");
     let mut per_iter: Vec<u64> = (0..samples)
-        .map(|_| run(n, iters) / u64::from(iters))
+        .map(|_| run(iters) / u64::from(iters))
         .collect();
     per_iter.sort_unstable();
     Timing {
@@ -136,22 +270,35 @@ fn measure(run: fn(usize, u32) -> u64, n: usize, target_ns: u64, samples: usize)
     }
 }
 
-/// The benchmark suite: `(name, runner, full sizes, reduced sizes)`.
+/// The scalar-vs-SIMD suite: `(name, runner, full sizes, reduced sizes)`.
 type Suite = [(
     &'static str,
     fn(usize, u32) -> u64,
     &'static [usize],
     &'static [usize],
-); 3];
+); 5];
 
 const SUITE: Suite = [
     ("gate_sweep_dense", gate_sweep_dense, &[14, 16, 18], &[10]),
     ("reflect_axpy", reflect_axpy, &[16], &[10]),
     ("reductions_dense", reductions_dense, &[16], &[10]),
+    ("throughput_sweep", throughput_sweep, &[8], &[6]),
+    ("adaptive_densify", adaptive_densify, &[10], &[6]),
 ];
 
-/// Restores automatic SIMD dispatch even if a benchmark panics.
-struct ForceGuard;
+/// Forces one SIMD dispatch level for its lifetime and restores automatic
+/// detection on drop, even if a benchmark panics. The criterion benches
+/// reuse it around the `pub` workload functions.
+pub struct ForceGuard;
+
+impl ForceGuard {
+    /// Forces `level` (`None` = auto-detect) and arms the reset-on-drop.
+    #[must_use = "dispatch resets when the guard drops"]
+    pub fn force(level: Option<SimdLevel>) -> Self {
+        simd::force(level);
+        ForceGuard
+    }
+}
 
 impl Drop for ForceGuard {
     fn drop(&mut self) {
@@ -159,12 +306,214 @@ impl Drop for ForceGuard {
     }
 }
 
-/// Run the full suite under both dispatch modes and return the JSON record.
+/// A collision-free scratch path for one benchmark store.
+fn bench_path(name: &str, mode: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oqsc-bench-{}-{name}-{mode}.cps",
+        std::process::id()
+    ))
+}
+
+/// `count` checkpoints of one dense A3 streamer mid-run — the payload set
+/// every store cell works over. Dense amplitude snapshots are the store's
+/// design-center payload: big, structured, and highly compressible.
+fn grover_checkpoints(qubits: usize, count: usize) -> Vec<SessionCheckpoint> {
+    let k = k_for(qubits);
+    let mut rng = StdRng::seed_from_u64(0xC0DE + qubits as u64);
+    let word = random_member(k, &mut rng).encode();
+    let step = (word.len() / count).max(1);
+    let mut session = Session::new(GroverStreamer::<StateVector>::with_j_seed_in(3, 0));
+    let mut out = Vec::new();
+    for (i, &sym) in word.iter().enumerate() {
+        session.feed(sym);
+        if (i + 1).is_multiple_of(step) && out.len() < count {
+            out.push(session.suspend());
+        }
+    }
+    out
+}
+
+/// Measures the three store cells (`checkpoint_roundtrip`, `store_open`,
+/// `store_recover`) in both payload modes. SIMD-independent: the work is
+/// framing, hashing, compression and I/O, not amplitude arithmetic.
+fn store_cells(results: &mut Vec<ResultRow>, reduced: bool, target_ns: u64, samples: usize) {
+    type Streamer = GroverStreamer<StateVector>;
+    let qubits = if reduced { 6 } else { 10 };
+    let cps = grover_checkpoints(qubits, STORE_BENCH_CHECKPOINTS);
+    for (mode, compress) in [("uncompressed", false), ("compressed", true)] {
+        // Round trip: fresh store, append every checkpoint, read each back.
+        let rt_path = bench_path("roundtrip", mode);
+        let timing = measure(
+            |iters| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    let _ = std::fs::remove_file(&rt_path);
+                    let mut store =
+                        CheckpointStore::create_for::<Streamer>(&rt_path).expect("create store");
+                    store.set_compression(compress);
+                    let keys: Vec<u128> = cps
+                        .iter()
+                        .enumerate()
+                        .map(|(i, cp)| store.append(i as u64, cp).expect("append"))
+                        .collect();
+                    let mut sink = 0u64;
+                    for key in keys {
+                        sink ^= store.get(key).expect("get").position();
+                    }
+                    std::hint::black_box(sink);
+                }
+                elapsed_ns(t)
+            },
+            target_ns,
+            samples,
+        );
+        results.push(ResultRow {
+            bench: "checkpoint_roundtrip",
+            qubits,
+            mode,
+            timing,
+        });
+        let _ = std::fs::remove_file(&rt_path);
+
+        // A prebuilt log shared by the open and recover cells.
+        let log_path = bench_path("openlog", mode);
+        let _ = std::fs::remove_file(&log_path);
+        {
+            let mut store =
+                CheckpointStore::create_for::<Streamer>(&log_path).expect("create store");
+            store.set_compression(compress);
+            for (i, cp) in cps.iter().enumerate() {
+                store.append(i as u64, cp).expect("append");
+            }
+        }
+        let timing = measure(
+            |iters| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    let store = CheckpointStore::open_for::<Streamer>(&log_path).expect("open");
+                    std::hint::black_box(store.records());
+                }
+                elapsed_ns(t)
+            },
+            target_ns,
+            samples,
+        );
+        results.push(ResultRow {
+            bench: "store_open",
+            qubits,
+            mode,
+            timing,
+        });
+        let timing = measure(
+            |iters| {
+                use std::io::Write;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    // Tear the tail; recover salvages the full prefix and
+                    // truncates the garbage away, so every iteration sees
+                    // the same file.
+                    let mut f = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(&log_path)
+                        .expect("open for tear");
+                    f.write_all(&[0xA5; 13]).expect("tear");
+                    drop(f);
+                    let (store, report) =
+                        CheckpointStore::recover_for::<Streamer>(&log_path).expect("recover");
+                    std::hint::black_box((store.records(), report.salvaged_records));
+                }
+                elapsed_ns(t)
+            },
+            target_ns,
+            samples,
+        );
+        results.push(ResultRow {
+            bench: "store_recover",
+            qubits,
+            mode,
+            timing,
+        });
+        let _ = std::fs::remove_file(&log_path);
+    }
+}
+
+/// Dense-backend E6 instance builder: the same member/non-member words as
+/// `e6_task`, driven by the Theorem 3.4 dense recognizer instead of the
+/// classical Proposition 3.7 decider — the sweep whose checkpoints are
+/// dense amplitude snapshots.
+fn e6_dense_task(i: usize) -> (ComplementRecognizer<StateVector>, std::vec::IntoIter<Sym>) {
+    let k = 1 + (i / 2) as u32;
+    let mut rng = StdRng::seed_from_u64(4000 + u64::from(k));
+    let member = random_member(k, &mut rng);
+    let non = random_nonmember(k, 1, &mut rng);
+    let first = ComplementRecognizer::new_in(&mut rng);
+    if i.is_multiple_of(2) {
+        (first, member.encode().into_iter())
+    } else {
+        let second = ComplementRecognizer::new_in(&mut rng);
+        (second, non.encode().into_iter())
+    }
+}
+
+/// Runs one resumable sweep twice — compression off, then on — into
+/// scratch stores and reports both on-disk footprints.
+fn store_row<D, W, F>(sweep: &'static str, count: usize, every: usize, task: F) -> StoreRow
+where
+    D: Checkpointable,
+    W: IntoIterator<Item = Sym>,
+    W::IntoIter: Send,
+    F: Fn(usize) -> (D, W) + Send + Sync + Copy,
+{
+    let runner = BatchRunner::serial();
+    let mut sizes = [0u64; 2];
+    let mut records = 0usize;
+    for (slot, compress) in [(0usize, false), (1usize, true)] {
+        let path = bench_path(sweep, if compress { "comp" } else { "raw" });
+        let _ = std::fs::remove_file(&path);
+        let mut store = CheckpointStore::create_for::<D>(&path).expect("create store");
+        store.set_compression(compress);
+        runner
+            .run_resumable(count, every, &mut store, task)
+            .expect("sweep");
+        records = store.records();
+        sizes[slot] = store.len_bytes();
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+    StoreRow {
+        sweep,
+        records,
+        uncompressed_bytes: sizes[0],
+        compressed_bytes: sizes[1],
+    }
+}
+
+/// The `stores` rows: real dense-backend E6 and F1 sweeps persisted
+/// through [`BatchRunner::run_resumable`] at a fixed checkpoint cadence,
+/// compressed vs uncompressed.
+fn sweep_store_rows(reduced: bool) -> Vec<StoreRow> {
+    let (k_max, every) = if reduced { (2u32, 64usize) } else { (4, 256) };
+    let mut rows = Vec::new();
+    rows.push(store_row(
+        "e6-dense",
+        2 * k_max as usize,
+        every,
+        e6_dense_task,
+    ));
+    let seeds = f1_seeds(k_max);
+    rows.push(store_row("f1-dense", seeds.len(), every, |i| {
+        separation_quantum_task(1, &seeds, i)
+    }));
+    rows
+}
+
+/// Run the full suite and return the JSON record.
 ///
 /// The scalar pass runs first (under `simd::force(Some(Scalar))`), then the
-/// auto pass; dispatch is restored to auto-detection before returning.
+/// auto pass, then the SIMD-independent store cells and sweep-store rows;
+/// dispatch is restored to auto-detection before returning.
 pub fn run_record(opts: RecordOpts) -> String {
-    let _guard = ForceGuard;
+    let _guard = ForceGuard::force(None);
     let (target_ns, samples) = if opts.reduced {
         (SAMPLE_TARGET_NS_REDUCED, SAMPLES_REDUCED)
     } else {
@@ -180,16 +529,20 @@ pub fn run_record(opts: RecordOpts) -> String {
                     bench,
                     qubits: n,
                     mode,
-                    timing: measure(run, n, target_ns, samples),
+                    timing: measure(|iters| run(n, iters), target_ns, samples),
                 });
             }
         }
     }
-    render_json(&results)
+    simd::force(None);
+    store_cells(&mut results, opts.reduced, target_ns, samples);
+    let stores = sweep_store_rows(opts.reduced);
+    render_json(&results, &stores)
 }
 
 /// Scalar-median / simd-median for every `(bench, qubits)` pair that has
-/// both modes measured.
+/// both modes measured (the store cells have no scalar/simd axis and so
+/// produce no derived rows).
 fn derived_speedups(results: &[ResultRow]) -> Vec<(&'static str, usize, f64)> {
     let mut out = Vec::new();
     for r in results.iter().filter(|r| r.mode == "scalar") {
@@ -206,7 +559,7 @@ fn derived_speedups(results: &[ResultRow]) -> Vec<(&'static str, usize, f64)> {
 
 /// Serialize the record. Keys are emitted in a fixed order so two runs of
 /// the same binary differ only in the measured numbers.
-fn render_json(results: &[ResultRow]) -> String {
+fn render_json(results: &[ResultRow], stores: &[StoreRow]) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"oqsc-bench-record/v1\",\n");
     json.push_str(&format!(
@@ -240,6 +593,19 @@ fn render_json(results: &[ResultRow]) -> String {
             if i + 1 == derived.len() { "" } else { "," },
         ));
     }
+    json.push_str("  ],\n  \"stores\": [\n");
+    for (i, s) in stores.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"sweep\": \"{}\", \"records\": {}, \"uncompressed_bytes\": {}, \
+             \"compressed_bytes\": {}, \"shrink\": {:.3} }}{}\n",
+            s.sweep,
+            s.records,
+            s.uncompressed_bytes,
+            s.compressed_bytes,
+            s.shrink(),
+            if i + 1 == stores.len() { "" } else { "," },
+        ));
+    }
     json.push_str("  ]\n}\n");
     json
 }
@@ -249,7 +615,8 @@ mod tests {
     use super::*;
 
     /// Structural smoke test on the reduced suite: every expected key is
-    /// present and both modes appear for every bench.
+    /// present, both SIMD modes appear for every suite bench, both payload
+    /// modes appear for every store cell, and both sweep-store rows exist.
     #[test]
     fn reduced_record_has_stable_schema() {
         let json = run_record(RecordOpts { reduced: true });
@@ -267,14 +634,46 @@ mod tests {
             "\"samples\"",
             "\"iters\"",
             "\"speedup\"",
+            "\"stores\"",
+            "\"records\"",
+            "\"uncompressed_bytes\"",
+            "\"compressed_bytes\"",
+            "\"shrink\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
-        for (bench, _, _, _) in SUITE {
+        for (bench, _, _, sizes) in SUITE {
             for mode in ["scalar", "simd"] {
-                let cell = format!("\"bench\": \"{bench}\", \"qubits\": 10, \"mode\": \"{mode}\"");
+                let cell = format!(
+                    "\"bench\": \"{bench}\", \"qubits\": {}, \"mode\": \"{mode}\"",
+                    sizes[0]
+                );
                 assert!(json.contains(&cell), "missing {cell} in:\n{json}");
             }
+        }
+        for bench in ["checkpoint_roundtrip", "store_open", "store_recover"] {
+            for mode in ["uncompressed", "compressed"] {
+                let cell = format!("\"bench\": \"{bench}\", \"qubits\": 6, \"mode\": \"{mode}\"");
+                assert!(json.contains(&cell), "missing {cell} in:\n{json}");
+            }
+        }
+        for sweep in ["e6-dense", "f1-dense"] {
+            assert!(
+                json.contains(&format!("\"sweep\": \"{sweep}\"")),
+                "missing {sweep} row"
+            );
+        }
+        // Dense-backend stores must actually shrink under compression even
+        // at the reduced sizes (the committed full record shows ≥2×).
+        let rows = sweep_store_rows(true);
+        for row in &rows {
+            assert!(
+                row.shrink() > 1.0,
+                "{} store did not shrink: {} -> {}",
+                row.sweep,
+                row.uncompressed_bytes,
+                row.compressed_bytes
+            );
         }
         // Dispatch must be restored after the run.
         assert_eq!(simd::active(), simd::detected());

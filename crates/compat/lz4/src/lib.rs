@@ -1,0 +1,420 @@
+//! Offline drop-in for the subset of the `lz4_flex` block API used by this
+//! workspace: raw LZ4 *block* compression (`block::compress` /
+//! `block::decompress`) — no frame headers, no checksums. Swap this path
+//! dependency for the real `lz4_flex` in `[workspace.dependencies]` when a
+//! registry is available.
+//!
+//! The encoder is a greedy single-pass hash-table matcher producing
+//! standard LZ4 sequences (token byte with literal-length / match-length
+//! nibbles, 255-extension bytes, 2-byte little-endian match offsets,
+//! minimum match length 4, literals-only final sequence). The decoder is
+//! written for hostile input: every read is bounds-checked, the output
+//! never grows past the declared uncompressed size, and declared sizes
+//! beyond LZ4's maximum expansion ratio are rejected *before* any
+//! allocation. A corrupted block therefore either fails with a typed
+//! [`block::DecompressError`] or decodes to exactly the declared length
+//! (callers that need bit-exactness — the checkpoint store — additionally
+//! hash the decoded bytes).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use block::{compress, decompress, DecompressError};
+
+/// LZ4 block format: compress and decompress raw blocks.
+pub mod block {
+    use std::fmt;
+
+    /// Minimum length of an LZ4 match.
+    const MIN_MATCH: usize = 4;
+    /// The last five bytes of a block must be literals.
+    const LAST_LITERALS: usize = 5;
+    /// Matches must not start within the last twelve bytes of the input.
+    const MFLIMIT: usize = 12;
+    /// Match offsets are 16-bit and non-zero.
+    const MAX_OFFSET: usize = 0xFFFF;
+    /// 2^13-entry hash table: 32 KiB of `u32` slots per compress call.
+    const HASH_BITS: u32 = 13;
+
+    /// Decoding failed: the block is truncated, corrupt, or does not
+    /// decode to the declared uncompressed size.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum DecompressError {
+        /// The input ended inside a token, length extension, or offset field.
+        ExpectedAnotherByte,
+        /// A literal run claimed more bytes than remain in the input.
+        LiteralOutOfBounds,
+        /// A match offset was zero or reached before the start of the output.
+        OffsetOutOfBounds,
+        /// The decoded output length does not equal the declared size.
+        UncompressedSizeDiffers {
+            /// Declared uncompressed size.
+            expected: usize,
+            /// Length the block actually decoded to (or would have exceeded).
+            actual: usize,
+        },
+        /// The declared size exceeds LZ4's maximum expansion of the input,
+        /// so the block is rejected before allocating output space.
+        UncompressedSizeTooLarge {
+            /// Declared uncompressed size.
+            declared: usize,
+            /// Largest size a block of this input length can decode to.
+            max: usize,
+        },
+    }
+
+    impl fmt::Display for DecompressError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                DecompressError::ExpectedAnotherByte => {
+                    write!(f, "compressed block ended mid-field")
+                }
+                DecompressError::LiteralOutOfBounds => {
+                    write!(f, "literal run exceeds compressed block")
+                }
+                DecompressError::OffsetOutOfBounds => {
+                    write!(f, "match offset outside decoded output")
+                }
+                DecompressError::UncompressedSizeDiffers { expected, actual } => {
+                    write!(f, "block decoded to {actual} bytes, expected {expected}")
+                }
+                DecompressError::UncompressedSizeTooLarge { declared, max } => {
+                    write!(
+                        f,
+                        "declared uncompressed size {declared} exceeds the \
+                         {max}-byte expansion bound for this block"
+                    )
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for DecompressError {}
+
+    /// Largest output a block of `input_len` bytes can legally decode to.
+    ///
+    /// Each 255-extension byte of input contributes at most 255 bytes of
+    /// output, so expansion is bounded by ~255x plus slack for the final
+    /// token; this caps allocation for hostile declared sizes.
+    pub fn max_decompressed_len(input_len: usize) -> usize {
+        input_len.saturating_mul(255).saturating_add(64)
+    }
+
+    fn hash(seq: u32) -> usize {
+        (seq.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+    }
+
+    fn read_u32_le(bytes: &[u8], at: usize) -> u32 {
+        u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+    }
+
+    /// Append `n` as a 255-extension run (used when a nibble is 15).
+    fn write_len_ext(out: &mut Vec<u8>, n: usize) {
+        if n >= 15 {
+            let mut rem = n - 15;
+            while rem >= 255 {
+                out.push(255);
+                rem -= 255;
+            }
+            out.push(rem as u8);
+        }
+    }
+
+    fn nibble(n: usize) -> u8 {
+        if n >= 15 {
+            15
+        } else {
+            n as u8
+        }
+    }
+
+    /// Final literals-only sequence (no offset, no match part).
+    fn emit_literal_run(out: &mut Vec<u8>, literals: &[u8]) {
+        out.push(nibble(literals.len()) << 4);
+        write_len_ext(out, literals.len());
+        out.extend_from_slice(literals);
+    }
+
+    fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
+        let ml = match_len - MIN_MATCH;
+        out.push((nibble(literals.len()) << 4) | nibble(ml));
+        write_len_ext(out, literals.len());
+        out.extend_from_slice(literals);
+        out.extend_from_slice(&offset.to_le_bytes());
+        write_len_ext(out, ml);
+    }
+
+    /// Compress `input` into a raw LZ4 block.
+    ///
+    /// Deterministic (greedy matcher, fixed hash table) and loss-free for
+    /// any input; incompressible input grows by at most ~0.4% plus a few
+    /// bytes, so callers should keep the original when the block is not
+    /// strictly smaller.
+    pub fn compress(input: &[u8]) -> Vec<u8> {
+        let len = input.len();
+        let mut out = Vec::with_capacity(len / 2 + 16);
+        if len < MFLIMIT {
+            emit_literal_run(&mut out, input);
+            return out;
+        }
+        // Hash slots store position + 1 so 0 can mean "empty".
+        let mut table = vec![0u32; 1 << HASH_BITS];
+        let match_limit = len - LAST_LITERALS;
+        let ip_limit = len - MFLIMIT;
+        let mut anchor = 0usize;
+        let mut ip = 0usize;
+        while ip <= ip_limit {
+            let seq = read_u32_le(input, ip);
+            let slot = hash(seq);
+            let cand = table[slot] as usize;
+            table[slot] = (ip + 1) as u32;
+            if cand != 0 {
+                let cand = cand - 1;
+                if ip - cand <= MAX_OFFSET && read_u32_le(input, cand) == seq {
+                    let mut mlen = MIN_MATCH;
+                    while ip + mlen < match_limit && input[cand + mlen] == input[ip + mlen] {
+                        mlen += 1;
+                    }
+                    emit_sequence(&mut out, &input[anchor..ip], (ip - cand) as u16, mlen);
+                    ip += mlen;
+                    anchor = ip;
+                    continue;
+                }
+            }
+            ip += 1;
+        }
+        emit_literal_run(&mut out, &input[anchor..]);
+        out
+    }
+
+    /// Read a 255-extension run starting at `*ip`, returning the extra length.
+    fn read_len_ext(input: &[u8], ip: &mut usize) -> Result<usize, DecompressError> {
+        let mut extra = 0usize;
+        loop {
+            let b = *input.get(*ip).ok_or(DecompressError::ExpectedAnotherByte)?;
+            *ip += 1;
+            extra += b as usize;
+            if b != 255 {
+                return Ok(extra);
+            }
+        }
+    }
+
+    /// Decompress a raw LZ4 block that must decode to exactly
+    /// `uncompressed_size` bytes.
+    ///
+    /// Never panics and never allocates more than `uncompressed_size`
+    /// (itself pre-checked against [`max_decompressed_len`]): corrupt or
+    /// truncated blocks fail with a typed error. A bit-flipped block *can*
+    /// decode successfully to the right length with wrong bytes — callers
+    /// needing integrity must verify the decoded bytes (the checkpoint
+    /// store hashes them against the record's content key).
+    pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, DecompressError> {
+        if uncompressed_size > max_decompressed_len(input.len()) {
+            return Err(DecompressError::UncompressedSizeTooLarge {
+                declared: uncompressed_size,
+                max: max_decompressed_len(input.len()),
+            });
+        }
+        if input.is_empty() && uncompressed_size == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(uncompressed_size);
+        let mut ip = 0usize;
+        loop {
+            let token = *input.get(ip).ok_or(DecompressError::ExpectedAnotherByte)?;
+            ip += 1;
+            let mut lit = (token >> 4) as usize;
+            if lit == 15 {
+                lit += read_len_ext(input, &mut ip)?;
+            }
+            let lit_end = ip
+                .checked_add(lit)
+                .ok_or(DecompressError::LiteralOutOfBounds)?;
+            if lit_end > input.len() {
+                return Err(DecompressError::LiteralOutOfBounds);
+            }
+            if out.len() + lit > uncompressed_size {
+                return Err(DecompressError::UncompressedSizeDiffers {
+                    expected: uncompressed_size,
+                    actual: out.len() + lit,
+                });
+            }
+            out.extend_from_slice(&input[ip..lit_end]);
+            ip = lit_end;
+            if ip == input.len() {
+                // Final sequence: literals only.
+                break;
+            }
+            if ip + 2 > input.len() {
+                return Err(DecompressError::ExpectedAnotherByte);
+            }
+            let offset = u16::from_le_bytes([input[ip], input[ip + 1]]) as usize;
+            ip += 2;
+            if offset == 0 || offset > out.len() {
+                return Err(DecompressError::OffsetOutOfBounds);
+            }
+            let mut mlen = (token & 0x0F) as usize;
+            if mlen == 15 {
+                mlen += read_len_ext(input, &mut ip)?;
+            }
+            mlen += MIN_MATCH;
+            if out.len() + mlen > uncompressed_size {
+                return Err(DecompressError::UncompressedSizeDiffers {
+                    expected: uncompressed_size,
+                    actual: out.len() + mlen,
+                });
+            }
+            // Byte-at-a-time so overlapping matches (offset < length)
+            // replicate the just-written bytes, as the format requires.
+            let start = out.len() - offset;
+            for i in 0..mlen {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+        if out.len() != uncompressed_size {
+            return Err(DecompressError::UncompressedSizeDiffers {
+                expected: uncompressed_size,
+                actual: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::block::{compress, decompress, max_decompressed_len, DecompressError};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let block = compress(input);
+        let back = decompress(&block, input.len()).expect("round trip");
+        assert_eq!(back, input, "round trip of {} bytes", input.len());
+        block
+    }
+
+    fn sample_inputs() -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(0x1234);
+        let mut inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"short input".to_vec(),
+            vec![0u8; 10_000],
+            b"abcd".repeat(500),
+            (0..=255u8).collect::<Vec<u8>>().repeat(7),
+            [1, 2, 3].repeat(1_000),
+        ];
+        // Incompressible noise.
+        inputs.push((0..4_096).map(|_| rng.gen::<u8>()).collect());
+        // The shape the checkpoint store cares about: a mostly-zero dense
+        // state vector as raw f64 bit patterns.
+        let mut state = vec![0f64; 1 << 10];
+        for slot in state.iter_mut().step_by(37) {
+            *slot = rng.gen::<f64>();
+        }
+        inputs.push(
+            state
+                .iter()
+                .flat_map(|a| a.to_bits().to_le_bytes())
+                .collect(),
+        );
+        inputs
+    }
+
+    #[test]
+    fn round_trips_and_compresses_redundant_inputs() {
+        for input in sample_inputs() {
+            let block = round_trip(&input);
+            if input.len() >= 1_000 && input != block {
+                // All the large redundant samples must actually shrink.
+                let redundant = input.windows(2).filter(|w| w[0] == w[1]).count();
+                if redundant > input.len() / 2 {
+                    assert!(
+                        block.len() < input.len() / 2,
+                        "redundant input compressed {} -> {}",
+                        input.len(),
+                        block.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_matches_replicate_bytes() {
+        // Period-3 data forces offset (3) < match length: the decoder must
+        // copy bytes it has just written.
+        let input = [9u8, 7, 5].repeat(2_000);
+        round_trip(&input);
+    }
+
+    #[test]
+    fn every_truncation_of_a_block_is_a_typed_error() {
+        for input in sample_inputs() {
+            if input.len() < 12 {
+                continue;
+            }
+            let block = compress(&input);
+            for cut in 0..block.len() {
+                if let Ok(out) = decompress(&block[..cut], input.len()) {
+                    panic!(
+                        "truncated block ({}/{} bytes) decoded to {} bytes",
+                        cut,
+                        block.len(),
+                        out.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_errors_or_decodes_to_declared_length() {
+        let mut rng = StdRng::seed_from_u64(0xF11);
+        let mut state = vec![0f64; 1 << 8];
+        for slot in state.iter_mut().step_by(11) {
+            *slot = rng.gen::<f64>();
+        }
+        let input: Vec<u8> = state
+            .iter()
+            .flat_map(|a| a.to_bits().to_le_bytes())
+            .collect();
+        let block = compress(&input);
+        for flip in 0..block.len() {
+            let mut bad = block.clone();
+            bad[flip] ^= 0xFF;
+            if let Ok(out) = decompress(&bad, input.len()) {
+                // Wrong bytes are possible; a wrong length never is.
+                assert_eq!(out.len(), input.len(), "flip at {flip}");
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_declared_sizes_are_rejected_before_allocation() {
+        let input = b"abcd".repeat(64);
+        let block = compress(&input);
+        let huge = usize::MAX / 2;
+        assert!(matches!(
+            decompress(&block, huge),
+            Err(DecompressError::UncompressedSizeTooLarge { declared, .. }) if declared == huge
+        ));
+        assert!(huge > max_decompressed_len(block.len()));
+        // Off-by-one declared sizes must fail, not silently mis-size.
+        assert!(decompress(&block, input.len() + 1).is_err());
+        assert!(decompress(&block, input.len() - 1).is_err());
+        assert!(decompress(&block, 0).is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        assert_eq!(decompress(&compress(&[]), 0).unwrap(), Vec::<u8>::new());
+        assert_eq!(decompress(&[], 0).unwrap(), Vec::<u8>::new());
+        for n in 1..32usize {
+            let input: Vec<u8> = (0..n as u8).collect();
+            round_trip(&input);
+        }
+    }
+}

@@ -24,6 +24,20 @@
 //!   finished instance leaves behind, so a resumed sweep can *skip* the
 //!   instance instead of replaying it from its last checkpoint
 //!   (DESIGN.md §9).
+//! * **Compression (format v3)** — checkpoint and outcome payloads at
+//!   least [`COMPRESS_MIN_LEN`] bytes long are LZ4-block-compressed (the
+//!   vendored `lz4_flex` shim) when that makes them strictly smaller;
+//!   each full record carries a compressed flag plus both the stored and
+//!   uncompressed byte lengths. Content keys are always computed over
+//!   the *uncompressed* bytes, so dedupe-ref records and compaction's
+//!   one-record-per-instance rewrite are untouched by the codec choice.
+//!   Version-2 stores (uncompressed layout) still open — read-only —
+//!   and are upgraded in place by [`CheckpointStore::compact`].
+//! * **Streaming scan** — `open`, `recover`, and `compact` never load
+//!   the log into memory: a seek-based [`RecordScanner`] validates one
+//!   record at a time, so resident memory is bounded by one payload
+//!   (plus its decompressed form) and the fixed-size key index,
+//!   regardless of log length.
 //! * **Recovery** — [`CheckpointStore::open`] is strict: a truncated
 //!   tail (the signature of a crash mid-append) or a bit-flipped record
 //!   is an error. [`CheckpointStore::recover`] salvages instead: it
@@ -56,15 +70,27 @@ use crate::session::{CheckpointError, Checkpointable, SessionCheckpoint, CHECKPO
 use crate::streaming::RunOutcome;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// The store's own format version (independent of [`CHECKPOINT_VERSION`],
 /// which versions the checkpoint payload bytes). Version 2 added the
 /// outcome record kinds and their fixed-width [`RunOutcome`] payload —
 /// version-1 logs hold no outcomes, so they are rejected rather than
-/// resumed with silent replays.
-pub const STORE_VERSION: u8 = 2;
+/// resumed with silent replays. Version 3 added per-payload LZ4 block
+/// compression (flag + uncompressed length on every full record);
+/// version-2 stores open read-only and are upgraded by
+/// [`CheckpointStore::compact`].
+pub const STORE_VERSION: u8 = 3;
+
+/// The previous store format (uncompressed full records): still readable,
+/// opened read-only, upgraded in place by [`CheckpointStore::compact`].
+pub const STORE_VERSION_V2: u8 = 2;
+
+/// Payloads shorter than this are stored raw: the LZ4 token overhead and
+/// the extra length field cannot pay for themselves on tiny payloads
+/// (outcome payloads, at 25 bytes, are always raw).
+pub const COMPRESS_MIN_LEN: usize = 64;
 
 /// The 8-byte magic opening every store file.
 pub const STORE_MAGIC: [u8; 8] = *b"OQSC-CPS";
@@ -79,6 +105,15 @@ const RECORD_OUTCOME_FULL: u8 = 3;
 const RECORD_OUTCOME_REF: u8 = 4;
 /// kind (1) + instance (8) + position (8) + key (16) + header check (8).
 const RECORD_HEADER_LEN: u64 = 41;
+/// v3 full-record metadata: flags (1) + uncompressed len (8) + stored
+/// len (8). The flags byte and lengths sit *outside* the header check —
+/// corruption there is caught by the bounds checks, the decompressor,
+/// and the content hash over the uncompressed bytes.
+const FULL_META_LEN_V3: u64 = 17;
+/// v2 full-record metadata: payload len (8) only.
+const FULL_META_LEN_V2: u64 = 8;
+/// Flag bit: the stored bytes are an LZ4 block of the payload.
+const FLAG_COMPRESSED: u8 = 1;
 
 /// Byte length of an encoded [`RunOutcome`] payload: accept (1) +
 /// classical bits (8) + peak qubits (8) + peak amplitudes (8).
@@ -125,6 +160,20 @@ pub enum StoreError {
         /// Offset of the corrupt record.
         offset: u64,
     },
+    /// A compressed payload's stored bytes do not decode as a valid LZ4
+    /// block of the recorded uncompressed length (bit flip or hostile
+    /// frame) — never a panic, never garbage bytes handed to a caller.
+    CorruptCompressed {
+        /// Offset of the stored (compressed) bytes.
+        offset: u64,
+    },
+    /// The store was opened from an older format version, which is
+    /// read-only: appends are refused until a compaction upgrades the
+    /// file to the current layout.
+    ReadOnly {
+        /// The store format version the file was written under.
+        version: u8,
+    },
     /// [`CheckpointStore::get`] was asked for a key the store does not
     /// hold.
     UnknownKey,
@@ -149,7 +198,11 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
             StoreError::NotAStore => write!(f, "not a checkpoint store (missing magic)"),
             StoreError::UnsupportedStoreVersion(v) => {
-                write!(f, "unsupported store version {v} (this build reads {STORE_VERSION})")
+                write!(
+                    f,
+                    "unsupported store version {v} (this build reads {STORE_VERSION_V2} \
+                     read-only and {STORE_VERSION})"
+                )
             }
             StoreError::CheckpointVersionMismatch { found } => write!(
                 f,
@@ -168,6 +221,14 @@ impl std::fmt::Display for StoreError {
             StoreError::CorruptRecord { offset } => {
                 write!(f, "corrupt store record at byte {offset}")
             }
+            StoreError::CorruptCompressed { offset } => {
+                write!(f, "corrupt compressed payload at byte {offset}")
+            }
+            StoreError::ReadOnly { version } => write!(
+                f,
+                "store uses the older v{version} format and is read-only; compact it \
+                 (experiments --compact) to upgrade to v{STORE_VERSION}"
+            ),
             StoreError::UnknownKey => write!(f, "no record with the requested content key"),
             StoreError::Locked { lock_path } => write!(
                 f,
@@ -191,6 +252,20 @@ impl std::error::Error for StoreError {
             StoreError::Checkpoint(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl StoreError {
+    /// Whether recovery may treat this error as "end of the valid
+    /// prefix" (record-level damage) rather than a fatal condition
+    /// (I/O failure, header mismatch).
+    fn is_salvageable(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Truncated { .. }
+                | StoreError::CorruptRecord { .. }
+                | StoreError::CorruptCompressed { .. }
+        )
     }
 }
 
@@ -337,6 +412,61 @@ pub struct RecoveryReport {
     pub salvaged_records: usize,
     /// Bytes of truncated or corrupt tail that were discarded.
     pub dropped_bytes: u64,
+    /// Records the scanner attempted to validate: `salvaged_records`,
+    /// plus one if a torn tail record failed. Salvage is a single
+    /// forward pass — it never re-validates the prefix after finding
+    /// the tear — so this never exceeds `salvaged_records + 1`.
+    pub scanned_records: usize,
+}
+
+/// Per-file store statistics, as reported by [`CheckpointStore::stats`]
+/// (and `experiments --store-stats`). Byte totals cover the distinct
+/// stored payloads (what dedupe kept), not the ref records pointing at
+/// them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Store format version of the file.
+    pub version: u8,
+    /// Total records (full + ref, checkpoints + outcomes).
+    pub records: usize,
+    /// Records that carry a payload.
+    pub full_records: usize,
+    /// Dedupe ref records (no payload).
+    pub ref_records: usize,
+    /// Distinct payloads stored (equals `full_records` on honest logs).
+    pub payloads: usize,
+    /// Stored payloads that are LZ4-compressed.
+    pub compressed_payloads: usize,
+    /// On-disk bytes of the stored payloads (compressed where flagged).
+    pub stored_payload_bytes: u64,
+    /// Logical (uncompressed) bytes of the stored payloads.
+    pub uncompressed_payload_bytes: u64,
+    /// Instances with at least one checkpoint or outcome.
+    pub instances: usize,
+    /// Instances with a persisted final outcome.
+    pub finished_instances: usize,
+    /// Size of the log file in bytes.
+    pub file_bytes: u64,
+}
+
+impl StoreStats {
+    /// Fraction of records that were dedupe refs (0.0 when empty).
+    pub fn dedupe_hit_rate(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.ref_records as f64 / self.records as f64
+        }
+    }
+
+    /// Logical bytes per stored byte (1.0 when nothing is stored).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_payload_bytes == 0 {
+            1.0
+        } else {
+            self.uncompressed_payload_bytes as f64 / self.stored_payload_bytes as f64
+        }
+    }
 }
 
 /// What [`CheckpointStore::compact`] did to the log.
@@ -350,12 +480,27 @@ pub struct CompactionReport {
     pub bytes_before: u64,
     /// Log size in bytes after.
     pub bytes_after: u64,
+    /// Full statistics before compaction.
+    pub before: StoreStats,
+    /// Full statistics after (always the current store version: a
+    /// version-2 store that was compacted has been upgraded).
+    pub after: StoreStats,
 }
 
+/// Where (and how) one distinct payload lives in the log.
 #[derive(Clone, Copy, Debug)]
 struct PayloadLoc {
+    /// Offset of the stored bytes (past the record header + metadata).
     offset: u64,
-    len: u64,
+    /// On-disk byte count (the LZ4 block length when `compressed`).
+    stored_len: u64,
+    /// Length of the payload proper.
+    uncompressed_len: u64,
+    compressed: bool,
+    /// Whether the payload decodes as a [`RunOutcome`] — recorded when
+    /// the full record is first scanned, so validating an outcome-ref
+    /// record never has to re-read (or re-decompress) the payload.
+    outcome_shaped: bool,
 }
 
 /// A content-addressed, append-only log of [`SessionCheckpoint`]s and
@@ -365,8 +510,17 @@ struct PayloadLoc {
 pub struct CheckpointStore {
     file: File,
     path: PathBuf,
-    /// The validated header bytes (compaction rewrites them verbatim).
-    header: Vec<u8>,
+    /// The decider tag the header records (compaction re-renders a
+    /// fresh current-version header from it — the v2 upgrade path).
+    tag: String,
+    /// Store format version of the file on disk.
+    version: u8,
+    /// False for stores opened from an older format: reads work,
+    /// appends are refused until `compact` upgrades the file.
+    writable: bool,
+    /// Whether appends compress eligible payloads (default true on v3;
+    /// [`Self::set_compression`] is the benchmark/testing toggle).
+    compression: bool,
     /// Logical end of valid data (everything before it has been
     /// validated or written by this handle).
     end: u64,
@@ -378,6 +532,11 @@ pub struct CheckpointStore {
     /// instances that ran to completion.
     finished: HashMap<u64, (u64, u128)>,
     records: usize,
+    full_records: usize,
+    /// Largest payload footprint (stored + decompressed bytes) this
+    /// handle has ever buffered — open scan, reads, and compaction all
+    /// feed it, which is what pins the O(1)-memory contract in tests.
+    peak_resident: u64,
     _lock: LockGuard,
 }
 
@@ -387,6 +546,23 @@ impl CheckpointStore {
     /// ([`StoreError::AlreadyExists`]) — resuming goes through
     /// [`recover`](Self::recover) instead.
     pub fn create(path: impl AsRef<Path>, tag: &str) -> Result<Self, StoreError> {
+        Self::create_with_version(path, tag, STORE_VERSION)
+    }
+
+    /// [`create`](Self::create) pinned to a specific store format
+    /// version — the legacy-writer hook behind `experiments
+    /// --store-format 2`, kept so the v2→v3 upgrade path stays testable
+    /// end to end. A version-2 store created through this handle is
+    /// writable (it writes pure v2-layout records); *re*-opening it
+    /// later is read-only like any other v2 file.
+    pub fn create_with_version(
+        path: impl AsRef<Path>,
+        tag: &str,
+        version: u8,
+    ) -> Result<Self, StoreError> {
+        if version != STORE_VERSION && version != STORE_VERSION_V2 {
+            return Err(StoreError::UnsupportedStoreVersion(version));
+        }
         let path = path.as_ref();
         // Lock first: a live writer reports `Locked`, not `AlreadyExists`.
         let lock = LockGuard::acquire(path)?;
@@ -395,12 +571,7 @@ impl CheckpointStore {
                 path: path.to_path_buf(),
             });
         }
-        let mut header = Vec::with_capacity(32);
-        header.extend_from_slice(&STORE_MAGIC);
-        header.push(STORE_VERSION);
-        header.push(CHECKPOINT_VERSION);
-        push_short_str(&mut header, WORKSPACE_VERSION);
-        push_short_str(&mut header, tag);
+        let header = render_header(tag, version);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -410,12 +581,17 @@ impl CheckpointStore {
         Ok(CheckpointStore {
             file,
             path: path.to_path_buf(),
+            tag: tag.to_string(),
+            version,
+            writable: true,
+            compression: version == STORE_VERSION,
             end: header.len() as u64,
-            header,
             index: HashMap::new(),
             latest: HashMap::new(),
             finished: HashMap::new(),
             records: 0,
+            full_records: 0,
+            peak_resident: 0,
             _lock: lock,
         })
     }
@@ -476,23 +652,32 @@ impl CheckpointStore {
     ) -> Result<(Self, RecoveryReport), StoreError> {
         let lock = LockGuard::acquire(path)?;
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
-        let header_len = validate_header(&bytes, tag)?;
-        let mut index = HashMap::new();
+        let file_len = file.metadata()?.len();
+        // The header is self-limiting (u8 length prefixes), so one
+        // bounded read suffices no matter how large the log is.
+        let mut head = Vec::with_capacity(MAX_HEADER_LEN);
+        (&mut file)
+            .take(MAX_HEADER_LEN as u64)
+            .read_to_end(&mut head)?;
+        let (header_len, version) = validate_header(&head, tag)?;
         let mut latest: HashMap<u64, (u64, u128)> = HashMap::new();
         let mut finished: HashMap<u64, (u64, u128)> = HashMap::new();
-        let mut records = 0usize;
-        let mut off = header_len;
+        let mut full_records = 0usize;
+        // Stream the record section: one record resident at a time. The
+        // salvage path is the same single forward pass — on a torn tail
+        // it stops at the failed record's start offset, never
+        // re-validating the prefix it already accepted.
+        file.seek(SeekFrom::Start(header_len))?;
+        let mut scanner = RecordScanner::new(
+            BufReader::with_capacity(8192, &file),
+            file_len,
+            version,
+            header_len,
+        );
         let end = loop {
-            if off == bytes.len() as u64 {
-                break off;
-            }
-            match scan_record(&bytes, off, &index) {
-                Ok(rec) => {
-                    if let Some(loc) = rec.stored {
-                        index.insert(rec.key, loc);
-                    }
+            match scanner.next_record() {
+                Ok(Some(rec)) => {
+                    full_records += usize::from(rec.full);
                     if rec.outcome {
                         finished.insert(rec.instance, (rec.position, rec.key));
                     } else {
@@ -501,20 +686,17 @@ impl CheckpointStore {
                             *slot = (rec.position, rec.key);
                         }
                     }
-                    records += 1;
-                    off = rec.next;
                 }
-                Err(e) if salvage => {
-                    debug_assert!(matches!(
-                        e,
-                        StoreError::Truncated { .. } | StoreError::CorruptRecord { .. }
-                    ));
-                    break off;
-                }
+                Ok(None) => break scanner.offset(),
+                Err(e) if salvage && e.is_salvageable() => break scanner.offset(),
                 Err(e) => return Err(e),
             }
         };
-        let dropped = bytes.len() as u64 - end;
+        let records = scanner.records_scanned();
+        let scanned = scanner.validation_attempts();
+        let peak_resident = scanner.peak_resident_bytes();
+        let index = scanner.into_index();
+        let dropped = file_len - end;
         if dropped > 0 {
             file.set_len(end)?;
         }
@@ -522,17 +704,23 @@ impl CheckpointStore {
             CheckpointStore {
                 file,
                 path: path.to_path_buf(),
-                header: bytes[..header_len as usize].to_vec(),
+                tag: tag.to_string(),
+                version,
+                writable: version == STORE_VERSION,
+                compression: true,
                 end,
                 index,
                 latest,
                 finished,
                 records,
+                full_records,
+                peak_resident,
                 _lock: lock,
             },
             RecoveryReport {
                 salvaged_records: records,
                 dropped_bytes: dropped,
+                scanned_records: scanned,
             },
         ))
     }
@@ -547,32 +735,41 @@ impl CheckpointStore {
         position: u64,
         payload: &[u8],
     ) -> Result<u128, StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly {
+                version: self.version,
+            });
+        }
         let key = content_key(payload);
         let kind = if self.index.contains_key(&key) {
             ref_kind
         } else {
             full_kind
         };
-        let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len() + 8);
+        let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len() + 24);
         rec.push(kind);
         rec.extend_from_slice(&instance.to_le_bytes());
         rec.extend_from_slice(&position.to_le_bytes());
         rec.extend_from_slice(&key.to_le_bytes());
         rec.extend_from_slice(&record_header_check(kind, instance, position, key).to_le_bytes());
-        if kind == full_kind {
-            rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            rec.extend_from_slice(payload);
-        }
+        let loc = if kind == full_kind {
+            let (stored_len, compressed, meta_len) =
+                encode_full_body(self.version, self.compression, payload, &mut rec);
+            Some(PayloadLoc {
+                offset: self.end + RECORD_HEADER_LEN + meta_len,
+                stored_len,
+                uncompressed_len: payload.len() as u64,
+                compressed,
+                outcome_shaped: decode_outcome(payload).is_some(),
+            })
+        } else {
+            None
+        };
         self.file.seek(SeekFrom::Start(self.end))?;
         self.file.write_all(&rec)?;
-        if kind == full_kind {
-            self.index.insert(
-                key,
-                PayloadLoc {
-                    offset: self.end + RECORD_HEADER_LEN + 8,
-                    len: payload.len() as u64,
-                },
-            );
+        if let Some(loc) = loc {
+            self.index.insert(key, loc);
+            self.full_records += 1;
         }
         self.end += rec.len() as u64;
         self.records += 1;
@@ -619,8 +816,19 @@ impl CheckpointStore {
     fn get_payload(&mut self, key: u128) -> Result<Vec<u8>, StoreError> {
         let loc = *self.index.get(&key).ok_or(StoreError::UnknownKey)?;
         self.file.seek(SeekFrom::Start(loc.offset))?;
-        let mut payload = vec![0u8; loc.len as usize];
-        self.file.read_exact(&mut payload)?;
+        let mut stored = vec![0u8; loc.stored_len as usize];
+        self.file.read_exact(&mut stored)?;
+        let payload = if loc.compressed {
+            let payload = lz4_flex::block::decompress(&stored, loc.uncompressed_len as usize)
+                .map_err(|_| StoreError::CorruptCompressed { offset: loc.offset })?;
+            self.peak_resident = self
+                .peak_resident
+                .max(loc.stored_len + loc.uncompressed_len);
+            payload
+        } else {
+            self.peak_resident = self.peak_resident.max(loc.stored_len);
+            stored
+        };
         if content_key(&payload) != key {
             return Err(StoreError::CorruptRecord { offset: loc.offset });
         }
@@ -700,6 +908,57 @@ impl CheckpointStore {
         &self.path
     }
 
+    /// Store format version of the file this handle is on.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Whether appends are allowed (false for stores opened from an
+    /// older format version — [`compact`](Self::compact) upgrades them).
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Toggles payload compression for subsequent appends (and for
+    /// compaction rewrites). On by default for current-format stores;
+    /// the off switch exists for benchmarks and tests that need an
+    /// uncompressed baseline. Per-record flags make mixed logs valid.
+    pub fn set_compression(&mut self, enabled: bool) {
+        self.compression = enabled && self.version == STORE_VERSION;
+    }
+
+    /// Largest payload footprint (stored bytes, plus decompressed bytes
+    /// where applicable) this handle has ever held in memory at once —
+    /// across the open scan, reads, and compaction. The O(1)-memory
+    /// tests pin this against the log size.
+    pub fn peak_resident_payload_bytes(&self) -> u64 {
+        self.peak_resident
+    }
+
+    /// Per-file statistics: record mix, dedupe hit rate inputs, and the
+    /// compressed/uncompressed payload byte totals.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats {
+            version: self.version,
+            records: self.records,
+            full_records: self.full_records,
+            ref_records: self.records - self.full_records,
+            payloads: self.index.len(),
+            compressed_payloads: 0,
+            stored_payload_bytes: 0,
+            uncompressed_payload_bytes: 0,
+            instances: self.instances(),
+            finished_instances: self.finished.len(),
+            file_bytes: self.end,
+        };
+        for loc in self.index.values() {
+            stats.stored_payload_bytes += loc.stored_len;
+            stats.uncompressed_payload_bytes += loc.uncompressed_len;
+            stats.compressed_payloads += usize::from(loc.compressed);
+        }
+        stats
+    }
+
     /// Rewrites the log keeping exactly one record per instance — its
     /// outcome if it finished, its latest checkpoint otherwise — into a
     /// sibling temp file, then atomically renames it over the log and
@@ -710,12 +969,7 @@ impl CheckpointStore {
     /// identically. The lock is held throughout; a crash before the
     /// rename leaves the old log untouched.
     pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
-        let before = CompactionReport {
-            records_before: self.records,
-            records_after: 0,
-            bytes_before: self.end,
-            bytes_after: 0,
-        };
+        let stats_before = self.stats();
         // One surviving record per instance, in instance order (so the
         // compacted bytes are a pure function of the logical contents).
         let mut survivors: Vec<(u64, u64, u128, bool)> = Vec::new();
@@ -747,8 +1001,13 @@ impl CheckpointStore {
         let mut index = HashMap::new();
         let mut latest = HashMap::new();
         let mut finished = HashMap::new();
-        tmp.write_all(&self.header)?;
-        let mut end = self.header.len() as u64;
+        let mut full_records = 0usize;
+        // Always render a fresh current-version header: compacting a
+        // read-only v2 store is exactly how it upgrades to v3 (payloads
+        // are recompressed under the current policy on the way).
+        let header = render_header(&self.tag, STORE_VERSION);
+        tmp.write_all(&header)?;
+        let mut end = header.len() as u64;
         for &(instance, position, key, is_outcome) in &survivors {
             let (full_kind, ref_kind) = if is_outcome {
                 (RECORD_OUTCOME_FULL, RECORD_OUTCOME_REF)
@@ -760,7 +1019,7 @@ impl CheckpointStore {
             } else {
                 full_kind
             };
-            let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + 8);
+            let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + 24);
             rec.push(kind);
             rec.extend_from_slice(&instance.to_le_bytes());
             rec.extend_from_slice(&position.to_le_bytes());
@@ -770,17 +1029,21 @@ impl CheckpointStore {
             );
             if kind == full_kind {
                 let payload = self.get_payload(key)?;
-                rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                let (stored_len, compressed, meta_len) =
+                    encode_full_body(STORE_VERSION, self.compression, &payload, &mut rec);
                 tmp.write_all(&rec)?;
-                tmp.write_all(&payload)?;
                 index.insert(
                     key,
                     PayloadLoc {
-                        offset: end + rec.len() as u64,
-                        len: payload.len() as u64,
+                        offset: end + RECORD_HEADER_LEN + meta_len,
+                        stored_len,
+                        uncompressed_len: payload.len() as u64,
+                        compressed,
+                        outcome_shaped: decode_outcome(&payload).is_some(),
                     },
                 );
-                end += rec.len() as u64 + payload.len() as u64;
+                end += rec.len() as u64;
+                full_records += 1;
             } else {
                 tmp.write_all(&rec)?;
                 end += rec.len() as u64;
@@ -806,10 +1069,16 @@ impl CheckpointStore {
         self.latest = latest;
         self.finished = finished;
         self.records = survivors.len();
+        self.full_records = full_records;
+        self.version = STORE_VERSION;
+        self.writable = true;
         Ok(CompactionReport {
+            records_before: stats_before.records,
             records_after: self.records,
+            bytes_before: stats_before.file_bytes,
             bytes_after: self.end,
-            ..before
+            before: stats_before,
+            after: self.stats(),
         })
     }
 
@@ -833,11 +1102,79 @@ impl CheckpointStore {
 /// peeking a multi-hundred-megabyte resume-heavy log costs one small
 /// read, not a full scan.
 pub fn peek_tag(path: impl AsRef<Path>) -> Result<String, StoreError> {
+    peek_header(path).map(|h| h.tag)
+}
+
+/// Header facts of a store file, as read by [`peek_header`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreHeader {
+    /// Byte length of the header (records start here).
+    pub len: u64,
+    /// Store format version of the file.
+    pub version: u8,
+    /// Decider [`Checkpointable::TYPE_TAG`] the store was written for.
+    pub tag: String,
+}
+
+/// Reads and validates a store file's header without scanning any
+/// records — the bounded-read entry point tooling (and the
+/// [`RecordScanner`] tests) use to find where records start and which
+/// format they use.
+pub fn peek_header(path: impl AsRef<Path>) -> Result<StoreHeader, StoreError> {
     let mut bytes = Vec::with_capacity(MAX_HEADER_LEN);
     File::open(path.as_ref())?
         .take(MAX_HEADER_LEN as u64)
         .read_to_end(&mut bytes)?;
-    validate_header_tag(&bytes).map(|(_, tag)| tag)
+    validate_header_tag(&bytes).map(|(len, version, tag)| StoreHeader { len, version, tag })
+}
+
+/// Renders a store header for `tag` under the given format version.
+fn render_header(tag: &str, version: u8) -> Vec<u8> {
+    let mut header = Vec::with_capacity(32);
+    header.extend_from_slice(&STORE_MAGIC);
+    header.push(version);
+    header.push(CHECKPOINT_VERSION);
+    push_short_str(&mut header, WORKSPACE_VERSION);
+    push_short_str(&mut header, tag);
+    header
+}
+
+/// Encodes the body of a full record (everything after the 41-byte
+/// record header) into `rec` under the given format version, applying
+/// the compression policy for v3. Returns the stored byte count, the
+/// compressed flag, and the metadata length — what the caller needs to
+/// build the [`PayloadLoc`].
+fn encode_full_body(
+    version: u8,
+    compression: bool,
+    payload: &[u8],
+    rec: &mut Vec<u8>,
+) -> (u64, bool, u64) {
+    if version == STORE_VERSION_V2 {
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(payload);
+        return (payload.len() as u64, false, FULL_META_LEN_V2);
+    }
+    // Compress only when it is a strict win; per-record flags mean the
+    // decision never has to be revisited by readers.
+    let block = if compression && payload.len() >= COMPRESS_MIN_LEN {
+        Some(lz4_flex::block::compress(payload)).filter(|b| b.len() < payload.len())
+    } else {
+        None
+    };
+    let (flags, stored) = match &block {
+        Some(block) => (FLAG_COMPRESSED, block.as_slice()),
+        None => (0, payload),
+    };
+    rec.push(flags);
+    rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    rec.extend_from_slice(&(stored.len() as u64).to_le_bytes());
+    rec.extend_from_slice(stored);
+    (
+        stored.len() as u64,
+        flags == FLAG_COMPRESSED,
+        FULL_META_LEN_V3,
+    )
 }
 
 /// Upper bound on the header's byte length: magic + two version bytes +
@@ -850,11 +1187,11 @@ fn push_short_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&s.as_bytes()[..s.len().min(u8::MAX as usize)]);
 }
 
-/// Validates the variable-length header, returning its byte length and
-/// the decider tag it records. Every read is bounds-checked against the
-/// file, so a truncated or hostile header can never index out of range
-/// or over-allocate.
-fn validate_header_tag(bytes: &[u8]) -> Result<(u64, String), StoreError> {
+/// Validates the variable-length header, returning its byte length, the
+/// store format version, and the decider tag it records. Every read is
+/// bounds-checked against the file, so a truncated or hostile header
+/// can never index out of range or over-allocate.
+fn validate_header_tag(bytes: &[u8]) -> Result<(u64, u8, String), StoreError> {
     if bytes.len() < STORE_MAGIC.len() || bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
         return Err(StoreError::NotAStore);
     }
@@ -870,7 +1207,7 @@ fn validate_header_tag(bytes: &[u8]) -> Result<(u64, String), StoreError> {
         Ok(out)
     };
     let store_ver = take(&mut off, 1)?[0];
-    if store_ver != STORE_VERSION {
+    if store_ver != STORE_VERSION && store_ver != STORE_VERSION_V2 {
         return Err(StoreError::UnsupportedStoreVersion(store_ver));
     }
     let cp_ver = take(&mut off, 1)?[0];
@@ -884,113 +1221,261 @@ fn validate_header_tag(bytes: &[u8]) -> Result<(u64, String), StoreError> {
     }
     let tag_len = take(&mut off, 1)?[0] as usize;
     let found_tag = String::from_utf8_lossy(take(&mut off, tag_len)?).into_owned();
-    Ok((off as u64, found_tag))
+    Ok((off as u64, store_ver, found_tag))
 }
 
 /// [`validate_header_tag`], additionally requiring the recorded decider
-/// tag to equal `tag`.
-fn validate_header(bytes: &[u8], tag: &str) -> Result<u64, StoreError> {
-    let (len, found_tag) = validate_header_tag(bytes)?;
+/// tag to equal `tag`. Returns (header length, store format version).
+fn validate_header(bytes: &[u8], tag: &str) -> Result<(u64, u8), StoreError> {
+    let (len, version, found_tag) = validate_header_tag(bytes)?;
     if found_tag != tag {
         return Err(StoreError::DeciderMismatch {
             found: found_tag,
             expected: tag.to_string(),
         });
     }
-    Ok(len)
+    Ok((len, version))
 }
 
-struct ScannedRecord {
-    instance: u64,
-    position: u64,
-    key: u128,
+/// One validated record, as yielded by [`RecordScanner::next_record`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScannedRecord {
+    /// Instance index that owns the record.
+    pub instance: u64,
+    /// Stream position the record was taken at.
+    pub position: u64,
+    /// Content key of the payload (stored or referenced).
+    pub key: u128,
     /// True for outcome records (full or ref).
-    outcome: bool,
-    /// Payload location, for full records (refs reuse the index entry).
-    stored: Option<PayloadLoc>,
+    pub outcome: bool,
+    /// True when the record carries a payload (false for dedupe refs).
+    pub full: bool,
     /// Offset one past the record.
-    next: u64,
+    pub next: u64,
 }
 
-/// Validates the record starting at `off`. Length fields are checked
-/// against the real file size *before* any slice or allocation, so a
-/// bit-flipped (or hostile) length can neither panic nor over-allocate.
-fn scan_record(
-    bytes: &[u8],
-    off: u64,
-    index: &HashMap<u128, PayloadLoc>,
-) -> Result<ScannedRecord, StoreError> {
-    let remaining = bytes.len() as u64 - off;
-    if remaining < RECORD_HEADER_LEN {
-        return Err(StoreError::Truncated { offset: off });
+/// Incremental, forward-only validator for a store's record section.
+///
+/// This is the one scan loop behind `open`, `recover`, `compact`, and
+/// the corruption battery: it reads the log through any [`Read`] — no
+/// seeking, no whole-file buffer — holding at most one record's stored
+/// bytes (plus their decompressed form) at a time, and grows only the
+/// fixed-width key index. Every validation the old in-memory scan did
+/// is preserved: header checksum, bounds checks on every length field
+/// *before* any allocation, content hash over the uncompressed payload,
+/// outcome shape checks, and dangling/cross-kind ref detection (ref
+/// records are validated against the index without re-reading the
+/// payload they point at).
+///
+/// After an `Err`, [`offset`](Self::offset) still reports the failed
+/// record's start — exactly where salvage truncates — and the scanner
+/// must not be advanced further.
+pub struct RecordScanner<R> {
+    reader: R,
+    file_len: u64,
+    version: u8,
+    /// Start of the record the next `next_record` call will validate
+    /// (or, after an error, of the record that failed).
+    offset: u64,
+    records: usize,
+    attempts: usize,
+    /// Reusable stored-bytes buffer: the "one payload" of the memory
+    /// bound.
+    buf: Vec<u8>,
+    peak_resident: u64,
+    index: HashMap<u128, PayloadLoc>,
+}
+
+impl<R: Read> RecordScanner<R> {
+    /// Starts a scan over `reader`, which must be positioned at
+    /// `records_start` (one past the header) of a file `file_len` bytes
+    /// long, written under store format `version`.
+    pub fn new(reader: R, file_len: u64, version: u8, records_start: u64) -> Self {
+        RecordScanner {
+            reader,
+            file_len,
+            version,
+            offset: records_start,
+            records: 0,
+            attempts: 0,
+            buf: Vec::new(),
+            peak_resident: 0,
+            index: HashMap::new(),
+        }
     }
-    let at = off as usize;
-    let kind = bytes[at];
-    let instance = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().expect("sliced"));
-    let position = u64::from_le_bytes(bytes[at + 9..at + 17].try_into().expect("sliced"));
-    let key = u128::from_le_bytes(bytes[at + 17..at + 33].try_into().expect("sliced"));
-    let check = u64::from_le_bytes(bytes[at + 33..at + 41].try_into().expect("sliced"));
-    if check != record_header_check(kind, instance, position, key) {
-        return Err(StoreError::CorruptRecord { offset: off });
-    }
-    match kind {
-        RECORD_REF | RECORD_OUTCOME_REF => {
-            let Some(loc) = index.get(&key) else {
-                // A ref to a payload the log never stored: dangling.
-                return Err(StoreError::CorruptRecord { offset: off });
-            };
-            if kind == RECORD_OUTCOME_REF {
+
+    /// Validates and returns the next record, `Ok(None)` at a clean end
+    /// of file.
+    pub fn next_record(&mut self) -> Result<Option<ScannedRecord>, StoreError> {
+        if self.offset >= self.file_len {
+            return Ok(None);
+        }
+        let off = self.offset;
+        self.attempts += 1;
+        let remaining = self.file_len - off;
+        if remaining < RECORD_HEADER_LEN {
+            return Err(StoreError::Truncated { offset: off });
+        }
+        let mut head = [0u8; RECORD_HEADER_LEN as usize];
+        self.reader.read_exact(&mut head)?;
+        let kind = head[0];
+        let instance = u64::from_le_bytes(head[1..9].try_into().expect("sized"));
+        let position = u64::from_le_bytes(head[9..17].try_into().expect("sized"));
+        let key = u128::from_le_bytes(head[17..33].try_into().expect("sized"));
+        let check = u64::from_le_bytes(head[33..41].try_into().expect("sized"));
+        if check != record_header_check(kind, instance, position, key) {
+            return Err(StoreError::CorruptRecord { offset: off });
+        }
+        match kind {
+            RECORD_REF | RECORD_OUTCOME_REF => {
+                let Some(loc) = self.index.get(&key) else {
+                    // A ref to a payload the log never stored: dangling.
+                    return Err(StoreError::CorruptRecord { offset: off });
+                };
                 // An outcome ref must reference outcome-shaped bytes: a
                 // crafted ref at a checkpoint payload would otherwise
                 // pass strict open and then poison compaction (which
                 // rewrites it as an outcome full record that no longer
-                // scans). The loc came from a validated full record, so
-                // the slice is in bounds.
-                let payload = &bytes[loc.offset as usize..(loc.offset + loc.len) as usize];
-                if decode_outcome(payload).is_none() {
+                // scans). The shape was recorded when the full record
+                // was scanned, so no payload re-read is needed.
+                if kind == RECORD_OUTCOME_REF && !loc.outcome_shaped {
                     return Err(StoreError::CorruptRecord { offset: off });
                 }
+                let next = off + RECORD_HEADER_LEN;
+                self.offset = next;
+                self.records += 1;
+                Ok(Some(ScannedRecord {
+                    instance,
+                    position,
+                    key,
+                    outcome: kind == RECORD_OUTCOME_REF,
+                    full: false,
+                    next,
+                }))
             }
-            Ok(ScannedRecord {
-                instance,
-                position,
-                key,
-                outcome: kind == RECORD_OUTCOME_REF,
-                stored: None,
-                next: off + RECORD_HEADER_LEN,
-            })
+            RECORD_FULL | RECORD_OUTCOME_FULL => {
+                let meta_len = if self.version == STORE_VERSION_V2 {
+                    FULL_META_LEN_V2
+                } else {
+                    FULL_META_LEN_V3
+                };
+                if remaining < RECORD_HEADER_LEN + meta_len {
+                    return Err(StoreError::Truncated { offset: off });
+                }
+                let (compressed, uncompressed_len, stored_len) = if self.version == STORE_VERSION_V2
+                {
+                    let mut meta = [0u8; FULL_META_LEN_V2 as usize];
+                    self.reader.read_exact(&mut meta)?;
+                    let len = u64::from_le_bytes(meta);
+                    (false, len, len)
+                } else {
+                    let mut meta = [0u8; FULL_META_LEN_V3 as usize];
+                    self.reader.read_exact(&mut meta)?;
+                    let flags = meta[0];
+                    if flags & !FLAG_COMPRESSED != 0 {
+                        return Err(StoreError::CorruptRecord { offset: off });
+                    }
+                    (
+                        flags == FLAG_COMPRESSED,
+                        u64::from_le_bytes(meta[1..9].try_into().expect("sized")),
+                        u64::from_le_bytes(meta[9..17].try_into().expect("sized")),
+                    )
+                };
+                // Stored length first: checked against the real file
+                // size *before* the buffer allocation, so a bit-flipped
+                // (or hostile) length can neither panic nor
+                // over-allocate.
+                if remaining - RECORD_HEADER_LEN - meta_len < stored_len {
+                    return Err(StoreError::Truncated { offset: off });
+                }
+                if !compressed && uncompressed_len != stored_len {
+                    // Raw payloads must declare matching lengths.
+                    return Err(StoreError::CorruptRecord { offset: off });
+                }
+                self.buf.clear();
+                self.buf.resize(stored_len as usize, 0);
+                self.reader.read_exact(&mut self.buf)?;
+                let (hash_ok, outcome_shaped, resident) = if compressed {
+                    // The decompressor itself bounds the declared length
+                    // against LZ4's maximum expansion before allocating.
+                    match lz4_flex::block::decompress(&self.buf, uncompressed_len as usize) {
+                        Ok(payload) => (
+                            content_key(&payload) == key,
+                            decode_outcome(&payload).is_some(),
+                            stored_len + uncompressed_len,
+                        ),
+                        Err(_) => return Err(StoreError::CorruptCompressed { offset: off }),
+                    }
+                } else {
+                    (
+                        content_key(&self.buf) == key,
+                        decode_outcome(&self.buf).is_some(),
+                        stored_len,
+                    )
+                };
+                self.peak_resident = self.peak_resident.max(resident);
+                if !hash_ok {
+                    return Err(StoreError::CorruptRecord { offset: off });
+                }
+                if kind == RECORD_OUTCOME_FULL && !outcome_shaped {
+                    // Right hash, wrong shape: hand-crafted bytes, never
+                    // a bit flip. Still refused before anything trusts it.
+                    return Err(StoreError::CorruptRecord { offset: off });
+                }
+                let payload_off = off + RECORD_HEADER_LEN + meta_len;
+                self.index.insert(
+                    key,
+                    PayloadLoc {
+                        offset: payload_off,
+                        stored_len,
+                        uncompressed_len,
+                        compressed,
+                        outcome_shaped,
+                    },
+                );
+                let next = payload_off + stored_len;
+                self.offset = next;
+                self.records += 1;
+                Ok(Some(ScannedRecord {
+                    instance,
+                    position,
+                    key,
+                    outcome: kind == RECORD_OUTCOME_FULL,
+                    full: true,
+                    next,
+                }))
+            }
+            _ => Err(StoreError::CorruptRecord { offset: off }),
         }
-        RECORD_FULL | RECORD_OUTCOME_FULL => {
-            if remaining < RECORD_HEADER_LEN + 8 {
-                return Err(StoreError::Truncated { offset: off });
-            }
-            let len = u64::from_le_bytes(bytes[at + 41..at + 49].try_into().expect("sliced"));
-            if remaining - RECORD_HEADER_LEN - 8 < len {
-                return Err(StoreError::Truncated { offset: off });
-            }
-            let payload_off = off + RECORD_HEADER_LEN + 8;
-            let payload = &bytes[payload_off as usize..(payload_off + len) as usize];
-            if content_key(payload) != key {
-                return Err(StoreError::CorruptRecord { offset: off });
-            }
-            if kind == RECORD_OUTCOME_FULL && decode_outcome(payload).is_none() {
-                // Right hash, wrong shape: hand-crafted bytes, never a
-                // bit flip. Still refused before anything trusts it.
-                return Err(StoreError::CorruptRecord { offset: off });
-            }
-            Ok(ScannedRecord {
-                instance,
-                position,
-                key,
-                outcome: kind == RECORD_OUTCOME_FULL,
-                stored: Some(PayloadLoc {
-                    offset: payload_off,
-                    len,
-                }),
-                next: payload_off + len,
-            })
-        }
-        _ => Err(StoreError::CorruptRecord { offset: off }),
+    }
+
+    /// Offset of the next unvalidated byte (after an error: the start
+    /// of the record that failed — the salvage truncation point).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Records validated successfully so far.
+    pub fn records_scanned(&self) -> usize {
+        self.records
+    }
+
+    /// Records the scanner *attempted* to validate (successes plus a
+    /// final failure, if any) — the single-pass pin for recovery.
+    pub fn validation_attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// Largest payload footprint held at once: stored bytes, plus the
+    /// decompressed bytes for compressed payloads. This is what the
+    /// O(1)-memory instrumented-reader test asserts against.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident
+    }
+
+    /// Consumes the scanner, yielding the payload index it built.
+    fn into_index(self) -> HashMap<u128, PayloadLoc> {
+        self.index
     }
 }
 
@@ -1207,6 +1692,186 @@ mod tests {
         assert!(!store.is_finished(0));
         assert_eq!(store.latest(0).expect("read"), Some(cp));
         drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn large_payloads_are_compressed_and_round_trip() {
+        let path = temp_path("compress");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        // A long stored-symbols checkpoint: well past COMPRESS_MIN_LEN
+        // and highly redundant, so v3 must shrink it on disk.
+        let cp = checkpoint_at(600);
+        assert!(cp.as_bytes().len() >= COMPRESS_MIN_LEN);
+        let key = store.append(0, &cp).expect("append");
+        let stats = store.stats();
+        assert_eq!(stats.version, STORE_VERSION);
+        assert_eq!(stats.compressed_payloads, 1);
+        assert!(
+            stats.stored_payload_bytes < stats.uncompressed_payload_bytes / 2,
+            "stored {} vs logical {}",
+            stats.stored_payload_bytes,
+            stats.uncompressed_payload_bytes
+        );
+        assert!(stats.compression_ratio() > 2.0);
+        assert_eq!(store.get(key).expect("get"), cp);
+        drop(store);
+        // The compressed log strict-opens and the payload survives
+        // byte-exactly; the scan's resident peak covers block + payload.
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        assert_eq!(store.latest(0).expect("latest"), Some(cp.clone()));
+        assert!(store.peak_resident_payload_bytes() >= cp.as_bytes().len() as u64);
+        assert!(
+            store.peak_resident_payload_bytes() < store.len_bytes() + cp.as_bytes().len() as u64
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tiny_and_incompressible_payloads_stay_raw() {
+        let path = temp_path("raw");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        // Below the threshold: stored raw even though compression is on.
+        let small = checkpoint_at(2);
+        assert!(small.as_bytes().len() < COMPRESS_MIN_LEN);
+        store.append(0, &small).expect("append");
+        // Outcome payloads (25 bytes) are always raw.
+        store
+            .append_outcome(1, 9, &outcome(true, 3))
+            .expect("outcome");
+        let stats = store.stats();
+        assert_eq!(stats.compressed_payloads, 0);
+        assert_eq!(stats.stored_payload_bytes, stats.uncompressed_payload_bytes);
+        assert_eq!(stats.compression_ratio(), 1.0);
+        drop(store);
+        CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn set_compression_off_gives_an_uncompressed_v3_store() {
+        let path = temp_path("nocompress");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        store.set_compression(false);
+        let cp = checkpoint_at(600);
+        store.append(0, &cp).expect("append");
+        let stats = store.stats();
+        assert_eq!(stats.compressed_payloads, 0);
+        assert_eq!(stats.stored_payload_bytes, stats.uncompressed_payload_bytes);
+        drop(store);
+        // Mixed logs are fine: reopen (compression back on) and append
+        // the compressed sibling of another payload.
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open");
+        assert_eq!(store.latest(0).expect("latest"), Some(cp));
+        store.append(1, &checkpoint_at(601)).expect("append");
+        assert_eq!(store.stats().compressed_payloads, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v2_stores_open_read_only_and_compact_upgrades_them() {
+        let path = temp_path("v2-upgrade");
+        // The legacy writer: a pure v2 file, uncompressed layout.
+        let mut store = CheckpointStore::create_with_version(
+            &path,
+            StoreEverything::TYPE_TAG,
+            STORE_VERSION_V2,
+        )
+        .expect("create v2");
+        assert_eq!(store.version(), STORE_VERSION_V2);
+        assert!(store.is_writable(), "the legacy writer itself may append");
+        let cp_a = checkpoint_at(600);
+        let cp_b = checkpoint_at(700);
+        store.append(0, &cp_a).expect("append");
+        store.append(0, &cp_b).expect("append");
+        store.append(1, &cp_a).expect("ref record");
+        let done = outcome(true, 11);
+        store.append_outcome(2, 5, &done).expect("outcome");
+        let v2_bytes = store.len_bytes();
+        assert_eq!(store.stats().compressed_payloads, 0, "v2 never compresses");
+        drop(store);
+        // Reopening is read-only: reads work, appends are refused.
+        let mut store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open v2");
+        assert_eq!(store.version(), STORE_VERSION_V2);
+        assert!(!store.is_writable());
+        assert_eq!(store.latest(0).expect("read"), Some(cp_b.clone()));
+        assert_eq!(store.outcome(2).expect("read"), Some(done));
+        assert!(matches!(
+            store.append(3, &cp_a),
+            Err(StoreError::ReadOnly {
+                version: STORE_VERSION_V2
+            })
+        ));
+        assert!(matches!(
+            store.append_outcome(3, 1, &done),
+            Err(StoreError::ReadOnly {
+                version: STORE_VERSION_V2
+            })
+        ));
+        // Compaction is the upgrade: fresh v3 header, recompressed
+        // payloads, writable handle, strictly smaller file.
+        let report = store.compact().expect("upgrade");
+        assert_eq!(report.before.version, STORE_VERSION_V2);
+        assert_eq!(report.after.version, STORE_VERSION);
+        assert!(report.after.compressed_payloads > 0);
+        assert_eq!(store.version(), STORE_VERSION);
+        assert!(store.is_writable());
+        assert!(store.len_bytes() < v2_bytes);
+        store.append(3, &cp_a).expect("writable after upgrade");
+        assert_eq!(store.latest(0).expect("read"), Some(cp_b));
+        assert_eq!(store.outcome(2).expect("read"), Some(done));
+        drop(store);
+        // And the upgraded file is a normal v3 store from here on.
+        let store = CheckpointStore::open_for::<StoreEverything>(&path).expect("open v3");
+        assert_eq!(store.version(), STORE_VERSION);
+        assert!(store.is_writable());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovery_reports_a_single_validation_pass() {
+        let path = temp_path("single-pass");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        for i in 0..5u64 {
+            store
+                .append(i, &checkpoint_at(600 + i as usize))
+                .expect("append");
+        }
+        drop(store);
+        // Clean log: every record validated exactly once.
+        let (store, report) =
+            CheckpointStore::recover_for::<StoreEverything>(&path).expect("recover");
+        assert_eq!(report.salvaged_records, 5);
+        assert_eq!(report.scanned_records, 5, "no re-validation on a clean log");
+        assert_eq!(report.dropped_bytes, 0);
+        drop(store);
+        // Torn tail: the failed attempt is counted once, the salvaged
+        // prefix exactly once — salvage never rescans what it accepted.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("tear");
+        let (_store, report) =
+            CheckpointStore::recover_for::<StoreEverything>(&path).expect("recover");
+        assert_eq!(report.salvaged_records, 4);
+        assert_eq!(
+            report.scanned_records,
+            report.salvaged_records + 1,
+            "single forward pass: salvaged prefix + the one failed tail"
+        );
+        assert!(report.dropped_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn peek_header_reports_version_and_records_start() {
+        let path = temp_path("peek-header");
+        drop(CheckpointStore::create(&path, "PeekMe").expect("create"));
+        let head = peek_header(&path).expect("peek");
+        assert_eq!(head.version, STORE_VERSION);
+        assert_eq!(head.tag, "PeekMe");
+        assert_eq!(
+            head.len,
+            render_header("PeekMe", STORE_VERSION).len() as u64
+        );
         let _ = std::fs::remove_file(&path);
     }
 

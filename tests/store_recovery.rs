@@ -14,20 +14,30 @@
 //!   instance via an atomic rename; a subsequent strict `open` + resume
 //!   is bit-exact, on all four backends.
 //! * **Robustness** — truncated files, bit-flipped bytes (anywhere:
-//!   header, record headers, checkpoint *and outcome* payloads), unknown
-//!   format versions, wrong decider-type tags, overflowed length fields,
-//!   trailing garbage and zero-length files all return errors. No input
-//!   panics, no input over-allocates, and `recover` always salvages the
-//!   longest valid record prefix.
+//!   header, record headers, checkpoint *and outcome* payloads — raw and
+//!   LZ4-compressed, in the current v3 format and the legacy v2 one),
+//!   unknown format versions, wrong decider-type tags, overflowed length
+//!   fields, trailing garbage and zero-length files all return typed
+//!   errors. No input panics, no input over-allocates, corrupted
+//!   compressed blocks never decompress to garbage, and `recover` always
+//!   salvages the longest valid record prefix — in a *single* forward
+//!   pass (`scanned_records` never exceeds the salvage count by more
+//!   than the one failed tail attempt).
+//! * **O(1) memory** — an instrumented reader drives the streaming
+//!   [`RecordScanner`] over a multi-thousand-record log and pins that
+//!   peak buffered payload bytes stay bounded by one (decompressed)
+//!   payload — far below the file size — and that every byte is read
+//!   exactly once.
 //!
 //! CI runs this suite under `--release`.
 
 use onlineq::core::sweep::{complement_sweep_in, complement_sweep_resumable_in};
 use onlineq::lang::{random_member, random_nonmember, Sym};
-use onlineq::machine::session::{put_u64, ByteReader, CheckpointError};
+use onlineq::machine::session::{put_bytes, put_u64, ByteReader, CheckpointError};
 use onlineq::machine::{
-    BatchRunner, CheckpointStore, Checkpointable, RunOutcome, Session, SessionCheckpoint,
-    StoreError, StreamingDecider, STORE_MAGIC,
+    peek_header, BatchRunner, CheckpointStore, Checkpointable, RecordScanner, RunOutcome, Session,
+    SessionCheckpoint, StoreError, StreamingDecider, COMPRESS_MIN_LEN, STORE_MAGIC, STORE_VERSION,
+    STORE_VERSION_V2,
 };
 use onlineq::quantum::{
     AdaptiveState, ParallelStateVector, QuantumBackend, SparseState, StateVector,
@@ -90,6 +100,74 @@ impl Checkpointable for TallyDecider {
     }
 }
 
+/// Like [`TallyDecider`] but it also records the full symbol history —
+/// its checkpoints grow with the stream and (being a period-3 pattern)
+/// compress well, which is exactly what the compressed-payload
+/// corruption batteries and the O(1)-memory scan test need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct HistoryTally {
+    ones: u64,
+    zeros: u64,
+    history: Vec<u8>,
+}
+
+impl HistoryTally {
+    fn new() -> Self {
+        HistoryTally {
+            ones: 0,
+            zeros: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl StreamingDecider for HistoryTally {
+    fn feed(&mut self, sym: Sym) {
+        match sym {
+            Sym::One => self.ones += 1,
+            Sym::Zero => self.zeros += 1,
+            Sym::Hash => {}
+        }
+        self.history.push(match sym {
+            Sym::Zero => 0,
+            Sym::One => 1,
+            Sym::Hash => 2,
+        });
+    }
+
+    fn decide(&mut self) -> bool {
+        self.ones > self.zeros
+    }
+
+    fn space_bits(&self) -> usize {
+        128 + 8 * self.history.len()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_state(&mut out);
+        out
+    }
+}
+
+impl Checkpointable for HistoryTally {
+    const TYPE_TAG: &'static str = "HistoryTally";
+
+    fn write_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.ones);
+        put_u64(out, self.zeros);
+        put_bytes(out, &self.history);
+    }
+
+    fn read_state(r: &mut ByteReader) -> Result<Self, CheckpointError> {
+        Ok(HistoryTally {
+            ones: r.read_u64()?,
+            zeros: r.read_u64()?,
+            history: r.read_prefixed_bytes()?.to_vec(),
+        })
+    }
+}
+
 fn temp_path(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!(
@@ -120,22 +198,40 @@ fn checkpoint_at(tokens: usize) -> SessionCheckpoint {
     s.suspend()
 }
 
+/// A [`HistoryTally`] checkpoint after `tokens` symbols: `tokens + 30`-ish
+/// bytes of period-3 pattern, so anything past ~40 tokens clears
+/// [`COMPRESS_MIN_LEN`] and compresses several-fold.
+fn history_checkpoint_at(tokens: usize) -> SessionCheckpoint {
+    let mut s = Session::new(HistoryTally::new());
+    for i in 0..tokens {
+        s.feed(if i % 3 == 0 { Sym::One } else { Sym::Zero });
+    }
+    s.suspend()
+}
+
 /// A store with a few records of every kind — checkpoint full + dedupe
 /// ref, outcome full + dedupe ref — plus the byte offsets at which each
 /// append left the file, i.e. the valid truncation boundaries. The
 /// truncation and bit-flip batteries walk every byte of this file, so
 /// outcome records face the same hostile inputs checkpoints do.
-fn build_store(name: &str) -> (PathBuf, Vec<u64>) {
+///
+/// The last `(instance, tokens)` spec must repeat an earlier `tokens`
+/// under a new instance, so the store always contains a checkpoint *ref*
+/// record alongside the full ones.
+fn build_store_as(
+    name: &str,
+    version: u8,
+    tag: &str,
+    checkpoint: &dyn Fn(usize) -> SessionCheckpoint,
+    specs: &[(u64, usize)],
+) -> (PathBuf, Vec<u64>) {
     let path = temp_path(name);
-    let mut store = CheckpointStore::create_for::<TallyDecider>(&path).expect("create");
+    let mut store = CheckpointStore::create_with_version(&path, tag, version).expect("create");
     let mut boundaries = vec![store.len_bytes()];
-    for (instance, tokens) in [(0u64, 4usize), (1, 6), (0, 8), (2, 6)] {
-        store
-            .append(instance, &checkpoint_at(tokens))
-            .expect("append");
+    for &(instance, tokens) in specs {
+        store.append(instance, &checkpoint(tokens)).expect("append");
         boundaries.push(store.len_bytes());
     }
-    // Instance 2 re-persists bytes instance 1 already wrote: a ref record.
     let done = RunOutcome {
         accept: true,
         classical_bits: 128,
@@ -152,6 +248,42 @@ fn build_store(name: &str) -> (PathBuf, Vec<u64>) {
     }
     drop(store);
     (path, boundaries)
+}
+
+/// The classic tiny store: v3, raw (sub-threshold) payloads.
+fn build_store(name: &str) -> (PathBuf, Vec<u64>) {
+    build_store_as(
+        name,
+        STORE_VERSION,
+        TallyDecider::TYPE_TAG,
+        &checkpoint_at,
+        &[(0, 4), (1, 6), (0, 8), (2, 6)],
+    )
+}
+
+/// A v3 store whose checkpoint payloads all clear the compression
+/// threshold — every full checkpoint record on disk is LZ4-compressed.
+fn build_store_compressed(name: &str) -> (PathBuf, Vec<u64>) {
+    assert!(history_checkpoint_at(200).as_bytes().len() >= COMPRESS_MIN_LEN);
+    build_store_as(
+        name,
+        STORE_VERSION,
+        HistoryTally::TYPE_TAG,
+        &history_checkpoint_at,
+        &[(0, 200), (1, 300), (0, 400), (2, 300)],
+    )
+}
+
+/// The same record mix written by the legacy v2 writer (raw 8-byte
+/// length prefixes, no compression) — the read-only compatibility path.
+fn build_store_v2(name: &str) -> (PathBuf, Vec<u64>) {
+    build_store_as(
+        name,
+        STORE_VERSION_V2,
+        HistoryTally::TYPE_TAG,
+        &history_checkpoint_at,
+        &[(0, 200), (1, 300), (0, 400), (2, 300)],
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -532,62 +664,92 @@ fn workspace_and_decider_tag_mismatches_are_rejected() {
     cleanup(&path);
 }
 
-#[test]
-fn every_truncation_point_errors_strictly_and_recovers_salvageably() {
-    let (path, boundaries) = build_store("truncate");
-    let full = std::fs::read(&path).expect("read");
+/// Walks every truncation point of `path` (raw, compressed or legacy-v2
+/// records alike): boundary cuts open as consistent shorter stores,
+/// mid-record cuts refuse strictly and salvage the longest valid prefix
+/// in one forward pass.
+fn truncation_walk(variant: &str, path: &PathBuf, boundaries: &[u64], tag: &str) {
+    let full = std::fs::read(path).expect("read");
     let header_len = boundaries[0];
     for cut in 0..full.len() as u64 {
-        std::fs::write(&path, &full[..cut as usize]).expect("write");
-        let strict = CheckpointStore::open_for::<TallyDecider>(&path);
+        std::fs::write(path, &full[..cut as usize]).expect("write");
+        let strict = CheckpointStore::open(path, tag);
         if cut < header_len {
-            assert!(strict.is_err(), "cut {cut}: inside the header");
+            assert!(strict.is_err(), "{variant} cut {cut}: inside the header");
             continue;
         }
         if boundaries.contains(&cut) {
             // A record boundary is a consistent (shorter) store.
-            let store = strict.unwrap_or_else(|e| panic!("cut {cut}: boundary must open: {e}"));
+            let store =
+                strict.unwrap_or_else(|e| panic!("{variant} cut {cut}: boundary must open: {e}"));
             let records_before_cut = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
-            assert_eq!(store.records(), records_before_cut, "cut {cut}");
+            assert_eq!(store.records(), records_before_cut, "{variant} cut {cut}");
         } else {
-            assert!(matches!(
-                strict,
-                Err(StoreError::Truncated { .. }) | Err(StoreError::CorruptRecord { .. })
-            ));
+            assert!(
+                matches!(
+                    strict,
+                    Err(StoreError::Truncated { .. })
+                        | Err(StoreError::CorruptRecord { .. })
+                        | Err(StoreError::CorruptCompressed { .. })
+                ),
+                "{variant} cut {cut}: {strict:?}"
+            );
             drop(strict);
             // Recovery keeps the longest valid prefix and truncates the
-            // torn tail; the salvaged store reopens cleanly.
-            let (store, report) =
-                CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+            // torn tail; the salvaged store reopens cleanly. The scan is
+            // a single forward pass: exactly one attempt (the torn tail)
+            // beyond the salvaged records.
+            let (store, report) = CheckpointStore::recover(path, tag).expect("recover");
             let salvage_end = *boundaries.iter().rfind(|&&b| b <= cut).expect("header");
-            assert_eq!(store.len_bytes(), salvage_end, "cut {cut}");
-            assert_eq!(report.dropped_bytes, cut - salvage_end, "cut {cut}");
+            assert_eq!(store.len_bytes(), salvage_end, "{variant} cut {cut}");
+            assert_eq!(
+                report.dropped_bytes,
+                cut - salvage_end,
+                "{variant} cut {cut}"
+            );
+            assert_eq!(
+                report.scanned_records,
+                report.salvaged_records + 1,
+                "{variant} cut {cut}: salvage must be a single pass"
+            );
             drop(store);
-            CheckpointStore::open_for::<TallyDecider>(&path).expect("clean after recovery");
+            CheckpointStore::open(path, tag).expect("clean after recovery");
         }
     }
-    cleanup(&path);
+    cleanup(path);
 }
 
 #[test]
-fn every_single_byte_flip_is_detected_without_panicking() {
-    let (path, boundaries) = build_store("bitflip");
-    let full = std::fs::read(&path).expect("read");
+fn every_truncation_point_errors_strictly_and_recovers_salvageably() {
+    let (path, boundaries) = build_store("truncate");
+    truncation_walk("raw", &path, &boundaries, TallyDecider::TYPE_TAG);
+    let (path, boundaries) = build_store_compressed("truncate-lz4");
+    truncation_walk("compressed", &path, &boundaries, HistoryTally::TYPE_TAG);
+    let (path, boundaries) = build_store_v2("truncate-v2");
+    truncation_walk("v2", &path, &boundaries, HistoryTally::TYPE_TAG);
+}
+
+/// Flips every byte of `path` in turn: strict open always refuses, and
+/// recovery salvages exactly the records before the flipped one —
+/// corrupted compressed payloads surface as typed errors, never as
+/// garbage decompression (the content key is over the *uncompressed*
+/// bytes, so a wrong-but-decodable block still fails).
+fn bitflip_walk(variant: &str, path: &PathBuf, boundaries: &[u64], tag: &str) {
+    let full = std::fs::read(path).expect("read");
     for at in 0..full.len() {
         let mut flipped = full.clone();
         flipped[at] ^= 0xFF;
-        std::fs::write(&path, &flipped).expect("write");
+        std::fs::write(path, &flipped).expect("write");
         // Strict open must refuse — a flipped store header, record
         // header, or payload (content-hash mismatch) is never half-read.
         assert!(
-            CheckpointStore::open_for::<TallyDecider>(&path).is_err(),
-            "flip at byte {at} went unnoticed"
+            CheckpointStore::open(path, tag).is_err(),
+            "{variant}: flip at byte {at} went unnoticed"
         );
         // Recovery never panics either; flips after the header salvage
-        // the records before the flipped one.
+        // the records before the flipped one, in a single pass.
         if at as u64 >= boundaries[0] {
-            let (_store, report) =
-                CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+            let (_store, report) = CheckpointStore::recover(path, tag).expect("recover");
             let flipped_record_start = *boundaries
                 .iter()
                 .rfind(|&&b| b <= at as u64)
@@ -599,31 +761,259 @@ fn every_single_byte_flip_is_detected_without_panicking() {
                     .filter(|&&b| b <= flipped_record_start)
                     .count()
                     - 1,
-                "flip at byte {at}"
+                "{variant}: flip at byte {at}"
+            );
+            assert_eq!(
+                report.scanned_records,
+                report.salvaged_records + 1,
+                "{variant}: flip at byte {at}: salvage must be a single pass"
             );
         }
     }
-    cleanup(&path);
+    cleanup(path);
+}
+
+#[test]
+fn every_single_byte_flip_is_detected_without_panicking() {
+    let (path, boundaries) = build_store("bitflip");
+    bitflip_walk("raw", &path, &boundaries, TallyDecider::TYPE_TAG);
+    let (path, boundaries) = build_store_compressed("bitflip-lz4");
+    bitflip_walk("compressed", &path, &boundaries, HistoryTally::TYPE_TAG);
+    let (path, boundaries) = build_store_v2("bitflip-v2");
+    bitflip_walk("v2", &path, &boundaries, HistoryTally::TYPE_TAG);
 }
 
 #[test]
 fn overflowed_length_fields_neither_panic_nor_allocate() {
+    // The first record's v3 full-record metadata sits right after the 41
+    // record-header bytes (kind + instance + position + key + check):
+    // flags at +41, uncompressed length at +42, stored length at +50.
     let (path, boundaries) = build_store("overflow");
-    let mut bytes = std::fs::read(&path).expect("read");
-    // The first record's payload-length field sits 41 bytes past the
-    // record start (kind + instance + position + key + header check).
-    let len_field = boundaries[0] as usize + 41;
-    bytes[len_field..len_field + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let pristine = std::fs::read(&path).expect("read");
+    let rec = boundaries[0] as usize;
+    let verify_unsalvageable = |what: &str| {
+        let (store, report) = CheckpointStore::recover_for::<TallyDecider>(&path)
+            .unwrap_or_else(|e| panic!("{what}: recover: {e}"));
+        assert_eq!(report.salvaged_records, 0, "{what}");
+        assert_eq!(report.scanned_records, 1, "{what}: single-pass salvage");
+        assert_eq!(store.len_bytes(), boundaries[0], "{what}");
+        drop(store);
+    };
+    // A 16-EiB claimed *stored* length must be rejected by bounds
+    // arithmetic against the file length, not by attempting the
+    // allocation.
+    let mut bytes = pristine.clone();
+    bytes[rec + 50..rec + 58].copy_from_slice(&u64::MAX.to_le_bytes());
     std::fs::write(&path, &bytes).expect("write");
-    // A 16-EiB claimed payload must be rejected by bounds arithmetic,
-    // not by attempting the allocation.
     assert!(matches!(
         CheckpointStore::open_for::<TallyDecider>(&path),
         Err(StoreError::Truncated { .. })
     ));
-    let (store, report) = CheckpointStore::recover_for::<TallyDecider>(&path).expect("recover");
+    verify_unsalvageable("stored length");
+    // A 16-EiB claimed *uncompressed* length on a record marked
+    // compressed must be rejected by the decompressor's expansion bound
+    // (a stored block can expand at most ~255x) before any allocation.
+    let mut bytes = pristine.clone();
+    bytes[rec + 41] = 1; // FLAG_COMPRESSED
+    bytes[rec + 42..rec + 50].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::CorruptCompressed { .. })
+    ));
+    verify_unsalvageable("uncompressed length");
+    // On a raw record the uncompressed length must equal the stored
+    // length; an inflated value is a corrupt record, not a resize.
+    let mut bytes = pristine.clone();
+    bytes[rec + 42..rec + 50].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::CorruptRecord { .. })
+    ));
+    verify_unsalvageable("raw-length mismatch");
+    // Undefined flag bits are refused outright.
+    let mut bytes = pristine;
+    bytes[rec + 41] = 0xFF;
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<TallyDecider>(&path),
+        Err(StoreError::CorruptRecord { .. })
+    ));
+    verify_unsalvageable("flag bits");
+    cleanup(&path);
+
+    // Same hostile uncompressed-length probe against a record that
+    // really is compressed: the declared size is a lie the expansion
+    // bound catches before the decoder allocates anything.
+    let (path, boundaries) = build_store_compressed("overflow-lz4");
+    let mut bytes = std::fs::read(&path).expect("read");
+    let rec = boundaries[0] as usize;
+    assert_eq!(bytes[rec + 41], 1, "first record must be compressed");
+    bytes[rec + 42..rec + 50].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        CheckpointStore::open_for::<HistoryTally>(&path),
+        Err(StoreError::CorruptCompressed { .. })
+    ));
+    let (store, report) = CheckpointStore::recover_for::<HistoryTally>(&path).expect("recover");
     assert_eq!(report.salvaged_records, 0);
     assert_eq!(store.len_bytes(), boundaries[0]);
+    drop(store);
+    cleanup(&path);
+}
+
+// ---------------------------------------------------------------------
+// Streaming scan: O(1) resident memory, single pass, honest stats
+// ---------------------------------------------------------------------
+
+/// A raw reader that counts every byte handed out — the instrument that
+/// turns "the scanner streams" from a claim into an assertion.
+struct CountingReader<R> {
+    inner: R,
+    bytes_read: u64,
+}
+
+impl<R: std::io::Read> std::io::Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_read += n as u64;
+        Ok(n)
+    }
+}
+
+/// The tentpole memory property: scanning a multi-thousand-record log
+/// keeps peak buffered payload bytes bounded by ONE decompressed payload
+/// (the largest record), an order of magnitude below the file size, and
+/// reads every record byte exactly once. `open`, `recover` and `compact`
+/// all inherit the same bound via `peak_resident_payload_bytes`.
+#[test]
+fn scanning_thousands_of_records_buffers_only_one_payload() {
+    let path = temp_path("streaming-peak");
+    let mut store = CheckpointStore::create_for::<HistoryTally>(&path).expect("create");
+    // 1200 distinct checkpoints (64..1264 tokens), each re-appended for a
+    // second instance so the log is half dedupe refs; then one outsized
+    // checkpoint that must dominate the resident-memory high-water mark.
+    for i in 0..1200u64 {
+        let cp = history_checkpoint_at(64 + i as usize);
+        store.append(i, &cp).expect("append");
+        store.append(10_000 + i, &cp).expect("ref");
+    }
+    let big = history_checkpoint_at(8000);
+    let big_len = big.as_bytes().len() as u64;
+    store.append(77_777, &big).expect("big");
+    let expected_records = 2 * 1200 + 1;
+    assert_eq!(store.records(), expected_records);
+    drop(store);
+
+    let header = peek_header(&path).expect("peek");
+    let file_len = std::fs::metadata(&path).expect("meta").len();
+    // Drive the scanner over a counting reader: no BufReader, so every
+    // byte counted is a byte the scanner explicitly asked for.
+    let mut file = std::fs::File::open(&path).expect("open file");
+    std::io::Seek::seek(&mut file, std::io::SeekFrom::Start(header.len)).expect("seek");
+    let mut counting = CountingReader {
+        inner: file,
+        bytes_read: 0,
+    };
+    let mut scanner = RecordScanner::new(&mut counting, file_len, header.version, header.len);
+    let mut records = 0usize;
+    while scanner.next_record().expect("clean log").is_some() {
+        records += 1;
+    }
+    assert_eq!(records, expected_records);
+    assert_eq!(scanner.records_scanned(), expected_records);
+    let peak = scanner.peak_resident_bytes();
+    drop(scanner);
+    // The bound: one stored block plus its decompression — under twice
+    // the largest payload — while the file is an order of magnitude
+    // bigger. A scanner that buffered the log would blow this instantly.
+    assert!(peak >= big_len, "the big payload was resident: {peak}");
+    assert!(
+        peak < 2 * big_len,
+        "peak {peak} exceeds one payload's footprint ({big_len} uncompressed)"
+    );
+    assert!(
+        peak * 8 < file_len,
+        "peak {peak} is not O(1) against a {file_len}-byte log"
+    );
+    // Single pass: every record byte read exactly once, none twice.
+    assert_eq!(counting.bytes_read, file_len - header.len);
+
+    // `open` inherits the bound (plus its fixed-size read buffer).
+    let mut store = CheckpointStore::open_for::<HistoryTally>(&path).expect("open");
+    assert!(store.peak_resident_payload_bytes() < 2 * big_len);
+    assert_eq!(store.records(), expected_records);
+    let stats = store.stats();
+    assert_eq!(stats.records, expected_records);
+    assert_eq!(stats.ref_records, 1200);
+    assert!(stats.compressed_payloads > 0);
+    assert!(stats.uncompressed_payload_bytes > stats.stored_payload_bytes);
+    assert!(
+        stats.compression_ratio() > 1.5,
+        "{}",
+        stats.compression_ratio()
+    );
+    assert!(stats.dedupe_hit_rate() > 0.49 && stats.dedupe_hit_rate() < 0.51);
+    // `compact` streams payloads one at a time under the same bound.
+    store.compact().expect("compact");
+    assert!(store.peak_resident_payload_bytes() < 2 * big_len);
+    assert_eq!(store.records(), 2401, "one record per instance");
+    drop(store);
+
+    // `recover` over the compacted log: still one pass, still bounded.
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes.extend_from_slice(&[0xAB; 13]);
+    std::fs::write(&path, &bytes).expect("write");
+    let (store, report) = CheckpointStore::recover_for::<HistoryTally>(&path).expect("recover");
+    assert_eq!(report.salvaged_records, 2401);
+    assert_eq!(report.scanned_records, report.salvaged_records + 1);
+    assert!(store.peak_resident_payload_bytes() < 2 * big_len);
+    drop(store);
+    cleanup(&path);
+}
+
+/// Legacy v2 stores open read-only end to end: appends are typed
+/// `ReadOnly` errors, and one `compact` upgrades the file in place to a
+/// writable, compressed, strictly smaller v3 store with identical data.
+#[test]
+fn v2_stores_are_read_only_until_compaction_upgrades_them() {
+    let (path, _) = build_store_v2("upgrade");
+    let v2_bytes = std::fs::metadata(&path).expect("meta").len();
+    let mut store = CheckpointStore::open_for::<HistoryTally>(&path).expect("open v2");
+    assert_eq!(store.version(), STORE_VERSION_V2);
+    assert!(!store.is_writable());
+    assert!(matches!(
+        store.append(9, &history_checkpoint_at(123)),
+        Err(StoreError::ReadOnly { .. })
+    ));
+    // Instance 2 never finished, so its checkpoint must survive the
+    // upgrade bit-exactly (instances 0 and 1 keep only their outcomes).
+    let latest = store.latest(2).expect("latest").expect("instance 2");
+    assert_eq!(latest.position(), 300);
+    let report = store.compact().expect("upgrade");
+    assert_eq!(report.before.version, STORE_VERSION_V2);
+    assert_eq!(report.after.version, STORE_VERSION);
+    assert!(report.after.compressed_payloads > 0);
+    assert!(store.is_writable());
+    store
+        .append(9, &history_checkpoint_at(123))
+        .expect("writable now");
+    assert_eq!(
+        store.latest(2).expect("latest").expect("instance 2"),
+        latest,
+        "compaction upgrade preserves checkpoint bytes"
+    );
+    drop(store);
+    let v3_bytes = std::fs::metadata(&path).expect("meta").len();
+    assert!(
+        v3_bytes < v2_bytes,
+        "compressed v3 ({v3_bytes}) must undercut v2 ({v2_bytes})"
+    );
+    let store = CheckpointStore::open_for::<HistoryTally>(&path).expect("reopen");
+    assert_eq!(store.version(), STORE_VERSION);
+    assert_eq!(store.finished_instances(), 2);
+    drop(store);
     cleanup(&path);
 }
 
