@@ -18,6 +18,12 @@
 //!
 //! # per-file record/dedupe/compression report for existing stores
 //! experiments --store-stats PREFIX [--break-locks]
+//!
+//! # session-multiplexing server on a Unix socket, and its driver
+//! experiments --serve SOCKET [--workers N]
+//! experiments --drive SOCKET        # OUTCOME lines via the server
+//! experiments --drive-direct       # same fleet, no server — for cmp
+//! experiments --shutdown SOCKET
 //! ```
 //!
 //! `--workers N` sizes the in-process batch scheduler's worker fleet
@@ -64,6 +70,16 @@
 //! fresh shard stores in the legacy v2 format (raw payloads), which is
 //! how CI exercises the v2 → v3 upgrade path end to end.
 //!
+//! `--serve SOCKET` runs the `oqsc-serve` session-multiplexing engine
+//! behind its line protocol on a Unix socket (`--workers N` sizes the
+//! connection-handler pool) until a client sends `SHUTDOWN`. `--drive
+//! SOCKET` opens the deterministic 32-session demo fleet over that
+//! socket — every decider kind, member and non-member words — and
+//! prints one `OUTCOME` line per session; `--drive-direct` prints the
+//! same lines from uninterrupted in-process runs, so `cmp` between the
+//! two outputs is the end-to-end byte-identity check CI runs.
+//! `--shutdown SOCKET` stops a running server.
+//!
 //! Out-of-range values are rejected up front with a clear message,
 //! never silently clamped or panicked on.
 
@@ -72,6 +88,9 @@ use oqsc_bench::pool::{
 };
 use oqsc_bench::{emit_outcomes, ProcessPool, WORKER_CRASH_EXIT};
 use oqsc_machine::{BatchRunner, CheckpointStore, SessionSchedule, StoreError};
+use oqsc_serve::{
+    direct_outcome_lines, drive_socket, shutdown_socket, stats_line, Server, ServerConfig,
+};
 
 /// Upper bound on `--workers`: far above any real machine, low enough to
 /// catch a mistyped value before it spawns a few million threads.
@@ -90,6 +109,11 @@ const MAX_TRIALS: usize = 1_000_000;
 /// Default persistence cadence when `--store` is given without an
 /// explicit `--checkpoint-every`.
 const DEFAULT_PERSIST_EVERY: usize = 4096;
+
+/// Base seed for the `--drive` / `--drive-direct` demo fleet. Fixed so
+/// the two outputs are comparable across separate process invocations
+/// (the CI smoke `cmp`s them).
+const DRIVE_SEED: u64 = 0x0D21F7;
 
 struct Cli {
     runner: BatchRunner,
@@ -112,6 +136,11 @@ struct Cli {
     break_locks: bool,
     bench_json: Option<std::path::PathBuf>,
     bench_reduced: bool,
+    serve: Option<std::path::PathBuf>,
+    live_budget: Option<usize>,
+    drive: Option<std::path::PathBuf>,
+    drive_direct: bool,
+    shutdown: Option<std::path::PathBuf>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -123,6 +152,8 @@ fn usage_and_exit(code: i32) -> ! {
     println!("       experiments --compact PREFIX [--break-locks]");
     println!("       experiments --store-stats PREFIX [--break-locks]");
     println!("       experiments --bench-json PATH [--bench-reduced]");
+    println!("       experiments --serve SOCKET [--workers N] [--live-budget BYTES]");
+    println!("       experiments --drive SOCKET | --drive-direct | --shutdown SOCKET");
     println!(
         "  --workers N            batch workers, 1..={MAX_WORKERS} (default: available cores)"
     );
@@ -151,6 +182,15 @@ fn usage_and_exit(code: i32) -> ! {
     println!("  --bench-json PATH      run the SIMD kernel micro-benchmarks (scalar vs");
     println!("                         auto dispatch) and write the JSON record to PATH");
     println!("  --bench-reduced        with --bench-json: shrink sizes for a CI smoke run");
+    println!("  --serve SOCKET         run the session-multiplexing server on a Unix socket");
+    println!("                         (--workers N sizes its connection-handler pool)");
+    println!("  --live-budget BYTES    with --serve: hot-tier byte budget for live sessions");
+    println!("                         (default 64 MiB; 0 = suspend after every feed)");
+    println!("  --drive SOCKET         run the demo fleet through a --serve server and print");
+    println!("                         one OUTCOME line per session");
+    println!("  --drive-direct         print the same OUTCOME lines from uninterrupted");
+    println!("                         in-process runs (cmp against --drive)");
+    println!("  --shutdown SOCKET      stop a running --serve server");
     std::process::exit(code);
 }
 
@@ -197,6 +237,11 @@ fn parse_cli() -> Cli {
         break_locks: false,
         bench_json: None,
         bench_reduced: false,
+        serve: None,
+        live_budget: None,
+        drive: None,
+        drive_direct: false,
+        shutdown: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -284,6 +329,27 @@ fn parse_cli() -> Cli {
                 raw => bad_value("--bench-json", raw, "an output path"),
             },
             "--bench-reduced" => cli.bench_reduced = true,
+            "--serve" => match args.next() {
+                Some(p) if !p.is_empty() => cli.serve = Some(p.into()),
+                raw => bad_value("--serve", raw, "a Unix socket path"),
+            },
+            "--live-budget" => {
+                cli.live_budget = Some(parse_num(
+                    &mut args,
+                    "--live-budget",
+                    "a byte count (0 = evict on every feed)",
+                    |_: &usize| true,
+                ));
+            }
+            "--drive" => match args.next() {
+                Some(p) if !p.is_empty() => cli.drive = Some(p.into()),
+                raw => bad_value("--drive", raw, "a Unix socket path"),
+            },
+            "--drive-direct" => cli.drive_direct = true,
+            "--shutdown" => match args.next() {
+                Some(p) if !p.is_empty() => cli.shutdown = Some(p.into()),
+                raw => bad_value("--shutdown", raw, "a Unix socket path"),
+            },
             "--worker" => cli.worker = true,
             "--shard" => {
                 cli.shard = Some(parse_num(
@@ -335,6 +401,54 @@ fn parse_cli() -> Cli {
     if cli.bench_reduced && cli.bench_json.is_none() {
         eprintln!("error: --bench-reduced requires --bench-json");
         std::process::exit(2);
+    }
+    if cli.live_budget.is_some() && cli.serve.is_none() {
+        eprintln!("error: --live-budget requires --serve");
+        std::process::exit(2);
+    }
+    // The serve-family modes stand alone too: the server, the two
+    // drivers and shutdown each do exactly one thing, and only --serve
+    // takes --workers (its connection-handler pool size).
+    let serve_modes = [
+        (cli.serve.is_some(), "--serve"),
+        (cli.drive.is_some(), "--drive"),
+        (cli.drive_direct, "--drive-direct"),
+        (cli.shutdown.is_some(), "--shutdown"),
+    ];
+    let active_serve: Vec<&str> = serve_modes
+        .iter()
+        .filter(|(set, _)| *set)
+        .map(|(_, flag)| *flag)
+        .collect();
+    if active_serve.len() > 1 {
+        eprintln!(
+            "error: {} cannot be combined with {}",
+            active_serve[0], active_serve[1]
+        );
+        std::process::exit(2);
+    }
+    if let Some(mode) = active_serve.first() {
+        for (set, flag) in [
+            (cli.sweep.is_some(), "--sweep"),
+            (cli.compact.is_some(), "--compact"),
+            (cli.store_stats.is_some(), "--store-stats"),
+            (cli.bench_json.is_some(), "--bench-json"),
+            (cli.store.is_some(), "--store"),
+            (cli.checkpoint_every.is_some(), "--checkpoint-every"),
+            (
+                cli.workers.is_some() && cli.serve.is_none(),
+                "--workers (only --serve takes it)",
+            ),
+            (
+                cli.live_budget.is_some() && cli.serve.is_none(),
+                "--live-budget (only --serve takes it)",
+            ),
+        ] {
+            if set {
+                eprintln!("error: {mode} cannot be combined with {flag}");
+                std::process::exit(2);
+            }
+        }
     }
     // Compact and store-stats modes stand alone: they read existing
     // stores, never run sweeps.
@@ -669,8 +783,93 @@ fn run_store_stats(prefix: &std::path::Path, break_locks: bool) -> i32 {
     })
 }
 
+/// Runs the session-multiplexing server on `socket` until a client
+/// sends `SHUTDOWN`, then prints the engine's final statistics line.
+fn run_serve(socket: &std::path::Path, workers: Option<usize>, live_budget: Option<usize>) -> i32 {
+    let mut config = ServerConfig::default();
+    if let Some(w) = workers {
+        config.threads = w;
+    }
+    if let Some(bytes) = live_budget {
+        config.mux.live_bytes_budget = bytes;
+    }
+    let threads = config.threads;
+    let server = match Server::bind(socket, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    eprintln!(
+        "serving on {} ({threads} connection handler{}); stop with --shutdown",
+        socket.display(),
+        if threads == 1 { "" } else { "s" },
+    );
+    match server.run() {
+        Ok(stats) => {
+            println!("{}", stats_line(&stats));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: serving {}: {e}", socket.display());
+            1
+        }
+    }
+}
+
+/// Drives the demo fleet through a running `--serve` server and prints
+/// its `OUTCOME` lines — nothing else goes to stdout, so the output
+/// `cmp`s cleanly against `--drive-direct`.
+fn run_drive(socket: &std::path::Path) -> i32 {
+    match drive_socket(socket, DRIVE_SEED) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: driving {}: {e}", socket.display());
+            1
+        }
+    }
+}
+
+/// Prints the demo fleet's `OUTCOME` lines from uninterrupted
+/// in-process runs — the reference output for `--drive`.
+fn run_drive_direct() -> i32 {
+    for line in direct_outcome_lines(DRIVE_SEED) {
+        println!("{line}");
+    }
+    0
+}
+
+/// Asks a running `--serve` server to shut down.
+fn run_shutdown(socket: &std::path::Path) -> i32 {
+    match shutdown_socket(socket) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: shutting down {}: {e}", socket.display());
+            1
+        }
+    }
+}
+
 fn main() {
     let cli = parse_cli();
+    if let Some(path) = &cli.serve {
+        std::process::exit(run_serve(path, cli.workers, cli.live_budget));
+    }
+    if let Some(path) = &cli.drive {
+        std::process::exit(run_drive(path));
+    }
+    if cli.drive_direct {
+        std::process::exit(run_drive_direct());
+    }
+    if let Some(path) = &cli.shutdown {
+        std::process::exit(run_shutdown(path));
+    }
     if let Some(path) = &cli.bench_json {
         std::process::exit(run_bench_record(path, cli.bench_reduced));
     }

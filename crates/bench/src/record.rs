@@ -15,7 +15,12 @@
 //! * **`stores` rows** — on-disk size of real dense-backend E6/F1 sweep
 //!   stores, compressed vs uncompressed, with the shrink factor (the
 //!   store-v3 acceptance number: dense amplitude snapshots shrink well
-//!   over 2×).
+//!   over 2×);
+//! * **`mux` rows** — the session multiplexing engine's throughput
+//!   cells: a fleet far larger than the live budget driven through
+//!   `oqsc_serve::run_fleet`, with tokens/sec and the sessions-resident
+//!   high-water mark (the serving acceptance number: ≥100k concurrent
+//!   sessions under a live set below 1% of the fleet).
 //!
 //! The committed `BENCH_throughput.json` at the repo root is one such
 //! record; CI re-runs the suite at reduced size and diffs the schema
@@ -46,6 +51,11 @@
 //!   "stores": [
 //!     { "sweep": "f1-dense", "records": 58, "uncompressed_bytes": 825340,
 //!       "compressed_bytes": 61144, "shrink": 13.50 }
+//!   ],
+//!   "mux": [
+//!     { "bench": "mux_feed", "sessions": 100000, "live_budget_bytes": 31744,
+//!       "workers": 8, "tokens": 3200000, "tokens_per_sec": 1, "peak_live": 513,
+//!       "evictions": 1, "hydrations": 1 }
 //!   ]
 //! }
 //! ```
@@ -65,6 +75,7 @@ use oqsc_machine::{
     BatchRunner, CheckpointStore, Checkpointable, Session, SessionCheckpoint, StreamingDecider,
 };
 use oqsc_quantum::{simd, AdaptiveState, Complex, QuantumBackend, SimdLevel, StateVector};
+use oqsc_serve::{run_fleet, DeciderKind, MuxConfig, MuxEngine, MuxStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -111,6 +122,19 @@ impl StoreRow {
     fn shrink(&self) -> f64 {
         self.uncompressed_bytes as f64 / self.compressed_bytes.max(1) as f64
     }
+}
+
+/// One row of the `mux` array: a session-multiplexing throughput cell.
+#[derive(Debug)]
+struct MuxRow {
+    sessions: usize,
+    live_budget_bytes: usize,
+    workers: usize,
+    tokens: u64,
+    tokens_per_sec: u64,
+    peak_live: u64,
+    evictions: u64,
+    hydrations: u64,
 }
 
 /// Target wall-clock per timing sample, full vs reduced.
@@ -507,6 +531,88 @@ fn sweep_store_rows(reduced: bool) -> Vec<StoreRow> {
     rows
 }
 
+/// Tokens each mux-cell session streams end to end.
+pub const MUX_WORD_LEN: usize = 32;
+
+/// Tokens per `feed` batch in the mux cells (the `Session::feed_slice`
+/// fast path's batch size).
+pub const MUX_CHUNK: usize = 8;
+
+/// The deterministic word every mux-cell session streams: alternating
+/// bits with a `#` every 8th token, [`MUX_WORD_LEN`] tokens long.
+pub fn mux_word() -> Vec<Sym> {
+    (0..MUX_WORD_LEN)
+        .map(|i| {
+            if (i + 1).is_multiple_of(8) {
+                Sym::Hash
+            } else if i.is_multiple_of(2) {
+                Sym::Zero
+            } else {
+                Sym::One
+            }
+        })
+        .collect()
+}
+
+/// The live-tier byte budget that fits roughly `live_sessions` resident
+/// mux-cell sessions, probed from the actual checkpoint size of the
+/// cell's decider (the engine's cost model is checkpointed bytes).
+pub fn mux_live_budget(live_sessions: usize) -> usize {
+    let cost = Session::new(DeciderKind::Format.build(0))
+        .suspend()
+        .byte_len();
+    live_sessions * cost
+}
+
+/// The mux throughput cell: `sessions` concurrent A1 format-checker
+/// sessions — each fed [`MUX_WORD_LEN`] tokens in [`MUX_CHUNK`]-token
+/// batches — through one [`MuxEngine`] whose live tier holds
+/// `live_budget_bytes`, on `workers` threads. Far more sessions than fit
+/// live, so the engine churns through its warm tier constantly. Returns
+/// elapsed nanoseconds and the engine's final statistics.
+pub fn mux_feed(sessions: usize, live_budget_bytes: usize, workers: usize) -> (u64, MuxStats) {
+    let word = mux_word();
+    let engine = MuxEngine::new(MuxConfig {
+        live_bytes_budget: live_budget_bytes,
+        warm_bytes_budget: usize::MAX,
+        shards: 64,
+    });
+    let fleet = (0..sessions)
+        .map(|i| (i as u64, DeciderKind::Format.build(i as u64), word.clone()))
+        .collect();
+    let t = Instant::now();
+    run_fleet(&engine, fleet, MUX_CHUNK, workers).expect("mux fleet");
+    (elapsed_ns(t), engine.stats())
+}
+
+/// The `mux` rows: the full record serves 100k sessions under a live
+/// set of ~512 (0.5% of the fleet — the serving acceptance ratio), at
+/// one and at eight workers.
+fn mux_rows(reduced: bool) -> Vec<MuxRow> {
+    let (sessions, live_sessions, worker_counts) = if reduced {
+        (2_000, 64, [1usize, 2])
+    } else {
+        (100_000, 512, [1usize, 8])
+    };
+    let live_budget_bytes = mux_live_budget(live_sessions);
+    worker_counts
+        .into_iter()
+        .map(|workers| {
+            let (ns, stats) = mux_feed(sessions, live_budget_bytes, workers);
+            MuxRow {
+                sessions,
+                live_budget_bytes,
+                workers,
+                tokens: stats.tokens,
+                tokens_per_sec: stats.tokens.saturating_mul(1_000_000_000) / ns.max(1),
+                peak_live: stats.peak_live,
+                evictions: stats.evictions,
+                hydrations: stats.hydrations,
+            }
+        })
+        .collect()
+}
+
 /// Run the full suite and return the JSON record.
 ///
 /// The scalar pass runs first (under `simd::force(Some(Scalar))`), then the
@@ -537,7 +643,8 @@ pub fn run_record(opts: RecordOpts) -> String {
     simd::force(None);
     store_cells(&mut results, opts.reduced, target_ns, samples);
     let stores = sweep_store_rows(opts.reduced);
-    render_json(&results, &stores)
+    let mux = mux_rows(opts.reduced);
+    render_json(&results, &stores, &mux)
 }
 
 /// Scalar-median / simd-median for every `(bench, qubits)` pair that has
@@ -559,7 +666,7 @@ fn derived_speedups(results: &[ResultRow]) -> Vec<(&'static str, usize, f64)> {
 
 /// Serialize the record. Keys are emitted in a fixed order so two runs of
 /// the same binary differ only in the measured numbers.
-fn render_json(results: &[ResultRow], stores: &[StoreRow]) -> String {
+fn render_json(results: &[ResultRow], stores: &[StoreRow], mux: &[MuxRow]) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"oqsc-bench-record/v1\",\n");
     json.push_str(&format!(
@@ -606,6 +713,23 @@ fn render_json(results: &[ResultRow], stores: &[StoreRow]) -> String {
             if i + 1 == stores.len() { "" } else { "," },
         ));
     }
+    json.push_str("  ],\n  \"mux\": [\n");
+    for (i, m) in mux.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"bench\": \"mux_feed\", \"sessions\": {}, \"live_budget_bytes\": {}, \
+             \"workers\": {}, \"tokens\": {}, \"tokens_per_sec\": {}, \"peak_live\": {}, \
+             \"evictions\": {}, \"hydrations\": {} }}{}\n",
+            m.sessions,
+            m.live_budget_bytes,
+            m.workers,
+            m.tokens,
+            m.tokens_per_sec,
+            m.peak_live,
+            m.evictions,
+            m.hydrations,
+            if i + 1 == mux.len() { "" } else { "," },
+        ));
+    }
     json.push_str("  ]\n}\n");
     json
 }
@@ -639,6 +763,16 @@ mod tests {
             "\"uncompressed_bytes\"",
             "\"compressed_bytes\"",
             "\"shrink\"",
+            "\"mux\"",
+            "\"bench\": \"mux_feed\"",
+            "\"sessions\"",
+            "\"live_budget_bytes\"",
+            "\"workers\"",
+            "\"tokens\"",
+            "\"tokens_per_sec\"",
+            "\"peak_live\"",
+            "\"evictions\"",
+            "\"hydrations\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -677,5 +811,26 @@ mod tests {
         }
         // Dispatch must be restored after the run.
         assert_eq!(simd::active(), simd::detected());
+    }
+
+    /// The mux cells must actually enforce the live budget: the resident
+    /// high-water mark stays around the budgeted live-set size (shard
+    /// granularity gives a little slack), far below the fleet size, and
+    /// every session's full word is accounted for.
+    #[test]
+    fn mux_cells_hold_the_live_set_under_budget() {
+        let rows = mux_rows(true);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.sessions, 2_000);
+            assert_eq!(row.tokens, (row.sessions * MUX_WORD_LEN) as u64);
+            assert!(
+                row.peak_live < 2 * 64 + 64,
+                "live set blew the budget: peak {} for ~64 budgeted",
+                row.peak_live
+            );
+            assert!(row.evictions > row.sessions as u64, "no churn: {row:?}");
+            assert!(row.tokens_per_sec > 0);
+        }
     }
 }

@@ -62,7 +62,8 @@ pub use optm::{
 };
 pub use register::MeteredRegister;
 pub use session::{
-    ByteReader, CheckpointError, Checkpointable, Session, SessionCheckpoint, CHECKPOINT_VERSION,
+    put_bool, put_bytes, put_u32, put_u64, put_u8, put_usize, ByteReader, CheckpointError,
+    Checkpointable, Session, SessionCheckpoint, CHECKPOINT_VERSION,
 };
 pub use space::{bits_for_counter, bits_for_range, SpaceMeter};
 pub use store::{

@@ -294,6 +294,18 @@ impl<D: StreamingDecider> Session<D> {
         }
     }
 
+    /// Batch-feed fast path: hands the whole slice to the decider's
+    /// [`StreamingDecider::feed_all`] and bumps the stream position once,
+    /// instead of paying one dynamic dispatch and one counter increment
+    /// per token. Behavior is `==`-identical to calling
+    /// [`feed`](Self::feed) on each symbol in order — `feed_all` on the
+    /// decider side is defined as exactly that loop — so the mux dispatch
+    /// loop can use it freely without perturbing verdicts or metering.
+    pub fn feed_slice(&mut self, word: &[Sym]) {
+        self.decider.feed_all(word);
+        self.fed += word.len() as u64;
+    }
+
     /// Tokens consumed so far.
     pub fn position(&self) -> u64 {
         self.fed
@@ -414,6 +426,24 @@ mod tests {
             let mut resumed = Session::<ParityDecider>::resume(&cp).expect("resumes");
             resumed.feed_all(&word[cut..]);
             assert_eq!(resumed.finish(), reference, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn feed_slice_is_identical_to_repeated_feed() {
+        let word = from_str("1#01#110#1").expect("syms");
+        for cut in 0..=word.len() {
+            let mut by_token = Session::new(ParityDecider::new());
+            for &s in &word {
+                by_token.feed(s);
+            }
+            let mut by_slice = Session::new(ParityDecider::new());
+            by_slice.feed_slice(&word[..cut]);
+            by_slice.feed_slice(&word[cut..]);
+            by_slice.feed_slice(&[]);
+            assert_eq!(by_slice.position(), by_token.position(), "cut at {cut}");
+            assert_eq!(by_slice.decider(), by_token.decider(), "cut at {cut}");
+            assert_eq!(by_slice.finish(), by_token.finish(), "cut at {cut}");
         }
     }
 

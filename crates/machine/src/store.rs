@@ -1524,6 +1524,39 @@ mod tests {
     }
 
     #[test]
+    fn fresh_store_stats_have_no_division_hazards() {
+        // A store with zero records (the `--store-stats` fresh-file case):
+        // both ratio accessors must return finite, well-defined values
+        // rather than NaN from 0/0.
+        let path = temp_path("fresh-stats");
+        let store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        let stats = store.stats();
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.stored_payload_bytes, 0);
+        assert_eq!(stats.dedupe_hit_rate(), 0.0);
+        assert_eq!(stats.compression_ratio(), 1.0);
+        assert!(stats.dedupe_hit_rate().is_finite());
+        assert!(stats.compression_ratio().is_finite());
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_payload_stats_ratios_stay_finite() {
+        // Even constructed-by-hand degenerate stats (records but no stored
+        // bytes, refs but no fulls) keep both accessors finite.
+        let stats = StoreStats {
+            records: 3,
+            ref_records: 3,
+            ..StoreStats::default()
+        };
+        assert_eq!(stats.dedupe_hit_rate(), 1.0);
+        assert_eq!(stats.compression_ratio(), 1.0);
+        assert!(stats.dedupe_hit_rate().is_finite());
+        assert!(stats.compression_ratio().is_finite());
+    }
+
+    #[test]
     fn identical_payloads_are_stored_once() {
         let path = temp_path("dedupe");
         let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");

@@ -1,0 +1,149 @@
+//! The reference driver: a deterministic mixed fleet pushed through the
+//! socket protocol, plus the same fleet run directly — the two sides of
+//! the CI `cmp`.
+//!
+//! [`demo_fleet`] builds one session per catalog kind times
+//! [`SESSIONS_PER_KIND`] member/non-member words (all derived from one
+//! base seed), [`drive_socket`] plays it through a serving socket in
+//! interleaved [`FEED_CHUNK`]-token slices, and [`direct_outcome_lines`]
+//! computes the identical `OUTCOME` lines with plain
+//! [`run_decider_stream`] — no engine, no socket. Byte-equal outputs are
+//! the serving rung's end-to-end correctness check.
+
+use crate::catalog::DeciderKind;
+use crate::protocol::outcome_line;
+use oqsc_core::sweep::derive_seed;
+use oqsc_lang::{random_member, random_nonmember, Sym};
+use oqsc_machine::run_decider_stream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Sessions per catalog kind in the demo fleet.
+pub const SESSIONS_PER_KIND: usize = 2;
+
+/// Tokens per `FEED` line when driving a socket.
+pub const FEED_CHUNK: usize = 8;
+
+/// Language parameter for the demo words (`k = 1` keeps every backend
+/// fast while still exercising the full `x#y#` shape).
+const DEMO_K: u32 = 1;
+
+/// One demo session: id, kind, constructor seed, and the word to feed.
+pub type FleetEntry = (u64, DeciderKind, u64, Vec<Sym>);
+
+/// The deterministic mixed fleet: every catalog kind, alternating
+/// member/non-member words, all seeds derived from `base_seed`.
+pub fn demo_fleet(base_seed: u64) -> Vec<FleetEntry> {
+    let mut fleet = Vec::new();
+    for (ki, kind) in DeciderKind::ALL.into_iter().enumerate() {
+        for s in 0..SESSIONS_PER_KIND {
+            let i = ki * SESSIONS_PER_KIND + s;
+            let seed = derive_seed(base_seed, i);
+            let mut rng = StdRng::seed_from_u64(derive_seed(base_seed ^ 0x17EA7, i));
+            let word = if s % 2 == 0 {
+                random_member(DEMO_K, &mut rng).encode()
+            } else {
+                random_nonmember(DEMO_K, 1, &mut rng).encode()
+            };
+            fleet.push((i as u64, kind, seed, word));
+        }
+    }
+    fleet
+}
+
+/// The fleet's `OUTCOME` lines from direct, uninterrupted runs — the
+/// reference the served lines must match byte for byte.
+pub fn direct_outcome_lines(base_seed: u64) -> Vec<String> {
+    demo_fleet(base_seed)
+        .into_iter()
+        .map(|(id, kind, seed, word)| outcome_line(id, &run_decider_stream(kind.build(seed), word)))
+        .collect()
+}
+
+/// Sends one request line and reads one response line; `ERR` responses
+/// become I/O errors.
+fn round_trip(
+    writer: &mut UnixStream,
+    reader: &mut BufReader<UnixStream>,
+    request: &str,
+) -> std::io::Result<String> {
+    writer.write_all(format!("{request}\n").as_bytes())?;
+    writer.flush()?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::other("server closed the connection"));
+        }
+        if !line.trim().is_empty() {
+            break;
+        }
+    }
+    let line = line.trim().to_string();
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(std::io::Error::other(format!("{request}: {msg}")));
+    }
+    Ok(line)
+}
+
+/// Drives the demo fleet through a serving socket: opens every session,
+/// feeds all words round-robin in [`FEED_CHUNK`]-token slices (maximal
+/// interleaving, so the server's LRU churns), finishes each session, and
+/// returns the `OUTCOME` lines in id order.
+pub fn drive_socket(socket: impl AsRef<Path>, base_seed: u64) -> std::io::Result<Vec<String>> {
+    let mut writer = UnixStream::connect(socket.as_ref())?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    let fleet = demo_fleet(base_seed);
+    for (id, kind, seed, _) in &fleet {
+        round_trip(
+            &mut writer,
+            &mut reader,
+            &format!("OPEN {id} {} {seed}", kind.name()),
+        )?;
+    }
+    let mut cursors: Vec<(u64, Vec<Sym>, usize)> = fleet
+        .into_iter()
+        .map(|(id, _, _, word)| (id, word, 0))
+        .collect();
+    loop {
+        let mut progressed = false;
+        for (id, word, pos) in &mut cursors {
+            if *pos < word.len() {
+                let end = (*pos + FEED_CHUNK).min(word.len());
+                let text = oqsc_lang::token::to_string(&word[*pos..end]);
+                round_trip(&mut writer, &mut reader, &format!("FEED {id} {text}"))?;
+                *pos = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let mut lines = Vec::with_capacity(cursors.len());
+    for (id, _, _) in &cursors {
+        lines.push(round_trip(
+            &mut writer,
+            &mut reader,
+            &format!("FINISH {id}"),
+        )?);
+    }
+    Ok(lines)
+}
+
+/// Requests the server's `STATS` line.
+pub fn stats_socket(socket: impl AsRef<Path>) -> std::io::Result<String> {
+    let mut writer = UnixStream::connect(socket.as_ref())?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    round_trip(&mut writer, &mut reader, "STATS")
+}
+
+/// Sends `SHUTDOWN`, draining the server's accept pool.
+pub fn shutdown_socket(socket: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut writer = UnixStream::connect(socket.as_ref())?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    round_trip(&mut writer, &mut reader, "SHUTDOWN").map(|_| ())
+}

@@ -1,0 +1,40 @@
+//! # oqsc-serve — the session multiplexing engine
+//!
+//! The serving rung of the ROADMAP's "heavy traffic" north star: one box
+//! driving a huge number of concurrent streaming-decider sessions with a
+//! bounded working set. [`MuxEngine`] keeps a byte-budgeted, sharded LRU
+//! of live [`Session`](oqsc_machine::Session)s over two cold tiers —
+//! LZ4-compressed checkpoint bytes in memory, then a persistent
+//! [`CheckpointStore`](oqsc_machine::CheckpointStore) — and hydrates a
+//! suspended session on its next token.
+//!
+//! The engine's contract (DESIGN.md §12): for any interleaving of token
+//! feeds and any budget — including a budget of zero, where every feed
+//! evicts and rehydrates — per-session verdicts and metering are
+//! `==`-identical to uninterrupted
+//! [`run_decider_stream`](oqsc_machine::run_decider_stream), at any
+//! worker count. `tests/mux_identity.rs` pins that across all seven
+//! deciders, all four backends, three eviction orders and 1/2/8 workers.
+//!
+//! The front end is a line protocol (`OPEN`/`FEED`/`FINISH`/`STATS`,
+//! [`protocol`]) over a Unix socket served by a std-only thread pool
+//! ([`Server`]); `experiments --serve/--drive` and the CI smoke drive it
+//! end to end against direct runs.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod drive;
+pub mod mux;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{AnyDecider, DeciderKind, LDISJ_REPS, SKETCH_BUDGET};
+pub use drive::{
+    demo_fleet, direct_outcome_lines, drive_socket, shutdown_socket, stats_socket, FleetEntry,
+    FEED_CHUNK, SESSIONS_PER_KIND,
+};
+pub use mux::{run_fleet, MuxConfig, MuxEngine, MuxError, MuxStats};
+pub use protocol::{outcome_line, parse_outcome_line, parse_request, stats_line, Request};
+pub use server::{Server, ServerConfig};

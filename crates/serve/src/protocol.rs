@@ -1,0 +1,208 @@
+//! The line-oriented serving protocol.
+//!
+//! Same style as the worker pool's `OUTCOME` protocol: one request per
+//! line, space-separated integer-exact fields, one response line per
+//! request. Words travel in the repo's `0`/`1`/`#` surface syntax.
+//!
+//! ```text
+//! -> OPEN <id> <kind> <seed>        <- OK <id> 0
+//! -> FEED <id> <word>               <- OK <id> <position>
+//! -> FINISH <id>                    <- OUTCOME <id> <accept> <bits> <qubits> <amplitudes>
+//! -> STATS                          <- STATS <opened> <finished> <tokens> <live> <peak_live>
+//!                                            <warm> <evictions> <hydrations> <spills>
+//!                                            <spill_hydrations>
+//! -> SHUTDOWN                       <- OK shutdown
+//! ```
+//!
+//! Any failure answers `ERR <message>` and leaves the connection usable.
+//! `<kind>` is a [`DeciderKind`] name; `<seed>` deterministically builds
+//! the decider, so a served session is exactly reproducible offline.
+
+use crate::catalog::DeciderKind;
+use crate::mux::MuxStats;
+use oqsc_lang::Sym;
+use oqsc_machine::RunOutcome;
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `OPEN <id> <kind> <seed>`
+    Open {
+        /// Session id (single-use per server).
+        id: u64,
+        /// Catalog kind to build.
+        kind: DeciderKind,
+        /// Constructor seed.
+        seed: u64,
+    },
+    /// `FEED <id> <word>`
+    Feed {
+        /// Session id.
+        id: u64,
+        /// Tokens to feed, in stream order.
+        word: Vec<Sym>,
+    },
+    /// `FINISH <id>`
+    Finish {
+        /// Session id.
+        id: u64,
+    },
+    /// `STATS`
+    Stats,
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+fn parse_u64(what: &str, raw: Option<&str>) -> Result<u64, String> {
+    raw.and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad {what}"))
+}
+
+/// Parses one request line. Errors are protocol-level messages suitable
+/// for an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or_else(|| "empty request".to_string())?;
+    let req = match verb {
+        "OPEN" => {
+            let id = parse_u64("id", parts.next())?;
+            let kind = parts
+                .next()
+                .and_then(DeciderKind::from_name)
+                .ok_or_else(|| "bad kind".to_string())?;
+            let seed = parse_u64("seed", parts.next())?;
+            Request::Open { id, kind, seed }
+        }
+        "FEED" => {
+            let id = parse_u64("id", parts.next())?;
+            let word = parts
+                .next()
+                .and_then(oqsc_lang::token::from_str)
+                .ok_or_else(|| "bad word (expected 0/1/# tokens)".to_string())?;
+            Request::Feed { id, word }
+        }
+        "FINISH" => Request::Finish {
+            id: parse_u64("id", parts.next())?,
+        },
+        "STATS" => Request::Stats,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(format!("unknown verb {other}")),
+    };
+    if parts.next().is_some() {
+        return Err(format!("trailing fields after {verb}"));
+    }
+    Ok(req)
+}
+
+/// Renders the `FINISH` response: verdict + full metering, all integers,
+/// so `cmp` against a direct run is byte-exact.
+pub fn outcome_line(id: u64, out: &RunOutcome) -> String {
+    format!(
+        "OUTCOME {id} {} {} {} {}",
+        u8::from(out.accept),
+        out.classical_bits,
+        out.peak_qubits,
+        out.peak_amplitudes
+    )
+}
+
+/// Parses an [`outcome_line`] back into `(id, outcome)`.
+pub fn parse_outcome_line(line: &str) -> Option<(u64, RunOutcome)> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("OUTCOME") {
+        return None;
+    }
+    let id = parts.next()?.parse().ok()?;
+    let accept = match parts.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let classical_bits = parts.next()?.parse().ok()?;
+    let peak_qubits = parts.next()?.parse().ok()?;
+    let peak_amplitudes = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((
+        id,
+        RunOutcome {
+            accept,
+            classical_bits,
+            peak_qubits,
+            peak_amplitudes,
+        },
+    ))
+}
+
+/// Renders the `STATS` response.
+pub fn stats_line(s: &MuxStats) -> String {
+    format!(
+        "STATS {} {} {} {} {} {} {} {} {} {}",
+        s.opened,
+        s.finished,
+        s.tokens,
+        s.live,
+        s.peak_live,
+        s.warm,
+        s.evictions,
+        s.hydrations,
+        s.spills,
+        s.spill_hydrations
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_reject() {
+        assert_eq!(
+            parse_request("OPEN 7 complement-dense 42"),
+            Ok(Request::Open {
+                id: 7,
+                kind: DeciderKind::ComplementDense,
+                seed: 42
+            })
+        );
+        assert_eq!(
+            parse_request("FEED 7 1#01"),
+            Ok(Request::Feed {
+                id: 7,
+                word: oqsc_lang::token::from_str("1#01").expect("syms")
+            })
+        );
+        assert_eq!(parse_request("FINISH 7"), Ok(Request::Finish { id: 7 }));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        for bad in [
+            "",
+            "NOPE",
+            "OPEN x complement-dense 1",
+            "OPEN 1 no-such-kind 1",
+            "OPEN 1 format",
+            "FEED 1 012",
+            "FEED 1",
+            "FINISH",
+            "STATS extra",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn outcome_lines_round_trip() {
+        let out = RunOutcome {
+            accept: true,
+            classical_bits: 17,
+            peak_qubits: 4,
+            peak_amplitudes: 16,
+        };
+        let line = outcome_line(9, &out);
+        assert_eq!(line, "OUTCOME 9 1 17 4 16");
+        assert_eq!(parse_outcome_line(&line), Some((9, out)));
+        assert_eq!(parse_outcome_line("OUTCOME 9 2 0 0 0"), None);
+        assert_eq!(parse_outcome_line("OK 9"), None);
+    }
+}

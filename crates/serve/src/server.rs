@@ -1,0 +1,163 @@
+//! The Unix-socket front end: a std-only thread pool accepting
+//! connections and speaking the line protocol against one shared
+//! [`MuxEngine`].
+//!
+//! The listener runs non-blocking; every accept thread polls
+//! accept-or-sleep and checks a shared shutdown flag, so a single
+//! `SHUTDOWN` request (from any connection) drains the whole pool
+//! without signals or self-connects. Per-session ordering is the
+//! client's contract — the engine serializes operations on one id
+//! through its shard lock, and a client that wants a session's tokens
+//! in stream order must send them in order on one connection.
+
+use crate::catalog::AnyDecider;
+use crate::mux::{MuxConfig, MuxEngine, MuxStats};
+use crate::protocol::{outcome_line, parse_request, stats_line, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Server sizing: protocol threads and the engine's tier budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Connection-handling threads (each owns the accept loop in turn).
+    pub threads: usize,
+    /// The multiplexing engine's budgets.
+    pub mux: MuxConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            mux: MuxConfig::default(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server. Binding is separate from running so
+/// callers (the CLI, tests) can report readiness before blocking.
+pub struct Server {
+    listener: UnixListener,
+    path: PathBuf,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `path`, replacing any stale socket file left by a dead
+    /// server.
+    pub fn bind(path: impl AsRef<Path>, config: ServerConfig) -> std::io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            path,
+            config,
+        })
+    }
+
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serves until a `SHUTDOWN` request, then returns the engine's
+    /// final statistics. The socket file is removed on return.
+    pub fn run(self) -> std::io::Result<MuxStats> {
+        let engine = MuxEngine::<AnyDecider>::new(self.config.mux);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads.max(1) {
+                scope.spawn(|| {
+                    while !done.load(Ordering::SeqCst) {
+                        match self.listener.accept() {
+                            Ok((stream, _)) => handle_connection(stream, &engine, &done),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_file(&self.path);
+        Ok(engine.stats())
+    }
+}
+
+/// Serves one connection: request line in, response line out, until EOF
+/// or a shutdown from anywhere.
+fn handle_connection(stream: UnixStream, engine: &MuxEngine<AnyDecider>, done: &AtomicBool) {
+    // Line reads must be able to notice the shutdown flag; a short read
+    // timeout turns blocked reads into polls.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(engine, line.trim(), done);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if done.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Applies one request to the engine and renders the response line.
+fn respond(engine: &MuxEngine<AnyDecider>, line: &str, done: &AtomicBool) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => return format!("ERR {msg}"),
+    };
+    match request {
+        Request::Open { id, kind, seed } => match engine.open(id, kind.build(seed)) {
+            Ok(()) => format!("OK {id} 0"),
+            Err(e) => format!("ERR {e}"),
+        },
+        Request::Feed { id, word } => match engine.feed(id, &word) {
+            Ok(position) => format!("OK {id} {position}"),
+            Err(e) => format!("ERR {e}"),
+        },
+        Request::Finish { id } => match engine.finish(id) {
+            Ok(out) => outcome_line(id, &out),
+            Err(e) => format!("ERR {e}"),
+        },
+        Request::Stats => stats_line(&engine.stats()),
+        Request::Shutdown => {
+            done.store(true, Ordering::SeqCst);
+            "OK shutdown".to_string()
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end: a Unix-socket server under a churn-forcing budget, driven
+//! through the text protocol, must reproduce direct runs byte for byte —
+//! the in-process version of the CI serve smoke.
+
+use oqsc_serve::{
+    direct_outcome_lines, drive_socket, shutdown_socket, stats_socket, MuxConfig, Server,
+    ServerConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+fn socket_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "oqsc-serve-test-{}-{name}.sock",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn served_fleet_matches_direct_runs_byte_for_byte() {
+    const SEED: u64 = 0xD21F7; // deterministic driver seed
+    let path = socket_path("identity");
+    let server = Server::bind(
+        &path,
+        ServerConfig {
+            threads: 3,
+            mux: MuxConfig {
+                // Tight enough that the demo fleet churns through the
+                // warm tier constantly.
+                live_bytes_budget: 2 << 10,
+                warm_bytes_budget: 1 << 30,
+                shards: 4,
+            },
+        },
+    )
+    .expect("bind");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let served = drive_socket(&path, SEED).expect("drive");
+    let direct = direct_outcome_lines(SEED);
+    assert_eq!(served, direct);
+
+    let stats = stats_socket(&path).expect("stats");
+    assert!(stats.starts_with("STATS "), "bad stats line: {stats}");
+
+    shutdown_socket(&path).expect("shutdown");
+    let final_stats = handle.join().expect("server thread");
+    assert_eq!(final_stats.finished, direct.len() as u64);
+    assert!(!path.exists(), "socket file should be removed on shutdown");
+}
+
+#[test]
+fn protocol_errors_leave_the_connection_usable() {
+    let path = socket_path("errors");
+    let server = Server::bind(&path, ServerConfig::default()).expect("bind");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let mut writer = UnixStream::connect(&path).expect("connect");
+    let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+    let mut ask = |line: &str| -> String {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        response.trim().to_string()
+    };
+
+    assert!(ask("NONSENSE").starts_with("ERR "));
+    assert!(ask("FEED 99 1#0").starts_with("ERR unknown session"));
+    assert_eq!(ask("OPEN 1 format 0"), "OK 1 0");
+    assert!(ask("OPEN 1 format 0").starts_with("ERR "), "duplicate open");
+    assert_eq!(ask("FEED 1 1#01"), "OK 1 4");
+    let outcome = ask("FINISH 1");
+    assert!(outcome.starts_with("OUTCOME 1 "), "got: {outcome}");
+    assert!(ask("FINISH 1").starts_with("ERR "), "double finish");
+
+    assert_eq!(ask("SHUTDOWN"), "OK shutdown");
+    handle.join().expect("server thread");
+}

@@ -23,6 +23,7 @@
 //! | [`grover`] | Grover/BBHT closed forms and exact simulation |
 //! | [`comm`] | communication protocols (BCW), lower bounds, the Thm 3.6 reduction |
 //! | [`core`] | procedures A1/A2/A3, recognizers, classical baselines |
+//! | [`serve`] | session multiplexing engine: sharded hot-LRU + checkpoint hydration, Unix-socket protocol |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,3 +35,4 @@ pub use oqsc_grover as grover;
 pub use oqsc_lang as lang;
 pub use oqsc_machine as machine;
 pub use oqsc_quantum as quantum;
+pub use oqsc_serve as serve;
