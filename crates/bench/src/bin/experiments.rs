@@ -83,6 +83,7 @@
 //! Out-of-range values are rejected up front with a clear message,
 //! never silently clamped or panicked on.
 
+use oqsc_bench::fabric::{fabric_work, Coordinator, FabricConfig, WorkerConfig};
 use oqsc_bench::pool::{
     find_store_files, worker_outcomes, PoolError, PoolRunOpts, ShardId, SweepSpec,
 };
@@ -115,6 +116,16 @@ const DEFAULT_PERSIST_EVERY: usize = 4096;
 /// (the CI smoke `cmp`s them).
 const DRIVE_SEED: u64 = 0x0D21F7;
 
+/// Default instances per fabric lease.
+const DEFAULT_LEASE_SIZE: usize = 16;
+
+/// Upper bound on `--lease-size` (a lease far wider than any fleet just
+/// degrades to one worker doing everything).
+const MAX_LEASE_SIZE: usize = 1 << 20;
+
+/// Default fabric lease TTL in milliseconds.
+const DEFAULT_LEASE_TTL_MS: u64 = 10_000;
+
 struct Cli {
     runner: BatchRunner,
     schedule: SessionSchedule,
@@ -141,6 +152,12 @@ struct Cli {
     drive: Option<std::path::PathBuf>,
     drive_direct: bool,
     shutdown: Option<std::path::PathBuf>,
+    fabric_coordinate: Option<String>,
+    fabric_work: Option<String>,
+    lease_size: Option<usize>,
+    lease_ttl_ms: Option<u64>,
+    worker_id: Option<u64>,
+    fabric_throttle_ms: Option<u64>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -154,6 +171,10 @@ fn usage_and_exit(code: i32) -> ! {
     println!("       experiments --bench-json PATH [--bench-reduced]");
     println!("       experiments --serve SOCKET [--workers N] [--live-budget BYTES]");
     println!("       experiments --drive SOCKET | --drive-direct | --shutdown SOCKET");
+    println!("       experiments --sweep NAME --fabric-coordinate ADDR [--store PATH [--resume]]");
+    println!("                   [--lease-size N] [--lease-ttl-ms T]");
+    println!("       experiments --sweep NAME --fabric-work ADDR [--workers N]");
+    println!("                   [--worker-id N] [--fabric-throttle-ms T]");
     println!(
         "  --workers N            batch workers, 1..={MAX_WORKERS} (default: available cores)"
     );
@@ -191,6 +212,19 @@ fn usage_and_exit(code: i32) -> ! {
     println!("  --drive-direct         print the same OUTCOME lines from uninterrupted");
     println!("                         in-process runs (cmp against --drive)");
     println!("  --shutdown SOCKET      stop a running --serve server");
+    println!("  --fabric-coordinate ADDR  run the distributed-sweep coordinator on ADDR");
+    println!("                         (a Unix socket path, or host:port for TCP) until the");
+    println!("                         sweep completes, then print its table; --store makes");
+    println!("                         the outcome ledger durable (--resume recovers it)");
+    println!("  --fabric-work ADDR     run a fabric worker against the coordinator at ADDR");
+    println!("                         (--workers N threads per leased range)");
+    println!("  --lease-size N         coordinator: instances per lease, 1..={MAX_LEASE_SIZE}");
+    println!("                         (default {DEFAULT_LEASE_SIZE})");
+    println!("  --lease-ttl-ms T       coordinator: lease TTL without renewal, T >= 1");
+    println!("                         (default {DEFAULT_LEASE_TTL_MS})");
+    println!("  --worker-id N          worker: lease/heartbeat identity (default: process id)");
+    println!("  --fabric-throttle-ms T worker: run one instance at a time with a T ms pause");
+    println!("                         (straggler mode — exercises re-lease and work stealing)");
     std::process::exit(code);
 }
 
@@ -242,6 +276,12 @@ fn parse_cli() -> Cli {
         drive: None,
         drive_direct: false,
         shutdown: None,
+        fabric_coordinate: None,
+        fabric_work: None,
+        lease_size: None,
+        lease_ttl_ms: None,
+        worker_id: None,
+        fabric_throttle_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -350,6 +390,50 @@ fn parse_cli() -> Cli {
                 Some(p) if !p.is_empty() => cli.shutdown = Some(p.into()),
                 raw => bad_value("--shutdown", raw, "a Unix socket path"),
             },
+            "--fabric-coordinate" => match args.next() {
+                Some(a) if !a.is_empty() => cli.fabric_coordinate = Some(a),
+                raw => bad_value(
+                    "--fabric-coordinate",
+                    raw,
+                    "a Unix socket path or host:port",
+                ),
+            },
+            "--fabric-work" => match args.next() {
+                Some(a) if !a.is_empty() => cli.fabric_work = Some(a),
+                raw => bad_value("--fabric-work", raw, "a Unix socket path or host:port"),
+            },
+            "--lease-size" => {
+                cli.lease_size = Some(parse_num(
+                    &mut args,
+                    "--lease-size",
+                    &format!("an integer between 1 and {MAX_LEASE_SIZE}"),
+                    |n: &usize| (1..=MAX_LEASE_SIZE).contains(n),
+                ));
+            }
+            "--lease-ttl-ms" => {
+                cli.lease_ttl_ms = Some(parse_num(
+                    &mut args,
+                    "--lease-ttl-ms",
+                    "a positive millisecond count",
+                    |n: &u64| *n >= 1,
+                ));
+            }
+            "--worker-id" => {
+                cli.worker_id = Some(parse_num(
+                    &mut args,
+                    "--worker-id",
+                    "a worker id",
+                    |_: &u64| true,
+                ));
+            }
+            "--fabric-throttle-ms" => {
+                cli.fabric_throttle_ms = Some(parse_num(
+                    &mut args,
+                    "--fabric-throttle-ms",
+                    "a millisecond count",
+                    |_: &u64| true,
+                ));
+            }
             "--worker" => cli.worker = true,
             "--shard" => {
                 cli.shard = Some(parse_num(
@@ -448,6 +532,67 @@ fn parse_cli() -> Cli {
                 eprintln!("error: {mode} cannot be combined with {flag}");
                 std::process::exit(2);
             }
+        }
+    }
+    // The two fabric roles are exclusive, live inside --sweep (the spec
+    // is the work contract both sides verify), and split the remaining
+    // flags: the coordinator owns the store and the lease policy, the
+    // worker owns its identity, thread count and throttle.
+    if cli.fabric_coordinate.is_some() && cli.fabric_work.is_some() {
+        eprintln!("error: --fabric-coordinate cannot be combined with --fabric-work");
+        std::process::exit(2);
+    }
+    let fabric_mode = if cli.fabric_coordinate.is_some() {
+        Some("--fabric-coordinate")
+    } else if cli.fabric_work.is_some() {
+        Some("--fabric-work")
+    } else {
+        None
+    };
+    if let Some(mode) = fabric_mode {
+        if cli.sweep.is_none() {
+            eprintln!("error: {mode} requires --sweep (the sweep is the work contract)");
+            std::process::exit(2);
+        }
+        for (set, flag) in [
+            (cli.processes.is_some(), "--processes"),
+            (cli.worker, "--worker"),
+            (cli.crash_after_tokens.is_some(), "--crash-after-tokens"),
+            (cli.checkpoint_every.is_some(), "--checkpoint-every"),
+            (cli.store_format.is_some(), "--store-format"),
+        ] {
+            if set {
+                eprintln!("error: {mode} cannot be combined with {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.fabric_work.is_some() && cli.store.is_some() {
+        eprintln!(
+            "error: the outcome store belongs to the coordinator; --fabric-work takes no --store"
+        );
+        std::process::exit(2);
+    }
+    if cli.fabric_coordinate.is_some() && cli.workers.is_some() {
+        eprintln!("error: the coordinator runs no instances; --workers belongs to --fabric-work");
+        std::process::exit(2);
+    }
+    for (set, flag) in [
+        (cli.lease_size.is_some(), "--lease-size"),
+        (cli.lease_ttl_ms.is_some(), "--lease-ttl-ms"),
+    ] {
+        if set && cli.fabric_coordinate.is_none() {
+            eprintln!("error: {flag} requires --fabric-coordinate");
+            std::process::exit(2);
+        }
+    }
+    for (set, flag) in [
+        (cli.worker_id.is_some(), "--worker-id"),
+        (cli.fabric_throttle_ms.is_some(), "--fabric-throttle-ms"),
+    ] {
+        if set && cli.fabric_work.is_none() {
+            eprintln!("error: {flag} requires --fabric-work");
+            std::process::exit(2);
         }
     }
     // Compact and store-stats modes stand alone: they read existing
@@ -575,6 +720,69 @@ fn run_sweep(cli: &Cli) -> i32 {
         cli.trials.unwrap_or(default_trials),
     )
     .expect("validated name");
+    if let Some(addr) = &cli.fabric_coordinate {
+        // Fabric coordinator: serve leases until the sweep completes,
+        // then print the merged table (stdout carries only the table, so
+        // it cmp's against the in-process sweep).
+        let config = FabricConfig {
+            lease_size: cli.lease_size.unwrap_or(DEFAULT_LEASE_SIZE),
+            lease_ttl: std::time::Duration::from_millis(
+                cli.lease_ttl_ms.unwrap_or(DEFAULT_LEASE_TTL_MS),
+            ),
+            store_path: cli.store.clone(),
+            resume: cli.resume,
+            ..FabricConfig::default()
+        };
+        let lease_size = config.lease_size;
+        let ttl = config.lease_ttl;
+        let coordinator = match Coordinator::bind(addr, spec, config) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: starting fabric coordinator on {addr}: {e}");
+                return 1;
+            }
+        };
+        eprintln!(
+            "fabric coordinator on {} (sweep {}, {} instances per lease, ttl {} ms)",
+            coordinator.local_addr(),
+            spec.name(),
+            lease_size,
+            ttl.as_millis(),
+        );
+        return match coordinator.run() {
+            Ok(rows) => {
+                rows.print();
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        };
+    }
+    if let Some(addr) = &cli.fabric_work {
+        // Fabric worker: lease ranges from the coordinator until it
+        // answers FINISHED.
+        let config = WorkerConfig {
+            worker_id: cli.worker_id.unwrap_or(std::process::id() as u64),
+            threads: cli.workers.unwrap_or(1),
+            throttle: cli.fabric_throttle_ms.map(std::time::Duration::from_millis),
+            ..WorkerConfig::default()
+        };
+        return match fabric_work(addr, spec, &config) {
+            Ok(report) => {
+                eprintln!(
+                    "fabric worker {} done: {} leases, {} instances, {} expired",
+                    config.worker_id, report.leases, report.instances, report.expired
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("error: fabric worker against {addr}: {e}");
+                1
+            }
+        };
+    }
     if cli.worker {
         // Worker mode: run our shard, speak the OUTCOME protocol.
         let shard = ShardId {

@@ -18,12 +18,18 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod fabric;
 pub mod pool;
 pub mod record;
 
 pub use experiments::*;
+pub use fabric::{
+    fabric_coordinate, fabric_instance_id, fabric_work, split_fabric_instance_id, Coordinator,
+    FabricConfig, FabricState, FabricWorkReport, WorkerConfig,
+};
 pub use pool::{
-    emit_outcomes, find_store_files, rows_from_outcomes, rows_from_reports, worker_outcomes,
-    PoolError, PoolRunOpts, ProcessPool, ShardId, SweepRows, SweepSpec, WORKER_CRASH_EXIT,
+    emit_outcomes, find_store_files, fleet_outcomes, rows_from_outcomes, rows_from_reports,
+    shard_indices, worker_outcomes, OutcomeLedger, PoolError, PoolRunOpts, ProcessPool, ShardId,
+    SweepRows, SweepSpec, WORKER_CRASH_EXIT,
 };
 pub use record::{run_record, RecordOpts};

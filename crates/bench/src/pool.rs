@@ -484,58 +484,171 @@ fn open_shard_store<D: Checkpointable>(
     }
 }
 
-/// Runs one fleet's shard. Returns `true` when the token budget crashed
-/// the fleet mid-run (outcomes gathered so far are discarded — a crash
-/// loses everything that is not in the store).
-fn run_fleet_shard<D, W, F>(
-    fleet: &'static str,
-    count: usize,
-    shard: ShardId,
-    opts: &PoolRunOpts,
-    out: &mut Vec<(&'static str, usize, RunOutcome)>,
-    task: F,
-) -> Result<bool, PoolError>
-where
-    D: Checkpointable,
-    W: IntoIterator<Item = oqsc_lang::Sym>,
-    W::IntoIter: Send,
-    F: Fn(usize) -> (D, W) + Sync,
-{
-    let of = shard.of.max(1);
-    let indices: Vec<usize> = (shard.shard..count).step_by(of).collect();
-    let local_task = |j: usize| task(indices[j]);
-    let runner = BatchRunner::new(opts.workers.max(1));
-    let report = match &opts.store_prefix {
-        Some(prefix) => {
-            let path = shard_store_path(prefix, fleet, shard);
-            let mut store = open_shard_store::<D>(&path, opts.resume, opts.legacy_v2)?;
-            let budget = opts.crash_after_tokens.unwrap_or(u64::MAX);
-            match runner.run_resumable_budgeted(
-                indices.len(),
-                opts.checkpoint_every.max(1),
-                &mut store,
-                budget,
-                local_task,
-            )? {
-                Some(report) => report,
-                None => return Ok(true),
+/// The strided global indices `shard` owns out of a fleet of `count`
+/// instances — the pool's one sharding rule, shared so every scheduler
+/// that claims "shard w of P" means exactly the same instance set.
+pub fn shard_indices(shard: ShardId, count: usize) -> Vec<usize> {
+    (shard.shard..count).step_by(shard.of.max(1)).collect()
+}
+
+/// One visit to a fleet's task function with its concrete decider type.
+///
+/// [`SweepSpec::fleets`] names the fleets, but each fleet's task builds
+/// a *different* decider type, so running "fleet X of spec S" needs a
+/// generic call site per fleet. This trait inverts that: a scheduler
+/// implements `visit` once, generically, and [`visit_fleet`] owns the
+/// single spec-to-task dispatch — the process-pool shard runner and the
+/// fabric worker both go through it, which is how their instance
+/// derivations stay identical by construction.
+trait FleetVisitor {
+    /// What the visit produces.
+    type Out;
+    /// Runs against one fleet: `count` instances, each the pure function
+    /// `task` of its global index.
+    fn visit<D, W, F>(self, count: usize, task: F) -> Self::Out
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = oqsc_lang::Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync;
+}
+
+/// Dispatches `visitor` to `fleet`'s task function, or `None` when the
+/// spec has no fleet of that name. The **only** place that pairs fleet
+/// names with task functions.
+fn visit_fleet<V: FleetVisitor>(spec: SweepSpec, fleet: &str, visitor: V) -> Option<V::Out> {
+    match spec {
+        SweepSpec::E6 { k_max } => {
+            (fleet == "e6").then(|| visitor.visit(e6_instance_count(k_max), e6_task))
+        }
+        SweepSpec::F1 { k_max } => {
+            let seeds = f1_seeds(k_max);
+            let n = seeds.len();
+            match fleet {
+                "quantum" => Some(visitor.visit(n, move |i| separation_quantum_task(1, &seeds, i))),
+                "classical" => {
+                    Some(visitor.visit(n, move |i| separation_classical_task(1, &seeds, i)))
+                }
+                _ => None,
             }
         }
-        None => {
-            if opts.crash_after_tokens.is_some() {
-                return Err(PoolError::Protocol(
-                    "--crash-after-tokens requires --store (a crash without \
-                     persistence cannot be resumed)"
-                        .into(),
-                ));
-            }
-            runner.run(indices.len(), SessionSchedule::Uninterrupted, local_task)
-        }
-    };
-    for (j, outcome) in report.outcomes.iter().enumerate() {
-        out.push((fleet, indices[j], *outcome));
+        SweepSpec::F3 { k_max, trials } => (1..=k_max)
+            .find(|&k| f3_fleet_name(k) == fleet)
+            .map(|k| visitor.visit(trials, move |i| f3_fingerprint_task(k, i))),
+        SweepSpec::F4 { k, trials } => f4_budgets(k)
+            .into_iter()
+            .find(|&budget| f4_fleet_name(budget) == fleet)
+            .map(|budget| visitor.visit(trials, move |i| f4_sketch_task(k, budget, i))),
     }
-    Ok(false)
+}
+
+/// Runs one fleet's shard (strided indices, optional persistent store).
+/// Produces `Ok(true)` when the token budget crashed the fleet mid-run
+/// (outcomes gathered so far are discarded — a crash loses everything
+/// that is not in the store).
+struct ShardRun<'a> {
+    fleet: &'static str,
+    shard: ShardId,
+    opts: &'a PoolRunOpts,
+    out: &'a mut WorkerOutcomes,
+}
+
+impl FleetVisitor for ShardRun<'_> {
+    type Out = Result<bool, PoolError>;
+
+    fn visit<D, W, F>(self, count: usize, task: F) -> Self::Out
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = oqsc_lang::Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        let indices = shard_indices(self.shard, count);
+        let local_task = |j: usize| task(indices[j]);
+        let runner = BatchRunner::new(self.opts.workers.max(1));
+        let report = match &self.opts.store_prefix {
+            Some(prefix) => {
+                let path = shard_store_path(prefix, self.fleet, self.shard);
+                let mut store =
+                    open_shard_store::<D>(&path, self.opts.resume, self.opts.legacy_v2)?;
+                let budget = self.opts.crash_after_tokens.unwrap_or(u64::MAX);
+                match runner.run_resumable_budgeted(
+                    indices.len(),
+                    self.opts.checkpoint_every.max(1),
+                    &mut store,
+                    budget,
+                    local_task,
+                )? {
+                    Some(report) => report,
+                    None => return Ok(true),
+                }
+            }
+            None => {
+                if self.opts.crash_after_tokens.is_some() {
+                    return Err(PoolError::Protocol(
+                        "--crash-after-tokens requires --store (a crash without \
+                         persistence cannot be resumed)"
+                            .into(),
+                    ));
+                }
+                runner.run(indices.len(), SessionSchedule::Uninterrupted, local_task)
+            }
+        };
+        for (j, outcome) in report.outcomes.iter().enumerate() {
+            self.out.push((self.fleet, indices[j], *outcome));
+        }
+        Ok(false)
+    }
+}
+
+/// Runs an explicit index set of one fleet, in the given order — the
+/// fabric worker's execution primitive (a leased range is such a set).
+struct IndicesRun<'a> {
+    indices: &'a [usize],
+    workers: usize,
+}
+
+impl FleetVisitor for IndicesRun<'_> {
+    type Out = Result<Vec<RunOutcome>, PoolError>;
+
+    fn visit<D, W, F>(self, count: usize, task: F) -> Self::Out
+    where
+        D: Checkpointable,
+        W: IntoIterator<Item = oqsc_lang::Sym>,
+        W::IntoIter: Send,
+        F: Fn(usize) -> (D, W) + Sync,
+    {
+        if let Some(&bad) = self.indices.iter().find(|&&i| i >= count) {
+            return Err(PoolError::Protocol(format!(
+                "instance index {bad} out of range for a fleet of {count}"
+            )));
+        }
+        let runner = BatchRunner::new(self.workers.max(1));
+        Ok(runner
+            .run(self.indices.len(), SessionSchedule::Uninterrupted, |j| {
+                task(self.indices[j])
+            })
+            .outcomes)
+    }
+}
+
+/// Runs `indices` of `spec`'s fleet `fleet` across `workers` threads and
+/// returns their outcomes in `indices` order. Unknown fleets and
+/// out-of-range indices are protocol errors — the fabric worker calls
+/// this with coordinator-granted ranges, and a bad grant must surface,
+/// not panic.
+pub fn fleet_outcomes(
+    spec: SweepSpec,
+    fleet: &str,
+    indices: &[usize],
+    workers: usize,
+) -> Result<Vec<RunOutcome>, PoolError> {
+    visit_fleet(spec, fleet, IndicesRun { indices, workers }).unwrap_or_else(|| {
+        Err(PoolError::Protocol(format!(
+            "sweep {:?} has no fleet {fleet:?}",
+            spec.name()
+        )))
+    })
 }
 
 /// `(fleet, global index, outcome)` triples one worker reports.
@@ -543,65 +656,38 @@ pub type WorkerOutcomes = Vec<(&'static str, usize, RunOutcome)>;
 
 /// Executes one worker's shard of `spec` and returns its outcomes — or
 /// `None` when the token budget crashed it (the budget applies per
-/// fleet). This is the whole of worker mode; the binary just prints the
-/// result with [`emit_outcomes`] and exits.
+/// fleet; the first crashed fleet stops the worker, matching the
+/// resume-from-store contract). This is the whole of worker mode; the
+/// binary just prints the result with [`emit_outcomes`] and exits.
 pub fn worker_outcomes(
     spec: SweepSpec,
     shard: ShardId,
     opts: &PoolRunOpts,
 ) -> Result<Option<WorkerOutcomes>, PoolError> {
     let mut out = Vec::new();
-    let crashed = match spec {
-        SweepSpec::E6 { k_max } => run_fleet_shard(
-            "e6",
-            e6_instance_count(k_max),
+    for (fleet, _) in spec.fleets() {
+        let run = ShardRun {
+            fleet,
             shard,
             opts,
-            &mut out,
-            e6_task,
-        )?,
-        SweepSpec::F1 { k_max } => {
-            let seeds = f1_seeds(k_max);
-            run_fleet_shard("quantum", seeds.len(), shard, opts, &mut out, |i| {
-                separation_quantum_task(1, &seeds, i)
-            })? || run_fleet_shard("classical", seeds.len(), shard, opts, &mut out, |i| {
-                separation_classical_task(1, &seeds, i)
-            })?
+            out: &mut out,
+        };
+        let crashed =
+            visit_fleet(spec, fleet, run).expect("spec.fleets() names only visitable fleets")?;
+        if crashed {
+            return Ok(None);
         }
-        SweepSpec::F3 { k_max, trials } => {
-            let mut crashed = false;
-            for k in 1..=k_max {
-                crashed = run_fleet_shard(f3_fleet_name(k), trials, shard, opts, &mut out, |i| {
-                    f3_fingerprint_task(k, i)
-                })?;
-                if crashed {
-                    break;
-                }
-            }
-            crashed
-        }
-        SweepSpec::F4 { k, trials } => {
-            let mut crashed = false;
-            for budget in f4_budgets(k) {
-                crashed =
-                    run_fleet_shard(f4_fleet_name(budget), trials, shard, opts, &mut out, |i| {
-                        f4_sketch_task(k, budget, i)
-                    })?;
-                if crashed {
-                    break;
-                }
-            }
-            crashed
-        }
-    };
-    Ok(if crashed { None } else { Some(out) })
+    }
+    Ok(Some(out))
 }
 
 /// Writes the worker protocol: one
 /// `OUTCOME <fleet> <index> <accept> <bits> <qubits> <amplitudes>`
-/// line per instance. [`RunOutcome`] is all integers, so the text round
-/// trip is exact — merged cross-process reports are `==` to in-process
-/// ones.
+/// line per instance (the shared
+/// [`fleet_outcome_line`](oqsc_serve::fleet_outcome_line) rendering the
+/// fabric also speaks). [`RunOutcome`] is all integers, so the text
+/// round trip is exact — merged cross-process reports are `==` to
+/// in-process ones.
 pub fn emit_outcomes(
     out: &mut impl std::io::Write,
     outcomes: &[(&'static str, usize, RunOutcome)],
@@ -609,45 +695,140 @@ pub fn emit_outcomes(
     for (fleet, idx, o) in outcomes {
         writeln!(
             out,
-            "OUTCOME {fleet} {idx} {} {} {} {}",
-            u8::from(o.accept),
-            o.classical_bits,
-            o.peak_qubits,
-            o.peak_amplitudes
+            "{}",
+            oqsc_serve::fleet_outcome_line(fleet, *idx as u64, o)
         )?;
     }
     Ok(())
 }
 
 fn parse_outcome_line(line: &str) -> Result<(String, usize, RunOutcome), PoolError> {
-    let bad = || PoolError::Protocol(format!("malformed OUTCOME line: {line:?}"));
-    let mut parts = line.split_whitespace();
-    if parts.next() != Some("OUTCOME") {
-        return Err(bad());
+    let (fleet, idx, outcome) =
+        oqsc_serve::parse_fleet_outcome_line(line).map_err(PoolError::Protocol)?;
+    Ok((fleet, idx as usize, outcome))
+}
+
+/// An incrementally-merged sweep result: one slot per instance of every
+/// fleet in `spec`, filled from `(fleet, index, outcome)` triples as
+/// they arrive. This is the **single merge definition** behind both
+/// batch merging ([`rows_from_outcomes`], the process pool) and the
+/// fabric coordinator, which feeds it one `OUTCOME` line at a time and
+/// asks it when ranges — and the whole sweep — are complete.
+pub struct OutcomeLedger {
+    spec: SweepSpec,
+    fleets: Vec<(&'static str, usize)>,
+    slots: Vec<Vec<Option<RunOutcome>>>,
+    remaining: usize,
+}
+
+impl OutcomeLedger {
+    /// An empty ledger covering every instance of every fleet of `spec`.
+    pub fn new(spec: SweepSpec) -> Self {
+        let fleets = spec.fleets();
+        let slots: Vec<Vec<Option<RunOutcome>>> =
+            fleets.iter().map(|&(_, count)| vec![None; count]).collect();
+        let remaining = fleets.iter().map(|&(_, count)| count).sum();
+        OutcomeLedger {
+            spec,
+            fleets,
+            slots,
+            remaining,
+        }
     }
-    let fleet = parts.next().ok_or_else(bad)?.to_string();
-    let mut next_num = |what: &str| -> Result<u64, PoolError> {
-        parts
-            .next()
-            .and_then(|s| s.parse::<u64>().ok())
-            .ok_or_else(|| PoolError::Protocol(format!("bad {what} in OUTCOME line: {line:?}")))
-    };
-    let idx = next_num("index")? as usize;
-    let accept = match next_num("accept flag")? {
-        0 => false,
-        1 => true,
-        _ => return Err(bad()),
-    };
-    let outcome = RunOutcome {
-        accept,
-        classical_bits: next_num("classical bits")? as usize,
-        peak_qubits: next_num("peak qubits")? as usize,
-        peak_amplitudes: next_num("peak amplitudes")? as usize,
-    };
-    if parts.next().is_some() {
-        return Err(bad());
+
+    /// The position of `fleet` in [`SweepSpec::fleets`] order.
+    pub fn fleet_index(&self, fleet: &str) -> Option<usize> {
+        self.fleets.iter().position(|&(name, _)| name == fleet)
     }
-    Ok((fleet, idx, outcome))
+
+    fn slot_mut(&mut self, fleet: &str, idx: usize) -> Result<&mut Option<RunOutcome>, PoolError> {
+        let f = self
+            .fleet_index(fleet)
+            .ok_or_else(|| PoolError::Protocol(format!("unknown fleet {fleet:?}")))?;
+        self.slots[f]
+            .get_mut(idx)
+            .ok_or_else(|| PoolError::Protocol(format!("fleet {fleet:?} index {idx} out of range")))
+    }
+
+    /// Records an outcome that must be the *first* report of its
+    /// instance — the process-pool contract, where shards partition the
+    /// index space and any duplicate is a protocol violation.
+    pub fn insert_new(
+        &mut self,
+        fleet: &str,
+        idx: usize,
+        outcome: RunOutcome,
+    ) -> Result<(), PoolError> {
+        let slot = self.slot_mut(fleet, idx)?;
+        if slot.replace(outcome).is_some() {
+            return Err(PoolError::Protocol(format!(
+                "fleet {fleet:?} index {idx} reported twice"
+            )));
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+
+    /// Records an outcome idempotently — the fabric contract, where a
+    /// re-leased range is legitimately re-executed. Every instance is a
+    /// pure function of its index, so a duplicate report must be
+    /// *identical*; returns `Ok(true)` for a fresh outcome, `Ok(false)`
+    /// for an identical duplicate, and a protocol error for a
+    /// conflicting one (a worker computing the wrong sweep).
+    pub fn merge(
+        &mut self,
+        fleet: &str,
+        idx: usize,
+        outcome: RunOutcome,
+    ) -> Result<bool, PoolError> {
+        let slot = self.slot_mut(fleet, idx)?;
+        match slot {
+            Some(existing) if *existing == outcome => Ok(false),
+            Some(existing) => Err(PoolError::Protocol(format!(
+                "fleet {fleet:?} index {idx} re-reported with a conflicting outcome \
+                 ({existing:?} vs {outcome:?})"
+            ))),
+            None => {
+                *slot = Some(outcome);
+                self.remaining -= 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Whether every instance of `start..end` in fleet `fleet_idx` (by
+    /// [`SweepSpec::fleets`] position) has an outcome. Out-of-range
+    /// ranges are simply not complete.
+    pub fn range_complete(&self, fleet_idx: usize, start: usize, end: usize) -> bool {
+        self.slots
+            .get(fleet_idx)
+            .and_then(|slots| slots.get(start..end))
+            .is_some_and(|range| range.iter().all(Option::is_some))
+    }
+
+    /// Instances still missing an outcome, across all fleets.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the whole sweep has been reported.
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Folds the filled slots into table rows; errors if any fleet still
+    /// has missing instances.
+    pub fn into_rows(self) -> Result<SweepRows, PoolError> {
+        let mut reports = Vec::with_capacity(self.fleets.len());
+        for (&(name, _), fleet_slots) in self.fleets.iter().zip(self.slots) {
+            let outcomes: Option<Vec<RunOutcome>> = fleet_slots.into_iter().collect();
+            let outcomes = outcomes.ok_or_else(|| {
+                PoolError::Protocol(format!("fleet {name:?} is missing instance outcomes"))
+            })?;
+            reports.push(BatchReport::from_outcomes(outcomes));
+        }
+        Ok(rows_from_reports(self.spec, &reports))
+    }
 }
 
 /// Merges `(fleet, index, outcome)` triples — from any number of shards
@@ -658,32 +839,11 @@ pub fn rows_from_outcomes(
     spec: SweepSpec,
     outcomes: impl IntoIterator<Item = (String, usize, RunOutcome)>,
 ) -> Result<SweepRows, PoolError> {
-    let fleets = spec.fleets();
-    let mut slots: Vec<Vec<Option<RunOutcome>>> =
-        fleets.iter().map(|&(_, count)| vec![None; count]).collect();
+    let mut ledger = OutcomeLedger::new(spec);
     for (fleet, idx, outcome) in outcomes {
-        let f = fleets
-            .iter()
-            .position(|&(name, _)| name == fleet)
-            .ok_or_else(|| PoolError::Protocol(format!("unknown fleet {fleet:?}")))?;
-        let slot = slots[f].get_mut(idx).ok_or_else(|| {
-            PoolError::Protocol(format!("fleet {fleet:?} index {idx} out of range"))
-        })?;
-        if slot.replace(outcome).is_some() {
-            return Err(PoolError::Protocol(format!(
-                "fleet {fleet:?} index {idx} reported twice"
-            )));
-        }
+        ledger.insert_new(&fleet, idx, outcome)?;
     }
-    let mut reports = Vec::with_capacity(fleets.len());
-    for (&(name, _), fleet_slots) in fleets.iter().zip(slots) {
-        let outcomes: Option<Vec<RunOutcome>> = fleet_slots.into_iter().collect();
-        let outcomes = outcomes.ok_or_else(|| {
-            PoolError::Protocol(format!("fleet {name:?} is missing instance outcomes"))
-        })?;
-        reports.push(BatchReport::from_outcomes(outcomes));
-    }
-    Ok(rows_from_reports(spec, &reports))
+    ledger.into_rows()
 }
 
 /// Shards a sweep over OS worker processes (see the module docs).
@@ -1016,6 +1176,89 @@ mod tests {
         let one = find_store_files(&dir.join("other.e6.shard0of1.cps")).expect("scan");
         assert_eq!(one.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_merge_is_idempotent_but_rejects_conflicts() {
+        let spec = SweepSpec::E6 { k_max: 2 };
+        let mut ledger = OutcomeLedger::new(spec);
+        assert_eq!(ledger.remaining(), 4);
+        assert!(!ledger.is_complete());
+        let out = RunOutcome {
+            accept: true,
+            classical_bits: 5,
+            peak_qubits: 2,
+            peak_amplitudes: 4,
+        };
+        assert!(ledger.merge("e6", 1, out).expect("fresh"));
+        // An identical re-report (a re-leased range re-executed) is fine
+        // and changes nothing.
+        assert!(!ledger.merge("e6", 1, out).expect("duplicate"));
+        assert_eq!(ledger.remaining(), 3);
+        // A *conflicting* re-report means a worker computed the wrong
+        // instance — protocol error.
+        let mut other = out;
+        other.classical_bits += 1;
+        assert!(matches!(
+            ledger.merge("e6", 1, other),
+            Err(PoolError::Protocol(_))
+        ));
+        assert!(matches!(
+            ledger.merge("nope", 0, out),
+            Err(PoolError::Protocol(_))
+        ));
+        assert!(matches!(
+            ledger.merge("e6", 99, out),
+            Err(PoolError::Protocol(_))
+        ));
+        assert!(!ledger.range_complete(0, 0, 4));
+        assert!(ledger.range_complete(0, 1, 2));
+        assert!(
+            !ledger.range_complete(0, 2, 99),
+            "out of range is not complete"
+        );
+        for idx in [0, 2, 3] {
+            ledger
+                .merge("e6", idx, RunOutcome::default())
+                .expect("fresh");
+        }
+        assert!(ledger.is_complete());
+        assert!(ledger.range_complete(0, 0, 4));
+        assert!(ledger.into_rows().is_ok());
+    }
+
+    #[test]
+    fn fleet_outcomes_runs_granted_ranges_and_rejects_bad_grants() {
+        let spec = SweepSpec::E6 { k_max: 3 };
+        // A leased range must reproduce exactly the shard runner's
+        // outcomes for the same indices.
+        let mut shard_out = Vec::new();
+        let all = worker_outcomes(spec, ShardId { shard: 0, of: 1 }, &PoolRunOpts::default())
+            .expect("runs")
+            .expect("no crash");
+        shard_out.extend(all);
+        let indices: Vec<usize> = (2..5).collect();
+        let ranged = fleet_outcomes(spec, "e6", &indices, 2).expect("runs");
+        for (j, &i) in indices.iter().enumerate() {
+            assert_eq!(ranged[j], shard_out[i].2, "index {i}");
+        }
+        assert!(matches!(
+            fleet_outcomes(spec, "f9", &[0], 1),
+            Err(PoolError::Protocol(_))
+        ));
+        assert!(matches!(
+            fleet_outcomes(spec, "e6", &[10_000], 1),
+            Err(PoolError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn shard_indices_stride_the_instance_space() {
+        assert_eq!(shard_indices(ShardId { shard: 0, of: 2 }, 5), [0, 2, 4]);
+        assert_eq!(shard_indices(ShardId { shard: 1, of: 2 }, 5), [1, 3]);
+        assert_eq!(shard_indices(ShardId { shard: 3, of: 4 }, 2), []);
+        // A zero width is clamped rather than dividing by zero.
+        assert_eq!(shard_indices(ShardId { shard: 0, of: 0 }, 3), [0, 1, 2]);
     }
 
     #[test]

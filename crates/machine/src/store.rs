@@ -868,6 +868,30 @@ impl CheckpointStore {
             .ok_or(StoreError::CorruptRecord { offset: loc.offset })
     }
 
+    /// Every persisted final outcome, as `(instance, position, outcome)`
+    /// triples sorted by instance id, each re-verified against the bytes
+    /// on disk. This is the recovery path of a scheduler that uses the
+    /// store as its durable completion ledger (the distributed sweep
+    /// fabric's coordinator): one scan rebuilds the full picture of what
+    /// already ran.
+    pub fn finished_outcomes(&mut self) -> Result<Vec<(u64, u64, RunOutcome)>, StoreError> {
+        let mut instances: Vec<(u64, u64, u128)> = self
+            .finished
+            .iter()
+            .map(|(&instance, &(position, key))| (instance, position, key))
+            .collect();
+        instances.sort_unstable_by_key(|&(instance, _, _)| instance);
+        let mut out = Vec::with_capacity(instances.len());
+        for (instance, position, key) in instances {
+            let loc = *self.index.get(&key).ok_or(StoreError::UnknownKey)?;
+            let payload = self.get_payload(key)?;
+            let outcome =
+                decode_outcome(&payload).ok_or(StoreError::CorruptRecord { offset: loc.offset })?;
+            out.push((instance, position, outcome));
+        }
+        Ok(out)
+    }
+
     /// Whether `instance` has a persisted final outcome.
     pub fn is_finished(&self, instance: u64) -> bool {
         self.finished.contains_key(&instance)
@@ -1649,6 +1673,34 @@ mod tests {
         assert_eq!(store.outcome(0).expect("read"), Some(o));
         assert_eq!(store.outcome(5).expect("read"), Some(o));
         assert_eq!(store.latest_position(0), Some(3), "checkpoint kept too");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finished_outcomes_scans_the_completion_ledger_in_instance_order() {
+        let path = temp_path("finished-scan");
+        let mut store = CheckpointStore::create_for::<StoreEverything>(&path).expect("create");
+        assert_eq!(store.finished_outcomes().expect("empty"), []);
+        // Append out of instance order, with a dedupe and an unfinished
+        // instance mixed in; the scan must come back sorted and complete.
+        let a = outcome(true, 11);
+        let b = outcome(false, 22);
+        store.append_outcome(9, 4, &a).expect("outcome");
+        store.append(3, &checkpoint_at(2)).expect("checkpoint only");
+        store.append_outcome(1, 6, &b).expect("outcome");
+        store.append_outcome(4, 5, &a).expect("deduped outcome");
+        assert_eq!(
+            store.finished_outcomes().expect("scan"),
+            [(1, 6, b), (4, 5, a), (9, 4, a)]
+        );
+        drop(store);
+        // The scan works identically on a recovered store.
+        let (mut store, _) =
+            CheckpointStore::recover_for::<StoreEverything>(&path).expect("recover");
+        assert_eq!(
+            store.finished_outcomes().expect("scan"),
+            [(1, 6, b), (4, 5, a), (9, 4, a)]
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -36,5 +36,9 @@ pub use drive::{
     FEED_CHUNK, SESSIONS_PER_KIND,
 };
 pub use mux::{run_fleet, MuxConfig, MuxEngine, MuxError, MuxStats};
-pub use protocol::{outcome_line, parse_outcome_line, parse_request, stats_line, Request};
-pub use server::{Server, ServerConfig};
+pub use protocol::{
+    fabric_request_line, fabric_response_line, fleet_outcome_line, outcome_line,
+    parse_fabric_request, parse_fabric_response, parse_fleet_outcome_line, parse_outcome_line,
+    parse_request, stats_line, FabricRequest, FabricResponse, Request,
+};
+pub use server::{bind_unix_socket, Server, ServerConfig};

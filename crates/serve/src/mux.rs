@@ -38,7 +38,18 @@ use oqsc_machine::{
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poison. A handler thread that panics
+/// mid-request (a malformed word deep in a decider, an allocation
+/// failure) must not wedge every other session hashed onto the same
+/// shard: the engine updates shard bookkeeping in panic-safe order
+/// (maps and byte accounts are adjusted together, before and after the
+/// only panic-prone call, `Session` feeding), so the inner state is
+/// still consistent and the lock is safe to reclaim.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Sizing knobs for one [`MuxEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -281,7 +292,7 @@ impl<D: Checkpointable> MuxEngine<D> {
     /// engine: an id that is open in any tier, or already finished, is
     /// rejected.
     pub fn open(&self, id: u64, decider: D) -> Result<(), MuxError> {
-        let mut shard = self.shard_of(id).lock().expect("shard lock");
+        let mut shard = lock_recover(self.shard_of(id));
         if shard.retired.contains(&id) {
             return Err(MuxError::Retired(id));
         }
@@ -289,12 +300,7 @@ impl<D: Checkpointable> MuxEngine<D> {
             return Err(MuxError::DuplicateSession(id));
         }
         if let Some(store) = &self.spill {
-            if store
-                .lock()
-                .expect("store lock")
-                .latest_position(id)
-                .is_some()
-            {
+            if lock_recover(store).latest_position(id).is_some() {
                 return Err(MuxError::DuplicateSession(id));
             }
         }
@@ -321,7 +327,7 @@ impl<D: Checkpointable> MuxEngine<D> {
     /// the byte budgets (which may immediately re-evict it). Returns the
     /// session's new stream position.
     pub fn feed(&self, id: u64, word: &[Sym]) -> Result<u64, MuxError> {
-        let mut shard = self.shard_of(id).lock().expect("shard lock");
+        let mut shard = lock_recover(self.shard_of(id));
         self.hydrate(&mut shard, id)?;
         let stamp = self.tick();
         let live = shard.live.get_mut(&id).expect("hydrated");
@@ -339,7 +345,7 @@ impl<D: Checkpointable> MuxEngine<D> {
     /// Ends session `id`: verdict plus the full space accounting,
     /// `==`-identical to the uninterrupted run. The id is retired.
     pub fn finish(&self, id: u64) -> Result<RunOutcome, MuxError> {
-        let mut shard = self.shard_of(id).lock().expect("shard lock");
+        let mut shard = lock_recover(self.shard_of(id));
         self.hydrate(&mut shard, id)?;
         let live = shard.live.remove(&id).expect("hydrated");
         shard.lru.remove(&live.stamp);
@@ -364,7 +370,7 @@ impl<D: Checkpointable> MuxEngine<D> {
             shard.warm_bytes -= entry.bytes.len();
             entry.checkpoint()?
         } else if let Some(store) = &self.spill {
-            let mut store = store.lock().expect("store lock");
+            let mut store = lock_recover(store);
             match store.latest(id)? {
                 Some(cp) => {
                     self.spill_hydrations.fetch_add(1, Ordering::Relaxed);
@@ -441,7 +447,7 @@ impl<D: Checkpointable> MuxEngine<D> {
                 let entry = shard.warm.remove(&victim).expect("warm lru entry");
                 shard.warm_bytes -= entry.bytes.len();
                 let cp = entry.checkpoint()?;
-                store.lock().expect("store lock").append(victim, &cp)?;
+                lock_recover(store).append(victim, &cp)?;
                 self.spills.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -455,7 +461,7 @@ impl<D: Checkpointable> MuxEngine<D> {
         let mut live_bytes = 0u64;
         let mut warm_bytes = 0u64;
         for shard in &self.shards {
-            let shard = shard.lock().expect("shard lock");
+            let shard = lock_recover(shard);
             warm += shard.warm.len() as u64;
             live_bytes += shard.live_bytes as u64;
             warm_bytes += shard.warm_bytes as u64;
@@ -528,7 +534,7 @@ pub fn run_fleet<D: Checkpointable + Send>(
         for lane in lanes {
             scope.spawn(|| {
                 let lane_result = run_lane(lane);
-                let mut merged = merged.lock().expect("merge lock");
+                let mut merged = lock_recover(&merged);
                 match (&mut *merged, lane_result) {
                     (Ok(all), Ok(rows)) => all.extend(rows),
                     (Ok(_), Err(e)) => *merged = Err(e),
@@ -537,7 +543,9 @@ pub fn run_fleet<D: Checkpointable + Send>(
             });
         }
     });
-    let mut rows = merged.into_inner().expect("merge lock")?;
+    let mut rows = merged
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)?;
     rows.sort_unstable_by_key(|(id, _)| *id);
     Ok(rows)
 }
@@ -637,6 +645,36 @@ mod tests {
             engine.open(3, store_session(StorePredicate::AcceptAll)),
             Err(MuxError::Retired(3))
         ));
+    }
+
+    #[test]
+    fn poisoned_shard_locks_recover_instead_of_wedging() {
+        // A handler thread that panics while holding a shard lock
+        // poisons the mutex; every later operation on that shard must
+        // recover and keep serving the other sessions.
+        let engine = MuxEngine::new(MuxConfig {
+            live_bytes_budget: 1 << 20,
+            warm_bytes_budget: 1 << 20,
+            shards: 1, // every id maps to the poisoned shard
+        });
+        engine
+            .open(1, store_session(StorePredicate::ContainsOne))
+            .expect("open before poison");
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.shards[0].lock().expect("not yet poisoned");
+            panic!("simulated handler panic while holding the shard lock");
+        }));
+        assert!(poison.is_err(), "the panic must fire");
+        assert!(engine.shards[0].lock().is_err(), "lock must be poisoned");
+        let w = word("01#1#");
+        engine.feed(1, &w).expect("feed across poisoned lock");
+        engine
+            .open(2, store_session(StorePredicate::AcceptAll))
+            .expect("open across poisoned lock");
+        let reference = run_decider(store_session(StorePredicate::ContainsOne), &w);
+        assert_eq!(engine.finish(1).expect("finish"), reference);
+        engine.finish(2).expect("finish the second session");
+        assert_eq!(engine.stats().finished, 2);
     }
 
     #[test]

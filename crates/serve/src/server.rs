@@ -45,13 +45,50 @@ pub struct Server {
     config: ServerConfig,
 }
 
+/// Binds a Unix socket at `path`, replacing a *stale* socket file left
+/// by a dead server — and only a stale one. A leftover path is
+/// probe-connected first: if a live server answers, binding fails with
+/// [`AddrInUse`](std::io::ErrorKind::AddrInUse) instead of silently
+/// clobbering it out from under its clients, and a path that is not a
+/// socket at all (a regular file, a directory) is never removed.
+///
+/// Shared by [`Server::bind`] and the distributed sweep fabric's
+/// coordinator listener, so every line-protocol endpoint in the
+/// workspace gets the same stale-vs-live discipline.
+pub fn bind_unix_socket(path: &Path) -> std::io::Result<UnixListener> {
+    if let Ok(meta) = std::fs::symlink_metadata(path) {
+        use std::os::unix::fs::FileTypeExt;
+        if !meta.file_type().is_socket() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} exists and is not a socket; refusing to replace it",
+                    path.display()
+                ),
+            ));
+        }
+        if UnixStream::connect(path).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!(
+                    "a live server is already listening on {}; shut it down first",
+                    path.display()
+                ),
+            ));
+        }
+        // Nothing answered: a stale socket file from a dead server.
+        std::fs::remove_file(path)?;
+    }
+    UnixListener::bind(path)
+}
+
 impl Server {
     /// Binds `path`, replacing any stale socket file left by a dead
-    /// server.
+    /// server; a path a live server answers on is refused (see
+    /// [`bind_unix_socket`]).
     pub fn bind(path: impl AsRef<Path>, config: ServerConfig) -> std::io::Result<Server> {
         let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
+        let listener = bind_unix_socket(&path)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
@@ -103,14 +140,17 @@ fn handle_connection(stream: UnixStream, engine: &MuxEngine<AnyDecider>, done: &
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
+            Ok(0) => return, // client hung up (an unterminated partial request dies with it)
             Ok(_) => {}
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // A timed-out read_line may already have appended a
+                // request prefix to `line`; keep it for the next poll —
+                // a client writing one byte per 60 ms must never see
+                // its request truncated at a timeout boundary.
                 if done.load(Ordering::SeqCst) {
                     return;
                 }
@@ -118,10 +158,12 @@ fn handle_connection(stream: UnixStream, engine: &MuxEngine<AnyDecider>, done: &
             }
             Err(_) => return,
         }
-        if line.trim().is_empty() {
+        let request = line.trim().to_string();
+        line.clear();
+        if request.is_empty() {
             continue;
         }
-        let response = respond(engine, line.trim(), done);
+        let response = respond(engine, &request, done);
         if writer
             .write_all(format!("{response}\n").as_bytes())
             .and_then(|()| writer.flush())

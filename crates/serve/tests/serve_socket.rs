@@ -3,11 +3,12 @@
 //! the in-process version of the CI serve smoke.
 
 use oqsc_serve::{
-    direct_outcome_lines, drive_socket, shutdown_socket, stats_socket, MuxConfig, Server,
-    ServerConfig,
+    demo_fleet, direct_outcome_lines, drive_socket, shutdown_socket, stats_socket, MuxConfig,
+    Server, ServerConfig,
 };
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
 
 fn socket_path(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!(
@@ -47,6 +48,89 @@ fn served_fleet_matches_direct_runs_byte_for_byte() {
     let final_stats = handle.join().expect("server thread");
     assert_eq!(final_stats.finished, direct.len() as u64);
     assert!(!path.exists(), "socket file should be removed on shutdown");
+}
+
+/// A client writing one byte every 60 ms crosses the server's 50 ms
+/// read timeout in the middle of every single request line. The already
+/// read prefix must survive each timeout — before the fix,
+/// `handle_connection` cleared the line buffer at the top of its loop
+/// and such a client saw its requests truncated into garbage.
+#[test]
+fn byte_at_a_time_slow_writer_is_never_corrupted() {
+    const SEED: u64 = 0xD21F7; // same fleet as the identity test
+    let path = socket_path("slow-writer");
+    let server = Server::bind(&path, ServerConfig::default()).expect("bind");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let mut writer = UnixStream::connect(&path).expect("connect");
+    let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+    let mut trickle = |line: &str| -> String {
+        for byte in format!("{line}\n").bytes() {
+            writer.write_all(&[byte]).expect("write byte");
+            writer.flush().expect("flush");
+            // Longer than the server's 50 ms poll: every request line is
+            // interrupted by several read timeouts mid-bytes.
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        response.trim().to_string()
+    };
+
+    let (id, kind, seed, word) = demo_fleet(SEED).into_iter().next().expect("fleet");
+    let open = trickle(&format!("OPEN {id} {} {seed}", kind.name()));
+    assert_eq!(open, format!("OK {id} 0"));
+    let text = oqsc_lang::token::to_string(&word);
+    let feed = trickle(&format!("FEED {id} {text}"));
+    assert!(feed.starts_with(&format!("OK {id} ")), "got: {feed}");
+    let outcome = trickle(&format!("FINISH {id}"));
+    assert_eq!(
+        outcome,
+        direct_outcome_lines(SEED)[id as usize],
+        "a 1-byte-per-60ms client must see the exact direct-run outcome"
+    );
+
+    shutdown_socket(&path).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// Binding replaces a *stale* socket file (dead server) and only a
+/// stale one: a live server is refused, and a path that is not a socket
+/// is never touched.
+#[test]
+fn bind_replaces_stale_sockets_but_refuses_live_servers_and_files() {
+    // Stale: a socket file whose listener is gone accepts the bind.
+    let stale = socket_path("stale");
+    let dead = UnixListener::bind(&stale).expect("first bind");
+    drop(dead); // closes the fd, leaves the socket file behind
+    assert!(stale.exists(), "dead listener leaves its socket file");
+    let server = Server::bind(&stale, ServerConfig::default()).expect("stale file is replaced");
+    drop(server);
+    let _ = std::fs::remove_file(&stale);
+
+    // Live: a served socket is refused instead of clobbered.
+    let live = socket_path("live");
+    let server = Server::bind(&live, ServerConfig::default()).expect("bind");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let err = match Server::bind(&live, ServerConfig::default()) {
+        Ok(_) => panic!("live server must be refused"),
+        Err(err) => err,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    // The refusal must not have unlinked the live server's socket.
+    shutdown_socket(&live).expect("still serving after refused bind");
+    handle.join().expect("server thread");
+
+    // Not a socket: refused and preserved.
+    let file = socket_path("plain-file");
+    std::fs::write(&file, b"precious").expect("write");
+    let err = match Server::bind(&file, ServerConfig::default()) {
+        Ok(_) => panic!("regular file must be refused"),
+        Err(err) => err,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "{err}");
+    assert_eq!(std::fs::read(&file).expect("still there"), b"precious");
+    let _ = std::fs::remove_file(&file);
 }
 
 #[test]
