@@ -19,11 +19,17 @@
 //! # per-file record/dedupe/compression report for existing stores
 //! experiments --store-stats PREFIX [--break-locks]
 //!
-//! # session-multiplexing server on a Unix socket, and its driver
-//! experiments --serve SOCKET [--workers N]
-//! experiments --drive SOCKET        # OUTCOME lines via the server
+//! # session-multiplexing server (Unix socket or TCP), and its driver
+//! experiments --serve ADDR [--workers N] [--live-budget BYTES]
+//!             [--eviction lru|gdsf] [--spill-store PATH]
+//!             [--read-timeout-ms T]
+//! experiments --drive ADDR [--feeds] [--drive-phase 1|2]
 //! experiments --drive-direct       # same fleet, no server — for cmp
-//! experiments --shutdown SOCKET
+//! experiments --shutdown ADDR
+//!
+//! # consistent-hash router fronting N --serve engines
+//! experiments --route ADDR --engines A1,A2,... [--workers N]
+//!             [--read-timeout-ms T]
 //! ```
 //!
 //! `--workers N` sizes the in-process batch scheduler's worker fleet
@@ -70,15 +76,29 @@
 //! fresh shard stores in the legacy v2 format (raw payloads), which is
 //! how CI exercises the v2 → v3 upgrade path end to end.
 //!
-//! `--serve SOCKET` runs the `oqsc-serve` session-multiplexing engine
-//! behind its line protocol on a Unix socket (`--workers N` sizes the
-//! connection-handler pool) until a client sends `SHUTDOWN`. `--drive
-//! SOCKET` opens the deterministic 32-session demo fleet over that
-//! socket — every decider kind, member and non-member words — and
-//! prints one `OUTCOME` line per session; `--drive-direct` prints the
-//! same lines from uninterrupted in-process runs, so `cmp` between the
-//! two outputs is the end-to-end byte-identity check CI runs.
-//! `--shutdown SOCKET` stops a running server.
+//! `--serve ADDR` runs the `oqsc-serve` session-multiplexing engine
+//! behind its line protocol — `ADDR` is a Unix socket path, or
+//! `host:port` for TCP (`--workers N` sizes the connection-handler
+//! pool) — until a client sends `SHUTDOWN`. `--eviction lru|gdsf`
+//! picks the live-tier eviction policy, `--spill-store PATH` attaches a
+//! durable spill tier (mid-stream sessions are flushed there on
+//! shutdown and rehydrated by the next `--serve` on the same path), and
+//! `--read-timeout-ms T` tunes the per-connection read poll. `--drive
+//! ADDR` opens the deterministic 32-session demo fleet over that
+//! address — every decider kind, member and non-member words — and
+//! prints one `OUTCOME` line per session; `--feeds` sends each word as
+//! one pipelined batched `FEEDS` line instead of chunked `FEED`s, and
+//! `--drive-phase 1|2` splits the drive across two invocations (phase 1
+//! feeds the first half of every word and stops without finishing;
+//! phase 2 reopens nothing, feeds the rest and prints the outcomes —
+//! the restart-from-spill smoke). `--drive-direct` prints the same
+//! lines from uninterrupted in-process runs, so `cmp` between the two
+//! outputs is the end-to-end byte-identity check CI runs. `--shutdown
+//! ADDR` stops a running server. `--route ADDR --engines A1,A2,...`
+//! runs the consistent-hash router: it speaks the same line protocol on
+//! `ADDR` and forwards each session's verbs to the engine its id hashes
+//! to, so `--drive` against the router is byte-identical to a single
+//! direct engine.
 //!
 //! Out-of-range values are rejected up front with a clear message,
 //! never silently clamped or panicked on.
@@ -90,7 +110,8 @@ use oqsc_bench::pool::{
 use oqsc_bench::{emit_outcomes, ProcessPool, WORKER_CRASH_EXIT};
 use oqsc_machine::{BatchRunner, CheckpointStore, SessionSchedule, StoreError};
 use oqsc_serve::{
-    direct_outcome_lines, drive_socket, shutdown_socket, stats_line, Server, ServerConfig,
+    direct_outcome_lines, drive_fleet, shutdown_socket, stats_line, DrivePhase, EvictionPolicy,
+    FeedMode, Router, RouterConfig, Server, ServerConfig,
 };
 
 /// Upper bound on `--workers`: far above any real machine, low enough to
@@ -126,6 +147,10 @@ const MAX_LEASE_SIZE: usize = 1 << 20;
 /// Default fabric lease TTL in milliseconds.
 const DEFAULT_LEASE_TTL_MS: u64 = 10_000;
 
+/// Upper bound on `--read-timeout-ms`: a poll longer than a minute just
+/// delays shutdown without helping any real client.
+const MAX_READ_TIMEOUT_MS: u64 = 60_000;
+
 struct Cli {
     runner: BatchRunner,
     schedule: SessionSchedule,
@@ -147,11 +172,18 @@ struct Cli {
     break_locks: bool,
     bench_json: Option<std::path::PathBuf>,
     bench_reduced: bool,
-    serve: Option<std::path::PathBuf>,
+    serve: Option<String>,
     live_budget: Option<usize>,
-    drive: Option<std::path::PathBuf>,
+    eviction: Option<EvictionPolicy>,
+    spill_store: Option<std::path::PathBuf>,
+    read_timeout_ms: Option<u64>,
+    route: Option<String>,
+    engines: Option<Vec<String>>,
+    drive: Option<String>,
+    feeds: bool,
+    drive_phase: Option<DrivePhase>,
     drive_direct: bool,
-    shutdown: Option<std::path::PathBuf>,
+    shutdown: Option<String>,
     fabric_coordinate: Option<String>,
     fabric_work: Option<String>,
     lease_size: Option<usize>,
@@ -169,8 +201,12 @@ fn usage_and_exit(code: i32) -> ! {
     println!("       experiments --compact PREFIX [--break-locks]");
     println!("       experiments --store-stats PREFIX [--break-locks]");
     println!("       experiments --bench-json PATH [--bench-reduced]");
-    println!("       experiments --serve SOCKET [--workers N] [--live-budget BYTES]");
-    println!("       experiments --drive SOCKET | --drive-direct | --shutdown SOCKET");
+    println!("       experiments --serve ADDR [--workers N] [--live-budget BYTES]");
+    println!("                   [--eviction lru|gdsf] [--spill-store PATH] [--read-timeout-ms T]");
+    println!("       experiments --route ADDR --engines A1,A2,... [--workers N]");
+    println!("                   [--read-timeout-ms T]");
+    println!("       experiments --drive ADDR [--feeds] [--drive-phase 1|2]");
+    println!("       experiments --drive-direct | --shutdown ADDR");
     println!("       experiments --sweep NAME --fabric-coordinate ADDR [--store PATH [--resume]]");
     println!("                   [--lease-size N] [--lease-ttl-ms T]");
     println!("       experiments --sweep NAME --fabric-work ADDR [--workers N]");
@@ -203,15 +239,34 @@ fn usage_and_exit(code: i32) -> ! {
     println!("  --bench-json PATH      run the SIMD kernel micro-benchmarks (scalar vs");
     println!("                         auto dispatch) and write the JSON record to PATH");
     println!("  --bench-reduced        with --bench-json: shrink sizes for a CI smoke run");
-    println!("  --serve SOCKET         run the session-multiplexing server on a Unix socket");
-    println!("                         (--workers N sizes its connection-handler pool)");
+    println!("  --serve ADDR           run the session-multiplexing server on a Unix socket");
+    println!("                         path or host:port (--workers N sizes its");
+    println!("                         connection-handler pool)");
     println!("  --live-budget BYTES    with --serve: hot-tier byte budget for live sessions");
     println!("                         (default 64 MiB; 0 = suspend after every feed)");
-    println!("  --drive SOCKET         run the demo fleet through a --serve server and print");
-    println!("                         one OUTCOME line per session");
+    println!("  --eviction lru|gdsf    with --serve: live-tier eviction policy");
+    println!(
+        "                         (default {})",
+        EvictionPolicy::default().name()
+    );
+    println!("  --spill-store PATH     with --serve: durable spill tier; mid-stream sessions");
+    println!("                         are flushed there on SHUTDOWN and rehydrated by the");
+    println!("                         next --serve on the same path");
+    println!("  --read-timeout-ms T    with --serve/--route: per-connection read poll,");
+    println!("                         1..={MAX_READ_TIMEOUT_MS} (default 50)");
+    println!("  --route ADDR           run the consistent-hash router on ADDR, fronting the");
+    println!("                         --engines fleet behind the same line protocol");
+    println!("  --engines A1,A2,...    with --route: the backend engine addresses");
+    println!("  --drive ADDR           run the demo fleet through a --serve server (or a");
+    println!("                         --route front) and print one OUTCOME line per session");
+    println!("  --feeds                with --drive: send each word as one pipelined batched");
+    println!("                         FEEDS line instead of chunked FEEDs");
+    println!("  --drive-phase 1|2      with --drive: split the drive across two invocations");
+    println!("                         (1 = feed first halves, no finish; 2 = feed the rest");
+    println!("                         without reopening, print outcomes)");
     println!("  --drive-direct         print the same OUTCOME lines from uninterrupted");
     println!("                         in-process runs (cmp against --drive)");
-    println!("  --shutdown SOCKET      stop a running --serve server");
+    println!("  --shutdown ADDR        stop a running --serve server or --route router");
     println!("  --fabric-coordinate ADDR  run the distributed-sweep coordinator on ADDR");
     println!("                         (a Unix socket path, or host:port for TCP) until the");
     println!("                         sweep completes, then print its table; --store makes");
@@ -273,7 +328,14 @@ fn parse_cli() -> Cli {
         bench_reduced: false,
         serve: None,
         live_budget: None,
+        eviction: None,
+        spill_store: None,
+        read_timeout_ms: None,
+        route: None,
+        engines: None,
         drive: None,
+        feeds: false,
+        drive_phase: None,
         drive_direct: false,
         shutdown: None,
         fabric_coordinate: None,
@@ -370,8 +432,8 @@ fn parse_cli() -> Cli {
             },
             "--bench-reduced" => cli.bench_reduced = true,
             "--serve" => match args.next() {
-                Some(p) if !p.is_empty() => cli.serve = Some(p.into()),
-                raw => bad_value("--serve", raw, "a Unix socket path"),
+                Some(a) if !a.is_empty() => cli.serve = Some(a),
+                raw => bad_value("--serve", raw, "a Unix socket path or host:port"),
             },
             "--live-budget" => {
                 cli.live_budget = Some(parse_num(
@@ -381,14 +443,57 @@ fn parse_cli() -> Cli {
                     |_: &usize| true,
                 ));
             }
+            "--eviction" => {
+                let raw = args.next();
+                match raw.as_deref().and_then(EvictionPolicy::from_name) {
+                    Some(policy) => cli.eviction = Some(policy),
+                    None => bad_value("--eviction", raw, "lru or gdsf"),
+                }
+            }
+            "--spill-store" => match args.next() {
+                Some(p) if !p.is_empty() => cli.spill_store = Some(p.into()),
+                raw => bad_value("--spill-store", raw, "a checkpoint-store path"),
+            },
+            "--read-timeout-ms" => {
+                cli.read_timeout_ms = Some(parse_num(
+                    &mut args,
+                    "--read-timeout-ms",
+                    &format!("an integer between 1 and {MAX_READ_TIMEOUT_MS}"),
+                    |n: &u64| (1..=MAX_READ_TIMEOUT_MS).contains(n),
+                ));
+            }
+            "--route" => match args.next() {
+                Some(a) if !a.is_empty() => cli.route = Some(a),
+                raw => bad_value("--route", raw, "a Unix socket path or host:port"),
+            },
+            "--engines" => match args.next() {
+                Some(list) if !list.is_empty() && list.split(',').all(|a| !a.is_empty()) => {
+                    cli.engines = Some(list.split(',').map(str::to_string).collect());
+                }
+                raw => bad_value(
+                    "--engines",
+                    raw,
+                    "a comma-separated list of engine addresses",
+                ),
+            },
             "--drive" => match args.next() {
-                Some(p) if !p.is_empty() => cli.drive = Some(p.into()),
-                raw => bad_value("--drive", raw, "a Unix socket path"),
+                Some(a) if !a.is_empty() => cli.drive = Some(a),
+                raw => bad_value("--drive", raw, "a Unix socket path or host:port"),
+            },
+            "--feeds" => cli.feeds = true,
+            "--drive-phase" => match args.next().as_deref() {
+                Some("1") => cli.drive_phase = Some(DrivePhase::FirstHalf),
+                Some("2") => cli.drive_phase = Some(DrivePhase::SecondHalf),
+                raw => bad_value(
+                    "--drive-phase",
+                    raw.map(str::to_string),
+                    "1 (feed first halves, no finish) or 2 (feed the rest, finish)",
+                ),
             },
             "--drive-direct" => cli.drive_direct = true,
             "--shutdown" => match args.next() {
-                Some(p) if !p.is_empty() => cli.shutdown = Some(p.into()),
-                raw => bad_value("--shutdown", raw, "a Unix socket path"),
+                Some(a) if !a.is_empty() => cli.shutdown = Some(a),
+                raw => bad_value("--shutdown", raw, "a Unix socket path or host:port"),
             },
             "--fabric-coordinate" => match args.next() {
                 Some(a) if !a.is_empty() => cli.fabric_coordinate = Some(a),
@@ -486,15 +591,40 @@ fn parse_cli() -> Cli {
         eprintln!("error: --bench-reduced requires --bench-json");
         std::process::exit(2);
     }
-    if cli.live_budget.is_some() && cli.serve.is_none() {
-        eprintln!("error: --live-budget requires --serve");
+    // Flags owned by one serve-family mode.
+    for (set, flag) in [
+        (cli.live_budget.is_some(), "--live-budget"),
+        (cli.eviction.is_some(), "--eviction"),
+        (cli.spill_store.is_some(), "--spill-store"),
+    ] {
+        if set && cli.serve.is_none() {
+            eprintln!("error: {flag} requires --serve");
+            std::process::exit(2);
+        }
+    }
+    if cli.read_timeout_ms.is_some() && cli.serve.is_none() && cli.route.is_none() {
+        eprintln!("error: --read-timeout-ms requires --serve or --route");
         std::process::exit(2);
     }
-    // The serve-family modes stand alone too: the server, the two
-    // drivers and shutdown each do exactly one thing, and only --serve
-    // takes --workers (its connection-handler pool size).
+    if cli.route.is_some() != cli.engines.is_some() {
+        eprintln!("error: --route and --engines go together (a router needs its fleet)");
+        std::process::exit(2);
+    }
+    for (set, flag) in [
+        (cli.feeds, "--feeds"),
+        (cli.drive_phase.is_some(), "--drive-phase"),
+    ] {
+        if set && cli.drive.is_none() {
+            eprintln!("error: {flag} requires --drive");
+            std::process::exit(2);
+        }
+    }
+    // The serve-family modes stand alone too: the server, the router,
+    // the two drivers and shutdown each do exactly one thing, and only
+    // --serve/--route take --workers (their connection-handler pools).
     let serve_modes = [
         (cli.serve.is_some(), "--serve"),
+        (cli.route.is_some(), "--route"),
         (cli.drive.is_some(), "--drive"),
         (cli.drive_direct, "--drive-direct"),
         (cli.shutdown.is_some(), "--shutdown"),
@@ -520,12 +650,8 @@ fn parse_cli() -> Cli {
             (cli.store.is_some(), "--store"),
             (cli.checkpoint_every.is_some(), "--checkpoint-every"),
             (
-                cli.workers.is_some() && cli.serve.is_none(),
-                "--workers (only --serve takes it)",
-            ),
-            (
-                cli.live_budget.is_some() && cli.serve.is_none(),
-                "--live-budget (only --serve takes it)",
+                cli.workers.is_some() && cli.serve.is_none() && cli.route.is_none(),
+                "--workers (only --serve and --route take it)",
             ),
         ] {
             if set {
@@ -991,28 +1117,37 @@ fn run_store_stats(prefix: &std::path::Path, break_locks: bool) -> i32 {
     })
 }
 
-/// Runs the session-multiplexing server on `socket` until a client
-/// sends `SHUTDOWN`, then prints the engine's final statistics line.
-fn run_serve(socket: &std::path::Path, workers: Option<usize>, live_budget: Option<usize>) -> i32 {
+/// Runs the session-multiplexing server on `addr` (Unix socket path or
+/// `host:port`) until a client sends `SHUTDOWN`, then prints the
+/// engine's final statistics line.
+fn run_serve(addr: &str, cli: &Cli) -> i32 {
     let mut config = ServerConfig::default();
-    if let Some(w) = workers {
+    if let Some(w) = cli.workers {
         config.threads = w;
     }
-    if let Some(bytes) = live_budget {
+    if let Some(bytes) = cli.live_budget {
         config.mux.live_bytes_budget = bytes;
     }
+    if let Some(policy) = cli.eviction {
+        config.mux.eviction = policy;
+    }
+    if let Some(ms) = cli.read_timeout_ms {
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    config.spill_store = cli.spill_store.clone();
     let threads = config.threads;
-    let server = match Server::bind(socket, config) {
+    let eviction = config.mux.eviction;
+    let server = match Server::bind(addr, config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("error: binding {}: {e}", socket.display());
+            eprintln!("error: binding {addr}: {e}");
             return 1;
         }
     };
     eprintln!(
-        "serving on {} ({threads} connection handler{}); stop with --shutdown",
-        socket.display(),
+        "serving on {addr} ({threads} connection handler{}, {} eviction); stop with --shutdown",
         if threads == 1 { "" } else { "s" },
+        eviction.name(),
     );
     match server.run() {
         Ok(stats) => {
@@ -1020,17 +1155,50 @@ fn run_serve(socket: &std::path::Path, workers: Option<usize>, live_budget: Opti
             0
         }
         Err(e) => {
-            eprintln!("error: serving {}: {e}", socket.display());
+            eprintln!("error: serving {addr}: {e}");
             1
         }
     }
 }
 
-/// Drives the demo fleet through a running `--serve` server and prints
-/// its `OUTCOME` lines — nothing else goes to stdout, so the output
-/// `cmp`s cleanly against `--drive-direct`.
-fn run_drive(socket: &std::path::Path) -> i32 {
-    match drive_socket(socket, DRIVE_SEED) {
+/// Runs the consistent-hash router on `addr`, fronting the `engines`
+/// fleet, until a client sends `SHUTDOWN` (which it broadcasts).
+fn run_route(addr: &str, engines: Vec<String>, cli: &Cli) -> i32 {
+    let mut config = RouterConfig::default();
+    if let Some(w) = cli.workers {
+        config.threads = w;
+    }
+    if let Some(ms) = cli.read_timeout_ms {
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    let fleet = engines.join(", ");
+    let router = match Router::bind(addr, engines, config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: binding router on {addr}: {e}");
+            return 1;
+        }
+    };
+    eprintln!("routing on {addr} -> [{fleet}]; stop with --shutdown");
+    match router.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: routing on {addr}: {e}");
+            1
+        }
+    }
+}
+
+/// Drives the demo fleet through a running `--serve` server (or a
+/// `--route` front) and prints its `OUTCOME` lines — nothing else goes
+/// to stdout, so the output `cmp`s cleanly against `--drive-direct`.
+fn run_drive(addr: &str, feeds: bool, phase: Option<DrivePhase>) -> i32 {
+    let mode = if feeds {
+        FeedMode::Batched
+    } else {
+        FeedMode::Chunks
+    };
+    match drive_fleet(addr, DRIVE_SEED, mode, phase.unwrap_or(DrivePhase::Full)) {
         Ok(lines) => {
             for line in lines {
                 println!("{line}");
@@ -1038,7 +1206,7 @@ fn run_drive(socket: &std::path::Path) -> i32 {
             0
         }
         Err(e) => {
-            eprintln!("error: driving {}: {e}", socket.display());
+            eprintln!("error: driving {addr}: {e}");
             1
         }
     }
@@ -1053,12 +1221,12 @@ fn run_drive_direct() -> i32 {
     0
 }
 
-/// Asks a running `--serve` server to shut down.
-fn run_shutdown(socket: &std::path::Path) -> i32 {
-    match shutdown_socket(socket) {
+/// Asks a running `--serve` server or `--route` router to shut down.
+fn run_shutdown(addr: &str) -> i32 {
+    match shutdown_socket(addr) {
         Ok(()) => 0,
         Err(e) => {
-            eprintln!("error: shutting down {}: {e}", socket.display());
+            eprintln!("error: shutting down {addr}: {e}");
             1
         }
     }
@@ -1066,17 +1234,21 @@ fn run_shutdown(socket: &std::path::Path) -> i32 {
 
 fn main() {
     let cli = parse_cli();
-    if let Some(path) = &cli.serve {
-        std::process::exit(run_serve(path, cli.workers, cli.live_budget));
+    if let Some(addr) = &cli.serve {
+        std::process::exit(run_serve(addr, &cli));
     }
-    if let Some(path) = &cli.drive {
-        std::process::exit(run_drive(path));
+    if let Some(addr) = &cli.route {
+        let engines = cli.engines.clone().expect("validated with --route");
+        std::process::exit(run_route(addr, engines, &cli));
+    }
+    if let Some(addr) = &cli.drive {
+        std::process::exit(run_drive(addr, cli.feeds, cli.drive_phase));
     }
     if cli.drive_direct {
         std::process::exit(run_drive_direct());
     }
-    if let Some(path) = &cli.shutdown {
-        std::process::exit(run_shutdown(path));
+    if let Some(addr) = &cli.shutdown {
+        std::process::exit(run_shutdown(addr));
     }
     if let Some(path) = &cli.bench_json {
         std::process::exit(run_bench_record(path, cli.bench_reduced));

@@ -30,14 +30,13 @@
 
 use crate::pool::{fleet_outcomes, OutcomeLedger, PoolError, SweepRows, SweepSpec};
 use oqsc_machine::{CheckpointStore, RunOutcome};
+use oqsc_serve::transport::{Listener, Stream};
 use oqsc_serve::{
-    bind_unix_socket, fabric_request_line, fabric_response_line, parse_fabric_request,
-    parse_fabric_response, FabricRequest, FabricResponse,
+    fabric_request_line, fabric_response_line, parse_fabric_request, parse_fabric_response,
+    FabricRequest, FabricResponse,
 };
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -384,111 +383,6 @@ impl FabricState {
     }
 }
 
-/// A listener on either transport: a Unix socket path, or (when the
-/// address contains a `:`) a TCP address — the cross-machine case.
-enum FabricListener {
-    /// `Unix(listener, socket path)` — the path is unlinked on drop by
-    /// the coordinator.
-    Unix(UnixListener, PathBuf),
-    /// A TCP listener (address was `host:port`).
-    Tcp(TcpListener),
-}
-
-impl FabricListener {
-    fn bind(addr: &str) -> std::io::Result<FabricListener> {
-        if addr.contains(':') {
-            Ok(FabricListener::Tcp(TcpListener::bind(addr)?))
-        } else {
-            let path = PathBuf::from(addr);
-            // Same stale-vs-live discipline as the serve front end: a
-            // live coordinator is never clobbered, a dead one's socket
-            // file is replaced.
-            Ok(FabricListener::Unix(bind_unix_socket(&path)?, path))
-        }
-    }
-
-    fn set_nonblocking(&self, yes: bool) -> std::io::Result<()> {
-        match self {
-            FabricListener::Unix(l, _) => l.set_nonblocking(yes),
-            FabricListener::Tcp(l) => l.set_nonblocking(yes),
-        }
-    }
-
-    fn accept(&self) -> std::io::Result<FabricStream> {
-        match self {
-            FabricListener::Unix(l, _) => l.accept().map(|(s, _)| FabricStream::Unix(s)),
-            FabricListener::Tcp(l) => l.accept().map(|(s, _)| FabricStream::Tcp(s)),
-        }
-    }
-
-    fn local_addr_string(&self) -> String {
-        match self {
-            FabricListener::Unix(_, path) => path.display().to_string(),
-            FabricListener::Tcp(l) => l
-                .local_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "?".to_string()),
-        }
-    }
-}
-
-/// One connection on either transport.
-enum FabricStream {
-    /// Over a Unix socket.
-    Unix(UnixStream),
-    /// Over TCP.
-    Tcp(TcpStream),
-}
-
-impl FabricStream {
-    fn connect(addr: &str) -> std::io::Result<FabricStream> {
-        if addr.contains(':') {
-            TcpStream::connect(addr).map(FabricStream::Tcp)
-        } else {
-            UnixStream::connect(addr).map(FabricStream::Unix)
-        }
-    }
-
-    fn try_clone(&self) -> std::io::Result<FabricStream> {
-        match self {
-            FabricStream::Unix(s) => s.try_clone().map(FabricStream::Unix),
-            FabricStream::Tcp(s) => s.try_clone().map(FabricStream::Tcp),
-        }
-    }
-
-    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
-        match self {
-            FabricStream::Unix(s) => s.set_read_timeout(dur),
-            FabricStream::Tcp(s) => s.set_read_timeout(dur),
-        }
-    }
-}
-
-impl Read for FabricStream {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            FabricStream::Unix(s) => s.read(buf),
-            FabricStream::Tcp(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for FabricStream {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            FabricStream::Unix(s) => s.write(buf),
-            FabricStream::Tcp(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            FabricStream::Unix(s) => s.flush(),
-            FabricStream::Tcp(s) => s.flush(),
-        }
-    }
-}
-
 fn lock_state<'a>(state: &'a Mutex<FabricState>) -> std::sync::MutexGuard<'a, FabricState> {
     state.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -497,7 +391,7 @@ fn lock_state<'a>(state: &'a Mutex<FabricState>) -> std::sync::MutexGuard<'a, Fa
 /// until the peer hangs up. Reads poll on a short timeout and preserve
 /// partial lines across timeouts (the serve front end's slow-client
 /// fix), so a worker trickling bytes never gets a corrupted request.
-fn handle_fabric_connection(stream: FabricStream, state: &Mutex<FabricState>, done: &AtomicBool) {
+fn handle_fabric_connection(stream: Stream, state: &Mutex<FabricState>, done: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -553,7 +447,7 @@ fn handle_fabric_connection(stream: FabricStream, state: &Mutex<FabricState>, do
 /// running so callers (the CLI, tests binding `127.0.0.1:0`) can learn
 /// the address and report readiness before blocking.
 pub struct Coordinator {
-    listener: FabricListener,
+    listener: Listener,
     state: FabricState,
 }
 
@@ -567,13 +461,13 @@ impl Coordinator {
         config: FabricConfig,
     ) -> Result<Coordinator, PoolError> {
         let state = FabricState::new(spec, config)?;
-        let listener = FabricListener::bind(addr)?;
+        let listener = Listener::bind(addr)?;
         Ok(Coordinator { listener, state })
     }
 
     /// The bound address (the actual port when `addr` was `host:0`).
     pub fn local_addr(&self) -> String {
-        self.listener.local_addr_string()
+        self.listener.local_addr()
     }
 
     /// Serves lease traffic until every instance of the sweep has an
@@ -604,7 +498,7 @@ impl Coordinator {
             // worker's disconnect (every worker ends on FINISHED or an
             // abandoned lease, then hangs up).
         });
-        if let FabricListener::Unix(_, path) = &listener {
+        if let Some(path) = listener.unix_path() {
             let _ = std::fs::remove_file(path);
         }
         state
@@ -665,13 +559,13 @@ pub struct FabricWorkReport {
 
 /// One line-protocol client connection: request out, response in.
 struct LineClient {
-    writer: FabricStream,
-    reader: BufReader<FabricStream>,
+    writer: Stream,
+    reader: BufReader<Stream>,
 }
 
 impl LineClient {
     fn connect(addr: &str) -> std::io::Result<LineClient> {
-        let writer = FabricStream::connect(addr)?;
+        let writer = Stream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(LineClient { writer, reader })
     }

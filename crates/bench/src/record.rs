@@ -20,7 +20,17 @@
 //!   cells: a fleet far larger than the live budget driven through
 //!   `oqsc_serve::run_fleet`, with tokens/sec and the sessions-resident
 //!   high-water mark (the serving acceptance number: ≥100k concurrent
-//!   sessions under a live set below 1% of the fleet).
+//!   sessions under a live set below 1% of the fleet);
+//! * **`mux_batched` rows** — the same churn fleet driven over a real
+//!   served socket, once with per-token `FEED` round trips and once with
+//!   one pipelined `FEEDS` batch per session; the batched row carries
+//!   `speedup_vs_feed` (the scale-out acceptance number: ≥3×);
+//! * **`router` rows** — the batched socket workload driven through a
+//!   consistent-hash `Router` front over 1 and 2 backend engines;
+//! * **`eviction` rows** — a heterogeneous fleet (every fourth session a
+//!   dense Grover streamer, the rest cheap format checkers) churned once
+//!   per eviction policy (`lru` vs `gdsf`), so the committed record
+//!   carries the measured verdict behind the engine's default policy.
 //!
 //! The committed `BENCH_throughput.json` at the repo root is one such
 //! record; CI re-runs the suite at reduced size and diffs the schema
@@ -56,6 +66,19 @@
 //!     { "bench": "mux_feed", "sessions": 100000, "live_budget_bytes": 31744,
 //!       "workers": 8, "tokens": 3200000, "tokens_per_sec": 1, "peak_live": 513,
 //!       "evictions": 1, "hydrations": 1 }
+//!   ],
+//!   "mux_batched": [
+//!     { "bench": "mux_batched", "mode": "feeds", "sessions": 256,
+//!       "tokens": 8192, "tokens_per_sec": 1, "speedup_vs_feed": 3.000 }
+//!   ],
+//!   "router": [
+//!     { "bench": "router", "engines": 2, "sessions": 256,
+//!       "tokens": 8192, "tokens_per_sec": 1 }
+//!   ],
+//!   "eviction": [
+//!     { "bench": "eviction", "policy": "gdsf", "sessions": 20000,
+//!       "live_budget_bytes": 1, "workers": 8, "tokens": 640000,
+//!       "tokens_per_sec": 1, "evictions": 1, "hydrations": 1 }
 //!   ]
 //! }
 //! ```
@@ -75,7 +98,10 @@ use oqsc_machine::{
     BatchRunner, CheckpointStore, Checkpointable, Session, SessionCheckpoint, StreamingDecider,
 };
 use oqsc_quantum::{simd, AdaptiveState, Complex, QuantumBackend, SimdLevel, StateVector};
-use oqsc_serve::{run_fleet, DeciderKind, MuxConfig, MuxEngine, MuxStats};
+use oqsc_serve::{
+    feeds_line, run_fleet, DeciderKind, EvictionPolicy, LineClient, MuxConfig, MuxEngine, MuxStats,
+    Router, RouterConfig, Server, ServerConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -133,6 +159,42 @@ struct MuxRow {
     tokens: u64,
     tokens_per_sec: u64,
     peak_live: u64,
+    evictions: u64,
+    hydrations: u64,
+}
+
+/// One row of the `mux_batched` array: the socket feed phase, per-token
+/// (`mode: "feed"`) vs batched (`mode: "feeds"`), with the batched row's
+/// speedup over the per-token baseline.
+#[derive(Debug)]
+struct BatchedRow {
+    mode: &'static str,
+    sessions: usize,
+    tokens: u64,
+    tokens_per_sec: u64,
+    speedup_vs_feed: f64,
+}
+
+/// One row of the `router` array: the batched socket workload driven
+/// through a consistent-hash router over `engines` backends.
+#[derive(Debug)]
+struct RouterRow {
+    engines: usize,
+    sessions: usize,
+    tokens: u64,
+    tokens_per_sec: u64,
+}
+
+/// One row of the `eviction` array: the heterogeneous churn cell under
+/// one eviction policy.
+#[derive(Debug)]
+struct EvictionRow {
+    policy: &'static str,
+    sessions: usize,
+    live_budget_bytes: usize,
+    workers: usize,
+    tokens: u64,
+    tokens_per_sec: u64,
     evictions: u64,
     hydrations: u64,
 }
@@ -576,6 +638,7 @@ pub fn mux_feed(sessions: usize, live_budget_bytes: usize, workers: usize) -> (u
         live_bytes_budget: live_budget_bytes,
         warm_bytes_budget: usize::MAX,
         shards: 64,
+        ..MuxConfig::default()
     });
     let fleet = (0..sessions)
         .map(|i| (i as u64, DeciderKind::Format.build(i as u64), word.clone()))
@@ -583,6 +646,229 @@ pub fn mux_feed(sessions: usize, live_budget_bytes: usize, workers: usize) -> (u
     let t = Instant::now();
     run_fleet(&engine, fleet, MUX_CHUNK, workers).expect("mux fleet");
     (elapsed_ns(t), engine.stats())
+}
+
+/// The eviction head-to-head cell: a *heterogeneous* fleet — every
+/// fourth session a dense Grover streamer with a checkpoint an order of
+/// magnitude bigger than the format checkers around it — churned under
+/// `policy`. Size-aware eviction should keep the many cheap sessions
+/// resident and let the few big ones churn; recency-only eviction
+/// cycles everything. Returns elapsed nanoseconds and the stats.
+pub fn eviction_feed(
+    sessions: usize,
+    live_budget_bytes: usize,
+    workers: usize,
+    policy: EvictionPolicy,
+) -> (u64, MuxStats) {
+    let word = mux_word();
+    let engine = MuxEngine::new(MuxConfig {
+        live_bytes_budget: live_budget_bytes,
+        warm_bytes_budget: usize::MAX,
+        shards: 64,
+        eviction: policy,
+    });
+    let fleet = (0..sessions)
+        .map(|i| {
+            let kind = if i.is_multiple_of(4) {
+                DeciderKind::GroverDense
+            } else {
+                DeciderKind::Format
+            };
+            (i as u64, kind.build(i as u64), word.clone())
+        })
+        .collect();
+    let t = Instant::now();
+    run_fleet(&engine, fleet, MUX_CHUNK, workers).expect("eviction fleet");
+    (elapsed_ns(t), engine.stats())
+}
+
+/// The `eviction` rows: [`eviction_feed`] once per policy on the same
+/// cell, so the committed record carries the measured LRU-vs-GDSF
+/// verdict next to the numbers that produced it.
+fn eviction_rows(reduced: bool) -> Vec<EvictionRow> {
+    let (sessions, live_sessions, workers) = if reduced {
+        (800, 48, 2usize)
+    } else {
+        (20_000, 256, 8)
+    };
+    // Budget in units of the *mixed* fleet's average checkpoint cost,
+    // probed like `mux_live_budget` but over the actual kind mix.
+    let probe = |kind: DeciderKind| Session::new(kind.build(0)).suspend().byte_len();
+    let avg_cost = (probe(DeciderKind::GroverDense) + 3 * probe(DeciderKind::Format)) / 4;
+    let live_budget_bytes = live_sessions * avg_cost;
+    EvictionPolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            let (ns, stats) = eviction_feed(sessions, live_budget_bytes, workers, policy);
+            EvictionRow {
+                policy: policy.name(),
+                sessions,
+                live_budget_bytes,
+                workers,
+                tokens: stats.tokens,
+                tokens_per_sec: stats.tokens.saturating_mul(1_000_000_000) / ns.max(1),
+                evictions: stats.evictions,
+                hydrations: stats.hydrations,
+            }
+        })
+        .collect()
+}
+
+/// Drives `sessions` format sessions through a served Unix socket and
+/// times the feed phase: per-token `FEED` round trips (one request per
+/// token, round-robin across sessions — today's worst case) vs one
+/// pipelined `FEEDS` line per session. Returns `(feed_ns, tokens)`.
+fn socket_feed_phase(sessions: usize, batched: bool) -> (u64, u64) {
+    let path = std::env::temp_dir().join(format!(
+        "oqsc-bench-mux-batched-{}-{batched}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let addr = path.display().to_string();
+    let server = Server::bind(
+        &addr,
+        ServerConfig {
+            threads: 2,
+            mux: MuxConfig {
+                live_bytes_budget: mux_live_budget(16),
+                warm_bytes_budget: 1 << 30,
+                shards: 16,
+                ..MuxConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let handle = std::thread::spawn(move || server.run().expect("bench server"));
+    let word = mux_word();
+    let (ns, tokens) = drive_feed_phase(&addr, sessions, batched, &word);
+    handle.join().expect("bench server thread");
+    (ns, tokens)
+}
+
+/// The shared client side of [`socket_feed_phase`] and the router cell:
+/// open all sessions, time the feed phase in the requested shape,
+/// finish everything, shut the endpoint down.
+fn drive_feed_phase(addr: &str, sessions: usize, batched: bool, word: &[Sym]) -> (u64, u64) {
+    let mut client = LineClient::connect(addr).expect("connect bench client");
+    let opens: Vec<String> = (0..sessions)
+        .map(|i| format!("OPEN {i} format {i}"))
+        .collect();
+    for response in client.pipeline(&opens).expect("open fleet") {
+        assert!(response.starts_with("OK "), "open failed: {response}");
+    }
+    let t = Instant::now();
+    if batched {
+        let chunks: Vec<Vec<Sym>> = word.chunks(MUX_CHUNK).map(|c| c.to_vec()).collect();
+        let feeds: Vec<String> = (0..sessions)
+            .map(|i| feeds_line(i as u64, &chunks))
+            .collect();
+        for response in client.pipeline(&feeds).expect("batched feeds") {
+            assert!(response.starts_with("OK "), "feeds failed: {response}");
+        }
+    } else {
+        for pos in 0..word.len() {
+            let text = oqsc_lang::token::to_string(&word[pos..=pos]);
+            for i in 0..sessions {
+                let request = format!("FEED {i} {text}");
+                let response = client.ask(&request).expect("feed token");
+                assert!(response.starts_with("OK "), "feed failed: {response}");
+            }
+        }
+    }
+    let ns = elapsed_ns(t);
+    let finishes: Vec<String> = (0..sessions).map(|i| format!("FINISH {i}")).collect();
+    for response in client.pipeline(&finishes).expect("finish fleet") {
+        assert!(
+            response.starts_with("OUTCOME "),
+            "finish failed: {response}"
+        );
+    }
+    let shutdown = client.ask("SHUTDOWN").expect("shutdown");
+    assert_eq!(shutdown, "OK shutdown");
+    (ns, (sessions * word.len()) as u64)
+}
+
+/// The `mux_batched` rows: the socket-driven churn workload fed
+/// per-token and batched, with the batched row carrying its speedup
+/// over the per-token baseline (the tentpole's ≥3× acceptance number).
+fn mux_batched_rows(reduced: bool) -> Vec<BatchedRow> {
+    let sessions = if reduced { 64 } else { 256 };
+    let mut rows = Vec::new();
+    let mut feed_ns = 0u64;
+    for (mode, batched) in [("feed", false), ("feeds", true)] {
+        let (ns, tokens) = socket_feed_phase(sessions, batched);
+        if !batched {
+            feed_ns = ns;
+        }
+        rows.push(BatchedRow {
+            mode,
+            sessions,
+            tokens,
+            tokens_per_sec: tokens.saturating_mul(1_000_000_000) / ns.max(1),
+            speedup_vs_feed: feed_ns as f64 / ns.max(1) as f64,
+        });
+    }
+    rows
+}
+
+/// The `router` rows: the batched workload driven through a
+/// consistent-hash router over 1 and 2 backend engines — the scale-out
+/// overhead/headroom measurement next to the direct-socket rows.
+fn router_rows(reduced: bool) -> Vec<RouterRow> {
+    let sessions = if reduced { 64 } else { 256 };
+    [1usize, 2]
+        .into_iter()
+        .map(|engines| {
+            let stamp = std::process::id();
+            let mut engine_addrs = Vec::new();
+            let mut engine_handles = Vec::new();
+            for e in 0..engines {
+                let path = std::env::temp_dir()
+                    .join(format!("oqsc-bench-router-{stamp}-{engines}-{e}.sock"));
+                let _ = std::fs::remove_file(&path);
+                let addr = path.display().to_string();
+                let server = Server::bind(
+                    &addr,
+                    ServerConfig {
+                        threads: 2,
+                        mux: MuxConfig {
+                            live_bytes_budget: mux_live_budget(16),
+                            warm_bytes_budget: 1 << 30,
+                            shards: 16,
+                            ..MuxConfig::default()
+                        },
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("bind bench engine");
+                engine_addrs.push(addr);
+                engine_handles.push(std::thread::spawn(move || {
+                    server.run().expect("bench engine")
+                }));
+            }
+            let front_path = std::env::temp_dir()
+                .join(format!("oqsc-bench-router-{stamp}-{engines}-front.sock"));
+            let _ = std::fs::remove_file(&front_path);
+            let front = front_path.display().to_string();
+            let router =
+                Router::bind(&front, engine_addrs, RouterConfig::default()).expect("bind router");
+            let router_handle = std::thread::spawn(move || router.run().expect("bench router"));
+            let word = mux_word();
+            // SHUTDOWN at the router broadcasts to the engines.
+            let (ns, tokens) = drive_feed_phase(&front, sessions, true, &word);
+            router_handle.join().expect("router thread");
+            for handle in engine_handles {
+                handle.join().expect("engine thread");
+            }
+            RouterRow {
+                engines,
+                sessions,
+                tokens,
+                tokens_per_sec: tokens.saturating_mul(1_000_000_000) / ns.max(1),
+            }
+        })
+        .collect()
 }
 
 /// The `mux` rows: the full record serves 100k sessions under a live
@@ -644,7 +930,10 @@ pub fn run_record(opts: RecordOpts) -> String {
     store_cells(&mut results, opts.reduced, target_ns, samples);
     let stores = sweep_store_rows(opts.reduced);
     let mux = mux_rows(opts.reduced);
-    render_json(&results, &stores, &mux)
+    let batched = mux_batched_rows(opts.reduced);
+    let routed = router_rows(opts.reduced);
+    let eviction = eviction_rows(opts.reduced);
+    render_json(&results, &stores, &mux, &batched, &routed, &eviction)
 }
 
 /// Scalar-median / simd-median for every `(bench, qubits)` pair that has
@@ -666,7 +955,14 @@ fn derived_speedups(results: &[ResultRow]) -> Vec<(&'static str, usize, f64)> {
 
 /// Serialize the record. Keys are emitted in a fixed order so two runs of
 /// the same binary differ only in the measured numbers.
-fn render_json(results: &[ResultRow], stores: &[StoreRow], mux: &[MuxRow]) -> String {
+fn render_json(
+    results: &[ResultRow],
+    stores: &[StoreRow],
+    mux: &[MuxRow],
+    batched: &[BatchedRow],
+    routed: &[RouterRow],
+    eviction: &[EvictionRow],
+) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"oqsc-bench-record/v1\",\n");
     json.push_str(&format!(
@@ -730,6 +1026,48 @@ fn render_json(results: &[ResultRow], stores: &[StoreRow], mux: &[MuxRow]) -> St
             if i + 1 == mux.len() { "" } else { "," },
         ));
     }
+    json.push_str("  ],\n  \"mux_batched\": [\n");
+    for (i, b) in batched.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"bench\": \"mux_batched\", \"mode\": \"{}\", \"sessions\": {}, \
+             \"tokens\": {}, \"tokens_per_sec\": {}, \"speedup_vs_feed\": {:.3} }}{}\n",
+            b.mode,
+            b.sessions,
+            b.tokens,
+            b.tokens_per_sec,
+            b.speedup_vs_feed,
+            if i + 1 == batched.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"router\": [\n");
+    for (i, r) in routed.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"bench\": \"router\", \"engines\": {}, \"sessions\": {}, \
+             \"tokens\": {}, \"tokens_per_sec\": {} }}{}\n",
+            r.engines,
+            r.sessions,
+            r.tokens,
+            r.tokens_per_sec,
+            if i + 1 == routed.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"eviction\": [\n");
+    for (i, e) in eviction.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"bench\": \"eviction\", \"policy\": \"{}\", \"sessions\": {}, \
+             \"live_budget_bytes\": {}, \"workers\": {}, \"tokens\": {}, \
+             \"tokens_per_sec\": {}, \"evictions\": {}, \"hydrations\": {} }}{}\n",
+            e.policy,
+            e.sessions,
+            e.live_budget_bytes,
+            e.workers,
+            e.tokens,
+            e.tokens_per_sec,
+            e.evictions,
+            e.hydrations,
+            if i + 1 == eviction.len() { "" } else { "," },
+        ));
+    }
     json.push_str("  ]\n}\n");
     json
 }
@@ -773,6 +1111,19 @@ mod tests {
             "\"peak_live\"",
             "\"evictions\"",
             "\"hydrations\"",
+            "\"mux_batched\"",
+            "\"bench\": \"mux_batched\"",
+            "\"mode\": \"feed\"",
+            "\"mode\": \"feeds\"",
+            "\"speedup_vs_feed\"",
+            "\"router\"",
+            "\"bench\": \"router\"",
+            "\"engines\": 1",
+            "\"engines\": 2",
+            "\"eviction\"",
+            "\"bench\": \"eviction\"",
+            "\"policy\": \"lru\"",
+            "\"policy\": \"gdsf\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

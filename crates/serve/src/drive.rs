@@ -1,35 +1,64 @@
 //! The reference driver: a deterministic mixed fleet pushed through the
-//! socket protocol, plus the same fleet run directly — the two sides of
-//! the CI `cmp`.
+//! serving protocol, plus the same fleet run directly — the two sides
+//! of the CI `cmp`.
 //!
 //! [`demo_fleet`] builds one session per catalog kind times
 //! [`SESSIONS_PER_KIND`] member/non-member words (all derived from one
-//! base seed), [`drive_socket`] plays it through a serving socket in
-//! interleaved [`FEED_CHUNK`]-token slices, and [`direct_outcome_lines`]
-//! computes the identical `OUTCOME` lines with plain
-//! [`run_decider_stream`] — no engine, no socket. Byte-equal outputs are
-//! the serving rung's end-to-end correctness check.
+//! base seed), [`drive_fleet`] plays it through a serving endpoint
+//! (Unix socket or TCP, direct engine or router), and
+//! [`direct_outcome_lines`] computes the identical `OUTCOME` lines with
+//! plain [`run_decider_stream`] — no engine, no socket. Byte-equal
+//! outputs are the serving rung's end-to-end correctness check.
+//!
+//! Two feed shapes drive the same fleet: [`FeedMode::Chunks`] sends one
+//! `FEED` round trip per [`FEED_CHUNK`]-token slice, round-robin across
+//! sessions (maximal interleaving, so the eviction tiers churn);
+//! [`FeedMode::Batched`] pipelines one `FEEDS` line per session — the
+//! fast path whose speedup the bench record pins. [`DrivePhase`] splits
+//! a drive across a server restart: `FirstHalf` feeds half of every
+//! word and leaves the sessions mid-stream, `SecondHalf` reopens
+//! nothing and relies on spill-store hydration to finish them.
 
 use crate::catalog::DeciderKind;
-use crate::protocol::outcome_line;
+use crate::protocol::{feeds_line, outcome_line};
+use crate::transport::LineClient;
 use oqsc_core::sweep::derive_seed;
 use oqsc_lang::{random_member, random_nonmember, Sym};
 use oqsc_machine::run_decider_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
-use std::path::Path;
 
 /// Sessions per catalog kind in the demo fleet.
 pub const SESSIONS_PER_KIND: usize = 2;
 
-/// Tokens per `FEED` line when driving a socket.
+/// Tokens per `FEED` line (and per `FEEDS` chunk) when driving.
 pub const FEED_CHUNK: usize = 8;
 
 /// Language parameter for the demo words (`k = 1` keeps every backend
 /// fast while still exercising the full `x#y#` shape).
 const DEMO_K: u32 = 1;
+
+/// How a drive's tokens travel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedMode {
+    /// One `FEED` round trip per chunk, round-robin across sessions.
+    Chunks,
+    /// One pipelined `FEEDS` line per session — the batched fast path.
+    Batched,
+}
+
+/// Which slice of every session's word a drive covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrivePhase {
+    /// Open, feed everything, finish.
+    Full,
+    /// Open and feed the first half of every word, then stop — the
+    /// sessions stay mid-stream for a shutdown/restart to preserve.
+    FirstHalf,
+    /// Feed the second half and finish, *without* opening: every
+    /// session must hydrate from the server's spill store.
+    SecondHalf,
+}
 
 /// One demo session: id, kind, constructor seed, and the word to feed.
 pub type FleetEntry = (u64, DeciderKind, u64, Vec<Sym>);
@@ -63,87 +92,140 @@ pub fn direct_outcome_lines(base_seed: u64) -> Vec<String> {
         .collect()
 }
 
-/// Sends one request line and reads one response line; `ERR` responses
-/// become I/O errors.
-fn round_trip(
-    writer: &mut UnixStream,
-    reader: &mut BufReader<UnixStream>,
-    request: &str,
-) -> std::io::Result<String> {
-    writer.write_all(format!("{request}\n").as_bytes())?;
-    writer.flush()?;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::other("server closed the connection"));
-        }
-        if !line.trim().is_empty() {
-            break;
-        }
-    }
-    let line = line.trim().to_string();
-    if let Some(msg) = line.strip_prefix("ERR ") {
+/// Turns an `ERR` response into an I/O error carrying the request.
+fn ok_or_err(request: &str, response: String) -> std::io::Result<String> {
+    if let Some(msg) = response.strip_prefix("ERR ") {
         return Err(std::io::Error::other(format!("{request}: {msg}")));
     }
-    Ok(line)
+    Ok(response)
 }
 
-/// Drives the demo fleet through a serving socket: opens every session,
-/// feeds all words round-robin in [`FEED_CHUNK`]-token slices (maximal
-/// interleaving, so the server's LRU churns), finishes each session, and
-/// returns the `OUTCOME` lines in id order.
-pub fn drive_socket(socket: impl AsRef<Path>, base_seed: u64) -> std::io::Result<Vec<String>> {
-    let mut writer = UnixStream::connect(socket.as_ref())?;
-    let mut reader = BufReader::new(writer.try_clone()?);
-    let fleet = demo_fleet(base_seed);
-    for (id, kind, seed, _) in &fleet {
-        round_trip(
-            &mut writer,
-            &mut reader,
-            &format!("OPEN {id} {} {seed}", kind.name()),
-        )?;
+/// Sends a slab of request lines — pipelined in [`FeedMode::Batched`],
+/// one round trip each in [`FeedMode::Chunks`] — and checks every
+/// response for `ERR`.
+fn send_all(
+    client: &mut LineClient,
+    mode: FeedMode,
+    requests: &[String],
+) -> std::io::Result<Vec<String>> {
+    match mode {
+        FeedMode::Batched => {
+            let responses = client.pipeline(requests)?;
+            requests
+                .iter()
+                .zip(responses)
+                .map(|(req, resp)| ok_or_err(req, resp))
+                .collect()
+        }
+        FeedMode::Chunks => requests
+            .iter()
+            .map(|req| {
+                let resp = client.ask(req)?;
+                ok_or_err(req, resp)
+            })
+            .collect(),
     }
-    let mut cursors: Vec<(u64, Vec<Sym>, usize)> = fleet
+}
+
+/// Drives the demo fleet through a serving endpoint (`addr` is a Unix
+/// socket path or TCP `host:port`; an engine or a router, the protocol
+/// is the same) and returns the `OUTCOME` lines in id order —
+/// [`DrivePhase::FirstHalf`] returns no lines, it leaves the fleet
+/// mid-stream on purpose.
+pub fn drive_fleet(
+    addr: &str,
+    base_seed: u64,
+    mode: FeedMode,
+    phase: DrivePhase,
+) -> std::io::Result<Vec<String>> {
+    let mut client = LineClient::connect(addr)?;
+    let entries: Vec<FleetEntry> = demo_fleet(base_seed)
         .into_iter()
-        .map(|(id, _, _, word)| (id, word, 0))
+        .map(|(id, kind, seed, word)| {
+            let half = word.len() / 2;
+            let slice = match phase {
+                DrivePhase::Full => word,
+                DrivePhase::FirstHalf => word[..half].to_vec(),
+                DrivePhase::SecondHalf => word[half..].to_vec(),
+            };
+            (id, kind, seed, slice)
+        })
         .collect();
-    loop {
-        let mut progressed = false;
-        for (id, word, pos) in &mut cursors {
-            if *pos < word.len() {
-                let end = (*pos + FEED_CHUNK).min(word.len());
-                let text = oqsc_lang::token::to_string(&word[*pos..end]);
-                round_trip(&mut writer, &mut reader, &format!("FEED {id} {text}"))?;
-                *pos = end;
-                progressed = true;
+
+    if phase != DrivePhase::SecondHalf {
+        let opens: Vec<String> = entries
+            .iter()
+            .map(|(id, kind, seed, _)| format!("OPEN {id} {} {seed}", kind.name()))
+            .collect();
+        send_all(&mut client, mode, &opens)?;
+    }
+
+    match mode {
+        FeedMode::Chunks => {
+            // Round-robin chunk slices: maximal cross-session
+            // interleaving, one round trip per chunk.
+            let mut cursors: Vec<(u64, &[Sym], usize)> = entries
+                .iter()
+                .map(|(id, _, _, word)| (*id, word.as_slice(), 0))
+                .collect();
+            loop {
+                let mut progressed = false;
+                for (id, word, pos) in &mut cursors {
+                    if *pos < word.len() {
+                        let end = (*pos + FEED_CHUNK).min(word.len());
+                        let text = oqsc_lang::token::to_string(&word[*pos..end]);
+                        let request = format!("FEED {id} {text}");
+                        ok_or_err(&request, client.ask(&request)?)?;
+                        *pos = end;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
             }
         }
-        if !progressed {
-            break;
+        FeedMode::Batched => {
+            let feeds: Vec<String> = entries
+                .iter()
+                .filter(|(_, _, _, word)| !word.is_empty())
+                .map(|(id, _, _, word)| {
+                    let chunks: Vec<Vec<Sym>> =
+                        word.chunks(FEED_CHUNK).map(|c| c.to_vec()).collect();
+                    feeds_line(*id, &chunks)
+                })
+                .collect();
+            send_all(&mut client, mode, &feeds)?;
         }
     }
-    let mut lines = Vec::with_capacity(cursors.len());
-    for (id, _, _) in &cursors {
-        lines.push(round_trip(
-            &mut writer,
-            &mut reader,
-            &format!("FINISH {id}"),
-        )?);
+
+    if phase == DrivePhase::FirstHalf {
+        return Ok(Vec::new());
     }
-    Ok(lines)
+    let finishes: Vec<String> = entries
+        .iter()
+        .map(|(id, _, _, _)| format!("FINISH {id}"))
+        .collect();
+    send_all(&mut client, mode, &finishes)
 }
 
-/// Requests the server's `STATS` line.
-pub fn stats_socket(socket: impl AsRef<Path>) -> std::io::Result<String> {
-    let mut writer = UnixStream::connect(socket.as_ref())?;
-    let mut reader = BufReader::new(writer.try_clone()?);
-    round_trip(&mut writer, &mut reader, "STATS")
+/// [`drive_fleet`] in its original shape: per-chunk `FEED` round trips
+/// over the whole fleet.
+pub fn drive_socket(addr: &str, base_seed: u64) -> std::io::Result<Vec<String>> {
+    drive_fleet(addr, base_seed, FeedMode::Chunks, DrivePhase::Full)
 }
 
-/// Sends `SHUTDOWN`, draining the server's accept pool.
-pub fn shutdown_socket(socket: impl AsRef<Path>) -> std::io::Result<()> {
-    let mut writer = UnixStream::connect(socket.as_ref())?;
-    let mut reader = BufReader::new(writer.try_clone()?);
-    round_trip(&mut writer, &mut reader, "SHUTDOWN").map(|_| ())
+/// Requests the endpoint's `STATS` line.
+pub fn stats_socket(addr: &str) -> std::io::Result<String> {
+    let mut client = LineClient::connect(addr)?;
+    let response = client.ask("STATS")?;
+    ok_or_err("STATS", response)
+}
+
+/// Sends `SHUTDOWN`, draining the endpoint's accept pool (and, through
+/// a router, every engine behind it).
+pub fn shutdown_socket(addr: &str) -> std::io::Result<()> {
+    let mut client = LineClient::connect(addr)?;
+    let response = client.ask("SHUTDOWN")?;
+    ok_or_err("SHUTDOWN", response).map(|_| ())
 }

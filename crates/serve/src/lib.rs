@@ -2,8 +2,9 @@
 //!
 //! The serving rung of the ROADMAP's "heavy traffic" north star: one box
 //! driving a huge number of concurrent streaming-decider sessions with a
-//! bounded working set. [`MuxEngine`] keeps a byte-budgeted, sharded LRU
-//! of live [`Session`](oqsc_machine::Session)s over two cold tiers —
+//! bounded working set. [`MuxEngine`] keeps a byte-budgeted, sharded
+//! live tier (LRU or size-aware GDSF eviction, [`EvictionPolicy`]) of
+//! [`Session`](oqsc_machine::Session)s over two cold tiers —
 //! LZ4-compressed checkpoint bytes in memory, then a persistent
 //! [`CheckpointStore`](oqsc_machine::CheckpointStore) — and hydrates a
 //! suspended session on its next token.
@@ -16,9 +17,13 @@
 //! worker count. `tests/mux_identity.rs` pins that across all seven
 //! deciders, all four backends, three eviction orders and 1/2/8 workers.
 //!
-//! The front end is a line protocol (`OPEN`/`FEED`/`FINISH`/`STATS`,
-//! [`protocol`]) over a Unix socket served by a std-only thread pool
-//! ([`Server`]); `experiments --serve/--drive` and the CI smoke drive it
+//! The front end is a line protocol
+//! (`OPEN`/`FEED`/`FEEDS`/`FINISH`/`STATS`, [`protocol`]) over a Unix
+//! socket *or* TCP ([`transport`]) served by a std-only thread pool
+//! ([`Server`]). [`Router`] scales the same protocol out: it
+//! consistent-hashes session ids across N backend engines with
+//! byte-identical per-session transcripts (DESIGN.md §14).
+//! `experiments --serve/--route/--drive` and the CI smokes drive both
 //! end to end against direct runs.
 
 #![warn(missing_docs)]
@@ -28,17 +33,21 @@ pub mod catalog;
 pub mod drive;
 pub mod mux;
 pub mod protocol;
+pub mod route;
 pub mod server;
+pub mod transport;
 
 pub use catalog::{AnyDecider, DeciderKind, LDISJ_REPS, SKETCH_BUDGET};
 pub use drive::{
-    demo_fleet, direct_outcome_lines, drive_socket, shutdown_socket, stats_socket, FleetEntry,
-    FEED_CHUNK, SESSIONS_PER_KIND,
+    demo_fleet, direct_outcome_lines, drive_fleet, drive_socket, shutdown_socket, stats_socket,
+    DrivePhase, FeedMode, FleetEntry, FEED_CHUNK, SESSIONS_PER_KIND,
 };
-pub use mux::{run_fleet, MuxConfig, MuxEngine, MuxError, MuxStats};
+pub use mux::{run_fleet, EvictionPolicy, MuxConfig, MuxEngine, MuxError, MuxStats};
 pub use protocol::{
-    fabric_request_line, fabric_response_line, fleet_outcome_line, outcome_line,
+    fabric_request_line, fabric_response_line, feeds_line, fleet_outcome_line, outcome_line,
     parse_fabric_request, parse_fabric_response, parse_fleet_outcome_line, parse_outcome_line,
-    parse_request, stats_line, FabricRequest, FabricResponse, Request,
+    parse_request, parse_stats_line, stats_line, FabricRequest, FabricResponse, Request,
 };
+pub use route::{route_index, Router, RouterConfig};
 pub use server::{bind_unix_socket, Server, ServerConfig};
+pub use transport::{LineClient, Listener, Stream, MAX_LINE_BYTES};

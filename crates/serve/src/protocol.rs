@@ -7,12 +7,22 @@
 //! ```text
 //! -> OPEN <id> <kind> <seed>        <- OK <id> 0
 //! -> FEED <id> <word>               <- OK <id> <position>
+//! -> FEEDS <id> <n> <w1> … <wn>     <- OK <id> <position>
 //! -> FINISH <id>                    <- OUTCOME <id> <accept> <bits> <qubits> <amplitudes>
 //! -> STATS                          <- STATS <opened> <finished> <tokens> <live> <peak_live>
 //!                                            <warm> <evictions> <hydrations> <spills>
 //!                                            <spill_hydrations>
 //! -> SHUTDOWN                       <- OK shutdown
 //! ```
+//!
+//! `FEEDS` is the batched form of `FEED`: `<n>` word chunks land on the
+//! session in one request, one budget-enforcement pass, and one response
+//! line — the per-token round trip is the serving hot path's dominant
+//! cost, so batch when you can. The declared count must match the chunks
+//! actually present; a hostile `<n>` never preallocates.
+//!
+//! The protocol is transport-agnostic: the same lines flow over a Unix
+//! socket or TCP (see [`crate::transport`]).
 //!
 //! Any failure answers `ERR <message>` and leaves the connection usable.
 //! `<kind>` is a [`DeciderKind`] name; `<seed>` deterministically builds
@@ -41,6 +51,13 @@ pub enum Request {
         id: u64,
         /// Tokens to feed, in stream order.
         word: Vec<Sym>,
+    },
+    /// `FEEDS <id> <n> <w1> … <wn>`
+    Feeds {
+        /// Session id.
+        id: u64,
+        /// The batched word chunks, in stream order.
+        words: Vec<Vec<Sym>>,
     },
     /// `FINISH <id>`
     Finish {
@@ -80,6 +97,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .and_then(oqsc_lang::token::from_str)
                 .ok_or_else(|| "bad word (expected 0/1/# tokens)".to_string())?;
             Request::Feed { id, word }
+        }
+        "FEEDS" => {
+            let id = parse_u64("id", parts.next())?;
+            let n = parse_u64("count", parts.next())?;
+            // Pull exactly `n` chunks off the line. The vector grows by
+            // what actually arrives, never by the declared count, so a
+            // hostile `n` costs nothing but this loop's first miss.
+            let mut words = Vec::new();
+            for _ in 0..n {
+                let word = parts
+                    .next()
+                    .ok_or_else(|| {
+                        format!("truncated FEEDS batch: declared {n}, got {}", words.len())
+                    })
+                    .and_then(|raw| {
+                        oqsc_lang::token::from_str(raw)
+                            .ok_or_else(|| "bad word (expected 0/1/# tokens)".to_string())
+                    })?;
+                words.push(word);
+            }
+            Request::Feeds { id, words }
         }
         "FINISH" => Request::Finish {
             id: parse_u64("id", parts.next())?,
@@ -412,6 +450,19 @@ pub fn parse_fabric_response(line: &str) -> Result<FabricResponse, String> {
     Ok(resp)
 }
 
+/// Renders a `FEEDS` request line. Every chunk must be non-empty — an
+/// empty chunk has no surface form on a whitespace-separated wire (and
+/// would be a no-op feed anyway).
+pub fn feeds_line(id: u64, chunks: &[Vec<Sym>]) -> String {
+    let mut line = format!("FEEDS {id} {}", chunks.len());
+    for chunk in chunks {
+        debug_assert!(!chunk.is_empty(), "empty chunks are not representable");
+        line.push(' ');
+        line.push_str(&oqsc_lang::token::to_string(chunk));
+    }
+    line
+}
+
 /// Renders the `STATS` response.
 pub fn stats_line(s: &MuxStats) -> String {
     format!(
@@ -427,6 +478,41 @@ pub fn stats_line(s: &MuxStats) -> String {
         s.spills,
         s.spill_hydrations
     )
+}
+
+/// Parses a [`stats_line`] back into a [`MuxStats`]. The wire format
+/// carries the ten counter fields only; the byte-occupancy gauges
+/// (`live_bytes`/`warm_bytes`) come back zero. Used by the router to
+/// sum per-engine stats into one fleet-wide response.
+pub fn parse_stats_line(line: &str) -> Result<MuxStats, String> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("STATS") {
+        return Err(format!("malformed STATS line: {line:?}"));
+    }
+    let mut next_num = |what: &str| -> Result<u64, String> {
+        parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| format!("bad {what} in STATS line: {line:?}"))
+    };
+    let stats = MuxStats {
+        opened: next_num("opened")?,
+        finished: next_num("finished")?,
+        tokens: next_num("tokens")?,
+        live: next_num("live")?,
+        peak_live: next_num("peak_live")?,
+        warm: next_num("warm")?,
+        live_bytes: 0,
+        warm_bytes: 0,
+        evictions: next_num("evictions")?,
+        hydrations: next_num("hydrations")?,
+        spills: next_num("spills")?,
+        spill_hydrations: next_num("spill_hydrations")?,
+    };
+    if parts.next().is_some() {
+        return Err(format!("trailing fields in STATS line: {line:?}"));
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -465,6 +551,68 @@ mod tests {
             "STATS extra",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn feeds_requests_round_trip_and_reject() {
+        let chunks = vec![
+            oqsc_lang::token::from_str("1#0").expect("syms"),
+            oqsc_lang::token::from_str("01").expect("syms"),
+            oqsc_lang::token::from_str("#").expect("syms"),
+        ];
+        let line = feeds_line(9, &chunks);
+        assert_eq!(line, "FEEDS 9 3 1#0 01 #");
+        assert_eq!(
+            parse_request(&line),
+            Ok(Request::Feeds {
+                id: 9,
+                words: chunks
+            })
+        );
+        // An empty batch is legal (and a no-op on the session).
+        assert_eq!(
+            parse_request("FEEDS 9 0"),
+            Ok(Request::Feeds {
+                id: 9,
+                words: vec![]
+            })
+        );
+        for bad in [
+            "FEEDS",
+            "FEEDS 9",
+            "FEEDS x 1 0",
+            "FEEDS 9 2 01",                    // truncated: declared 2, got 1
+            "FEEDS 9 1 01 11",                 // excess: declared 1, got 2
+            "FEEDS 9 18446744073709551615 01", // huge count, tiny batch
+            "FEEDS 9 1 012",                   // bad symbol
+            "FEEDS 9 zz 01",                   // non-numeric count
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn stats_lines_round_trip() {
+        let stats = MuxStats {
+            opened: 10,
+            finished: 7,
+            tokens: 640,
+            live: 2,
+            peak_live: 5,
+            warm: 1,
+            live_bytes: 0,
+            warm_bytes: 0,
+            evictions: 12,
+            hydrations: 12,
+            spills: 3,
+            spill_hydrations: 1,
+        };
+        let line = stats_line(&stats);
+        assert_eq!(line, "STATS 10 7 640 2 5 1 12 12 3 1");
+        assert_eq!(parse_stats_line(&line), Ok(stats));
+        for bad in ["STATS 1 2 3", "STATS 1 2 3 4 5 6 7 8 9 10 11", "OK 1"] {
+            assert!(parse_stats_line(bad).is_err(), "{bad:?} should be rejected");
         }
     }
 

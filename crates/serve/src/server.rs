@@ -1,6 +1,6 @@
-//! The Unix-socket front end: a std-only thread pool accepting
-//! connections and speaking the line protocol against one shared
-//! [`MuxEngine`].
+//! The serving front end: a std-only thread pool accepting connections
+//! on a Unix socket *or* a TCP port and speaking the line protocol
+//! against one shared [`MuxEngine`].
 //!
 //! The listener runs non-blocking; every accept thread polls
 //! accept-or-sleep and checks a shared shutdown flag, so a single
@@ -9,23 +9,49 @@
 //! client's contract — the engine serializes operations on one id
 //! through its shard lock, and a client that wants a session's tokens
 //! in stream order must send them in order on one connection.
+//!
+//! Request lines are read through the bounded machinery in
+//! [`crate::transport`]: an overlong line or a non-UTF8 one costs the
+//! server one `ERR` response and a bounded resync, never a panic, a
+//! dropped connection, or an unbounded allocation.
+//!
+//! With a spill store attached, a graceful `SHUTDOWN` flushes every
+//! live and warm session into the store, so a server restarted on the
+//! same store rehydrates mid-stream sessions instead of losing them.
 
 use crate::catalog::AnyDecider;
 use crate::mux::{MuxConfig, MuxEngine, MuxStats};
 use crate::protocol::{outcome_line, parse_request, stats_line, Request};
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use crate::transport::{
+    discard_line, read_line_bounded, LineStatus, Listener, Stream, MAX_LINE_BYTES,
+};
+use oqsc_machine::CheckpointStore;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-/// Server sizing: protocol threads and the engine's tier budgets.
-#[derive(Clone, Copy, Debug)]
+// Re-exported from its original home so existing `crate::server`
+// importers keep working; the implementation lives with its users in
+// the transport module now.
+pub use crate::transport::bind_unix_socket;
+
+/// Server sizing: protocol threads, the engine's tier budgets, and the
+/// handler pool's read-poll cadence.
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Connection-handling threads (each owns the accept loop in turn).
     pub threads: usize,
     /// The multiplexing engine's budgets.
     pub mux: MuxConfig,
+    /// Per-read timeout on handler connections. Blocked reads wake at
+    /// this cadence to notice the shutdown flag; partial request lines
+    /// survive the timeout, so slow writers are never truncated.
+    pub read_timeout: Duration,
+    /// Checkpoint store path for the spill tier. Opened if it exists
+    /// (recovering a torn tail), created otherwise; on graceful
+    /// shutdown every resident session is flushed into it.
+    pub spill_store: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +59,8 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: 4,
             mux: MuxConfig::default(),
+            read_timeout: Duration::from_millis(50),
+            spill_store: None,
         }
     }
 }
@@ -40,79 +68,52 @@ impl Default for ServerConfig {
 /// A bound, not-yet-running server. Binding is separate from running so
 /// callers (the CLI, tests) can report readiness before blocking.
 pub struct Server {
-    listener: UnixListener,
-    path: PathBuf,
+    listener: Listener,
     config: ServerConfig,
 }
 
-/// Binds a Unix socket at `path`, replacing a *stale* socket file left
-/// by a dead server — and only a stale one. A leftover path is
-/// probe-connected first: if a live server answers, binding fails with
-/// [`AddrInUse`](std::io::ErrorKind::AddrInUse) instead of silently
-/// clobbering it out from under its clients, and a path that is not a
-/// socket at all (a regular file, a directory) is never removed.
-///
-/// Shared by [`Server::bind`] and the distributed sweep fabric's
-/// coordinator listener, so every line-protocol endpoint in the
-/// workspace gets the same stale-vs-live discipline.
-pub fn bind_unix_socket(path: &Path) -> std::io::Result<UnixListener> {
-    if let Ok(meta) = std::fs::symlink_metadata(path) {
-        use std::os::unix::fs::FileTypeExt;
-        if !meta.file_type().is_socket() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::AlreadyExists,
-                format!(
-                    "{} exists and is not a socket; refusing to replace it",
-                    path.display()
-                ),
-            ));
-        }
-        if UnixStream::connect(path).is_ok() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::AddrInUse,
-                format!(
-                    "a live server is already listening on {}; shut it down first",
-                    path.display()
-                ),
-            ));
-        }
-        // Nothing answered: a stale socket file from a dead server.
-        std::fs::remove_file(path)?;
-    }
-    UnixListener::bind(path)
-}
-
 impl Server {
-    /// Binds `path`, replacing any stale socket file left by a dead
-    /// server; a path a live server answers on is refused (see
-    /// [`bind_unix_socket`]).
-    pub fn bind(path: impl AsRef<Path>, config: ServerConfig) -> std::io::Result<Server> {
-        let path = path.as_ref().to_path_buf();
-        let listener = bind_unix_socket(&path)?;
+    /// Binds `addr` — `host:port` for TCP, a filesystem path for a Unix
+    /// socket. Unix paths get the stale-vs-live discipline of
+    /// [`bind_unix_socket`]; a path a live server answers on is refused.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = Listener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        Ok(Server {
-            listener,
-            path,
-            config,
-        })
+        Ok(Server { listener, config })
     }
 
-    /// The bound socket path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The bound address in dialable form — for TCP the *actual*
+    /// address, so binding port `0` reports the kernel-chosen port.
+    pub fn local_addr(&self) -> String {
+        self.listener.local_addr()
     }
 
     /// Serves until a `SHUTDOWN` request, then returns the engine's
-    /// final statistics. The socket file is removed on return.
+    /// final statistics. With a spill store attached, resident sessions
+    /// are flushed into it before returning; a Unix socket file is
+    /// removed on return.
     pub fn run(self) -> std::io::Result<MuxStats> {
-        let engine = MuxEngine::<AnyDecider>::new(self.config.mux);
+        let engine = match &self.config.spill_store {
+            Some(path) => {
+                let store = if path.exists() {
+                    CheckpointStore::recover_for::<AnyDecider>(path).map(|(store, _report)| store)
+                } else {
+                    CheckpointStore::create_for::<AnyDecider>(path)
+                }
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+                MuxEngine::<AnyDecider>::with_spill(self.config.mux, store)
+            }
+            None => MuxEngine::<AnyDecider>::new(self.config.mux),
+        };
         let done = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads.max(1) {
                 scope.spawn(|| {
                     while !done.load(Ordering::SeqCst) {
                         match self.listener.accept() {
-                            Ok((stream, _)) => handle_connection(stream, &engine, &done),
+                            Ok(stream) => {
+                                handle_connection(stream, &engine, &done, self.config.read_timeout)
+                            }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(5));
                             }
@@ -122,48 +123,86 @@ impl Server {
                 });
             }
         });
-        let _ = std::fs::remove_file(&self.path);
+        engine
+            .flush_to_spill()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        if let Some(path) = self.listener.unix_path() {
+            let _ = std::fs::remove_file(path);
+        }
         Ok(engine.stats())
     }
 }
 
 /// Serves one connection: request line in, response line out, until EOF
-/// or a shutdown from anywhere.
-fn handle_connection(stream: UnixStream, engine: &MuxEngine<AnyDecider>, done: &AtomicBool) {
+/// or a shutdown from anywhere. Hostile input — overlong lines, invalid
+/// UTF-8 — earns an `ERR` and leaves the connection usable.
+fn handle_connection(
+    stream: Stream,
+    engine: &MuxEngine<AnyDecider>,
+    done: &AtomicBool,
+    read_timeout: Duration,
+) {
     // Line reads must be able to notice the shutdown flag; a short read
     // timeout turns blocked reads into polls.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up (an unterminated partial request dies with it)
-            Ok(_) => {}
+        let status = match read_line_bounded(&mut reader, &mut buf) {
+            Ok(status) => status,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // A timed-out read_line may already have appended a
-                // request prefix to `line`; keep it for the next poll —
-                // a client writing one byte per 60 ms must never see
-                // its request truncated at a timeout boundary.
+                // A timed-out read may already have buffered a request
+                // prefix in `buf`; keep it for the next poll — a client
+                // writing one byte per interval must never see its
+                // request truncated at a timeout boundary.
                 if done.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
             Err(_) => return,
-        }
-        let request = line.trim().to_string();
-        line.clear();
-        if request.is_empty() {
-            continue;
-        }
-        let response = respond(engine, &request, done);
+        };
+        let response = match status {
+            LineStatus::Closed => return, // client hung up (an unterminated partial dies with it)
+            LineStatus::Overflow => {
+                // Swallow the rest of the oversized line in bounded
+                // chunks (re-polling through timeouts), then answer
+                // once the connection is back in sync.
+                loop {
+                    match discard_line(&mut reader) {
+                        Ok(true) => break,
+                        Ok(false) => return, // EOF mid-overflow
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            if done.load(Ordering::SeqCst) {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                }
+                buf.clear();
+                format!("ERR line too long (max {MAX_LINE_BYTES} bytes)")
+            }
+            LineStatus::Line => {
+                let text = std::str::from_utf8(&buf).map(|s| s.trim().to_string());
+                buf.clear();
+                match text {
+                    Ok(request) if request.is_empty() => continue,
+                    Ok(request) => respond(engine, &request, done),
+                    Err(_) => "ERR request is not valid UTF-8".to_string(),
+                }
+            }
+        };
         if writer
             .write_all(format!("{response}\n").as_bytes())
             .and_then(|()| writer.flush())
@@ -189,6 +228,12 @@ fn respond(engine: &MuxEngine<AnyDecider>, line: &str, done: &AtomicBool) -> Str
             Err(e) => format!("ERR {e}"),
         },
         Request::Feed { id, word } => match engine.feed(id, &word) {
+            Ok(position) => format!("OK {id} {position}"),
+            Err(e) => format!("ERR {e}"),
+        },
+        // The batched fast path: the whole batch lands on the session
+        // as one `feed_slice` call and one budget-enforcement pass.
+        Request::Feeds { id, words } => match engine.feed(id, &words.concat()) {
             Ok(position) => format!("OK {id} {position}"),
             Err(e) => format!("ERR {e}"),
         },

@@ -1,0 +1,375 @@
+//! Either-transport plumbing shared by every line-protocol endpoint:
+//! Unix domain sockets and TCP behind one listener/stream pair, plus
+//! bounded request-line reads.
+//!
+//! Addresses containing `:` are TCP `host:port`; everything else is a
+//! Unix socket path. That one rule is shared by the serving tier, the
+//! router and the distributed sweep fabric, so `--serve`, `--drive`,
+//! `--route` and `--fabric-*` all accept either form interchangeably.
+//!
+//! The line reader is deliberately hostile-input-proof: a request line
+//! is read through a hard [`MAX_LINE_BYTES`] cap, so a client streaming
+//! gigabytes without a newline costs the server one bounded buffer and
+//! one `ERR` response, never an unbounded allocation.
+
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Longest accepted request line in bytes, newline included. Generous —
+/// a maximal `FEEDS` line is a few KiB — but a hard wall against
+/// hostile clients.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// `host:port` (TCP) vs socket path (Unix): addresses with a `:` dial
+/// TCP, everything else names a filesystem socket.
+pub fn is_tcp_addr(addr: &str) -> bool {
+    addr.contains(':')
+}
+
+/// Binds a Unix socket at `path`, replacing a *stale* socket file left
+/// by a dead server — and only a stale one. A leftover path is
+/// probe-connected first: if a live server answers, binding fails with
+/// [`AddrInUse`](std::io::ErrorKind::AddrInUse) instead of silently
+/// clobbering it out from under its clients, and a path that is not a
+/// socket at all (a regular file, a directory) is never removed.
+///
+/// Shared by [`Server`](crate::Server), the [`Router`](crate::Router)
+/// and the distributed sweep fabric's coordinator listener, so every
+/// line-protocol endpoint in the workspace gets the same stale-vs-live
+/// discipline.
+pub fn bind_unix_socket(path: &Path) -> std::io::Result<UnixListener> {
+    if let Ok(meta) = std::fs::symlink_metadata(path) {
+        use std::os::unix::fs::FileTypeExt;
+        if !meta.file_type().is_socket() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} exists and is not a socket; refusing to replace it",
+                    path.display()
+                ),
+            ));
+        }
+        if UnixStream::connect(path).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!(
+                    "a live server is already listening on {}; shut it down first",
+                    path.display()
+                ),
+            ));
+        }
+        // Nothing answered: a stale socket file from a dead server.
+        std::fs::remove_file(path)?;
+    }
+    UnixListener::bind(path)
+}
+
+/// A listening endpoint on either transport.
+pub enum Listener {
+    /// A Unix socket listener plus the path it owns (removed by the
+    /// server on shutdown).
+    Unix(UnixListener, PathBuf),
+    /// A TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `addr` on the transport its shape selects. Unix paths get
+    /// the stale-vs-live discipline of [`bind_unix_socket`].
+    pub fn bind(addr: &str) -> std::io::Result<Listener> {
+        if is_tcp_addr(addr) {
+            Ok(Listener::Tcp(TcpListener::bind(addr)?))
+        } else {
+            let path = PathBuf::from(addr);
+            let listener = bind_unix_socket(&path)?;
+            Ok(Listener::Unix(listener, path))
+        }
+    }
+
+    /// Toggles non-blocking accepts.
+    pub fn set_nonblocking(&self, yes: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(yes),
+            Listener::Tcp(l) => l.set_nonblocking(yes),
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    /// The bound address in the same shape [`Listener::bind`] accepts —
+    /// for TCP the *actual* address, so binding port `0` reports the
+    /// kernel-chosen port a client can dial.
+    pub fn local_addr(&self) -> String {
+        match self {
+            Listener::Unix(_, path) => path.display().to_string(),
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<tcp>".to_string()),
+        }
+    }
+
+    /// The socket file this listener owns, if it is a Unix listener.
+    pub fn unix_path(&self) -> Option<&Path> {
+        match self {
+            Listener::Unix(_, path) => Some(path),
+            Listener::Tcp(_) => None,
+        }
+    }
+}
+
+/// One connection on either transport.
+pub enum Stream {
+    /// A Unix-socket connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `addr` on the transport its shape selects.
+    pub fn connect(addr: &str) -> std::io::Result<Stream> {
+        if is_tcp_addr(addr) {
+            TcpStream::connect(addr).map(Stream::Tcp)
+        } else {
+            UnixStream::connect(addr).map(Stream::Unix)
+        }
+    }
+
+    /// An independently owned handle to the same connection.
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Sets the read timeout (turns blocked reads into polls).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// What one bounded line read produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineStatus {
+    /// A complete line is in the buffer (newline-terminated, or the
+    /// final unterminated line before EOF).
+    Line,
+    /// Clean EOF with nothing buffered.
+    Closed,
+    /// The line crossed [`MAX_LINE_BYTES`] without a newline; the rest
+    /// of it is still unread. Respond `ERR` and [`discard_line`].
+    Overflow,
+}
+
+/// Reads one request line into `buf` through the [`MAX_LINE_BYTES`]
+/// cap. Timeouts (`WouldBlock`/`TimedOut`) surface as `Err` with the
+/// partial line preserved in `buf` — the caller checks its shutdown
+/// flag and calls again; a client writing one byte per 60 ms must never
+/// see its request truncated at a timeout boundary.
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineStatus> {
+    loop {
+        // Read at most one byte past the cap: enough to tell "exactly
+        // at the limit" from "over it", never an unbounded append.
+        let room = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        if room == 0 {
+            return Ok(LineStatus::Overflow);
+        }
+        let n = reader.by_ref().take(room as u64).read_until(b'\n', buf)?;
+        if n == 0 {
+            return Ok(if buf.is_empty() {
+                LineStatus::Closed
+            } else {
+                LineStatus::Line
+            });
+        }
+        if buf.last() == Some(&b'\n') {
+            return Ok(LineStatus::Line);
+        }
+        // Filled `room` bytes without a newline; loop to flag overflow.
+    }
+}
+
+/// Consumes the remainder of an oversized line in bounded chunks.
+/// Returns `true` once the newline has been swallowed (the connection
+/// is back in sync), `false` on EOF. Timeouts surface as `Err`, same
+/// contract as [`read_line_bounded`].
+pub fn discard_line<R: BufRead>(reader: &mut R) -> std::io::Result<bool> {
+    let mut scratch = Vec::with_capacity(1024);
+    loop {
+        scratch.clear();
+        let n = reader.by_ref().take(1024).read_until(b'\n', &mut scratch)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        if scratch.last() == Some(&b'\n') {
+            return Ok(true);
+        }
+    }
+}
+
+/// A line-protocol client: one request line out, one response line in.
+/// Works over either transport; reads block (no timeout) because the
+/// far side always answers every request line.
+pub struct LineClient {
+    writer: Stream,
+    reader: std::io::BufReader<Stream>,
+}
+
+/// Request lines in flight per pipeline window — small enough that the
+/// un-read responses can never fill both socket buffers and deadlock
+/// the writer, large enough to amortize the round trip.
+const PIPELINE_WINDOW: usize = 64;
+
+impl LineClient {
+    /// Connects to a line-protocol endpoint at `addr`.
+    pub fn connect(addr: &str) -> std::io::Result<LineClient> {
+        let writer = Stream::connect(addr)?;
+        let reader = std::io::BufReader::new(writer.try_clone()?);
+        Ok(LineClient { writer, reader })
+    }
+
+    /// Reads one non-empty response line.
+    fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::other("server closed the connection"));
+            }
+            if !line.trim().is_empty() {
+                return Ok(line.trim().to_string());
+            }
+        }
+    }
+
+    /// Sends one request line and reads its response line verbatim
+    /// (`ERR` responses included — the router relays them untouched).
+    pub fn ask(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(format!("{request}\n").as_bytes())?;
+        self.writer.flush()?;
+        self.recv_line()
+    }
+
+    /// Pipelines `requests`: writes them in windows of a few dozen
+    /// lines, then reads the matching responses, so `n` requests cost
+    /// ~`n / window` round trips instead of `n`. Responses come back in
+    /// request order (the protocol is strictly one line per request).
+    pub fn pipeline(&mut self, requests: &[String]) -> std::io::Result<Vec<String>> {
+        let mut responses = Vec::with_capacity(requests.len());
+        for window in requests.chunks(PIPELINE_WINDOW) {
+            for request in window {
+                self.writer.write_all(format!("{request}\n").as_bytes())?;
+            }
+            self.writer.flush()?;
+            for _ in window {
+                responses.push(self.recv_line()?);
+            }
+        }
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_reads_cap_hostile_lines_and_resync() {
+        // A normal line, an oversized one, then a normal one again.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"FIRST\n");
+        data.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 500]);
+        data.push(b'\n');
+        data.extend_from_slice(b"SECOND\n");
+        let mut reader = Cursor::new(data);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_line_bounded(&mut reader, &mut buf).unwrap(),
+            LineStatus::Line
+        );
+        assert_eq!(buf, b"FIRST\n");
+        buf.clear();
+        assert_eq!(
+            read_line_bounded(&mut reader, &mut buf).unwrap(),
+            LineStatus::Overflow
+        );
+        assert!(
+            buf.len() <= MAX_LINE_BYTES + 1,
+            "allocation must stay bounded"
+        );
+        buf.clear();
+        assert!(discard_line(&mut reader).unwrap(), "resync on the newline");
+        assert_eq!(
+            read_line_bounded(&mut reader, &mut buf).unwrap(),
+            LineStatus::Line
+        );
+        assert_eq!(buf, b"SECOND\n");
+        buf.clear();
+        assert_eq!(
+            read_line_bounded(&mut reader, &mut buf).unwrap(),
+            LineStatus::Closed
+        );
+    }
+
+    #[test]
+    fn final_unterminated_line_is_still_delivered() {
+        let mut reader = Cursor::new(b"TAIL".to_vec());
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_line_bounded(&mut reader, &mut buf).unwrap(),
+            LineStatus::Line
+        );
+        assert_eq!(buf, b"TAIL");
+    }
+
+    #[test]
+    fn address_shapes_pick_the_transport() {
+        assert!(is_tcp_addr("127.0.0.1:7700"));
+        assert!(is_tcp_addr("[::1]:7700"));
+        assert!(!is_tcp_addr("/tmp/server.sock"));
+        assert!(!is_tcp_addr("relative.sock"));
+    }
+}

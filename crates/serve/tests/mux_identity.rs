@@ -108,6 +108,7 @@ fn mux_matches_direct_runs_across_budgets_orders_and_workers() {
                     live_bytes_budget: live_budget,
                     warm_bytes_budget: 1 << 30,
                     shards: 4,
+                    ..MuxConfig::default()
                 });
                 let got = run_interleaved(&engine, SEED, chunk, workers, order);
                 assert_eq!(
@@ -123,6 +124,71 @@ fn mux_matches_direct_runs_across_budgets_orders_and_workers() {
                         "budget 0 must evict on every feed: {stats:?}"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// The batched-feed (`FEEDS` → one `feed` call) identity, at *every*
+/// cut point: each session's word is split into a head batch and a tail
+/// batch at every position, and the outcome must equal the
+/// uninterrupted run. At budget 0 every batch straddles a full evict +
+/// rehydrate cycle — the "batch straddling an eviction" case.
+#[test]
+fn batched_feeds_at_every_cut_point_match_direct_runs() {
+    const SEED: u64 = 0xFEED5;
+    let fleet = demo_fleet(SEED);
+    let expected = reference(SEED);
+    for live_budget in [0usize, 4 << 10] {
+        for workers in [1usize, 8] {
+            let engine = MuxEngine::<AnyDecider>::new(MuxConfig {
+                live_bytes_budget: live_budget,
+                warm_bytes_budget: 1 << 30,
+                shards: 4,
+                ..MuxConfig::default()
+            });
+            // One fresh session per (fleet entry, cut point); ids are
+            // single-use, so each job gets its own.
+            let jobs: Vec<(u64, usize, usize)> = fleet
+                .iter()
+                .enumerate()
+                .flat_map(|(slot, (id, _, _, word))| {
+                    (0..=word.len()).map(move |cut| (id * 4096 + cut as u64, slot, cut))
+                })
+                .collect();
+            let mut lanes: Vec<Vec<(u64, usize, usize)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                lanes[i % workers].push(job);
+            }
+            std::thread::scope(|scope| {
+                for lane in lanes {
+                    scope.spawn(|| {
+                        for (uid, slot, cut) in lane {
+                            let (_, kind, seed, word) = &fleet[slot];
+                            engine.open(uid, kind.build(*seed)).expect("open");
+                            if cut > 0 {
+                                engine.feed(uid, &word[..cut]).expect("head batch");
+                            }
+                            if cut < word.len() {
+                                engine.feed(uid, &word[cut..]).expect("tail batch");
+                            }
+                            let got = engine.finish(uid).expect("finish");
+                            assert_eq!(
+                                got, expected[slot].1,
+                                "budget {live_budget}, workers {workers}, \
+                                 session {slot}, cut {cut}"
+                            );
+                        }
+                    });
+                }
+            });
+            if live_budget == 0 {
+                let stats = engine.stats();
+                assert!(
+                    stats.evictions > 0 && stats.hydrations > 0,
+                    "budget 0 batches must straddle evictions: {stats:?}"
+                );
             }
         }
     }
@@ -145,6 +211,7 @@ fn mux_matches_direct_runs_through_the_spill_store() {
             live_bytes_budget: 0,
             warm_bytes_budget: 0,
             shards: 2,
+            ..MuxConfig::default()
         },
         store,
     );
